@@ -1,0 +1,249 @@
+//! CSV export of every figure's data series, for external plotting.
+//!
+//! Each function renders one artifact as RFC-4180-ish CSV (comma
+//! separated, quoted only when needed); [`export_all`] writes the whole
+//! set into a directory with stable file names, which is what
+//! `libspector export` does.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+use crate::stats::Cdf;
+use crate::FullReport;
+
+fn field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_owned()
+    }
+}
+
+/// Table I as CSV: `category,domains`.
+pub fn table1_csv(report: &FullReport) -> String {
+    let mut out = String::from("category,domains\n");
+    for category in DomainCategory::ALL {
+        let count = report.table1.count(category);
+        let _ = writeln!(out, "{},{count}", field(category.label()));
+    }
+    let _ = writeln!(out, "total,{}", report.table1.total);
+    out
+}
+
+/// Figure 2 as CSV: `app_category,lib_category,bytes`.
+pub fn fig2_csv(report: &FullReport) -> String {
+    let mut out = String::from("app_category,lib_category,bytes\n");
+    for app_category in &report.fig2.category_order {
+        if let Some(per_lib) = report.fig2.bytes.get(app_category) {
+            for (lib, bytes) in per_lib {
+                let _ = writeln!(out, "{},{},{bytes}", field(app_category), field(lib));
+            }
+        }
+    }
+    out
+}
+
+/// Figure 3 as CSV: `rank,kind,name,bytes` for both granularities.
+pub fn fig3_csv(report: &FullReport) -> String {
+    let mut out = String::from("rank,kind,name,bytes\n");
+    for (rank, (name, bytes)) in report.fig3.top_origin_libraries.iter().enumerate() {
+        let _ = writeln!(out, "{},origin,{},{bytes}", rank + 1, field(name));
+    }
+    for (rank, (name, bytes)) in report.fig3.top_two_level.iter().enumerate() {
+        let _ = writeln!(out, "{},two_level,{},{bytes}", rank + 1, field(name));
+    }
+    out
+}
+
+fn cdf_rows(out: &mut String, series: &str, cdf: &Cdf) {
+    for (value, fraction) in cdf.points(256) {
+        let _ = writeln!(out, "{series},{value},{fraction}");
+    }
+}
+
+/// Figure 4 as CSV: `series,bytes,cumulative_fraction`.
+pub fn fig4_csv(report: &FullReport) -> String {
+    let mut out = String::from("series,bytes,cumulative_fraction\n");
+    cdf_rows(&mut out, "app_sent", &report.fig4.app_sent);
+    cdf_rows(&mut out, "app_recv", &report.fig4.app_recv);
+    cdf_rows(&mut out, "lib_sent", &report.fig4.lib_sent);
+    cdf_rows(&mut out, "lib_recv", &report.fig4.lib_recv);
+    cdf_rows(&mut out, "dns_sent", &report.fig4.dns_sent);
+    cdf_rows(&mut out, "dns_recv", &report.fig4.dns_recv);
+    out
+}
+
+/// Figure 5 as CSV: ratio curves plus a means row-set.
+pub fn fig5_csv(report: &FullReport) -> String {
+    let mut out = String::from("series,ratio,cumulative_fraction\n");
+    cdf_rows(&mut out, "apps", &report.fig5.app_ratios);
+    cdf_rows(&mut out, "libs", &report.fig5.lib_ratios);
+    cdf_rows(&mut out, "dns", &report.fig5.dns_ratios);
+    let _ = writeln!(out, "mean_apps,{},1", report.fig5.app_mean);
+    let _ = writeln!(out, "mean_libs,{},1", report.fig5.lib_mean);
+    let _ = writeln!(out, "mean_dns,{},1", report.fig5.dns_mean);
+    out
+}
+
+/// Figure 6 as CSV: share curves plus the headline fractions.
+pub fn fig6_csv(report: &FullReport) -> String {
+    let mut out = String::from("series,value,cumulative_fraction\n");
+    cdf_rows(&mut out, "ant_share", &report.fig6.ant_share);
+    cdf_rows(&mut out, "common_share", &report.fig6.common_share);
+    let _ = writeln!(out, "ant_only_fraction,{},1", report.fig6.ant_only_fraction);
+    let _ = writeln!(out, "some_ant_fraction,{},1", report.fig6.some_ant_fraction);
+    let _ = writeln!(out, "ant_free_fraction,{},1", report.fig6.ant_free_fraction);
+    out
+}
+
+/// Figure 7 as CSV: `side,category,total_bytes,entities,bytes_per_entity`.
+pub fn fig7_csv(report: &FullReport) -> String {
+    let mut out = String::from("side,category,total_bytes,entities,bytes_per_entity\n");
+    for (label, (total, count, avg)) in &report.fig7.per_lib_category {
+        let _ = writeln!(out, "library,{},{total},{count},{avg}", field(label));
+    }
+    for (label, (total, count, avg)) in &report.fig7.per_domain_category {
+        let _ = writeln!(out, "domain,{},{total},{count},{avg}", field(label));
+    }
+    out
+}
+
+/// Figure 8 as CSV: `app_category,apps,total_bytes,bytes_per_app`.
+pub fn fig8_csv(report: &FullReport) -> String {
+    let mut out = String::from("app_category,apps,total_bytes,bytes_per_app\n");
+    for category in &report.fig8.order {
+        let (apps, total, avg) = report.fig8.per_category[category];
+        let _ = writeln!(out, "{},{apps},{total},{avg}", field(category));
+    }
+    out
+}
+
+/// Figure 9 as CSV: the full matrix, `domain_category,lib_category,bytes`
+/// (zero cells included so the matrix is dense).
+pub fn fig9_csv(report: &FullReport) -> String {
+    let mut out = String::from("domain_category,lib_category,bytes\n");
+    for domain in DomainCategory::ALL {
+        for lib in LibCategory::ALL {
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                field(domain.label()),
+                field(lib.label()),
+                report.fig9.cell(domain, lib)
+            );
+        }
+    }
+    out
+}
+
+/// Figure 10 as CSV: the coverage CDF plus summary rows.
+pub fn fig10_csv(report: &FullReport) -> String {
+    let mut out = String::from("series,coverage_percent,cumulative_fraction\n");
+    cdf_rows(&mut out, "coverage", &report.fig10.coverage_percent);
+    let _ = writeln!(out, "mean,{},1", report.fig10.mean_coverage_percent);
+    let _ = writeln!(out, "above_mean_fraction,{},1", report.fig10.above_mean_fraction);
+    out
+}
+
+/// Writes every figure's CSV into `dir` with stable names.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_all(report: &FullReport, dir: &Path) -> io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let artifacts: [(&str, String); 9] = [
+        ("table1.csv", table1_csv(report)),
+        ("fig2.csv", fig2_csv(report)),
+        ("fig3.csv", fig3_csv(report)),
+        ("fig4.csv", fig4_csv(report)),
+        ("fig5.csv", fig5_csv(report)),
+        ("fig6.csv", fig6_csv(report)),
+        ("fig7.csv", fig7_csv(report)),
+        ("fig8.csv", fig8_csv(report)),
+        ("fig9.csv", fig9_csv(report)),
+    ];
+    let mut written = Vec::with_capacity(artifacts.len() + 1);
+    for (name, content) in artifacts {
+        std::fs::write(dir.join(name), content)?;
+        written.push(name.to_owned());
+    }
+    std::fs::write(dir.join("fig10.csv"), fig10_csv(report))?;
+    written.push("fig10.csv".to_owned());
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    fn report() -> FullReport {
+        FullReport::build(&[app(
+            "com.a",
+            "GAME_ACTION",
+            vec![flow(
+                Some(("com.unity3d.ads", "com.unity3d")),
+                LibCategory::Advertisement,
+                "ads.host",
+                DomainCategory::Advertisements,
+                500,
+                50_000,
+            )],
+        )])
+    }
+
+    #[test]
+    fn every_csv_has_header_and_rows() {
+        let report = report();
+        for (name, csv) in [
+            ("table1", table1_csv(&report)),
+            ("fig2", fig2_csv(&report)),
+            ("fig3", fig3_csv(&report)),
+            ("fig4", fig4_csv(&report)),
+            ("fig5", fig5_csv(&report)),
+            ("fig6", fig6_csv(&report)),
+            ("fig7", fig7_csv(&report)),
+            ("fig8", fig8_csv(&report)),
+            ("fig9", fig9_csv(&report)),
+            ("fig10", fig10_csv(&report)),
+        ] {
+            let lines: Vec<&str> = csv.lines().collect();
+            assert!(lines.len() >= 2, "{name} has no data rows");
+            let columns = lines[0].split(',').count();
+            for line in &lines {
+                assert_eq!(line.split(',').count(), columns, "{name}: ragged row {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_is_dense_17_by_13() {
+        let csv = fig9_csv(&report());
+        assert_eq!(csv.lines().count(), 1 + 17 * 13);
+    }
+
+    #[test]
+    fn quoting_handles_commas() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn export_all_writes_ten_files() {
+        let dir = std::env::temp_dir().join("spector-export-test");
+        let written = export_all(&report(), &dir).unwrap();
+        assert_eq!(written.len(), 10);
+        for name in &written {
+            assert!(dir.join(name).exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

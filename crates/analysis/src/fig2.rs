@@ -1,0 +1,101 @@
+//! Figure 2: aggregate traffic per app category, stacked by
+//! origin-library category, plus the legend's share-of-total per
+//! library category.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// Figure 2 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// `app category -> (library category -> bytes)`.
+    pub bytes: BTreeMap<String, BTreeMap<String, u64>>,
+    /// `library category -> percent of total` (the legend).
+    pub legend_percent: BTreeMap<String, f64>,
+    /// App categories ordered by descending total bytes (x-axis order).
+    pub category_order: Vec<String>,
+}
+
+impl Fig2 {
+    /// Total bytes for one app category.
+    pub fn category_total(&self, app_category: &str) -> u64 {
+        self.bytes
+            .get(app_category)
+            .map(|per_lib| per_lib.values().sum())
+            .unwrap_or(0)
+    }
+}
+
+/// Computes Figure 2.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig2 {
+    let mut bytes: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut per_lib_total: BTreeMap<String, u64> = BTreeMap::new();
+    let mut grand_total = 0u64;
+    for analysis in analyses {
+        let per_app = bytes.entry(analysis.app_category.clone()).or_default();
+        for flow in &analysis.flows {
+            let lib = flow.lib_category.label().to_owned();
+            *per_app.entry(lib.clone()).or_default() += flow.total_bytes();
+            *per_lib_total.entry(lib).or_default() += flow.total_bytes();
+            grand_total += flow.total_bytes();
+        }
+    }
+    let legend_percent = per_lib_total
+        .into_iter()
+        .map(|(lib, b)| {
+            (
+                lib,
+                if grand_total == 0 {
+                    0.0
+                } else {
+                    b as f64 / grand_total as f64 * 100.0
+                },
+            )
+        })
+        .collect();
+    let mut category_order: Vec<String> = bytes.keys().cloned().collect();
+    category_order.sort_by_key(|c| {
+        std::cmp::Reverse(bytes[c].values().sum::<u64>())
+    });
+    Fig2 {
+        bytes,
+        legend_percent,
+        category_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn stacks_by_app_and_lib_category() {
+        let analyses = vec![
+            app(
+                "com.g",
+                "GAME_ACTION",
+                vec![
+                    flow(Some(("a.ads", "a.ads")), LibCategory::Advertisement, "d", DomainCategory::Cdn, 0, 600),
+                    flow(Some(("a.eng", "a.eng")), LibCategory::GameEngine, "e", DomainCategory::Games, 0, 300),
+                ],
+            ),
+            app(
+                "com.t",
+                "TOOLS",
+                vec![flow(Some(("a.ads", "a.ads")), LibCategory::Advertisement, "d", DomainCategory::Cdn, 0, 100)],
+            ),
+        ];
+        let fig = compute(&analyses);
+        assert_eq!(fig.category_total("GAME_ACTION"), 900);
+        assert_eq!(fig.category_total("TOOLS"), 100);
+        assert_eq!(fig.category_total("MISSING"), 0);
+        assert_eq!(fig.category_order[0], "GAME_ACTION");
+        assert!((fig.legend_percent["Advertisement"] - 70.0).abs() < 1e-9);
+        assert!((fig.legend_percent["Game Engine"] - 30.0).abs() < 1e-9);
+    }
+}

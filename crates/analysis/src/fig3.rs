@@ -1,0 +1,101 @@
+//! Figure 3: the top data-transferring origin-libraries (including the
+//! `*-<domain category>` buckets for platform-created sockets) and the
+//! top 2-level libraries.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+
+use crate::{origin_key, two_level_key};
+
+/// Figure 3 data: ranked `(name, bytes)` lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// Top origin-libraries by total bytes, descending.
+    pub top_origin_libraries: Vec<(String, u64)>,
+    /// Top 2-level libraries by total bytes, descending.
+    pub top_two_level: Vec<(String, u64)>,
+    /// Mean bytes per 2-level library.
+    pub mean_two_level_bytes: f64,
+    /// Share of total bytes carried by the top 25 2-level libraries.
+    pub top25_two_level_share: f64,
+}
+
+/// Computes Figure 3 (keeping the top `15` origin rows and all 2-level
+/// rows internally; callers slice further for display).
+pub fn compute(analyses: &[AppAnalysis]) -> Fig3 {
+    let mut per_origin: BTreeMap<String, u64> = BTreeMap::new();
+    let mut per_two_level: BTreeMap<String, u64> = BTreeMap::new();
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            *per_origin.entry(origin_key(flow)).or_default() += flow.total_bytes();
+            *per_two_level.entry(two_level_key(flow)).or_default() += flow.total_bytes();
+        }
+    }
+    let mut top_origin_libraries: Vec<(String, u64)> = per_origin.into_iter().collect();
+    top_origin_libraries.sort_by_key(|(name, bytes)| (std::cmp::Reverse(*bytes), name.clone()));
+    let mut top_two_level: Vec<(String, u64)> = per_two_level.into_iter().collect();
+    top_two_level.sort_by_key(|(name, bytes)| (std::cmp::Reverse(*bytes), name.clone()));
+
+    let total: u64 = top_two_level.iter().map(|(_, b)| b).sum();
+    let mean_two_level_bytes = if top_two_level.is_empty() {
+        0.0
+    } else {
+        total as f64 / top_two_level.len() as f64
+    };
+    let top25: u64 = top_two_level.iter().take(25).map(|(_, b)| b).sum();
+    let top25_two_level_share = if total == 0 {
+        0.0
+    } else {
+        top25 as f64 / total as f64
+    };
+    Fig3 {
+        top_origin_libraries,
+        top_two_level,
+        mean_two_level_bytes,
+        top25_two_level_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn ranks_origins_and_two_levels() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![
+                flow(Some(("com.unity3d.player", "com.unity3d")), LibCategory::GameEngine, "d1", DomainCategory::Games, 0, 1_000),
+                flow(Some(("com.unity3d.ads.cache", "com.unity3d")), LibCategory::Advertisement, "d2", DomainCategory::Cdn, 0, 400),
+                flow(Some(("com.vungle.publisher", "com.vungle")), LibCategory::Advertisement, "d3", DomainCategory::Advertisements, 0, 600),
+                flow(None, LibCategory::Unknown, "d4", DomainCategory::Advertisements, 0, 50),
+            ],
+        )];
+        let fig = compute(&analyses);
+        assert_eq!(fig.top_origin_libraries[0].0, "com.unity3d.player");
+        // The builtin bucket appears with its DNS-derived label.
+        assert!(fig
+            .top_origin_libraries
+            .iter()
+            .any(|(n, b)| n == "*-advertisements" && *b == 50));
+        // 2-level folds unity player + ads together.
+        assert_eq!(fig.top_two_level[0], ("com.unity3d".to_owned(), 1_400));
+        assert_eq!(fig.top_two_level[1], ("com.vungle".to_owned(), 600));
+        assert!(fig.mean_two_level_bytes > 0.0);
+        assert!((fig.top25_two_level_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let fig = compute(&[]);
+        assert!(fig.top_origin_libraries.is_empty());
+        assert_eq!(fig.mean_two_level_bytes, 0.0);
+        assert_eq!(fig.top25_two_level_share, 0.0);
+    }
+}

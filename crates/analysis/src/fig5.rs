@@ -1,0 +1,133 @@
+//! Figure 5: transfer-flow ratios (received/sent) across apps,
+//! origin-libraries, and DNS domains, with the red-diamond means.
+//!
+//! The paper summarizes these as "apps and origin-libraries receive 81
+//! and 87 times more data than sent, while servers of domains send 104
+//! times more than received" — all three are the same recv/sent ratio
+//! viewed from different aggregation keys.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+
+use crate::origin_key;
+use crate::stats::{mean, Cdf};
+
+/// Figure 5 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Per-app recv/sent ratios (entities with zero sent are skipped).
+    pub app_ratios: Cdf,
+    /// Per-origin-library ratios.
+    pub lib_ratios: Cdf,
+    /// Per-domain ratios.
+    pub dns_ratios: Cdf,
+    /// Mean per-app ratio.
+    pub app_mean: f64,
+    /// Mean per-library ratio.
+    pub lib_mean: f64,
+    /// Mean per-domain ratio.
+    pub dns_mean: f64,
+    /// Mean ratio across the top decile of libraries by received bytes
+    /// (the paper: the top 10 % receive >260× what they send).
+    pub top_decile_lib_mean: f64,
+}
+
+fn ratios(totals: &BTreeMap<String, (u64, u64)>) -> Vec<f64> {
+    totals
+        .values()
+        .filter(|(sent, _)| *sent > 0)
+        .map(|(sent, recv)| *recv as f64 / *sent as f64)
+        .collect()
+}
+
+/// Computes Figure 5.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig5 {
+    let mut apps: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut libs: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut dns: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            for (map, key) in [
+                (&mut apps, analysis.package.clone()),
+                (&mut libs, origin_key(flow)),
+                (
+                    &mut dns,
+                    flow.domain.clone().unwrap_or_else(|| "<unresolved>".into()),
+                ),
+            ] {
+                let entry = map.entry(key).or_default();
+                entry.0 += flow.sent_bytes;
+                entry.1 += flow.recv_bytes;
+            }
+        }
+    }
+    let app_ratios = ratios(&apps);
+    let lib_ratios = ratios(&libs);
+    let dns_ratios = ratios(&dns);
+
+    // Top decile of libraries by received bytes.
+    let mut by_recv: Vec<(u64, f64)> = libs
+        .values()
+        .filter(|(sent, _)| *sent > 0)
+        .map(|(sent, recv)| (*recv, *recv as f64 / *sent as f64))
+        .collect();
+    by_recv.sort_by_key(|(recv, _)| std::cmp::Reverse(*recv));
+    let decile = (by_recv.len() / 10).max(1).min(by_recv.len());
+    let top_decile_lib_mean = mean(by_recv.iter().take(decile).map(|(_, r)| *r));
+
+    Fig5 {
+        app_mean: mean(app_ratios.iter().copied()),
+        lib_mean: mean(lib_ratios.iter().copied()),
+        dns_mean: mean(dns_ratios.iter().copied()),
+        app_ratios: Cdf::from_samples(app_ratios),
+        lib_ratios: Cdf::from_samples(lib_ratios),
+        dns_ratios: Cdf::from_samples(dns_ratios),
+        top_decile_lib_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn ratio_means_computed_per_entity() {
+        let analyses = vec![
+            app(
+                "com.a",
+                "TOOLS",
+                vec![flow(Some(("l1", "l1")), LibCategory::DevelopmentAid, "d1", DomainCategory::Cdn, 100, 1_000)],
+            ),
+            app(
+                "com.b",
+                "TOOLS",
+                vec![flow(Some(("l2", "l2")), LibCategory::DevelopmentAid, "d2", DomainCategory::Cdn, 10, 300)],
+            ),
+        ];
+        let fig = compute(&analyses);
+        // App ratios: 10 and 30 → mean 20.
+        assert!((fig.app_mean - 20.0).abs() < 1e-9);
+        assert_eq!(fig.app_ratios.len(), 2);
+        assert_eq!(fig.lib_ratios.len(), 2);
+        assert_eq!(fig.dns_ratios.len(), 2);
+        // Top decile by received bytes = l1 (1,000 recv, ratio 10).
+        assert!((fig.top_decile_lib_mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sent_entities_are_skipped() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![flow(Some(("l1", "l1")), LibCategory::DevelopmentAid, "d1", DomainCategory::Cdn, 0, 1_000)],
+        )];
+        let fig = compute(&analyses);
+        assert!(fig.app_ratios.is_empty());
+        assert_eq!(fig.app_mean, 0.0);
+    }
+}

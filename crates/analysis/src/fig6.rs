@@ -1,0 +1,164 @@
+//! Figure 6: prevalence of advertisement/tracker (AnT) and common
+//! libraries (CL): per-app share of traffic from each list, the
+//! AnT-only / some-AnT / AnT-free app fractions, and the AnT-vs-CL
+//! aggressiveness (recv/sent) comparison.
+
+use libspector::pipeline::{AnalyzedFlow, AppAnalysis};
+use libspector::OriginKind;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{mean, Cdf};
+
+/// Platform-attributable flows (raw sockets with no surviving frames,
+/// or the platform's own okhttp) are not *app* traffic; Figure 6 asks
+/// what share of an app's library traffic is AnT, so these are excluded
+/// from its accounting.
+fn is_app_flow(flow: &AnalyzedFlow) -> bool {
+    match &flow.origin {
+        OriginKind::Builtin => false,
+        OriginKind::Library { origin_library, .. } => {
+            !origin_library.starts_with("com.android.okhttp")
+        }
+    }
+}
+
+/// Figure 6 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Per-app AnT share of total bytes (apps with traffic only).
+    pub ant_share: Cdf,
+    /// Per-app common-library share of total bytes.
+    pub common_share: Cdf,
+    /// Fraction of apps whose entire traffic is AnT.
+    pub ant_only_fraction: f64,
+    /// Fraction of apps with at least some AnT traffic.
+    pub some_ant_fraction: f64,
+    /// Fraction of apps with no AnT traffic at all.
+    pub ant_free_fraction: f64,
+    /// Mean recv/sent over AnT-attributed flows.
+    pub ant_recv_sent_ratio: f64,
+    /// Mean recv/sent over common-library flows.
+    pub common_recv_sent_ratio: f64,
+}
+
+/// Computes Figure 6.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig6 {
+    let mut ant_share = Vec::new();
+    let mut common_share = Vec::new();
+    let mut ant_only = 0usize;
+    let mut some_ant = 0usize;
+    let mut ant_free = 0usize;
+    let mut with_traffic = 0usize;
+    let (mut ant_sent, mut ant_recv) = (0u64, 0u64);
+    let (mut cl_sent, mut cl_recv) = (0u64, 0u64);
+
+    for analysis in analyses {
+        let app_flows: Vec<&AnalyzedFlow> =
+            analysis.flows.iter().filter(|f| is_app_flow(f)).collect();
+        let total: u64 = app_flows.iter().map(|f| f.total_bytes()).sum();
+        if total == 0 {
+            continue;
+        }
+        with_traffic += 1;
+        let ant: u64 = app_flows
+            .iter()
+            .filter(|f| f.is_ant)
+            .map(|f| f.total_bytes())
+            .sum();
+        let common: u64 = app_flows
+            .iter()
+            .filter(|f| f.is_common)
+            .map(|f| f.total_bytes())
+            .sum();
+        ant_share.push(ant as f64 / total as f64);
+        common_share.push(common as f64 / total as f64);
+        if ant == total {
+            ant_only += 1;
+        }
+        if ant > 0 {
+            some_ant += 1;
+        } else {
+            ant_free += 1;
+        }
+        for flow in app_flows {
+            if flow.is_ant {
+                ant_sent += flow.sent_bytes;
+                ant_recv += flow.recv_bytes;
+            }
+            if flow.is_common {
+                cl_sent += flow.sent_bytes;
+                cl_recv += flow.recv_bytes;
+            }
+        }
+    }
+    let frac = |n: usize| {
+        if with_traffic == 0 {
+            0.0
+        } else {
+            n as f64 / with_traffic as f64
+        }
+    };
+    Fig6 {
+        ant_share: Cdf::from_samples(ant_share),
+        common_share: Cdf::from_samples(common_share),
+        ant_only_fraction: frac(ant_only),
+        some_ant_fraction: frac(some_ant),
+        ant_free_fraction: frac(ant_free),
+        ant_recv_sent_ratio: if ant_sent == 0 {
+            0.0
+        } else {
+            ant_recv as f64 / ant_sent as f64
+        },
+        common_recv_sent_ratio: if cl_sent == 0 {
+            0.0
+        } else {
+            cl_recv as f64 / cl_sent as f64
+        },
+    }
+}
+
+/// Convenience alias used by the report renderer.
+pub fn summary_line(fig: &Fig6) -> String {
+    format!(
+        "AnT-only {:.1}% | some-AnT {:.1}% | AnT-free {:.1}% | AnT r/s {:.1} vs CL {:.1} (mean shares {:.2}/{:.2})",
+        fig.ant_only_fraction * 100.0,
+        fig.some_ant_fraction * 100.0,
+        fig.ant_free_fraction * 100.0,
+        fig.ant_recv_sent_ratio,
+        fig.common_recv_sent_ratio,
+        mean(std::iter::once(fig.ant_share.mean())),
+        fig.common_share.mean(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn ant_fractions() {
+        let ant_flow = || {
+            flow(Some(("com.ads", "com.ads")), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 10, 550)
+        };
+        let other_flow = || {
+            flow(Some(("com.http", "com.http")), LibCategory::DevelopmentAid, "b", DomainCategory::Cdn, 10, 240)
+        };
+        let analyses = vec![
+            app("com.a", "TOOLS", vec![ant_flow()]),               // AnT-only
+            app("com.b", "TOOLS", vec![ant_flow(), other_flow()]), // mixed
+            app("com.c", "TOOLS", vec![other_flow()]),             // AnT-free
+            app("com.d", "TOOLS", vec![]),                         // no traffic at all
+        ];
+        let fig = compute(&analyses);
+        assert!((fig.ant_only_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((fig.some_ant_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((fig.ant_free_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((fig.ant_recv_sent_ratio - 55.0).abs() < 1e-9);
+        assert!((fig.common_recv_sent_ratio - 0.0).abs() < 1e-9);
+        assert_eq!(fig.ant_share.len(), 3);
+        assert!(!summary_line(&fig).is_empty());
+    }
+}

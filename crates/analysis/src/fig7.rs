@@ -1,0 +1,133 @@
+//! Figure 7: average transfer per origin-library (grouped by library
+//! category) and per domain (grouped by domain category).
+//!
+//! The paper's signature observation lives here: CDN domains average
+//! ~11× more bytes per domain than advertisement domains, because CDN
+//! traffic concentrates on very few hosts — which is exactly why
+//! name-based traffic classification misattributes ad traffic.
+
+use std::collections::{BTreeMap, HashMap};
+
+use libspector::pipeline::AppAnalysis;
+use libspector::OriginKind;
+use serde::{Deserialize, Serialize};
+
+/// Figure 7 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// `library category -> (total bytes, distinct origin-libraries,
+    /// bytes per library)`.
+    pub per_lib_category: BTreeMap<String, (u64, usize, f64)>,
+    /// `domain category -> (total bytes, distinct domains, bytes per
+    /// domain)`.
+    pub per_domain_category: BTreeMap<String, (u64, usize, f64)>,
+}
+
+impl Fig7 {
+    /// Average bytes per domain for a domain-category label.
+    pub fn domain_average(&self, label: &str) -> f64 {
+        self.per_domain_category
+            .get(label)
+            .map(|&(_, _, avg)| avg)
+            .unwrap_or(0.0)
+    }
+
+    /// Average bytes per library for a library-category label.
+    pub fn lib_average(&self, label: &str) -> f64 {
+        self.per_lib_category
+            .get(label)
+            .map(|&(_, _, avg)| avg)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes Figure 7.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig7 {
+    // (category -> set of entities) and (category -> bytes).
+    let mut lib_bytes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lib_entities: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
+    let mut dns_bytes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut dns_entities: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
+
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            if let OriginKind::Library { origin_library, .. } = &flow.origin {
+                let label = flow.lib_category.label().to_owned();
+                *lib_bytes.entry(label.clone()).or_default() += flow.total_bytes();
+                lib_entities
+                    .entry(label)
+                    .or_default()
+                    .insert(origin_library.clone());
+            }
+            if let Some(domain) = &flow.domain {
+                let label = flow.domain_category.label().to_owned();
+                *dns_bytes.entry(label.clone()).or_default() += flow.total_bytes();
+                dns_entities.entry(label).or_default().insert(domain.clone());
+            }
+        }
+    }
+    let fold = |bytes: BTreeMap<String, u64>,
+                entities: HashMap<String, std::collections::HashSet<String>>|
+     -> BTreeMap<String, (u64, usize, f64)> {
+        bytes
+            .into_iter()
+            .map(|(label, total)| {
+                let count = entities.get(&label).map_or(0, |s| s.len());
+                let avg = if count == 0 {
+                    0.0
+                } else {
+                    total as f64 / count as f64
+                };
+                (label, (total, count, avg))
+            })
+            .collect()
+    };
+    Fig7 {
+        per_lib_category: fold(lib_bytes, lib_entities),
+        per_domain_category: fold(dns_bytes, dns_entities),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn averages_divide_by_distinct_entities() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![
+                // Two ad libraries, 300 bytes total.
+                flow(Some(("ads.one", "ads.one")), LibCategory::Advertisement, "d1", DomainCategory::Advertisements, 0, 100),
+                flow(Some(("ads.two", "ads.two")), LibCategory::Advertisement, "d2", DomainCategory::Advertisements, 0, 200),
+                // One CDN domain receiving 900 bytes from both.
+                flow(Some(("ads.one", "ads.one")), LibCategory::Advertisement, "cdn.host", DomainCategory::Cdn, 0, 900),
+            ],
+        )];
+        let fig = compute(&analyses);
+        // Ad libraries: 1200 bytes over 2 libraries = 600.
+        assert!((fig.lib_average("Advertisement") - 600.0).abs() < 1e-9);
+        // Ad domains: 300 bytes over 2 domains = 150; CDN: 900 over 1.
+        assert!((fig.domain_average("advertisements") - 150.0).abs() < 1e-9);
+        assert!((fig.domain_average("cdn") - 900.0).abs() < 1e-9);
+        // The CDN-per-domain dominance shows even in the toy case.
+        assert!(fig.domain_average("cdn") > fig.domain_average("advertisements"));
+        assert_eq!(fig.domain_average("missing"), 0.0);
+    }
+
+    #[test]
+    fn builtin_origins_excluded_from_library_averages() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![flow(None, LibCategory::Unknown, "d", DomainCategory::Cdn, 0, 500)],
+        )];
+        let fig = compute(&analyses);
+        assert!(fig.per_lib_category.is_empty());
+        assert!(!fig.per_domain_category.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 8: average data transfer per app category.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// Figure 8 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// `app category -> (apps, total bytes, bytes per app)`.
+    pub per_category: BTreeMap<String, (usize, u64, f64)>,
+    /// Categories ordered by descending per-app average.
+    pub order: Vec<String>,
+}
+
+impl Fig8 {
+    /// Average bytes per app for a category (0 when absent).
+    pub fn average(&self, category: &str) -> f64 {
+        self.per_category
+            .get(category)
+            .map(|&(_, _, avg)| avg)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes Figure 8.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig8 {
+    let mut apps: BTreeMap<String, usize> = BTreeMap::new();
+    let mut bytes: BTreeMap<String, u64> = BTreeMap::new();
+    for analysis in analyses {
+        *apps.entry(analysis.app_category.clone()).or_default() += 1;
+        *bytes.entry(analysis.app_category.clone()).or_default() += analysis
+            .flows
+            .iter()
+            .map(|f| f.total_bytes())
+            .sum::<u64>();
+    }
+    let per_category: BTreeMap<String, (usize, u64, f64)> = apps
+        .into_iter()
+        .map(|(category, count)| {
+            let total = bytes.get(&category).copied().unwrap_or(0);
+            (category, (count, total, total as f64 / count as f64))
+        })
+        .collect();
+    let mut order: Vec<String> = per_category.keys().cloned().collect();
+    order.sort_by(|a, b| {
+        per_category[b]
+            .2
+            .partial_cmp(&per_category[a].2)
+            .expect("averages are finite")
+    });
+    Fig8 {
+        per_category,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn averages_per_category() {
+        let traffic = |bytes| {
+            vec![flow(Some(("x", "x")), LibCategory::DevelopmentAid, "d", DomainCategory::Cdn, 0, bytes)]
+        };
+        let analyses = vec![
+            app("a", "MUSIC_AND_AUDIO", traffic(3_000)),
+            app("b", "MUSIC_AND_AUDIO", traffic(1_000)),
+            app("c", "FINANCE", traffic(200)),
+            app("d", "FINANCE", vec![]),
+        ];
+        let fig = compute(&analyses);
+        assert!((fig.average("MUSIC_AND_AUDIO") - 2_000.0).abs() < 1e-9);
+        assert!((fig.average("FINANCE") - 100.0).abs() < 1e-9);
+        assert_eq!(fig.order[0], "MUSIC_AND_AUDIO");
+        assert_eq!(fig.average("MISSING"), 0.0);
+    }
+}

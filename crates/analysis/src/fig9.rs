@@ -1,0 +1,121 @@
+//! Figure 9: the library-category × domain-category traffic heatmap —
+//! the paper's core evidence that traffic does not stay within matching
+//! categories (ad libraries → CDN domains, analytics → business/finance
+//! domains), so network-only classification misattributes.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+/// One non-zero matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig9Cell {
+    /// Domain-category label (row).
+    pub domain: String,
+    /// Library-category label (column).
+    pub lib: String,
+    /// Wire bytes in the cell.
+    pub bytes: u64,
+}
+
+/// Figure 9 data: bytes per `(domain category, library category)` cell,
+/// stored as a `(domain, lib)`-sorted sparse list (JSON-friendly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// Non-zero cells, sorted by `(domain, lib)`.
+    pub cells: Vec<Fig9Cell>,
+    /// Total bytes across the matrix.
+    pub total: u64,
+}
+
+impl Fig9 {
+    /// Bytes in one cell.
+    pub fn cell(&self, domain: DomainCategory, lib: LibCategory) -> u64 {
+        self.cells
+            .binary_search_by(|c| {
+                (c.domain.as_str(), c.lib.as_str()).cmp(&(domain.label(), lib.label()))
+            })
+            .map(|idx| self.cells[idx].bytes)
+            .unwrap_or(0)
+    }
+
+    /// Column total for a library category.
+    pub fn lib_total(&self, lib: LibCategory) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.lib == lib.label())
+            .map(|c| c.bytes)
+            .sum()
+    }
+
+    /// Row total for a domain category.
+    pub fn domain_total(&self, domain: DomainCategory) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.domain == domain.label())
+            .map(|c| c.bytes)
+            .sum()
+    }
+
+    /// Fraction of a library category's traffic that lands in a domain
+    /// category (0 when the column is empty).
+    pub fn column_share(&self, domain: DomainCategory, lib: LibCategory) -> f64 {
+        let column = self.lib_total(lib);
+        if column == 0 {
+            0.0
+        } else {
+            self.cell(domain, lib) as f64 / column as f64
+        }
+    }
+}
+
+/// Computes Figure 9.
+pub fn compute(analyses: &[AppAnalysis]) -> Fig9 {
+    let mut map: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            let key = (
+                flow.domain_category.label().to_owned(),
+                flow.lib_category.label().to_owned(),
+            );
+            *map.entry(key).or_default() += flow.total_bytes();
+            total += flow.total_bytes();
+        }
+    }
+    let cells = map
+        .into_iter()
+        .map(|((domain, lib), bytes)| Fig9Cell { domain, lib, bytes })
+        .collect();
+    Fig9 { cells, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+
+    #[test]
+    fn matrix_cells_and_margins() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![
+                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d1", DomainCategory::Advertisements, 0, 400),
+                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d2", DomainCategory::Cdn, 0, 100),
+                flow(Some(("an.y", "an.y")), LibCategory::MobileAnalytics, "d3", DomainCategory::BusinessAndFinance, 0, 250),
+            ],
+        )];
+        let fig = compute(&analyses);
+        assert_eq!(fig.total, 750);
+        assert_eq!(fig.cell(DomainCategory::Advertisements, LibCategory::Advertisement), 400);
+        assert_eq!(fig.cell(DomainCategory::Cdn, LibCategory::Advertisement), 100);
+        assert_eq!(fig.lib_total(LibCategory::Advertisement), 500);
+        assert_eq!(fig.domain_total(DomainCategory::Cdn), 100);
+        assert!((fig.column_share(DomainCategory::Cdn, LibCategory::Advertisement) - 0.2).abs() < 1e-12);
+        assert_eq!(fig.column_share(DomainCategory::Cdn, LibCategory::Payment), 0.0);
+    }
+}

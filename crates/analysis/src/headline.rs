@@ -1,0 +1,159 @@
+//! §IV-A headline statistics: totals, flow counts, distinct origins
+//! and domains, and the per-library-category traffic shares reported in
+//! Figure 2's legend.
+
+use std::collections::{BTreeMap, HashSet};
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+use spector_libradar::LibCategory;
+
+use crate::origin_key;
+
+/// The §IV-A aggregate numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// Apps analyzed.
+    pub apps: usize,
+    /// Total wire bytes in both directions.
+    pub total_bytes: u64,
+    /// Bytes received by apps.
+    pub recv_bytes: u64,
+    /// Bytes sent by apps.
+    pub sent_bytes: u64,
+    /// Number of flows (distinct sockets).
+    pub flows: usize,
+    /// Distinct origin-libraries.
+    pub origin_libraries: usize,
+    /// Distinct destination domains.
+    pub domains: usize,
+    /// Share of total bytes per library category, percent.
+    pub category_share_percent: BTreeMap<String, f64>,
+}
+
+impl Headline {
+    /// Share of a category, by label (0 when absent).
+    pub fn share(&self, category: LibCategory) -> f64 {
+        self.category_share_percent
+            .get(category.label())
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes headline statistics over a campaign.
+pub fn compute(analyses: &[AppAnalysis]) -> Headline {
+    let mut total_bytes = 0u64;
+    let mut recv_bytes = 0u64;
+    let mut sent_bytes = 0u64;
+    let mut flows = 0usize;
+    let mut origins: HashSet<String> = HashSet::new();
+    let mut domains: HashSet<&str> = HashSet::new();
+    let mut per_category: BTreeMap<String, u64> = BTreeMap::new();
+
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            flows += 1;
+            recv_bytes += flow.recv_bytes;
+            sent_bytes += flow.sent_bytes;
+            total_bytes += flow.total_bytes();
+            origins.insert(origin_key(flow));
+            if let Some(domain) = &flow.domain {
+                domains.insert(domain);
+            }
+            *per_category
+                .entry(flow.lib_category.label().to_owned())
+                .or_default() += flow.total_bytes();
+        }
+    }
+    let category_share_percent = per_category
+        .into_iter()
+        .map(|(label, bytes)| {
+            (
+                label,
+                if total_bytes == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / total_bytes as f64 * 100.0
+                },
+            )
+        })
+        .collect();
+
+    Headline {
+        apps: analyses.len(),
+        total_bytes,
+        recv_bytes,
+        sent_bytes,
+        flows,
+        origin_libraries: origins.len(),
+        domains: domains.len(),
+        category_share_percent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_vtcat::DomainCategory;
+
+    #[test]
+    fn totals_and_distinct_counts() {
+        let analyses = vec![
+            app(
+                "com.a",
+                "TOOLS",
+                vec![
+                    flow(
+                        Some(("com.x.ads", "com.x")),
+                        LibCategory::Advertisement,
+                        "d1",
+                        DomainCategory::Advertisements,
+                        100,
+                        900,
+                    ),
+                    flow(
+                        Some(("com.x.ads", "com.x")),
+                        LibCategory::Advertisement,
+                        "d2",
+                        DomainCategory::Cdn,
+                        50,
+                        450,
+                    ),
+                ],
+            ),
+            app(
+                "com.b",
+                "SPORTS",
+                vec![flow(
+                    Some(("com.y.http", "com.y")),
+                    LibCategory::DevelopmentAid,
+                    "d1",
+                    DomainCategory::Advertisements,
+                    10,
+                    490,
+                )],
+            ),
+        ];
+        let headline = compute(&analyses);
+        assert_eq!(headline.apps, 2);
+        assert_eq!(headline.flows, 3);
+        assert_eq!(headline.total_bytes, 2_000);
+        assert_eq!(headline.sent_bytes, 160);
+        assert_eq!(headline.recv_bytes, 1_840);
+        assert_eq!(headline.origin_libraries, 2);
+        assert_eq!(headline.domains, 2);
+        assert!((headline.share(LibCategory::Advertisement) - 75.0).abs() < 1e-9);
+        assert!((headline.share(LibCategory::DevelopmentAid) - 25.0).abs() < 1e-9);
+        assert_eq!(headline.share(LibCategory::GameEngine), 0.0);
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let headline = compute(&[]);
+        assert_eq!(headline.apps, 0);
+        assert_eq!(headline.total_bytes, 0);
+        assert!(headline.category_share_percent.is_empty());
+    }
+}

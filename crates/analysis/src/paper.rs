@@ -1,0 +1,214 @@
+//! The paper's published values, as data, plus a shape comparator.
+//!
+//! Every quantitative claim §IV makes is encoded here with an
+//! acceptance band; [`compare_to_paper`] evaluates a measured
+//! [`FullReport`] against all of them and reports which shapes hold.
+//! This is what `libspector shapes` prints and what keeps EXPERIMENTS.md
+//! honest — the checks are the same ones the repository's shape
+//! reproduction test enforces, but visible for any campaign.
+
+use serde::{Deserialize, Serialize};
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+use crate::FullReport;
+
+/// One shape check: a paper value, the measured value, and a band
+/// within which the reproduction is considered to hold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// What is being checked.
+    pub name: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// The measured value.
+    pub measured: f64,
+    /// Inclusive acceptance band for the measured value.
+    pub band: (f64, f64),
+    /// Whether the measured value falls inside the band.
+    pub holds: bool,
+}
+
+fn check(name: &str, paper: f64, measured: f64, band: (f64, f64)) -> ShapeCheck {
+    ShapeCheck {
+        name: name.to_owned(),
+        paper,
+        measured,
+        band,
+        holds: measured >= band.0 && measured <= band.1,
+    }
+}
+
+/// Evaluates all §IV shape claims against a measured report.
+pub fn compare_to_paper(report: &FullReport) -> Vec<ShapeCheck> {
+    let headline = &report.headline;
+    let fig6 = &report.fig6;
+    let fig7 = &report.fig7;
+    let fig9 = &report.fig9;
+    let fig10 = &report.fig10;
+
+    let cdn_over_ads = {
+        let cdn = fig7.domain_average("cdn");
+        let ads = fig7.domain_average("advertisements");
+        if ads == 0.0 {
+            0.0
+        } else {
+            cdn / ads
+        }
+    };
+    let recv_over_sent = if headline.sent_bytes == 0 {
+        0.0
+    } else {
+        headline.recv_bytes as f64 / headline.sent_bytes as f64
+    };
+    let ant_over_cl = if fig6.common_recv_sent_ratio == 0.0 {
+        0.0
+    } else {
+        fig6.ant_recv_sent_ratio / fig6.common_recv_sent_ratio
+    };
+
+    vec![
+        check(
+            "advertisement share of traffic (%)",
+            28.28,
+            headline.share(LibCategory::Advertisement),
+            (18.0, 40.0),
+        ),
+        check(
+            "development-aid share of traffic (%)",
+            26.34,
+            headline.share(LibCategory::DevelopmentAid),
+            (15.0, 38.0),
+        ),
+        check(
+            "unknown/first-party share of traffic (%)",
+            25.3,
+            headline.share(LibCategory::Unknown),
+            (14.0, 38.0),
+        ),
+        check(
+            "game-engine share of traffic (%)",
+            10.2,
+            headline.share(LibCategory::GameEngine),
+            (3.0, 22.0),
+        ),
+        check("aggregate recv/sent", 18.0, recv_over_sent, (8.0, 80.0)),
+        check(
+            "AnT-only apps (%)",
+            35.0,
+            fig6.ant_only_fraction * 100.0,
+            (20.0, 50.0),
+        ),
+        check(
+            "apps with some AnT traffic (%)",
+            89.0,
+            fig6.some_ant_fraction * 100.0,
+            (75.0, 98.0),
+        ),
+        check(
+            "AnT-free apps (%)",
+            10.0,
+            fig6.ant_free_fraction * 100.0,
+            (2.0, 25.0),
+        ),
+        check(
+            "AnT recv/sent ratio",
+            54.8,
+            fig6.ant_recv_sent_ratio,
+            (25.0, 110.0),
+        ),
+        check("AnT/CL aggressiveness", 2.25, ant_over_cl, (1.2, 4.0)),
+        check(
+            "CDN vs ads bytes-per-domain factor",
+            10.7,
+            cdn_over_ads,
+            (3.0, 30.0),
+        ),
+        check(
+            "ad traffic terminating at CDNs (% of ad column)",
+            24.1,
+            fig9.column_share(DomainCategory::Cdn, LibCategory::Advertisement) * 100.0,
+            (10.0, 45.0),
+        ),
+        check(
+            "mean method coverage (%)",
+            9.5,
+            fig10.mean_coverage_percent,
+            (2.0, 30.0),
+        ),
+        check(
+            "apps above mean coverage (%)",
+            40.5,
+            fig10.above_mean_fraction * 100.0,
+            (25.0, 55.0),
+        ),
+        check(
+            "top-25 2-level libraries' share of bytes (%)",
+            72.5,
+            report.fig3.top25_two_level_share * 100.0,
+            (50.0, 95.0),
+        ),
+    ]
+}
+
+/// Renders the checks as an aligned table.
+pub fn render_checks(checks: &[ShapeCheck]) -> String {
+    let mut out = String::from(
+        "shape check                                        paper   measured       band  holds\n",
+    );
+    for c in checks {
+        out.push_str(&format!(
+            "{:<48} {:>8.2} {:>10.2} {:>5.0}-{:<5.0} {}\n",
+            c.name,
+            c.paper,
+            c.measured,
+            c.band.0,
+            c.band.1,
+            if c.holds { "yes" } else { "NO" }
+        ));
+    }
+    let holding = checks.iter().filter(|c| c.holds).count();
+    out.push_str(&format!("{holding}/{} shapes hold\n", checks.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+
+    #[test]
+    fn checks_cover_the_headline_claims_and_render() {
+        let report = FullReport::build(&[app(
+            "com.a",
+            "TOOLS",
+            vec![flow(
+                Some(("ads.x", "ads.x")),
+                LibCategory::Advertisement,
+                "d",
+                DomainCategory::Advertisements,
+                100,
+                10_000,
+            )],
+        )]);
+        let checks = compare_to_paper(&report);
+        assert_eq!(checks.len(), 15);
+        // A one-flow toy campaign fails most shape checks — that is the
+        // point of the bands.
+        assert!(checks.iter().any(|c| !c.holds));
+        assert!(checks.iter().any(|c| c.holds));
+        let text = render_checks(&checks);
+        assert!(text.contains("shapes hold"));
+        assert!(text.contains("advertisement share"));
+    }
+
+    #[test]
+    fn band_edges_are_inclusive() {
+        let c = check("x", 1.0, 5.0, (5.0, 6.0));
+        assert!(c.holds);
+        let c = check("x", 1.0, 6.0, (5.0, 6.0));
+        assert!(c.holds);
+        let c = check("x", 1.0, 6.01, (5.0, 6.0));
+        assert!(!c.holds);
+    }
+}

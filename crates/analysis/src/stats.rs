@@ -1,0 +1,151 @@
+//! Distribution utilities: CDFs, quantiles, means.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over non-negative samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Samples, ascending.
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after retain"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-quantile (nearest-rank), `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    /// Fraction of samples ≤ `value`.
+    pub fn fraction_at(&self, value: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= value);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Arithmetic mean (0 for an empty CDF).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// `(value, cumulative fraction)` points suitable for plotting,
+    /// downsampled to at most `max_points`.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n / max_points.max(1)).max(1);
+        let mut out = Vec::with_capacity(n / step + 1);
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Mean of an iterator of f64 (0 when empty).
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let cdf = Cdf::from_samples(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.25), 1.0);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn fraction_at_boundaries() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at(0.5), 0.0);
+        assert!((cdf.fraction_at(2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn mean_and_empty() {
+        assert_eq!(Cdf::from_samples(vec![]).mean(), 0.0);
+        assert!(Cdf::from_samples(vec![]).is_empty());
+        assert_eq!(Cdf::from_samples(vec![2.0, 4.0]).mean(), 3.0);
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn nan_is_dropped() {
+        let cdf = Cdf::from_samples(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_cover_range_and_end_at_one() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from).collect());
+        let points = cdf.points(10);
+        assert!(points.len() <= 12);
+        assert_eq!(points.last().unwrap().1, 1.0);
+        assert_eq!(points.first().unwrap().0, 1.0);
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty")]
+    fn quantile_on_empty_panics() {
+        Cdf::from_samples(vec![]).quantile(0.5);
+    }
+}

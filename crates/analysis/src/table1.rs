@@ -1,0 +1,71 @@
+//! Table I: number of observed domains per generic category.
+
+use std::collections::{BTreeMap, HashMap};
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+use spector_vtcat::DomainCategory;
+
+/// Table I over the campaign's observed domains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Domain count per generic category, in Table I row order.
+    pub counts: BTreeMap<String, usize>,
+    /// Total distinct domains.
+    pub total: usize,
+}
+
+impl Table1 {
+    /// Count for a category (0 when absent).
+    pub fn count(&self, category: DomainCategory) -> usize {
+        self.counts.get(category.label()).copied().unwrap_or(0)
+    }
+}
+
+/// Computes Table I: every distinct destination domain, categorized.
+pub fn compute(analyses: &[AppAnalysis]) -> Table1 {
+    let mut per_domain: HashMap<&str, DomainCategory> = HashMap::new();
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            if let Some(domain) = &flow.domain {
+                per_domain.entry(domain).or_insert(flow.domain_category);
+            }
+        }
+    }
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for category in per_domain.values() {
+        *counts.entry(category.label().to_owned()).or_default() += 1;
+    }
+    Table1 {
+        total: per_domain.len(),
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+
+    #[test]
+    fn counts_distinct_domains_per_category() {
+        let analyses = vec![app(
+            "com.a",
+            "TOOLS",
+            vec![
+                flow(None, LibCategory::Unknown, "ad1", DomainCategory::Advertisements, 1, 1),
+                flow(None, LibCategory::Unknown, "ad1", DomainCategory::Advertisements, 1, 1),
+                flow(None, LibCategory::Unknown, "ad2", DomainCategory::Advertisements, 1, 1),
+                flow(None, LibCategory::Unknown, "cdn1", DomainCategory::Cdn, 1, 1),
+                flow(None, LibCategory::Unknown, "x", DomainCategory::Unknown, 1, 1),
+            ],
+        )];
+        let table = compute(&analyses);
+        assert_eq!(table.total, 4);
+        assert_eq!(table.count(DomainCategory::Advertisements), 2);
+        assert_eq!(table.count(DomainCategory::Cdn), 1);
+        assert_eq!(table.count(DomainCategory::Unknown), 1);
+        assert_eq!(table.count(DomainCategory::Games), 0);
+    }
+}

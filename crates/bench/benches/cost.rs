@@ -1,0 +1,16 @@
+//! Regenerates the paper's cost aggregation over the benchmark
+//! campaign and measures its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spector_analysis::cost;
+use spector_bench::campaign;
+
+fn bench(c: &mut Criterion) {
+    let analyses = campaign();
+    c.bench_function("cost/compute", |b| {
+        b.iter(|| std::hint::black_box(cost::compute(analyses)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! The §IV-C event-budget calibration as a benchmark: cost of driving
+//! one app at increasing monkey event budgets (10 → 1,000), the sweep
+//! the authors used to justify stopping at 1,000 events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
+use spector_bench::corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = corpus();
+    let resolver = resolver_for(&corpus.domains);
+    let app = &corpus.apps[0];
+    let system: Vec<_> = app
+        .system_ops
+        .iter()
+        .map(|s| (s.op.clone(), s.dispatcher))
+        .collect();
+
+    let mut group = c.benchmark_group("event_sweep");
+    group.sample_size(10);
+    for events in [10u32, 100, 500, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &events| {
+            let mut config = ExperimentConfig::default();
+            config.monkey.events = events;
+            b.iter(|| {
+                std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

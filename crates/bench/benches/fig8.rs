@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig8 aggregation over the benchmark
+//! campaign and measures its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spector_analysis::fig8;
+use spector_bench::campaign;
+
+fn bench(c: &mut Criterion) {
+    let analyses = campaign();
+    c.bench_function("fig8/compute", |b| {
+        b.iter(|| std::hint::black_box(fig8::compute(analyses)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

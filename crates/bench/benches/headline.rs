@@ -1,0 +1,16 @@
+//! Regenerates the paper's headline aggregation over the benchmark
+//! campaign and measures its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spector_analysis::headline;
+use spector_bench::campaign;
+
+fn bench(c: &mut Criterion) {
+    let analyses = campaign();
+    c.bench_function("headline/compute", |b| {
+        b.iter(|| std::hint::black_box(headline::compute(analyses)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Performance benchmarks for the measurement system itself (§II-B3):
+//!
+//! * per-connection instrumentation overhead (the paper measured a
+//!   0.5 ms / 9.75 % worst-case per-request delay on-device);
+//! * the per-app offline analysis (the paper: < 5 s per app);
+//! * the hot substrate paths: frame encode/decode, SHA-256, dex
+//!   disassembly, builtin-filter regex matching, report codec.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use libspector::attribution::{attribute, BuiltinFilter};
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
+use libspector::pipeline::analyze_run;
+use spector_bench::{corpus, knowledge};
+use spector_dex::sha256::Sha256;
+use spector_dex::{parse_dex, write_dex};
+use spector_hooks::report::SocketReport;
+use spector_netsim::clock::Clock;
+use spector_netsim::packet::{decode_frame, encode_tcp, tcp_flags, SocketPair};
+use spector_netsim::stack::NetStack;
+
+fn bench_hook_overhead(c: &mut Criterion) {
+    // Time to connect+report with the supervisor attached vs the bare
+    // connect, isolating the instrumentation cost the paper quantifies.
+    use spector_dex::model::SigIndex;
+    use spector_dex::DexFile;
+    use spector_hooks::supervisor::{SocketSupervisor, SupervisorConfig};
+    use spector_runtime::{HookContext, RuntimeHook};
+    use spector_runtime::stack::{CallStack, Frame};
+
+    let mut group = c.benchmark_group("perf/hook");
+    group.bench_function("connect_bare", |b| {
+        let mut net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        b.iter(|| {
+            let sock = net.tcp_connect(Ipv4Addr::new(198, 18, 0, 1), 443);
+            std::hint::black_box(sock)
+        });
+    });
+    group.bench_function("connect_hooked", |b| {
+        let mut net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let mut supervisor = SocketSupervisor::new(
+            Sha256::digest(b"bench-apk"),
+            SigIndex::build(&DexFile::new()),
+            SupervisorConfig::default(),
+        );
+        let mut stack = CallStack::new();
+        for i in 0..14 {
+            stack.push(Frame::new(format!("com.bench.pkg.C{i}.m{i}")));
+        }
+        b.iter(|| {
+            let sock = net.tcp_connect(Ipv4Addr::new(198, 18, 0, 1), 443);
+            let mut ctx = HookContext {
+                stack: &stack,
+                net: &mut net,
+            };
+            supervisor.after_socket_connect(&mut ctx, sock);
+            std::hint::black_box(sock)
+        });
+    });
+    group.finish();
+}
+
+fn bench_per_app_pipeline(c: &mut Criterion) {
+    let corpus = corpus();
+    let knowledge = knowledge();
+    let resolver = resolver_for(&corpus.domains);
+    let app = &corpus.apps[0];
+    let mut config = ExperimentConfig::default();
+    config.monkey.events = 120;
+    let system: Vec<_> = app
+        .system_ops
+        .iter()
+        .map(|s| (s.op.clone(), s.dispatcher))
+        .collect();
+    let raw = run_app(&app.apk, &resolver, &system, &config).unwrap();
+
+    let mut group = c.benchmark_group("perf/pipeline");
+    group.sample_size(20);
+    group.bench_function("experiment_one_app", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
+        });
+    });
+    // The paper's "<5 s offline analysis per app" path.
+    group.bench_function("offline_analysis_one_app", |b| {
+        b.iter(|| {
+            std::hint::black_box(analyze_run(
+                &raw,
+                knowledge,
+                config.supervisor.collector_port,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let pair = SocketPair::new(
+        Ipv4Addr::new(10, 0, 2, 15),
+        40_000,
+        Ipv4Addr::new(198, 18, 0, 1),
+        443,
+    );
+    let payload = vec![0xa5u8; 1_400];
+    let frame = encode_tcp(&pair, 1, 1, tcp_flags::PSH | tcp_flags::ACK, &payload);
+
+    let mut group = c.benchmark_group("perf/substrate");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("tcp_frame_encode", |b| {
+        b.iter(|| {
+            std::hint::black_box(encode_tcp(
+                &pair,
+                1,
+                1,
+                tcp_flags::PSH | tcp_flags::ACK,
+                &payload,
+            ))
+        });
+    });
+    group.bench_function("tcp_frame_decode", |b| {
+        b.iter(|| std::hint::black_box(decode_frame(&frame).unwrap()));
+    });
+    let blob = vec![7u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("sha256_64k", |b| {
+        b.iter(|| std::hint::black_box(Sha256::digest(&blob)));
+    });
+    group.finish();
+
+    // Dex disassembly (the Method Monitor's startup step).
+    let dex = corpus().apps[0].apk.dex().unwrap();
+    let bytes = write_dex(&dex);
+    let mut group = c.benchmark_group("perf/dex");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("disassemble", |b| {
+        b.iter(|| std::hint::black_box(parse_dex(&bytes).unwrap()));
+    });
+    group.finish();
+
+    // Builtin-filter attribution over a Listing 1-shaped stack.
+    let filter = BuiltinFilter::new();
+    let frames: Vec<String> = [
+        "java.net.Socket.connect",
+        "com.android.okhttp.internal.Platform.connectSocket",
+        "com.android.okhttp.Connection.connect",
+        "com.android.okhttp.internal.http.HttpEngine.sendRequest",
+        "com.unity3d.ads.android.cache.b.a",
+        "com.unity3d.ads.android.cache.b.doInBackground",
+        "android.os.AsyncTask$2.call",
+        "java.util.concurrent.FutureTask.run",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let mut group = c.benchmark_group("perf/attribution");
+    group.bench_function("attribute_stack", |b| {
+        b.iter(|| std::hint::black_box(attribute(&frames, &filter)));
+    });
+    group.finish();
+
+    // Report codec.
+    let report = SocketReport {
+        apk_sha256: Sha256::digest(b"x"),
+        pair,
+        timestamp_micros: 123,
+        frames,
+    };
+    let encoded = report.encode();
+    let mut group = c.benchmark_group("perf/report");
+    group.bench_function("encode", |b| b.iter(|| std::hint::black_box(report.encode())));
+    group.bench_function("decode", |b| {
+        b.iter(|| std::hint::black_box(SocketReport::decode(&encoded).unwrap()))
+    });
+    group.finish();
+
+    let _ = HashMap::<u8, u8>::new(); // keep HashMap import meaningful under cfg tweaks
+}
+
+criterion_group!(benches, bench_hook_overhead, bench_per_app_pipeline, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's table1 aggregation over the benchmark
+//! campaign and measures its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spector_analysis::table1;
+use spector_bench::campaign;
+
+fn bench(c: &mut Criterion) {
+    let analyses = campaign();
+    c.bench_function("table1/compute", |b| {
+        b.iter(|| std::hint::black_box(table1::compute(analyses)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared fixtures for the benchmark targets.
+//!
+//! Every table/figure bench needs a completed campaign to aggregate
+//! over; [`campaign`] builds one lazily (once per bench process) at a
+//! scale that keeps bench startup in seconds while still producing
+//! hundreds of flows.
+
+use std::sync::OnceLock;
+
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::AppAnalysis;
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_dispatch::{run_corpus, DispatchConfig};
+
+/// Number of apps in the benchmark campaign.
+pub const BENCH_APPS: usize = 40;
+/// Monkey events per app in the benchmark campaign.
+pub const BENCH_EVENTS: u32 = 120;
+
+/// Generates the benchmark corpus (deterministic, seed 7777).
+pub fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        Corpus::generate(&CorpusConfig {
+            apps: BENCH_APPS,
+            seed: 7_777,
+            appgen: AppGenConfig {
+                method_scale: 0.006,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    })
+}
+
+/// Corpus knowledge (LibRadar aggregate + domain labels).
+pub fn knowledge() -> &'static Knowledge {
+    static KNOWLEDGE: OnceLock<Knowledge> = OnceLock::new();
+    KNOWLEDGE.get_or_init(|| Knowledge::from_corpus(corpus()))
+}
+
+/// The completed campaign all figure benches aggregate over.
+pub fn campaign() -> &'static Vec<AppAnalysis> {
+    static CAMPAIGN: OnceLock<Vec<AppAnalysis>> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        let mut dispatch = DispatchConfig::default();
+        dispatch.experiment.monkey.events = BENCH_EVENTS;
+        dispatch.experiment.monkey.seed = 7_777;
+        run_corpus(corpus(), knowledge(), &dispatch, None)
+    })
+}

@@ -1,0 +1,247 @@
+//! `libspector` — run measurement campaigns over a synthetic app store.
+//!
+//! ```text
+//! libspector run    --apps 200 --seed 42 --events 1000 [--workers 0]
+//!                   [--out campaign.json] [--method-scale 0.02]
+//! libspector report --campaign campaign.json
+//! libspector sweep  --apps 50 --seed 42 --events 10,100,500,1000
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spector_analysis::FullReport;
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_dispatch::{run_corpus, save_campaign, Campaign, DispatchConfig};
+use libspector::knowledge::Knowledge;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "baseline" => cmd_baseline(&args[1..]),
+        "policy" => cmd_policy(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "shapes" => cmd_shapes(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+libspector — context-aware network traffic analysis (simulated reproduction)
+
+USAGE:
+  libspector run    --apps N [--seed S] [--events E] [--workers W]
+                    [--out FILE] [--method-scale F]
+  libspector report --campaign FILE
+  libspector sweep  --apps N [--seed S] --events E1,E2,...
+  libspector baseline --campaign FILE          (DNS-only classifier comparison)
+  libspector policy   --campaign FILE [--min-mb F]  (blacklist suggestion + what-if)
+  libspector export   --campaign FILE --out DIR     (CSV per table/figure)
+  libspector shapes   --campaign FILE                (check paper shapes)
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value {raw:?} for {name}")),
+    }
+}
+
+fn build_corpus(apps: usize, seed: u64, method_scale: f64) -> Corpus {
+    eprintln!("generating corpus: {apps} apps, seed {seed}");
+    Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let apps: usize = parse_flag(args, "--apps", 100)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let events: u32 = parse_flag(args, "--events", 1_000)?;
+    let workers: usize = parse_flag(args, "--workers", 0)?;
+    let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
+    let out: Option<String> = flag(args, "--out");
+
+    let corpus = build_corpus(apps, seed, method_scale);
+    eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = events;
+    dispatch.experiment.monkey.seed = seed;
+    eprintln!("running campaign ({events} monkey events per app)");
+    let progress = |done: usize| {
+        if done.is_multiple_of(50) {
+            eprintln!("  {done}/{apps} apps done");
+        }
+    };
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress));
+    let report = FullReport::build(&analyses);
+    println!("{}", report.render());
+    if let Some(out) = out {
+        let campaign = Campaign {
+            seed,
+            apps,
+            monkey_events: events,
+            analyses,
+        };
+        save_campaign(&campaign, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
+        eprintln!("campaign saved to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--campaign").ok_or("missing --campaign FILE")?;
+    let campaign =
+        spector_dispatch::load_campaign(&PathBuf::from(&path)).map_err(|e| e.to_string())?;
+    let report = FullReport::build(&campaign.analyses);
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let apps: usize = parse_flag(args, "--apps", 50)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let raw_events = flag(args, "--events").unwrap_or_else(|| "10,100,500,1000".to_owned());
+    let budgets: Vec<u32> = raw_events
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad event count {s:?}")))
+        .collect::<Result<_, _>>()?;
+
+    let corpus = build_corpus(apps, seed, 0.02);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    println!("{:>8} {:>14} {:>12}", "events", "mean coverage", "mean MB/app");
+    for &events in &budgets {
+        let mut dispatch = DispatchConfig::default();
+        dispatch.experiment.monkey.events = events;
+        dispatch.experiment.monkey.seed = seed;
+        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+        let report = FullReport::build(&analyses);
+        let mb = report.headline.total_bytes as f64 / 1_048_576.0 / apps.max(1) as f64;
+        println!(
+            "{events:>8} {:>13.2}% {mb:>12.3}",
+            report.fig10.mean_coverage_percent
+        );
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--campaign").ok_or("missing --campaign FILE")?;
+    let campaign =
+        spector_dispatch::load_campaign(&PathBuf::from(&path)).map_err(|e| e.to_string())?;
+    let comparison = libspector::baseline::compare(&campaign.analyses);
+    println!("DNS-only baseline vs context-aware attribution");
+    println!(
+        "  total {:.2} MB | agree {:.2} MB | conflict {:.2} MB | invisible {:.2} MB",
+        comparison.total_bytes as f64 / 1_048_576.0,
+        comparison.agree_bytes as f64 / 1_048_576.0,
+        comparison.conflict_bytes as f64 / 1_048_576.0,
+        comparison.invisible_bytes as f64 / 1_048_576.0,
+    );
+    println!(
+        "  misclassified/invisible {:.1}% | known-origin CDN {:.1}% (paper: 19.3%) | ad bytes missed {:.1}%",
+        comparison.misclassified_fraction() * 100.0,
+        comparison.known_origin_cdn_fraction() * 100.0,
+        comparison.ad_miss_fraction() * 100.0,
+    );
+    Ok(())
+}
+
+fn cmd_policy(args: &[String]) -> Result<(), String> {
+    use libspector::policy::{apply, suggest_blacklist, Action, Matcher, Policy};
+    let path = flag(args, "--campaign").ok_or("missing --campaign FILE")?;
+    let min_mb: f64 = parse_flag(args, "--min-mb", 0.5)?;
+    let campaign =
+        spector_dispatch::load_campaign(&PathBuf::from(&path)).map_err(|e| e.to_string())?;
+    let suggestions = suggest_blacklist(&campaign.analyses, (min_mb * 1_048_576.0) as u64);
+    if suggestions.is_empty() {
+        println!("no AnT origin exceeds {min_mb} MB; nothing to suggest");
+        return Ok(());
+    }
+    println!("suggested blacklist (AnT 2-level origins >= {min_mb} MB):");
+    let mut policy = Policy::allow_by_default();
+    for (origin, bytes) in &suggestions {
+        println!("  {origin:<30} {:>9.2} MB", *bytes as f64 / 1_048_576.0);
+        policy = policy.with_rule(
+            &format!("block {origin}"),
+            Matcher::LibraryPrefix(origin.clone()),
+            Action::Block,
+        );
+    }
+    let report = apply(&policy, &campaign.analyses);
+    println!(
+        "what-if: block {} of {} flows, {:.2} MB; {} apps fully silenced; saves ${:.3}/hour per app",
+        report.blocked_flows,
+        report.flows,
+        report.blocked_bytes as f64 / 1_048_576.0,
+        report.fully_blocked_apps,
+        report.hourly_savings_usd(&libspector::cost::DataPlan::default(), campaign.analyses.len()),
+    );
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--campaign").ok_or("missing --campaign FILE")?;
+    let out = flag(args, "--out").ok_or("missing --out DIR")?;
+    let campaign =
+        spector_dispatch::load_campaign(&PathBuf::from(&path)).map_err(|e| e.to_string())?;
+    let report = FullReport::build(&campaign.analyses);
+    let written = spector_analysis::export::export_all(&report, &PathBuf::from(&out))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {} CSV files to {out}: {}", written.len(), written.join(", "));
+    Ok(())
+}
+
+fn cmd_shapes(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--campaign").ok_or("missing --campaign FILE")?;
+    let campaign =
+        spector_dispatch::load_campaign(&PathBuf::from(&path)).map_err(|e| e.to_string())?;
+    let report = FullReport::build(&campaign.analyses);
+    let checks = spector_analysis::paper::compare_to_paper(&report);
+    print!("{}", spector_analysis::paper::render_checks(&checks));
+    let holding = checks.iter().filter(|c| c.holds).count();
+    if holding < checks.len() {
+        return Err(format!("{} shape(s) out of band", checks.len() - holding));
+    }
+    Ok(())
+}

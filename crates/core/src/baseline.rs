@@ -1,0 +1,361 @@
+//! The network-only baseline classifier (§IV-B, §IV-E "Measurement").
+//!
+//! Prior work (Xu et al., Maier et al., Tongaonkar et al.) classifies
+//! app traffic from network-visible information alone: hostnames,
+//! HTTP headers, domain categories. The paper's central measurement
+//! argument is that this misattributes traffic whenever a flow's
+//! destination category differs from its originating library's category
+//! — most prominently, advertisement libraries fetching creatives from
+//! CDNs: "a purely DNS based approach would misclassify all CDN-bound
+//! traffic from known origin-libraries (19.3 % of the total traffic)".
+//!
+//! [`compare`] implements that baseline over analyzed flows and
+//! quantifies its disagreement with context-aware attribution.
+
+use serde::{Deserialize, Serialize};
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+use crate::pipeline::{AnalyzedFlow, AppAnalysis};
+
+/// What a DNS-only classifier would conclude a flow is, from its
+/// destination domain category alone.
+pub fn dns_only_class(domain_category: DomainCategory) -> Option<LibCategory> {
+    // Domain categories with a natural library-category reading — the
+    // correspondence name-based systems implicitly assume.
+    match domain_category {
+        DomainCategory::Advertisements => Some(LibCategory::Advertisement),
+        DomainCategory::Analytics => Some(LibCategory::MobileAnalytics),
+        DomainCategory::Games => Some(LibCategory::GameEngine),
+        DomainCategory::SocialNetworks => Some(LibCategory::SocialNetwork),
+        _ => None,
+    }
+}
+
+/// Outcome of comparing the baseline with context-aware attribution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BaselineComparison {
+    /// Total wire bytes compared.
+    pub total_bytes: u64,
+    /// Bytes where both classifiers name the same library category.
+    pub agree_bytes: u64,
+    /// Bytes where the baseline names a *different* category than the
+    /// context-aware attribution.
+    pub conflict_bytes: u64,
+    /// Bytes the baseline cannot classify at all (no library reading
+    /// for the destination category) although the origin-library is
+    /// known — the CDN problem.
+    pub invisible_bytes: u64,
+    /// The paper's 19.3 % statistic: bytes from *known-category*
+    /// origin-libraries that terminate at CDN domains.
+    pub known_origin_cdn_bytes: u64,
+    /// Bytes from advertisement libraries that a DNS-only classifier
+    /// labels as something other than advertising.
+    pub ad_bytes_missed: u64,
+    /// Total bytes attributed to advertisement libraries.
+    pub ad_bytes_total: u64,
+}
+
+impl BaselineComparison {
+    /// Fraction of bytes the baseline gets wrong or cannot see
+    /// (conflicts + invisible, over total).
+    pub fn misclassified_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            (self.conflict_bytes + self.invisible_bytes) as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Fraction of all bytes that are known-origin traffic to CDNs.
+    pub fn known_origin_cdn_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.known_origin_cdn_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Fraction of advertisement-library bytes invisible to the
+    /// baseline.
+    pub fn ad_miss_fraction(&self) -> f64 {
+        if self.ad_bytes_total == 0 {
+            0.0
+        } else {
+            self.ad_bytes_missed as f64 / self.ad_bytes_total as f64
+        }
+    }
+}
+
+fn account(comparison: &mut BaselineComparison, flow: &AnalyzedFlow) {
+    let bytes = flow.total_bytes();
+    comparison.total_bytes += bytes;
+    let context = flow.lib_category;
+    let baseline = dns_only_class(flow.domain_category);
+
+    if context == LibCategory::Advertisement {
+        comparison.ad_bytes_total += bytes;
+        if baseline != Some(LibCategory::Advertisement) {
+            comparison.ad_bytes_missed += bytes;
+        }
+    }
+    if context != LibCategory::Unknown && flow.domain_category == DomainCategory::Cdn {
+        comparison.known_origin_cdn_bytes += bytes;
+    }
+    match baseline {
+        Some(b) if b == context => comparison.agree_bytes += bytes,
+        Some(_) => comparison.conflict_bytes += bytes,
+        None => {
+            if context != LibCategory::Unknown {
+                comparison.invisible_bytes += bytes;
+            }
+        }
+    }
+}
+
+/// Compares the DNS-only baseline against context-aware attribution
+/// over a whole campaign.
+pub fn compare(analyses: &[AppAnalysis]) -> BaselineComparison {
+    let mut comparison = BaselineComparison::default();
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            account(&mut comparison, flow);
+        }
+    }
+    comparison
+}
+
+/// What a `User-Agent`-based classifier (Xu et al., Maier et al.) can
+/// see of one flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UaSignal {
+    /// The UA carries an SDK package identifier beyond the client token.
+    SdkTag(String),
+    /// Only a generic HTTP-client token (`okhttp/…`, `Apache-HttpClient/…`).
+    GenericClient(String),
+    /// No parseable HTTP request on the flow (raw sockets, TLS, …).
+    NonHttp,
+}
+
+/// Extracts the UA-visible signal from a flow.
+pub fn ua_signal(flow: &AnalyzedFlow) -> UaSignal {
+    let Some(user_agent) = flow.http_user_agent.as_deref() else {
+        return UaSignal::NonHttp;
+    };
+    let mut tokens = user_agent.split_whitespace();
+    let client = tokens.next().unwrap_or("").to_owned();
+    // An SDK tag is a dotted package-like token (≥2 dots, no slash).
+    for token in tokens {
+        if token.matches('.').count() >= 2 && !token.contains('/') {
+            return UaSignal::SdkTag(token.to_owned());
+        }
+    }
+    if client.is_empty() {
+        UaSignal::NonHttp
+    } else {
+        UaSignal::GenericClient(client)
+    }
+}
+
+/// Outcome of comparing UA-based classification with context-aware
+/// attribution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UaComparison {
+    /// Flows examined.
+    pub flows: usize,
+    /// Flows whose UA carried an SDK identifier.
+    pub tagged_flows: usize,
+    /// Tagged flows whose identifier agrees with the context-aware
+    /// origin (same package or same 2-level family).
+    pub tagged_matching_context: usize,
+    /// Flows with only a generic client token — unattributable by UA.
+    pub generic_flows: usize,
+    /// Flows with no HTTP head at all.
+    pub non_http_flows: usize,
+    /// Bytes attributable via UA tags.
+    pub tagged_bytes: u64,
+    /// Total bytes.
+    pub total_bytes: u64,
+}
+
+impl UaComparison {
+    /// Fraction of bytes a UA-based classifier can attribute at all.
+    pub fn attributable_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.tagged_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// Runs the UA baseline over a campaign.
+pub fn compare_user_agent(analyses: &[AppAnalysis]) -> UaComparison {
+    let mut comparison = UaComparison::default();
+    for analysis in analyses {
+        for flow in &analysis.flows {
+            comparison.flows += 1;
+            comparison.total_bytes += flow.total_bytes();
+            match ua_signal(flow) {
+                UaSignal::SdkTag(tag) => {
+                    comparison.tagged_flows += 1;
+                    comparison.tagged_bytes += flow.total_bytes();
+                    let matches_context = match &flow.origin {
+                        crate::OriginKind::Library { origin_library, two_level } => {
+                            &tag == origin_library
+                                || tag.starts_with(&format!("{origin_library}."))
+                                || origin_library.starts_with(&format!("{tag}."))
+                                || spector_dex::sig::prefix_levels(&tag, 2) == *two_level
+                        }
+                        crate::OriginKind::Builtin => false,
+                    };
+                    if matches_context {
+                        comparison.tagged_matching_context += 1;
+                    }
+                }
+                UaSignal::GenericClient(_) => comparison.generic_flows += 1,
+                UaSignal::NonHttp => comparison.non_http_flows += 1,
+            }
+        }
+    }
+    comparison
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CoverageReport;
+    use crate::OriginKind;
+
+    fn flow(
+        lib: LibCategory,
+        domain_category: DomainCategory,
+        bytes: u64,
+    ) -> AnalyzedFlow {
+        AnalyzedFlow {
+            domain: Some("d.example".into()),
+            domain_category,
+            origin: OriginKind::Library {
+                origin_library: "com.x".into(),
+                two_level: "com.x".into(),
+            },
+            lib_category: lib,
+            is_ant: lib == LibCategory::Advertisement,
+            is_common: false,
+            sent_bytes: 0,
+            recv_bytes: bytes,
+            sent_payload: 0,
+            recv_payload: bytes,
+            start_micros: 0,
+            http_user_agent: None,
+        }
+    }
+
+    fn app(flows: Vec<AnalyzedFlow>) -> AppAnalysis {
+        AppAnalysis {
+            package: "com.a".into(),
+            app_category: "TOOLS".into(),
+            flows,
+            unattributed_flows: 0,
+            coverage: CoverageReport {
+                total_methods: 1,
+                executed_methods: 1,
+                external_methods: 0,
+            },
+            dns_packets: 0,
+            report_packets: 0,
+        }
+    }
+
+    #[test]
+    fn agreement_conflict_and_invisibility() {
+        let analyses = vec![app(vec![
+            // Agree: ad lib -> ad domain.
+            flow(LibCategory::Advertisement, DomainCategory::Advertisements, 400),
+            // Invisible: ad lib -> CDN (the paper's core case).
+            flow(LibCategory::Advertisement, DomainCategory::Cdn, 300),
+            // Conflict: analytics lib -> ad domain.
+            flow(LibCategory::MobileAnalytics, DomainCategory::Advertisements, 200),
+            // First-party -> business domain: baseline can't see it but
+            // there is no known origin either (not counted as a miss).
+            flow(LibCategory::Unknown, DomainCategory::BusinessAndFinance, 100),
+        ])];
+        let comparison = compare(&analyses);
+        assert_eq!(comparison.total_bytes, 1_000);
+        assert_eq!(comparison.agree_bytes, 400);
+        assert_eq!(comparison.conflict_bytes, 200);
+        assert_eq!(comparison.invisible_bytes, 300);
+        assert_eq!(comparison.known_origin_cdn_bytes, 300);
+        assert!((comparison.misclassified_fraction() - 0.5).abs() < 1e-12);
+        assert!((comparison.known_origin_cdn_fraction() - 0.3).abs() < 1e-12);
+        // 300 of 700 ad bytes invisible to the baseline.
+        assert!((comparison.ad_miss_fraction() - 300.0 / 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dns_only_mapping_is_partial() {
+        assert_eq!(
+            dns_only_class(DomainCategory::Advertisements),
+            Some(LibCategory::Advertisement)
+        );
+        assert_eq!(dns_only_class(DomainCategory::Cdn), None);
+        assert_eq!(dns_only_class(DomainCategory::BusinessAndFinance), None);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let comparison = compare(&[]);
+        assert_eq!(comparison.misclassified_fraction(), 0.0);
+        assert_eq!(comparison.known_origin_cdn_fraction(), 0.0);
+        assert_eq!(comparison.ad_miss_fraction(), 0.0);
+        let ua = compare_user_agent(&[]);
+        assert_eq!(ua.attributable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ua_signal_classification() {
+        let mut f = flow(LibCategory::Advertisement, DomainCategory::Advertisements, 100);
+        f.http_user_agent = Some("okhttp/3.12.1 com.vungle.publisher".into());
+        assert_eq!(
+            ua_signal(&f),
+            UaSignal::SdkTag("com.vungle.publisher".into())
+        );
+        f.http_user_agent = Some("okhttp/3.12.1".into());
+        assert_eq!(ua_signal(&f), UaSignal::GenericClient("okhttp/3.12.1".into()));
+        f.http_user_agent = None;
+        assert_eq!(ua_signal(&f), UaSignal::NonHttp);
+        f.http_user_agent = Some(String::new());
+        assert_eq!(ua_signal(&f), UaSignal::NonHttp);
+    }
+
+    #[test]
+    fn ua_comparison_counts_and_matching() {
+        let mk = |ua: Option<&str>, origin: &str| {
+            let mut f = flow(LibCategory::Advertisement, DomainCategory::Advertisements, 100);
+            f.http_user_agent = ua.map(str::to_owned);
+            f.origin = crate::OriginKind::Library {
+                origin_library: origin.to_owned(),
+                two_level: spector_dex::sig::prefix_levels(origin, 2),
+            };
+            f
+        };
+        let analyses = vec![app(vec![
+            // Tagged and matching (same family).
+            mk(Some("okhttp/3.12.1 com.vungle.publisher"), "com.vungle.publisher.cache"),
+            // Tagged but disagreeing with the stack-based origin (the
+            // sync-call case where UA carries the callee).
+            mk(Some("okhttp/3.12.1 com.adnet.sdk"), "com.myapp"),
+            // Generic: UA-invisible.
+            mk(Some("okhttp/3.12.1"), "com.vungle.publisher.cache"),
+            // Raw socket.
+            mk(None, "com.vungle.publisher.cache"),
+        ])];
+        let ua = compare_user_agent(&analyses);
+        assert_eq!(ua.flows, 4);
+        assert_eq!(ua.tagged_flows, 2);
+        assert_eq!(ua.tagged_matching_context, 1);
+        assert_eq!(ua.generic_flows, 1);
+        assert_eq!(ua.non_http_flows, 1);
+        assert!((ua.attributable_fraction() - 0.5).abs() < 1e-12);
+    }
+}

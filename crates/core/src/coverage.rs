@@ -1,0 +1,89 @@
+//! Java method coverage (§IV-C).
+//!
+//! Coverage is "the ratio of method signatures which are listed in the
+//! method trace file and available in the app's respective dex file
+//! divided by the total number of methods in the dex file". The trace
+//! includes native/framework API calls, which is why the intersection
+//! with the dex's own signatures matters.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use spector_dex::sig::MethodSig;
+
+/// Per-app coverage numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Methods defined in the apk's dex.
+    pub total_methods: usize,
+    /// Distinct traced methods that are defined in the dex.
+    pub executed_methods: usize,
+    /// Distinct traced methods *not* in the dex (framework calls).
+    pub external_methods: usize,
+}
+
+impl CoverageReport {
+    /// Coverage ratio in `[0, 1]`; zero for an empty dex.
+    pub fn ratio(&self) -> f64 {
+        if self.total_methods == 0 {
+            0.0
+        } else {
+            self.executed_methods as f64 / self.total_methods as f64
+        }
+    }
+
+    /// Coverage as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+}
+
+/// Computes coverage from the traced set and the dex's signature set.
+pub fn compute_coverage(
+    traced: &HashSet<MethodSig>,
+    dex_signatures: &HashSet<MethodSig>,
+) -> CoverageReport {
+    let executed_methods = traced.intersection(dex_signatures).count();
+    CoverageReport {
+        total_methods: dex_signatures.len(),
+        executed_methods,
+        external_methods: traced.len() - executed_methods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: u32) -> MethodSig {
+        MethodSig::new("com.app", "C", &format!("m{n}"), "()V")
+    }
+
+    #[test]
+    fn coverage_is_intersection_over_dex() {
+        let dex: HashSet<MethodSig> = (0..100).map(sig).collect();
+        let mut traced: HashSet<MethodSig> = (0..10).map(sig).collect();
+        // Framework calls in the trace do not count toward coverage.
+        traced.insert(MethodSig::new("java.net", "Socket", "connect", "()V"));
+        let report = compute_coverage(&traced, &dex);
+        assert_eq!(report.total_methods, 100);
+        assert_eq!(report.executed_methods, 10);
+        assert_eq!(report.external_methods, 1);
+        assert!((report.ratio() - 0.10).abs() < 1e-12);
+        assert!((report.percent() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dex_is_zero_coverage() {
+        let report = compute_coverage(&HashSet::new(), &HashSet::new());
+        assert_eq!(report.ratio(), 0.0);
+        assert_eq!(report.total_methods, 0);
+    }
+
+    #[test]
+    fn full_coverage() {
+        let dex: HashSet<MethodSig> = (0..5).map(sig).collect();
+        let report = compute_coverage(&dex.clone(), &dex);
+        assert!((report.ratio() - 1.0).abs() < 1e-12);
+    }
+}

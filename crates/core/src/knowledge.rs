@@ -1,0 +1,168 @@
+//! Corpus-level knowledge the offline pipeline consumes.
+//!
+//! Before analyzing any traffic, the paper runs LibRadar over every
+//! collected apk and aggregates the detected libraries with their
+//! categories (§III-D), collects Li et al.'s AnT/common lists, and
+//! fetches VirusTotal category labels for every observed domain
+//! (§III-F). `Knowledge` bundles those inputs; [`Knowledge::from_corpus`]
+//! performs the aggregation scan over a generated corpus.
+
+use std::collections::HashMap;
+
+use spector_libradar::{AggregatedLibraries, LibCategory, LibraryLists};
+use spector_vtcat::{DomainCategory, Tokenizer};
+
+use crate::attribution::BuiltinFilter;
+
+/// Everything the per-app analysis needs beyond the app's own run data.
+#[derive(Debug, Clone)]
+pub struct Knowledge {
+    /// Libraries detected across the corpus, with categories.
+    pub aggregated: AggregatedLibraries,
+    /// AnT / common-library prefix lists.
+    pub lists: LibraryLists,
+    /// VirusTotal-style vendor labels per domain name.
+    pub domain_labels: HashMap<String, Vec<String>>,
+    /// The Table I tokenizer.
+    pub tokenizer: Tokenizer,
+    /// Compiled footnote 2 filter.
+    pub builtin: BuiltinFilter,
+}
+
+impl Knowledge {
+    /// Builds knowledge from explicit parts.
+    pub fn new(
+        aggregated: AggregatedLibraries,
+        lists: LibraryLists,
+        domain_labels: HashMap<String, Vec<String>>,
+    ) -> Self {
+        Knowledge {
+            aggregated,
+            lists,
+            domain_labels,
+            tokenizer: Tokenizer::new(),
+            builtin: BuiltinFilter::new(),
+        }
+    }
+
+    /// The §III-D aggregation scan over a generated corpus: run the
+    /// LibRadar-style detector on every apk, merge the results, and
+    /// pull vendor labels for every domain in the universe.
+    pub fn from_corpus(corpus: &spector_corpus::Corpus) -> Self {
+        let mut aggregated = AggregatedLibraries::new();
+        for app in &corpus.apps {
+            if let Ok(dex) = app.apk.dex() {
+                for detected in corpus.library_db.detect(&dex) {
+                    aggregated.record(&detected.name, detected.category);
+                }
+            }
+        }
+        let domain_labels = corpus
+            .domains
+            .domains()
+            .iter()
+            .map(|d| (d.name.clone(), d.vendor_labels.clone()))
+            .collect();
+        Knowledge::new(aggregated, corpus.lists.clone(), domain_labels)
+    }
+
+    /// Generic category of a domain: tokenize its vendor labels and
+    /// majority-vote; unseen domains are `unknown`.
+    pub fn domain_category(&self, domain: &str) -> DomainCategory {
+        match self.domain_labels.get(domain) {
+            Some(labels) => self.tokenizer.classify(labels),
+            None => DomainCategory::Unknown,
+        }
+    }
+
+    /// Category of an origin-library package: longest matching known
+    /// library prefix, then majority vote over the shared-prefix family
+    /// (Listing 2). Packages with no relation to any known library are
+    /// `Unknown` — typically first-party code.
+    pub fn library_category(&self, origin_library: &str) -> LibCategory {
+        self.aggregated.predict_category(origin_library)
+    }
+}
+
+// The corpus dependency is dev-facing: Knowledge::from_corpus is the
+// bridge used by experiments, examples, and benches.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_corpus::{Corpus, CorpusConfig};
+
+    fn knowledge() -> (Knowledge, Corpus) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            apps: 12,
+            seed: 3,
+            ..Default::default()
+        });
+        (Knowledge::from_corpus(&corpus), corpus)
+    }
+
+    #[test]
+    fn corpus_scan_aggregates_libraries() {
+        let (knowledge, corpus) = knowledge();
+        assert!(!knowledge.aggregated.is_empty());
+        // Every library origin package in the ground truth must resolve
+        // to its true category via longest-prefix + majority vote,
+        // because the enclosing library was detected in the same scan.
+        let mut checked = 0;
+        for app in &corpus.apps {
+            for truth in &app.truth {
+                if truth.lib_category == LibCategory::Unknown {
+                    continue;
+                }
+                let origin = truth.expected_origin.as_deref().unwrap();
+                assert_eq!(
+                    knowledge.library_category(origin),
+                    truth.lib_category,
+                    "origin {origin}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn first_party_packages_are_unknown() {
+        let (knowledge, _) = knowledge();
+        assert_eq!(
+            knowledge.library_category("com.dev7.app3.net"),
+            LibCategory::Unknown
+        );
+    }
+
+    #[test]
+    fn domain_categories_recovered_from_labels() {
+        let (knowledge, corpus) = knowledge();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for domain in corpus.domains.domains() {
+            if domain.true_category == DomainCategory::Unknown {
+                assert_eq!(
+                    knowledge.domain_category(&domain.name),
+                    DomainCategory::Unknown
+                );
+                continue;
+            }
+            total += 1;
+            if knowledge.domain_category(&domain.name) == domain.true_category {
+                correct += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(correct * 100 / total >= 55, "{correct}/{total}");
+    }
+
+    #[test]
+    fn unseen_domain_is_unknown() {
+        let (knowledge, _) = knowledge();
+        assert_eq!(
+            knowledge.domain_category("never.observed.example"),
+            DomainCategory::Unknown
+        );
+    }
+}

@@ -1,0 +1,746 @@
+//! Per-app generation: composition, call graph, volumes, ground truth.
+//!
+//! Every generated app is a complete apk (manifest + dex + optional
+//! native libs) plus a *ground-truth* record of every network operation
+//! baked into it — which method owns it, what origin the attribution
+//! heuristic is expected to produce, the true library and domain
+//! categories, and the op's list memberships. The original authors had
+//! no ground truth for 25,000 real apps; the simulation does, and the
+//! integration tests exploit it.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use spector_dex::apk::{ActivityDecl, Apk, ApkEntry, Manifest};
+use spector_dex::model::{
+    ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,
+    NetworkOp,
+};
+use spector_dex::sig::MethodSig;
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+use crate::categories::{game_share, mean_volume_multiplier, AppCategory};
+use crate::domains::DomainUniverse;
+use crate::fig9;
+use crate::libraries::{
+    instantiate, template_connector, templates_of, InstantiatedLibrary, LibraryOps,
+    LibraryTemplate,
+};
+
+/// Traffic archetypes (§IV-A: 35 % of apps had AnT-only traffic, ~89 %
+/// had some AnT traffic, ~10 % were AnT-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Archetype {
+    /// All of this app's traffic comes from AnT libraries.
+    AntOnly,
+    /// AnT plus other libraries plus first-party traffic.
+    Mixed,
+    /// No AnT libraries at all.
+    NoAnt,
+}
+
+/// How a network op is exercised during an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpStyle {
+    /// Runs exactly once, from `Application.onCreate`.
+    Startup,
+    /// Re-runs on UI events (count depends on the monkey).
+    Refresh,
+    /// Platform-initiated, no app code on the stack.
+    System,
+}
+
+/// Ground truth for one generated network operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTruth {
+    /// Destination host.
+    pub domain: String,
+    /// Destination port.
+    pub port: u16,
+    /// Request payload bytes per execution.
+    pub send_bytes: u64,
+    /// Response payload bytes per execution.
+    pub recv_bytes: u64,
+    /// Package of the method whose code contains the op.
+    pub owner_package: String,
+    /// Origin package the attribution heuristic is expected to find
+    /// (`None` = only built-in frames remain: the `*` bucket).
+    pub expected_origin: Option<String>,
+    /// Library category this traffic should be accounted under.
+    pub lib_category: LibCategory,
+    /// True category of the destination domain.
+    pub domain_category: DomainCategory,
+    /// Op is owned by an advertisement/tracker library.
+    pub is_ant: bool,
+    /// Op is owned by a Li et al. common library.
+    pub is_common: bool,
+    /// Execution style.
+    pub style: OpStyle,
+}
+
+/// A system-initiated op the experiment driver replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemOp {
+    /// The operation.
+    pub op: NetworkOp,
+    /// Scheduler base frames for the system thread.
+    pub dispatcher: Dispatcher,
+}
+
+/// One generated application.
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// Application package name.
+    pub package: String,
+    /// Play category.
+    pub category: &'static AppCategory,
+    /// The built apk.
+    pub apk: Apk,
+    /// Ground truth for all baked-in ops (app + system).
+    pub truth: Vec<FlowTruth>,
+    /// Platform traffic replayed by the driver.
+    pub system_ops: Vec<SystemOp>,
+    /// Traffic archetype.
+    pub archetype: Archetype,
+}
+
+/// Generator tunables.
+#[derive(Debug, Clone)]
+pub struct AppGenConfig {
+    /// Scale on per-app method counts (1.0 ≈ the paper's mean of
+    /// 49,138 methods per apk — far too slow for simulation; the
+    /// default generates ~1/50th).
+    pub method_scale: f64,
+    /// Scale on per-app byte volumes (1.0 = paper per-app volumes).
+    pub volume_scale: f64,
+    /// Expected number of refresh invocations per refresh entry during
+    /// a run (used to budget refresh op sizes); matches a 1,000-event
+    /// monkey with default hit rates.
+    pub expected_refresh_invocations: f64,
+}
+
+impl Default for AppGenConfig {
+    fn default() -> Self {
+        AppGenConfig {
+            method_scale: 0.02,
+            volume_scale: 1.0,
+            expected_refresh_invocations: 7.0,
+        }
+    }
+}
+
+const MB: f64 = 1_048_576.0;
+
+/// Samples a domain of `category`, retrying to avoid domains this app
+/// already uses so that `(app, domain)` uniquely identifies a ground-
+/// truth op (tiny universes may still collide after the retry budget).
+fn sample_unused<'u>(
+    universe: &'u DomainUniverse,
+    category: DomainCategory,
+    rng: &mut SmallRng,
+    used: &mut std::collections::HashSet<String>,
+) -> &'u crate::domains::Domain {
+    for _ in 0..32 {
+        let candidate = universe.sample(category, rng);
+        if !used.contains(&candidate.name) {
+            used.insert(candidate.name.clone());
+            return candidate;
+        }
+    }
+    let fallback = universe.sample(category, rng);
+    used.insert(fallback.name.clone());
+    fallback
+}
+
+/// Generates one app.
+#[allow(clippy::too_many_lines)]
+pub fn generate_app(
+    index: usize,
+    category: &'static AppCategory,
+    archetype: Archetype,
+    universe: &DomainUniverse,
+    config: &AppGenConfig,
+    rng: &mut SmallRng,
+) -> GeneratedApp {
+    let package = format!("com.dev{}.app{index}", index % 911);
+    let mut methods: Vec<MethodDef> = Vec::new();
+    let mut truth: Vec<FlowTruth> = Vec::new();
+    let mut used_domains: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+    // --- Volume planning -------------------------------------------------
+    // Per-app volume factor: Figure 8 category multiplier × lognormal
+    // spread, normalized so corpus expectation matches Figure 9.
+    let spread = lognormal(rng, 0.9);
+    let factor = category.volume_multiplier / mean_volume_multiplier() * spread
+        * config.volume_scale;
+
+    // --- Library composition ---------------------------------------------
+    let mut libraries: Vec<(InstantiatedLibrary, f64)> = Vec::new(); // (instance, volume bytes)
+    for lib_category in fig9::LIB_ORDER {
+        if lib_category == LibCategory::Unknown {
+            continue; // first-party, handled below
+        }
+        let is_ant_cat = matches!(
+            lib_category,
+            LibCategory::Advertisement | LibCategory::MobileAnalytics
+        );
+        // Archetype gating with expectation-preserving corrections.
+        let (present, correction) = match (archetype, is_ant_cat) {
+            (Archetype::AntOnly, true) | (Archetype::Mixed, true) => (true, 1.0 / 0.89),
+            (_, true) => (false, 0.0),
+            (Archetype::AntOnly, false) => (false, 0.0),
+            (_, false) => (true, 1.0 / 0.65),
+        };
+        if !present {
+            continue;
+        }
+        // Game engines only materialize in game apps.
+        let correction = if lib_category == LibCategory::GameEngine {
+            if !category.is_game() {
+                continue;
+            }
+            correction / game_share()
+        } else {
+            correction
+        };
+        let target_bytes = fig9::per_app_mb(lib_category) * MB * factor * correction;
+        if target_bytes < 1.0 {
+            continue;
+        }
+        // Pick 1-2 templates of this category, popularity-weighted.
+        let instances = if target_bytes > 2.0 * MB { 2 } else { 1 };
+        let picked = pick_templates(lib_category, instances, rng);
+        for template in picked {
+            let share = target_bytes / instances as f64;
+            let instance = build_instance(
+                template,
+                methods.len() as u32,
+                share,
+                universe,
+                config,
+                rng,
+                &mut truth,
+                &mut used_domains,
+            );
+            methods.extend(instance.methods.iter().cloned());
+            libraries.push((instance, share));
+        }
+    }
+
+    // --- First-party code (the Unknown column) ----------------------------
+    let fp_target = if archetype == Archetype::AntOnly {
+        0.0
+    } else {
+        fig9::per_app_mb(LibCategory::Unknown) * MB * factor / 0.65
+    };
+    let app_on_create_sig = MethodSig::new(
+        &package,
+        "App",
+        "onCreate",
+        "()V",
+    );
+    let mut app_on_create_code: Vec<Instruction> = vec![Instruction::Const(0)];
+    for (lib, _) in &libraries {
+        let id = methods
+            .iter()
+            .position(|m| m.sig == lib.init_entry)
+            .expect("init entry exists") as u32;
+        app_on_create_code.push(Instruction::Invoke(MethodRef::Internal(id)));
+    }
+    // First-party network: an async loader plus an inline (synchronous)
+    // fetch — both attribute to the app package.
+    if fp_target > 1.0 {
+        let (async_share, sync_share) = (fp_target * 0.6, fp_target * 0.4);
+        let loader_sig = MethodSig::new(&format!("{package}.net"), "Loader", "run", "()V");
+        let op = first_party_op(async_share, universe, config, rng, &package, &mut truth, &mut used_domains);
+        // The async loader runs on its own thread, so attribution lands
+        // on the loader's own (sub-)package rather than the app root.
+        if let Some(t) = truth.last_mut() {
+            t.owner_package = loader_sig.package();
+            t.expected_origin = Some(loader_sig.package());
+        }
+        let loader_id = methods.len() as u32;
+        methods.push(MethodDef {
+            sig: loader_sig,
+            code: CodeItem {
+                instructions: vec![Instruction::Network(op), Instruction::Return],
+            },
+        });
+        app_on_create_code.push(Instruction::InvokeAsync {
+            dispatcher: Dispatcher::Executor,
+            target: MethodRef::Internal(loader_id),
+        });
+        // Synchronous first-party fetch inside onCreate itself.
+        let op = first_party_op(sync_share, universe, config, rng, &package, &mut truth, &mut used_domains);
+        app_on_create_code.push(Instruction::Network(op));
+    }
+    app_on_create_code.push(Instruction::Return);
+    let app_on_create_id = methods.len() as u32;
+    methods.push(MethodDef {
+        sig: app_on_create_sig.clone(),
+        code: CodeItem {
+            instructions: app_on_create_code,
+        },
+    });
+
+    // --- Activities and handlers -------------------------------------------
+    let activity_count = rng.gen_range(1..=4usize);
+    let mut activities = Vec::with_capacity(activity_count);
+    for a in 0..activity_count {
+        let class = format!("{package}.Activity{a}");
+        let on_create_sig =
+            MethodSig::new(&package, &format!("Activity{a}"), "onCreate", "(Landroid/os/Bundle;)V");
+        methods.push(MethodDef {
+            sig: on_create_sig.clone(),
+            code: CodeItem {
+                instructions: vec![Instruction::Const(a as u32), Instruction::Return],
+            },
+        });
+        let handler_count = rng.gen_range(2..=5usize);
+        let mut handlers = Vec::with_capacity(handler_count);
+        for h in 0..handler_count {
+            let sig = MethodSig::new(
+                &package,
+                &format!("Activity{a}"),
+                &format!("onClick{h}"),
+                "(Landroid/view/View;)V",
+            );
+            let mut instructions = vec![Instruction::Const(h as u32)];
+            // Some handlers poke a library refresh entry (sparse:
+            // most UI interactions do not trigger a banner rotation).
+            if !libraries.is_empty() && rng.gen_bool(0.05) {
+                let (lib, _) = &libraries[rng.gen_range(0..libraries.len())];
+                let id = methods
+                    .iter()
+                    .position(|m| m.sig == lib.refresh_entry)
+                    .expect("refresh entry exists") as u32;
+                instructions.push(Instruction::Invoke(MethodRef::Internal(id)));
+            }
+            instructions.push(Instruction::Return);
+            methods.push(MethodDef {
+                sig: sig.clone(),
+                code: CodeItem { instructions },
+            });
+            handlers.push(sig);
+        }
+        activities.push(ActivityDecl {
+            class,
+            handlers,
+            on_create: vec![on_create_sig],
+        });
+    }
+
+    // --- Filler to reach the method-count target ---------------------------
+    let target_methods =
+        (49_138.0 * config.method_scale * lognormal(rng, 0.55)).max(40.0) as usize;
+    let mut filler_index = 0usize;
+    while methods.len() < target_methods {
+        let sub = ["", ".data", ".ui", ".sync"][filler_index % 4];
+        let sig = MethodSig::new(
+            &format!("{package}{sub}"),
+            &format!("F{}", filler_index / 4),
+            &format!("f{filler_index}"),
+            "()V",
+        );
+        methods.push(MethodDef {
+            sig,
+            code: CodeItem {
+                instructions: vec![Instruction::Const(filler_index as u32), Instruction::Return],
+            },
+        });
+        filler_index += 1;
+    }
+
+    // --- System (platform) traffic -----------------------------------------
+    let mut system_ops = Vec::new();
+    // ~1.5 % of a typical app's volume: connectivity checks and account
+    // sync through the platform okhttp, plus an occasional raw socket.
+    let sys_volume = 0.015 * fig9::total_mb() / fig9::PAPER_APP_COUNT as f64 * MB * factor;
+    if sys_volume > 1.0 {
+        for (i, connector) in [Connector::AndroidOkHttp, Connector::DirectSocket]
+            .into_iter()
+            .enumerate()
+        {
+            let domain_category = if i == 0 {
+                DomainCategory::InfoTech
+            } else {
+                DomainCategory::Advertisements
+            };
+            let domain = sample_unused(universe, domain_category, rng, &mut used_domains);
+            let recv = (sys_volume / 2.0).max(64.0) as u64;
+            let send = (recv as f64 / ratio_for(LibCategory::Utility, rng)).max(32.0) as u64;
+            let op = NetworkOp {
+                domain: domain.name.clone(),
+                port: 443,
+                send_bytes: send,
+                recv_bytes: recv,
+                connector,
+            };
+            let expected_origin = match connector {
+                Connector::AndroidOkHttp => {
+                    Some("com.android.okhttp.internal.huc".to_owned())
+                }
+                _ => None,
+            };
+            truth.push(FlowTruth {
+                domain: domain.name.clone(),
+                port: 443,
+                send_bytes: send,
+                recv_bytes: recv,
+                owner_package: "android.system".to_owned(),
+                expected_origin,
+                lib_category: LibCategory::Unknown,
+                domain_category,
+                is_ant: false,
+                is_common: false,
+                style: OpStyle::System,
+            });
+            system_ops.push(SystemOp {
+                op,
+                dispatcher: Dispatcher::Thread,
+            });
+        }
+    }
+
+    // --- Assemble the apk ----------------------------------------------------
+    let classes = vec![ClassDef {
+        dotted_name: format!("{package}.App"),
+        method_indices: vec![app_on_create_id],
+    }];
+    let dex = DexFile { methods, classes };
+    debug_assert_eq!(dex.validate(), Ok(()));
+    let manifest = Manifest {
+        package: package.clone(),
+        version_code: 1 + (index % 40) as u32,
+        category: category.name.to_owned(),
+        dex_timestamp: 1_400_000_000 + (index as u64 * 7_919) % 160_000_000,
+        vt_scan_date: Some(1_560_000_000 + (index as u64 * 104_729) % 30_000_000),
+        application_on_create: vec![app_on_create_sig],
+        activities,
+    };
+    // A minority of apps ship native code; most of those are fat apks.
+    let extra = native_lib_entries(rng);
+    let apk = Apk::build(&manifest, &dex, extra);
+
+    GeneratedApp {
+        package,
+        category,
+        apk,
+        truth,
+        system_ops,
+        archetype,
+    }
+}
+
+/// Picks `count` distinct templates of a category, weight-proportionally.
+fn pick_templates(
+    category: LibCategory,
+    count: usize,
+    rng: &mut SmallRng,
+) -> Vec<&'static LibraryTemplate> {
+    let mut pool = templates_of(category);
+    let mut picked = Vec::new();
+    for _ in 0..count.min(pool.len()) {
+        let total: f64 = pool.iter().map(|t| t.weight).sum();
+        let mut roll = rng.gen::<f64>() * total;
+        let mut chosen = 0;
+        for (i, t) in pool.iter().enumerate() {
+            roll -= t.weight;
+            if roll <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        picked.push(pool.remove(chosen));
+    }
+    picked
+}
+
+/// Builds one library instance carrying `target_bytes` of session
+/// volume, recording ground truth.
+#[allow(clippy::too_many_arguments)] // generation context is inherently wide
+fn build_instance(
+    template: &'static LibraryTemplate,
+    base_index: u32,
+    target_bytes: f64,
+    universe: &DomainUniverse,
+    config: &AppGenConfig,
+    rng: &mut SmallRng,
+    truth: &mut Vec<FlowTruth>,
+    used_domains: &mut std::collections::HashSet<String>,
+) -> InstantiatedLibrary {
+    let connector = template_connector(template);
+    let dist = fig9::domain_distribution(template.category);
+    let mut make_op = |bytes: f64, style: OpStyle| {
+        let domain_category = sample_weighted(&dist, rng);
+        let domain = sample_unused(universe, domain_category, rng, used_domains);
+        let recv = bytes.max(64.0) as u64;
+        let send = (bytes / ratio_for(template.category, rng)).max(32.0) as u64;
+        let op = NetworkOp {
+            domain: domain.name.clone(),
+            port: if rng.gen_bool(0.85) { 443 } else { 80 },
+            send_bytes: send,
+            recv_bytes: recv,
+            connector,
+        };
+        (op, domain_category, style)
+    };
+    let (bg0, cat0, _) = make_op(target_bytes * 0.55, OpStyle::Startup);
+    let (bg1, cat1, _) = make_op(target_bytes * 0.30, OpStyle::Startup);
+    let (refresh, catr, _) = make_op(
+        target_bytes * 0.15 / config.expected_refresh_invocations,
+        OpStyle::Refresh,
+    );
+    let ops = LibraryOps {
+        bg0: bg0.clone(),
+        bg1: bg1.clone(),
+        refresh: refresh.clone(),
+    };
+    let instance = instantiate(template, base_index, &ops);
+    for ((sig, op), (domain_category, style)) in instance.owned_ops.iter().zip([
+        (cat0, OpStyle::Startup),
+        (cat1, OpStyle::Startup),
+        (catr, OpStyle::Refresh),
+    ]) {
+        truth.push(FlowTruth {
+            domain: op.domain.clone(),
+            port: op.port,
+            send_bytes: op.send_bytes,
+            recv_bytes: op.recv_bytes,
+            owner_package: sig.package(),
+            expected_origin: Some(sig.package()),
+            lib_category: template.category,
+            domain_category,
+            is_ant: template.is_ant,
+            is_common: template.is_common,
+            style,
+        });
+    }
+    instance
+}
+
+/// Creates a first-party network op of roughly `bytes` and records its
+/// truth (origin = the app's own package tree → Unknown category).
+fn first_party_op(
+    bytes: f64,
+    universe: &DomainUniverse,
+    _config: &AppGenConfig,
+    rng: &mut SmallRng,
+    package: &str,
+    truth: &mut Vec<FlowTruth>,
+    used_domains: &mut std::collections::HashSet<String>,
+) -> NetworkOp {
+    let dist = fig9::domain_distribution(LibCategory::Unknown);
+    let domain_category = sample_weighted(&dist, rng);
+    let domain = sample_unused(universe, domain_category, rng, used_domains);
+    let recv = bytes.max(64.0) as u64;
+    let send = (bytes / ratio_for(LibCategory::Unknown, rng)).max(32.0) as u64;
+    let op = NetworkOp {
+        domain: domain.name.clone(),
+        port: 443,
+        send_bytes: send,
+        recv_bytes: recv,
+        connector: Connector::AndroidOkHttp,
+    };
+    truth.push(FlowTruth {
+        domain: domain.name.clone(),
+        port: 443,
+        send_bytes: send,
+        recv_bytes: recv,
+        owner_package: package.to_owned(),
+        expected_origin: Some(package.to_owned()),
+        lib_category: LibCategory::Unknown,
+        domain_category,
+        is_ant: false,
+        is_common: false,
+        style: OpStyle::Startup,
+    });
+    op
+}
+
+/// Per-flow received/sent ratio by category: AnT libraries pull far
+/// more than they push (paper: AnT ratio ≈ 54.8 vs common ≈ 24.4).
+fn ratio_for(category: LibCategory, rng: &mut SmallRng) -> f64 {
+    // Payload-level means sit above the paper's wire-level targets
+    // because per-flow header overhead (handshake, ACKs, teardown)
+    // compresses the measured ratio.
+    let mean = match category {
+        LibCategory::Advertisement | LibCategory::MobileAnalytics => 220.0,
+        LibCategory::GameEngine => 260.0,
+        LibCategory::Unknown => 120.0,
+        _ => 80.0,
+    };
+    (mean * lognormal(rng, 0.7)).clamp(1.2, 2_000.0)
+}
+
+fn sample_weighted(dist: &[(DomainCategory, f64)], rng: &mut SmallRng) -> DomainCategory {
+    let mut roll = rng.gen::<f64>();
+    for (cat, p) in dist {
+        roll -= p;
+        if roll <= 0.0 {
+            return *cat;
+        }
+    }
+    dist.last().map(|(c, _)| *c).unwrap_or(DomainCategory::Unknown)
+}
+
+/// Mean-1 lognormal multiplier with shape `sigma`.
+fn lognormal(rng: &mut SmallRng, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z - sigma * sigma / 2.0).exp()
+}
+
+/// Native-library entries: ~72 % pure Java, ~20 % fat (arm+x86), ~8 %
+/// ARM-only (those get filtered out during app selection, §III-A).
+fn native_lib_entries(rng: &mut SmallRng) -> Vec<ApkEntry> {
+    let roll: f64 = rng.gen();
+    let abis: &[&str] = if roll < 0.72 {
+        &[]
+    } else if roll < 0.92 {
+        &["armeabi-v7a", "x86"]
+    } else {
+        &["armeabi-v7a", "arm64-v8a"]
+    };
+    abis.iter()
+        .map(|abi| ApkEntry {
+            name: format!("lib/{abi}/libnative.so"),
+            data: bytes::Bytes::from(vec![0x7f, b'E', b'L', b'F']),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::APP_CATEGORIES;
+    use rand::SeedableRng;
+
+    fn quick_app(seed: u64, archetype: Archetype) -> GeneratedApp {
+        let universe = DomainUniverse::generate(1, 400);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let config = AppGenConfig {
+            method_scale: 0.005,
+            ..Default::default()
+        };
+        generate_app(0, &APP_CATEGORIES[0], archetype, &universe, &config, &mut rng)
+    }
+
+    #[test]
+    fn generated_apk_is_well_formed() {
+        let app = quick_app(1, Archetype::Mixed);
+        let dex = app.apk.dex().expect("dex parses");
+        assert_eq!(dex.validate(), Ok(()));
+        let manifest = app.apk.manifest().expect("manifest parses");
+        assert_eq!(manifest.package, app.package);
+        assert_eq!(manifest.application_on_create.len(), 1);
+        assert!(!manifest.activities.is_empty());
+        // Every manifest entry point is defined in the dex.
+        for sig in manifest
+            .application_on_create
+            .iter()
+            .chain(manifest.activities.iter().flat_map(|a| {
+                a.on_create.iter().chain(a.handlers.iter())
+            }))
+        {
+            assert!(dex.find_method(sig).is_some(), "{sig} missing from dex");
+        }
+    }
+
+    #[test]
+    fn ant_only_apps_have_only_ant_truth() {
+        let app = quick_app(2, Archetype::AntOnly);
+        let app_flows: Vec<_> = app
+            .truth
+            .iter()
+            .filter(|t| t.style != OpStyle::System)
+            .collect();
+        assert!(!app_flows.is_empty());
+        assert!(app_flows.iter().all(|t| t.is_ant));
+    }
+
+    #[test]
+    fn no_ant_apps_have_no_ant_truth() {
+        let app = quick_app(3, Archetype::NoAnt);
+        assert!(app.truth.iter().all(|t| !t.is_ant));
+        // But they still talk to the network.
+        assert!(app.truth.iter().any(|t| t.recv_bytes > 0));
+    }
+
+    #[test]
+    fn mixed_apps_cover_ant_and_first_party() {
+        let app = quick_app(4, Archetype::Mixed);
+        assert!(app.truth.iter().any(|t| t.is_ant));
+        assert!(app
+            .truth
+            .iter()
+            .any(|t| t.lib_category == LibCategory::Unknown && t.style != OpStyle::System));
+    }
+
+    #[test]
+    fn game_engine_only_in_game_apps() {
+        let universe = DomainUniverse::generate(1, 400);
+        let config = AppGenConfig::default();
+        let game_cat = APP_CATEGORIES
+            .iter()
+            .find(|c| c.name == "GAME_ACTION")
+            .unwrap();
+        let tool_cat = APP_CATEGORIES.iter().find(|c| c.name == "TOOLS").unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let game = generate_app(0, game_cat, Archetype::Mixed, &universe, &config, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tool = generate_app(0, tool_cat, Archetype::Mixed, &universe, &config, &mut rng);
+        assert!(game
+            .truth
+            .iter()
+            .any(|t| t.lib_category == LibCategory::GameEngine));
+        assert!(!tool
+            .truth
+            .iter()
+            .any(|t| t.lib_category == LibCategory::GameEngine));
+    }
+
+    #[test]
+    fn truth_domains_are_in_universe() {
+        let universe = DomainUniverse::generate(1, 400);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let app = generate_app(
+            1,
+            &APP_CATEGORIES[3],
+            Archetype::Mixed,
+            &universe,
+            &AppGenConfig::default(),
+            &mut rng,
+        );
+        for t in &app.truth {
+            assert!(universe.by_name(&t.domain).is_some(), "{} unknown", t.domain);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick_app(7, Archetype::Mixed);
+        let b = quick_app(7, Archetype::Mixed);
+        assert_eq!(a.apk.sha256(), b.apk.sha256());
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn received_exceeds_sent() {
+        let app = quick_app(8, Archetype::Mixed);
+        let recv: u64 = app.truth.iter().map(|t| t.recv_bytes).sum();
+        let sent: u64 = app.truth.iter().map(|t| t.send_bytes).sum();
+        assert!(recv > sent * 3, "recv {recv} sent {sent}");
+    }
+
+    #[test]
+    fn lognormal_mean_is_about_one() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| lognormal(&mut rng, 0.9)).sum::<f64>() / n as f64;
+        assert!((0.9..1.1).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,152 @@
+//! The 49 Google Play app categories and their corpus composition.
+//!
+//! Category weights approximate the composition visible in Figure 2
+//! (aggregate bars) and Figure 8 (per-app averages): game sub-categories
+//! are numerous, media categories transfer the most per app, and
+//! finance/dating apps barely talk to the network during monkey runs.
+
+/// One Play-store category with its corpus parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppCategory {
+    /// Play-store label, e.g. `GAME_ACTION`.
+    pub name: &'static str,
+    /// Relative share of the corpus.
+    pub weight: f64,
+    /// Per-app traffic multiplier (Figure 8 shape; 1.0 = corpus mean
+    /// before normalization).
+    pub volume_multiplier: f64,
+}
+
+impl AppCategory {
+    /// `true` for `GAME_*` categories and `GAMES`.
+    pub fn is_game(&self) -> bool {
+        self.name.starts_with("GAME")
+    }
+}
+
+/// All 49 categories (Figure 2 x-axis).
+pub const APP_CATEGORIES: [AppCategory; 49] = [
+    AppCategory { name: "NEWS_AND_MAGAZINES", weight: 2.6, volume_multiplier: 3.2 },
+    AppCategory { name: "MUSIC_AND_AUDIO", weight: 2.6, volume_multiplier: 3.4 },
+    AppCategory { name: "GAME_SIMULATION", weight: 2.6, volume_multiplier: 2.1 },
+    AppCategory { name: "SPORTS", weight: 2.4, volume_multiplier: 2.4 },
+    AppCategory { name: "BOOKS_AND_REFERENCE", weight: 2.4, volume_multiplier: 2.0 },
+    AppCategory { name: "GAME_PUZZLE", weight: 3.0, volume_multiplier: 1.6 },
+    AppCategory { name: "GAME_ACTION", weight: 2.8, volume_multiplier: 1.9 },
+    AppCategory { name: "EDUCATION", weight: 2.6, volume_multiplier: 1.5 },
+    AppCategory { name: "ART_AND_DESIGN", weight: 1.6, volume_multiplier: 1.4 },
+    AppCategory { name: "GAME_RACING", weight: 1.8, volume_multiplier: 1.8 },
+    AppCategory { name: "GAME_ARCADE", weight: 2.8, volume_multiplier: 1.7 },
+    AppCategory { name: "GAME_ADVENTURE", weight: 1.8, volume_multiplier: 1.7 },
+    AppCategory { name: "PERSONALIZATION", weight: 2.8, volume_multiplier: 1.4 },
+    AppCategory { name: "ENTERTAINMENT", weight: 2.8, volume_multiplier: 1.4 },
+    AppCategory { name: "GAME_WORD", weight: 1.4, volume_multiplier: 1.5 },
+    AppCategory { name: "GAME_CASUAL", weight: 2.6, volume_multiplier: 1.5 },
+    AppCategory { name: "GAME_STRATEGY", weight: 1.8, volume_multiplier: 1.5 },
+    AppCategory { name: "FOOD_AND_DRINK", weight: 1.4, volume_multiplier: 1.1 },
+    AppCategory { name: "TOOLS", weight: 3.4, volume_multiplier: 1.2 },
+    AppCategory { name: "GAME_BOARD", weight: 1.4, volume_multiplier: 1.3 },
+    AppCategory { name: "GAME_TRIVIA", weight: 1.2, volume_multiplier: 1.3 },
+    AppCategory { name: "GAME_CASINO", weight: 1.2, volume_multiplier: 1.3 },
+    AppCategory { name: "GAME_SPORTS", weight: 1.4, volume_multiplier: 1.3 },
+    AppCategory { name: "VIDEO_PLAYERS", weight: 1.8, volume_multiplier: 1.2 },
+    AppCategory { name: "COMICS", weight: 1.0, volume_multiplier: 1.3 },
+    AppCategory { name: "GAME_ROLE_PLAYING", weight: 1.2, volume_multiplier: 1.2 },
+    AppCategory { name: "MEDICAL", weight: 1.2, volume_multiplier: 1.0 },
+    AppCategory { name: "GAME_CARD", weight: 1.2, volume_multiplier: 1.1 },
+    AppCategory { name: "LIFESTYLE", weight: 2.6, volume_multiplier: 0.9 },
+    AppCategory { name: "GAME_EDUCATIONAL", weight: 1.0, volume_multiplier: 1.0 },
+    AppCategory { name: "SHOPPING", weight: 1.8, volume_multiplier: 0.85 },
+    AppCategory { name: "HEALTH_AND_FITNESS", weight: 1.8, volume_multiplier: 0.8 },
+    AppCategory { name: "PHOTOGRAPHY", weight: 2.0, volume_multiplier: 0.8 },
+    AppCategory { name: "BEAUTY", weight: 1.0, volume_multiplier: 0.9 },
+    AppCategory { name: "TRAVEL_AND_LOCAL", weight: 1.8, volume_multiplier: 0.75 },
+    AppCategory { name: "LIBRARIES_AND_DEMO", weight: 1.0, volume_multiplier: 1.5 },
+    AppCategory { name: "WEATHER", weight: 1.0, volume_multiplier: 0.7 },
+    AppCategory { name: "HOUSE_AND_HOME", weight: 1.0, volume_multiplier: 0.7 },
+    AppCategory { name: "COMMUNICATION", weight: 2.2, volume_multiplier: 0.6 },
+    AppCategory { name: "EVENTS", weight: 0.8, volume_multiplier: 1.1 },
+    AppCategory { name: "GAME_MUSIC", weight: 0.6, volume_multiplier: 1.0 },
+    AppCategory { name: "SOCIAL", weight: 2.0, volume_multiplier: 0.55 },
+    AppCategory { name: "MAPS_AND_NAVIGATION", weight: 1.4, volume_multiplier: 0.5 },
+    AppCategory { name: "PRODUCTIVITY", weight: 2.4, volume_multiplier: 0.45 },
+    AppCategory { name: "BUSINESS", weight: 2.2, volume_multiplier: 0.4 },
+    AppCategory { name: "PARENTING", weight: 0.8, volume_multiplier: 0.5 },
+    AppCategory { name: "AUTO_AND_VEHICLES", weight: 1.0, volume_multiplier: 0.4 },
+    AppCategory { name: "FINANCE", weight: 2.0, volume_multiplier: 0.25 },
+    AppCategory { name: "DATING", weight: 0.8, volume_multiplier: 0.2 },
+];
+
+/// Weighted share of game apps in the corpus.
+pub fn game_share() -> f64 {
+    let total: f64 = APP_CATEGORIES.iter().map(|c| c.weight).sum();
+    let games: f64 = APP_CATEGORIES
+        .iter()
+        .filter(|c| c.is_game())
+        .map(|c| c.weight)
+        .sum();
+    games / total
+}
+
+/// The weighted mean of volume multipliers, used to normalize so that
+/// the corpus-wide expected volume matches the Figure 9 totals exactly.
+pub fn mean_volume_multiplier() -> f64 {
+    let total: f64 = APP_CATEGORIES.iter().map(|c| c.weight).sum();
+    APP_CATEGORIES
+        .iter()
+        .map(|c| c.weight * c.volume_multiplier)
+        .sum::<f64>()
+        / total
+}
+
+/// Looks up a category by name.
+pub fn category_by_name(name: &str) -> Option<&'static AppCategory> {
+    APP_CATEGORIES.iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_nine_distinct_categories() {
+        assert_eq!(APP_CATEGORIES.len(), 49);
+        let names: std::collections::HashSet<_> =
+            APP_CATEGORIES.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 49);
+    }
+
+    #[test]
+    fn seventeen_game_categories() {
+        // Figure 2 lists 17 GAME_* sub-categories.
+        let games = APP_CATEGORIES.iter().filter(|c| c.is_game()).count();
+        assert_eq!(games, 17);
+        assert!(game_share() > 0.2 && game_share() < 0.5);
+    }
+
+    #[test]
+    fn media_categories_lead_per_app_volume() {
+        // Figure 8: Music and News transfer the most per app; Finance
+        // and Dating the least.
+        let m = |n: &str| category_by_name(n).unwrap().volume_multiplier;
+        assert!(m("MUSIC_AND_AUDIO") > m("TOOLS"));
+        assert!(m("NEWS_AND_MAGAZINES") > m("SHOPPING"));
+        assert!(m("FINANCE") < m("LIFESTYLE"));
+        assert!(m("DATING") <= m("FINANCE"));
+    }
+
+    #[test]
+    fn positive_weights_and_multipliers() {
+        for c in APP_CATEGORIES {
+            assert!(c.weight > 0.0, "{}", c.name);
+            assert!(c.volume_multiplier > 0.0, "{}", c.name);
+        }
+        assert!(mean_volume_multiplier() > 0.5);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(category_by_name("GAME_ACTION").unwrap().is_game());
+        assert!(category_by_name("NOT_A_CATEGORY").is_none());
+    }
+}

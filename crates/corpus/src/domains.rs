@@ -1,0 +1,247 @@
+//! The DNS domain universe.
+//!
+//! Table I reports 14,140 distinct domains across 17 generic categories
+//! (with very different sizes: 3,394 business/finance domains but only
+//! 77 CDN domains — which is exactly why CDN domains top the per-domain
+//! average in Figure 7). The universe is generated at a size scaled to
+//! the corpus, preserving Table I's proportions, and each domain gets a
+//! unique address plus deterministic VirusTotal-style vendor labels.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spector_vtcat::{DomainCategory, VendorOracle};
+
+/// Table I domain counts per generic category, in
+/// [`DomainCategory::ALL`] order.
+pub const TABLE1_DOMAIN_COUNTS: [u32; 17] = [
+    206,   // adult
+    1_336, // advertisements
+    419,   // analytics
+    3_394, // business_and_finance
+    77,    // cdn
+    472,   // communication
+    413,   // education
+    481,   // entertainment
+    288,   // games
+    40,    // health
+    1_525, // info_tech
+    374,   // internet_services
+    558,   // lifestyle
+    23,    // malicious
+    415,   // news
+    55,    // social_networks
+    4_064, // unknown
+];
+
+/// Paper total (sum of the Table I counts).
+pub const TABLE1_TOTAL: u32 = 14_140;
+
+/// One domain in the universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Host name.
+    pub name: String,
+    /// Authoritative address (unique per domain).
+    pub ip: Ipv4Addr,
+    /// True category (ground truth; the pipeline must *recover* this
+    /// via the vendor oracle + tokenizer).
+    pub true_category: DomainCategory,
+    /// VirusTotal-style vendor labels.
+    pub vendor_labels: Vec<String>,
+}
+
+/// The generated domain universe.
+#[derive(Debug, Clone)]
+pub struct DomainUniverse {
+    domains: Vec<Domain>,
+    /// indices per true category, for sampling.
+    by_category: HashMap<DomainCategory, Vec<usize>>,
+}
+
+impl DomainUniverse {
+    /// Generates a universe of roughly `target_total` domains with
+    /// Table I category proportions (at least one domain per non-empty
+    /// category).
+    pub fn generate(seed: u64, target_total: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let oracle = VendorOracle::new(seed);
+        let mut domains = Vec::new();
+        let mut by_category: HashMap<DomainCategory, Vec<usize>> = HashMap::new();
+        let scale = target_total as f64 / f64::from(TABLE1_TOTAL);
+
+        for (idx, category) in DomainCategory::ALL.iter().enumerate() {
+            let count = ((f64::from(TABLE1_DOMAIN_COUNTS[idx]) * scale).round() as usize).max(1);
+            for n in 0..count {
+                let global = domains.len();
+                let name = domain_name(&mut rng, *category, n, global);
+                let ip = index_ip(global);
+                let vendor_labels = oracle.labels(&name, *category);
+                by_category.entry(*category).or_default().push(global);
+                domains.push(Domain {
+                    name,
+                    ip,
+                    true_category: *category,
+                    vendor_labels,
+                });
+            }
+        }
+        DomainUniverse {
+            domains,
+            by_category,
+        }
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Returns `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Number of domains in one category.
+    pub fn category_count(&self, category: DomainCategory) -> usize {
+        self.by_category.get(&category).map_or(0, Vec::len)
+    }
+
+    /// Samples a domain of `category`, rank-skewed so that a few
+    /// domains per category receive most traffic (the paper: the top
+    /// 4,010 of 14,140 domains carry half of all bytes).
+    pub fn sample(&self, category: DomainCategory, rng: &mut SmallRng) -> &Domain {
+        let indices = self
+            .by_category
+            .get(&category)
+            .expect("every category has at least one domain");
+        // Log-uniform rank: heavy skew toward low ranks.
+        let u: f64 = rng.gen();
+        let rank = ((indices.len() as f64).powf(u) - 1.0) as usize;
+        &self.domains[indices[rank.min(indices.len() - 1)]]
+    }
+
+    /// Looks up a domain by name (linear; used by tests and tooling).
+    pub fn by_name(&self, name: &str) -> Option<&Domain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+/// Deterministic unique address per domain index, spread over the
+/// 198.18.0.0/15 benchmarking range (RFC 2544) and 203.0.113.0/24-style
+/// extensions for very large universes.
+fn index_ip(index: usize) -> Ipv4Addr {
+    let hi = (index / 254) as u16;
+    let lo = (index % 254 + 1) as u8;
+    Ipv4Addr::new(198, 18 + (hi / 256) as u8, (hi % 256) as u8, lo)
+}
+
+fn domain_name(rng: &mut SmallRng, category: DomainCategory, n: usize, global: usize) -> String {
+    const STEMS: [&str; 12] = [
+        "cloud", "app", "net", "data", "hub", "box", "zone", "srv", "go", "api", "web", "core",
+    ];
+    const TLDS: [&str; 5] = ["com", "net", "io", "org", "co"];
+    let stem = STEMS[rng.gen_range(0..STEMS.len())];
+    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    let short = match category {
+        DomainCategory::Advertisements => "ad",
+        DomainCategory::Analytics => "metrics",
+        DomainCategory::Cdn => "cdn",
+        DomainCategory::Games => "play",
+        DomainCategory::SocialNetworks => "social",
+        DomainCategory::News => "news",
+        DomainCategory::BusinessAndFinance => "biz",
+        _ => "host",
+    };
+    // `global` keys uniqueness across the whole universe; `n` keeps the
+    // per-category numbering human-readable.
+    format!("{short}{n}.{stem}{global}.{tld}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_paper_total() {
+        assert_eq!(TABLE1_DOMAIN_COUNTS.iter().sum::<u32>(), TABLE1_TOTAL);
+    }
+
+    #[test]
+    fn proportions_preserved_at_scale() {
+        let universe = DomainUniverse::generate(1, 1_414); // 10% scale
+        assert!(!universe.is_empty());
+        // business_and_finance should be ~339, cdn ~8.
+        let biz = universe.category_count(DomainCategory::BusinessAndFinance);
+        let cdn = universe.category_count(DomainCategory::Cdn);
+        assert!((330..350).contains(&biz), "biz {biz}");
+        assert!((6..11).contains(&cdn), "cdn {cdn}");
+        assert!(universe.category_count(DomainCategory::Malicious) >= 1);
+    }
+
+    #[test]
+    fn unique_names_and_ips() {
+        let universe = DomainUniverse::generate(2, 2_000);
+        let mut names: Vec<_> = universe.domains().iter().map(|d| &d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), universe.len());
+        let mut ips: Vec<_> = universe.domains().iter().map(|d| d.ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), universe.len());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = DomainUniverse::generate(3, 500);
+        let b = DomainUniverse::generate(3, 500);
+        assert_eq!(a.domains(), b.domains());
+        let c = DomainUniverse::generate(4, 500);
+        assert_ne!(a.domains(), c.domains());
+    }
+
+    #[test]
+    fn sampling_respects_category_and_skews() {
+        let universe = DomainUniverse::generate(5, 2_000);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut first_hit = 0;
+        let n = 1_000;
+        for _ in 0..n {
+            let d = universe.sample(DomainCategory::Advertisements, &mut rng);
+            assert_eq!(d.true_category, DomainCategory::Advertisements);
+            if std::ptr::eq(
+                d,
+                universe.sample_first(DomainCategory::Advertisements),
+            ) {
+                first_hit += 1;
+            }
+        }
+        // The rank-0 domain must receive far more than a uniform share
+        // (uniform would be ~1000/189 ≈ 5).
+        assert!(first_hit > 50, "rank-0 hits {first_hit}");
+    }
+
+    #[test]
+    fn unknown_category_domains_have_no_labels() {
+        let universe = DomainUniverse::generate(6, 1_000);
+        for d in universe.domains() {
+            if d.true_category == DomainCategory::Unknown {
+                assert!(d.vendor_labels.is_empty());
+            }
+        }
+    }
+
+    impl DomainUniverse {
+        fn sample_first(&self, category: DomainCategory) -> &Domain {
+            &self.domains[self.by_category[&category][0]]
+        }
+    }
+}

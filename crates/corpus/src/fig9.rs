@@ -1,0 +1,181 @@
+//! Calibration matrix: traffic (MB) per library category × DNS domain
+//! category, taken from Figure 9 of the paper (the heatmap prints its
+//! cell values, making it the one complete quantitative description of
+//! the measured traffic mix). The workload generator samples volumes so
+//! that the *expected* corpus-wide mix reproduces this matrix, scaled by
+//! corpus size; the analysis stage later re-derives the same figure from
+//! the measured capture, closing the loop.
+
+use spector_libradar::LibCategory;
+use spector_vtcat::DomainCategory;
+
+/// Number of library-category columns.
+pub const LIB_COLS: usize = 13;
+/// Number of domain-category rows.
+pub const DOMAIN_ROWS: usize = 17;
+
+/// Column order (Figure 9 x-axis).
+pub const LIB_ORDER: [LibCategory; LIB_COLS] = [
+    LibCategory::Advertisement,
+    LibCategory::AppMarket,
+    LibCategory::DevelopmentAid,
+    LibCategory::DevelopmentFramework,
+    LibCategory::DigitalIdentity,
+    LibCategory::GuiComponent,
+    LibCategory::GameEngine,
+    LibCategory::MapLbs,
+    LibCategory::MobileAnalytics,
+    LibCategory::Payment,
+    LibCategory::SocialNetwork,
+    LibCategory::Unknown,
+    LibCategory::Utility,
+];
+
+/// Row order (Figure 9 y-axis) — identical to [`DomainCategory::ALL`].
+pub const DOMAIN_ORDER: [DomainCategory; DOMAIN_ROWS] = DomainCategory::ALL;
+
+/// Figure 9 cell values in MB: `MATRIX_MB[domain_row][lib_col]`.
+pub const MATRIX_MB: [[f64; LIB_COLS]; DOMAIN_ROWS] = [
+    // adult
+    [9.2, 0.0, 62.6, 0.1, 0.0, 0.0, 25.4, 4.1, 0.1, 0.3, 0.8, 19.1, 8.9],
+    // advertisements
+    [3518.5, 0.1, 1855.7, 0.4, 1.6, 3.1, 223.3, 0.4, 61.2, 18.3, 13.1, 36.0, 45.7],
+    // analytics
+    [3.5, 0.0, 97.3, 0.0, 1.0, 9.9, 4.9, 0.1, 190.6, 2.8, 0.8, 5.6, 3.3],
+    // business_and_finance
+    [1633.3, 5.8, 1280.0, 8.1, 82.0, 198.6, 183.3, 18.8, 40.4, 14.8, 36.5, 2221.9, 249.8],
+    // cdn
+    [2098.8, 0.4, 711.2, 4.0, 0.1, 0.1, 465.5, 0.0, 1.0, 5.1, 23.6, 1000.6, 29.6],
+    // communication
+    [23.6, 0.1, 195.4, 0.0, 0.2, 0.3, 2.2, 0.2, 19.5, 0.6, 14.2, 376.6, 14.2],
+    // education
+    [4.7, 0.0, 307.8, 0.0, 0.3, 0.1, 2.2, 2.4, 2.7, 1.0, 34.6, 133.1, 7.4],
+    // entertainment
+    [275.2, 0.0, 562.1, 1.3, 0.2, 1.4, 0.2, 0.5, 1.1, 25.4, 9.6, 629.3, 15.8],
+    // games
+    [4.7, 0.0, 18.3, 0.0, 1.5, 0.0, 1515.5, 0.0, 0.0, 0.0, 1.9, 1.1, 186.0],
+    // health
+    [0.1, 0.0, 11.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 1.4, 40.3],
+    // info_tech
+    [892.5, 0.2, 615.6, 1.8, 14.7, 369.5, 245.8, 2.9, 60.8, 71.5, 93.6, 1862.3, 89.9],
+    // internet_services
+    [32.2, 0.0, 474.8, 3.3, 0.1, 1.4, 232.0, 1.4, 12.5, 0.9, 2.8, 88.0, 58.6],
+    // lifestyle
+    [18.7, 0.0, 300.7, 0.1, 0.9, 0.5, 25.3, 0.5, 0.8, 32.3, 3.1, 225.0, 22.8],
+    // malicious
+    [0.0, 0.0, 9.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.5, 0.3],
+    // news
+    [5.2, 0.0, 197.9, 0.4, 0.2, 3.7, 0.0, 0.3, 3.4, 9.4, 1.5, 110.8, 4.6],
+    // social_networks
+    [0.1, 0.0, 24.1, 0.0, 0.1, 0.0, 1.1, 0.0, 0.0, 0.1, 160.0, 1.5, 15.6],
+    // unknown
+    [177.4, 1.1, 1378.0, 4.3, 16.9, 21.5, 209.7, 28.2, 132.6, 33.6, 43.9, 1061.4, 241.9],
+];
+
+/// Paper corpus size the matrix was measured over.
+pub const PAPER_APP_COUNT: usize = 25_000;
+
+/// Column index of a library category.
+pub fn lib_col(category: LibCategory) -> usize {
+    LIB_ORDER
+        .iter()
+        .position(|c| *c == category)
+        .expect("all 13 categories are columns")
+}
+
+/// Row index of a domain category.
+pub fn domain_row(category: DomainCategory) -> usize {
+    DOMAIN_ORDER
+        .iter()
+        .position(|c| *c == category)
+        .expect("all 17 categories are rows")
+}
+
+/// Total MB attributed to a library category (column sum).
+pub fn lib_category_total_mb(category: LibCategory) -> f64 {
+    let col = lib_col(category);
+    MATRIX_MB.iter().map(|row| row[col]).sum()
+}
+
+/// Total MB across the whole matrix.
+pub fn total_mb() -> f64 {
+    MATRIX_MB.iter().flatten().sum()
+}
+
+/// Expected MB a single app contributes to `category` (paper scale).
+pub fn per_app_mb(category: LibCategory) -> f64 {
+    lib_category_total_mb(category) / PAPER_APP_COUNT as f64
+}
+
+/// The destination-domain-category distribution for traffic of a
+/// library category: Figure 9's column, normalized. Entries are
+/// `(domain category, probability)` with zero-probability rows removed.
+pub fn domain_distribution(category: LibCategory) -> Vec<(DomainCategory, f64)> {
+    let col = lib_col(category);
+    let total: f64 = MATRIX_MB.iter().map(|row| row[col]).sum();
+    if total <= 0.0 {
+        return vec![(DomainCategory::Unknown, 1.0)];
+    }
+    DOMAIN_ORDER
+        .iter()
+        .enumerate()
+        .filter(|(row, _)| MATRIX_MB[*row][col] > 0.0)
+        .map(|(row, cat)| (*cat, MATRIX_MB[row][col] / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_shares_match_paper() {
+        let total = total_mb();
+        // Paper: Advertisement 28.28 %, Development Aid 26.34 %,
+        // Unknown 25.3 %, Game Engine 10.2 %.
+        let share = |cat| lib_category_total_mb(cat) / total * 100.0;
+        assert!((share(LibCategory::Advertisement) - 28.28).abs() < 0.4);
+        assert!((share(LibCategory::DevelopmentAid) - 26.34).abs() < 0.4);
+        assert!((share(LibCategory::Unknown) - 25.3).abs() < 0.4);
+        assert!((share(LibCategory::GameEngine) - 10.2).abs() < 0.4);
+    }
+
+    #[test]
+    fn total_is_about_30_gb() {
+        // The paper reports 30.75 GB of monitored traffic; the printed
+        // matrix sums to roughly that (rounding differences aside).
+        let gb = total_mb() / 1024.0;
+        assert!((28.0..32.0).contains(&gb), "total {gb} GB");
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        for cat in LIB_ORDER {
+            let dist = domain_distribution(cat);
+            let sum: f64 = dist.iter().map(|(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{cat}: {sum}");
+            assert!(dist.iter().all(|(_, p)| *p > 0.0));
+        }
+    }
+
+    #[test]
+    fn ad_traffic_goes_to_cdn_substantially() {
+        // §IV-B: "advertisement libraries send ~29% of their traffic to
+        // CDN servers" (advertisements+cdn rows dominate the column).
+        let dist = domain_distribution(LibCategory::Advertisement);
+        let cdn = dist
+            .iter()
+            .find(|(c, _)| *c == DomainCategory::Cdn)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        assert!((0.2..0.3).contains(&cdn), "cdn share {cdn}");
+    }
+
+    #[test]
+    fn row_and_column_lookups() {
+        assert_eq!(lib_col(LibCategory::Advertisement), 0);
+        assert_eq!(lib_col(LibCategory::Utility), 12);
+        assert_eq!(domain_row(DomainCategory::Adult), 0);
+        assert_eq!(domain_row(DomainCategory::Unknown), 16);
+    }
+}

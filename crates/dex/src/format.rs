@@ -1,0 +1,585 @@
+//! Binary encoding of [`DexFile`] — the on-disk `classes.dex` stand-in.
+//!
+//! Layout (all integers little-endian, lengths uleb128):
+//!
+//! ```text
+//! magic        8 bytes  "SDEX0001"
+//! string_count uleb128
+//!   strings    uleb128 length + UTF-8 bytes, each
+//! method_count uleb128
+//!   methods    sig string idx (uleb128), code item
+//!     code     inst_count uleb128, then per instruction:
+//!              00                      Nop
+//!              01 uleb128              Const
+//!              02 uleb128              Invoke internal(method idx)
+//!              03 uleb128              Invoke external(sig string idx)
+//!              04                      Return
+//!              05 disp ref uleb128     InvokeAsync (disp: 0 AsyncTask,
+//!                                      1 Thread, 2 Executor; ref: 0
+//!                                      internal, 1 external)
+//!              06 domain-idx port send recv conn
+//!                                      Network (all uleb128 except the
+//!                                      trailing connector byte: 0
+//!                                      AndroidOkHttp, 1 ApacheHttp,
+//!                                      2 DirectSocket)
+//! class_count  uleb128
+//!   classes    name string idx, method idx count, method idxs
+//! ```
+//!
+//! A string pool with uleb128-coded references mirrors how real dex
+//! deduplicates type/method signature strings; external framework
+//! signatures used by thousands of invoke sites are stored once.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::model::{
+    ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,
+    NetworkOp,
+};
+use crate::sig::MethodSig;
+
+/// Magic bytes identifying the format and version.
+pub const DEX_MAGIC: &[u8; 8] = b"SDEX0001";
+
+/// Error produced when parsing malformed dex bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DexParseError {
+    /// Description of the malformation.
+    pub message: String,
+}
+
+impl DexParseError {
+    fn new(message: impl Into<String>) -> Self {
+        DexParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed dex: {}", self.message)
+    }
+}
+
+impl Error for DexParseError {}
+
+fn put_uleb128(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            break;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_uleb128(buf: &mut Bytes) -> Result<u64, DexParseError> {
+    let mut result: u64 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DexParseError::new("truncated uleb128"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DexParseError::new("uleb128 overflow"));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Interns strings, assigning dense ids in first-seen order.
+#[derive(Default)]
+struct StringPool {
+    strings: Vec<String>,
+    index: std::collections::HashMap<String, u64>,
+}
+
+impl StringPool {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u64;
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+}
+
+/// Serializes `dex` into its binary representation.
+///
+/// The output is deterministic for a given input.
+pub fn write_dex(dex: &DexFile) -> Bytes {
+    let mut pool = StringPool::default();
+    // Pass 1: intern every string in a stable order — method signatures,
+    // external invoke targets, network domain literals, class names.
+    for method in &dex.methods {
+        pool.intern(method.sig.as_smali());
+        for inst in &method.code.instructions {
+            match inst {
+                Instruction::Invoke(MethodRef::External(sig))
+                | Instruction::InvokeAsync {
+                    target: MethodRef::External(sig),
+                    ..
+                } => {
+                    pool.intern(sig.as_smali());
+                }
+                Instruction::Network(op) => {
+                    pool.intern(&op.domain);
+                }
+                _ => {}
+            }
+        }
+    }
+    for class in &dex.classes {
+        pool.intern(&class.dotted_name);
+    }
+
+    // Pass 2: emit sections. `intern` now only looks up existing ids.
+    let mut buf = BytesMut::new();
+    buf.put_slice(DEX_MAGIC);
+    put_uleb128(&mut buf, pool.strings.len() as u64);
+    for i in 0..pool.strings.len() {
+        let s = &pool.strings[i];
+        put_uleb128(&mut buf, s.len() as u64);
+        buf.put_slice(s.as_bytes());
+    }
+    put_uleb128(&mut buf, dex.methods.len() as u64);
+    for method in &dex.methods {
+        put_uleb128(&mut buf, pool.intern(method.sig.as_smali()));
+        put_uleb128(&mut buf, method.code.instructions.len() as u64);
+        for inst in &method.code.instructions {
+            match inst {
+                Instruction::Nop => buf.put_u8(0),
+                Instruction::Const(v) => {
+                    buf.put_u8(1);
+                    put_uleb128(&mut buf, u64::from(*v));
+                }
+                Instruction::Invoke(MethodRef::Internal(idx)) => {
+                    buf.put_u8(2);
+                    put_uleb128(&mut buf, u64::from(*idx));
+                }
+                Instruction::Invoke(MethodRef::External(sig)) => {
+                    buf.put_u8(3);
+                    put_uleb128(&mut buf, pool.intern(sig.as_smali()));
+                }
+                Instruction::Return => buf.put_u8(4),
+                Instruction::InvokeAsync { dispatcher, target } => {
+                    buf.put_u8(5);
+                    buf.put_u8(match dispatcher {
+                        Dispatcher::AsyncTask => 0,
+                        Dispatcher::Thread => 1,
+                        Dispatcher::Executor => 2,
+                    });
+                    match target {
+                        MethodRef::Internal(idx) => {
+                            buf.put_u8(0);
+                            put_uleb128(&mut buf, u64::from(*idx));
+                        }
+                        MethodRef::External(sig) => {
+                            buf.put_u8(1);
+                            put_uleb128(&mut buf, pool.intern(sig.as_smali()));
+                        }
+                    }
+                }
+                Instruction::Network(op) => {
+                    buf.put_u8(6);
+                    put_uleb128(&mut buf, pool.intern(&op.domain));
+                    put_uleb128(&mut buf, u64::from(op.port));
+                    put_uleb128(&mut buf, op.send_bytes);
+                    put_uleb128(&mut buf, op.recv_bytes);
+                    buf.put_u8(match op.connector {
+                        Connector::AndroidOkHttp => 0,
+                        Connector::ApacheHttp => 1,
+                        Connector::DirectSocket => 2,
+                    });
+                }
+            }
+        }
+    }
+    put_uleb128(&mut buf, dex.classes.len() as u64);
+    for class in &dex.classes {
+        put_uleb128(&mut buf, pool.intern(&class.dotted_name));
+        put_uleb128(&mut buf, class.method_indices.len() as u64);
+        for &idx in &class.method_indices {
+            put_uleb128(&mut buf, u64::from(idx));
+        }
+    }
+    buf.freeze()
+}
+
+/// Parses binary dex bytes back into a [`DexFile`] — the dexlib2
+/// disassembly stand-in used by the Method Monitor and the offline
+/// pipeline.
+///
+/// # Errors
+///
+/// Returns [`DexParseError`] on bad magic, truncation, out-of-range
+/// string references, invalid opcodes, malformed signature strings, or
+/// trailing garbage.
+pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < DEX_MAGIC.len() || &buf.split_to(DEX_MAGIC.len())[..] != DEX_MAGIC {
+        return Err(DexParseError::new("bad magic"));
+    }
+    let string_count = get_uleb128(&mut buf)? as usize;
+    if string_count > bytes.len() {
+        return Err(DexParseError::new("string count exceeds input size"));
+    }
+    let mut strings = Vec::with_capacity(string_count);
+    for _ in 0..string_count {
+        let len = get_uleb128(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(DexParseError::new("truncated string"));
+        }
+        let raw = buf.split_to(len);
+        let s = std::str::from_utf8(&raw)
+            .map_err(|_| DexParseError::new("string is not UTF-8"))?
+            .to_owned();
+        strings.push(s);
+    }
+    let lookup = |id: u64| -> Result<&str, DexParseError> {
+        strings
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or_else(|| DexParseError::new(format!("string id {id} out of range")))
+    };
+
+    let method_count = get_uleb128(&mut buf)? as usize;
+    if method_count > bytes.len() {
+        return Err(DexParseError::new("method count exceeds input size"));
+    }
+    let mut methods = Vec::with_capacity(method_count);
+    for _ in 0..method_count {
+        let sig_id = get_uleb128(&mut buf)?;
+        let sig: MethodSig = lookup(sig_id)?
+            .parse()
+            .map_err(|e| DexParseError::new(format!("bad method signature: {e}")))?;
+        let inst_count = get_uleb128(&mut buf)? as usize;
+        if inst_count > bytes.len() {
+            return Err(DexParseError::new("instruction count exceeds input size"));
+        }
+        let mut instructions = Vec::with_capacity(inst_count);
+        for _ in 0..inst_count {
+            if !buf.has_remaining() {
+                return Err(DexParseError::new("truncated instruction"));
+            }
+            let op = buf.get_u8();
+            let inst = match op {
+                0 => Instruction::Nop,
+                1 => Instruction::Const(get_uleb128(&mut buf)? as u32),
+                2 => Instruction::Invoke(MethodRef::Internal(get_uleb128(&mut buf)? as u32)),
+                3 => {
+                    let sig_id = get_uleb128(&mut buf)?;
+                    let sig: MethodSig = lookup(sig_id)?.parse().map_err(|e| {
+                        DexParseError::new(format!("bad external signature: {e}"))
+                    })?;
+                    Instruction::Invoke(MethodRef::External(sig))
+                }
+                4 => Instruction::Return,
+                5 => {
+                    if buf.remaining() < 2 {
+                        return Err(DexParseError::new("truncated async invoke"));
+                    }
+                    let dispatcher = match buf.get_u8() {
+                        0 => Dispatcher::AsyncTask,
+                        1 => Dispatcher::Thread,
+                        2 => Dispatcher::Executor,
+                        other => {
+                            return Err(DexParseError::new(format!(
+                                "invalid dispatcher {other}"
+                            )))
+                        }
+                    };
+                    let target = match buf.get_u8() {
+                        0 => MethodRef::Internal(get_uleb128(&mut buf)? as u32),
+                        1 => {
+                            let sig_id = get_uleb128(&mut buf)?;
+                            let sig: MethodSig = lookup(sig_id)?.parse().map_err(|e| {
+                                DexParseError::new(format!("bad async target signature: {e}"))
+                            })?;
+                            MethodRef::External(sig)
+                        }
+                        other => {
+                            return Err(DexParseError::new(format!(
+                                "invalid method ref tag {other}"
+                            )))
+                        }
+                    };
+                    Instruction::InvokeAsync { dispatcher, target }
+                }
+                6 => {
+                    let domain_id = get_uleb128(&mut buf)?;
+                    let domain = lookup(domain_id)?.to_owned();
+                    let port = get_uleb128(&mut buf)?;
+                    if port > u64::from(u16::MAX) {
+                        return Err(DexParseError::new("network port out of range"));
+                    }
+                    let send_bytes = get_uleb128(&mut buf)?;
+                    let recv_bytes = get_uleb128(&mut buf)?;
+                    if !buf.has_remaining() {
+                        return Err(DexParseError::new("truncated network op"));
+                    }
+                    let connector = match buf.get_u8() {
+                        0 => Connector::AndroidOkHttp,
+                        1 => Connector::ApacheHttp,
+                        2 => Connector::DirectSocket,
+                        other => {
+                            return Err(DexParseError::new(format!(
+                                "invalid connector {other}"
+                            )))
+                        }
+                    };
+                    Instruction::Network(NetworkOp {
+                        domain,
+                        port: port as u16,
+                        send_bytes,
+                        recv_bytes,
+                        connector,
+                    })
+                }
+                other => return Err(DexParseError::new(format!("invalid opcode {other}"))),
+            };
+            instructions.push(inst);
+        }
+        methods.push(MethodDef {
+            sig,
+            code: CodeItem { instructions },
+        });
+    }
+
+    let class_count = get_uleb128(&mut buf)? as usize;
+    if class_count > bytes.len() {
+        return Err(DexParseError::new("class count exceeds input size"));
+    }
+    let mut classes = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        let name_id = get_uleb128(&mut buf)?;
+        let dotted_name = lookup(name_id)?.to_owned();
+        let idx_count = get_uleb128(&mut buf)? as usize;
+        if idx_count > bytes.len() {
+            return Err(DexParseError::new("class method count exceeds input size"));
+        }
+        let mut method_indices = Vec::with_capacity(idx_count);
+        for _ in 0..idx_count {
+            method_indices.push(get_uleb128(&mut buf)? as u32);
+        }
+        classes.push(ClassDef {
+            dotted_name,
+            method_indices,
+        });
+    }
+
+    if buf.has_remaining() {
+        return Err(DexParseError::new("trailing bytes after class table"));
+    }
+    let dex = DexFile { methods, classes };
+    dex.validate().map_err(DexParseError::new)?;
+    Ok(dex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClassDef;
+
+    fn sample() -> DexFile {
+        DexFile {
+            methods: vec![
+                MethodDef {
+                    sig: MethodSig::new("com.app", "Main", "onCreate", "()V"),
+                    code: CodeItem {
+                        instructions: vec![
+                            Instruction::Nop,
+                            Instruction::Const(1234),
+                            Instruction::Invoke(MethodRef::Internal(1)),
+                            Instruction::Return,
+                        ],
+                    },
+                },
+                MethodDef {
+                    sig: MethodSig::new("com.ads", "Loader", "fetch", "()V"),
+                    code: CodeItem {
+                        instructions: vec![
+                            Instruction::Invoke(MethodRef::External(MethodSig::new(
+                                "java.net",
+                                "Socket",
+                                "connect",
+                                "(Ljava/net/SocketAddress;)V",
+                            ))),
+                            Instruction::Return,
+                        ],
+                    },
+                },
+            ],
+            classes: vec![ClassDef {
+                dotted_name: "com.app.Main".into(),
+                method_indices: vec![0, 1],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dex = sample();
+        let bytes = write_dex(&dex);
+        let parsed = parse_dex(&bytes).unwrap();
+        assert_eq!(parsed, dex);
+    }
+
+    #[test]
+    fn roundtrip_async_and_network_instructions() {
+        let mut dex = sample();
+        dex.methods[0].code.instructions = vec![
+            Instruction::InvokeAsync {
+                dispatcher: Dispatcher::AsyncTask,
+                target: MethodRef::Internal(1),
+            },
+            Instruction::InvokeAsync {
+                dispatcher: Dispatcher::Executor,
+                target: MethodRef::External(MethodSig::new(
+                    "java.lang",
+                    "Runnable",
+                    "run",
+                    "()V",
+                )),
+            },
+            Instruction::Network(NetworkOp {
+                domain: "ads.adnet.example".into(),
+                port: 443,
+                send_bytes: 512,
+                recv_bytes: 1_048_576,
+                connector: Connector::AndroidOkHttp,
+            }),
+            Instruction::Network(NetworkOp {
+                domain: "cdn.host.example".into(),
+                port: 80,
+                send_bytes: 0,
+                recv_bytes: 0,
+                connector: Connector::DirectSocket,
+            }),
+            Instruction::Return,
+        ];
+        let parsed = parse_dex(&write_dex(&dex)).unwrap();
+        assert_eq!(parsed, dex);
+    }
+
+    #[test]
+    fn rejects_invalid_dispatcher_connector_tags() {
+        let mut dex = sample();
+        dex.methods[0].code.instructions = vec![Instruction::InvokeAsync {
+            dispatcher: Dispatcher::Thread,
+            target: MethodRef::Internal(0),
+        }];
+        let bytes = write_dex(&dex).to_vec();
+        // Locate the 0x05 opcode and corrupt its dispatcher byte.
+        let pos = bytes.iter().rposition(|&b| b == 5).unwrap();
+        let mut bad = bytes.clone();
+        bad[pos + 1] = 7;
+        assert!(parse_dex(&bad).is_err());
+        let mut bad = bytes;
+        bad[pos + 2] = 9; // method ref tag
+        assert!(parse_dex(&bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let dex = sample();
+        assert_eq!(write_dex(&dex), write_dex(&dex));
+    }
+
+    #[test]
+    fn string_pool_dedupes_repeated_externals() {
+        let ext = MethodSig::new("java.net", "Socket", "connect", "()V");
+        let mut methods = Vec::new();
+        for i in 0..50 {
+            methods.push(MethodDef {
+                sig: MethodSig::new("com.app", "C", &format!("m{i}"), "()V"),
+                code: CodeItem {
+                    instructions: vec![Instruction::Invoke(MethodRef::External(ext.clone()))],
+                },
+            });
+        }
+        let dex = DexFile {
+            methods,
+            classes: vec![],
+        };
+        let bytes = write_dex(&dex);
+        // The external signature's text must appear exactly once.
+        let needle = ext.as_smali().as_bytes();
+        let count = bytes
+            .windows(needle.len())
+            .filter(|w| *w == needle)
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = parse_dex(b"NOTADEX!rest").unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = write_dex(&sample());
+        for len in 0..bytes.len() {
+            assert!(
+                parse_dex(&bytes[..len]).is_err(),
+                "truncation at {len} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = write_dex(&sample()).to_vec();
+        bytes.push(0);
+        assert!(parse_dex(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_opcode() {
+        // magic + 1 string + 1 method using opcode 9
+        let mut buf = BytesMut::new();
+        buf.put_slice(DEX_MAGIC);
+        put_uleb128(&mut buf, 1);
+        let sig = "La/B;->m()V";
+        put_uleb128(&mut buf, sig.len() as u64);
+        buf.put_slice(sig.as_bytes());
+        put_uleb128(&mut buf, 1); // one method
+        put_uleb128(&mut buf, 0); // sig id
+        put_uleb128(&mut buf, 1); // one instruction
+        buf.put_u8(9);
+        let err = parse_dex(&buf).unwrap_err();
+        assert!(err.to_string().contains("invalid opcode"));
+    }
+
+    #[test]
+    fn empty_dex_roundtrips() {
+        let dex = DexFile::new();
+        assert_eq!(parse_dex(&write_dex(&dex)).unwrap(), dex);
+    }
+
+    #[test]
+    fn uleb128_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_uleb128(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_uleb128(&mut bytes).unwrap(), v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+}

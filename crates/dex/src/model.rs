@@ -1,0 +1,395 @@
+//! In-memory model of a dex file: classes, methods, and code items.
+//!
+//! The model deliberately mirrors the parts of real dex that the paper's
+//! pipeline depends on: the *complete* set of defined method signatures
+//! (for coverage and frame translation), and per-method `invoke` lists
+//! that form the app's static call graph (which the runtime interprets).
+//! Method references may point at methods defined in this dex or at
+//! *external* methods (framework classes such as `java.net.Socket`),
+//! exactly like real invoke instructions referencing library/boot-class
+//! methods.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sig::MethodSig;
+
+/// Reference to an invokable method: either a method defined in this dex
+/// (by index into [`DexFile::methods`]) or an external framework method
+/// identified by signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodRef {
+    /// Index into the defining dex file's method table.
+    Internal(u32),
+    /// A method outside the app — Android framework or boot classpath.
+    External(MethodSig),
+}
+
+/// How an asynchronous invocation is scheduled — this determines which
+/// built-in scheduler frames appear at the *bottom* of the stack on the
+/// new thread, and therefore what `getStackTrace` can still see of the
+/// original caller (nothing, which is exactly why context-aware
+/// attribution needs the deepest non-builtin frame heuristic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dispatcher {
+    /// `android.os.AsyncTask` — the Listing 1 shape.
+    AsyncTask,
+    /// A bare `java.lang.Thread`.
+    Thread,
+    /// A `java.util.concurrent` executor pool.
+    Executor,
+}
+
+/// Which HTTP/socket client chain a network operation goes through.
+///
+/// All of these chains consist of *built-in* framework classes (matched
+/// by the paper's footnote 2 filter), so they sit between the app's
+/// deepest frame and the `socket`/`connect` syscall in every stack
+/// trace, and the attribution stage must skip over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connector {
+    /// `com.android.okhttp` via `HttpURLConnectionImpl` (Listing 1).
+    AndroidOkHttp,
+    /// Legacy `org.apache.http` client.
+    ApacheHttp,
+    /// A raw `java.net.Socket` connection.
+    DirectSocket,
+}
+
+/// One simulated network operation: connect to `domain:port`, send
+/// `send_bytes` of request payload, receive `recv_bytes` of response.
+///
+/// The domain literal lives in the dex string pool, just as URL string
+/// constants do in real apps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkOp {
+    /// Destination host name.
+    pub domain: String,
+    /// Destination TCP port.
+    pub port: u16,
+    /// Request payload bytes (client → server).
+    pub send_bytes: u64,
+    /// Response payload bytes (server → client).
+    pub recv_bytes: u64,
+    /// Client chain used for the connection.
+    pub connector: Connector,
+}
+
+/// One bytecode-like instruction in a code item.
+///
+/// The instruction set is intentionally tiny: the dynamic analysis only
+/// observes *method entry* and *socket syscalls*, so everything else in
+/// real bytecode is irrelevant to the measurement and is represented by
+/// `Nop`/`Const` filler (which also gives code items realistic,
+/// non-uniform sizes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// No-op filler.
+    Nop,
+    /// Load a constant (value is opaque filler).
+    Const(u32),
+    /// Invoke another method synchronously.
+    Invoke(MethodRef),
+    /// Schedule a method on another thread via the given dispatcher.
+    InvokeAsync {
+        /// Scheduling mechanism (determines the new thread's base frames).
+        dispatcher: Dispatcher,
+        /// Method to run on the new thread.
+        target: MethodRef,
+    },
+    /// Perform a network request through a framework client chain.
+    Network(NetworkOp),
+    /// Return from the method.
+    Return,
+}
+
+/// The body of a defined method.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CodeItem {
+    /// Straight-line instruction list (no branches: the runtime models
+    /// control flow probabilistically at the behaviour-graph level).
+    pub instructions: Vec<Instruction>,
+}
+
+impl CodeItem {
+    /// All method references this code item may call — synchronously or
+    /// via an async dispatcher — in instruction order.
+    pub fn invokes(&self) -> impl Iterator<Item = &MethodRef> {
+        self.instructions.iter().filter_map(|inst| match inst {
+            Instruction::Invoke(r) => Some(r),
+            Instruction::InvokeAsync { target, .. } => Some(target),
+            _ => None,
+        })
+    }
+
+    /// All network operations this code item performs, in order.
+    pub fn network_ops(&self) -> impl Iterator<Item = &NetworkOp> {
+        self.instructions.iter().filter_map(|inst| match inst {
+            Instruction::Network(op) => Some(op),
+            _ => None,
+        })
+    }
+}
+
+/// A method defined by the app.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Full type signature.
+    pub sig: MethodSig,
+    /// Bytecode body.
+    pub code: CodeItem,
+}
+
+/// A class definition grouping defined methods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Dotted class name, e.g. `com.unity3d.ads.android.cache.b`.
+    pub dotted_name: String,
+    /// Indices into [`DexFile::methods`] for the methods this class defines.
+    pub method_indices: Vec<u32>,
+}
+
+/// A complete dex file.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DexFile {
+    /// All defined methods. Index == method id.
+    pub methods: Vec<MethodDef>,
+    /// All class definitions.
+    pub classes: Vec<ClassDef>,
+}
+
+impl DexFile {
+    /// Creates an empty dex file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of defined methods — the denominator of the paper's method
+    /// coverage metric.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Looks up a defined method by signature.
+    ///
+    /// Linear scan; callers doing bulk translation should build a
+    /// [`SigIndex`] instead.
+    pub fn find_method(&self, sig: &MethodSig) -> Option<u32> {
+        self.methods
+            .iter()
+            .position(|m| &m.sig == sig)
+            .map(|i| i as u32)
+    }
+
+    /// Iterates over all defined method signatures — the "disassemble the
+    /// dex to obtain the full set of methods" step of the Method Monitor.
+    pub fn signatures(&self) -> impl Iterator<Item = &MethodSig> {
+        self.methods.iter().map(|m| &m.sig)
+    }
+
+    /// Validates internal consistency: class method indices in range,
+    /// internal invoke targets in range, no duplicate signatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.methods.len() as u32;
+        for class in &self.classes {
+            for &idx in &class.method_indices {
+                if idx >= n {
+                    return Err(format!(
+                        "class {} references method index {idx} out of range {n}",
+                        class.dotted_name
+                    ));
+                }
+            }
+        }
+        for method in &self.methods {
+            for invoke in method.code.invokes() {
+                if let MethodRef::Internal(idx) = invoke {
+                    if *idx >= n {
+                        return Err(format!(
+                            "method {} invokes internal index {idx} out of range {n}",
+                            method.sig
+                        ));
+                    }
+                }
+            }
+        }
+        let mut sigs: Vec<&MethodSig> = self.methods.iter().map(|m| &m.sig).collect();
+        sigs.sort();
+        if let Some(w) = sigs.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate method signature {}", w[0]));
+        }
+        Ok(())
+    }
+}
+
+/// Hash index from signature (and from dotted stack-frame name) to method
+/// id — the supervisor's frame-translation table.
+///
+/// The Socket Supervisor receives stack frames as dotted names
+/// (`com.unity3d.ads.android.cache.b.a`) and must translate each to a
+/// full method *type signature* using the parsed dex. Dotted names are
+/// ambiguous for overloads, so the index maps a dotted name to all
+/// candidate signatures in definition order (the paper resolves the same
+/// ambiguity with dex parse order).
+#[derive(Debug, Clone, Default)]
+pub struct SigIndex {
+    sigs: Vec<MethodSig>,
+    by_sig: std::collections::HashMap<MethodSig, u32>,
+    by_dotted: std::collections::HashMap<String, Vec<u32>>,
+}
+
+impl SigIndex {
+    /// Builds the index over `dex`.
+    pub fn build(dex: &DexFile) -> Self {
+        let mut by_sig = std::collections::HashMap::with_capacity(dex.methods.len());
+        let mut by_dotted: std::collections::HashMap<String, Vec<u32>> =
+            std::collections::HashMap::new();
+        let mut sigs = Vec::with_capacity(dex.methods.len());
+        for (i, m) in dex.methods.iter().enumerate() {
+            sigs.push(m.sig.clone());
+            by_sig.insert(m.sig.clone(), i as u32);
+            by_dotted.entry(m.sig.dotted_name()).or_default().push(i as u32);
+        }
+        SigIndex {
+            sigs,
+            by_sig,
+            by_dotted,
+        }
+    }
+
+    /// Method id for an exact signature.
+    pub fn id_of(&self, sig: &MethodSig) -> Option<u32> {
+        self.by_sig.get(sig).copied()
+    }
+
+    /// Signature for a method id (inverse of [`SigIndex::id_of`]).
+    pub fn sig_of(&self, id: u32) -> Option<&MethodSig> {
+        self.sigs.get(id as usize)
+    }
+
+    /// Candidate method ids for a dotted stack-frame name.
+    pub fn candidates(&self, dotted_name: &str) -> &[u32] {
+        self.by_dotted
+            .get(dotted_name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of indexed methods.
+    pub fn len(&self) -> usize {
+        self.by_sig.len()
+    }
+
+    /// Returns `true` when no methods are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_sig.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dex() -> DexFile {
+        let m0 = MethodDef {
+            sig: MethodSig::new("com.app", "Main", "onCreate", "()V"),
+            code: CodeItem {
+                instructions: vec![
+                    Instruction::Const(7),
+                    Instruction::Invoke(MethodRef::Internal(1)),
+                    Instruction::Return,
+                ],
+            },
+        };
+        let m1 = MethodDef {
+            sig: MethodSig::new("com.ads", "Loader", "fetch", "()V"),
+            code: CodeItem {
+                instructions: vec![
+                    Instruction::Invoke(MethodRef::External(MethodSig::new(
+                        "java.net",
+                        "Socket",
+                        "connect",
+                        "(Ljava/net/SocketAddress;)V",
+                    ))),
+                    Instruction::Return,
+                ],
+            },
+        };
+        DexFile {
+            methods: vec![m0, m1],
+            classes: vec![
+                ClassDef {
+                    dotted_name: "com.app.Main".into(),
+                    method_indices: vec![0],
+                },
+                ClassDef {
+                    dotted_name: "com.ads.Loader".into(),
+                    method_indices: vec![1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dex() {
+        assert_eq!(sample_dex().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_class_method() {
+        let mut dex = sample_dex();
+        dex.classes[0].method_indices.push(99);
+        assert!(dex.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_invoke() {
+        let mut dex = sample_dex();
+        dex.methods[0]
+            .code
+            .instructions
+            .push(Instruction::Invoke(MethodRef::Internal(42)));
+        assert!(dex.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_signatures() {
+        let mut dex = sample_dex();
+        let dup = dex.methods[0].clone();
+        dex.methods.push(dup);
+        assert!(dex.validate().is_err());
+    }
+
+    #[test]
+    fn invokes_iterator_filters_non_invoke() {
+        let dex = sample_dex();
+        assert_eq!(dex.methods[0].code.invokes().count(), 1);
+    }
+
+    #[test]
+    fn find_method_and_index_agree() {
+        let dex = sample_dex();
+        let idx = SigIndex::build(&dex);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        for m in &dex.methods {
+            assert_eq!(dex.find_method(&m.sig), idx.id_of(&m.sig));
+        }
+        assert_eq!(dex.find_method(&MethodSig::new("x", "Y", "z", "()V")), None);
+    }
+
+    #[test]
+    fn dotted_candidates_include_overloads() {
+        let mut dex = sample_dex();
+        dex.methods.push(MethodDef {
+            sig: MethodSig::new("com.ads", "Loader", "fetch", "(I)V"),
+            code: CodeItem::default(),
+        });
+        let idx = SigIndex::build(&dex);
+        assert_eq!(idx.candidates("com.ads.Loader.fetch"), &[1, 2]);
+        assert!(idx.candidates("missing.Name.here").is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the dex/apk formats and SHA-256.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use spector_dex::model::{ClassDef, CodeItem, DexFile, Instruction, MethodDef, MethodRef};
+use spector_dex::sig::{prefix_levels, MethodSig};
+use spector_dex::{parse_dex, write_dex, Apk, ApkEntry, Sha256};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn package() -> impl Strategy<Value = String> {
+    proptest::collection::vec(ident(), 1..5).prop_map(|parts| parts.join("."))
+}
+
+fn descriptor() -> impl Strategy<Value = String> {
+    let ty = prop_oneof![
+        Just("I".to_owned()),
+        Just("J".to_owned()),
+        Just("Z".to_owned()),
+        Just("[B".to_owned()),
+        Just("Ljava/lang/String;".to_owned()),
+        Just("[Ljava/lang/Object;".to_owned()),
+    ];
+    let ret = prop_oneof![
+        Just("V".to_owned()),
+        Just("I".to_owned()),
+        Just("Ljava/lang/Object;".to_owned()),
+    ];
+    (proptest::collection::vec(ty, 0..4), ret)
+        .prop_map(|(params, ret)| format!("({}){}", params.join(""), ret))
+}
+
+fn method_sig() -> impl Strategy<Value = MethodSig> {
+    (package(), ident(), ident(), descriptor()).prop_map(|(pkg, class, method, desc)| {
+        MethodSig::new(&pkg, &format!("C{class}"), &method, &desc)
+    })
+}
+
+prop_compose! {
+    fn dex_file()(sigs in proptest::collection::btree_set(method_sig(), 0..20))
+        (insts in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 0..6), sigs.len()),
+         sigs in Just(sigs))
+        -> DexFile
+    {
+        let sigs: Vec<MethodSig> = sigs.into_iter().collect();
+        let n = sigs.len() as u32;
+        let methods: Vec<MethodDef> = sigs
+            .iter()
+            .zip(&insts)
+            .map(|(sig, ops)| MethodDef {
+                sig: sig.clone(),
+                code: CodeItem {
+                    instructions: ops
+                        .iter()
+                        .map(|&op| match op {
+                            0 => Instruction::Nop,
+                            1 => Instruction::Const(42),
+                            2 if n > 0 => Instruction::Invoke(MethodRef::Internal(op as u32 % n)),
+                            2 => Instruction::Nop,
+                            _ => Instruction::Return,
+                        })
+                        .collect(),
+                },
+            })
+            .collect();
+        let classes = if methods.is_empty() {
+            vec![]
+        } else {
+            vec![ClassDef {
+                dotted_name: methods[0].sig.dotted_class(),
+                method_indices: (0..n).collect(),
+            }]
+        };
+        DexFile { methods, classes }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sig_display_parse_roundtrip(sig in method_sig()) {
+        let rendered = sig.to_string();
+        let parsed: MethodSig = rendered.parse().expect("rendered sig must parse");
+        prop_assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn sig_components_recombine(sig in method_sig()) {
+        let rebuilt = MethodSig::new(
+            &sig.package(),
+            sig.class_name(),
+            sig.method_name(),
+            sig.descriptor(),
+        );
+        prop_assert_eq!(rebuilt, sig);
+    }
+
+    #[test]
+    fn prefix_levels_is_prefix(pkg in package(), levels in 0usize..6) {
+        let p = prefix_levels(&pkg, levels);
+        prop_assert!(pkg.starts_with(&p));
+        if levels > 0 {
+            prop_assert!(p.split('.').count() <= levels);
+        }
+    }
+
+    #[test]
+    fn dex_roundtrip(dex in dex_file()) {
+        prop_assert_eq!(dex.validate(), Ok(()));
+        let bytes = write_dex(&dex);
+        let parsed = parse_dex(&bytes).expect("written dex must parse");
+        prop_assert_eq!(parsed, dex);
+    }
+
+    #[test]
+    fn dex_parse_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_dex(&noise);
+    }
+
+    #[test]
+    fn apk_roundtrip(dex in dex_file(), names in proptest::collection::vec("[a-z/]{1,12}", 0..4)) {
+        let manifest = spector_dex::Manifest {
+            package: "com.prop.test".into(),
+            version_code: 1,
+            category: "TOOLS".into(),
+            dex_timestamp: 100,
+            vt_scan_date: None,
+            application_on_create: vec![],
+            activities: vec![],
+        };
+        let extra: Vec<ApkEntry> = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| ApkEntry {
+                name: format!("{name}{i}"),
+                data: Bytes::from(vec![i as u8; i]),
+            })
+            .collect();
+        let apk = Apk::build(&manifest, &dex, extra);
+        let parsed = Apk::from_bytes(&apk.to_bytes()).expect("apk must parse");
+        prop_assert_eq!(parsed.manifest().unwrap(), manifest);
+        prop_assert_eq!(parsed.dex().unwrap(), dex);
+        prop_assert_eq!(parsed.sha256(), apk.sha256());
+    }
+
+    #[test]
+    fn sha256_streaming_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                        split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+}

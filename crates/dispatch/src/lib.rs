@@ -1,0 +1,178 @@
+//! Parallel experiment campaigns (§II-B3).
+//!
+//! Libspector's data-collection framework is "a job dispatcher and
+//! multiple workers which run different and fresh copies of the same
+//! modified Android image". Here a campaign fans one job per app out to
+//! a pool of OS threads over crossbeam channels; every worker boots a
+//! fresh simulated emulator, runs the experiment, performs the offline
+//! per-app analysis immediately (so captures never accumulate in
+//! memory), and ships the [`AppAnalysis`] back to the collector.
+//!
+//! Per-app monkey seeds are derived from the campaign seed and the app
+//! index, so campaign results are independent of worker count and
+//! scheduling order.
+
+pub mod store;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel;
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::{analyze_run, AppAnalysis};
+use spector_corpus::Corpus;
+
+pub use store::{load_campaign, save_campaign, Campaign};
+
+/// Campaign settings.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchConfig {
+    /// Worker threads (0 = one per available CPU).
+    pub workers: usize,
+    /// Per-app experiment settings; the monkey seed is re-derived per
+    /// app from this base seed.
+    pub experiment: ExperimentConfig,
+}
+
+/// Runs every app in `corpus` and returns the analyses in app order.
+///
+/// `progress` (if given) is called after each completed app with the
+/// number done so far.
+pub fn run_corpus(
+    corpus: &Corpus,
+    knowledge: &Knowledge,
+    config: &DispatchConfig,
+    progress: Option<&(dyn Fn(usize) + Sync)>,
+) -> Vec<AppAnalysis> {
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    } else {
+        config.workers
+    };
+    let resolver = resolver_for(&corpus.domains);
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, AppAnalysis)>();
+    for index in 0..corpus.apps.len() {
+        job_tx.send(index).expect("queue is open");
+    }
+    drop(job_tx);
+
+    let done = AtomicUsize::new(0);
+    let mut results: Vec<Option<AppAnalysis>> = Vec::new();
+    results.resize_with(corpus.apps.len(), || None);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let resolver = &resolver;
+            let done = &done;
+            scope.spawn(move |_| {
+                while let Ok(index) = job_rx.recv() {
+                    let app = &corpus.apps[index];
+                    let mut experiment = config.experiment.clone();
+                    // Deterministic per-app monkey seed, independent of
+                    // scheduling.
+                    experiment.monkey.seed ^=
+                        (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let system: Vec<_> = app
+                        .system_ops
+                        .iter()
+                        .map(|s| (s.op.clone(), s.dispatcher))
+                        .collect();
+                    let Ok(raw) = run_app(&app.apk, resolver, &system, &experiment) else {
+                        continue;
+                    };
+                    let analysis =
+                        analyze_run(&raw, knowledge, experiment.supervisor.collector_port);
+                    let count = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(callback) = progress {
+                        callback(count);
+                    }
+                    let _ = result_tx.send((index, analysis));
+                }
+            });
+        }
+        drop(result_tx);
+        for (index, analysis) in result_rx.iter() {
+            results[index] = Some(analysis);
+        }
+    })
+    .expect("worker panicked");
+
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_corpus::{AppGenConfig, CorpusConfig};
+
+    fn tiny_corpus(apps: usize, seed: u64) -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            apps,
+            seed,
+            appgen: AppGenConfig {
+                method_scale: 0.004,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    fn quick_dispatch(workers: usize) -> DispatchConfig {
+        let mut config = DispatchConfig {
+            workers,
+            ..Default::default()
+        };
+        config.experiment.monkey.events = 40;
+        config
+    }
+
+    #[test]
+    fn campaign_covers_every_app_in_order() {
+        let corpus = tiny_corpus(8, 21);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let analyses = run_corpus(&corpus, &knowledge, &quick_dispatch(3), None);
+        assert_eq!(analyses.len(), 8);
+        for (app, analysis) in corpus.apps.iter().zip(&analyses) {
+            assert_eq!(app.package, analysis.package);
+        }
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let corpus = tiny_corpus(6, 22);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let serial = run_corpus(&corpus, &knowledge, &quick_dispatch(1), None);
+        let parallel = run_corpus(&corpus, &knowledge, &quick_dispatch(4), None);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.package, b.package);
+            assert_eq!(a.flows, b.flows);
+            assert_eq!(a.coverage, b.coverage);
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_app() {
+        let corpus = tiny_corpus(5, 23);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let seen = AtomicUsize::new(0);
+        let callback = |_done: usize| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        };
+        run_corpus(&corpus, &knowledge, &quick_dispatch(2), Some(&callback));
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_workers_defaults_to_cpus() {
+        let corpus = tiny_corpus(2, 24);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let analyses = run_corpus(&corpus, &knowledge, &quick_dispatch(0), None);
+        assert_eq!(analyses.len(), 2);
+    }
+}

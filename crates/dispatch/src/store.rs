@@ -1,0 +1,109 @@
+//! The campaign results store.
+//!
+//! The original system ships per-app results to "a central database for
+//! later evaluation"; here a campaign serializes to a single JSON file
+//! that the analysis stage (and the CLI's `report` command) loads back.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use libspector::pipeline::AppAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// A completed campaign: settings fingerprint plus all per-app results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Corpus seed the campaign ran on.
+    pub seed: u64,
+    /// Number of apps generated.
+    pub apps: usize,
+    /// Monkey events per app.
+    pub monkey_events: u32,
+    /// Per-app analyses, in app order.
+    pub analyses: Vec<AppAnalysis>,
+}
+
+/// Writes a campaign to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; serialization itself cannot fail for
+/// these types.
+pub fn save_campaign(campaign: &Campaign, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_vec(campaign).map_err(io::Error::other)?;
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json)
+}
+
+/// Loads a campaign from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and malformed JSON (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn load_campaign(path: &Path) -> io::Result<Campaign> {
+    let bytes = fs::read(path)?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libspector::coverage::CoverageReport;
+
+    fn sample() -> Campaign {
+        Campaign {
+            seed: 42,
+            apps: 1,
+            monkey_events: 100,
+            analyses: vec![AppAnalysis {
+                package: "com.a".into(),
+                app_category: "TOOLS".into(),
+                flows: vec![],
+                unattributed_flows: 0,
+                coverage: CoverageReport {
+                    total_methods: 100,
+                    executed_methods: 9,
+                    external_methods: 3,
+                },
+                dns_packets: 4,
+                report_packets: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("spector-store-test");
+        let path = dir.join("campaign.json");
+        let campaign = sample();
+        save_campaign(&campaign, &path).unwrap();
+        let loaded = load_campaign(&path).unwrap();
+        assert_eq!(loaded.seed, campaign.seed);
+        assert_eq!(loaded.analyses.len(), 1);
+        assert_eq!(loaded.analyses[0].package, "com.a");
+        assert_eq!(loaded.analyses[0].coverage, campaign.analyses[0].coverage);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed() {
+        let dir = std::env::temp_dir().join("spector-store-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, b"{not json").unwrap();
+        let err = load_campaign(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_not_found() {
+        let err = load_campaign(Path::new("/definitely/missing.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,246 @@
+//! Wire format of the Socket Supervisor's UDP report datagrams.
+//!
+//! Layout (integers little-endian unless noted, lengths uleb128):
+//!
+//! ```text
+//! magic       4 bytes  "SRPT"
+//! apk sha256  32 bytes
+//! src ip      4 bytes  (network order)
+//! src port    2 bytes  (big endian)
+//! dst ip      4 bytes
+//! dst port    2 bytes
+//! timestamp   8 bytes  little-endian microseconds
+//! frame count uleb128
+//!   frames    uleb128 length + UTF-8, most recent first
+//! ```
+//!
+//! Frames are the *translated* stack: full smali type signatures where
+//! the app's dex defines the method, the raw dotted name for framework
+//! frames the dex knows nothing about.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spector_dex::sha256::Digest;
+use spector_netsim::packet::SocketPair;
+
+/// Magic prefix of every report datagram.
+pub const REPORT_MAGIC: &[u8; 4] = b"SRPT";
+
+/// One socket report: everything the offline pipeline needs to join a
+/// stack trace with its TCP stream in the capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketReport {
+    /// SHA-256 of the apk under test.
+    pub apk_sha256: Digest,
+    /// The connection 4-tuple at hook time.
+    pub pair: SocketPair,
+    /// Virtual timestamp when the hook fired (microseconds).
+    pub timestamp_micros: u64,
+    /// Translated stack frames, most recent first.
+    pub frames: Vec<String>,
+}
+
+/// Error produced when parsing a malformed report datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportParseError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl ReportParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ReportParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed socket report: {}", self.message)
+    }
+}
+
+impl Error for ReportParseError {}
+
+fn put_uleb128(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            break;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_uleb128(buf: &mut Bytes) -> Result<u64, ReportParseError> {
+    let mut result: u64 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(ReportParseError::new("truncated uleb128"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(ReportParseError::new("uleb128 overflow"));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+impl SocketReport {
+    /// Serializes the report into datagram payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(REPORT_MAGIC);
+        buf.put_slice(&self.apk_sha256.0);
+        buf.put_slice(&self.pair.src_ip.octets());
+        buf.put_u16(self.pair.src_port);
+        buf.put_slice(&self.pair.dst_ip.octets());
+        buf.put_u16(self.pair.dst_port);
+        buf.put_u64_le(self.timestamp_micros);
+        put_uleb128(&mut buf, self.frames.len() as u64);
+        for frame in &self.frames {
+            put_uleb128(&mut buf, frame.len() as u64);
+            buf.put_slice(frame.as_bytes());
+        }
+        buf.to_vec()
+    }
+
+    /// Parses a report from datagram payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportParseError`] on bad magic, truncation, non-UTF-8
+    /// frames, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ReportParseError> {
+        let mut buf = Bytes::copy_from_slice(payload);
+        if buf.remaining() < 4 || &buf.split_to(4)[..] != REPORT_MAGIC {
+            return Err(ReportParseError::new("bad magic"));
+        }
+        if buf.remaining() < 32 + 12 + 8 {
+            return Err(ReportParseError::new("truncated header"));
+        }
+        let mut digest = [0u8; 32];
+        buf.copy_to_slice(&mut digest);
+        let mut ip = [0u8; 4];
+        buf.copy_to_slice(&mut ip);
+        let src_ip = Ipv4Addr::from(ip);
+        let src_port = buf.get_u16();
+        buf.copy_to_slice(&mut ip);
+        let dst_ip = Ipv4Addr::from(ip);
+        let dst_port = buf.get_u16();
+        let timestamp_micros = buf.get_u64_le();
+        let count = get_uleb128(&mut buf)? as usize;
+        if count > payload.len() {
+            return Err(ReportParseError::new("frame count exceeds payload"));
+        }
+        let mut frames = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = get_uleb128(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(ReportParseError::new("truncated frame"));
+            }
+            let raw = buf.split_to(len);
+            frames.push(
+                std::str::from_utf8(&raw)
+                    .map_err(|_| ReportParseError::new("frame not UTF-8"))?
+                    .to_owned(),
+            );
+        }
+        if buf.has_remaining() {
+            return Err(ReportParseError::new("trailing bytes"));
+        }
+        Ok(SocketReport {
+            apk_sha256: Digest(digest),
+            pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
+            timestamp_micros,
+            frames,
+        })
+    }
+
+    /// Quick check whether a UDP payload looks like a supervisor report
+    /// — used by the pipeline to exclude instrumentation traffic from
+    /// the app's accounting.
+    pub fn is_report_payload(payload: &[u8]) -> bool {
+        payload.len() >= 4 && &payload[..4] == REPORT_MAGIC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_dex::sha256::Sha256;
+
+    fn sample() -> SocketReport {
+        SocketReport {
+            apk_sha256: Sha256::digest(b"apk-bytes"),
+            pair: SocketPair::new(
+                Ipv4Addr::new(10, 0, 2, 15),
+                40_001,
+                Ipv4Addr::new(198, 51, 100, 7),
+                443,
+            ),
+            timestamp_micros: 123_456_789,
+            frames: vec![
+                "java.net.Socket.connect".to_owned(),
+                "Lcom/unity3d/ads/android/cache/b;->a()V".to_owned(),
+                "Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/Object;)Ljava/lang/Object;".to_owned(),
+                "android.os.AsyncTask$2.call".to_owned(),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let report = sample();
+        let decoded = SocketReport::decode(&report.encode()).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn empty_frames_roundtrip() {
+        let mut report = sample();
+        report.frames.clear();
+        assert_eq!(SocketReport::decode(&report.encode()).unwrap(), report);
+    }
+
+    #[test]
+    fn is_report_payload_detects_magic() {
+        assert!(SocketReport::is_report_payload(&sample().encode()));
+        assert!(!SocketReport::is_report_payload(b"SRP"));
+        assert!(!SocketReport::is_report_payload(b"HTTP/1.1 200 OK"));
+        assert!(!SocketReport::is_report_payload(&[]));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(SocketReport::decode(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(SocketReport::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(SocketReport::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The Socket Supervisor hook module.
+//!
+//! Attached to the runtime's post-`connect` hook point, the supervisor
+//! performs the §II-B2 sequence for every socket the app creates:
+//!
+//! 1. capture the active stack trace (`getStackTrace` — dotted names,
+//!    most recent first);
+//! 2. translate each frame to its full method *type signature* using the
+//!    parsed dex (framework frames, which the dex does not define, pass
+//!    through untranslated — the offline filter removes them anyway);
+//! 3. obtain the socket-pair parameters via the shared-library syscalls
+//!    (`getsockname`/`getpeername` — here [`NetStack::socket_pair`]);
+//! 4. prepend the apk's SHA-256 and the connection parameters, and send
+//!    the result as one UDP datagram to the collection server.
+//!
+//! Translation ambiguity: a dotted name does not carry parameter types,
+//! so overloaded methods map to several candidate signatures; like the
+//! original (which keys off dex parse order), the supervisor picks the
+//! first candidate in definition order.
+
+use std::net::Ipv4Addr;
+
+use spector_dex::model::SigIndex;
+use spector_dex::sha256::Digest;
+use spector_netsim::SocketId;
+use spector_runtime::{HookContext, RuntimeHook};
+
+use crate::report::SocketReport;
+
+/// Supervisor settings.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Collection server address.
+    pub collector_ip: Ipv4Addr,
+    /// Collection server UDP port.
+    pub collector_port: u16,
+    /// Instrumentation latency added per hooked connection, in
+    /// microseconds. The paper measured a 0.5 ms (9.75 %) worst-case
+    /// per-request delay; the default models a typical 300 µs.
+    pub hook_latency_micros: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            collector_ip: Ipv4Addr::new(10, 0, 2, 2),
+            collector_port: 47_000,
+            hook_latency_micros: 300,
+        }
+    }
+}
+
+/// The hook module. One instance is attached per app run.
+#[derive(Debug)]
+pub struct SocketSupervisor {
+    apk_sha256: Digest,
+    index: SigIndex,
+    config: SupervisorConfig,
+    reports_sent: u64,
+}
+
+impl SocketSupervisor {
+    /// Creates a supervisor for an app with the given apk checksum and
+    /// dex signature index.
+    pub fn new(apk_sha256: Digest, index: SigIndex, config: SupervisorConfig) -> Self {
+        SocketSupervisor {
+            apk_sha256,
+            index,
+            config,
+            reports_sent: 0,
+        }
+    }
+
+    /// Number of report datagrams sent so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// Translates one dotted stack-frame name: the full type signature
+    /// when the app's dex defines the method, the dotted name otherwise.
+    fn translate_frame(&self, dotted: &str) -> String {
+        match self.index.candidates(dotted).first() {
+            Some(&id) => self
+                .index
+                .sig_of(id)
+                .map(|sig| sig.as_smali().to_owned())
+                .unwrap_or_else(|| dotted.to_owned()),
+            None => dotted.to_owned(),
+        }
+    }
+}
+
+impl RuntimeHook for SocketSupervisor {
+    fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId) {
+        // Shared-library syscall shim: getsockname + getpeername.
+        let Some(pair) = ctx.net.socket_pair(socket) else {
+            return;
+        };
+        // getStackTrace: most recent first.
+        let frames: Vec<String> = ctx
+            .stack
+            .snapshot()
+            .iter()
+            .map(|dotted| self.translate_frame(dotted))
+            .collect();
+        let report = SocketReport {
+            apk_sha256: self.apk_sha256,
+            pair,
+            timestamp_micros: ctx.net.clock().now_micros(),
+            frames,
+        };
+        // Model the measured instrumentation latency on the request path.
+        ctx.net
+            .clock()
+            .advance_micros(self.config.hook_latency_micros);
+        ctx.net.udp_send(
+            self.config.collector_ip,
+            self.config.collector_port,
+            &report.encode(),
+        );
+        self.reports_sent += 1;
+    }
+}
+
+/// Extracts all supervisor reports from a packet capture, in capture
+/// order — the collection-server side of the pipeline.
+pub fn extract_reports(
+    capture: &[spector_netsim::pcap::CapturedPacket],
+    collector_port: u16,
+) -> Vec<SocketReport> {
+    use spector_netsim::packet::{decode_frame, Transport};
+    let mut reports = Vec::new();
+    for packet in capture {
+        let Ok(frame) = decode_frame(&packet.data) else {
+            continue;
+        };
+        let Transport::Udp { payload } = frame.transport else {
+            continue;
+        };
+        if frame.pair.dst_port != collector_port {
+            continue;
+        }
+        if let Ok(report) = SocketReport::decode(&payload) {
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_dex::model::{
+        CodeItem, Connector, DexFile, Instruction, MethodDef, NetworkOp,
+    };
+    use spector_dex::sha256::Sha256;
+    use spector_dex::sig::MethodSig;
+    use spector_netsim::clock::Clock;
+    use spector_netsim::stack::NetStack;
+    use spector_runtime::{Runtime, RuntimeConfig};
+
+    fn network_dex() -> DexFile {
+        DexFile {
+            methods: vec![MethodDef {
+                sig: MethodSig::new("com.vendor.sdk", "Fetcher", "pull", "()V"),
+                code: CodeItem {
+                    instructions: vec![
+                        Instruction::Network(NetworkOp {
+                            domain: "api.vendor.example".into(),
+                            port: 443,
+                            send_bytes: 256,
+                            recv_bytes: 8_192,
+                            connector: Connector::AndroidOkHttp,
+                        }),
+                        Instruction::Return,
+                    ],
+                },
+            }],
+            classes: vec![],
+        }
+    }
+
+    fn run_app() -> (Vec<spector_netsim::pcap::CapturedPacket>, Digest) {
+        let dex = network_dex();
+        let index = SigIndex::build(&dex);
+        let digest = Sha256::digest(b"test-apk");
+        let net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let mut rt = Runtime::new(dex, net, RuntimeConfig::default());
+        rt.add_hook(Box::new(SocketSupervisor::new(
+            digest,
+            index,
+            SupervisorConfig::default(),
+        )));
+        rt.invoke_entry(&MethodSig::new("com.vendor.sdk", "Fetcher", "pull", "()V"));
+        let (net, _) = rt.into_parts();
+        (net.into_capture(), digest)
+    }
+
+    #[test]
+    fn report_emitted_per_socket_with_translated_frames() {
+        let (capture, digest) = run_app();
+        let reports = extract_reports(&capture, SupervisorConfig::default().collector_port);
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.apk_sha256, digest);
+        assert_eq!(report.pair.dst_port, 443);
+        // Most recent frame is the connect syscall (builtin, untranslated).
+        assert_eq!(report.frames[0], "java.net.Socket.connect");
+        // The app frame is translated to its full type signature.
+        assert!(report
+            .frames
+            .iter()
+            .any(|f| f == "Lcom/vendor/sdk/Fetcher;->pull()V"));
+    }
+
+    #[test]
+    fn report_pair_matches_a_tcp_flow_in_capture() {
+        let (capture, _) = run_app();
+        let reports = extract_reports(&capture, SupervisorConfig::default().collector_port);
+        let flows = spector_netsim::flows::FlowTable::from_capture(&capture);
+        let flow = flows
+            .lookup(&reports[0].pair, reports[0].timestamp_micros)
+            .expect("report must join with a flow");
+        assert_eq!(flow.recv_payload_bytes, 8_192);
+        assert_eq!(flow.sent_payload_bytes, 256);
+    }
+
+    #[test]
+    fn extract_ignores_non_report_udp() {
+        let mut net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        net.udp_send(Ipv4Addr::new(10, 0, 2, 2), 47_000, b"not a report");
+        net.udp_send(Ipv4Addr::new(10, 0, 2, 2), 9_999, b"SRPTgarbage");
+        let reports = extract_reports(net.capture(), 47_000);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn overload_translation_picks_first_definition() {
+        let dex = DexFile {
+            methods: vec![
+                MethodDef {
+                    sig: MethodSig::new("com.a", "C", "m", "(I)V"),
+                    code: CodeItem::default(),
+                },
+                MethodDef {
+                    sig: MethodSig::new("com.a", "C", "m", "(J)V"),
+                    code: CodeItem::default(),
+                },
+            ],
+            classes: vec![],
+        };
+        let sup = SocketSupervisor::new(
+            Sha256::digest(b"x"),
+            SigIndex::build(&dex),
+            SupervisorConfig::default(),
+        );
+        assert_eq!(sup.translate_frame("com.a.C.m"), "Lcom/a/C;->m(I)V");
+        assert_eq!(sup.translate_frame("unknown.F.g"), "unknown.F.g");
+    }
+
+    #[test]
+    fn hook_latency_advances_clock() {
+        let (capture, _) = run_app();
+        // DNS (2) + handshake (3) then the report datagram; its
+        // timestamp reflects the added latency relative to the SYN.
+        let reports = extract_reports(&capture, SupervisorConfig::default().collector_port);
+        assert!(reports[0].timestamp_micros >= 300);
+    }
+}

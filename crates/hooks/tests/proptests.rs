@@ -1,0 +1,70 @@
+//! Property tests for the supervisor report codec.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use spector_dex::sha256::Digest;
+use spector_hooks::report::SocketReport;
+use spector_netsim::packet::SocketPair;
+
+fn digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest)
+}
+
+fn pair() -> impl Strategy<Value = SocketPair> {
+    (any::<[u8; 4]>(), any::<u16>(), any::<[u8; 4]>(), any::<u16>()).prop_map(
+        |(src, sp, dst, dp)| {
+            SocketPair::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp)
+        },
+    )
+}
+
+fn report() -> impl Strategy<Value = SocketReport> {
+    (
+        digest(),
+        pair(),
+        any::<u64>(),
+        proptest::collection::vec(".{0,80}", 0..24),
+    )
+        .prop_map(|(apk_sha256, pair, timestamp_micros, frames)| SocketReport {
+            apk_sha256,
+            pair,
+            timestamp_micros,
+            frames,
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(original in report()) {
+        let decoded = SocketReport::decode(&original.encode()).expect("must decode");
+        prop_assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn every_encoding_is_detected_as_report(original in report()) {
+        prop_assert!(SocketReport::is_report_payload(&original.encode()));
+    }
+
+    #[test]
+    fn decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SocketReport::decode(&noise);
+        let _ = SocketReport::is_report_payload(&noise);
+    }
+
+    #[test]
+    fn any_truncation_fails_cleanly(original in report(), cut in 0usize..1_000) {
+        let bytes = original.encode();
+        let cut = cut % bytes.len().max(1);
+        if cut < bytes.len() {
+            prop_assert!(SocketReport::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_append_is_rejected(original in report(), extra in any::<u8>()) {
+        let mut bytes = original.encode();
+        bytes.push(extra);
+        prop_assert!(SocketReport::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Library categories, matching the 13 categories LibRadar assigned in
+//! the paper's dataset (Figure 2 legend).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Category of a third-party library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LibCategory {
+    /// Ad networks and mediation SDKs.
+    Advertisement,
+    /// App store / market client SDKs.
+    AppMarket,
+    /// General development aids (HTTP clients, image loaders, vendor
+    /// infrastructure SDKs).
+    DevelopmentAid,
+    /// Application frameworks.
+    DevelopmentFramework,
+    /// Login / identity providers.
+    DigitalIdentity,
+    /// Widget and UI component kits.
+    GuiComponent,
+    /// Game engines.
+    GameEngine,
+    /// Maps and location-based services.
+    MapLbs,
+    /// Usage analytics and telemetry.
+    MobileAnalytics,
+    /// Payment processors.
+    Payment,
+    /// Social-network SDKs.
+    SocialNetwork,
+    /// Miscellaneous utilities.
+    Utility,
+    /// Not categorized (first-party or unrecognized code).
+    Unknown,
+}
+
+impl LibCategory {
+    /// All categories, in the paper's legend order.
+    pub const ALL: [LibCategory; 13] = [
+        LibCategory::Advertisement,
+        LibCategory::AppMarket,
+        LibCategory::DevelopmentAid,
+        LibCategory::DevelopmentFramework,
+        LibCategory::DigitalIdentity,
+        LibCategory::GuiComponent,
+        LibCategory::GameEngine,
+        LibCategory::MapLbs,
+        LibCategory::MobileAnalytics,
+        LibCategory::Payment,
+        LibCategory::SocialNetwork,
+        LibCategory::Unknown,
+        LibCategory::Utility,
+    ];
+
+    /// The display label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LibCategory::Advertisement => "Advertisement",
+            LibCategory::AppMarket => "App Market",
+            LibCategory::DevelopmentAid => "Development Aid",
+            LibCategory::DevelopmentFramework => "Development Framework",
+            LibCategory::DigitalIdentity => "Digital Identity",
+            LibCategory::GuiComponent => "GUI Component",
+            LibCategory::GameEngine => "Game Engine",
+            LibCategory::MapLbs => "Map/LBS",
+            LibCategory::MobileAnalytics => "Mobile Analytics",
+            LibCategory::Payment => "Payment",
+            LibCategory::SocialNetwork => "Social Network",
+            LibCategory::Utility => "Utility",
+            LibCategory::Unknown => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for LibCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unrecognized category label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCategoryError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseCategoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown library category {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseCategoryError {}
+
+impl FromStr for LibCategory {
+    type Err = ParseCategoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LibCategory::ALL
+            .iter()
+            .find(|c| c.label().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| ParseCategoryError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_categories() {
+        assert_eq!(LibCategory::ALL.len(), 13);
+        let labels: std::collections::HashSet<_> =
+            LibCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 13);
+    }
+
+    #[test]
+    fn display_matches_paper_legend() {
+        assert_eq!(LibCategory::Advertisement.to_string(), "Advertisement");
+        assert_eq!(LibCategory::MapLbs.to_string(), "Map/LBS");
+        assert_eq!(LibCategory::GuiComponent.to_string(), "GUI Component");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in LibCategory::ALL {
+            assert_eq!(c.label().parse::<LibCategory>().unwrap(), c);
+        }
+        assert_eq!("game engine".parse::<LibCategory>().unwrap(), LibCategory::GameEngine);
+        assert!("Nonsense".parse::<LibCategory>().is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Corpus-wide library aggregation, longest-prefix matching, and
+//! majority-vote category prediction (paper §III-C/D, Listing 2).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::category::LibCategory;
+
+/// The aggregated list of libraries LibRadar detected across the whole
+/// corpus, with their categories — the lookup structure both heuristics
+/// run against.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AggregatedLibraries {
+    /// library package name -> category. BTreeMap keeps iteration (and
+    /// therefore voting ties) deterministic.
+    libs: BTreeMap<String, LibCategory>,
+}
+
+impl AggregatedLibraries {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a detected library. On repeated detection with differing
+    /// categories, a non-`Unknown` category wins over `Unknown`
+    /// (LibRadar output is occasionally missing the category for one
+    /// app but not another).
+    pub fn record(&mut self, name: &str, category: LibCategory) {
+        match self.libs.get_mut(name) {
+            Some(existing) => {
+                if *existing == LibCategory::Unknown && category != LibCategory::Unknown {
+                    *existing = category;
+                }
+            }
+            None => {
+                self.libs.insert(name.to_owned(), category);
+            }
+        }
+    }
+
+    /// Number of distinct libraries recorded.
+    pub fn len(&self) -> usize {
+        self.libs.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.libs.is_empty()
+    }
+
+    /// Exact category lookup.
+    pub fn category_of(&self, name: &str) -> Option<LibCategory> {
+        self.libs.get(name).copied()
+    }
+
+    /// Iterates over `(name, category)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, LibCategory)> {
+        self.libs.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
+    /// The hierarchically greatest (longest) known library that is a
+    /// dotted prefix of `package` — the paper's origin-library name
+    /// resolution: "the longest matching prefix among all the libraries
+    /// that LibRadar has detected across 25,000 apps".
+    pub fn longest_matching_prefix(&self, package: &str) -> Option<&str> {
+        let mut best: Option<&str> = None;
+        for name in self.libs.keys() {
+            if is_dotted_prefix(name, package)
+                && best.is_none_or(|b| name.len() > b.len())
+            {
+                best = Some(name);
+            }
+        }
+        best
+    }
+
+    /// Predicts the category of `package` per Listing 2:
+    ///
+    /// 1. find the longest common dotted prefix shared between `package`
+    ///    and at least one known library;
+    /// 2. collect the categories of all known libraries under that
+    ///    prefix;
+    /// 3. majority vote (ties broken by category order, which is
+    ///    deterministic).
+    ///
+    /// Returns [`LibCategory::Unknown`] when no known library shares
+    /// even one leading component.
+    pub fn predict_category(&self, package: &str) -> LibCategory {
+        // If the package *is* a known library or extends one, prefer the
+        // longest matching library's own category when set.
+        if let Some(best) = self.longest_matching_prefix(package) {
+            let cat = self.libs[best];
+            if cat != LibCategory::Unknown {
+                return cat;
+            }
+        }
+        // Longest common dotted prefix with any known library. A single
+        // shared component (`com`, `org`, …) is organizationally
+        // meaningless — TLD-style roots are shared by unrelated code —
+        // so at least two components must match before voting.
+        let mut common_len = 0usize;
+        for name in self.libs.keys() {
+            let len = common_dotted_components(name, package);
+            common_len = common_len.max(len);
+        }
+        if common_len < 2 {
+            return LibCategory::Unknown;
+        }
+        let prefix = dotted_prefix(package, common_len);
+        // Vote among all libraries under the common prefix.
+        let mut votes: BTreeMap<LibCategory, usize> = BTreeMap::new();
+        for (name, cat) in &self.libs {
+            if (is_dotted_prefix(&prefix, name) || name == &prefix)
+                && *cat != LibCategory::Unknown
+            {
+                *votes.entry(*cat).or_default() += 1;
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(cat, _)| cat)
+            .unwrap_or(LibCategory::Unknown)
+    }
+}
+
+/// `true` when `prefix` is a whole-component dotted prefix of `name`
+/// (`com.unity3d` prefixes `com.unity3d.ads` but not `com.unity3dx`).
+fn is_dotted_prefix(prefix: &str, name: &str) -> bool {
+    name == prefix
+        || (name.starts_with(prefix) && name.as_bytes().get(prefix.len()) == Some(&b'.'))
+}
+
+/// Number of leading dotted components `a` and `b` share.
+fn common_dotted_components(a: &str, b: &str) -> usize {
+    a.split('.')
+        .zip(b.split('.'))
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// The first `components` dotted components of `name`.
+fn dotted_prefix(name: &str, components: usize) -> String {
+    name.split('.')
+        .take(components)
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Listing 2 universe.
+    fn unity() -> AggregatedLibraries {
+        let mut agg = AggregatedLibraries::new();
+        agg.record("com.unity3d", LibCategory::GameEngine);
+        agg.record("com.unity3d.ads", LibCategory::Advertisement);
+        agg.record("com.unity3d.plugin.downloader", LibCategory::AppMarket);
+        agg.record("com.unity3d.services", LibCategory::GameEngine);
+        agg
+    }
+
+    #[test]
+    fn listing2_majority_vote() {
+        // com.unity3d.example: {Game Engine: 2, Advertisement: 1,
+        // App Market: 1} -> Game Engine... except com.unity3d itself is
+        // a known library with category Game Engine, matched by longest
+        // prefix. Both paths agree with the paper.
+        assert_eq!(
+            unity().predict_category("com.unity3d.example"),
+            LibCategory::GameEngine
+        );
+    }
+
+    #[test]
+    fn listing2_ads_cache_prediction() {
+        // com.unity3d.ads.android.cache -> longest prefix com.unity3d.ads
+        // (the only matching library) -> Advertisement.
+        assert_eq!(
+            unity().predict_category("com.unity3d.ads.android.cache"),
+            LibCategory::Advertisement
+        );
+    }
+
+    #[test]
+    fn majority_vote_without_enclosing_library() {
+        // No library is a prefix of the query, but a common prefix
+        // exists: org.engine.* with two GameEngine siblings and one
+        // Advertisement sibling.
+        let mut agg = AggregatedLibraries::new();
+        agg.record("org.engine.core", LibCategory::GameEngine);
+        agg.record("org.engine.render", LibCategory::GameEngine);
+        agg.record("org.engine.ads", LibCategory::Advertisement);
+        assert_eq!(
+            agg.predict_category("org.engine.example"),
+            LibCategory::GameEngine
+        );
+    }
+
+    #[test]
+    fn longest_prefix_resolution() {
+        let agg = unity();
+        assert_eq!(
+            agg.longest_matching_prefix("com.unity3d.ads.android.cache"),
+            Some("com.unity3d.ads")
+        );
+        assert_eq!(
+            agg.longest_matching_prefix("com.unity3d.services.core"),
+            Some("com.unity3d.services")
+        );
+        assert_eq!(agg.longest_matching_prefix("com.unity3d"), Some("com.unity3d"));
+        assert_eq!(agg.longest_matching_prefix("com.other"), None);
+        // Component boundary: com.unity3dx must not match com.unity3d.
+        assert_eq!(agg.longest_matching_prefix("com.unity3dx.foo"), None);
+    }
+
+    #[test]
+    fn unknown_when_nothing_shared() {
+        assert_eq!(
+            unity().predict_category("io.totally.unrelated"),
+            LibCategory::Unknown
+        );
+        assert_eq!(AggregatedLibraries::new().predict_category("a.b"), LibCategory::Unknown);
+    }
+
+    #[test]
+    fn record_prefers_known_over_unknown() {
+        let mut agg = AggregatedLibraries::new();
+        agg.record("com.x", LibCategory::Unknown);
+        agg.record("com.x", LibCategory::Payment);
+        assert_eq!(agg.category_of("com.x"), Some(LibCategory::Payment));
+        // And an Unknown arriving later does not clobber.
+        agg.record("com.x", LibCategory::Unknown);
+        assert_eq!(agg.category_of("com.x"), Some(LibCategory::Payment));
+        assert_eq!(agg.len(), 1);
+        assert!(!agg.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let agg = unity();
+        let names: Vec<&str> = agg.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn helper_functions() {
+        assert!(is_dotted_prefix("a.b", "a.b.c"));
+        assert!(is_dotted_prefix("a.b", "a.b"));
+        assert!(!is_dotted_prefix("a.b", "a.bc"));
+        assert_eq!(common_dotted_components("a.b.c", "a.b.x"), 2);
+        assert_eq!(common_dotted_components("a", "b"), 0);
+        assert_eq!(dotted_prefix("a.b.c", 2), "a.b");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for library detection and the categorization
+//! heuristics.
+
+use proptest::prelude::*;
+use spector_dex::model::{CodeItem, DexFile, Instruction, MethodDef};
+use spector_dex::sig::MethodSig;
+use spector_libradar::{detect, AggregatedLibraries, LibCategory, LibraryDb, LibraryLists};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn package() -> impl Strategy<Value = String> {
+    proptest::collection::vec(ident(), 1..4).prop_map(|parts| parts.join("."))
+}
+
+fn category() -> impl Strategy<Value = LibCategory> {
+    prop::sample::select(LibCategory::ALL.to_vec())
+}
+
+/// A deterministic little library body rooted at `root`.
+fn library_dex(root: &str, salt: u8) -> DexFile {
+    let methods = (0..4 + usize::from(salt % 3))
+        .map(|i| MethodDef {
+            sig: MethodSig::new(
+                &format!("{root}{}", if i % 2 == 0 { "" } else { ".inner" }),
+                &format!("C{i}"),
+                &format!("m{i}"),
+                "()V",
+            ),
+            code: CodeItem {
+                instructions: vec![Instruction::Const(u32::from(salt) + i as u32), Instruction::Return],
+            },
+        })
+        .collect();
+    DexFile {
+        methods,
+        classes: vec![],
+    }
+}
+
+proptest! {
+    #[test]
+    fn fingerprint_is_rename_invariant(a in package(), b in package(), salt in any::<u8>()) {
+        prop_assume!(a != b);
+        let fp_a = detect::fingerprint_subtree(&library_dex(&a, salt), &a);
+        let fp_b = detect::fingerprint_subtree(&library_dex(&b, salt), &b);
+        prop_assert_eq!(fp_a, fp_b);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_operands(root in package(), s1 in any::<u8>(), s2 in any::<u8>()) {
+        // Structure differs only via the method count (salt % 3): same
+        // count ⇒ same fingerprint (operand values are invisible, like
+        // LibRadar's obfuscation-resilient features), different count ⇒
+        // different fingerprint.
+        let fp1 = detect::fingerprint_subtree(&library_dex(&root, s1), &root);
+        let fp2 = detect::fingerprint_subtree(&library_dex(&root, s2), &root);
+        if s1 % 3 == s2 % 3 {
+            prop_assert_eq!(fp1, fp2);
+        } else {
+            prop_assert_ne!(fp1, fp2);
+        }
+    }
+
+    #[test]
+    fn detection_finds_registered_library_under_any_name(
+        canonical in package(),
+        in_app in package(),
+        salt in any::<u8>(),
+        cat in category(),
+    ) {
+        let mut db = LibraryDb::new();
+        db.add_library(&canonical, cat, &library_dex(&canonical, salt));
+        let app = library_dex(&in_app, salt);
+        let detected = db.detect(&app);
+        prop_assert!(
+            detected.iter().any(|d| d.name == canonical && d.in_app_prefix == in_app),
+            "library not recognized under {in_app}"
+        );
+    }
+
+    #[test]
+    fn longest_prefix_is_a_real_prefix(names in proptest::collection::btree_set(package(), 1..12),
+                                       query in package()) {
+        let mut agg = AggregatedLibraries::new();
+        for name in &names {
+            agg.record(name, LibCategory::Utility);
+        }
+        if let Some(found) = agg.longest_matching_prefix(&query) {
+            prop_assert!(names.contains(found));
+            let dotted = format!("{}.", found);
+            let is_prefix = query == found || query.starts_with(&dotted);
+            prop_assert!(is_prefix);
+            // No longer candidate exists.
+            for name in &names {
+                let name_dotted = format!("{}.", name);
+                if query == *name || query.starts_with(&name_dotted) {
+                    prop_assert!(name.len() <= found.len());
+                }
+            }
+        } else {
+            for name in &names {
+                let name_dotted = format!("{}.", name);
+                let unrelated = query != *name && !query.starts_with(&name_dotted);
+                prop_assert!(unrelated);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_category_never_panics_and_is_deterministic(
+        entries in proptest::collection::vec((package(), category()), 0..12),
+        query in package(),
+    ) {
+        let mut agg = AggregatedLibraries::new();
+        for (name, cat) in &entries {
+            agg.record(name, *cat);
+        }
+        let a = agg.predict_category(&query);
+        let b = agg.predict_category(&query);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn enclosing_known_library_dominates_prediction(root in package(), suffix in ident(), cat in category()) {
+        prop_assume!(cat != LibCategory::Unknown);
+        let mut agg = AggregatedLibraries::new();
+        agg.record(&root, cat);
+        let sub = format!("{}.{}", root, suffix);
+        prop_assert_eq!(agg.predict_category(&sub), cat);
+    }
+
+    #[test]
+    fn list_membership_respects_component_boundaries(prefix in package(), extra in ident()) {
+        let lists = LibraryLists::from_prefixes([prefix.clone()], Vec::<String>::new());
+        prop_assert!(lists.is_ant(&prefix));
+        let child = format!("{}.{}", prefix, extra);
+        let lookalike = format!("{}{}x", prefix, extra);
+        prop_assert!(lists.is_ant(&child));
+        prop_assert!(!lists.is_ant(&lookalike));
+    }
+}

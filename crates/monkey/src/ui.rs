@@ -1,0 +1,110 @@
+//! Widget-tree UI model derived from an app's manifest.
+
+use spector_dex::apk::Manifest;
+use spector_dex::sig::MethodSig;
+
+/// One activity screen: its startup chain and tappable widgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// Dotted class name.
+    pub class: String,
+    /// Methods run when the activity starts.
+    pub on_create: Vec<MethodSig>,
+    /// Handler methods reachable from widgets on this screen.
+    pub handlers: Vec<MethodSig>,
+}
+
+/// The app's UI surface as the monkey sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UiModel {
+    activities: Vec<Activity>,
+}
+
+impl UiModel {
+    /// Builds the model from the apk manifest's activity declarations.
+    pub fn from_manifest(manifest: &Manifest) -> Self {
+        let activities = manifest
+            .activities
+            .iter()
+            .map(|decl| Activity {
+                class: decl.class.clone(),
+                on_create: decl.on_create.clone(),
+                handlers: decl.handlers.clone(),
+            })
+            .collect();
+        UiModel { activities }
+    }
+
+    /// All activities, launch order first.
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Returns `true` when the app declares no activities (a service-
+    /// only app: the monkey will issue events into the void).
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// Total distinct handler methods across all screens.
+    pub fn handler_count(&self) -> usize {
+        self.activities.iter().map(|a| a.handlers.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_dex::apk::ActivityDecl;
+
+    fn sig(m: &str) -> MethodSig {
+        MethodSig::new("com.app", "Main", m, "()V")
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            package: "com.app".into(),
+            version_code: 1,
+            category: "TOOLS".into(),
+            dex_timestamp: 1,
+            vt_scan_date: None,
+            application_on_create: vec![],
+            activities: vec![
+                ActivityDecl {
+                    class: "com.app.Main".into(),
+                    handlers: vec![sig("onClick"), sig("onLongClick")],
+                    on_create: vec![sig("onCreate")],
+                },
+                ActivityDecl {
+                    class: "com.app.Settings".into(),
+                    handlers: vec![sig("onToggle")],
+                    on_create: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn from_manifest_preserves_structure() {
+        let ui = UiModel::from_manifest(&manifest());
+        assert_eq!(ui.len(), 2);
+        assert!(!ui.is_empty());
+        assert_eq!(ui.activities()[0].class, "com.app.Main");
+        assert_eq!(ui.activities()[0].handlers.len(), 2);
+        assert_eq!(ui.handler_count(), 3);
+    }
+
+    #[test]
+    fn empty_manifest_means_empty_ui() {
+        let mut m = manifest();
+        m.activities.clear();
+        let ui = UiModel::from_manifest(&m);
+        assert!(ui.is_empty());
+        assert_eq!(ui.handler_count(), 0);
+    }
+}

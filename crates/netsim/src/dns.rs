@@ -1,0 +1,314 @@
+//! DNS wire format (RFC 1035) for A-record queries and responses.
+//!
+//! The attribution pipeline recovers "which DNS domain did this flow talk
+//! to" by replaying the DNS traffic observed in the packet capture
+//! (§III-F). The emulator therefore emits real DNS query/response
+//! datagrams whenever an app resolves a hostname, and the offline side
+//! parses them back — including compression pointers, which real
+//! resolvers emit even though our encoder does not.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::{BufMut, BytesMut};
+
+/// QTYPE A.
+pub const QTYPE_A: u16 = 1;
+/// QCLASS IN.
+pub const QCLASS_IN: u16 = 1;
+/// Standard DNS port.
+pub const DNS_PORT: u16 = 53;
+
+/// A parsed DNS message (the subset relevant to A lookups).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction id.
+    pub id: u16,
+    /// `true` for responses, `false` for queries.
+    pub is_response: bool,
+    /// Queried names (usually exactly one).
+    pub questions: Vec<String>,
+    /// `(name, address, ttl)` for each A answer record.
+    pub answers: Vec<(String, Ipv4Addr, u32)>,
+}
+
+/// Error produced when parsing a malformed DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl DnsError {
+    fn new(message: impl Into<String>) -> Self {
+        DnsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed dns: {}", self.message)
+    }
+}
+
+impl Error for DnsError {}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        debug_assert!(label.len() < 64, "label too long: {label}");
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+    }
+    buf.put_u8(0);
+}
+
+/// Encodes an A-record query for `name`.
+pub fn encode_query(id: u16, name: &str) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u16(id);
+    buf.put_u16(0x0100); // RD set
+    buf.put_u16(1); // QDCOUNT
+    buf.put_u16(0); // ANCOUNT
+    buf.put_u16(0); // NSCOUNT
+    buf.put_u16(0); // ARCOUNT
+    put_name(&mut buf, name);
+    buf.put_u16(QTYPE_A);
+    buf.put_u16(QCLASS_IN);
+    buf.to_vec()
+}
+
+/// Encodes an A-record response answering `name` with `addr`.
+pub fn encode_response(id: u16, name: &str, addr: Ipv4Addr, ttl: u32) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u16(id);
+    buf.put_u16(0x8180); // QR, RD, RA
+    buf.put_u16(1); // QDCOUNT
+    buf.put_u16(1); // ANCOUNT
+    buf.put_u16(0);
+    buf.put_u16(0);
+    put_name(&mut buf, name);
+    buf.put_u16(QTYPE_A);
+    buf.put_u16(QCLASS_IN);
+    put_name(&mut buf, name);
+    buf.put_u16(QTYPE_A);
+    buf.put_u16(QCLASS_IN);
+    buf.put_u32(ttl);
+    buf.put_u16(4); // RDLENGTH
+    buf.put_slice(&addr.octets());
+    buf.to_vec()
+}
+
+/// Reads a (possibly compressed) domain name starting at `pos`.
+///
+/// Returns the name and the position one past the name *in the
+/// uncompressed reading order* (i.e. after the pointer, if one was
+/// followed).
+fn read_name(data: &[u8], mut pos: usize) -> Result<(String, usize), DnsError> {
+    let mut labels = Vec::new();
+    let mut jumped_end: Option<usize> = None;
+    let mut hops = 0;
+    loop {
+        let &len = data
+            .get(pos)
+            .ok_or_else(|| DnsError::new("name runs past end"))?;
+        if len & 0xc0 == 0xc0 {
+            // Compression pointer.
+            let &next = data
+                .get(pos + 1)
+                .ok_or_else(|| DnsError::new("truncated pointer"))?;
+            let target = (usize::from(len & 0x3f) << 8) | usize::from(next);
+            if jumped_end.is_none() {
+                jumped_end = Some(pos + 2);
+            }
+            hops += 1;
+            if hops > 32 {
+                return Err(DnsError::new("compression pointer loop"));
+            }
+            if target >= pos {
+                return Err(DnsError::new("forward compression pointer"));
+            }
+            pos = target;
+            continue;
+        }
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len >= 64 {
+            return Err(DnsError::new("label length >= 64"));
+        }
+        let start = pos + 1;
+        let end = start + usize::from(len);
+        let label = data
+            .get(start..end)
+            .ok_or_else(|| DnsError::new("label runs past end"))?;
+        labels.push(
+            std::str::from_utf8(label)
+                .map_err(|_| DnsError::new("label not UTF-8"))?
+                .to_owned(),
+        );
+        pos = end;
+    }
+    Ok((labels.join("."), jumped_end.unwrap_or(pos)))
+}
+
+/// Parses a DNS message, extracting questions and A answers.
+///
+/// Non-A answer records are skipped (not an error).
+///
+/// # Errors
+///
+/// Returns [`DnsError`] on truncation or malformed names.
+pub fn parse_message(data: &[u8]) -> Result<DnsMessage, DnsError> {
+    if data.len() < 12 {
+        return Err(DnsError::new("shorter than header"));
+    }
+    let id = u16::from_be_bytes([data[0], data[1]]);
+    let flags = u16::from_be_bytes([data[2], data[3]]);
+    let qdcount = u16::from_be_bytes([data[4], data[5]]);
+    let ancount = u16::from_be_bytes([data[6], data[7]]);
+    let mut pos = 12;
+    let mut questions = Vec::with_capacity(qdcount.into());
+    for _ in 0..qdcount {
+        let (name, next) = read_name(data, pos)?;
+        pos = next + 4; // QTYPE + QCLASS
+        if pos > data.len() {
+            return Err(DnsError::new("truncated question"));
+        }
+        questions.push(name);
+    }
+    let mut answers = Vec::with_capacity(ancount.into());
+    for _ in 0..ancount {
+        let (name, next) = read_name(data, pos)?;
+        pos = next;
+        if pos + 10 > data.len() {
+            return Err(DnsError::new("truncated answer header"));
+        }
+        let rtype = u16::from_be_bytes([data[pos], data[pos + 1]]);
+        let ttl = u32::from_be_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+        let rdlength = usize::from(u16::from_be_bytes([data[pos + 8], data[pos + 9]]));
+        pos += 10;
+        if pos + rdlength > data.len() {
+            return Err(DnsError::new("truncated rdata"));
+        }
+        if rtype == QTYPE_A && rdlength == 4 {
+            let addr = Ipv4Addr::new(data[pos], data[pos + 1], data[pos + 2], data[pos + 3]);
+            answers.push((name, addr, ttl));
+        }
+        pos += rdlength;
+    }
+    Ok(DnsMessage {
+        id,
+        is_response: flags & 0x8000 != 0,
+        questions,
+        answers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let raw = encode_query(0x1234, "ads.example.com");
+        let msg = parse_message(&raw).unwrap();
+        assert_eq!(msg.id, 0x1234);
+        assert!(!msg.is_response);
+        assert_eq!(msg.questions, vec!["ads.example.com".to_owned()]);
+        assert!(msg.answers.is_empty());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let addr = Ipv4Addr::new(93, 184, 216, 34);
+        let raw = encode_response(7, "cdn.example.net", addr, 300);
+        let msg = parse_message(&raw).unwrap();
+        assert!(msg.is_response);
+        assert_eq!(msg.questions, vec!["cdn.example.net".to_owned()]);
+        assert_eq!(msg.answers, vec![("cdn.example.net".to_owned(), addr, 300)]);
+    }
+
+    #[test]
+    fn parses_compressed_response() {
+        // Hand-built response using a compression pointer for the answer
+        // name (offset 12 = the question name).
+        let mut buf = BytesMut::new();
+        buf.put_u16(9); // id
+        buf.put_u16(0x8180);
+        buf.put_u16(1);
+        buf.put_u16(1);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        put_name(&mut buf, "a.bc");
+        buf.put_u16(QTYPE_A);
+        buf.put_u16(QCLASS_IN);
+        buf.put_u8(0xc0); // pointer to offset 12
+        buf.put_u8(12);
+        buf.put_u16(QTYPE_A);
+        buf.put_u16(QCLASS_IN);
+        buf.put_u32(60);
+        buf.put_u16(4);
+        buf.put_slice(&[1, 2, 3, 4]);
+        let msg = parse_message(&buf).unwrap();
+        assert_eq!(
+            msg.answers,
+            vec![("a.bc".to_owned(), Ipv4Addr::new(1, 2, 3, 4), 60)]
+        );
+    }
+
+    #[test]
+    fn skips_non_a_answers() {
+        // AAAA answer (type 28) must be skipped without error.
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u16(0x8180);
+        buf.put_u16(0);
+        buf.put_u16(1);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        put_name(&mut buf, "v6.example");
+        buf.put_u16(28);
+        buf.put_u16(QCLASS_IN);
+        buf.put_u32(60);
+        buf.put_u16(16);
+        buf.put_slice(&[0; 16]);
+        let msg = parse_message(&buf).unwrap();
+        assert!(msg.answers.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let raw = encode_response(7, "x.y", Ipv4Addr::new(1, 1, 1, 1), 1);
+        for len in [0, 5, 11, 13, raw.len() - 1] {
+            assert!(parse_message(&raw[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_pointer_loop() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u16(0x0100);
+        buf.put_u16(1);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        // Name is a pointer to itself.
+        buf.put_u8(0xc0);
+        buf.put_u8(12);
+        buf.put_u16(QTYPE_A);
+        buf.put_u16(QCLASS_IN);
+        assert!(parse_message(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_root_name() {
+        let raw = encode_query(1, "");
+        let msg = parse_message(&raw).unwrap();
+        assert_eq!(msg.questions, vec![String::new()]);
+    }
+}

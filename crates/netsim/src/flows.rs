@@ -1,0 +1,374 @@
+//! Offline capture analysis: TCP flow reassembly and DNS recovery.
+//!
+//! This is the pipeline side of §III-E: "we calculate the data transfer
+//! size after the connection is closed, which is the sum of all TCP
+//! packets within the same stream (i.e., the packets which possess the
+//! same connection parameters as the socket itself)". Because connection
+//! parameters are only unique *at a given point in time*, the table
+//! splits packets sharing a 4-tuple into stream *epochs* delimited by
+//! SYN packets, so sequentially-reused ports are counted separately —
+//! the paper's "stack traces of two different sockets with the same
+//! connection endpoint are counted separately".
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::dns::parse_message;
+use crate::packet::{decode_frame, tcp_flags, SocketPair, Transport};
+use crate::pcap::CapturedPacket;
+
+/// One reassembled TCP stream epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpFlow {
+    /// 4-tuple from the initiator's perspective (SYN sender is `src`).
+    pub pair: SocketPair,
+    /// Timestamp of the first packet (the SYN), microseconds.
+    pub start_micros: u64,
+    /// Timestamp of the last packet observed in this epoch.
+    pub end_micros: u64,
+    /// Total wire bytes initiator → responder (all packets, as the
+    /// paper sums whole packets rather than payloads).
+    pub sent_wire_bytes: u64,
+    /// Total wire bytes responder → initiator.
+    pub recv_wire_bytes: u64,
+    /// Payload-only bytes initiator → responder.
+    pub sent_payload_bytes: u64,
+    /// Payload-only bytes responder → initiator.
+    pub recv_payload_bytes: u64,
+    /// Number of packets in the epoch.
+    pub packet_count: usize,
+    /// First initiator→responder payload bytes (capped), enough to see
+    /// an HTTP request head — what header-based classifiers inspect.
+    pub first_payload: Vec<u8>,
+}
+
+/// Cap on the stored leading payload (covers any realistic HTTP head).
+pub const FIRST_PAYLOAD_CAP: usize = 1_024;
+
+impl TcpFlow {
+    /// Total wire bytes in both directions.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.sent_wire_bytes + self.recv_wire_bytes
+    }
+}
+
+/// All TCP flows recovered from a capture, addressable by 4-tuple.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    flows: Vec<TcpFlow>,
+    /// canonical pair -> indices of flow epochs in time order.
+    by_pair: HashMap<SocketPair, Vec<usize>>,
+}
+
+impl FlowTable {
+    /// Reassembles flows from captured packets.
+    ///
+    /// Packets that fail to decode, or that are not TCP, are skipped —
+    /// a capture is untrusted input and the analysis must be robust to
+    /// noise (the paper similarly ignores non-TCP traffic, §III-E).
+    pub fn from_capture(packets: &[CapturedPacket]) -> Self {
+        let mut flows: Vec<TcpFlow> = Vec::new();
+        let mut by_pair: HashMap<SocketPair, Vec<usize>> = HashMap::new();
+        // canonical pair -> index of currently-open epoch in `flows`.
+        let mut open: HashMap<SocketPair, usize> = HashMap::new();
+
+        for packet in packets {
+            let Ok(frame) = decode_frame(&packet.data) else {
+                continue;
+            };
+            let Transport::Tcp { flags, payload, .. } = frame.transport else {
+                continue;
+            };
+            let canonical = frame.pair.canonical();
+            let is_syn = flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0;
+            let idx = match open.get(&canonical) {
+                Some(&idx) if !is_syn => idx,
+                _ if is_syn => {
+                    // A fresh SYN starts a new epoch for this 4-tuple.
+                    let idx = flows.len();
+                    flows.push(TcpFlow {
+                        pair: frame.pair,
+                        start_micros: packet.timestamp_micros,
+                        end_micros: packet.timestamp_micros,
+                        sent_wire_bytes: 0,
+                        recv_wire_bytes: 0,
+                        sent_payload_bytes: 0,
+                        recv_payload_bytes: 0,
+                        packet_count: 0,
+                        first_payload: Vec::new(),
+                    });
+                    by_pair.entry(canonical).or_default().push(idx);
+                    open.insert(canonical, idx);
+                    idx
+                }
+                _ => {
+                    // Mid-stream packet without a preceding SYN (capture
+                    // started mid-connection): open an epoch anyway so
+                    // the bytes are not lost.
+                    let idx = flows.len();
+                    flows.push(TcpFlow {
+                        pair: frame.pair,
+                        start_micros: packet.timestamp_micros,
+                        end_micros: packet.timestamp_micros,
+                        sent_wire_bytes: 0,
+                        recv_wire_bytes: 0,
+                        sent_payload_bytes: 0,
+                        recv_payload_bytes: 0,
+                        packet_count: 0,
+                        first_payload: Vec::new(),
+                    });
+                    by_pair.entry(canonical).or_default().push(idx);
+                    open.insert(canonical, idx);
+                    idx
+                }
+            };
+            let flow = &mut flows[idx];
+            flow.end_micros = packet.timestamp_micros;
+            flow.packet_count += 1;
+            if frame.pair == flow.pair {
+                flow.sent_wire_bytes += frame.wire_len as u64;
+                flow.sent_payload_bytes += payload.len() as u64;
+                if flow.first_payload.len() < FIRST_PAYLOAD_CAP && !payload.is_empty() {
+                    let room = FIRST_PAYLOAD_CAP - flow.first_payload.len();
+                    flow.first_payload
+                        .extend_from_slice(&payload[..payload.len().min(room)]);
+                }
+            } else {
+                flow.recv_wire_bytes += frame.wire_len as u64;
+                flow.recv_payload_bytes += payload.len() as u64;
+            }
+        }
+        FlowTable { flows, by_pair }
+    }
+
+    /// All flows in first-packet order.
+    pub fn flows(&self) -> &[TcpFlow] {
+        &self.flows
+    }
+
+    /// Number of distinct stream epochs.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Returns `true` when no flows were reassembled.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Flow epochs matching the given 4-tuple (either direction), in
+    /// time order. Socket reports are joined against this: the epoch
+    /// whose start time is closest below the report time wins.
+    pub fn matching(&self, pair: &SocketPair) -> impl Iterator<Item = &TcpFlow> {
+        self.by_pair
+            .get(&pair.canonical())
+            .into_iter()
+            .flatten()
+            .map(move |&idx| &self.flows[idx])
+    }
+
+    /// The flow epoch active at `time_micros` for the given 4-tuple:
+    /// the latest epoch that started at or before that time (falling
+    /// back to the earliest epoch if the report predates all packets,
+    /// which can happen because the report is sent right after
+    /// `connect`).
+    pub fn lookup(&self, pair: &SocketPair, time_micros: u64) -> Option<&TcpFlow> {
+        let indices = self.by_pair.get(&pair.canonical())?;
+        let mut best: Option<&TcpFlow> = None;
+        for &idx in indices {
+            let flow = &self.flows[idx];
+            if flow.start_micros <= time_micros {
+                best = Some(flow);
+            }
+        }
+        best.or_else(|| indices.first().map(|&idx| &self.flows[idx]))
+    }
+}
+
+/// IP→domain map recovered from DNS responses in a capture (§III-F).
+///
+/// When several domains resolve to one address (CDN fronting), the most
+/// recent response wins at lookup time — the map tracks response order.
+#[derive(Debug, Clone, Default)]
+pub struct DnsMap {
+    by_ip: HashMap<Ipv4Addr, String>,
+    /// Total DNS datagrams seen (queries + responses).
+    pub dns_packet_count: usize,
+}
+
+impl DnsMap {
+    /// Scans a capture for DNS traffic (UDP port 53) and builds the
+    /// address map from A answers.
+    pub fn from_capture(packets: &[CapturedPacket]) -> Self {
+        let mut map = DnsMap::default();
+        for packet in packets {
+            let Ok(frame) = decode_frame(&packet.data) else {
+                continue;
+            };
+            let Transport::Udp { payload } = frame.transport else {
+                continue;
+            };
+            if frame.pair.src_port != crate::dns::DNS_PORT
+                && frame.pair.dst_port != crate::dns::DNS_PORT
+            {
+                continue;
+            }
+            map.dns_packet_count += 1;
+            let Ok(message) = parse_message(&payload) else {
+                continue;
+            };
+            if !message.is_response {
+                continue;
+            }
+            for (name, addr, _ttl) in message.answers {
+                map.by_ip.insert(addr, name);
+            }
+        }
+        map
+    }
+
+    /// Domain most recently resolved to `ip`, if observed.
+    pub fn domain_for(&self, ip: Ipv4Addr) -> Option<&str> {
+        self.by_ip.get(&ip).map(String::as_str)
+    }
+
+    /// Number of distinct addresses with a known domain.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Returns `true` when no DNS responses were observed.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::stack::NetStack;
+
+    fn run_one_connection() -> (Vec<CapturedPacket>, SocketPair) {
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let ip = stack.resolve("cdn.example.net", Ipv4Addr::new(93, 184, 216, 34));
+        let sock = stack.tcp_connect(ip, 443);
+        stack.tcp_transfer(sock, 700, 40_000);
+        stack.tcp_close(sock);
+        let pair = stack.socket_pair(sock).unwrap();
+        (stack.into_capture(), pair)
+    }
+
+    #[test]
+    fn reassembles_single_flow() {
+        let (capture, pair) = run_one_connection();
+        let table = FlowTable::from_capture(&capture);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+        let flow = &table.flows()[0];
+        assert_eq!(flow.pair, pair);
+        assert_eq!(flow.sent_payload_bytes, 700);
+        assert_eq!(flow.recv_payload_bytes, 40_000);
+        // Wire bytes include headers, so they strictly exceed payload.
+        assert!(flow.sent_wire_bytes > flow.sent_payload_bytes);
+        assert!(flow.recv_wire_bytes > flow.recv_payload_bytes);
+        assert!(flow.end_micros > flow.start_micros);
+        assert_eq!(flow.total_wire_bytes(), flow.sent_wire_bytes + flow.recv_wire_bytes);
+    }
+
+    #[test]
+    fn lookup_by_either_direction() {
+        let (capture, pair) = run_one_connection();
+        let table = FlowTable::from_capture(&capture);
+        assert!(table.lookup(&pair, 10_000_000).is_some());
+        assert!(table.lookup(&pair.reversed(), 10_000_000).is_some());
+        assert_eq!(table.matching(&pair).count(), 1);
+    }
+
+    #[test]
+    fn sequential_port_reuse_counts_separately() {
+        // Two connections forced onto the same 4-tuple must become two
+        // epochs.
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let dst = Ipv4Addr::new(1, 2, 3, 4);
+        let a = stack.tcp_connect(dst, 80);
+        stack.tcp_transfer(a, 10, 100);
+        stack.tcp_close(a);
+        let t_between = stack.clock().now_micros();
+        // Rewind the port allocator to force exact 4-tuple reuse.
+        let pair_a = stack.socket_pair(a).unwrap();
+        // (We reproduce reuse by opening sockets until the port wraps in
+        // unit form: directly manipulate via a fresh stack replay.)
+        drop(stack);
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let a = stack.tcp_connect(dst, 80);
+        stack.tcp_transfer(a, 10, 100);
+        stack.tcp_close(a);
+        // Force the next socket onto the same source port:
+        let reuse_capture = {
+            let mut packets = stack.capture().to_vec();
+            // Duplicate the whole epoch, shifted in time: identical
+            // 4-tuple, new SYN => must be a second epoch.
+            let shift = 1_000_000;
+            let mut dup: Vec<CapturedPacket> = stack
+                .capture()
+                .iter()
+                .map(|p| CapturedPacket {
+                    timestamp_micros: p.timestamp_micros + shift,
+                    data: p.data.clone(),
+                })
+                .collect();
+            packets.append(&mut dup);
+            packets
+        };
+        let table = FlowTable::from_capture(&reuse_capture);
+        assert_eq!(table.len(), 2);
+        let pair = stack.socket_pair(a).unwrap();
+        assert_eq!(table.matching(&pair).count(), 2);
+        // Epoch selection by time: early lookup gets epoch 1, late gets 2.
+        let early = table.lookup(&pair, 0).unwrap();
+        let late = table.lookup(&pair, 2_000_000).unwrap();
+        assert!(early.start_micros < late.start_micros);
+        let _ = (t_between, pair_a);
+    }
+
+    #[test]
+    fn dns_map_recovers_domains() {
+        let (capture, pair) = run_one_connection();
+        let map = DnsMap::from_capture(&capture);
+        assert_eq!(map.len(), 1);
+        assert!(!map.is_empty());
+        assert_eq!(map.domain_for(pair.dst_ip), Some("cdn.example.net"));
+        assert_eq!(map.domain_for(Ipv4Addr::new(8, 8, 8, 8)), None);
+        assert_eq!(map.dns_packet_count, 2);
+    }
+
+    #[test]
+    fn non_tcp_and_noise_skipped() {
+        let mut capture = run_one_connection().0;
+        capture.push(CapturedPacket {
+            timestamp_micros: 99,
+            data: vec![0xde, 0xad],
+        });
+        let table = FlowTable::from_capture(&capture);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn mid_stream_capture_still_counted() {
+        let (capture, _) = run_one_connection();
+        // Drop the handshake (first 5 packets incl. DNS): data must
+        // still be attributed to a synthesized epoch.
+        let table = FlowTable::from_capture(&capture[5..]);
+        assert_eq!(table.len(), 1);
+        assert!(table.flows()[0].total_wire_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let table = FlowTable::from_capture(&[]);
+        assert!(table.is_empty());
+        let map = DnsMap::from_capture(&[]);
+        assert!(map.is_empty());
+    }
+}

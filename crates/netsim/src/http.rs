@@ -1,0 +1,204 @@
+//! Minimal HTTP/1.1 request/response framing inside TCP payloads.
+//!
+//! The paper's introduction dismisses header-based traffic attribution
+//! because of "the prevalence of generic identifiers in HTTP headers" —
+//! prior work (Xu et al., Maier et al.) keyed on the `User-Agent`. To
+//! *measure* that inadequacy rather than assert it, the simulated HTTP
+//! clients put realistic request heads on the wire: a request line, a
+//! `Host` header, and a `User-Agent` that is usually the HTTP client's
+//! generic token and only sometimes carries an SDK identifier — exactly
+//! the mix that made UA-based classification unreliable.
+
+use std::fmt;
+
+/// A parsed (or to-be-encoded) HTTP request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// `Host` header value.
+    pub host: String,
+    /// `User-Agent` header value.
+    pub user_agent: String,
+    /// `Content-Length` header value (body bytes following the head).
+    pub content_length: u64,
+}
+
+impl fmt::Display for HttpRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} (host {})", self.method, self.path, self.host)
+    }
+}
+
+impl HttpRequest {
+    /// Encodes the head plus `content_length` bytes of deterministic
+    /// body filler.
+    pub fn encode(&self) -> Vec<u8> {
+        let head = format!(
+            "{} {} HTTP/1.1\r\nHost: {}\r\nUser-Agent: {}\r\nAccept: */*\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.method, self.path, self.host, self.user_agent, self.content_length
+        );
+        let mut out = head.into_bytes();
+        out.extend((0..self.content_length).map(|i| b'a' + (i % 23) as u8));
+        out
+    }
+
+    /// Parses a request head from the beginning of a client payload.
+    ///
+    /// Returns `None` for anything that does not start with a plausible
+    /// HTTP/1.x request line (raw-socket protocols, truncated data).
+    pub fn parse(payload: &[u8]) -> Option<HttpRequest> {
+        let text = std::str::from_utf8(&payload[..payload.len().min(2_048)]).ok()?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next()?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next()?.to_owned();
+        let path = parts.next()?.to_owned();
+        let version = parts.next()?;
+        if !version.starts_with("HTTP/1.") || !path.starts_with('/') {
+            return None;
+        }
+        if !matches!(method.as_str(), "GET" | "POST" | "PUT" | "HEAD" | "DELETE") {
+            return None;
+        }
+        let mut host = None;
+        let mut user_agent = None;
+        let mut content_length = 0u64;
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("host") {
+                host = Some(value.to_owned());
+            } else if name.eq_ignore_ascii_case("user-agent") {
+                user_agent = Some(value.to_owned());
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+        }
+        Some(HttpRequest {
+            method,
+            path,
+            host: host?,
+            user_agent: user_agent.unwrap_or_default(),
+            content_length,
+        })
+    }
+}
+
+/// Encodes an HTTP/1.1 200 response head plus `content_length` bytes of
+/// deterministic body filler.
+pub fn encode_response(content_length: u64) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: {content_length}\r\nConnection: close\r\n\r\n"
+    );
+    let mut out = head.into_bytes();
+    out.extend((0..content_length).map(|i| b'A' + (i % 23) as u8));
+    out
+}
+
+/// Encodes a response whose head + body total *exactly* `total` bytes
+/// (so simulated transfer sizes stay byte-accurate). When `total` is
+/// smaller than the minimal head, the minimal head is returned.
+pub fn encode_response_total(total: u64) -> Vec<u8> {
+    // Fixpoint on the Content-Length digit width; digit-boundary totals
+    // with no exact solution are padded with trailing filler (harmless —
+    // the paper sums packet bytes, not HTTP semantics).
+    let mut body = total.saturating_sub(encode_response(0).len() as u64);
+    for _ in 0..4 {
+        let head_len = encode_response(body).len() as u64 - body;
+        let next = total.saturating_sub(head_len);
+        if next == body {
+            break;
+        }
+        body = next;
+    }
+    let mut out = encode_response(body);
+    while (out.len() as u64) < total {
+        out.push(b'.');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: "/v2/config".into(),
+            host: "ads.vendor.example".into(),
+            user_agent: "okhttp/3.12.1 com.vungle.publisher".into(),
+            content_length: 40,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let request = sample();
+        let bytes = request.encode();
+        let parsed = HttpRequest::parse(&bytes).unwrap();
+        assert_eq!(parsed, request);
+        // Body length is honored.
+        let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert_eq!(bytes.len() - head_end, 40);
+    }
+
+    #[test]
+    fn parse_rejects_non_http() {
+        assert!(HttpRequest::parse(b"").is_none());
+        assert!(HttpRequest::parse(b"\x16\x03\x01\x02\x00").is_none()); // TLS hello
+        assert!(HttpRequest::parse(b"NOTHTTP junk\r\n").is_none());
+        assert!(HttpRequest::parse(b"GET noslash HTTP/1.1\r\nHost: h\r\n\r\n").is_none());
+        assert!(HttpRequest::parse(b"GET / SPDY/1\r\nHost: h\r\n\r\n").is_none());
+        // Missing Host.
+        assert!(HttpRequest::parse(b"GET / HTTP/1.1\r\nUser-Agent: x\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_on_headers() {
+        let raw = b"POST /track HTTP/1.1\r\nHOST: t.example\r\nuser-agent: Dalvik/2.1.0\r\ncontent-length: 7\r\n\r\npayload";
+        let parsed = HttpRequest::parse(raw).unwrap();
+        assert_eq!(parsed.host, "t.example");
+        assert_eq!(parsed.user_agent, "Dalvik/2.1.0");
+        assert_eq!(parsed.content_length, 7);
+        assert_eq!(parsed.method, "POST");
+    }
+
+    #[test]
+    fn missing_user_agent_is_empty() {
+        let parsed =
+            HttpRequest::parse(b"GET / HTTP/1.1\r\nHost: h.example\r\n\r\n").unwrap();
+        assert_eq!(parsed.user_agent, "");
+    }
+
+    #[test]
+    fn response_total_is_exact() {
+        for total in [0u64, 10, 90, 91, 92, 100, 1_000, 9_999, 10_000, 8_192, 1_048_576] {
+            let bytes = encode_response_total(total);
+            let min = encode_response(0).len() as u64;
+            if total >= min {
+                assert_eq!(bytes.len() as u64, total, "total {total}");
+            } else {
+                assert_eq!(bytes.len() as u64, min);
+            }
+        }
+    }
+
+    #[test]
+    fn response_head_and_length() {
+        let bytes = encode_response(100);
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 100\r\n"));
+        let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert_eq!(bytes.len() - head_end, 100);
+    }
+}

@@ -1,0 +1,468 @@
+//! Ethernet II / IPv4 / TCP / UDP frame encoding and decoding.
+//!
+//! Frames produced here are byte-compatible with what tcpdump would have
+//! captured from the emulator's interface: real header layouts, real
+//! internet checksums (IPv4 header checksum and the TCP/UDP pseudo-header
+//! checksum). The decoder is the offline pipeline's view of the capture.
+
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::{BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Length of an Ethernet II header.
+pub const ETH_HEADER_LEN: usize = 14;
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+/// Maximum TCP payload per segment (standard Ethernet MSS).
+pub const TCP_MSS: usize = 1460;
+
+/// EtherType for IPv4.
+const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// TCP flag bits.
+pub mod tcp_flags {
+    /// Final segment from sender.
+    pub const FIN: u8 = 0x01;
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push buffered data to the application.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field is significant.
+    pub const ACK: u8 = 0x10;
+}
+
+/// The 4-tuple identifying a connection.
+///
+/// `src` is always the side that initiated the packet being described,
+/// so the same connection appears with `src`/`dst` swapped for the two
+/// directions; [`SocketPair::canonical`] folds both onto one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SocketPair {
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl SocketPair {
+    /// Builds a socket pair.
+    pub fn new(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        SocketPair {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+        }
+    }
+
+    /// The same pair viewed from the opposite direction.
+    pub fn reversed(&self) -> SocketPair {
+        SocketPair {
+            src_ip: self.dst_ip,
+            src_port: self.dst_port,
+            dst_ip: self.src_ip,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// Direction-independent canonical form (lexicographically smaller
+    /// endpoint first) for use as a flow key.
+    pub fn canonical(&self) -> SocketPair {
+        let a = (self.src_ip, self.src_port);
+        let b = (self.dst_ip, self.dst_port);
+        if a <= b {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl fmt::Display for SocketPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// Transport-layer content of a decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// TCP segment.
+    Tcp {
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Flag bits (see [`tcp_flags`]).
+        flags: u8,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// UDP datagram.
+    Udp {
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// A decoded frame: who talked to whom, with what transport content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Connection 4-tuple as seen in this frame's direction.
+    pub pair: SocketPair,
+    /// Transport content.
+    pub transport: Transport,
+    /// Total on-wire frame length in bytes.
+    pub wire_len: usize,
+}
+
+/// Error produced when decoding a malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDecodeError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl FrameDecodeError {
+    fn new(message: impl Into<String>) -> Self {
+        FrameDecodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed frame: {}", self.message)
+    }
+}
+
+impl Error for FrameDecodeError {}
+
+/// RFC 1071 internet checksum over `data` (padded with a zero byte if of
+/// odd length), starting from `initial`.
+fn internet_checksum(initial: u32, data: &[u8]) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Pseudo-header checksum seed for TCP/UDP.
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, len: u16) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    u32::from(u16::from_be_bytes([s[0], s[1]]))
+        + u32::from(u16::from_be_bytes([s[2], s[3]]))
+        + u32::from(u16::from_be_bytes([d[0], d[1]]))
+        + u32::from(u16::from_be_bytes([d[2], d[3]]))
+        + u32::from(protocol)
+        + u32::from(len)
+}
+
+fn mac_for(ip: Ipv4Addr) -> [u8; 6] {
+    let o = ip.octets();
+    [0x02, 0x00, o[0], o[1], o[2], o[3]]
+}
+
+fn encode_eth_ipv4(
+    buf: &mut BytesMut,
+    pair: &SocketPair,
+    protocol: u8,
+    transport_and_payload: &[u8],
+) {
+    // Ethernet II
+    buf.put_slice(&mac_for(pair.dst_ip));
+    buf.put_slice(&mac_for(pair.src_ip));
+    buf.put_u16(ETHERTYPE_IPV4);
+    // IPv4
+    let total_len = (IPV4_HEADER_LEN + transport_and_payload.len()) as u16;
+    let mut ip = [0u8; IPV4_HEADER_LEN];
+    ip[0] = 0x45; // version 4, IHL 5
+    ip[1] = 0; // DSCP/ECN
+    ip[2..4].copy_from_slice(&total_len.to_be_bytes());
+    // identification / flags / fragment offset left zero
+    ip[8] = 64; // TTL
+    ip[9] = protocol;
+    ip[12..16].copy_from_slice(&pair.src_ip.octets());
+    ip[16..20].copy_from_slice(&pair.dst_ip.octets());
+    let csum = internet_checksum(0, &ip);
+    ip[10..12].copy_from_slice(&csum.to_be_bytes());
+    buf.put_slice(&ip);
+    buf.put_slice(transport_and_payload);
+}
+
+/// Encodes a TCP segment into a complete Ethernet frame.
+pub fn encode_tcp(pair: &SocketPair, seq: u32, ack: u32, flags: u8, payload: &[u8]) -> Vec<u8> {
+    let mut tcp = vec![0u8; TCP_HEADER_LEN + payload.len()];
+    tcp[0..2].copy_from_slice(&pair.src_port.to_be_bytes());
+    tcp[2..4].copy_from_slice(&pair.dst_port.to_be_bytes());
+    tcp[4..8].copy_from_slice(&seq.to_be_bytes());
+    tcp[8..12].copy_from_slice(&ack.to_be_bytes());
+    tcp[12] = ((TCP_HEADER_LEN / 4) as u8) << 4; // data offset
+    tcp[13] = flags;
+    tcp[14..16].copy_from_slice(&65_535u16.to_be_bytes()); // window
+    tcp[TCP_HEADER_LEN..].copy_from_slice(payload);
+    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 6, tcp.len() as u16);
+    let csum = internet_checksum(seed, &tcp);
+    tcp[16..18].copy_from_slice(&csum.to_be_bytes());
+
+    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + tcp.len());
+    encode_eth_ipv4(&mut buf, pair, 6, &tcp);
+    buf.to_vec()
+}
+
+/// Encodes a UDP datagram into a complete Ethernet frame.
+pub fn encode_udp(pair: &SocketPair, payload: &[u8]) -> Vec<u8> {
+    let mut udp = vec![0u8; UDP_HEADER_LEN + payload.len()];
+    udp[0..2].copy_from_slice(&pair.src_port.to_be_bytes());
+    udp[2..4].copy_from_slice(&pair.dst_port.to_be_bytes());
+    let udp_len = udp.len() as u16;
+    udp[4..6].copy_from_slice(&udp_len.to_be_bytes());
+    udp[UDP_HEADER_LEN..].copy_from_slice(payload);
+    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 17, udp.len() as u16);
+    let csum = internet_checksum(seed, &udp);
+    // Per RFC 768, a computed checksum of zero is transmitted as 0xffff.
+    let csum = if csum == 0 { 0xffff } else { csum };
+    udp[6..8].copy_from_slice(&csum.to_be_bytes());
+
+    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + udp.len());
+    encode_eth_ipv4(&mut buf, pair, 17, &udp);
+    buf.to_vec()
+}
+
+/// Decodes a raw Ethernet frame into a [`Frame`].
+///
+/// # Errors
+///
+/// Returns [`FrameDecodeError`] for truncated frames, non-IPv4
+/// ethertypes, unsupported IP protocols, bad header lengths, or
+/// checksum mismatches.
+pub fn decode_frame(raw: &[u8]) -> Result<Frame, FrameDecodeError> {
+    if raw.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
+        return Err(FrameDecodeError::new("frame shorter than eth+ip headers"));
+    }
+    let ethertype = u16::from_be_bytes([raw[12], raw[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(FrameDecodeError::new(format!(
+            "unsupported ethertype {ethertype:#06x}"
+        )));
+    }
+    let ip = &raw[ETH_HEADER_LEN..];
+    if ip[0] >> 4 != 4 {
+        return Err(FrameDecodeError::new("not IPv4"));
+    }
+    let ihl = usize::from(ip[0] & 0x0f) * 4;
+    if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
+        return Err(FrameDecodeError::new("bad IPv4 header length"));
+    }
+    if internet_checksum(0, &ip[..ihl]) != 0 {
+        return Err(FrameDecodeError::new("IPv4 header checksum mismatch"));
+    }
+    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+    if total_len < ihl || ip.len() < total_len {
+        return Err(FrameDecodeError::new("IPv4 total length exceeds frame"));
+    }
+    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+    let protocol = ip[9];
+    let transport = &ip[ihl..total_len];
+
+    match protocol {
+        6 => {
+            if transport.len() < TCP_HEADER_LEN {
+                return Err(FrameDecodeError::new("truncated TCP header"));
+            }
+            let src_port = u16::from_be_bytes([transport[0], transport[1]]);
+            let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
+            let seq = u32::from_be_bytes([transport[4], transport[5], transport[6], transport[7]]);
+            let ack =
+                u32::from_be_bytes([transport[8], transport[9], transport[10], transport[11]]);
+            let data_offset = usize::from(transport[12] >> 4) * 4;
+            if data_offset < TCP_HEADER_LEN || transport.len() < data_offset {
+                return Err(FrameDecodeError::new("bad TCP data offset"));
+            }
+            let flags = transport[13];
+            let seed = pseudo_header_sum(src_ip, dst_ip, 6, transport.len() as u16);
+            if internet_checksum(seed, transport) != 0 {
+                return Err(FrameDecodeError::new("TCP checksum mismatch"));
+            }
+            Ok(Frame {
+                pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
+                transport: Transport::Tcp {
+                    seq,
+                    ack,
+                    flags,
+                    payload: transport[data_offset..].to_vec(),
+                },
+                wire_len: raw.len(),
+            })
+        }
+        17 => {
+            if transport.len() < UDP_HEADER_LEN {
+                return Err(FrameDecodeError::new("truncated UDP header"));
+            }
+            let src_port = u16::from_be_bytes([transport[0], transport[1]]);
+            let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
+            let udp_len = usize::from(u16::from_be_bytes([transport[4], transport[5]]));
+            if udp_len < UDP_HEADER_LEN || transport.len() < udp_len {
+                return Err(FrameDecodeError::new("bad UDP length"));
+            }
+            Ok(Frame {
+                pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
+                transport: Transport::Udp {
+                    payload: transport[UDP_HEADER_LEN..udp_len].to_vec(),
+                },
+                wire_len: raw.len(),
+            })
+        }
+        other => Err(FrameDecodeError::new(format!(
+            "unsupported IP protocol {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> SocketPair {
+        SocketPair::new(
+            Ipv4Addr::new(10, 0, 2, 15),
+            43_210,
+            Ipv4Addr::new(93, 184, 216, 34),
+            443,
+        )
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let payload = b"GET / HTTP/1.1\r\n\r\n";
+        let raw = encode_tcp(&pair(), 1000, 2000, tcp_flags::PSH | tcp_flags::ACK, payload);
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(frame.pair, pair());
+        assert_eq!(frame.wire_len, raw.len());
+        match frame.transport {
+            Transport::Tcp {
+                seq,
+                ack,
+                flags,
+                payload: p,
+            } => {
+                assert_eq!(seq, 1000);
+                assert_eq!(ack, 2000);
+                assert_eq!(flags, tcp_flags::PSH | tcp_flags::ACK);
+                assert_eq!(p, payload);
+            }
+            other => panic!("expected tcp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let raw = encode_udp(&pair(), b"report-payload");
+        let frame = decode_frame(&raw).unwrap();
+        match frame.transport {
+            Transport::Udp { payload } => assert_eq!(payload, b"report-payload"),
+            other => panic!("expected udp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payloads() {
+        let raw = encode_tcp(&pair(), 0, 0, tcp_flags::SYN, &[]);
+        assert_eq!(raw.len(), ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN);
+        let frame = decode_frame(&raw).unwrap();
+        match frame.transport {
+            Transport::Tcp { payload, flags, .. } => {
+                assert!(payload.is_empty());
+                assert_eq!(flags, tcp_flags::SYN);
+            }
+            other => panic!("expected tcp, got {other:?}"),
+        }
+        let raw = encode_udp(&pair(), &[]);
+        assert_eq!(raw.len(), ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN);
+        assert!(decode_frame(&raw).is_ok());
+    }
+
+    #[test]
+    fn corrupted_tcp_checksum_rejected() {
+        let mut raw = encode_tcp(&pair(), 1, 1, tcp_flags::ACK, b"data");
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        let err = decode_frame(&raw).unwrap_err();
+        assert!(err.to_string().contains("TCP checksum"));
+    }
+
+    #[test]
+    fn corrupted_ip_header_rejected() {
+        let mut raw = encode_tcp(&pair(), 1, 1, tcp_flags::ACK, &[]);
+        raw[ETH_HEADER_LEN + 8] = 1; // change TTL without fixing checksum
+        let err = decode_frame(&raw).unwrap_err();
+        assert!(err.to_string().contains("IPv4 header checksum"));
+    }
+
+    #[test]
+    fn rejects_truncated_and_foreign_frames() {
+        assert!(decode_frame(&[]).is_err());
+        assert!(decode_frame(&[0; 20]).is_err());
+        // ARP ethertype
+        let mut raw = encode_udp(&pair(), &[]);
+        raw[12] = 0x08;
+        raw[13] = 0x06;
+        assert!(decode_frame(&raw).is_err());
+    }
+
+    #[test]
+    fn canonical_pair_is_direction_independent() {
+        let p = pair();
+        assert_eq!(p.canonical(), p.reversed().canonical());
+        assert_eq!(p.reversed().reversed(), p);
+    }
+
+    #[test]
+    fn socket_pair_display() {
+        assert_eq!(pair().to_string(), "10.0.2.15:43210 -> 93.184.216.34:443");
+    }
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(0, &data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum_odd_length_padding() {
+        // Odd-length data is padded with a trailing zero byte.
+        assert_eq!(
+            internet_checksum(0, &[0xab]),
+            internet_checksum(0, &[0xab, 0x00])
+        );
+    }
+}

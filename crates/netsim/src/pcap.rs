@@ -1,0 +1,200 @@
+//! Classic libpcap file format (the `.pcap` files tcpdump writes).
+//!
+//! Captures produced by the emulator are serialized in the standard
+//! format — magic `0xa1b2c3d4`, version 2.4, LINKTYPE_ETHERNET — so they
+//! can be inspected with standard tooling, and the offline pipeline
+//! parses them back the same way the authors parsed their tcpdump
+//! output.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Little-endian pcap magic.
+pub const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Snapshot length written into the global header.
+pub const SNAPLEN: u32 = 65_535;
+
+/// One captured packet: a timestamp and raw frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPacket {
+    /// Capture timestamp in microseconds since the experiment epoch.
+    pub timestamp_micros: u64,
+    /// Raw Ethernet frame bytes.
+    pub data: Vec<u8>,
+}
+
+/// Error produced when reading a malformed pcap file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl PcapError {
+    fn new(message: impl Into<String>) -> Self {
+        PcapError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed pcap: {}", self.message)
+    }
+}
+
+impl Error for PcapError {}
+
+/// Serializes `packets` into a classic pcap file.
+pub fn write_pcap(packets: &[CapturedPacket]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+    buf.put_u32_le(PCAP_MAGIC);
+    buf.put_u16_le(2); // version major
+    buf.put_u16_le(4); // version minor
+    buf.put_i32_le(0); // thiszone
+    buf.put_u32_le(0); // sigfigs
+    buf.put_u32_le(SNAPLEN);
+    buf.put_u32_le(LINKTYPE_ETHERNET);
+    for packet in packets {
+        buf.put_u32_le((packet.timestamp_micros / 1_000_000) as u32);
+        buf.put_u32_le((packet.timestamp_micros % 1_000_000) as u32);
+        buf.put_u32_le(packet.data.len() as u32);
+        buf.put_u32_le(packet.data.len() as u32);
+        buf.put_slice(&packet.data);
+    }
+    buf.freeze()
+}
+
+/// Parses a classic little-endian pcap file back into packets.
+///
+/// # Errors
+///
+/// Returns [`PcapError`] on bad magic, unsupported link type, or
+/// truncated records.
+pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 24 {
+        return Err(PcapError::new("missing global header"));
+    }
+    let magic = buf.get_u32_le();
+    if magic != PCAP_MAGIC {
+        return Err(PcapError::new(format!("bad magic {magic:#010x}")));
+    }
+    let _version_major = buf.get_u16_le();
+    let _version_minor = buf.get_u16_le();
+    let _thiszone = buf.get_i32_le();
+    let _sigfigs = buf.get_u32_le();
+    let _snaplen = buf.get_u32_le();
+    let linktype = buf.get_u32_le();
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(PcapError::new(format!("unsupported linktype {linktype}")));
+    }
+    let mut packets = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < 16 {
+            return Err(PcapError::new("truncated record header"));
+        }
+        let ts_sec = u64::from(buf.get_u32_le());
+        let ts_usec = u64::from(buf.get_u32_le());
+        let incl_len = buf.get_u32_le() as usize;
+        let orig_len = buf.get_u32_le() as usize;
+        if incl_len != orig_len {
+            return Err(PcapError::new("snapped packets are not supported"));
+        }
+        if buf.remaining() < incl_len {
+            return Err(PcapError::new("truncated record data"));
+        }
+        let data = buf.split_to(incl_len).to_vec();
+        packets.push(CapturedPacket {
+            timestamp_micros: ts_sec * 1_000_000 + ts_usec,
+            data,
+        });
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<CapturedPacket> {
+        vec![
+            CapturedPacket {
+                timestamp_micros: 1_500_000,
+                data: vec![1, 2, 3, 4],
+            },
+            CapturedPacket {
+                timestamp_micros: 2_750_001,
+                data: vec![],
+            },
+            CapturedPacket {
+                timestamp_micros: u64::from(u32::MAX),
+                data: vec![0xff; 100],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let packets = sample();
+        let bytes = write_pcap(&packets);
+        assert_eq!(read_pcap(&bytes).unwrap(), packets);
+    }
+
+    #[test]
+    fn empty_capture_roundtrips() {
+        let bytes = write_pcap(&[]);
+        assert_eq!(bytes.len(), 24);
+        assert!(read_pcap(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn global_header_fields() {
+        let bytes = write_pcap(&[]);
+        assert_eq!(&bytes[0..4], &PCAP_MAGIC.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            LINKTYPE_ETHERNET
+        );
+    }
+
+    #[test]
+    fn timestamp_split_is_sec_usec() {
+        let bytes = write_pcap(&[CapturedPacket {
+            timestamp_micros: 3_000_042,
+            data: vec![9],
+        }]);
+        let rec = &bytes[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = write_pcap(&sample()).to_vec();
+        bytes[0] ^= 0xff;
+        assert!(read_pcap(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_linktype() {
+        let mut bytes = write_pcap(&[]).to_vec();
+        bytes[20] = 101; // LINKTYPE_RAW
+        assert!(read_pcap(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = write_pcap(&sample());
+        for len in [0, 10, 23, 30, bytes.len() - 1] {
+            assert!(read_pcap(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: wire formats survive roundtrips; flow accounting
+//! conserves bytes for arbitrary transfer schedules.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use spector_netsim::clock::Clock;
+use spector_netsim::dns::{encode_query, encode_response, parse_message};
+use spector_netsim::flows::{DnsMap, FlowTable};
+use spector_netsim::packet::{decode_frame, encode_tcp, encode_udp, SocketPair, Transport};
+use spector_netsim::pcap::{read_pcap, write_pcap, CapturedPacket};
+use spector_netsim::stack::NetStack;
+
+fn ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn pair() -> impl Strategy<Value = SocketPair> {
+    (ip(), any::<u16>(), ip(), any::<u16>())
+        .prop_map(|(si, sp, di, dp)| SocketPair::new(si, sp, di, dp))
+}
+
+fn domain() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,12}", 1..5).prop_map(|l| l.join("."))
+}
+
+proptest! {
+    #[test]
+    fn tcp_frame_roundtrip(p in pair(), seq in any::<u32>(), ack in any::<u32>(),
+                           flags in 0u8..32, payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let raw = encode_tcp(&p, seq, ack, flags, &payload);
+        let frame = decode_frame(&raw).expect("encoded frame must decode");
+        prop_assert_eq!(frame.pair, p);
+        match frame.transport {
+            Transport::Tcp { seq: s, ack: a, flags: f, payload: pl } => {
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(a, ack);
+                prop_assert_eq!(f, flags);
+                prop_assert_eq!(pl, payload);
+            }
+            other => prop_assert!(false, "expected tcp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn udp_frame_roundtrip(p in pair(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let raw = encode_udp(&p, &payload);
+        let frame = decode_frame(&raw).expect("encoded frame must decode");
+        prop_assert_eq!(frame.pair, p);
+        match frame.transport {
+            Transport::Udp { payload: pl } => prop_assert_eq!(pl, payload),
+            other => prop_assert!(false, "expected udp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_detected_or_benign(p in pair(),
+                                                payload in proptest::collection::vec(any::<u8>(), 1..64),
+                                                bit in 0usize..300) {
+        // Flipping any bit in the IP/TCP region must either fail checksum
+        // validation or (for MAC bytes) decode identically sans MACs.
+        let raw = encode_tcp(&p, 1, 2, 0x18, &payload);
+        let bit = bit % (raw.len() * 8);
+        let mut corrupted = raw.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        match decode_frame(&corrupted) {
+            Err(_) => {} // rejected: good
+            Ok(frame) => {
+                // Only corruption within the 12 MAC bytes can decode:
+                // everything after is covered by a checksum.
+                prop_assert!(bit / 8 < 12,
+                    "undetected corruption at byte {} decoded {:?}", bit / 8, frame.pair);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&noise);
+    }
+
+    #[test]
+    fn dns_roundtrip(id in any::<u16>(), name in domain(), a in ip(), ttl in any::<u32>()) {
+        let q = parse_message(&encode_query(id, &name)).expect("query must parse");
+        prop_assert_eq!(&q.questions[..], std::slice::from_ref(&name));
+        prop_assert!(!q.is_response);
+        let r = parse_message(&encode_response(id, &name, a, ttl)).expect("response must parse");
+        prop_assert!(r.is_response);
+        prop_assert_eq!(&r.answers[..], &[(name, a, ttl)]);
+    }
+
+    #[test]
+    fn dns_parse_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = parse_message(&noise);
+    }
+
+    #[test]
+    fn pcap_roundtrip(specs in proptest::collection::vec(
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..16)) {
+        let packets: Vec<CapturedPacket> = specs
+            .into_iter()
+            .map(|(ts, data)| CapturedPacket { timestamp_micros: u64::from(ts), data })
+            .collect();
+        let parsed = read_pcap(&write_pcap(&packets)).expect("written pcap must parse");
+        prop_assert_eq!(parsed, packets);
+    }
+
+    #[test]
+    fn flow_accounting_conserves_payload(transfers in proptest::collection::vec(
+        (0u64..20_000, 0u64..200_000), 1..8)) {
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let mut expected = Vec::new();
+        for (i, &(sent, recv)) in transfers.iter().enumerate() {
+            let dst = Ipv4Addr::new(198, 51, 100, (i + 1) as u8);
+            let sock = stack.tcp_connect(dst, 443);
+            stack.tcp_transfer(sock, sent, recv);
+            stack.tcp_close(sock);
+            expected.push((stack.socket_pair(sock).unwrap(), sent, recv));
+        }
+        let table = FlowTable::from_capture(stack.capture());
+        prop_assert_eq!(table.len(), transfers.len());
+        for (pair, sent, recv) in expected {
+            let flow = table.lookup(&pair, u64::MAX).expect("flow must exist");
+            prop_assert_eq!(flow.sent_payload_bytes, sent);
+            prop_assert_eq!(flow.recv_payload_bytes, recv);
+            prop_assert!(flow.sent_wire_bytes >= sent);
+            prop_assert!(flow.recv_wire_bytes >= recv);
+        }
+    }
+
+    #[test]
+    fn dns_map_tracks_all_resolutions(domains in proptest::collection::btree_set(domain(), 1..10)) {
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let mut assigned = Vec::new();
+        for (i, d) in domains.iter().enumerate() {
+            let ip = Ipv4Addr::new(203, 0, (i / 250) as u8, (i % 250 + 1) as u8);
+            stack.resolve(d, ip);
+            assigned.push((d.clone(), ip));
+        }
+        let map = DnsMap::from_capture(stack.capture());
+        for (d, ip) in assigned {
+            prop_assert_eq!(map.domain_for(ip), Some(d.as_str()));
+        }
+    }
+}

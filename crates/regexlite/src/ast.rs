@@ -1,0 +1,47 @@
+//! Abstract syntax tree for the supported regex subset.
+
+/// A parsed regular-expression node.
+///
+/// The parser produces exactly one `Ast` per pattern; the compiler walks
+/// it to emit NFA instructions. The tree is public so diagnostic tooling
+/// (and tests) can inspect what a pattern parsed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any single character.
+    AnyChar,
+    /// A character class; `negated` flips set membership.
+    Class {
+        /// Inclusive character ranges making up the class.
+        ranges: Vec<(char, char)>,
+        /// Whether the class was written `[^...]`.
+        negated: bool,
+    },
+    /// `^` — start-of-input anchor.
+    StartAnchor,
+    /// `$` — end-of-input anchor.
+    EndAnchor,
+    /// Two expressions in sequence.
+    Concat(Vec<Ast>),
+    /// `a|b` alternation between two or more branches.
+    Alternate(Vec<Ast>),
+    /// `e*` — zero or more repetitions.
+    Star(Box<Ast>),
+    /// `e+` — one or more repetitions.
+    Plus(Box<Ast>),
+    /// `e?` — zero or one repetition.
+    Optional(Box<Ast>),
+}
+
+impl Ast {
+    /// Returns `true` for nodes that a repetition operator may apply to.
+    ///
+    /// Anchors and empty nodes cannot be repeated; the parser rejects
+    /// `^*` and friends using this predicate.
+    pub(crate) fn is_repeatable(&self) -> bool {
+        !matches!(self, Ast::Empty | Ast::StartAnchor | Ast::EndAnchor)
+    }
+}

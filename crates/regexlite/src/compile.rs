@@ -1,0 +1,202 @@
+//! Thompson construction: AST → NFA program.
+
+use crate::ast::Ast;
+
+/// A single NFA instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Inst {
+    /// Consume one character matching the predicate.
+    Char(CharPred),
+    /// Match successfully.
+    Match,
+    /// Continue at `usize` without consuming input.
+    Jmp(usize),
+    /// Fork execution to both targets without consuming input.
+    Split(usize, usize),
+    /// Succeed only at the start of the input.
+    AssertStart,
+    /// Succeed only at the end of the input.
+    AssertEnd,
+}
+
+/// Predicate over a single character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CharPred {
+    /// Exactly this character.
+    Literal(char),
+    /// Any character.
+    Any,
+    /// Character class with inclusive ranges.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+impl CharPred {
+    pub(crate) fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Literal(l) => *l == c,
+            CharPred::Any => true,
+            CharPred::Class { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// A compiled NFA program. Instruction 0 is the entry point.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    pub(crate) insts: Vec<Inst>,
+}
+
+/// Compiles `ast` into a [`Program`] terminated by [`Inst::Match`].
+pub(crate) fn compile(ast: &Ast) -> Program {
+    let mut insts = Vec::new();
+    emit(ast, &mut insts);
+    insts.push(Inst::Match);
+    Program { insts }
+}
+
+/// Appends instructions matching `ast`; on success control falls through
+/// to the instruction after the emitted block.
+fn emit(ast: &Ast, insts: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Literal(c) => insts.push(Inst::Char(CharPred::Literal(*c))),
+        Ast::AnyChar => insts.push(Inst::Char(CharPred::Any)),
+        Ast::Class { ranges, negated } => insts.push(Inst::Char(CharPred::Class {
+            ranges: ranges.clone(),
+            negated: *negated,
+        })),
+        Ast::StartAnchor => insts.push(Inst::AssertStart),
+        Ast::EndAnchor => insts.push(Inst::AssertEnd),
+        Ast::Concat(parts) => {
+            for part in parts {
+                emit(part, insts);
+            }
+        }
+        Ast::Alternate(branches) => {
+            // For branches b1..bn emit:
+            //   split L1, S2; L1: b1; jmp END
+            //   S2: split L2, S3; L2: b2; jmp END
+            //   ...
+            //   Ln: bn
+            //   END:
+            let mut jmp_ends = Vec::new();
+            for (i, branch) in branches.iter().enumerate() {
+                let last = i + 1 == branches.len();
+                if !last {
+                    let split_at = insts.len();
+                    insts.push(Inst::Split(split_at + 1, 0));
+                    emit(branch, insts);
+                    jmp_ends.push(insts.len());
+                    insts.push(Inst::Jmp(0));
+                    // patch split's right to the next branch start
+                    let next = insts.len();
+                    if let Inst::Split(_, ref mut right) = insts[split_at] {
+                        *right = next;
+                    }
+                } else {
+                    emit(branch, insts);
+                }
+            }
+            let end = insts.len();
+            for at in jmp_ends {
+                if let Inst::Jmp(ref mut t) = insts[at] {
+                    *t = end;
+                }
+            }
+        }
+        Ast::Star(inner) => {
+            // L: split B, END; B: inner; jmp L; END:
+            let l = insts.len();
+            insts.push(Inst::Split(l + 1, 0));
+            emit(inner, insts);
+            insts.push(Inst::Jmp(l));
+            let end = insts.len();
+            if let Inst::Split(_, ref mut right) = insts[l] {
+                *right = end;
+            }
+        }
+        Ast::Plus(inner) => {
+            // B: inner; split B, END
+            let b = insts.len();
+            emit(inner, insts);
+            let s = insts.len();
+            insts.push(Inst::Split(b, s + 1));
+        }
+        Ast::Optional(inner) => {
+            // split B, END; B: inner; END:
+            let s = insts.len();
+            insts.push(Inst::Split(s + 1, 0));
+            emit(inner, insts);
+            let end = insts.len();
+            if let Inst::Split(_, ref mut right) = insts[s] {
+                *right = end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn literal_program_shape() {
+        let prog = compile(&parse("ab").unwrap());
+        assert_eq!(
+            prog.insts,
+            vec![
+                Inst::Char(CharPred::Literal('a')),
+                Inst::Char(CharPred::Literal('b')),
+                Inst::Match
+            ]
+        );
+    }
+
+    #[test]
+    fn star_program_shape() {
+        let prog = compile(&parse("a*").unwrap());
+        assert_eq!(
+            prog.insts,
+            vec![
+                Inst::Split(1, 3),
+                Inst::Char(CharPred::Literal('a')),
+                Inst::Jmp(0),
+                Inst::Match
+            ]
+        );
+    }
+
+    #[test]
+    fn char_pred_class_negation() {
+        let pred = CharPred::Class {
+            ranges: vec![('a', 'c')],
+            negated: true,
+        };
+        assert!(!pred.matches('b'));
+        assert!(pred.matches('z'));
+    }
+
+    #[test]
+    fn all_split_and_jmp_targets_in_bounds() {
+        for pat in ["a|b|c|d", "(ab|cd)*ef?", "x(y+z)*|w"] {
+            let prog = compile(&parse(pat).unwrap());
+            for inst in &prog.insts {
+                match inst {
+                    Inst::Jmp(t) => assert!(*t < prog.insts.len(), "{pat}: jmp oob"),
+                    Inst::Split(a, b) => {
+                        assert!(*a < prog.insts.len(), "{pat}: split left oob");
+                        assert!(*b < prog.insts.len(), "{pat}: split right oob");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

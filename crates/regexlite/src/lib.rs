@@ -1,0 +1,423 @@
+//! A minimal regular-expression engine for Libspector's rule matching.
+//!
+//! The Libspector pipeline uses regular expressions in two places:
+//!
+//! 1. filtering Android built-in packages out of socket stack traces
+//!    (`android.*`, `java.*`, `org.apache.http.*`, ...), and
+//! 2. tokenizing VirusTotal-style domain category labels into the 17
+//!    generic categories of Table I (`ads`, `advert`, `marketing`, ...).
+//!
+//! Both rule sets only need a compact regex subset, which this crate
+//! implements as a classic Thompson construction executed by a Pike-style
+//! virtual machine. The engine is linear-time in `pattern_len * input_len`
+//! and never backtracks, so pathological rule inputs cannot blow up the
+//! large-scale analysis.
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z0-9_]` (with
+//! negation `[^..]` and ranges), alternation `|`, grouping `(..)`,
+//! repetition `*`, `+`, `?`, and anchors `^` / `$`. Escapes `\.` etc.
+//! produce literal characters; `\d`, `\w`, `\s` expand to the usual
+//! classes. Matching is over Unicode scalar values.
+//!
+//! # Examples
+//!
+//! ```
+//! use spector_regexlite::Regex;
+//!
+//! # fn main() -> Result<(), spector_regexlite::ParseError> {
+//! let builtin = Regex::new(r"^(android|java|javax|junit|dalvik)\.")?;
+//! assert!(builtin.is_match("android.os.AsyncTask$2.call"));
+//! assert!(!builtin.is_match("com.unity3d.ads.android.cache.b.a"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod compile;
+mod parse;
+mod vm;
+
+pub use ast::Ast;
+pub use parse::ParseError;
+
+use compile::Program;
+
+/// A compiled regular expression.
+///
+/// `Regex` values are cheap to clone (the compiled program is reference
+/// counted is not needed here — programs are small, so we store them
+/// inline) and safe to share across threads.
+///
+/// # Examples
+///
+/// ```
+/// use spector_regexlite::Regex;
+///
+/// # fn main() -> Result<(), spector_regexlite::ParseError> {
+/// let re = Regex::new("ads|advert|marketing|exposure")?;
+/// assert!(re.is_match("mobile advertising network"));
+/// assert!(!re.is_match("weather"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compiles `pattern` into an executable regex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the pattern is syntactically invalid
+    /// (unbalanced parentheses, dangling repetition operators, an
+    /// unterminated character class, or a trailing escape).
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let ast = parse::parse(pattern)?;
+        let program = compile::compile(&ast);
+        Ok(Regex {
+            pattern: pattern.to_owned(),
+            program,
+        })
+    }
+
+    /// Returns the source pattern this regex was compiled from.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns `true` if the pattern matches anywhere in `input`.
+    ///
+    /// Unanchored by default: `^` and `$` in the pattern opt in to
+    /// anchoring, mirroring the semantics of mainstream engines.
+    pub fn is_match(&self, input: &str) -> bool {
+        vm::search(&self.program, input).is_some()
+    }
+
+    /// Returns the byte range of the leftmost match, if any.
+    ///
+    /// The end of the range is the *longest* match starting at the
+    /// leftmost matching position (leftmost-longest semantics, like POSIX
+    /// engines), which keeps tokenization rules deterministic.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        vm::search(&self.program, input)
+    }
+}
+
+/// A set of named regex rules evaluated together.
+///
+/// The Table I tokenizer and the builtin-package filter both hold an
+/// ordered list of `(label, pattern)` rules; `RuleSet` compiles them once
+/// and answers "which labels match this input". Labels are returned in
+/// rule order, so majority-voting downstream is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use spector_regexlite::RuleSet;
+///
+/// # fn main() -> Result<(), spector_regexlite::ParseError> {
+/// let rules = RuleSet::compile(&[("ads", "ads|advert"), ("games", "game")])?;
+/// assert_eq!(rules.matching_labels("in-game advertising"), vec!["ads", "games"]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<(String, Regex)>,
+}
+
+impl RuleSet {
+    /// Compiles all `(label, pattern)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseError`] encountered, if any pattern is
+    /// invalid.
+    pub fn compile<L, P>(rules: &[(L, P)]) -> Result<Self, ParseError>
+    where
+        L: AsRef<str>,
+        P: AsRef<str>,
+    {
+        let rules = rules
+            .iter()
+            .map(|(label, pattern)| {
+                Regex::new(pattern.as_ref()).map(|re| (label.as_ref().to_owned(), re))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RuleSet { rules })
+    }
+
+    /// Number of rules in the set.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Labels of all rules whose pattern matches `input`, in rule order.
+    pub fn matching_labels(&self, input: &str) -> Vec<&str> {
+        self.rules
+            .iter()
+            .filter(|(_, re)| re.is_match(input))
+            .map(|(label, _)| label.as_str())
+            .collect()
+    }
+
+    /// Label of the first rule that matches `input`, if any.
+    pub fn first_match(&self, input: &str) -> Option<&str> {
+        self.rules
+            .iter()
+            .find(|(_, re)| re.is_match(input))
+            .map(|(label, _)| label.as_str())
+    }
+
+    /// Returns `true` if any rule matches `input`.
+    pub fn any_match(&self, input: &str) -> bool {
+        self.rules.iter().any(|(_, re)| re.is_match(input))
+    }
+
+    /// Iterates over `(label, regex)` pairs in rule order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Regex)> {
+        self.rules.iter().map(|(l, r)| (l.as_str(), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).expect("pattern must compile")
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = re("abc");
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("xxabcxx"));
+        assert!(!r.is_match("ab"));
+        assert!(!r.is_match("acb"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let r = re("");
+        assert!(r.is_match(""));
+        assert!(r.is_match("anything"));
+        assert_eq!(r.find("abc"), Some((0, 0)));
+    }
+
+    #[test]
+    fn dot_matches_any_char() {
+        let r = re("a.c");
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("a-c"));
+        assert!(r.is_match("aéc"));
+        assert!(!r.is_match("ac"));
+    }
+
+    #[test]
+    fn star_repetition() {
+        let r = re("ab*c");
+        assert!(r.is_match("ac"));
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("abbbbc"));
+        assert!(!r.is_match("adc"));
+    }
+
+    #[test]
+    fn plus_repetition() {
+        let r = re("ab+c");
+        assert!(!r.is_match("ac"));
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("abbc"));
+    }
+
+    #[test]
+    fn question_optional() {
+        let r = re("colou?r");
+        assert!(r.is_match("color"));
+        assert!(r.is_match("colour"));
+        assert!(!r.is_match("colr"));
+    }
+
+    #[test]
+    fn alternation() {
+        let r = re("cat|dog|bird");
+        assert!(r.is_match("hotdog"));
+        assert!(r.is_match("cat"));
+        assert!(r.is_match("a bird!"));
+        assert!(!r.is_match("fish"));
+    }
+
+    #[test]
+    fn grouping_with_repetition() {
+        let r = re("(ab)+");
+        assert!(r.is_match("ab"));
+        assert!(r.is_match("abab"));
+        assert!(!r.is_match("aa"));
+        let r = re("a(b|c)d");
+        assert!(r.is_match("abd"));
+        assert!(r.is_match("acd"));
+        assert!(!r.is_match("aed"));
+    }
+
+    #[test]
+    fn char_class() {
+        let r = re("[abc]+");
+        assert!(r.is_match("cab"));
+        assert!(!r.is_match("xyz"));
+        let r = re("[a-z0-9]+");
+        assert!(r.is_match("hello123"));
+        assert!(!r.is_match("HELLO"));
+    }
+
+    #[test]
+    fn negated_char_class() {
+        let r = re("^[^0-9]+$");
+        assert!(r.is_match("letters"));
+        assert!(!r.is_match("let7ers"));
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_bracket() {
+        let r = re("[a-]+");
+        assert!(r.is_match("a-a"));
+        let r = re(r"[\]]");
+        assert!(r.is_match("]"));
+    }
+
+    #[test]
+    fn anchors() {
+        let r = re("^abc");
+        assert!(r.is_match("abcdef"));
+        assert!(!r.is_match("xabc"));
+        let r = re("abc$");
+        assert!(r.is_match("xabc"));
+        assert!(!r.is_match("abcx"));
+        let r = re("^abc$");
+        assert!(r.is_match("abc"));
+        assert!(!r.is_match("abc "));
+    }
+
+    #[test]
+    fn escapes() {
+        let r = re(r"a\.b");
+        assert!(r.is_match("a.b"));
+        assert!(!r.is_match("axb"));
+        let r = re(r"\d+");
+        assert!(r.is_match("42"));
+        assert!(!r.is_match("forty-two"));
+        let r = re(r"\w+");
+        assert!(r.is_match("snake_case"));
+        let r = re(r"a\s b");
+        assert!(!r.is_match("ab"));
+    }
+
+    #[test]
+    fn builtin_package_filter_pattern() {
+        // The exact filter shape used by the attribution stage
+        // (paper footnote 2).
+        let r = re(
+            r"^(android\.|dalvik\.|java\.|javax\.|junit\.|org\.apache\.http\.|org\.json\.|org\.w3c\.dom\.|org\.xml\.sax\.|org\.xmlpull\.v1\.|com\.android\.)",
+        );
+        assert!(r.is_match("android.os.AsyncTask$2.call"));
+        assert!(r.is_match("java.util.concurrent.FutureTask.run"));
+        assert!(r.is_match("com.android.okhttp.internal.Platform.connectSocket"));
+        assert!(!r.is_match("com.unity3d.ads.android.cache.b.doInBackground"));
+        assert!(!r.is_match("okhttp3.internal.http.RealConnection.connect"));
+    }
+
+    #[test]
+    fn find_leftmost_longest() {
+        let r = re("ab*");
+        assert_eq!(r.find("zzabbbz"), Some((2, 6)));
+        let r = re("a|ab");
+        // leftmost-longest: prefers the longer alternative at position 0
+        assert_eq!(r.find("ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn find_on_multibyte_input() {
+        let r = re("é+");
+        let s = "caféé!";
+        let (start, end) = r.find(s).expect("must match");
+        assert_eq!(&s[start..end], "éé");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a|*").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("a**").is_err());
+    }
+
+    #[test]
+    fn nested_groups() {
+        let r = re("((a|b)c)+d");
+        assert!(r.is_match("acbcd"));
+        assert!(r.is_match("acd"));
+        assert!(!r.is_match("d"));
+    }
+
+    #[test]
+    fn alternation_with_anchors() {
+        let r = re("^(foo|bar)$");
+        assert!(r.is_match("foo"));
+        assert!(r.is_match("bar"));
+        assert!(!r.is_match("foobar"));
+    }
+
+    #[test]
+    fn ruleset_matching() {
+        let rules = RuleSet::compile(&[
+            ("adult", "adult|sex|porn|gambling"),
+            ("advertisements", "ads|advert|marketing|exposure"),
+            ("analytics", "analytics"),
+            ("games", "game"),
+        ])
+        .unwrap();
+        assert_eq!(rules.len(), 4);
+        assert!(!rules.is_empty());
+        assert_eq!(
+            rules.matching_labels("mobile game advertising"),
+            vec!["advertisements", "games"]
+        );
+        assert_eq!(rules.first_match("casino gambling"), Some("adult"));
+        assert!(rules.any_match("web analytics"));
+        assert!(!rules.any_match("weather"));
+        assert_eq!(rules.matching_labels("weather"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn ruleset_iter_preserves_order() {
+        let rules = RuleSet::compile(&[("a", "x"), ("b", "y")]).unwrap();
+        let labels: Vec<_> = rules.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        let r = re("a+b");
+        assert_eq!(r.pattern(), "a+b");
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // (a+)+b against a long non-matching input: linear engines finish
+        // instantly, backtrackers explode. This must complete quickly.
+        let r = re("(a+)+b");
+        let input = "a".repeat(2_000);
+        assert!(!r.is_match(&input));
+    }
+}

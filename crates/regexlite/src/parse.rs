@@ -1,0 +1,314 @@
+//! Recursive-descent parser for the regex subset.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Ast;
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the pattern where the problem was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid regex at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses `pattern` into an [`Ast`].
+pub(crate) fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parser = Parser {
+        chars: &chars,
+        pos: 0,
+    };
+    let ast = parser.alternation()?;
+    if parser.pos != parser.chars.len() {
+        return Err(parser.error("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    /// repeat := atom ('*' | '+' | '?')*
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.atom()?;
+        while let Some(op) = self.peek() {
+            let wrap: fn(Box<Ast>) -> Ast = match op {
+                '*' => Ast::Star,
+                '+' => Ast::Plus,
+                '?' => Ast::Optional,
+                _ => break,
+            };
+            if !node.is_repeatable() {
+                return Err(self.error("repetition operator applies to nothing"));
+            }
+            self.bump();
+            node = wrap(Box::new(node));
+            // Disallow stacked operators like `a**`: the node we just
+            // built is a repetition, and stacking them is almost always a
+            // pattern bug, so surface it early.
+            if matches!(self.peek(), Some('*' | '+' | '?')) {
+                return Err(self.error("stacked repetition operators are not supported"));
+            }
+        }
+        Ok(node)
+    }
+
+    /// atom := '(' alternation ')' | class | escape | anchor | '.' | literal
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            None => Ok(Ast::Empty),
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("unterminated group: expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('\\') => {
+                self.bump();
+                self.escape()
+            }
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('*') | Some('+') | Some('?') => {
+                Err(self.error("repetition operator applies to nothing"))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        let Some(c) = self.bump() else {
+            return Err(self.error("trailing backslash"));
+        };
+        let node = match c {
+            'd' => Ast::Class {
+                ranges: vec![('0', '9')],
+                negated: false,
+            },
+            'w' => Ast::Class {
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                negated: false,
+            },
+            's' => Ast::Class {
+                ranges: vec![
+                    (' ', ' '),
+                    ('\t', '\t'),
+                    ('\n', '\n'),
+                    ('\r', '\r'),
+                    ('\x0b', '\x0c'),
+                ],
+                negated: false,
+            },
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            other => Ast::Literal(other),
+        };
+        Ok(node)
+    }
+
+    /// class := '[' '^'? item+ ']' where item := char ('-' char)?
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.error("unterminated character class"));
+            };
+            if c == ']' {
+                if ranges.is_empty() {
+                    // POSIX treats a leading `]` as a literal; we keep the
+                    // simpler rule that `[]]` matches `]`.
+                    ranges.push((']', ']'));
+                    continue;
+                }
+                break;
+            }
+            let low = if c == '\\' {
+                self.bump()
+                    .ok_or_else(|| self.error("trailing backslash in class"))?
+            } else {
+                c
+            };
+            // Range like `a-z` (a `-` immediately before `]` is literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let Some(hc) = self.bump() else {
+                    return Err(self.error("unterminated character class"));
+                };
+                let high = if hc == '\\' {
+                    self.bump()
+                        .ok_or_else(|| self.error("trailing backslash in class"))?
+                } else {
+                    hc
+                };
+                if high < low {
+                    return Err(self.error("invalid range in character class"));
+                }
+                ranges.push((low, high));
+            } else {
+                ranges.push((low, low));
+            }
+        }
+        Ok(Ast::Class { ranges, negated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literal_sequence() {
+        let ast = parse("ab").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        let ast = parse("a|b|c").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Alternate(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_empty_alternation_branch() {
+        let ast = parse("a|").unwrap();
+        assert_eq!(ast, Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]));
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        let ast = parse("[a-]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                ranges: vec![('a', 'a'), ('-', '-')],
+                negated: false
+            }
+        );
+    }
+
+    #[test]
+    fn class_leading_bracket_literal() {
+        let ast = parse("[]]").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Class {
+                ranges: vec![(']', ']')],
+                negated: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_reversed_range() {
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("ab(cd").unwrap_err();
+        assert_eq!(err.position, 5);
+        assert!(err.to_string().contains("byte 5"));
+    }
+}

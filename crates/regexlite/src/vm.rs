@@ -1,0 +1,179 @@
+//! Pike-style NFA virtual machine.
+//!
+//! Executes the compiled program with a breadth-first thread set per input
+//! position, which guarantees linear time in `|program| * |input|` per
+//! starting offset and therefore immunity to catastrophic backtracking.
+
+use crate::compile::{Inst, Program};
+
+/// Finds the leftmost-longest match of `program` in `input`.
+///
+/// Returns byte offsets `(start, end)` into `input`.
+pub(crate) fn search(program: &Program, input: &str) -> Option<(usize, usize)> {
+    // Byte offset of each char plus the end sentinel, so we can report
+    // byte ranges while iterating chars.
+    let offsets: Vec<usize> = input
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(input.len()))
+        .collect();
+    let chars: Vec<char> = input.chars().collect();
+
+    for (start_idx, &start_byte) in offsets.iter().enumerate() {
+        if let Some(end_idx) = match_at(program, &chars, start_idx) {
+            return Some((start_byte, offsets[end_idx]));
+        }
+    }
+    None
+}
+
+/// Runs the program anchored at char index `start`, returning the char
+/// index one past the *longest* match, or `None`.
+fn match_at(program: &Program, chars: &[char], start: usize) -> Option<usize> {
+    let n = program.insts.len();
+    let mut current: Vec<usize> = Vec::with_capacity(n);
+    let mut next: Vec<usize> = Vec::with_capacity(n);
+    let mut on_current = vec![false; n];
+    let mut on_next = vec![false; n];
+    let mut best_end: Option<usize> = None;
+
+    add_thread(
+        program,
+        0,
+        start,
+        chars.len(),
+        &mut current,
+        &mut on_current,
+        &mut best_end,
+        start,
+    );
+
+    let mut pos = start;
+    while pos < chars.len() && !current.is_empty() {
+        let c = chars[pos];
+        next.clear();
+        on_next.iter_mut().for_each(|b| *b = false);
+        for &pc in &current {
+            if let Inst::Char(pred) = &program.insts[pc] {
+                if pred.matches(c) {
+                    add_thread(
+                        program,
+                        pc + 1,
+                        pos + 1,
+                        chars.len(),
+                        &mut next,
+                        &mut on_next,
+                        &mut best_end,
+                        start,
+                    );
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        std::mem::swap(&mut on_current, &mut on_next);
+        pos += 1;
+    }
+    best_end
+}
+
+/// Adds `pc` (following epsilon transitions) to the thread list for the
+/// current position, recording any `Match` reached into `best_end`.
+#[allow(clippy::too_many_arguments)]
+fn add_thread(
+    program: &Program,
+    pc: usize,
+    pos: usize,
+    input_len: usize,
+    list: &mut Vec<usize>,
+    on_list: &mut [bool],
+    best_end: &mut Option<usize>,
+    start: usize,
+) {
+    if on_list[pc] {
+        return;
+    }
+    on_list[pc] = true;
+    match &program.insts[pc] {
+        Inst::Jmp(t) => {
+            add_thread(program, *t, pos, input_len, list, on_list, best_end, start)
+        }
+        Inst::Split(a, b) => {
+            add_thread(program, *a, pos, input_len, list, on_list, best_end, start);
+            add_thread(program, *b, pos, input_len, list, on_list, best_end, start);
+        }
+        Inst::AssertStart => {
+            if pos == 0 && start == 0 {
+                add_thread(
+                    program,
+                    pc + 1,
+                    pos,
+                    input_len,
+                    list,
+                    on_list,
+                    best_end,
+                    start,
+                );
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == input_len {
+                add_thread(
+                    program,
+                    pc + 1,
+                    pos,
+                    input_len,
+                    list,
+                    on_list,
+                    best_end,
+                    start,
+                );
+            }
+        }
+        Inst::Match => {
+            // Longest-match: keep the furthest end seen for this start.
+            if best_end.is_none_or(|e| pos > e) {
+                *best_end = Some(pos);
+            }
+        }
+        Inst::Char(_) => list.push(pc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::compile;
+    use crate::parse::parse;
+
+    fn search(pattern: &str, input: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pattern).unwrap());
+        super::search(&prog, input)
+    }
+
+    #[test]
+    fn longest_match_at_start() {
+        assert_eq!(search("a+", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn leftmost_preferred_over_longer_later() {
+        // A later, longer match must not beat an earlier one.
+        assert_eq!(search("ab?", "a abb"), Some((0, 1)));
+    }
+
+    #[test]
+    fn start_anchor_only_matches_offset_zero() {
+        assert_eq!(search("^b", "ab"), None);
+        assert_eq!(search("^a", "ab"), Some((0, 1)));
+    }
+
+    #[test]
+    fn end_anchor_requires_input_end() {
+        assert_eq!(search("b$", "ba"), None);
+        assert_eq!(search("a$", "ba"), Some((1, 2)));
+    }
+
+    #[test]
+    fn empty_match_positions() {
+        assert_eq!(search("x*", "yyy"), Some((0, 0)));
+    }
+}

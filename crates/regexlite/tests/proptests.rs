@@ -1,0 +1,234 @@
+//! Property-based tests comparing the NFA engine against a brute-force
+//! oracle on a restricted pattern grammar.
+
+use proptest::prelude::*;
+use spector_regexlite::Regex;
+
+/// Generates simple patterns made of literals from {a,b,c}, `.`,
+/// alternation, grouping, and postfix operators — all within the
+/// supported subset and with bounded size.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "."]).prop_map(str::to_owned),
+        Just("[ab]".to_owned()),
+        Just("[^a]".to_owned()),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+            inner.clone().prop_map(|a| format!("({a})*")),
+            inner.clone().prop_map(|a| format!("({a})+")),
+            inner.prop_map(|a| format!("({a})?")),
+        ]
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop::sample::select(vec!['a', 'b', 'c', 'd']), 0..8)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+/// Brute-force matcher over the same grammar, implemented by expanding
+/// the pattern into a set-of-suffixes evaluator.
+fn oracle_match(pattern: &str, input: &str) -> bool {
+    // Oracle: exhaustively test every substring with a tiny backtracking
+    // interpreter. Patterns are small (bounded by the strategy) so
+    // exponential worst cases stay negligible.
+    #[derive(Debug, Clone)]
+    enum P {
+        Lit(char),
+        Any,
+        Class(Vec<char>, bool),
+        Seq(Vec<P>),
+        Alt(Box<P>, Box<P>),
+        Star(Box<P>),
+        Plus(Box<P>),
+        Opt(Box<P>),
+    }
+
+    fn parse(s: &[char], i: &mut usize) -> P {
+        let mut alts: Vec<Vec<P>> = vec![Vec::new()];
+        while *i < s.len() && s[*i] != ')' {
+            match s[*i] {
+                '|' => {
+                    *i += 1;
+                    alts.push(Vec::new());
+                }
+                '(' => {
+                    *i += 1;
+                    let inner = parse(s, i);
+                    assert_eq!(s[*i], ')');
+                    *i += 1;
+                    push_postfix(s, i, inner, alts.last_mut().unwrap());
+                }
+                '[' => {
+                    *i += 1;
+                    let neg = s[*i] == '^';
+                    if neg {
+                        *i += 1;
+                    }
+                    let mut chars = Vec::new();
+                    while s[*i] != ']' {
+                        chars.push(s[*i]);
+                        *i += 1;
+                    }
+                    *i += 1;
+                    push_postfix(s, i, P::Class(chars, neg), alts.last_mut().unwrap());
+                }
+                '.' => {
+                    *i += 1;
+                    push_postfix(s, i, P::Any, alts.last_mut().unwrap());
+                }
+                c => {
+                    *i += 1;
+                    push_postfix(s, i, P::Lit(c), alts.last_mut().unwrap());
+                }
+            }
+        }
+        let mut branches: Vec<P> = alts.into_iter().map(P::Seq).collect();
+        let mut out = branches.remove(0);
+        for b in branches {
+            out = P::Alt(Box::new(out), Box::new(b));
+        }
+        out
+    }
+
+    fn push_postfix(s: &[char], i: &mut usize, mut node: P, seq: &mut Vec<P>) {
+        while *i < s.len() {
+            node = match s[*i] {
+                '*' => {
+                    *i += 1;
+                    P::Star(Box::new(node))
+                }
+                '+' => {
+                    *i += 1;
+                    P::Plus(Box::new(node))
+                }
+                '?' => {
+                    *i += 1;
+                    P::Opt(Box::new(node))
+                }
+                _ => break,
+            };
+        }
+        seq.push(node);
+    }
+
+    /// Returns all end positions reachable by matching `p` starting at `pos`.
+    fn ends(p: &P, input: &[char], pos: usize) -> Vec<usize> {
+        let mut out = match p {
+            P::Lit(c) => {
+                if pos < input.len() && input[pos] == *c {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            P::Any => {
+                if pos < input.len() {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            P::Class(chars, neg) => {
+                if pos < input.len() && (chars.contains(&input[pos]) != *neg) {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            P::Seq(parts) => {
+                let mut positions = vec![pos];
+                for part in parts {
+                    let mut nexts = Vec::new();
+                    for &p0 in &positions {
+                        nexts.extend(ends(part, input, p0));
+                    }
+                    nexts.sort_unstable();
+                    nexts.dedup();
+                    positions = nexts;
+                    if positions.is_empty() {
+                        break;
+                    }
+                }
+                positions
+            }
+            P::Alt(a, b) => {
+                let mut v = ends(a, input, pos);
+                v.extend(ends(b, input, pos));
+                v
+            }
+            P::Star(inner) => closure(inner, input, pos),
+            P::Plus(inner) => {
+                let mut out = Vec::new();
+                for e in ends(inner, input, pos) {
+                    out.extend(closure(inner, input, e));
+                }
+                out
+            }
+            P::Opt(inner) => {
+                let mut v = vec![pos];
+                v.extend(ends(inner, input, pos));
+                v
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Reflexive-transitive closure of `inner` from `pos`.
+    fn closure(inner: &P, input: &[char], pos: usize) -> Vec<usize> {
+        let mut seen = vec![pos];
+        let mut frontier = vec![pos];
+        while let Some(p) = frontier.pop() {
+            for e in ends(inner, input, p) {
+                if !seen.contains(&e) {
+                    seen.push(e);
+                    frontier.push(e);
+                }
+            }
+        }
+        seen
+    }
+
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let ast = parse(&chars, &mut i);
+    let input: Vec<char> = input.chars().collect();
+    (0..=input.len()).any(|start| !ends(&ast, &input, start).is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn engine_agrees_with_oracle(pattern in pattern_strategy(), input in input_strategy()) {
+        let re = Regex::new(&pattern).expect("generated pattern must compile");
+        prop_assert_eq!(re.is_match(&input), oracle_match(&pattern, &input),
+            "pattern={} input={}", pattern, input);
+    }
+
+    #[test]
+    fn find_range_is_valid_and_rematches(pattern in pattern_strategy(), input in input_strategy()) {
+        let re = Regex::new(&pattern).expect("generated pattern must compile");
+        if let Some((start, end)) = re.find(&input) {
+            prop_assert!(start <= end && end <= input.len());
+            prop_assert!(input.is_char_boundary(start) && input.is_char_boundary(end));
+            // The matched slice must itself match the pattern.
+            prop_assert!(re.is_match(&input[start..end]) || start == end);
+        } else {
+            prop_assert!(!re.is_match(&input));
+        }
+    }
+
+    #[test]
+    fn never_panics_on_arbitrary_patterns(pattern in ".{0,20}", input in ".{0,20}") {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&input);
+            let _ = re.find(&input);
+        }
+    }
+}

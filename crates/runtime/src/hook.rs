@@ -1,0 +1,59 @@
+//! Hook points for the Xposed-like instrumentation layer.
+//!
+//! The runtime fires a *post-hook* right after a TCP connection is
+//! established — the moment at which (a) the connection has a concrete
+//! 4-tuple (the reason the paper uses post-hooks), and (b) the Java
+//! stack still contains the full creation context. The Socket Supervisor
+//! in `spector-hooks` implements [`RuntimeHook`] to capture both.
+
+use spector_netsim::stack::NetStack;
+use spector_netsim::SocketId;
+
+use crate::stack::CallStack;
+
+/// Context handed to hooks when a socket has just connected.
+///
+/// The hook can read the creating thread's stack, query the socket's
+/// connection parameters (the `getsockname`/`getpeername` JNI shim), and
+/// send its own traffic (the supervisor's UDP reports) — all against the
+/// same emulator network stack, so instrumentation traffic lands in the
+/// same capture.
+pub struct HookContext<'a> {
+    /// Stack of the thread that created the socket.
+    pub stack: &'a CallStack,
+    /// The emulator network stack.
+    pub net: &'a mut NetStack,
+}
+
+impl std::fmt::Debug for HookContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookContext")
+            .field("stack_depth", &self.stack.depth())
+            .finish()
+    }
+}
+
+/// Decision an enforcing hook returns for a freshly-connected socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectVerdict {
+    /// Let the transfer proceed.
+    Allow,
+    /// Tear the connection down before any payload moves (BorderPatrol-
+    /// style library blacklisting). The handshake has already happened —
+    /// post-hooks fire after `connect` — so the capture still records
+    /// the attempt.
+    Block,
+}
+
+/// A module attached to the runtime's hook points.
+pub trait RuntimeHook: Send {
+    /// Called immediately after a TCP socket finishes connecting.
+    fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId);
+
+    /// Policy decision for the new connection; the default permits
+    /// everything (pure observers like the Socket Supervisor never
+    /// interfere with the app).
+    fn connect_verdict(&mut self, _ctx: &mut HookContext<'_>, _socket: SocketId) -> ConnectVerdict {
+        ConnectVerdict::Allow
+    }
+}

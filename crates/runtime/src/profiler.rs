@@ -1,0 +1,180 @@
+//! The Method Monitor's trace backend.
+//!
+//! Android's stock profiler (driven through the Activity Manager API)
+//! writes every method entry/exit event into a user-sized buffer, which
+//! the paper found "is filled within seconds of app initialization"
+//! because listeners record *repeated* calls. Libspector modifies the
+//! ART runtime so the profiler records each method only the first time
+//! the app calls it.
+//!
+//! Both behaviours are implemented here so the difference is measurable:
+//! [`TraceMode::StockBuffer`] drops events once full (and counts the
+//! loss); [`TraceMode::UniqueMethods`] is the paper's modification.
+
+use std::collections::HashSet;
+
+use spector_dex::sig::MethodSig;
+
+/// Profiler recording behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Stock Android: every entry event is buffered, up to a capacity;
+    /// once the buffer is full further events are dropped.
+    StockBuffer {
+        /// Maximum number of buffered events.
+        capacity: usize,
+    },
+    /// Libspector's modified ART: record each unique method once.
+    UniqueMethods,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Entered method.
+    pub sig: MethodSig,
+    /// Virtual timestamp (microseconds).
+    pub timestamp_micros: u64,
+}
+
+/// The method-trace recorder attached to a runtime.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    mode: TraceMode,
+    events: Vec<TraceEvent>,
+    seen: HashSet<MethodSig>,
+    /// Entry events that arrived after the stock buffer filled.
+    dropped: u64,
+    /// Total method-entry events offered (including repeats/drops).
+    offered: u64,
+}
+
+impl Profiler {
+    /// Creates a profiler in the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        Profiler {
+            mode,
+            events: Vec::new(),
+            seen: HashSet::new(),
+            dropped: 0,
+            offered: 0,
+        }
+    }
+
+    /// Records a method entry at `timestamp_micros`.
+    pub fn on_method_entry(&mut self, sig: &MethodSig, timestamp_micros: u64) {
+        self.offered += 1;
+        match self.mode {
+            TraceMode::StockBuffer { capacity } => {
+                if self.events.len() < capacity {
+                    self.events.push(TraceEvent {
+                        sig: sig.clone(),
+                        timestamp_micros,
+                    });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            TraceMode::UniqueMethods => {
+                if self.seen.insert(sig.clone()) {
+                    self.events.push(TraceEvent {
+                        sig: sig.clone(),
+                        timestamp_micros,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The recorded events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The set of distinct methods recorded — what the modified
+    /// framework writes to the trace file at the end of an experiment.
+    pub fn unique_methods(&self) -> HashSet<MethodSig> {
+        match self.mode {
+            TraceMode::UniqueMethods => self.seen.clone(),
+            TraceMode::StockBuffer { .. } => {
+                self.events.iter().map(|e| e.sig.clone()).collect()
+            }
+        }
+    }
+
+    /// Events dropped due to a full stock buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entry events offered, including repeats and drops.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: u32) -> MethodSig {
+        MethodSig::new("com.app", "C", &format!("m{n}"), "()V")
+    }
+
+    #[test]
+    fn unique_mode_dedupes_repeats() {
+        let mut p = Profiler::new(TraceMode::UniqueMethods);
+        for t in 0..100 {
+            p.on_method_entry(&sig(t % 5), t as u64);
+        }
+        assert_eq!(p.events().len(), 5);
+        assert_eq!(p.unique_methods().len(), 5);
+        assert_eq!(p.offered(), 100);
+        assert_eq!(p.dropped(), 0);
+        // First-call timestamps are retained.
+        assert_eq!(p.events()[0].timestamp_micros, 0);
+        assert_eq!(p.events()[4].timestamp_micros, 4);
+    }
+
+    #[test]
+    fn stock_buffer_overflows_and_loses_methods() {
+        let mut p = Profiler::new(TraceMode::StockBuffer { capacity: 10 });
+        // A hot loop on one method fills the buffer before a *new*
+        // method appears — the failure mode the paper describes.
+        for t in 0..10 {
+            p.on_method_entry(&sig(0), t);
+        }
+        p.on_method_entry(&sig(1), 10);
+        assert_eq!(p.dropped(), 1);
+        // The unique set from the stock buffer misses method 1 entirely.
+        assert_eq!(p.unique_methods().len(), 1);
+        // The modified mode would have captured both.
+        let mut modified = Profiler::new(TraceMode::UniqueMethods);
+        for t in 0..10 {
+            modified.on_method_entry(&sig(0), t);
+        }
+        modified.on_method_entry(&sig(1), 10);
+        assert_eq!(modified.unique_methods().len(), 2);
+    }
+
+    #[test]
+    fn stock_buffer_records_repeats_within_capacity() {
+        let mut p = Profiler::new(TraceMode::StockBuffer { capacity: 100 });
+        for t in 0..6 {
+            p.on_method_entry(&sig(t % 2), t as u64);
+        }
+        assert_eq!(p.events().len(), 6); // repeats are kept
+        assert_eq!(p.unique_methods().len(), 2);
+    }
+
+    #[test]
+    fn mode_accessor() {
+        let p = Profiler::new(TraceMode::UniqueMethods);
+        assert_eq!(p.mode(), TraceMode::UniqueMethods);
+    }
+}

@@ -1,0 +1,118 @@
+//! Java-like call stacks and `getStackTrace` snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// One frame on a call stack: the dotted `package.Class.method` name, as
+/// `StackTraceElement` renders it (no parameter types — recovering the
+/// full type signature requires the dex translation step, exactly as in
+//  the paper's Socket Supervisor).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    /// Dotted method name, e.g. `com.unity3d.ads.android.cache.b.a`.
+    pub dotted: String,
+}
+
+impl Frame {
+    /// Builds a frame from a dotted method name.
+    pub fn new(dotted: impl Into<String>) -> Self {
+        Frame {
+            dotted: dotted.into(),
+        }
+    }
+}
+
+/// A thread's call stack.
+///
+/// Frames are pushed on method entry and popped on exit; a *snapshot*
+/// (the `getStackTrace` equivalent) lists frames most-recent-first, like
+/// Listing 1 in the paper.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallStack {
+    frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stack pre-seeded with scheduler base frames (oldest
+    /// first) — how async dispatch threads start.
+    pub fn with_base(base: impl IntoIterator<Item = Frame>) -> Self {
+        CallStack {
+            frames: base.into_iter().collect(),
+        }
+    }
+
+    /// Pushes a frame (method entry).
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// Pops the most recent frame (method exit).
+    pub fn pop(&mut self) -> Option<Frame> {
+        self.frames.pop()
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` when no frames are on the stack.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The `getStackTrace()` view: dotted frame names, most recent
+    /// first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.frames.iter().rev().map(|f| f.dotted.clone()).collect()
+    }
+
+    /// Frames oldest-first (the push order), borrowed.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_most_recent_first() {
+        let mut stack = CallStack::new();
+        stack.push(Frame::new("a.B.old"));
+        stack.push(Frame::new("a.B.mid"));
+        stack.push(Frame::new("a.B.recent"));
+        assert_eq!(stack.snapshot(), vec!["a.B.recent", "a.B.mid", "a.B.old"]);
+        assert_eq!(stack.depth(), 3);
+    }
+
+    #[test]
+    fn push_pop_balance() {
+        let mut stack = CallStack::new();
+        assert!(stack.is_empty());
+        stack.push(Frame::new("x.Y.z"));
+        assert_eq!(stack.pop(), Some(Frame::new("x.Y.z")));
+        assert_eq!(stack.pop(), None);
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn with_base_keeps_order() {
+        let stack = CallStack::with_base(vec![
+            Frame::new("java.util.concurrent.FutureTask.run"),
+            Frame::new("android.os.AsyncTask$2.call"),
+        ]);
+        // Snapshot: the AsyncTask frame is more recent than FutureTask,
+        // matching Listing 1's bottom two lines.
+        assert_eq!(
+            stack.snapshot(),
+            vec!["android.os.AsyncTask$2.call", "java.util.concurrent.FutureTask.run"]
+        );
+        assert_eq!(stack.frames()[0].dotted, "java.util.concurrent.FutureTask.run");
+    }
+}

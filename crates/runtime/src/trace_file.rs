@@ -1,0 +1,182 @@
+//! The method-trace file format.
+//!
+//! At the end of each experiment, the modified framework "writes the
+//! set of method signatures which the app invoked during experiment
+//! into a file" (§II-B3). The format here follows the spirit of the
+//! Android Profiler's text trace header:
+//!
+//! ```text
+//! *version 1 libspector-unique
+//! *clock virtual-micros
+//! *methods <count>
+//! <one smali type signature per line, sorted>
+//! *end
+//! ```
+//!
+//! Sorting makes trace files byte-stable for a given method set, so
+//! they diff cleanly across runs.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use spector_dex::sig::MethodSig;
+
+/// Error produced when parsing a malformed trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace file line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+/// Serializes a unique-method set into the trace file format.
+pub fn write_trace(methods: &HashSet<MethodSig>) -> String {
+    let mut sigs: Vec<&MethodSig> = methods.iter().collect();
+    sigs.sort();
+    let mut out = String::with_capacity(64 + sigs.len() * 48);
+    out.push_str("*version 1 libspector-unique\n");
+    out.push_str("*clock virtual-micros\n");
+    out.push_str(&format!("*methods {}\n", sigs.len()));
+    for sig in sigs {
+        out.push_str(sig.as_smali());
+        out.push('\n');
+    }
+    out.push_str("*end\n");
+    out
+}
+
+/// Parses a trace file back into the method set.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] on missing headers, a count mismatch,
+/// unparseable signatures, duplicates, or a missing `*end` marker.
+pub fn parse_trace(text: &str) -> Result<HashSet<MethodSig>, TraceParseError> {
+    let err = |line: usize, message: &str| TraceParseError {
+        line,
+        message: message.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (_, version) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty trace file"))?;
+    if !version.starts_with("*version 1") {
+        return Err(err(1, "unsupported version header"));
+    }
+    let (_, clock) = lines.next().ok_or_else(|| err(2, "missing clock header"))?;
+    if !clock.starts_with("*clock ") {
+        return Err(err(2, "missing clock header"));
+    }
+    let (_, methods_header) = lines
+        .next()
+        .ok_or_else(|| err(3, "missing methods header"))?;
+    let count: usize = methods_header
+        .strip_prefix("*methods ")
+        .and_then(|raw| raw.trim().parse().ok())
+        .ok_or_else(|| err(3, "malformed methods header"))?;
+
+    let mut methods = HashSet::with_capacity(count);
+    let mut saw_end = false;
+    for (idx, line) in lines {
+        if line == "*end" {
+            saw_end = true;
+            break;
+        }
+        let sig: MethodSig = line
+            .parse()
+            .map_err(|e| err(idx + 1, &format!("bad signature: {e}")))?;
+        if !methods.insert(sig) {
+            return Err(err(idx + 1, "duplicate signature"));
+        }
+    }
+    if !saw_end {
+        return Err(err(text.lines().count(), "missing *end marker"));
+    }
+    if methods.len() != count {
+        return Err(err(
+            3,
+            &format!("header says {count} methods, found {}", methods.len()),
+        ));
+    }
+    Ok(methods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs(n: usize) -> HashSet<MethodSig> {
+        (0..n)
+            .map(|i| MethodSig::new("com.app", &format!("C{}", i % 7), &format!("m{i}"), "()V"))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let methods = sigs(25);
+        let text = write_trace(&methods);
+        assert_eq!(parse_trace(&text).unwrap(), methods);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let methods = HashSet::new();
+        let text = write_trace(&methods);
+        assert!(text.contains("*methods 0"));
+        assert_eq!(parse_trace(&text).unwrap(), methods);
+    }
+
+    #[test]
+    fn output_is_sorted_and_stable() {
+        let methods = sigs(30);
+        assert_eq!(write_trace(&methods), write_trace(&methods.clone()));
+        let text = write_trace(&methods);
+        let body: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('*'))
+            .collect();
+        let mut sorted = body.clone();
+        sorted.sort_unstable();
+        assert_eq!(body, sorted);
+    }
+
+    #[test]
+    fn rejects_malformations() {
+        let good = write_trace(&sigs(3));
+        // Wrong version.
+        assert!(parse_trace(&good.replace("*version 1", "*version 9")).is_err());
+        // Count mismatch.
+        assert!(parse_trace(&good.replace("*methods 3", "*methods 4")).is_err());
+        // Missing end.
+        assert!(parse_trace(good.trim_end_matches("*end\n")).is_err());
+        // Garbage signature line.
+        assert!(parse_trace(&good.replacen("Lcom/app/", "not-a-sig ", 1)).is_err());
+        // Empty input.
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let methods = sigs(2);
+        let mut text = write_trace(&methods);
+        let line = text
+            .lines()
+            .find(|l| !l.starts_with('*'))
+            .unwrap()
+            .to_owned();
+        text = text.replace("*end", &format!("{line}\n*end"));
+        // Fix the count so only the duplicate trips.
+        text = text.replace("*methods 2", "*methods 3");
+        assert!(parse_trace(&text).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! The 17 generic domain categories of Table I.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Generic (tokenized) category of a DNS domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DomainCategory {
+    /// Adult content, gambling, dating.
+    Adult,
+    /// Ad serving and marketing.
+    Advertisements,
+    /// Usage analytics.
+    Analytics,
+    /// Business, finance, shopping.
+    BusinessAndFinance,
+    /// Content delivery networks and DNS/proxy infrastructure.
+    Cdn,
+    /// Messaging, mail, radio/TV, forums.
+    Communication,
+    /// Education and reference.
+    Education,
+    /// Entertainment, sports, streaming.
+    Entertainment,
+    /// Games.
+    Games,
+    /// Health and nutrition.
+    Health,
+    /// Information technology.
+    InfoTech,
+    /// Hosting, search, storage, security services.
+    InternetServices,
+    /// Blogs, travel, lifestyle.
+    Lifestyle,
+    /// Malicious or compromised.
+    Malicious,
+    /// News outlets.
+    News,
+    /// Social networks.
+    SocialNetworks,
+    /// Unclassifiable.
+    Unknown,
+}
+
+impl DomainCategory {
+    /// All categories, in Table I row order (`unknown` last).
+    pub const ALL: [DomainCategory; 17] = [
+        DomainCategory::Adult,
+        DomainCategory::Advertisements,
+        DomainCategory::Analytics,
+        DomainCategory::BusinessAndFinance,
+        DomainCategory::Cdn,
+        DomainCategory::Communication,
+        DomainCategory::Education,
+        DomainCategory::Entertainment,
+        DomainCategory::Games,
+        DomainCategory::Health,
+        DomainCategory::InfoTech,
+        DomainCategory::InternetServices,
+        DomainCategory::Lifestyle,
+        DomainCategory::Malicious,
+        DomainCategory::News,
+        DomainCategory::SocialNetworks,
+        DomainCategory::Unknown,
+    ];
+
+    /// The snake_case label used in the paper's tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DomainCategory::Adult => "adult",
+            DomainCategory::Advertisements => "advertisements",
+            DomainCategory::Analytics => "analytics",
+            DomainCategory::BusinessAndFinance => "business_and_finance",
+            DomainCategory::Cdn => "cdn",
+            DomainCategory::Communication => "communication",
+            DomainCategory::Education => "education",
+            DomainCategory::Entertainment => "entertainment",
+            DomainCategory::Games => "games",
+            DomainCategory::Health => "health",
+            DomainCategory::InfoTech => "info_tech",
+            DomainCategory::InternetServices => "internet_services",
+            DomainCategory::Lifestyle => "lifestyle",
+            DomainCategory::Malicious => "malicious",
+            DomainCategory::News => "news",
+            DomainCategory::SocialNetworks => "social_networks",
+            DomainCategory::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for DomainCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unrecognized category label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCategoryError {
+    /// The unrecognized input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseCategoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown domain category {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseCategoryError {}
+
+impl FromStr for DomainCategory {
+    type Err = ParseCategoryError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainCategory::ALL
+            .iter()
+            .find(|c| c.label() == s)
+            .copied()
+            .ok_or_else(|| ParseCategoryError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_generic_categories() {
+        assert_eq!(DomainCategory::ALL.len(), 17);
+        let labels: std::collections::HashSet<_> =
+            DomainCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 17);
+    }
+
+    #[test]
+    fn labels_match_table1() {
+        assert_eq!(DomainCategory::BusinessAndFinance.to_string(), "business_and_finance");
+        assert_eq!(DomainCategory::SocialNetworks.to_string(), "social_networks");
+        assert_eq!(DomainCategory::Cdn.to_string(), "cdn");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in DomainCategory::ALL {
+            assert_eq!(c.label().parse::<DomainCategory>().unwrap(), c);
+        }
+        assert!("not_a_category".parse::<DomainCategory>().is_err());
+    }
+}
