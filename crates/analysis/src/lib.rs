@@ -167,6 +167,7 @@ pub(crate) mod testutil {
             app_category: category.to_owned(),
             flows,
             unattributed_flows: 0,
+            reports_without_flow: 0,
             coverage: CoverageReport {
                 total_methods: 1_000,
                 executed_methods: 95,

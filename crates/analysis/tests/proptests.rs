@@ -66,6 +66,7 @@ fn analysis() -> impl Strategy<Value = AppAnalysis> {
             app_category: category.to_owned(),
             flows,
             unattributed_flows: 0,
+            reports_without_flow: 0,
             coverage: CoverageReport {
                 total_methods: total,
                 executed_methods: executed.min(total),

@@ -12,8 +12,8 @@ use std::net::Ipv4Addr;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use libspector::attribution::{attribute, BuiltinFilter};
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
-use libspector::pipeline::analyze_run;
-use spector_bench::{corpus, knowledge};
+use libspector::pipeline::{analyze_run, analyze_run_oracle};
+use spector_bench::{corpus, knowledge, throughput_fixture};
 use spector_dex::sha256::Sha256;
 use spector_dex::{parse_dex, write_dex};
 use spector_hooks::report::SocketReport;
@@ -91,6 +91,49 @@ fn bench_per_app_pipeline(c: &mut Criterion) {
                 knowledge,
                 config.supervisor.collector_port,
             ))
+        });
+    });
+    group.finish();
+}
+
+/// Offline attribution throughput at the paper's campaign scale: the
+/// whole §IV store (400 raw runs) through `analyze_run` per iteration.
+/// Criterion's `elem/s` readout is apps/sec for the `*_apps` benches
+/// and flows/sec for the `*_flows` benches (same loop, flow-weighted).
+/// `oracle` is the retired three-pass/uncached pipeline, kept so the
+/// speedup of the single-pass + trie + memoized path stays measured —
+/// numbers are recorded in `BENCH_pipeline.json` at the repo root.
+fn bench_analysis_throughput(c: &mut Criterion) {
+    let (knowledge, raws, port) = throughput_fixture();
+    let port = *port;
+    let total_flows: u64 = raws
+        .iter()
+        .map(|raw| analyze_run(raw, knowledge, port).flows.len() as u64)
+        .sum();
+
+    let mut group = c.benchmark_group("perf/throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("analyze_run_apps", |b| {
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run(raw, knowledge, port));
+            }
+        });
+    });
+    group.bench_function("analyze_run_oracle_apps", |b| {
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run_oracle(raw, knowledge, port));
+            }
+        });
+    });
+    group.throughput(Throughput::Elements(total_flows));
+    group.bench_function("analyze_run_flows", |b| {
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run(raw, knowledge, port));
+            }
         });
     });
     group.finish();
@@ -178,5 +221,11 @@ fn bench_substrates(c: &mut Criterion) {
     let _ = HashMap::<u8, u8>::new(); // keep HashMap import meaningful under cfg tweaks
 }
 
-criterion_group!(benches, bench_hook_overhead, bench_per_app_pipeline, bench_substrates);
+criterion_group!(
+    benches,
+    bench_hook_overhead,
+    bench_per_app_pipeline,
+    bench_analysis_throughput,
+    bench_substrates
+);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use std::sync::OnceLock;
 
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::AppAnalysis;
 use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
@@ -47,5 +48,47 @@ pub fn campaign() -> &'static Vec<AppAnalysis> {
         dispatch.experiment.monkey.events = BENCH_EVENTS;
         dispatch.experiment.monkey.seed = 7_777;
         run_corpus(corpus(), knowledge(), &dispatch, None)
+    })
+}
+
+/// Number of apps in the offline-analysis throughput campaign — the
+/// paper's §IV scale (400 selected apps).
+pub const THROUGHPUT_APPS: usize = 400;
+
+/// Fixture for the `perf/throughput` benches: corpus knowledge, one
+/// recorded [`RawRun`] per app of a 400-app store, and the collector
+/// port to analyze against. The runs are recorded once per bench
+/// process (the expensive part is the emulation, which is not what
+/// those benches measure); each bench iteration replays the *offline*
+/// pipeline over all of them.
+pub fn throughput_fixture() -> &'static (Knowledge, Vec<RawRun>, u16) {
+    static FIXTURE: OnceLock<(Knowledge, Vec<RawRun>, u16)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            apps: THROUGHPUT_APPS,
+            seed: 7_778,
+            appgen: AppGenConfig {
+                method_scale: 0.004,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let resolver = resolver_for(&corpus.domains);
+        let mut config = ExperimentConfig::default();
+        config.monkey.events = 60;
+        let raws = corpus
+            .apps
+            .iter()
+            .map(|app| {
+                let system: Vec<_> = app
+                    .system_ops
+                    .iter()
+                    .map(|s| (s.op.clone(), s.dispatcher))
+                    .collect();
+                run_app(&app.apk, &resolver, &system, &config).expect("bench app must run")
+            })
+            .collect();
+        (knowledge, raws, config.supervisor.collector_port)
     })
 }

@@ -6,48 +6,102 @@
 //! fetches VirusTotal category labels for every observed domain
 //! (§III-F). `Knowledge` bundles those inputs; [`Knowledge::from_corpus`]
 //! performs the aggregation scan over a generated corpus.
+//!
+//! Two memoization layers keep the per-flow hot path off the expensive
+//! machinery:
+//!
+//! * domain categories are precomputed once per campaign (the Table I
+//!   regex tokenizer runs once per *domain*, not once per *flow*) into
+//!   [`Knowledge::domain_categories`];
+//! * origin-library verdicts — predicted category plus AnT/common list
+//!   membership — are cached per origin-library in a concurrent map
+//!   shared by all dispatch workers ([`Knowledge::library_verdict`]).
 
 use std::collections::HashMap;
 
+use parking_lot::RwLock;
 use spector_libradar::{AggregatedLibraries, LibCategory, LibraryLists};
 use spector_vtcat::{DomainCategory, Tokenizer};
 
 use crate::attribution::BuiltinFilter;
 
+/// Memoized per-origin-library verdict: predicted category, AnT list
+/// membership, common-library list membership.
+pub type LibraryVerdict = (LibCategory, bool, bool);
+
 /// Everything the per-app analysis needs beyond the app's own run data.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Knowledge {
     /// Libraries detected across the corpus, with categories.
     pub aggregated: AggregatedLibraries,
     /// AnT / common-library prefix lists.
     pub lists: LibraryLists,
-    /// VirusTotal-style vendor labels per domain name.
-    pub domain_labels: HashMap<String, Vec<String>>,
+    /// Precomputed domain → generic category table: every observed
+    /// domain's vendor labels are tokenized exactly once per campaign.
+    pub domain_categories: HashMap<String, DomainCategory>,
     /// The Table I tokenizer.
     pub tokenizer: Tokenizer,
     /// Compiled footnote 2 filter.
     pub builtin: BuiltinFilter,
+    /// Concurrent per-campaign cache of origin-library verdicts, shared
+    /// by all analysis workers.
+    library_verdicts: RwLock<HashMap<String, LibraryVerdict>>,
+}
+
+impl Clone for Knowledge {
+    fn clone(&self) -> Self {
+        Knowledge {
+            aggregated: self.aggregated.clone(),
+            lists: self.lists.clone(),
+            domain_categories: self.domain_categories.clone(),
+            tokenizer: self.tokenizer.clone(),
+            builtin: self.builtin.clone(),
+            library_verdicts: RwLock::new(self.library_verdicts.read().clone()),
+        }
+    }
 }
 
 impl Knowledge {
-    /// Builds knowledge from explicit parts.
+    /// Builds knowledge from explicit parts, tokenizing every domain's
+    /// vendor labels once up front.
     pub fn new(
         aggregated: AggregatedLibraries,
         lists: LibraryLists,
         domain_labels: HashMap<String, Vec<String>>,
     ) -> Self {
+        let tokenizer = Tokenizer::new();
+        let domain_categories = domain_labels
+            .into_iter()
+            .map(|(domain, labels)| {
+                let category = tokenizer.classify(&labels);
+                (domain, category)
+            })
+            .collect();
+        Knowledge::with_domain_categories(aggregated, lists, domain_categories)
+    }
+
+    /// Builds knowledge from an already-classified domain table (the
+    /// path [`from_corpus`](Self::from_corpus) takes, which never
+    /// materializes an intermediate label map).
+    pub fn with_domain_categories(
+        aggregated: AggregatedLibraries,
+        lists: LibraryLists,
+        domain_categories: HashMap<String, DomainCategory>,
+    ) -> Self {
         Knowledge {
             aggregated,
             lists,
-            domain_labels,
+            domain_categories,
             tokenizer: Tokenizer::new(),
             builtin: BuiltinFilter::new(),
+            library_verdicts: RwLock::new(HashMap::new()),
         }
     }
 
     /// The §III-D aggregation scan over a generated corpus: run the
     /// LibRadar-style detector on every apk, merge the results, and
-    /// pull vendor labels for every domain in the universe.
+    /// classify every domain in the universe from its vendor labels
+    /// directly (no intermediate per-domain label clone).
     pub fn from_corpus(corpus: &spector_corpus::Corpus) -> Self {
         let mut aggregated = AggregatedLibraries::new();
         for app in &corpus.apps {
@@ -57,22 +111,22 @@ impl Knowledge {
                 }
             }
         }
-        let domain_labels = corpus
-            .domains
-            .domains()
-            .iter()
-            .map(|d| (d.name.clone(), d.vendor_labels.clone()))
-            .collect();
-        Knowledge::new(aggregated, corpus.lists.clone(), domain_labels)
+        let tokenizer = Tokenizer::new();
+        let domains = corpus.domains.domains();
+        let mut domain_categories = HashMap::with_capacity(domains.len());
+        for domain in domains {
+            domain_categories.insert(domain.name.clone(), tokenizer.classify(&domain.vendor_labels));
+        }
+        Knowledge::with_domain_categories(aggregated, corpus.lists.clone(), domain_categories)
     }
 
-    /// Generic category of a domain: tokenize its vendor labels and
-    /// majority-vote; unseen domains are `unknown`.
+    /// Generic category of a domain, from the precomputed table; unseen
+    /// domains are `unknown`.
     pub fn domain_category(&self, domain: &str) -> DomainCategory {
-        match self.domain_labels.get(domain) {
-            Some(labels) => self.tokenizer.classify(labels),
-            None => DomainCategory::Unknown,
-        }
+        self.domain_categories
+            .get(domain)
+            .copied()
+            .unwrap_or(DomainCategory::Unknown)
     }
 
     /// Category of an origin-library package: longest matching known
@@ -80,7 +134,31 @@ impl Knowledge {
     /// (Listing 2). Packages with no relation to any known library are
     /// `Unknown` — typically first-party code.
     pub fn library_category(&self, origin_library: &str) -> LibCategory {
-        self.aggregated.predict_category(origin_library)
+        self.library_verdict(origin_library).0
+    }
+
+    /// Memoized `(category, is_ant, is_common)` verdict for an
+    /// origin-library. The first query per distinct origin pays the
+    /// trie walk plus two list scans; every repeat across the whole
+    /// campaign is one concurrent hash lookup.
+    pub fn library_verdict(&self, origin_library: &str) -> LibraryVerdict {
+        if let Some(verdict) = self.library_verdicts.read().get(origin_library) {
+            return *verdict;
+        }
+        let verdict = (
+            self.aggregated.predict_category(origin_library),
+            self.lists.is_ant(origin_library),
+            self.lists.is_common(origin_library),
+        );
+        self.library_verdicts
+            .write()
+            .insert(origin_library.to_owned(), verdict);
+        verdict
+    }
+
+    /// Number of distinct origin-libraries currently memoized.
+    pub fn cached_verdicts(&self) -> usize {
+        self.library_verdicts.read().len()
     }
 }
 
@@ -158,11 +236,59 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_table_matches_tokenizer(){
+        let (knowledge, corpus) = knowledge();
+        // The memoized table must agree with classifying the raw labels
+        // directly — the pre-memoization behavior.
+        for domain in corpus.domains.domains() {
+            assert_eq!(
+                knowledge.domain_category(&domain.name),
+                knowledge.tokenizer.classify(&domain.vendor_labels),
+                "{}",
+                domain.name
+            );
+        }
+    }
+
+    #[test]
     fn unseen_domain_is_unknown() {
         let (knowledge, _) = knowledge();
         assert_eq!(
             knowledge.domain_category("never.observed.example"),
             DomainCategory::Unknown
         );
+    }
+
+    #[test]
+    fn library_verdict_is_memoized_and_consistent() {
+        let (knowledge, corpus) = knowledge();
+        assert_eq!(knowledge.cached_verdicts(), 0);
+        let mut checked = 0;
+        for app in &corpus.apps {
+            for truth in &app.truth {
+                let Some(origin) = truth.expected_origin.as_deref() else {
+                    continue;
+                };
+                let first = knowledge.library_verdict(origin);
+                let second = knowledge.library_verdict(origin);
+                assert_eq!(first, second);
+                assert_eq!(
+                    first,
+                    (
+                        knowledge.aggregated.predict_category(origin),
+                        knowledge.lists.is_ant(origin),
+                        knowledge.lists.is_common(origin),
+                    ),
+                    "origin {origin}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+        let cached = knowledge.cached_verdicts();
+        assert!(cached > 0);
+        // A clone starts from the same cache contents.
+        let cloned = knowledge.clone();
+        assert_eq!(cloned.cached_verdicts(), cached);
     }
 }

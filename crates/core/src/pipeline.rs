@@ -20,15 +20,17 @@
 use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
-use spector_hooks::supervisor::extract_reports;
+use spector_hooks::supervisor::{decode_reports, extract_reports};
+use spector_hooks::SocketReport;
 use spector_libradar::LibCategory;
 use spector_netsim::flows::{DnsMap, FlowTable};
+use spector_netsim::CaptureIndex;
 use spector_vtcat::DomainCategory;
 
 use crate::attribution::{attribute, Attribution, OriginKind};
 use crate::coverage::{compute_coverage, CoverageReport};
 use crate::experiment::RawRun;
-use crate::knowledge::Knowledge;
+use crate::knowledge::{Knowledge, LibraryVerdict};
 
 /// One fully-analyzed TCP flow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,7 +72,7 @@ impl AnalyzedFlow {
 }
 
 /// Per-app analysis output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppAnalysis {
     /// App package name.
     pub package: String,
@@ -80,6 +82,10 @@ pub struct AppAnalysis {
     pub flows: Vec<AnalyzedFlow>,
     /// TCP stream epochs with no matching supervisor report.
     pub unattributed_flows: usize,
+    /// Supervisor reports whose 4-tuple joined no TCP stream epoch
+    /// (e.g. the connection's packets were lost from the capture).
+    #[serde(default)]
+    pub reports_without_flow: usize,
     /// Method coverage.
     pub coverage: CoverageReport,
     /// DNS datagrams observed (excluded from accounting, like all UDP).
@@ -110,30 +116,76 @@ impl AppAnalysis {
 }
 
 /// Analyzes one raw run against corpus knowledge.
+///
+/// This is the hot path: the capture is decoded exactly once (flow
+/// table, DNS map, and report datagrams come out of one
+/// [`CaptureIndex`] pass), and origin-library verdicts go through the
+/// knowledge base's memoizing caches. [`analyze_run_oracle`] is the
+/// retired three-pass/uncached implementation, kept as a reference;
+/// both produce identical [`AppAnalysis`] values.
 pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> AppAnalysis {
+    let index = CaptureIndex::build(&raw.capture, collector_port);
+    let reports = decode_reports(index.report_payloads.iter().copied());
+    join_reports(raw, knowledge, &index.flows, &index.dns, &reports, |origin| {
+        knowledge.library_verdict(origin)
+    })
+}
+
+/// Reference implementation of [`analyze_run`]: three independent
+/// capture walks and no memoization — linear longest-prefix matching
+/// ([`spector_libradar::AggregatedLibraries::predict_category_oracle`])
+/// and per-report list scans. Exists to pin the fast path's behavior
+/// (equivalence is asserted by tests and measured by the benches); not
+/// for production use.
+pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> AppAnalysis {
     let flow_table = FlowTable::from_capture(&raw.capture);
     let dns_map = DnsMap::from_capture(&raw.capture);
     let reports = extract_reports(&raw.capture, collector_port);
+    join_reports(raw, knowledge, &flow_table, &dns_map, &reports, |origin| {
+        (
+            knowledge.aggregated.predict_category_oracle(origin),
+            knowledge.lists.is_ant(origin),
+            knowledge.lists.is_common(origin),
+        )
+    })
+}
 
-    // Join each report with its stream epoch; several reports can only
-    // hit the same epoch if 4-tuples repeat within it (not possible
-    // here, but guard with a seen-set anyway).
+/// The report↔flow join shared by [`analyze_run`] and
+/// [`analyze_run_oracle`] — steps 3–6 of the pipeline. `verdict`
+/// resolves an origin-library to `(category, is_ant, is_common)`; the
+/// fast path memoizes, the oracle recomputes.
+fn join_reports<F>(
+    raw: &RawRun,
+    knowledge: &Knowledge,
+    flow_table: &FlowTable,
+    dns_map: &DnsMap,
+    reports: &[SocketReport],
+    mut verdict: F,
+) -> AppAnalysis
+where
+    F: FnMut(&str) -> LibraryVerdict,
+{
+    // Join each report with its stream epoch. Several reports can hit
+    // the same epoch when a 4-tuple carries more than one hooked
+    // connect (e.g. a duplicated report datagram): the epoch's bytes
+    // must be counted once, so later reports for a matched epoch are
+    // skipped.
     let mut flows = Vec::with_capacity(reports.len());
-    let mut matched: HashSet<(usize, usize)> = HashSet::new();
-    for report in &reports {
-        let Some(flow) = flow_table.lookup(&report.pair, report.timestamp_micros) else {
+    let mut matched: HashSet<usize> = HashSet::new();
+    let mut reports_without_flow = 0usize;
+    for report in reports {
+        let Some(idx) = flow_table.lookup_epoch(&report.pair, report.timestamp_micros) else {
+            reports_without_flow += 1;
             continue;
         };
-        let key = (flow.start_micros as usize, flow.packet_count);
-        matched.insert(key);
+        if !matched.insert(idx) {
+            continue;
+        }
+        let flow = &flow_table.flows()[idx];
 
         let attribution: Attribution = attribute(&report.frames, &knowledge.builtin);
         let (lib_category, is_ant, is_common) = match &attribution.origin {
-            OriginKind::Library { origin_library, .. } => (
-                knowledge.library_category(origin_library),
-                knowledge.lists.is_ant(origin_library),
-                knowledge.lists.is_common(origin_library),
-            ),
+            OriginKind::Library { origin_library, .. } => verdict(origin_library),
             OriginKind::Builtin => (LibCategory::Unknown, false, false),
         };
         let domain = dns_map.domain_for(flow.pair.dst_ip).map(str::to_owned);
@@ -168,6 +220,7 @@ pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> 
         app_category: raw.app_category.clone(),
         flows,
         unattributed_flows,
+        reports_without_flow,
         coverage,
         dns_packets: dns_map.dns_packet_count,
         report_packets,
@@ -323,6 +376,73 @@ mod tests {
         let ratio = analysis.coverage.ratio();
         assert!(ratio > 0.0, "some methods must execute");
         assert!(ratio < 0.9, "filler must remain unexecuted (got {ratio})");
+    }
+
+    #[test]
+    fn duplicate_reports_for_one_epoch_counted_once() {
+        use spector_dex::sha256::Sha256;
+        use spector_hooks::{SocketReport, SupervisorConfig};
+        use spector_netsim::packet::SocketPair;
+        use spector_netsim::{Clock, NetStack};
+        use std::net::Ipv4Addr;
+
+        let config = SupervisorConfig::default();
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let ip = stack.resolve("dup.example.net", Ipv4Addr::new(198, 51, 100, 7));
+        let sock = stack.tcp_connect(ip, 443);
+        let pair = stack.socket_pair(sock).unwrap();
+        let report = SocketReport {
+            apk_sha256: Sha256::digest(b"dup-apk"),
+            pair,
+            timestamp_micros: stack.clock().now_micros(),
+            frames: vec![
+                "java.net.Socket.connect".into(),
+                "com.thirdparty.sdk.Net.call".into(),
+            ],
+        };
+        // The same report datagram lands in the capture twice (e.g. a
+        // collector-path retransmit). Both join the same stream epoch.
+        stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        // A third report references a 4-tuple with no packets at all.
+        let orphan = SocketReport {
+            pair: SocketPair::new(
+                Ipv4Addr::new(10, 0, 2, 15),
+                61_000,
+                Ipv4Addr::new(203, 0, 113, 80),
+                443,
+            ),
+            ..report.clone()
+        };
+        stack.udp_send(config.collector_ip, config.collector_port, &orphan.encode());
+        stack.tcp_transfer(sock, 100, 2_000);
+        stack.tcp_close(sock);
+
+        let raw = RawRun {
+            package: "com.app.dup".into(),
+            app_category: "Tools".into(),
+            apk_sha256: Sha256::digest(b"dup-apk"),
+            capture: stack.into_capture(),
+            executed_methods: Default::default(),
+            dex_signatures: Default::default(),
+            monkey: Default::default(),
+            runtime_stats: Default::default(),
+            duration_micros: 0,
+        };
+        let knowledge = Knowledge::new(Default::default(), Default::default(), Default::default());
+        let analysis = analyze_run(&raw, &knowledge, config.collector_port);
+        assert_eq!(analysis.report_packets, 3);
+        assert_eq!(
+            analysis.flows.len(),
+            1,
+            "the duplicated epoch must be counted exactly once"
+        );
+        assert_eq!(analysis.flows[0].recv_payload, 2_000);
+        assert_eq!(analysis.unattributed_flows, 0);
+        assert_eq!(analysis.reports_without_flow, 1);
+        // The oracle path applies the identical join rules.
+        let oracle = analyze_run_oracle(&raw, &knowledge, config.collector_port);
+        assert_eq!(analysis, oracle);
     }
 
     #[test]

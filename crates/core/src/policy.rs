@@ -350,6 +350,7 @@ mod tests {
             app_category: "TOOLS".into(),
             flows,
             unattributed_flows: 0,
+            reports_without_flow: 0,
             coverage: CoverageReport {
                 total_methods: 1,
                 executed_methods: 1,

@@ -65,6 +65,7 @@ mod tests {
                 app_category: "TOOLS".into(),
                 flows: vec![],
                 unattributed_flows: 0,
+                reports_without_flow: 0,
                 coverage: CoverageReport {
                     total_methods: 100,
                     executed_methods: 9,

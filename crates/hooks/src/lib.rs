@@ -26,4 +26,4 @@ pub mod report;
 pub mod supervisor;
 
 pub use report::{SocketReport, ReportParseError, REPORT_MAGIC};
-pub use supervisor::{SocketSupervisor, SupervisorConfig};
+pub use supervisor::{decode_reports, extract_reports, SocketSupervisor, SupervisorConfig};

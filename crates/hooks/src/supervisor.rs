@@ -124,27 +124,43 @@ impl RuntimeHook for SocketSupervisor {
 
 /// Extracts all supervisor reports from a packet capture, in capture
 /// order — the collection-server side of the pipeline.
+///
+/// This decodes every packet in the capture just to find the report
+/// datagrams. Pipelines that already walk the capture once (via
+/// [`spector_netsim::CaptureIndex`]) should feed the pre-extracted
+/// payloads to [`decode_reports`] instead.
 pub fn extract_reports(
     capture: &[spector_netsim::pcap::CapturedPacket],
     collector_port: u16,
 ) -> Vec<SocketReport> {
-    use spector_netsim::packet::{decode_frame, Transport};
+    use spector_netsim::packet::{decode_frame_ref, TransportRef};
     let mut reports = Vec::new();
     for packet in capture {
-        let Ok(frame) = decode_frame(&packet.data) else {
+        let Ok(frame) = decode_frame_ref(&packet.data) else {
             continue;
         };
-        let Transport::Udp { payload } = frame.transport else {
+        let TransportRef::Udp { payload } = frame.transport else {
             continue;
         };
         if frame.pair.dst_port != collector_port {
             continue;
         }
-        if let Ok(report) = SocketReport::decode(&payload) {
+        if let Ok(report) = SocketReport::decode(payload) {
             reports.push(report);
         }
     }
     reports
+}
+
+/// Decodes supervisor reports from raw datagram payloads (the
+/// [`spector_netsim::CaptureIndex::report_payloads`] view), in order.
+/// Payloads that are not valid reports are skipped, exactly as in
+/// [`extract_reports`].
+pub fn decode_reports<'a>(payloads: impl IntoIterator<Item = &'a [u8]>) -> Vec<SocketReport> {
+    payloads
+        .into_iter()
+        .filter_map(|payload| SocketReport::decode(payload).ok())
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,6 +248,31 @@ mod tests {
         net.udp_send(Ipv4Addr::new(10, 0, 2, 2), 9_999, b"SRPTgarbage");
         let reports = extract_reports(net.capture(), 47_000);
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn decode_reports_matches_extract_reports() {
+        let (mut capture, _) = run_app();
+        // Add noise: a non-report datagram on the collector port and an
+        // undecodable frame, both of which each path must skip.
+        let mut net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        net.udp_send(
+            Ipv4Addr::new(10, 0, 2, 2),
+            SupervisorConfig::default().collector_port,
+            b"not a report",
+        );
+        capture.extend(net.into_capture());
+        capture.push(spector_netsim::pcap::CapturedPacket {
+            timestamp_micros: 7,
+            data: vec![0xff, 0x00],
+        });
+
+        let port = SupervisorConfig::default().collector_port;
+        let via_scan = extract_reports(&capture, port);
+        let index = spector_netsim::CaptureIndex::build(&capture, port);
+        let via_index = decode_reports(index.report_payloads.iter().copied());
+        assert_eq!(via_scan, via_index);
+        assert_eq!(via_scan.len(), 1);
     }
 
     #[test]

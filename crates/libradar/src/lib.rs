@@ -12,6 +12,12 @@
 //!   matched library has no category, all known libraries sharing the
 //!   longest common prefix vote with their categories.
 //!
+//! Both heuristics are indexed by a dotted-component prefix trie
+//! ([`trie::LibTrie`]) that answers longest-matching-prefix, common
+//! prefix depth, and subtree category votes in O(#components) per
+//! query instead of O(#libraries); the original linear scans survive
+//! as `*_oracle` methods for property tests and benchmark baselines.
+//!
 //! LibRadar itself recognizes libraries by hashing package-subtree
 //! features (so renamed copies of the same code still match, and
 //! app-specific first-party code does not). [`detect`] reproduces that:
@@ -27,8 +33,10 @@ pub mod category;
 pub mod detect;
 pub mod lists;
 pub mod predict;
+pub mod trie;
 
 pub use category::LibCategory;
 pub use detect::{DetectedLibrary, LibraryDb, LibraryFingerprint};
 pub use lists::LibraryLists;
 pub use predict::AggregatedLibraries;
+pub use trie::LibTrie;

@@ -1,11 +1,19 @@
 //! Corpus-wide library aggregation, longest-prefix matching, and
 //! majority-vote category prediction (paper §III-C/D, Listing 2).
+//!
+//! Both per-query heuristics are answered by a lazily-built
+//! [`LibTrie`] in O(#package-components); the original O(#libraries)
+//! linear scans are retained as `*_oracle` reference implementations so
+//! property tests and the benchmark baseline can compare against the
+//! pre-index behavior.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
 use crate::category::LibCategory;
+use crate::trie::LibTrie;
 
 /// The aggregated list of libraries LibRadar detected across the whole
 /// corpus, with their categories — the lookup structure both heuristics
@@ -15,6 +23,11 @@ pub struct AggregatedLibraries {
     /// library package name -> category. BTreeMap keeps iteration (and
     /// therefore voting ties) deterministic.
     libs: BTreeMap<String, LibCategory>,
+    /// Prefix index over `libs`, built on first query and invalidated
+    /// by [`record`](Self::record). Never serialized: a deserialized
+    /// aggregate rebuilds it lazily from `libs`.
+    #[serde(skip)]
+    trie: OnceLock<LibTrie>,
 }
 
 impl AggregatedLibraries {
@@ -38,6 +51,14 @@ impl AggregatedLibraries {
                 self.libs.insert(name.to_owned(), category);
             }
         }
+        // The index is stale; rebuild lazily on the next query.
+        self.trie = OnceLock::new();
+    }
+
+    /// The prefix index, built on first use.
+    fn trie(&self) -> &LibTrie {
+        self.trie
+            .get_or_init(|| LibTrie::build(self.libs.iter().map(|(n, c)| (n.as_str(), *c))))
     }
 
     /// Number of distinct libraries recorded.
@@ -63,17 +84,17 @@ impl AggregatedLibraries {
     /// The hierarchically greatest (longest) known library that is a
     /// dotted prefix of `package` — the paper's origin-library name
     /// resolution: "the longest matching prefix among all the libraries
-    /// that LibRadar has detected across 25,000 apps".
-    pub fn longest_matching_prefix(&self, package: &str) -> Option<&str> {
-        let mut best: Option<&str> = None;
-        for name in self.libs.keys() {
-            if is_dotted_prefix(name, package)
-                && best.is_none_or(|b| name.len() > b.len())
-            {
-                best = Some(name);
-            }
-        }
-        best
+    /// that LibRadar has detected across 25,000 apps". Answered by the
+    /// trie in O(#components); the returned slice borrows from
+    /// `package` (the matched name is by definition a prefix of it).
+    pub fn longest_matching_prefix<'a>(&self, package: &'a str) -> Option<&'a str> {
+        self.trie().longest_matching_prefix(package)
+    }
+
+    /// Number of leading dotted components `package` shares with at
+    /// least one recorded library (the Listing 2 common-prefix depth).
+    pub fn common_prefix_components(&self, package: &str) -> usize {
+        self.trie().common_prefix_components(package)
     }
 
     /// Predicts the category of `package` per Listing 2:
@@ -86,11 +107,36 @@ impl AggregatedLibraries {
     ///    deterministic).
     ///
     /// Returns [`LibCategory::Unknown`] when no known library shares
-    /// even one leading component.
+    /// even one leading component. The whole decision is one trie
+    /// traversal (see [`LibTrie::predict_category`]).
     pub fn predict_category(&self, package: &str) -> LibCategory {
+        self.trie().predict_category(package)
+    }
+
+    /// Reference oracle for [`longest_matching_prefix`]: the original
+    /// O(#libraries) linear scan. Kept (off the hot path) so property
+    /// tests and the pipeline benchmark baseline can verify the trie
+    /// byte-for-byte.
+    ///
+    /// [`longest_matching_prefix`]: Self::longest_matching_prefix
+    pub fn longest_matching_prefix_oracle(&self, package: &str) -> Option<&str> {
+        let mut best: Option<&str> = None;
+        for name in self.libs.keys() {
+            if is_dotted_prefix(name, package) && best.is_none_or(|b| name.len() > b.len()) {
+                best = Some(name);
+            }
+        }
+        best
+    }
+
+    /// Reference oracle for [`predict_category`]: the original
+    /// double-scan (longest prefix, then a full rescan for the common
+    /// depth, then a vote scan). See
+    /// [`longest_matching_prefix_oracle`](Self::longest_matching_prefix_oracle).
+    pub fn predict_category_oracle(&self, package: &str) -> LibCategory {
         // If the package *is* a known library or extends one, prefer the
         // longest matching library's own category when set.
-        if let Some(best) = self.longest_matching_prefix(package) {
+        if let Some(best) = self.longest_matching_prefix_oracle(package) {
             let cat = self.libs[best];
             if cat != LibCategory::Unknown {
                 return cat;
@@ -246,6 +292,64 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn trie_agrees_with_oracle_on_listing2() {
+        let agg = unity();
+        for query in [
+            "com.unity3d.example",
+            "com.unity3d.ads.android.cache",
+            "com.unity3d",
+            "com.unity3dx.foo",
+            "com.other",
+            "io.unrelated",
+        ] {
+            assert_eq!(
+                agg.longest_matching_prefix(query),
+                agg.longest_matching_prefix_oracle(query),
+                "{query}"
+            );
+            assert_eq!(
+                agg.predict_category(query),
+                agg.predict_category_oracle(query),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_invalidates_trie() {
+        let mut agg = AggregatedLibraries::new();
+        agg.record("com.a.lib", LibCategory::Payment);
+        // Query builds the index...
+        assert_eq!(agg.predict_category("com.a.lib.x"), LibCategory::Payment);
+        // ...and a later record must be visible through it.
+        agg.record("com.a.lib.x.deeper", LibCategory::Advertisement);
+        assert_eq!(
+            agg.longest_matching_prefix("com.a.lib.x.deeper.y"),
+            Some("com.a.lib.x.deeper")
+        );
+        assert_eq!(
+            agg.predict_category("com.a.lib.x.deeper.y"),
+            LibCategory::Advertisement
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let agg = unity();
+        let json = serde_json::to_string(&agg).expect("serializes");
+        let back: AggregatedLibraries = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.len(), agg.len());
+        assert_eq!(
+            back.longest_matching_prefix("com.unity3d.ads.android.cache"),
+            Some("com.unity3d.ads")
+        );
+        assert_eq!(
+            back.predict_category("com.unity3d.example"),
+            LibCategory::GameEngine
+        );
     }
 
     #[test]

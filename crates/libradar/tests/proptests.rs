@@ -132,6 +132,45 @@ proptest! {
     }
 
     #[test]
+    fn trie_agrees_with_linear_oracle(
+        entries in proptest::collection::vec((package(), category()), 0..16),
+        queries in proptest::collection::vec(package(), 1..8),
+    ) {
+        let mut agg = AggregatedLibraries::new();
+        for (name, cat) in &entries {
+            agg.record(name, *cat);
+        }
+        // Arbitrary queries, the recorded names themselves, and dotted
+        // extensions of recorded names (deep trie walks) must all agree
+        // with the retired linear implementation.
+        for query in queries.iter().chain(entries.iter().map(|(name, _)| name)) {
+            prop_assert_eq!(
+                agg.longest_matching_prefix(query),
+                agg.longest_matching_prefix_oracle(query),
+                "longest prefix diverged for {}", query
+            );
+            prop_assert_eq!(
+                agg.predict_category(query),
+                agg.predict_category_oracle(query),
+                "prediction diverged for {}", query
+            );
+        }
+        for (name, _) in &entries {
+            let ext = format!("{name}.zz9.aa");
+            prop_assert_eq!(
+                agg.longest_matching_prefix(&ext),
+                agg.longest_matching_prefix_oracle(&ext),
+                "longest prefix diverged for extension {}", ext
+            );
+            prop_assert_eq!(
+                agg.predict_category(&ext),
+                agg.predict_category_oracle(&ext),
+                "prediction diverged for extension {}", ext
+            );
+        }
+    }
+
+    #[test]
     fn list_membership_respects_component_boundaries(prefix in package(), extra in ident()) {
         let lists = LibraryLists::from_prefixes([prefix.clone()], Vec::<String>::new());
         prop_assert!(lists.is_ant(&prefix));

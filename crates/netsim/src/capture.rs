@@ -1,0 +1,145 @@
+//! Single-pass capture indexing.
+//!
+//! The offline pipeline needs three views of one capture: the TCP flow
+//! table (§III-E), the DNS address map (§III-F), and the supervisor's
+//! UDP report datagrams (§II-B2). Walking the capture three times means
+//! decoding — and allocating payload copies for — every packet three
+//! times. [`CaptureIndex`] fuses the walks: each packet is decoded once
+//! with the borrowing decoder and routed to the TCP flow builder, the
+//! DNS map, or the report list, with payloads staying as slices into
+//! the raw capture bytes.
+//!
+//! The index is behaviorally identical to the three independent passes
+//! ([`FlowTable::from_capture`], [`DnsMap::from_capture`], and a UDP
+//! report scan): the same packet order feeds the same state machines.
+
+use crate::flows::{DnsMap, FlowTable, FlowTableBuilder};
+use crate::packet::{decode_frame_ref, TransportRef};
+use crate::pcap::CapturedPacket;
+
+/// Every view of a capture the offline pipeline consumes, built in one
+/// decode pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureIndex<'a> {
+    /// Reassembled TCP stream epochs.
+    pub flows: FlowTable,
+    /// IP → domain map from observed DNS responses.
+    pub dns: DnsMap,
+    /// Raw payloads of UDP datagrams addressed to the collection
+    /// server's port, in capture order — undecoded supervisor reports,
+    /// borrowed from the capture bytes. The hooks layer owns the report
+    /// wire format and decodes these.
+    pub report_payloads: Vec<&'a [u8]>,
+}
+
+impl<'a> CaptureIndex<'a> {
+    /// Decodes each packet exactly once, simultaneously building the
+    /// flow table, the DNS map, and the report payload list.
+    ///
+    /// Packets that fail to decode are skipped, as in the per-view
+    /// passes: a capture is untrusted input.
+    pub fn build(packets: &'a [CapturedPacket], collector_port: u16) -> Self {
+        let mut flows = FlowTableBuilder::default();
+        let mut dns = DnsMap::default();
+        let mut report_payloads: Vec<&'a [u8]> = Vec::new();
+        for packet in packets {
+            let Ok(frame) = decode_frame_ref(&packet.data) else {
+                continue;
+            };
+            match frame.transport {
+                TransportRef::Tcp { flags, payload, .. } => {
+                    flows.ingest(
+                        packet.timestamp_micros,
+                        frame.pair,
+                        flags,
+                        payload,
+                        frame.wire_len,
+                    );
+                }
+                TransportRef::Udp { payload } => {
+                    dns.ingest(&frame.pair, payload);
+                    if frame.pair.dst_port == collector_port {
+                        report_payloads.push(payload);
+                    }
+                }
+            }
+        }
+        CaptureIndex {
+            flows: flows.finish(),
+            dns,
+            report_payloads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use super::*;
+    use crate::clock::Clock;
+    use crate::packet::{decode_frame, Transport};
+    use crate::stack::NetStack;
+
+    const COLLECTOR_PORT: u16 = 47_000;
+
+    fn busy_capture() -> Vec<CapturedPacket> {
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let ip = stack.resolve("cdn.example.net", Ipv4Addr::new(93, 184, 216, 34));
+        let sock = stack.tcp_connect(ip, 443);
+        stack.udp_send(Ipv4Addr::new(10, 0, 2, 2), COLLECTOR_PORT, b"report-ish");
+        stack.tcp_transfer(sock, 700, 40_000);
+        stack.tcp_close(sock);
+        let ip2 = stack.resolve("ads.example.com", Ipv4Addr::new(203, 0, 113, 9));
+        let sock2 = stack.tcp_connect(ip2, 80);
+        stack.udp_send(Ipv4Addr::new(10, 0, 2, 2), COLLECTOR_PORT, b"second");
+        stack.udp_send(Ipv4Addr::new(10, 0, 2, 2), 9_999, b"not-collector");
+        stack.tcp_transfer(sock2, 64, 1_500);
+        stack.tcp_close(sock2);
+        let mut capture = stack.into_capture();
+        capture.push(CapturedPacket {
+            timestamp_micros: 1,
+            data: vec![0xba, 0xad],
+        });
+        capture
+    }
+
+    #[test]
+    fn single_pass_matches_three_passes() {
+        let capture = busy_capture();
+        let index = CaptureIndex::build(&capture, COLLECTOR_PORT);
+        assert_eq!(index.flows, FlowTable::from_capture(&capture));
+        assert_eq!(index.dns, DnsMap::from_capture(&capture));
+
+        // Reference report scan: decode every packet again, keep UDP
+        // payloads addressed to the collector port.
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for packet in &capture {
+            let Ok(frame) = decode_frame(&packet.data) else {
+                continue;
+            };
+            if let Transport::Udp { payload } = frame.transport {
+                if frame.pair.dst_port == COLLECTOR_PORT {
+                    expected.push(payload);
+                }
+            }
+        }
+        assert_eq!(index.report_payloads.len(), 2);
+        assert_eq!(
+            index
+                .report_payloads
+                .iter()
+                .map(|p| p.to_vec())
+                .collect::<Vec<_>>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn empty_capture() {
+        let index = CaptureIndex::build(&[], COLLECTOR_PORT);
+        assert!(index.flows.is_empty());
+        assert!(index.dns.is_empty());
+        assert!(index.report_payloads.is_empty());
+    }
+}

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use crate::dns::parse_message;
-use crate::packet::{decode_frame, tcp_flags, SocketPair, Transport};
+use crate::packet::{decode_frame_ref, tcp_flags, SocketPair, TransportRef};
 use crate::pcap::CapturedPacket;
 
 /// One reassembled TCP stream epoch.
@@ -53,11 +53,83 @@ impl TcpFlow {
 }
 
 /// All TCP flows recovered from a capture, addressable by 4-tuple.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowTable {
     flows: Vec<TcpFlow>,
     /// canonical pair -> indices of flow epochs in time order.
     by_pair: HashMap<SocketPair, Vec<usize>>,
+}
+
+/// Incremental [`FlowTable`] construction: one decoded TCP segment at a
+/// time, in capture order. This is the state machine behind both
+/// [`FlowTable::from_capture`] and the single-pass
+/// [`CaptureIndex`](crate::capture::CaptureIndex), which interleaves
+/// flow ingestion with DNS and report extraction over one decode walk.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTableBuilder {
+    table: FlowTable,
+    /// canonical pair -> index of currently-open epoch in `table.flows`.
+    open: HashMap<SocketPair, usize>,
+}
+
+impl FlowTableBuilder {
+    /// Feeds one decoded TCP segment. `payload` is borrowed — only the
+    /// capped leading bytes are copied into the flow record.
+    pub(crate) fn ingest(
+        &mut self,
+        timestamp_micros: u64,
+        pair: SocketPair,
+        flags: u8,
+        payload: &[u8],
+        wire_len: usize,
+    ) {
+        let canonical = pair.canonical();
+        let is_syn = flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0;
+        let idx = match self.open.get(&canonical) {
+            Some(&idx) if !is_syn => idx,
+            // A fresh SYN starts a new epoch for this 4-tuple. A
+            // mid-stream packet without a preceding SYN (capture started
+            // mid-connection) opens an epoch anyway so the bytes are not
+            // lost.
+            _ => {
+                let idx = self.table.flows.len();
+                self.table.flows.push(TcpFlow {
+                    pair,
+                    start_micros: timestamp_micros,
+                    end_micros: timestamp_micros,
+                    sent_wire_bytes: 0,
+                    recv_wire_bytes: 0,
+                    sent_payload_bytes: 0,
+                    recv_payload_bytes: 0,
+                    packet_count: 0,
+                    first_payload: Vec::new(),
+                });
+                self.table.by_pair.entry(canonical).or_default().push(idx);
+                self.open.insert(canonical, idx);
+                idx
+            }
+        };
+        let flow = &mut self.table.flows[idx];
+        flow.end_micros = timestamp_micros;
+        flow.packet_count += 1;
+        if pair == flow.pair {
+            flow.sent_wire_bytes += wire_len as u64;
+            flow.sent_payload_bytes += payload.len() as u64;
+            if flow.first_payload.len() < FIRST_PAYLOAD_CAP && !payload.is_empty() {
+                let room = FIRST_PAYLOAD_CAP - flow.first_payload.len();
+                flow.first_payload
+                    .extend_from_slice(&payload[..payload.len().min(room)]);
+            }
+        } else {
+            flow.recv_wire_bytes += wire_len as u64;
+            flow.recv_payload_bytes += payload.len() as u64;
+        }
+    }
+
+    /// Finalizes the table.
+    pub(crate) fn finish(self) -> FlowTable {
+        self.table
+    }
 }
 
 impl FlowTable {
@@ -67,78 +139,23 @@ impl FlowTable {
     /// a capture is untrusted input and the analysis must be robust to
     /// noise (the paper similarly ignores non-TCP traffic, §III-E).
     pub fn from_capture(packets: &[CapturedPacket]) -> Self {
-        let mut flows: Vec<TcpFlow> = Vec::new();
-        let mut by_pair: HashMap<SocketPair, Vec<usize>> = HashMap::new();
-        // canonical pair -> index of currently-open epoch in `flows`.
-        let mut open: HashMap<SocketPair, usize> = HashMap::new();
-
+        let mut builder = FlowTableBuilder::default();
         for packet in packets {
-            let Ok(frame) = decode_frame(&packet.data) else {
+            let Ok(frame) = decode_frame_ref(&packet.data) else {
                 continue;
             };
-            let Transport::Tcp { flags, payload, .. } = frame.transport else {
+            let TransportRef::Tcp { flags, payload, .. } = frame.transport else {
                 continue;
             };
-            let canonical = frame.pair.canonical();
-            let is_syn = flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0;
-            let idx = match open.get(&canonical) {
-                Some(&idx) if !is_syn => idx,
-                _ if is_syn => {
-                    // A fresh SYN starts a new epoch for this 4-tuple.
-                    let idx = flows.len();
-                    flows.push(TcpFlow {
-                        pair: frame.pair,
-                        start_micros: packet.timestamp_micros,
-                        end_micros: packet.timestamp_micros,
-                        sent_wire_bytes: 0,
-                        recv_wire_bytes: 0,
-                        sent_payload_bytes: 0,
-                        recv_payload_bytes: 0,
-                        packet_count: 0,
-                        first_payload: Vec::new(),
-                    });
-                    by_pair.entry(canonical).or_default().push(idx);
-                    open.insert(canonical, idx);
-                    idx
-                }
-                _ => {
-                    // Mid-stream packet without a preceding SYN (capture
-                    // started mid-connection): open an epoch anyway so
-                    // the bytes are not lost.
-                    let idx = flows.len();
-                    flows.push(TcpFlow {
-                        pair: frame.pair,
-                        start_micros: packet.timestamp_micros,
-                        end_micros: packet.timestamp_micros,
-                        sent_wire_bytes: 0,
-                        recv_wire_bytes: 0,
-                        sent_payload_bytes: 0,
-                        recv_payload_bytes: 0,
-                        packet_count: 0,
-                        first_payload: Vec::new(),
-                    });
-                    by_pair.entry(canonical).or_default().push(idx);
-                    open.insert(canonical, idx);
-                    idx
-                }
-            };
-            let flow = &mut flows[idx];
-            flow.end_micros = packet.timestamp_micros;
-            flow.packet_count += 1;
-            if frame.pair == flow.pair {
-                flow.sent_wire_bytes += frame.wire_len as u64;
-                flow.sent_payload_bytes += payload.len() as u64;
-                if flow.first_payload.len() < FIRST_PAYLOAD_CAP && !payload.is_empty() {
-                    let room = FIRST_PAYLOAD_CAP - flow.first_payload.len();
-                    flow.first_payload
-                        .extend_from_slice(&payload[..payload.len().min(room)]);
-                }
-            } else {
-                flow.recv_wire_bytes += frame.wire_len as u64;
-                flow.recv_payload_bytes += payload.len() as u64;
-            }
+            builder.ingest(
+                packet.timestamp_micros,
+                frame.pair,
+                flags,
+                payload,
+                frame.wire_len,
+            );
         }
-        FlowTable { flows, by_pair }
+        builder.finish()
     }
 
     /// All flows in first-packet order.
@@ -173,15 +190,22 @@ impl FlowTable {
     /// which can happen because the report is sent right after
     /// `connect`).
     pub fn lookup(&self, pair: &SocketPair, time_micros: u64) -> Option<&TcpFlow> {
+        self.lookup_epoch(pair, time_micros)
+            .map(|idx| &self.flows[idx])
+    }
+
+    /// Index into [`flows`](Self::flows) of the epoch [`lookup`]
+    /// (Self::lookup) would return — a stable identity for consumers
+    /// that need to deduplicate several reports joining to one epoch.
+    pub fn lookup_epoch(&self, pair: &SocketPair, time_micros: u64) -> Option<usize> {
         let indices = self.by_pair.get(&pair.canonical())?;
-        let mut best: Option<&TcpFlow> = None;
+        let mut best: Option<usize> = None;
         for &idx in indices {
-            let flow = &self.flows[idx];
-            if flow.start_micros <= time_micros {
-                best = Some(flow);
+            if self.flows[idx].start_micros <= time_micros {
+                best = Some(idx);
             }
         }
-        best.or_else(|| indices.first().map(|&idx| &self.flows[idx]))
+        best.or_else(|| indices.first().copied())
     }
 }
 
@@ -189,7 +213,7 @@ impl FlowTable {
 ///
 /// When several domains resolve to one address (CDN fronting), the most
 /// recent response wins at lookup time — the map tracks response order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DnsMap {
     by_ip: HashMap<Ipv4Addr, String>,
     /// Total DNS datagrams seen (queries + responses).
@@ -202,29 +226,34 @@ impl DnsMap {
     pub fn from_capture(packets: &[CapturedPacket]) -> Self {
         let mut map = DnsMap::default();
         for packet in packets {
-            let Ok(frame) = decode_frame(&packet.data) else {
+            let Ok(frame) = decode_frame_ref(&packet.data) else {
                 continue;
             };
-            let Transport::Udp { payload } = frame.transport else {
+            let TransportRef::Udp { payload } = frame.transport else {
                 continue;
             };
-            if frame.pair.src_port != crate::dns::DNS_PORT
-                && frame.pair.dst_port != crate::dns::DNS_PORT
-            {
-                continue;
-            }
-            map.dns_packet_count += 1;
-            let Ok(message) = parse_message(&payload) else {
-                continue;
-            };
-            if !message.is_response {
-                continue;
-            }
-            for (name, addr, _ttl) in message.answers {
-                map.by_ip.insert(addr, name);
-            }
+            map.ingest(&frame.pair, payload);
         }
         map
+    }
+
+    /// Feeds one decoded UDP datagram: non-DNS ports are ignored, DNS
+    /// datagrams are counted, and A answers from responses are merged
+    /// (latest response wins).
+    pub(crate) fn ingest(&mut self, pair: &SocketPair, payload: &[u8]) {
+        if pair.src_port != crate::dns::DNS_PORT && pair.dst_port != crate::dns::DNS_PORT {
+            return;
+        }
+        self.dns_packet_count += 1;
+        let Ok(message) = parse_message(payload) else {
+            return;
+        };
+        if !message.is_response {
+            return;
+        }
+        for (name, addr, _ttl) in message.answers {
+            self.by_ip.insert(addr, name);
+        }
     }
 
     /// Domain most recently resolved to `ip`, if observed.
@@ -283,6 +312,10 @@ mod tests {
         assert!(table.lookup(&pair, 10_000_000).is_some());
         assert!(table.lookup(&pair.reversed(), 10_000_000).is_some());
         assert_eq!(table.matching(&pair).count(), 1);
+        // The epoch index names the same flow `lookup` returns.
+        let idx = table.lookup_epoch(&pair, 10_000_000).unwrap();
+        assert_eq!(Some(&table.flows()[idx]), table.lookup(&pair, 10_000_000));
+        assert_eq!(table.lookup_epoch(&pair, 0), Some(idx));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`flows`] reassembles a capture back into per-connection flows with
 //!   per-direction byte counts, and recovers the IP→domain map from
 //!   observed DNS responses;
+//! * [`capture`] builds every offline view of a capture — flow table,
+//!   DNS map, and the supervisor's report datagrams — in a single
+//!   decode pass over the packets, borrowing payloads instead of
+//!   copying them ([`CaptureIndex`]);
 //! * [`clock`] is the deterministic virtual clock everything is stamped
 //!   with.
 //!
@@ -40,6 +44,7 @@
 //! assert!(pcap.len() > 24); // non-empty valid capture
 //! ```
 
+pub mod capture;
 pub mod clock;
 pub mod dns;
 pub mod flows;
@@ -48,6 +53,7 @@ pub mod packet;
 pub mod pcap;
 pub mod stack;
 
+pub use capture::CaptureIndex;
 pub use clock::Clock;
 pub use flows::{DnsMap, FlowTable, TcpFlow};
 pub use packet::SocketPair;

@@ -133,6 +133,67 @@ pub struct Frame {
     pub wire_len: usize,
 }
 
+/// Transport-layer content of a decoded frame, borrowing its payload
+/// from the raw capture bytes — the zero-copy twin of [`Transport`]
+/// used by single-pass capture indexing, where per-packet payload
+/// allocations dominate decode cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportRef<'a> {
+    /// TCP segment.
+    Tcp {
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Flag bits (see [`tcp_flags`]).
+        flags: u8,
+        /// Payload bytes, borrowed from the frame.
+        payload: &'a [u8],
+    },
+    /// UDP datagram.
+    Udp {
+        /// Payload bytes, borrowed from the frame.
+        payload: &'a [u8],
+    },
+}
+
+/// A decoded frame whose payload borrows from the raw capture bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// Connection 4-tuple as seen in this frame's direction.
+    pub pair: SocketPair,
+    /// Transport content (payload borrowed).
+    pub transport: TransportRef<'a>,
+    /// Total on-wire frame length in bytes.
+    pub wire_len: usize,
+}
+
+impl FrameRef<'_> {
+    /// Copies the borrowed payload into an owned [`Frame`].
+    pub fn to_owned(&self) -> Frame {
+        Frame {
+            pair: self.pair,
+            transport: match self.transport {
+                TransportRef::Tcp {
+                    seq,
+                    ack,
+                    flags,
+                    payload,
+                } => Transport::Tcp {
+                    seq,
+                    ack,
+                    flags,
+                    payload: payload.to_vec(),
+                },
+                TransportRef::Udp { payload } => Transport::Udp {
+                    payload: payload.to_vec(),
+                },
+            },
+            wire_len: self.wire_len,
+        }
+    }
+}
+
 /// Error produced when decoding a malformed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameDecodeError {
@@ -256,7 +317,11 @@ pub fn encode_udp(pair: &SocketPair, payload: &[u8]) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Decodes a raw Ethernet frame into a [`Frame`].
+/// Decodes a raw Ethernet frame into an owned [`Frame`].
+///
+/// Thin wrapper over [`decode_frame_ref`] that copies the payload;
+/// hot paths that only inspect the payload should use the borrowed
+/// decoder directly.
 ///
 /// # Errors
 ///
@@ -264,6 +329,18 @@ pub fn encode_udp(pair: &SocketPair, payload: &[u8]) -> Vec<u8> {
 /// ethertypes, unsupported IP protocols, bad header lengths, or
 /// checksum mismatches.
 pub fn decode_frame(raw: &[u8]) -> Result<Frame, FrameDecodeError> {
+    decode_frame_ref(raw).map(|frame| frame.to_owned())
+}
+
+/// Decodes a raw Ethernet frame without copying the payload: the
+/// returned [`FrameRef`] borrows its payload bytes from `raw`.
+///
+/// # Errors
+///
+/// Returns [`FrameDecodeError`] for truncated frames, non-IPv4
+/// ethertypes, unsupported IP protocols, bad header lengths, or
+/// checksum mismatches.
+pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
     if raw.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
         return Err(FrameDecodeError::new("frame shorter than eth+ip headers"));
     }
@@ -312,13 +389,13 @@ pub fn decode_frame(raw: &[u8]) -> Result<Frame, FrameDecodeError> {
             if internet_checksum(seed, transport) != 0 {
                 return Err(FrameDecodeError::new("TCP checksum mismatch"));
             }
-            Ok(Frame {
+            Ok(FrameRef {
                 pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
-                transport: Transport::Tcp {
+                transport: TransportRef::Tcp {
                     seq,
                     ack,
                     flags,
-                    payload: transport[data_offset..].to_vec(),
+                    payload: &transport[data_offset..],
                 },
                 wire_len: raw.len(),
             })
@@ -333,10 +410,10 @@ pub fn decode_frame(raw: &[u8]) -> Result<Frame, FrameDecodeError> {
             if udp_len < UDP_HEADER_LEN || transport.len() < udp_len {
                 return Err(FrameDecodeError::new("bad UDP length"));
             }
-            Ok(Frame {
+            Ok(FrameRef {
                 pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
-                transport: Transport::Udp {
-                    payload: transport[UDP_HEADER_LEN..udp_len].to_vec(),
+                transport: TransportRef::Udp {
+                    payload: &transport[UDP_HEADER_LEN..udp_len],
                 },
                 wire_len: raw.len(),
             })

@@ -4,6 +4,7 @@
 use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
+use spector_netsim::capture::CaptureIndex;
 use spector_netsim::clock::Clock;
 use spector_netsim::dns::{encode_query, encode_response, parse_message};
 use spector_netsim::flows::{DnsMap, FlowTable};
@@ -126,6 +127,53 @@ proptest! {
             prop_assert!(flow.sent_wire_bytes >= sent);
             prop_assert!(flow.recv_wire_bytes >= recv);
         }
+    }
+
+    #[test]
+    fn capture_index_matches_independent_passes(
+        transfers in proptest::collection::vec((0u64..8_000, 0u64..50_000), 0..5),
+        datagrams in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+        domains in proptest::collection::btree_set(domain(), 0..5),
+    ) {
+        const COLLECTOR: u16 = 47_000;
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        // Interleave DNS, TCP transfers, and UDP datagrams (half of them
+        // to the collector port) so every view sees mixed traffic.
+        for (i, d) in domains.iter().enumerate() {
+            stack.resolve(d, Ipv4Addr::new(203, 0, 113, (i % 250 + 1) as u8));
+        }
+        for (i, &(sent, recv)) in transfers.iter().enumerate() {
+            let sock = stack.tcp_connect(Ipv4Addr::new(198, 51, 100, (i + 1) as u8), 443);
+            stack.tcp_transfer(sock, sent, recv);
+            stack.tcp_close(sock);
+            if let Some(payload) = datagrams.get(i) {
+                stack.udp_send(Ipv4Addr::new(10, 0, 2, 2), COLLECTOR, payload);
+            }
+        }
+        for (i, payload) in datagrams.iter().enumerate().skip(transfers.len()) {
+            let port = if i % 2 == 0 { COLLECTOR } else { 9_999 };
+            stack.udp_send(Ipv4Addr::new(10, 0, 2, 2), port, payload);
+        }
+        let mut capture = stack.into_capture();
+        capture.push(CapturedPacket { timestamp_micros: 5, data: vec![0xba, 0xad, 0xf0] });
+
+        // One decode pass must equal the three independent walks.
+        let index = CaptureIndex::build(&capture, COLLECTOR);
+        prop_assert_eq!(&index.flows, &FlowTable::from_capture(&capture));
+        prop_assert_eq!(&index.dns, &DnsMap::from_capture(&capture));
+
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for packet in &capture {
+            if let Ok(frame) = decode_frame(&packet.data) {
+                if let Transport::Udp { payload } = frame.transport {
+                    if frame.pair.dst_port == COLLECTOR {
+                        expected.push(payload);
+                    }
+                }
+            }
+        }
+        let got: Vec<Vec<u8>> = index.report_payloads.iter().map(|p| p.to_vec()).collect();
+        prop_assert_eq!(got, expected);
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() {
     eprintln!(
         "knowledge: {} aggregated libraries, {} labeled domains",
         knowledge.aggregated.len(),
-        knowledge.domain_labels.len()
+        knowledge.domain_categories.len()
     );
 
     let mut dispatch = DispatchConfig::default();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Smoke-run the performance-sensitive benchmarks in criterion's quick
+# mode: enough to catch a build break or a gross regression in the hot
+# paths without paying for full statistical runs. Used by CI; run the
+# full benches locally with `cargo bench -p spector-bench`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# perf: hook overhead, per-app pipeline, throughput, substrates.
+cargo bench -p spector-bench --bench perf -- --quick "$@"
+
+# headline: campaign-level aggregation figures.
+cargo bench -p spector-bench --bench headline -- --quick "$@"

@@ -1,0 +1,51 @@
+//! Fast-path vs oracle equivalence.
+//!
+//! The optimized `analyze_run` — one `CaptureIndex` decode pass,
+//! trie-backed longest-prefix matching, memoized knowledge lookups —
+//! must produce output byte-identical to `analyze_run_oracle`, the
+//! retired implementation that walks the capture three times and
+//! recomputes every verdict linearly.
+
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::{analyze_run, analyze_run_oracle};
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+
+#[test]
+fn fast_path_is_byte_identical_to_oracle() {
+    for seed in [41u64, 42, 43] {
+        let corpus = Corpus::generate(&CorpusConfig {
+            apps: 2,
+            seed,
+            appgen: AppGenConfig {
+                method_scale: 0.006,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let resolver = resolver_for(&corpus.domains);
+        let mut config = ExperimentConfig::default();
+        config.monkey.events = 100;
+        for app in &corpus.apps {
+            let system: Vec<_> = app
+                .system_ops
+                .iter()
+                .map(|s| (s.op.clone(), s.dispatcher))
+                .collect();
+            let raw = run_app(&app.apk, &resolver, &system, &config).unwrap();
+            let fast = analyze_run(&raw, &knowledge, config.supervisor.collector_port);
+            let oracle = analyze_run_oracle(&raw, &knowledge, config.supervisor.collector_port);
+            assert_eq!(fast, oracle, "seed {seed}, app {}", app.package);
+            assert_eq!(
+                serde_json::to_string(&fast).unwrap(),
+                serde_json::to_string(&oracle).unwrap(),
+                "serialized analyses must be byte-identical (seed {seed}, app {})",
+                app.package
+            );
+            assert!(!fast.flows.is_empty(), "seed {seed} produced no flows");
+        }
+        // The fast path must actually have exercised the memo cache.
+        assert!(knowledge.cached_verdicts() > 0);
+    }
+}
