@@ -33,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod live;
 pub mod paper;
 pub mod render;
 pub mod rq;

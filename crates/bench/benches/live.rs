@@ -1,0 +1,54 @@
+//! Streaming engine throughput: events/sec through `LiveEngine` at
+//! the paper's campaign scale (the 400-run throughput fixture), for
+//! 1 vs N shards. Numbers are recorded in `BENCH_pipeline.json` at
+//! the repo root.
+//!
+//! The event streams are decoded once outside the measurement loop —
+//! the benches time the engine (routing, channels, incremental join),
+//! not the frame decoder, which `perf/substrate` already covers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spector_bench::throughput_fixture;
+use spector_live::{events_from_run, LiveConfig, LiveEngine, LiveEvent};
+
+fn bench_live_throughput(c: &mut Criterion) {
+    let (knowledge, raws, port) = throughput_fixture();
+    let knowledge = Arc::new(knowledge.clone());
+    let events: Vec<LiveEvent> = raws
+        .iter()
+        .enumerate()
+        .flat_map(|(run, raw)| events_from_run(run as u32, &raw.capture, *port))
+        .collect();
+
+    let mut group = c.benchmark_group("perf/live_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let engine = LiveEngine::start(
+                        Arc::clone(&knowledge),
+                        LiveConfig {
+                            shards,
+                            collector_port: *port,
+                            ..Default::default()
+                        },
+                    );
+                    for event in &events {
+                        engine.push(event.clone());
+                    }
+                    std::hint::black_box(engine.finish())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_throughput);
+criterion_main!(benches);

@@ -47,7 +47,7 @@ pub fn campaign() -> &'static Vec<AppAnalysis> {
         let mut dispatch = DispatchConfig::default();
         dispatch.experiment.monkey.events = BENCH_EVENTS;
         dispatch.experiment.monkey.seed = 7_777;
-        run_corpus(corpus(), knowledge(), &dispatch, None)
+        run_corpus(corpus(), knowledge(), &dispatch, None).analyses
     })
 }
 

@@ -23,6 +23,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
+        "live" => cmd_live(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "baseline" => cmd_baseline(&args[1..]),
@@ -50,6 +51,8 @@ libspector — context-aware network traffic analysis (simulated reproduction)
 USAGE:
   libspector run    --apps N [--seed S] [--events E] [--workers W]
                     [--out FILE] [--method-scale F]
+  libspector live   --apps N [--seed S] [--events E] [--workers W]
+                    [--shards K] [--snapshot-every N]   (streaming attribution)
   libspector report --campaign FILE
   libspector sweep  --apps N [--seed S] --events E1,E2,...
   libspector baseline --campaign FILE          (DNS-only classifier comparison)
@@ -113,7 +116,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             eprintln!("  {done}/{apps} apps done");
         }
     };
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress));
+    let outcome = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress));
+    for failure in &outcome.failures {
+        eprintln!(
+            "warning: app {} ({}) failed: {}",
+            failure.index, failure.package, failure.error
+        );
+    }
+    let analyses = outcome.analyses;
     let report = FullReport::build(&analyses);
     println!("{}", report.render());
     if let Some(out) = out {
@@ -126,6 +136,76 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         save_campaign(&campaign, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
         eprintln!("campaign saved to {out}");
     }
+    Ok(())
+}
+
+fn cmd_live(args: &[String]) -> Result<(), String> {
+    use spector_dispatch::{run_corpus_live, LiveCollector};
+    use spector_live::{LiveConfig, LiveEngine, LiveSummary};
+
+    let apps: usize = parse_flag(args, "--apps", 50)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let events: u32 = parse_flag(args, "--events", 500)?;
+    let workers: usize = parse_flag(args, "--workers", 0)?;
+    let shards: usize = parse_flag(args, "--shards", 2)?;
+    let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
+    let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
+
+    let corpus = build_corpus(apps, seed, method_scale);
+    eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = events;
+    dispatch.experiment.monkey.seed = seed;
+
+    let collector = LiveCollector::new(LiveEngine::start(
+        std::sync::Arc::new(knowledge.clone()),
+        LiveConfig {
+            shards,
+            ..Default::default()
+        },
+    ));
+    eprintln!("streaming campaign through {shards} shard(s), {events} monkey events per app");
+    let progress = |done: usize| {
+        if snapshot_every > 0 && done.is_multiple_of(snapshot_every) {
+            eprintln!(
+                "  [{done}/{apps}] {}",
+                spector_analysis::live::brief(&collector.snapshot())
+            );
+        }
+    };
+    let outcome = run_corpus_live(&corpus, &knowledge, &dispatch, &collector, Some(&progress));
+    let live = collector.finish();
+    print!("{}", spector_analysis::live::render(&live));
+    for failure in &outcome.failures {
+        eprintln!(
+            "warning: app {} ({}) failed: {}",
+            failure.index, failure.package, failure.error
+        );
+    }
+
+    // The engine guarantees its final summary equals the offline
+    // pipeline's; verify on every invocation and fail loudly if not.
+    let offline = LiveSummary::from_analyses(&outcome.analyses);
+    let equivalent = live.flows == offline.flows
+        && live.unattributed_flows == offline.unattributed_flows
+        && live.per_library == offline.per_library
+        && live.per_domain_category == offline.per_domain_category
+        && live.total_sent == offline.total_sent
+        && live.total_recv == offline.total_recv
+        && live.unjoined_reports() == offline.unjoined_reports();
+    if !equivalent {
+        return Err("live summary diverged from the offline pipeline".into());
+    }
+    eprintln!(
+        "offline equivalence: OK ({} flows, {} libraries, {} domain categories)",
+        live.flows,
+        live.per_library.len(),
+        live.per_domain_category.len(),
+    );
     Ok(())
 }
 
@@ -154,7 +234,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let mut dispatch = DispatchConfig::default();
         dispatch.experiment.monkey.events = events;
         dispatch.experiment.monkey.seed = seed;
-        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
         let report = FullReport::build(&analyses);
         let mb = report.headline.total_bytes as f64 / 1_048_576.0 / apps.max(1) as f64;
         println!(

@@ -60,4 +60,7 @@ pub use attribution::{Attribution, OriginKind};
 pub use coverage::CoverageReport;
 pub use experiment::{run_app, ExperimentConfig, ExperimentError, RawRun};
 pub use knowledge::Knowledge;
-pub use pipeline::{analyze_run, analyze_run_oracle, AnalyzedFlow, AppAnalysis};
+pub use pipeline::{
+    analyze_run, analyze_run_oracle, origin_label, AnalyzedFlow, AppAnalysis,
+    BUILTIN_ORIGIN_LABEL,
+};

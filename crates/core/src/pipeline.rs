@@ -94,6 +94,22 @@ pub struct AppAnalysis {
     pub report_packets: usize,
 }
 
+/// Display label for platform-created sockets ([`OriginKind::Builtin`])
+/// in per-library breakdowns — Figure 3's `*` bucket.
+pub const BUILTIN_ORIGIN_LABEL: &str = "(builtin)";
+
+/// Stable per-library accounting label of an attribution origin: the
+/// origin-library package, or [`BUILTIN_ORIGIN_LABEL`]. Both the
+/// offline reducers and the streaming engine key their per-library
+/// counters by this label, which is what makes their breakdowns
+/// directly comparable.
+pub fn origin_label(origin: &OriginKind) -> &str {
+    match origin {
+        OriginKind::Library { origin_library, .. } => origin_library,
+        OriginKind::Builtin => BUILTIN_ORIGIN_LABEL,
+    }
+}
+
 impl AppAnalysis {
     /// Total wire bytes sent by the app across attributed flows.
     pub fn total_sent(&self) -> u64 {

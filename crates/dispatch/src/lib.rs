@@ -11,16 +11,29 @@
 //! Per-app monkey seeds are derived from the campaign seed and the app
 //! index, so campaign results are independent of worker count and
 //! scheduling order.
+//!
+//! Both channels are **bounded**, sized to the worker pool: a feeder
+//! thread trickles job indices in as workers free up, and the
+//! collector drains results concurrently, so memory stays O(workers)
+//! regardless of corpus size. Failed runs are never silently skipped:
+//! every app ends up in exactly one of
+//! [`CampaignOutcome::analyses`] or [`CampaignOutcome::failures`].
+//!
+//! With [`run_corpus_live`], each worker additionally streams its
+//! finished run's capture through a [`LiveCollector`] — the bridge to
+//! the `spector-live` online attribution engine — so a campaign can be
+//! watched while it runs.
 
 pub mod store;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel;
-use libspector::experiment::{resolver_for, run_app, ExperimentConfig};
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::{analyze_run, AppAnalysis};
 use spector_corpus::Corpus;
+use spector_live::{LiveEngine, LiveSummary};
 
 pub use store::{load_campaign, save_campaign, Campaign};
 
@@ -34,16 +47,101 @@ pub struct DispatchConfig {
     pub experiment: ExperimentConfig,
 }
 
-/// Runs every app in `corpus` and returns the analyses in app order.
+/// One app whose experiment could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppFailure {
+    /// Index of the app in the corpus.
+    pub index: usize,
+    /// The app's package name.
+    pub package: String,
+    /// Rendered experiment error.
+    pub error: String,
+}
+
+/// Everything a campaign produced: successful analyses in app order,
+/// plus an explicit record of every app that failed — the invariant
+/// `analyses.len() + failures.len() == corpus.apps.len()` always
+/// holds, so a hole in the data is visible instead of silent.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOutcome {
+    /// Per-app analyses of the runs that succeeded, in app order.
+    pub analyses: Vec<AppAnalysis>,
+    /// Apps whose experiment failed, in app order.
+    pub failures: Vec<AppFailure>,
+}
+
+impl CampaignOutcome {
+    /// Total apps accounted for (successes plus failures).
+    pub fn total(&self) -> usize {
+        self.analyses.len() + self.failures.len()
+    }
+}
+
+/// Dispatch-side adapter to the streaming engine: feeds each worker's
+/// finished [`RawRun`] into a [`LiveEngine`] as one run's event
+/// stream, keyed by the app's corpus index. Snapshots may be taken
+/// from any thread while the campaign runs.
+pub struct LiveCollector {
+    engine: LiveEngine,
+}
+
+impl LiveCollector {
+    /// Wraps a running engine.
+    pub fn new(engine: LiveEngine) -> Self {
+        LiveCollector { engine }
+    }
+
+    /// Streams one finished run into the engine as run `index`.
+    pub fn observe(&self, index: u32, raw: &RawRun) {
+        self.engine.push_run(index, &raw.capture);
+    }
+
+    /// A consistent point-in-time summary of the campaign so far.
+    pub fn snapshot(&self) -> LiveSummary {
+        self.engine.snapshot()
+    }
+
+    /// Closes the stream and returns the final summary.
+    pub fn finish(self) -> LiveSummary {
+        self.engine.finish()
+    }
+}
+
+/// Runs every app in `corpus` and returns the campaign outcome.
 ///
-/// `progress` (if given) is called after each completed app with the
-/// number done so far.
+/// `progress` (if given) is called after each finished app — success
+/// or failure — with the number finished so far.
 pub fn run_corpus(
     corpus: &Corpus,
     knowledge: &Knowledge,
     config: &DispatchConfig,
     progress: Option<&(dyn Fn(usize) + Sync)>,
-) -> Vec<AppAnalysis> {
+) -> CampaignOutcome {
+    run_corpus_inner(corpus, knowledge, config, None, progress)
+}
+
+/// [`run_corpus`], additionally streaming every successful run's
+/// capture through `collector` (run id = app index) the moment the
+/// run finishes — before its offline analysis. The returned outcome
+/// is identical to [`run_corpus`]'s; the collector's final summary is
+/// the live view of the same campaign.
+pub fn run_corpus_live(
+    corpus: &Corpus,
+    knowledge: &Knowledge,
+    config: &DispatchConfig,
+    collector: &LiveCollector,
+    progress: Option<&(dyn Fn(usize) + Sync)>,
+) -> CampaignOutcome {
+    run_corpus_inner(corpus, knowledge, config, Some(collector), progress)
+}
+
+fn run_corpus_inner(
+    corpus: &Corpus,
+    knowledge: &Knowledge,
+    config: &DispatchConfig,
+    collector: Option<&LiveCollector>,
+    progress: Option<&(dyn Fn(usize) + Sync)>,
+) -> CampaignOutcome {
     let workers = if config.workers == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -52,18 +150,27 @@ pub fn run_corpus(
         config.workers
     };
     let resolver = resolver_for(&corpus.domains);
-    let (job_tx, job_rx) = channel::unbounded::<usize>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, AppAnalysis)>();
-    for index in 0..corpus.apps.len() {
-        job_tx.send(index).expect("queue is open");
-    }
-    drop(job_tx);
+    // Bounded to the pool: the feeder blocks once every worker has a
+    // job in hand plus one queued, and the collector loop below drains
+    // results as they appear, so neither queue grows with corpus size.
+    let queue = workers.max(1) * 2;
+    let (job_tx, job_rx) = channel::bounded::<usize>(queue);
+    let (result_tx, result_rx) = channel::bounded::<(usize, Result<AppAnalysis, AppFailure>)>(queue);
 
     let done = AtomicUsize::new(0);
-    let mut results: Vec<Option<AppAnalysis>> = Vec::new();
+    let mut results: Vec<Option<Result<AppAnalysis, AppFailure>>> = Vec::new();
     results.resize_with(corpus.apps.len(), || None);
 
     crossbeam::scope(|scope| {
+        let apps = corpus.apps.len();
+        scope.spawn(move |_| {
+            for index in 0..apps {
+                if job_tx.send(index).is_err() {
+                    break;
+                }
+            }
+            // job_tx drops here; workers drain and exit.
+        });
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let result_tx = result_tx.clone();
@@ -82,27 +189,48 @@ pub fn run_corpus(
                         .iter()
                         .map(|s| (s.op.clone(), s.dispatcher))
                         .collect();
-                    let Ok(raw) = run_app(&app.apk, resolver, &system, &experiment) else {
-                        continue;
+                    let result = match run_app(&app.apk, resolver, &system, &experiment) {
+                        Ok(raw) => {
+                            if let Some(collector) = collector {
+                                collector.observe(index as u32, &raw);
+                            }
+                            Ok(analyze_run(
+                                &raw,
+                                knowledge,
+                                experiment.supervisor.collector_port,
+                            ))
+                        }
+                        Err(error) => Err(AppFailure {
+                            index,
+                            package: app.package.clone(),
+                            error: error.to_string(),
+                        }),
                     };
-                    let analysis =
-                        analyze_run(&raw, knowledge, experiment.supervisor.collector_port);
                     let count = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(callback) = progress {
                         callback(count);
                     }
-                    let _ = result_tx.send((index, analysis));
+                    let _ = result_tx.send((index, result));
                 }
             });
         }
+        drop(job_rx);
         drop(result_tx);
-        for (index, analysis) in result_rx.iter() {
-            results[index] = Some(analysis);
+        for (index, result) in result_rx.iter() {
+            results[index] = Some(result);
         }
     })
     .expect("worker panicked");
 
-    results.into_iter().flatten().collect()
+    let mut outcome = CampaignOutcome::default();
+    for result in results.into_iter() {
+        match result.expect("every app index produces exactly one result") {
+            Ok(analysis) => outcome.analyses.push(analysis),
+            Err(failure) => outcome.failures.push(failure),
+        }
+    }
+    debug_assert_eq!(outcome.total(), corpus.apps.len());
+    outcome
 }
 
 #[cfg(test)]
@@ -135,9 +263,11 @@ mod tests {
     fn campaign_covers_every_app_in_order() {
         let corpus = tiny_corpus(8, 21);
         let knowledge = Knowledge::from_corpus(&corpus);
-        let analyses = run_corpus(&corpus, &knowledge, &quick_dispatch(3), None);
-        assert_eq!(analyses.len(), 8);
-        for (app, analysis) in corpus.apps.iter().zip(&analyses) {
+        let outcome = run_corpus(&corpus, &knowledge, &quick_dispatch(3), None);
+        assert_eq!(outcome.total(), corpus.apps.len());
+        assert_eq!(outcome.analyses.len(), 8);
+        assert!(outcome.failures.is_empty());
+        for (app, analysis) in corpus.apps.iter().zip(&outcome.analyses) {
             assert_eq!(app.package, analysis.package);
         }
     }
@@ -148,8 +278,9 @@ mod tests {
         let knowledge = Knowledge::from_corpus(&corpus);
         let serial = run_corpus(&corpus, &knowledge, &quick_dispatch(1), None);
         let parallel = run_corpus(&corpus, &knowledge, &quick_dispatch(4), None);
-        assert_eq!(serial.len(), parallel.len());
-        for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(serial.total(), parallel.total());
+        assert_eq!(serial.analyses.len(), parallel.analyses.len());
+        for (a, b) in serial.analyses.iter().zip(&parallel.analyses) {
             assert_eq!(a.package, b.package);
             assert_eq!(a.flows, b.flows);
             assert_eq!(a.coverage, b.coverage);
@@ -172,7 +303,86 @@ mod tests {
     fn zero_workers_defaults_to_cpus() {
         let corpus = tiny_corpus(2, 24);
         let knowledge = Knowledge::from_corpus(&corpus);
-        let analyses = run_corpus(&corpus, &knowledge, &quick_dispatch(0), None);
-        assert_eq!(analyses.len(), 2);
+        let outcome = run_corpus(&corpus, &knowledge, &quick_dispatch(0), None);
+        assert_eq!(outcome.analyses.len(), 2);
+        assert_eq!(outcome.total(), 2);
+    }
+
+    /// Replaces one app's `classes.dex` payload with garbage of the
+    /// same length — the archive still parses, the dex does not, so
+    /// `run_app` fails for exactly that app.
+    fn corrupt_dex(corpus: &mut Corpus, victim: usize) {
+        use spector_dex::apk::Apk;
+        let mut raw = corpus.apps[victim].apk.to_bytes().to_vec();
+        let name = b"classes.dex";
+        let pos = raw
+            .windows(name.len())
+            .position(|w| w == name)
+            .expect("apk contains a dex entry");
+        let len_off = pos + name.len();
+        let data_len =
+            u32::from_le_bytes(raw[len_off..len_off + 4].try_into().unwrap()) as usize;
+        for byte in &mut raw[len_off + 4..len_off + 4 + data_len] {
+            *byte = 0xFF;
+        }
+        corpus.apps[victim].apk = Apk::from_bytes(&raw).expect("container still parses");
+    }
+
+    #[test]
+    fn failed_apps_are_reported_not_silently_dropped() {
+        let mut corpus = tiny_corpus(4, 25);
+        corrupt_dex(&mut corpus, 2);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let seen = AtomicUsize::new(0);
+        let callback = |_done: usize| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        };
+        let outcome = run_corpus(&corpus, &knowledge, &quick_dispatch(2), Some(&callback));
+        // The count invariant: every app is accounted for, exactly once.
+        assert_eq!(outcome.total(), corpus.apps.len());
+        assert_eq!(outcome.analyses.len(), 3);
+        assert_eq!(outcome.failures.len(), 1);
+        let failure = &outcome.failures[0];
+        assert_eq!(failure.index, 2);
+        assert_eq!(failure.package, corpus.apps[2].package);
+        assert!(!failure.error.is_empty());
+        // The surviving analyses keep app order, skipping the hole.
+        let packages: Vec<&str> = outcome.analyses.iter().map(|a| a.package.as_str()).collect();
+        let expected: Vec<&str> = corpus
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, a)| a.package.as_str())
+            .collect();
+        assert_eq!(packages, expected);
+        // Progress fired for failures too.
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn live_collector_sees_the_campaign_as_it_runs() {
+        use spector_live::{LiveConfig, LiveEngine};
+        use std::sync::Arc;
+
+        let corpus = tiny_corpus(4, 26);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let collector = LiveCollector::new(LiveEngine::start(
+            Arc::new(knowledge.clone()),
+            LiveConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        ));
+        let outcome = run_corpus_live(&corpus, &knowledge, &quick_dispatch(2), &collector, None);
+        let live = collector.finish();
+        assert_eq!(outcome.analyses.len(), 4);
+        let offline = spector_live::LiveSummary::from_analyses(&outcome.analyses);
+        assert_eq!(live.flows, offline.flows);
+        assert_eq!(live.per_library, offline.per_library);
+        assert_eq!(live.total_sent, offline.total_sent);
+        assert_eq!(live.total_recv, offline.total_recv);
+        assert_eq!(live.unjoined_reports(), offline.unjoined_reports());
+        assert_eq!(live.dropped_events, 0);
     }
 }

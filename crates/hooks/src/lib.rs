@@ -26,4 +26,7 @@ pub mod report;
 pub mod supervisor;
 
 pub use report::{SocketReport, ReportParseError, REPORT_MAGIC};
-pub use supervisor::{decode_reports, extract_reports, SocketSupervisor, SupervisorConfig};
+pub use supervisor::{
+    decode_report_datagram, decode_reports, extract_reports, SocketSupervisor, SupervisorConfig,
+    TimestampedReport,
+};

@@ -163,6 +163,35 @@ pub fn decode_reports<'a>(payloads: impl IntoIterator<Item = &'a [u8]>) -> Vec<S
         .collect()
 }
 
+/// A decoded report paired with the capture timestamp of the datagram
+/// that carried it.
+///
+/// The report's own [`SocketReport::timestamp_micros`] is *hook time* —
+/// when the supervisor observed the `connect`. `arrival_micros` is when
+/// the datagram reached the wire, which is strictly later (hook latency
+/// plus send path). Streaming consumers key their time-to-live
+/// bookkeeping off arrival, while the flow join keys off hook time,
+/// exactly as the offline pipeline does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampedReport {
+    /// Capture timestamp of the carrying datagram, microseconds.
+    pub arrival_micros: u64,
+    /// The decoded report.
+    pub report: SocketReport,
+}
+
+/// Decodes one datagram payload into a [`TimestampedReport`]. Returns
+/// `None` for payloads that are not valid reports (the streaming twin
+/// of the skip in [`decode_reports`]).
+pub fn decode_report_datagram(arrival_micros: u64, payload: &[u8]) -> Option<TimestampedReport> {
+    SocketReport::decode(payload)
+        .ok()
+        .map(|report| TimestampedReport {
+            arrival_micros,
+            report,
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

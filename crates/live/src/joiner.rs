@@ -1,0 +1,483 @@
+//! The incremental report↔flow joiner.
+//!
+//! One [`LiveJoiner`] holds one run's streaming state: the growing
+//! flow table, the growing DNS map, the set of claimed stream epochs,
+//! and a bounded buffer of reports that arrived before the packets
+//! they describe.
+//!
+//! # Join semantics (and why they equal the offline join)
+//!
+//! The offline pipeline joins each report against the *finished* flow
+//! table: the epoch of the report's 4-tuple active at hook time, first
+//! claimant wins. Streaming cannot see the future, but it does not
+//! need to: the virtual clock is monotone in capture order, so every
+//! epoch that opens *after* a report is delivered has a start time
+//! strictly greater than the report's hook timestamp and can never be
+//! the "active at hook time" epoch. An incremental
+//! [`lookup_epoch`](spector_netsim::FlowTable::lookup_epoch) against
+//! the table-so-far therefore returns the same epoch the offline join
+//! would — whenever the report's pair has any epoch at all.
+//!
+//! The one genuine ordering hazard is **report-before-SYN**: the hook
+//! fires at `connect` time, and a collector can observe the datagram
+//! before this engine has ingested the connection's first TCP segment.
+//! Such reports [`pend`](LiveJoiner::on_report) instead of failing,
+//! and are re-joined the moment the first TCP segment of their
+//! canonical 4-tuple is ingested — at which point `lookup_epoch` is
+//! again exact (including the offline join's first-epoch fallback for
+//! hook timestamps that precede the observed SYN).
+//!
+//! # Eviction
+//!
+//! Pending reports cannot wait forever: a report whose connection's
+//! packets never reach the capture (the offline
+//! `reports_without_flow` case) would otherwise pin memory for the
+//! lifetime of the stream. The joiner keeps a **watermark** — the
+//! largest delivery timestamp seen — and evicts a pending report once
+//! the watermark has advanced more than
+//! [`JoinerConfig::pending_ttl_micros`] past its enqueue watermark.
+//! Evictions are counted, never silent; reports still pending when the
+//! stream finishes are counted as *orphaned*. For an in-order replay
+//! of a finished capture, `evicted + orphaned` equals the offline
+//! join's `reports_without_flow` exactly.
+
+use std::collections::{HashSet, VecDeque};
+
+use libspector::knowledge::Knowledge;
+use libspector::{attribution::attribute, origin_label};
+use spector_hooks::{SocketReport, TimestampedReport};
+use spector_netsim::{DnsMap, FlowTableBuilder, SocketPair};
+use spector_vtcat::DomainCategory;
+
+use crate::summary::LiveSummary;
+
+/// Joiner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct JoinerConfig {
+    /// How long (virtual-clock microseconds of watermark advance) a
+    /// pending report may wait for its flow before being evicted.
+    pub pending_ttl_micros: u64,
+}
+
+impl Default for JoinerConfig {
+    fn default() -> Self {
+        JoinerConfig {
+            // 5 s of virtual time: orders of magnitude beyond the hook
+            // latency plus send path, so nothing joinable is ever
+            // evicted, while lost-capture orphans drain promptly.
+            pending_ttl_micros: 5_000_000,
+        }
+    }
+}
+
+/// A joined report: the epoch it claimed plus the attribution verdict,
+/// resolved at claim time (the stack trace is dropped afterwards).
+#[derive(Debug, Clone)]
+struct Claim {
+    /// Index into the flow table's epoch array.
+    epoch: usize,
+    /// Per-library accounting label ([`libspector::origin_label`]).
+    label: String,
+    /// Origin is on the AnT list.
+    is_ant: bool,
+}
+
+/// A report waiting for its flow's first TCP segment.
+#[derive(Debug, Clone)]
+struct PendingReport {
+    report: SocketReport,
+    /// Watermark value when the report was enqueued; eviction compares
+    /// against this, so a stalled stream never evicts anything.
+    enqueued_micros: u64,
+}
+
+/// One run's incremental join state. See the module docs for the
+/// ordering and eviction semantics.
+#[derive(Debug, Default)]
+pub struct LiveJoiner {
+    flows: FlowTableBuilder,
+    dns: DnsMap,
+    claimed: HashSet<usize>,
+    claims: Vec<Claim>,
+    pending: VecDeque<PendingReport>,
+    watermark: u64,
+    evicted: usize,
+    report_packets: usize,
+    config: JoinerConfig,
+}
+
+impl LiveJoiner {
+    /// A fresh joiner for one run.
+    pub fn new(config: JoinerConfig) -> Self {
+        LiveJoiner {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Largest delivery timestamp seen so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Reports currently waiting for their flow.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pending reports evicted by TTL so far.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Delivers one TCP segment: advances the watermark, grows the
+    /// flow table, and re-joins any pending reports for this 4-tuple.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_tcp(
+        &mut self,
+        timestamp_micros: u64,
+        pair: SocketPair,
+        flags: u8,
+        payload_len: usize,
+        head: &[u8],
+        wire_len: usize,
+        knowledge: &Knowledge,
+    ) {
+        self.advance(timestamp_micros);
+        self.flows
+            .ingest_meta(timestamp_micros, pair, flags, payload_len, head, wire_len);
+        if self.pending.is_empty() {
+            return;
+        }
+        let canonical = pair.canonical();
+        // Re-join in arrival order; entries for other pairs keep their
+        // queue position (and thus their eviction deadline).
+        let mut keep = VecDeque::with_capacity(self.pending.len());
+        while let Some(entry) = self.pending.pop_front() {
+            if entry.report.pair.canonical() == canonical && self.try_join(&entry.report, knowledge)
+            {
+                continue;
+            }
+            keep.push_back(entry);
+        }
+        self.pending = keep;
+    }
+
+    /// Delivers one non-collector UDP datagram (the DNS lane).
+    pub fn on_dns(&mut self, timestamp_micros: u64, pair: &SocketPair, payload: &[u8]) {
+        self.advance(timestamp_micros);
+        self.dns.ingest(pair, payload);
+    }
+
+    /// Delivers one decoded supervisor report: joins immediately when
+    /// the flow is already known, pends otherwise.
+    pub fn on_report(&mut self, report: TimestampedReport, knowledge: &Knowledge) {
+        self.advance(report.arrival_micros);
+        self.report_packets += 1;
+        if !self.try_join(&report.report, knowledge) {
+            self.pending.push_back(PendingReport {
+                report: report.report,
+                enqueued_micros: self.watermark,
+            });
+        }
+    }
+
+    /// Attempts the offline join rule against the table-so-far.
+    /// Returns `true` when the report is consumed — either it claimed
+    /// a fresh epoch or it duplicated an already-claimed one (the
+    /// offline join skips duplicates the same way). `false` means the
+    /// pair has no epochs yet.
+    fn try_join(&mut self, report: &SocketReport, knowledge: &Knowledge) -> bool {
+        let Some(epoch) = self
+            .flows
+            .table()
+            .lookup_epoch(&report.pair, report.timestamp_micros)
+        else {
+            return false;
+        };
+        if self.claimed.insert(epoch) {
+            let attribution = attribute(&report.frames, &knowledge.builtin);
+            let label = origin_label(&attribution.origin).to_owned();
+            let is_ant = match &attribution.origin {
+                libspector::OriginKind::Library { origin_library, .. } => {
+                    knowledge.library_verdict(origin_library).1
+                }
+                libspector::OriginKind::Builtin => false,
+            };
+            self.claims.push(Claim {
+                epoch,
+                label,
+                is_ant,
+            });
+        }
+        true
+    }
+
+    /// Advances the watermark and evicts timed-out pending reports.
+    fn advance(&mut self, timestamp_micros: u64) {
+        if timestamp_micros > self.watermark {
+            self.watermark = timestamp_micros;
+        }
+        // FIFO enqueue watermarks are monotone, so expiry is a prefix.
+        while let Some(front) = self.pending.front() {
+            if self.watermark.saturating_sub(front.enqueued_micros) > self.config.pending_ttl_micros
+            {
+                self.pending.pop_front();
+                self.evicted += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Accumulates this joiner's current state into a summary. Domains
+    /// and flow volumes are resolved *now*, against the DNS map and
+    /// byte counters as of the latest delivered event — a mid-stream
+    /// snapshot sees partial volumes and possibly unresolved domains;
+    /// the final snapshot equals the offline analysis.
+    ///
+    /// `include_dns` guards the DNS datagram counter: DNS events are
+    /// broadcast to every shard, so exactly one shard (shard 0) must
+    /// contribute the count.
+    pub fn snapshot_into(&self, knowledge: &Knowledge, include_dns: bool, out: &mut LiveSummary) {
+        let table = self.flows.table();
+        out.flows += self.claims.len();
+        out.unattributed_flows += table.len().saturating_sub(self.claims.len());
+        out.orphaned_reports += self.pending.len();
+        out.evicted_reports += self.evicted;
+        out.report_packets += self.report_packets;
+        if include_dns {
+            out.dns_packets += self.dns.dns_packet_count;
+        }
+        for claim in &self.claims {
+            let flow = &table.flows()[claim.epoch];
+            out.total_sent += flow.sent_wire_bytes;
+            out.total_recv += flow.recv_wire_bytes;
+            if claim.is_ant {
+                out.ant_bytes += flow.sent_wire_bytes + flow.recv_wire_bytes;
+            }
+            let volume = out.per_library.entry(claim.label.clone()).or_default();
+            volume.add_flow(flow.sent_wire_bytes, flow.recv_wire_bytes);
+            let category = self
+                .dns
+                .domain_for(flow.pair.dst_ip)
+                .map(|domain| knowledge.domain_category(domain))
+                .unwrap_or(DomainCategory::Unknown);
+            let volume = out
+                .per_domain_category
+                .entry(LiveSummary::domain_category_label(category))
+                .or_default();
+            volume.add_flow(flow.sent_wire_bytes, flow.recv_wire_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use spector_dex::sha256::Sha256;
+    use spector_hooks::SupervisorConfig;
+    use spector_netsim::{Clock, NetStack};
+
+    use super::*;
+    use crate::event::{events_from_run, LiveEventKind};
+
+    fn knowledge() -> Knowledge {
+        Knowledge::new(Default::default(), Default::default(), Default::default())
+    }
+
+    fn feed(joiner: &mut LiveJoiner, events: Vec<crate::event::LiveEvent>, knowledge: &Knowledge) {
+        for event in events {
+            match event.kind {
+                LiveEventKind::Tcp {
+                    timestamp_micros,
+                    pair,
+                    flags,
+                    payload_len,
+                    head,
+                    wire_len,
+                } => joiner.on_tcp(
+                    timestamp_micros,
+                    pair,
+                    flags,
+                    payload_len,
+                    &head,
+                    wire_len,
+                    knowledge,
+                ),
+                LiveEventKind::Dns {
+                    timestamp_micros,
+                    pair,
+                    payload,
+                } => joiner.on_dns(timestamp_micros, &pair, &payload),
+                LiveEventKind::Report(report) => joiner.on_report(report, knowledge),
+            }
+        }
+    }
+
+    fn scripted_capture() -> (Vec<spector_netsim::pcap::CapturedPacket>, u16) {
+        let config = SupervisorConfig::default();
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let ip = stack.resolve("api.example.net", Ipv4Addr::new(198, 51, 100, 7));
+        let sock = stack.tcp_connect(ip, 443);
+        let pair = stack.socket_pair(sock).unwrap();
+        let report = spector_hooks::SocketReport {
+            apk_sha256: Sha256::digest(b"apk"),
+            pair,
+            timestamp_micros: stack.clock().now_micros(),
+            frames: vec![
+                "java.net.Socket.connect".into(),
+                "com.vendor.sdk.Net.call".into(),
+            ],
+        };
+        stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        stack.tcp_transfer(sock, 300, 9_000);
+        stack.tcp_close(sock);
+        (stack.into_capture(), config.collector_port)
+    }
+
+    #[test]
+    fn in_order_stream_joins_immediately() {
+        let (capture, port) = scripted_capture();
+        let knowledge = knowledge();
+        let mut joiner = LiveJoiner::new(JoinerConfig::default());
+        feed(
+            &mut joiner,
+            events_from_run(0, &capture, port).collect(),
+            &knowledge,
+        );
+        assert_eq!(joiner.pending_len(), 0, "in-order reports never pend");
+        assert_eq!(joiner.evicted(), 0);
+        let mut summary = LiveSummary::default();
+        joiner.snapshot_into(&knowledge, true, &mut summary);
+        assert_eq!(summary.flows, 1);
+        assert_eq!(summary.unattributed_flows, 0);
+        assert!(summary.per_library.contains_key("com.vendor.sdk"));
+    }
+
+    #[test]
+    fn report_before_syn_pends_then_joins() {
+        let (capture, port) = scripted_capture();
+        let knowledge = knowledge();
+        let mut events: Vec<_> = events_from_run(0, &capture, port).collect();
+        // Move the report datagram to the very front of the stream.
+        let report_idx = events
+            .iter()
+            .position(|e| matches!(e.kind, LiveEventKind::Report(_)))
+            .unwrap();
+        let report = events.remove(report_idx);
+        events.insert(0, report);
+
+        let mut joiner = LiveJoiner::new(JoinerConfig::default());
+        for (i, event) in events.iter().enumerate() {
+            feed(&mut joiner, vec![event.clone()], &knowledge);
+            if i == 0 {
+                assert_eq!(joiner.pending_len(), 1, "report must pend before its SYN");
+            }
+        }
+        assert_eq!(
+            joiner.pending_len(),
+            0,
+            "SYN ingest must resolve the report"
+        );
+        let mut summary = LiveSummary::default();
+        joiner.snapshot_into(&knowledge, true, &mut summary);
+        assert_eq!(summary.flows, 1);
+        assert_eq!(summary.evicted_reports, 0);
+        assert_eq!(summary.orphaned_reports, 0);
+    }
+
+    #[test]
+    fn orphan_report_evicts_after_ttl_and_is_counted() {
+        let (capture, port) = scripted_capture();
+        let knowledge = knowledge();
+        let orphan = spector_hooks::SocketReport {
+            apk_sha256: Sha256::digest(b"apk"),
+            pair: SocketPair::new(
+                Ipv4Addr::new(10, 0, 2, 15),
+                61_000,
+                Ipv4Addr::new(203, 0, 113, 80),
+                443,
+            ),
+            timestamp_micros: 10,
+            frames: vec!["com.lost.Sdk.go".into()],
+        };
+        let mut joiner = LiveJoiner::new(JoinerConfig {
+            pending_ttl_micros: 1_000,
+        });
+        joiner.on_report(
+            TimestampedReport {
+                arrival_micros: 10,
+                report: orphan,
+            },
+            &knowledge,
+        );
+        assert_eq!(joiner.pending_len(), 1);
+        // Stream the real traffic; its timestamps blow past the TTL.
+        feed(
+            &mut joiner,
+            events_from_run(0, &capture, port).collect(),
+            &knowledge,
+        );
+        assert_eq!(joiner.pending_len(), 0);
+        assert_eq!(joiner.evicted(), 1);
+        let mut summary = LiveSummary::default();
+        joiner.snapshot_into(&knowledge, true, &mut summary);
+        assert_eq!(summary.evicted_reports, 1);
+        assert_eq!(summary.flows, 1, "the real flow still joins");
+    }
+
+    #[test]
+    fn duplicate_reports_claim_one_epoch() {
+        let (capture, port) = scripted_capture();
+        let knowledge = knowledge();
+        let mut events: Vec<_> = events_from_run(0, &capture, port).collect();
+        let report = events
+            .iter()
+            .find(|e| matches!(e.kind, LiveEventKind::Report(_)))
+            .cloned()
+            .unwrap();
+        events.push(report);
+        let mut joiner = LiveJoiner::new(JoinerConfig::default());
+        feed(&mut joiner, events, &knowledge);
+        let mut summary = LiveSummary::default();
+        joiner.snapshot_into(&knowledge, true, &mut summary);
+        assert_eq!(summary.flows, 1, "duplicate must not double-claim");
+        assert_eq!(summary.report_packets, 2);
+        assert_eq!(summary.orphaned_reports + summary.evicted_reports, 0);
+    }
+
+    #[test]
+    fn stalled_stream_never_evicts() {
+        let knowledge = knowledge();
+        let orphan = spector_hooks::SocketReport {
+            apk_sha256: Sha256::digest(b"apk"),
+            pair: SocketPair::new(
+                Ipv4Addr::new(10, 0, 2, 15),
+                61_001,
+                Ipv4Addr::new(203, 0, 113, 81),
+                443,
+            ),
+            timestamp_micros: 50,
+            frames: vec!["com.lost.Sdk.go".into()],
+        };
+        let mut joiner = LiveJoiner::new(JoinerConfig {
+            pending_ttl_micros: 1_000,
+        });
+        joiner.on_report(
+            TimestampedReport {
+                arrival_micros: 50,
+                report: orphan,
+            },
+            &knowledge,
+        );
+        // No further events: the watermark holds, so nothing expires —
+        // the report is orphaned, not evicted.
+        assert_eq!(joiner.pending_len(), 1);
+        assert_eq!(joiner.evicted(), 0);
+        let mut summary = LiveSummary::default();
+        joiner.snapshot_into(&knowledge, true, &mut summary);
+        assert_eq!(summary.orphaned_reports, 1);
+    }
+}

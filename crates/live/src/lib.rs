@@ -1,0 +1,90 @@
+//! `spector-live` — the streaming online attribution engine.
+//!
+//! The offline pipeline ([`libspector::analyze_run`]) answers "which
+//! library moved these bytes" after a run finishes, from a complete
+//! capture. This crate answers the same question *while the campaign
+//! is running*: captured frames and Socket Supervisor report datagrams
+//! are consumed one event at a time, in virtual-clock order, and a
+//! live summary of per-library and per-domain-category traffic is
+//! available at any instant — with the guarantee that once the stream
+//! is finished, the live answer equals the offline one exactly.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  capture / collector          LiveEngine
+//!  ───────────────────   push   ┌──────────────────────────────┐
+//!  LiveEvent{run, kind} ──────▶ │ route: hash(run, canonical   │
+//!                               │        4-tuple) → shard      │
+//!                               │ DNS: broadcast to all shards │
+//!                               └──┬─────────┬─────────┬───────┘
+//!                        bounded   ▼         ▼         ▼
+//!                        queues  shard 0   shard 1 … shard N-1
+//!                                LiveJoiner per run, per shard
+//!                                  snapshot() ⇒ LiveSummary
+//! ```
+//!
+//! * [`LiveEvent`] ([`event`]) is the ingress unit: one TCP segment,
+//!   DNS datagram, or decoded supervisor report, tagged with its run.
+//! * [`LiveJoiner`] ([`joiner`]) is the incremental report↔flow join —
+//!   the streaming twin of the offline join, with a pending buffer for
+//!   out-of-order arrivals and TTL eviction on the virtual clock.
+//! * [`LiveEngine`] ([`shard`]) owns N shard threads fed by bounded
+//!   channels with an explicit backpressure policy
+//!   ([`OverflowPolicy`]); sharding changes throughput, never results.
+//! * [`LiveSummary`] ([`summary`]) is the mergeable snapshot, directly
+//!   comparable with the offline pipeline via
+//!   [`LiveSummary::from_analyses`].
+//!
+//! # Event ordering semantics
+//!
+//! The engine assumes **per-key order**: events of one `(run,
+//! canonical 4-tuple)` arrive in virtual-clock order, which one
+//! producer streaming one run trivially provides. Across keys and
+//! across runs, any interleaving is fine. Two out-of-order hazards
+//! are handled explicitly rather than assumed away:
+//!
+//! * **report-before-SYN** — a report datagram observed before its
+//!   connection's first TCP segment pends in the joiner and re-joins
+//!   when that segment arrives;
+//! * **data-before-DNS** — destination domains are resolved lazily at
+//!   snapshot time against the DNS map as of the snapshot, so a flow
+//!   whose DNS response has not arrived yet shows as `Unknown` and
+//!   converges in a later snapshot.
+//!
+//! # Eviction semantics
+//!
+//! A pending report whose flow never materializes (its packets were
+//! lost from the capture) is evicted once the joiner's watermark — the
+//! largest delivery timestamp seen — advances more than
+//! [`JoinerConfig::pending_ttl_micros`] past the report's enqueue
+//! point. Eviction is driven purely by the virtual clock: a stalled
+//! stream never evicts. Evicted and still-pending ("orphaned")
+//! reports are counted in every summary; for an in-order replay of a
+//! finished capture, `evicted + orphaned` equals the offline join's
+//! `reports_without_flow`.
+//!
+//! # Offline equivalence
+//!
+//! The equivalence argument, in one paragraph: the virtual clock is
+//! monotone in capture order, so when a report is delivered, every
+//! epoch of its 4-tuple that the offline join could select already
+//! exists — epochs opened later start strictly after the report's
+//! hook time and are never selected by `lookup_epoch`. First-claimant
+//! -wins is preserved because per-key delivery order matches capture
+//! order, and the per-run, per-shard claim set sees reports for one
+//! pair in that order. Byte counters are read at snapshot time from
+//! the table-so-far, which at end-of-stream *is* the offline flow
+//! table. The integration test `live_equivalence` asserts the
+//! resulting identity field for field against
+//! [`libspector::analyze_run`].
+
+pub mod event;
+pub mod joiner;
+pub mod shard;
+pub mod summary;
+
+pub use event::{events_from_run, shard_of, LiveEvent, LiveEventKind};
+pub use joiner::{JoinerConfig, LiveJoiner};
+pub use shard::{LiveConfig, LiveEngine, OverflowPolicy};
+pub use summary::{LiveSummary, LiveVolume};

@@ -1,0 +1,472 @@
+//! The sharded engine: worker threads, bounded queues, backpressure.
+//!
+//! [`LiveEngine::start`] spawns N shard threads. Each shard owns the
+//! joiner state for the `(run, canonical 4-tuple)` keys that hash to
+//! it and consumes a **bounded** crossbeam channel. TCP segments and
+//! reports route to the shard owning their pair (a report must land
+//! where its flow's epochs live); DNS events are broadcast, so every
+//! shard can resolve destination domains locally without cross-shard
+//! chatter — the merge takes the DNS datagram count from shard 0 only.
+//!
+//! # Backpressure
+//!
+//! The queues are bounded by [`LiveConfig::queue_capacity`]. When a
+//! queue is full, [`OverflowPolicy`] decides: `Block` stalls the
+//! producer (lossless — the default, and what the equivalence
+//! guarantee assumes), `DropNewest` sheds the incoming event and
+//! increments a counter surfaced as
+//! [`LiveSummary::dropped_events`] — dropping is *never* silent.
+//!
+//! # Snapshot consistency
+//!
+//! [`LiveEngine::snapshot`] works by enqueueing a snapshot barrier
+//! message on every shard's queue (always blocking, even under
+//! `DropNewest` — a snapshot request is not sheddable). Channels are
+//! FIFO, so each shard answers after processing everything enqueued
+//! before the barrier; the reply is a per-shard partial summary and
+//! the engine merges them. Determinism: per-key event order is
+//! preserved (single channel per shard, one joiner per run), so the
+//! final summary is identical for any shard count — sharding changes
+//! throughput, never results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use libspector::Knowledge;
+use spector_netsim::pcap::CapturedPacket;
+
+use crate::event::{events_from_run, shard_of, LiveEvent, LiveEventKind};
+use crate::joiner::{JoinerConfig, LiveJoiner};
+use crate::summary::LiveSummary;
+
+/// What to do when a shard's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Stall the producer until the shard catches up (lossless).
+    Block,
+    /// Shed the incoming event and count it (lossy but bounded-latency;
+    /// the drop count is reported in every summary).
+    DropNewest,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of shard threads. Clamped to at least 1.
+    pub shards: usize,
+    /// Per-shard queue capacity, in events. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Full-queue policy.
+    pub overflow: OverflowPolicy,
+    /// Collector UDP port, used when converting captures to events.
+    pub collector_port: u16,
+    /// Joiner tuning (pending-report TTL).
+    pub joiner: JoinerConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            shards: 1,
+            queue_capacity: 1_024,
+            overflow: OverflowPolicy::Block,
+            collector_port: spector_hooks::SupervisorConfig::default().collector_port,
+            joiner: JoinerConfig::default(),
+        }
+    }
+}
+
+enum ShardMsg {
+    Event(LiveEvent),
+    Snapshot(Sender<LiveSummary>),
+    /// Test-only: acknowledge, then block until the gate closes — lets
+    /// tests fill a queue deterministically to exercise backpressure.
+    #[cfg(test)]
+    Park {
+        ack: Sender<()>,
+        gate: Receiver<()>,
+    },
+}
+
+/// The running engine. `push` is `&self` and thread-safe; `snapshot`
+/// can be called at any time from any thread; `finish` consumes the
+/// engine, drains the shards, and returns the final summary.
+pub struct LiveEngine {
+    senders: Vec<Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<LiveSummary>>,
+    events: AtomicU64,
+    dropped: Arc<AtomicU64>,
+    overflow: OverflowPolicy,
+    collector_port: u16,
+}
+
+impl LiveEngine {
+    /// Spawns the shard threads and returns the running engine.
+    pub fn start(knowledge: Arc<Knowledge>, config: LiveConfig) -> LiveEngine {
+        let shards = config.shards.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard_idx in 0..shards {
+            let (sender, receiver) = bounded::<ShardMsg>(capacity);
+            let knowledge = Arc::clone(&knowledge);
+            let joiner_config = config.joiner.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_loop(shard_idx, receiver, knowledge, joiner_config)
+            }));
+            senders.push(sender);
+        }
+        LiveEngine {
+            senders,
+            handles,
+            events: AtomicU64::new(0),
+            dropped: Arc::new(AtomicU64::new(0)),
+            overflow: config.overflow,
+            collector_port: config.collector_port,
+        }
+    }
+
+    /// Number of shard threads.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The collector port captures are classified against.
+    pub fn collector_port(&self) -> u16 {
+        self.collector_port
+    }
+
+    /// Events shed so far under [`OverflowPolicy::DropNewest`].
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Delivers one event: routed to its pair's shard, or broadcast to
+    /// every shard for DNS. Under `Block` this may stall until the
+    /// shard catches up; under `DropNewest` it never stalls but may
+    /// shed (counted).
+    pub fn push(&self, event: LiveEvent) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        match event.routing_pair() {
+            Some(pair) => {
+                let shard = shard_of(event.run, &pair, self.senders.len());
+                self.deliver(shard, event);
+            }
+            None => {
+                // Broadcast: clone for all but the last shard.
+                for shard in 0..self.senders.len() - 1 {
+                    self.deliver(shard, event.clone());
+                }
+                self.deliver(self.senders.len() - 1, event);
+            }
+        }
+    }
+
+    /// Streams one finished run's capture through the engine, in
+    /// capture order, as run `run`.
+    pub fn push_run(&self, run: u32, capture: &[CapturedPacket]) {
+        for event in events_from_run(run, capture, self.collector_port) {
+            self.push(event);
+        }
+    }
+
+    fn deliver(&self, shard: usize, event: LiveEvent) {
+        match self.overflow {
+            OverflowPolicy::Block => {
+                if self.senders[shard].send(ShardMsg::Event(event)).is_err() {
+                    panic!("live shard terminated while engine running");
+                }
+            }
+            OverflowPolicy::DropNewest => {
+                match self.senders[shard].try_send(ShardMsg::Event(event)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("live shard terminated while engine running")
+                    }
+                }
+            }
+        }
+    }
+
+    /// A consistent engine-wide summary of everything delivered before
+    /// this call (see the module docs for the barrier argument). Safe
+    /// to call repeatedly; the stream may keep flowing afterwards.
+    pub fn snapshot(&self) -> LiveSummary {
+        // Enqueue every barrier first, then collect: shards quiesce in
+        // parallel instead of one at a time.
+        let replies: Vec<Receiver<LiveSummary>> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (reply, receiver) = bounded(1);
+                if sender.send(ShardMsg::Snapshot(reply)).is_err() {
+                    panic!("live shard terminated while engine running");
+                }
+                receiver
+            })
+            .collect();
+        let mut merged = LiveSummary::default();
+        for receiver in replies {
+            let partial = receiver.recv().expect("live shard dropped snapshot reply");
+            merged.merge(&partial);
+        }
+        merged.events = self.events.load(Ordering::Relaxed);
+        merged.dropped_events = self.dropped.load(Ordering::Relaxed);
+        merged
+    }
+
+    /// Closes the stream: drops the queues, joins every shard, and
+    /// returns the final summary. Reports still pending at this point
+    /// are counted as orphaned — for an in-order replay of finished
+    /// captures, `orphaned + evicted` equals the offline pipeline's
+    /// `reports_without_flow`.
+    pub fn finish(self) -> LiveSummary {
+        drop(self.senders);
+        let mut merged = LiveSummary::default();
+        for handle in self.handles {
+            let partial = handle.join().expect("live shard panicked");
+            merged.merge(&partial);
+        }
+        merged.events = self.events.load(Ordering::Relaxed);
+        merged.dropped_events = self.dropped.load(Ordering::Relaxed);
+        merged
+    }
+}
+
+fn shard_loop(
+    shard_idx: usize,
+    receiver: Receiver<ShardMsg>,
+    knowledge: Arc<Knowledge>,
+    joiner_config: JoinerConfig,
+) -> LiveSummary {
+    let mut joiners: HashMap<u32, LiveJoiner> = HashMap::new();
+    while let Ok(msg) = receiver.recv() {
+        match msg {
+            ShardMsg::Event(event) => {
+                let joiner = joiners
+                    .entry(event.run)
+                    .or_insert_with(|| LiveJoiner::new(joiner_config.clone()));
+                match event.kind {
+                    LiveEventKind::Tcp {
+                        timestamp_micros,
+                        pair,
+                        flags,
+                        payload_len,
+                        head,
+                        wire_len,
+                    } => joiner.on_tcp(
+                        timestamp_micros,
+                        pair,
+                        flags,
+                        payload_len,
+                        &head,
+                        wire_len,
+                        &knowledge,
+                    ),
+                    LiveEventKind::Dns {
+                        timestamp_micros,
+                        pair,
+                        payload,
+                    } => joiner.on_dns(timestamp_micros, &pair, &payload),
+                    LiveEventKind::Report(report) => joiner.on_report(report, &knowledge),
+                }
+            }
+            ShardMsg::Snapshot(reply) => {
+                let _ = reply.send(partial_summary(shard_idx, &joiners, &knowledge));
+            }
+            #[cfg(test)]
+            ShardMsg::Park { ack, gate } => {
+                let _ = ack.send(());
+                let _ = gate.recv();
+            }
+        }
+    }
+    partial_summary(shard_idx, &joiners, &knowledge)
+}
+
+/// This shard's contribution to the merged summary. Only shard 0
+/// contributes the DNS datagram count (DNS events are broadcast).
+fn partial_summary(
+    shard_idx: usize,
+    joiners: &HashMap<u32, LiveJoiner>,
+    knowledge: &Knowledge,
+) -> LiveSummary {
+    let mut summary = LiveSummary::default();
+    for joiner in joiners.values() {
+        joiner.snapshot_into(knowledge, shard_idx == 0, &mut summary);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use spector_dex::sha256::Sha256;
+    use spector_hooks::{SocketReport, SupervisorConfig};
+    use spector_netsim::{Clock, NetStack};
+
+    use super::*;
+
+    fn knowledge() -> Arc<Knowledge> {
+        Arc::new(Knowledge::new(
+            Default::default(),
+            Default::default(),
+            Default::default(),
+        ))
+    }
+
+    fn scripted_capture(salt: u8) -> Vec<CapturedPacket> {
+        let config = SupervisorConfig::default();
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        for i in 0..3u8 {
+            let ip = stack.resolve(
+                &format!("host{i}.example.net"),
+                Ipv4Addr::new(198, 51, 100, salt.wrapping_add(i)),
+            );
+            let sock = stack.tcp_connect(ip, 443);
+            let pair = stack.socket_pair(sock).unwrap();
+            let report = SocketReport {
+                apk_sha256: Sha256::digest(&[salt]),
+                pair,
+                timestamp_micros: stack.clock().now_micros(),
+                frames: vec![format!("com.sdk{i}.Net.call")],
+            };
+            stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+            stack.tcp_transfer(sock, 100 * (i as u64 + 1), 1_000 * (i as u64 + 1));
+            stack.tcp_close(sock);
+        }
+        stack.into_capture()
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let captures: Vec<_> = (0..3).map(|i| scripted_capture(i * 10)).collect();
+        let mut summaries = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let engine = LiveEngine::start(
+                knowledge(),
+                LiveConfig {
+                    shards,
+                    ..Default::default()
+                },
+            );
+            for (run, capture) in captures.iter().enumerate() {
+                engine.push_run(run as u32, capture);
+            }
+            summaries.push(engine.finish());
+        }
+        assert_eq!(summaries[0], summaries[1]);
+        assert_eq!(summaries[1], summaries[2]);
+        assert_eq!(summaries[0].flows, 9);
+        assert_eq!(summaries[0].dropped_events, 0);
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_barrier_and_stream_continues() {
+        let capture = scripted_capture(50);
+        let engine = LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        );
+        engine.push_run(0, &capture);
+        let mid = engine.snapshot();
+        assert_eq!(mid.flows, 3);
+        assert_eq!(mid.events, capture.len() as u64);
+        // Keep streaming a second run after the snapshot.
+        engine.push_run(1, &capture);
+        let done = engine.finish();
+        assert_eq!(done.flows, 6);
+        assert!(done.events > mid.events);
+    }
+
+    #[test]
+    fn drop_newest_sheds_exactly_the_overflow_and_counts_it() {
+        let capacity = 4usize;
+        let engine = LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 1,
+                queue_capacity: capacity,
+                overflow: OverflowPolicy::DropNewest,
+                ..Default::default()
+            },
+        );
+        // Park the shard: after the ack, the queue is empty and the
+        // consumer is provably idle, so overflow is deterministic.
+        let (ack_tx, ack_rx) = bounded(1);
+        let (gate_tx, gate_rx) = bounded::<()>(1);
+        assert!(engine.senders[0]
+            .send(ShardMsg::Park {
+                ack: ack_tx,
+                gate: gate_rx,
+            })
+            .is_ok());
+        ack_rx.recv().unwrap();
+
+        let capture = scripted_capture(90);
+        let events: Vec<LiveEvent> =
+            crate::event::events_from_run(0, &capture, engine.collector_port()).collect();
+        assert!(events.len() > capacity + 3);
+        for event in &events {
+            engine.push(event.clone());
+        }
+        let expected_drops = (events.len() - capacity) as u64;
+        assert_eq!(engine.dropped_events(), expected_drops);
+        drop(gate_tx); // unpark; the shard drains what fit in the queue
+        let summary = engine.finish();
+        assert_eq!(summary.events, events.len() as u64);
+        assert_eq!(summary.dropped_events, expected_drops);
+    }
+
+    #[test]
+    fn blocking_policy_is_lossless_under_pressure() {
+        let capture = scripted_capture(17);
+        let engine = LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 2,
+                queue_capacity: 2,
+                overflow: OverflowPolicy::Block,
+                ..Default::default()
+            },
+        );
+        for run in 0..20u32 {
+            engine.push_run(run, &capture);
+        }
+        let summary = engine.finish();
+        assert_eq!(summary.dropped_events, 0);
+        assert_eq!(summary.flows, 20 * 3);
+        assert_eq!(summary.unjoined_reports(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_per_run_are_supported() {
+        let captures: Vec<_> = (0..4).map(|i| scripted_capture(i * 7)).collect();
+        let engine = Arc::new(LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 3,
+                ..Default::default()
+            },
+        ));
+        std::thread::scope(|scope| {
+            for (run, capture) in captures.iter().enumerate() {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || engine.push_run(run as u32, capture));
+            }
+        });
+        let summary = Arc::into_inner(engine).unwrap().finish();
+        assert_eq!(summary.flows, 12);
+        assert_eq!(summary.unjoined_reports(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! What the live engine reports: mergeable traffic counters.
+//!
+//! [`LiveSummary`] is the snapshot type. Per-shard partial summaries
+//! [`merge`](LiveSummary::merge) associatively into the engine-wide
+//! view, and [`LiveSummary::from_analyses`] projects the *offline*
+//! pipeline's [`AppAnalysis`] values onto the same shape — the two
+//! sides of the offline-equivalence guarantee: replaying a finished
+//! campaign's captures through the live engine and comparing against
+//! `from_analyses` of the batch results must agree field for field
+//! (asserted by `tests/live_equivalence.rs`).
+
+use std::collections::BTreeMap;
+
+use libspector::{origin_label, AppAnalysis};
+use serde::{Deserialize, Serialize};
+use spector_vtcat::DomainCategory;
+
+/// Flow count plus per-direction wire bytes for one accounting bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveVolume {
+    /// Attributed stream epochs in this bucket.
+    pub flows: usize,
+    /// Wire bytes sent by the app (initiator → responder).
+    pub sent_bytes: u64,
+    /// Wire bytes received by the app.
+    pub recv_bytes: u64,
+}
+
+impl LiveVolume {
+    /// Adds one flow's volumes.
+    pub fn add_flow(&mut self, sent_bytes: u64, recv_bytes: u64) {
+        self.flows += 1;
+        self.sent_bytes += sent_bytes;
+        self.recv_bytes += recv_bytes;
+    }
+
+    /// Total wire bytes, both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes + self.recv_bytes
+    }
+
+    fn merge(&mut self, other: &LiveVolume) {
+        self.flows += other.flows;
+        self.sent_bytes += other.sent_bytes;
+        self.recv_bytes += other.recv_bytes;
+    }
+}
+
+/// A point-in-time view of everything the engine has attributed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LiveSummary {
+    /// Events accepted by the engine (counted at `push`, before
+    /// sharding; a broadcast DNS event counts once).
+    pub events: u64,
+    /// Events dropped by the backpressure policy — always counted,
+    /// never silent. Zero under [`OverflowPolicy::Block`].
+    ///
+    /// [`OverflowPolicy::Block`]: crate::OverflowPolicy::Block
+    pub dropped_events: u64,
+    /// Attributed stream epochs (one per claimed flow).
+    pub flows: usize,
+    /// Stream epochs with no claiming report (yet).
+    pub unattributed_flows: usize,
+    /// Reports still waiting for their flow's packets.
+    pub orphaned_reports: usize,
+    /// Pending reports evicted by TTL.
+    pub evicted_reports: usize,
+    /// DNS datagrams observed.
+    pub dns_packets: usize,
+    /// Valid supervisor report datagrams observed.
+    pub report_packets: usize,
+    /// Total wire bytes sent across attributed flows.
+    pub total_sent: u64,
+    /// Total wire bytes received across attributed flows.
+    pub total_recv: u64,
+    /// Wire bytes attributed to AnT origins.
+    pub ant_bytes: u64,
+    /// Traffic per origin-library label ([`libspector::origin_label`]).
+    pub per_library: BTreeMap<String, LiveVolume>,
+    /// Traffic per destination-domain category (label is the
+    /// [`DomainCategory`] variant name).
+    pub per_domain_category: BTreeMap<String, LiveVolume>,
+}
+
+impl LiveSummary {
+    /// Reports that never joined a flow: the streaming counterpart of
+    /// the offline join's `reports_without_flow`. For an in-order
+    /// replay of a finished capture the two are equal.
+    pub fn unjoined_reports(&self) -> usize {
+        self.orphaned_reports + self.evicted_reports
+    }
+
+    /// Stable accounting label of a domain category (variant name).
+    pub fn domain_category_label(category: DomainCategory) -> String {
+        format!("{category:?}")
+    }
+
+    /// Folds another (typically per-shard partial) summary into this
+    /// one. Field-wise addition; map buckets merge by key.
+    pub fn merge(&mut self, other: &LiveSummary) {
+        self.events += other.events;
+        self.dropped_events += other.dropped_events;
+        self.flows += other.flows;
+        self.unattributed_flows += other.unattributed_flows;
+        self.orphaned_reports += other.orphaned_reports;
+        self.evicted_reports += other.evicted_reports;
+        self.dns_packets += other.dns_packets;
+        self.report_packets += other.report_packets;
+        self.total_sent += other.total_sent;
+        self.total_recv += other.total_recv;
+        self.ant_bytes += other.ant_bytes;
+        for (label, volume) in &other.per_library {
+            self.per_library
+                .entry(label.clone())
+                .or_default()
+                .merge(volume);
+        }
+        for (label, volume) in &other.per_domain_category {
+            self.per_domain_category
+                .entry(label.clone())
+                .or_default()
+                .merge(volume);
+        }
+    }
+
+    /// Projects offline per-app analyses onto the live summary shape —
+    /// the reference side of the equivalence guarantee. Offline joins
+    /// never evict, so the whole `reports_without_flow` count lands in
+    /// `orphaned_reports`; compare against a live summary with
+    /// [`unjoined_reports`](Self::unjoined_reports). The streaming-only
+    /// counters (`events`, `dropped_events`) are zero.
+    pub fn from_analyses<'a>(analyses: impl IntoIterator<Item = &'a AppAnalysis>) -> LiveSummary {
+        let mut summary = LiveSummary::default();
+        for analysis in analyses {
+            summary.flows += analysis.flows.len();
+            summary.unattributed_flows += analysis.unattributed_flows;
+            summary.orphaned_reports += analysis.reports_without_flow;
+            summary.dns_packets += analysis.dns_packets;
+            summary.report_packets += analysis.report_packets;
+            for flow in &analysis.flows {
+                summary.total_sent += flow.sent_bytes;
+                summary.total_recv += flow.recv_bytes;
+                if flow.is_ant {
+                    summary.ant_bytes += flow.total_bytes();
+                }
+                summary
+                    .per_library
+                    .entry(origin_label(&flow.origin).to_owned())
+                    .or_default()
+                    .add_flow(flow.sent_bytes, flow.recv_bytes);
+                summary
+                    .per_domain_category
+                    .entry(Self::domain_category_label(flow.domain_category))
+                    .or_default()
+                    .add_flow(flow.sent_bytes, flow.recv_bytes);
+            }
+        }
+        summary
+    }
+
+    /// Compact fixed-width table of the summary for terminal display.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events {}  dropped {}  flows {}  unattributed {}  pending {}  evicted {}\n",
+            self.events,
+            self.dropped_events,
+            self.flows,
+            self.unattributed_flows,
+            self.orphaned_reports,
+            self.evicted_reports,
+        ));
+        out.push_str(&format!(
+            "dns {}  reports {}  sent {} B  recv {} B  ant {} B\n",
+            self.dns_packets, self.report_packets, self.total_sent, self.total_recv, self.ant_bytes,
+        ));
+        out.push_str("per-library:\n");
+        for (label, volume) in &self.per_library {
+            out.push_str(&format!(
+                "  {:<40} {:>5} flows {:>12} B\n",
+                label,
+                volume.flows,
+                volume.total_bytes()
+            ));
+        }
+        out.push_str("per-domain-category:\n");
+        for (label, volume) in &self.per_domain_category {
+            out.push_str(&format!(
+                "  {:<40} {:>5} flows {:>12} B\n",
+                label,
+                volume.flows,
+                volume.total_bytes()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: &str, flows: usize, sent: u64, recv: u64) -> LiveSummary {
+        let mut summary = LiveSummary {
+            events: 10,
+            flows,
+            total_sent: sent,
+            total_recv: recv,
+            ..Default::default()
+        };
+        for _ in 0..flows {
+            summary
+                .per_library
+                .entry(label.to_owned())
+                .or_default()
+                .add_flow(sent / flows as u64, recv / flows as u64);
+        }
+        summary
+    }
+
+    #[test]
+    fn merge_is_fieldwise_and_bucketwise() {
+        let mut a = sample("com.a", 2, 100, 2_000);
+        let b = sample("com.a", 1, 50, 500);
+        let c = sample("com.b", 1, 7, 70);
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.events, 30);
+        assert_eq!(a.flows, 4);
+        assert_eq!(a.total_sent, 157);
+        assert_eq!(a.per_library["com.a"].flows, 3);
+        assert_eq!(a.per_library["com.b"].total_bytes(), 77);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let summary = sample("com.vendor.sdk", 2, 200, 4_000);
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: LiveSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+    }
+
+    #[test]
+    fn render_lists_every_bucket() {
+        let mut summary = sample("com.vendor.sdk", 1, 10, 20);
+        summary
+            .per_domain_category
+            .entry(LiveSummary::domain_category_label(DomainCategory::Unknown))
+            .or_default()
+            .add_flow(10, 20);
+        let text = summary.render();
+        assert!(text.contains("com.vendor.sdk"));
+        assert!(text.contains("Unknown"));
+        assert!(text.contains("per-library"));
+    }
+}

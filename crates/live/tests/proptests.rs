@@ -1,0 +1,197 @@
+//! Property tests: out-of-order report delivery converges.
+//!
+//! The supervisor's report datagrams race the capture path, so the
+//! engine may see a report displaced relative to its flow's TCP
+//! segments. The property: for any displacement within a bounded
+//! window (in either direction), the final summary is identical to
+//! in-order delivery — joins land on the same epochs, duplicates
+//! still claim once, and orphans are still counted, never lost.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use libspector::knowledge::Knowledge;
+use proptest::prelude::*;
+use spector_dex::sha256::Sha256;
+use spector_hooks::{SocketReport, SupervisorConfig};
+use spector_live::{
+    events_from_run, JoinerConfig, LiveConfig, LiveEngine, LiveEvent, LiveEventKind, LiveJoiner,
+    LiveSummary,
+};
+use spector_netsim::packet::SocketPair;
+use spector_netsim::pcap::CapturedPacket;
+use spector_netsim::{Clock, NetStack};
+
+/// Maximum displacement (in events, either direction) a report may
+/// suffer relative to its in-order position.
+const WINDOW: usize = 12;
+
+/// Builds one run: `transfers.len()` flows, each with its own report
+/// datagram, plus `orphans` reports whose 4-tuples never carry
+/// packets. Deterministic in its arguments.
+fn scripted_capture(transfers: &[(u64, u64)], orphans: usize) -> (Vec<CapturedPacket>, u16) {
+    let config = SupervisorConfig::default();
+    let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+    for (i, &(sent, recv)) in transfers.iter().enumerate() {
+        let domain = format!("svc{i}.example.net");
+        let ip = stack.resolve(&domain, Ipv4Addr::new(198, 51, 100, (i + 1) as u8));
+        let sock = stack.tcp_connect(ip, 443);
+        let pair = stack.socket_pair(sock).unwrap();
+        let report = SocketReport {
+            apk_sha256: Sha256::digest(b"prop-apk"),
+            pair,
+            timestamp_micros: stack.clock().now_micros(),
+            frames: vec![
+                "java.net.Socket.connect".into(),
+                format!("com.vendor{i}.sdk.Net.call"),
+            ],
+        };
+        stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        stack.tcp_transfer(sock, sent, recv);
+        stack.tcp_close(sock);
+    }
+    for i in 0..orphans {
+        let orphan = SocketReport {
+            apk_sha256: Sha256::digest(b"prop-apk"),
+            pair: SocketPair::new(
+                Ipv4Addr::new(10, 0, 2, 15),
+                61_000 + i as u16,
+                Ipv4Addr::new(203, 0, 113, (i + 1) as u8),
+                443,
+            ),
+            timestamp_micros: stack.clock().now_micros(),
+            frames: vec!["com.lost.Sdk.go".into()],
+        };
+        stack.udp_send(config.collector_ip, config.collector_port, &orphan.encode());
+    }
+    (stack.into_capture(), config.collector_port)
+}
+
+/// Displaces each report event by a bounded signed offset (derived
+/// from `offsets`, raw values in `0..=2*WINDOW` mapping to
+/// `-WINDOW..=WINDOW`), keeping all packet events in capture order —
+/// the per-key FIFO assumption the engine documents.
+fn displace(events: &[LiveEvent], offsets: &[usize]) -> Vec<LiveEvent> {
+    let mut keyed: Vec<(usize, usize, LiveEvent)> = Vec::with_capacity(events.len());
+    let mut report_no = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let key = if matches!(event.kind, LiveEventKind::Report(_)) {
+            let raw = offsets[report_no % offsets.len()];
+            report_no += 1;
+            let shift = raw as isize - WINDOW as isize;
+            (i as isize + shift).clamp(0, events.len() as isize - 1) as usize
+        } else {
+            i
+        };
+        keyed.push((key, i, event.clone()));
+    }
+    keyed.sort_by_key(|&(key, seq, _)| (key, seq));
+    keyed.into_iter().map(|(_, _, event)| event).collect()
+}
+
+/// Never-evict joiner config: displaced reports must pend, not expire,
+/// so convergence is exact.
+fn patient() -> JoinerConfig {
+    JoinerConfig {
+        pending_ttl_micros: u64::MAX,
+    }
+}
+
+fn run_joiner(events: &[LiveEvent], knowledge: &Knowledge) -> LiveSummary {
+    let mut joiner = LiveJoiner::new(patient());
+    for event in events {
+        match &event.kind {
+            LiveEventKind::Tcp {
+                timestamp_micros,
+                pair,
+                flags,
+                payload_len,
+                head,
+                wire_len,
+            } => joiner.on_tcp(
+                *timestamp_micros,
+                *pair,
+                *flags,
+                *payload_len,
+                head,
+                *wire_len,
+                knowledge,
+            ),
+            LiveEventKind::Dns {
+                timestamp_micros,
+                pair,
+                payload,
+            } => joiner.on_dns(*timestamp_micros, pair, payload),
+            LiveEventKind::Report(report) => joiner.on_report(report.clone(), knowledge),
+        }
+    }
+    let mut summary = LiveSummary::default();
+    joiner.snapshot_into(knowledge, true, &mut summary);
+    summary
+}
+
+fn run_engine(events: &[LiveEvent], knowledge: &Knowledge, shards: usize) -> LiveSummary {
+    let engine = LiveEngine::start(
+        Arc::new(knowledge.clone()),
+        LiveConfig {
+            shards,
+            joiner: patient(),
+            ..Default::default()
+        },
+    );
+    for event in events {
+        engine.push(event.clone());
+    }
+    let mut summary = engine.finish();
+    // The engine counts deliveries; a bare joiner does not. Blank the
+    // transport-level counters so the join results compare directly.
+    summary.events = 0;
+    summary.dropped_events = 0;
+    summary
+}
+
+fn knowledge() -> Knowledge {
+    Knowledge::new(Default::default(), Default::default(), Default::default())
+}
+
+proptest! {
+    #[test]
+    fn shuffled_reports_converge_to_in_order_summary(
+        transfers in proptest::collection::vec((0u64..6_000, 0u64..40_000), 1..6),
+        orphans in 0usize..3,
+        offsets in proptest::collection::vec(0usize..(2 * WINDOW + 1), 1..16),
+    ) {
+        let (capture, port) = scripted_capture(&transfers, orphans);
+        let knowledge = knowledge();
+        let in_order: Vec<LiveEvent> = events_from_run(0, &capture, port).collect();
+        let shuffled = displace(&in_order, &offsets);
+
+        let baseline = run_joiner(&in_order, &knowledge);
+        let converged = run_joiner(&shuffled, &knowledge);
+        prop_assert_eq!(&converged, &baseline,
+            "bounded reordering must not change the final summary");
+        prop_assert_eq!(baseline.flows, transfers.len());
+        prop_assert_eq!(baseline.unjoined_reports(), orphans,
+            "every flowless report stays visible as orphaned/evicted");
+        prop_assert_eq!(converged.evicted_reports, 0,
+            "an infinite TTL never evicts");
+    }
+
+    #[test]
+    fn sharded_engine_converges_on_shuffled_input(
+        transfers in proptest::collection::vec((0u64..6_000, 0u64..40_000), 1..5),
+        orphans in 0usize..2,
+        offsets in proptest::collection::vec(0usize..(2 * WINDOW + 1), 1..12),
+    ) {
+        let (capture, port) = scripted_capture(&transfers, orphans);
+        let knowledge = knowledge();
+        let in_order: Vec<LiveEvent> = events_from_run(0, &capture, port).collect();
+        let shuffled = displace(&in_order, &offsets);
+
+        let baseline = run_joiner(&in_order, &knowledge);
+        let one = run_engine(&shuffled, &knowledge, 1);
+        let three = run_engine(&shuffled, &knowledge, 3);
+        prop_assert_eq!(&one, &baseline);
+        prop_assert_eq!(&three, &baseline);
+    }
+}

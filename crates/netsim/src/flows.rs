@@ -61,12 +61,14 @@ pub struct FlowTable {
 }
 
 /// Incremental [`FlowTable`] construction: one decoded TCP segment at a
-/// time, in capture order. This is the state machine behind both
-/// [`FlowTable::from_capture`] and the single-pass
-/// [`CaptureIndex`](crate::capture::CaptureIndex), which interleaves
-/// flow ingestion with DNS and report extraction over one decode walk.
-#[derive(Debug, Default)]
-pub(crate) struct FlowTableBuilder {
+/// time, in capture order. This is the state machine behind
+/// [`FlowTable::from_capture`], the single-pass
+/// [`CaptureIndex`](crate::capture::CaptureIndex) (which interleaves
+/// flow ingestion with DNS and report extraction over one decode walk),
+/// and the streaming `spector-live` joiner, which interrogates the
+/// partial table between segments via [`table`](Self::table).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTableBuilder {
     table: FlowTable,
     /// canonical pair -> index of currently-open epoch in `table.flows`.
     open: HashMap<SocketPair, usize>,
@@ -75,7 +77,7 @@ pub(crate) struct FlowTableBuilder {
 impl FlowTableBuilder {
     /// Feeds one decoded TCP segment. `payload` is borrowed — only the
     /// capped leading bytes are copied into the flow record.
-    pub(crate) fn ingest(
+    pub fn ingest(
         &mut self,
         timestamp_micros: u64,
         pair: SocketPair,
@@ -83,6 +85,31 @@ impl FlowTableBuilder {
         payload: &[u8],
         wire_len: usize,
     ) {
+        self.ingest_meta(
+            timestamp_micros,
+            pair,
+            flags,
+            payload.len(),
+            &payload[..payload.len().min(FIRST_PAYLOAD_CAP)],
+            wire_len,
+        );
+    }
+
+    /// [`ingest`](Self::ingest) for pre-summarized segments: the payload
+    /// arrives as its length plus a head capped at
+    /// [`FIRST_PAYLOAD_CAP`] bytes, which is all the table ever stores.
+    /// Event streams use this so full payloads never cross a channel.
+    /// Returns the index (into [`FlowTable::flows`]) of the epoch the
+    /// segment landed in.
+    pub fn ingest_meta(
+        &mut self,
+        timestamp_micros: u64,
+        pair: SocketPair,
+        flags: u8,
+        payload_len: usize,
+        head: &[u8],
+        wire_len: usize,
+    ) -> usize {
         let canonical = pair.canonical();
         let is_syn = flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0;
         let idx = match self.open.get(&canonical) {
@@ -114,20 +141,28 @@ impl FlowTableBuilder {
         flow.packet_count += 1;
         if pair == flow.pair {
             flow.sent_wire_bytes += wire_len as u64;
-            flow.sent_payload_bytes += payload.len() as u64;
-            if flow.first_payload.len() < FIRST_PAYLOAD_CAP && !payload.is_empty() {
+            flow.sent_payload_bytes += payload_len as u64;
+            if flow.first_payload.len() < FIRST_PAYLOAD_CAP && payload_len > 0 {
                 let room = FIRST_PAYLOAD_CAP - flow.first_payload.len();
                 flow.first_payload
-                    .extend_from_slice(&payload[..payload.len().min(room)]);
+                    .extend_from_slice(&head[..head.len().min(room)]);
             }
         } else {
             flow.recv_wire_bytes += wire_len as u64;
-            flow.recv_payload_bytes += payload.len() as u64;
+            flow.recv_payload_bytes += payload_len as u64;
         }
+        idx
+    }
+
+    /// The table as built so far. Epochs still receiving segments have
+    /// running byte counters; consumers that need settled totals should
+    /// read again after the stream ends.
+    pub fn table(&self) -> &FlowTable {
+        &self.table
     }
 
     /// Finalizes the table.
-    pub(crate) fn finish(self) -> FlowTable {
+    pub fn finish(self) -> FlowTable {
         self.table
     }
 }
@@ -239,8 +274,9 @@ impl DnsMap {
 
     /// Feeds one decoded UDP datagram: non-DNS ports are ignored, DNS
     /// datagrams are counted, and A answers from responses are merged
-    /// (latest response wins).
-    pub(crate) fn ingest(&mut self, pair: &SocketPair, payload: &[u8]) {
+    /// (latest response wins). Public so streaming consumers (the
+    /// `spector-live` joiner) can grow the map one datagram at a time.
+    pub fn ingest(&mut self, pair: &SocketPair, payload: &[u8]) {
         if pair.src_port != crate::dns::DNS_PORT && pair.dst_port != crate::dns::DNS_PORT {
             return;
         }

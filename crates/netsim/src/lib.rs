@@ -25,6 +25,9 @@
 //!   DNS map, and the supervisor's report datagrams — in a single
 //!   decode pass over the packets, borrowing payloads instead of
 //!   copying them ([`CaptureIndex`]);
+//! * [`events`] re-expresses a capture as an owned per-packet event
+//!   stream in virtual-clock order — the unit the streaming
+//!   (`spector-live`) engine consumes;
 //! * [`clock`] is the deterministic virtual clock everything is stamped
 //!   with.
 //!
@@ -47,6 +50,7 @@
 pub mod capture;
 pub mod clock;
 pub mod dns;
+pub mod events;
 pub mod flows;
 pub mod http;
 pub mod packet;
@@ -55,6 +59,7 @@ pub mod stack;
 
 pub use capture::CaptureIndex;
 pub use clock::Clock;
-pub use flows::{DnsMap, FlowTable, TcpFlow};
+pub use events::{events_from_capture, WireEvent};
+pub use flows::{DnsMap, FlowTable, FlowTableBuilder, TcpFlow};
 pub use packet::SocketPair;
 pub use stack::{NetStack, SocketId};

@@ -28,7 +28,7 @@ fn main() {
     let mut dispatch = DispatchConfig::default();
     dispatch.experiment.monkey.events = 200;
     eprintln!("running {apps}-app campaign...");
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
 
     // Rank AnT origin-libraries by bytes.
     let mut per_lib: BTreeMap<String, u64> = BTreeMap::new();

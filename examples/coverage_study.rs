@@ -33,7 +33,7 @@ fn main() {
         let mut dispatch = DispatchConfig::default();
         dispatch.experiment.monkey.events = events;
         dispatch.experiment.monkey.seed = 99;
-        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
         let report = FullReport::build(&analyses);
         let executed: usize = analyses
             .iter()

@@ -29,7 +29,7 @@ fn main() {
     let mut dispatch = DispatchConfig::default();
     dispatch.experiment.monkey.events = 250;
     eprintln!("running {apps}-app campaign...");
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
 
     // --- RQ2: how wrong is a DNS-only classifier? ---------------------
     let comparison = baseline::compare(&analyses);

@@ -1,0 +1,78 @@
+//! Live monitor: watch a campaign's attribution as it streams.
+//!
+//! Runs a small campaign through the dispatcher while a sharded
+//! [`LiveEngine`] consumes every run's capture concurrently, printing
+//! a one-line summary after each app finishes and the full live report
+//! at the end — then proves the streaming view equals the offline
+//! pipeline's answer.
+//!
+//! ```text
+//! cargo run -p spector-cli --release --example live_monitor
+//! ```
+
+use std::sync::Arc;
+
+use libspector::knowledge::Knowledge;
+use spector_corpus::{Corpus, CorpusConfig};
+use spector_dispatch::{run_corpus_live, DispatchConfig, LiveCollector};
+use spector_live::{LiveConfig, LiveEngine, LiveSummary};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps: 12,
+        seed: 99,
+        ..Default::default()
+    });
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig::default();
+    dispatch.experiment.monkey.events = 200;
+
+    let engine = LiveEngine::start(
+        Arc::new(knowledge.clone()),
+        LiveConfig {
+            shards: 2,
+            collector_port: dispatch.experiment.supervisor.collector_port,
+            ..Default::default()
+        },
+    );
+    let collector = LiveCollector::new(engine);
+
+    let total = corpus.apps.len();
+    println!("streaming {total} apps through 2 shards...\n");
+    let outcome = {
+        let collector = &collector;
+        run_corpus_live(
+            &corpus,
+            &knowledge,
+            &dispatch,
+            collector,
+            Some(&move |done| {
+                println!(
+                    "[{done:>2}/{total}] {}",
+                    spector_analysis::live::brief(&collector.snapshot())
+                );
+            }),
+        )
+    };
+    for failure in &outcome.failures {
+        eprintln!(
+            "app {} ({}) failed: {}",
+            failure.index, failure.package, failure.error
+        );
+    }
+
+    let live = collector.finish();
+    println!("\n{}", spector_analysis::live::render(&live));
+
+    // The punchline: the streaming view is the offline answer.
+    let offline = LiveSummary::from_analyses(&outcome.analyses);
+    assert_eq!(live.flows, offline.flows);
+    assert_eq!(live.per_library, offline.per_library);
+    assert_eq!(live.total_sent, offline.total_sent);
+    assert_eq!(live.total_recv, offline.total_recv);
+    println!(
+        "offline equivalence: OK ({} flows, {} libraries)",
+        live.flows,
+        live.per_library.len()
+    );
+}

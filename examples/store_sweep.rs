@@ -41,7 +41,7 @@ fn main() {
             eprintln!("  {done}/{apps} apps analyzed");
         }
     };
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress));
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress)).analyses;
 
     let report = FullReport::build(&analyses);
     println!("{}", report.render());

@@ -12,3 +12,6 @@ cargo bench -p spector-bench --bench perf -- --quick "$@"
 
 # headline: campaign-level aggregation figures.
 cargo bench -p spector-bench --bench headline -- --quick "$@"
+
+# live: streaming engine events/sec, 1 vs N shards.
+cargo bench -p spector-bench --bench live -- --quick "$@"

@@ -86,7 +86,7 @@ fn campaign_aggregation_conserves_bytes() {
         ..Default::default()
     };
     dispatch.experiment.monkey.events = 60;
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
     let report = FullReport::build(&analyses);
 
     // Headline totals equal the sums over per-app analyses.
@@ -119,7 +119,7 @@ fn per_app_analysis_equals_campaign_member() {
         ..Default::default()
     };
     dispatch.experiment.monkey.events = 50;
-    let campaign = run_corpus(&corpus, &knowledge, &dispatch, None);
+    let campaign = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
 
     let index = 1usize;
     let app = &corpus.apps[index];

@@ -1,0 +1,209 @@
+//! Streaming-vs-offline equivalence: the tentpole guarantee of the
+//! `spector-live` engine. Replaying finished runs through the live
+//! engine — any shard count — must produce byte-identical per-library
+//! and per-domain-category volumes to [`libspector::analyze_run`],
+//! with every unjoined report explicitly accounted as orphaned or
+//! evicted, matching the offline `reports_without_flow` count.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::{analyze_run, AppAnalysis};
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_dex::sha256::Sha256;
+use spector_hooks::{SocketReport, SupervisorConfig};
+use spector_live::{LiveConfig, LiveEngine, LiveSummary};
+use spector_netsim::packet::SocketPair;
+use spector_netsim::{Clock, NetStack};
+
+fn campaign(apps: usize, seed: u64) -> (Knowledge, Vec<RawRun>, u16) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale: 0.006,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let resolver = resolver_for(&corpus.domains);
+    let mut config = ExperimentConfig::default();
+    config.monkey.events = 120;
+    let runs: Vec<RawRun> = corpus
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(index, app)| {
+            let mut experiment = config.clone();
+            experiment.monkey.seed ^= (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let system: Vec<_> = app
+                .system_ops
+                .iter()
+                .map(|s| (s.op.clone(), s.dispatcher))
+                .collect();
+            run_app(&app.apk, &resolver, &system, &experiment).unwrap()
+        })
+        .collect();
+    let knowledge = Knowledge::from_corpus(&corpus);
+    (knowledge, runs, config.supervisor.collector_port)
+}
+
+fn offline(knowledge: &Knowledge, runs: &[RawRun], port: u16) -> Vec<AppAnalysis> {
+    runs.iter()
+        .map(|raw| analyze_run(raw, knowledge, port))
+        .collect()
+}
+
+fn stream(
+    knowledge: &Knowledge,
+    runs: &[RawRun],
+    port: u16,
+    shards: usize,
+) -> (LiveSummary, LiveEngine) {
+    let engine = LiveEngine::start(
+        Arc::new(knowledge.clone()),
+        LiveConfig {
+            shards,
+            collector_port: port,
+            ..Default::default()
+        },
+    );
+    for (index, raw) in runs.iter().enumerate() {
+        engine.push_run(index as u32, &raw.capture);
+    }
+    (engine.snapshot(), engine)
+}
+
+/// Field-for-field identity between a final live summary and the
+/// offline projection of the same runs.
+fn assert_equivalent(live: &LiveSummary, analyses: &[AppAnalysis]) {
+    let offline = LiveSummary::from_analyses(analyses);
+    assert_eq!(live.flows, offline.flows);
+    assert_eq!(live.unattributed_flows, offline.unattributed_flows);
+    assert_eq!(
+        live.per_library, offline.per_library,
+        "per-library volumes must be byte-identical"
+    );
+    assert_eq!(
+        live.per_domain_category, offline.per_domain_category,
+        "per-domain-category volumes must be byte-identical"
+    );
+    assert_eq!(live.total_sent, offline.total_sent);
+    assert_eq!(live.total_recv, offline.total_recv);
+    assert_eq!(live.ant_bytes, offline.ant_bytes);
+    assert_eq!(live.dns_packets, offline.dns_packets);
+    assert_eq!(live.report_packets, offline.report_packets);
+    assert_eq!(
+        live.unjoined_reports(),
+        offline.unjoined_reports(),
+        "orphaned + evicted must equal offline reports_without_flow"
+    );
+}
+
+#[test]
+fn finished_campaign_streams_to_identical_volumes() {
+    let (knowledge, runs, port) = campaign(5, 71);
+    let analyses = offline(&knowledge, &runs, port);
+    assert!(analyses.iter().any(|a| !a.flows.is_empty()));
+    let (live, engine) = stream(&knowledge, &runs, port, 1);
+    assert_eq!(live.dropped_events, 0, "Block policy never drops");
+    assert_equivalent(&live, &analyses);
+    // finish() after a snapshot returns the same final state.
+    let final_summary = engine.finish();
+    assert_equivalent(&final_summary, &analyses);
+}
+
+#[test]
+fn shard_count_is_invisible_in_the_summary() {
+    let (knowledge, runs, port) = campaign(4, 72);
+    let analyses = offline(&knowledge, &runs, port);
+    let (one, engine_one) = stream(&knowledge, &runs, port, 1);
+    let (four, engine_four) = stream(&knowledge, &runs, port, 4);
+    assert_eq!(one, four, "sharding changes throughput, never results");
+    assert_equivalent(&one, &analyses);
+    engine_one.finish();
+    engine_four.finish();
+}
+
+#[test]
+fn mid_campaign_snapshots_equal_offline_prefixes() {
+    let (knowledge, runs, port) = campaign(4, 73);
+    let analyses = offline(&knowledge, &runs, port);
+    let engine = LiveEngine::start(
+        Arc::new(knowledge.clone()),
+        LiveConfig {
+            shards: 2,
+            collector_port: port,
+            ..Default::default()
+        },
+    );
+    for (index, raw) in runs.iter().enumerate() {
+        engine.push_run(index as u32, &raw.capture);
+        // After each whole run, the live view equals the offline view
+        // of exactly the runs streamed so far.
+        let snapshot = engine.snapshot();
+        assert_equivalent(&snapshot, &analyses[..=index]);
+    }
+    engine.finish();
+}
+
+/// The crafted pathological run from the offline pipeline tests:
+/// a duplicated report datagram (must claim its epoch once) plus a
+/// report whose 4-tuple has no packets at all (must end up orphaned
+/// or evicted, mirroring `reports_without_flow`).
+#[test]
+fn duplicates_and_orphans_account_identically() {
+    let config = SupervisorConfig::default();
+    let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+    let ip = stack.resolve("dup.example.net", Ipv4Addr::new(198, 51, 100, 7));
+    let sock = stack.tcp_connect(ip, 443);
+    let pair = stack.socket_pair(sock).unwrap();
+    let report = SocketReport {
+        apk_sha256: Sha256::digest(b"dup-apk"),
+        pair,
+        timestamp_micros: stack.clock().now_micros(),
+        frames: vec![
+            "java.net.Socket.connect".into(),
+            "com.thirdparty.sdk.Net.call".into(),
+        ],
+    };
+    stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+    stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+    let orphan = SocketReport {
+        pair: SocketPair::new(
+            Ipv4Addr::new(10, 0, 2, 15),
+            61_000,
+            Ipv4Addr::new(203, 0, 113, 80),
+            443,
+        ),
+        ..report.clone()
+    };
+    stack.udp_send(config.collector_ip, config.collector_port, &orphan.encode());
+    stack.tcp_transfer(sock, 100, 2_000);
+    stack.tcp_close(sock);
+
+    let raw = RawRun {
+        package: "com.app.dup".into(),
+        app_category: "Tools".into(),
+        apk_sha256: Sha256::digest(b"dup-apk"),
+        capture: stack.into_capture(),
+        executed_methods: Default::default(),
+        dex_signatures: Default::default(),
+        monkey: Default::default(),
+        runtime_stats: Default::default(),
+        duration_micros: 0,
+    };
+    let knowledge = Knowledge::new(Default::default(), Default::default(), Default::default());
+    let analysis = analyze_run(&raw, &knowledge, config.collector_port);
+    assert_eq!(analysis.reports_without_flow, 1);
+
+    let engine = LiveEngine::start(Arc::new(knowledge.clone()), LiveConfig::default());
+    engine.push_run(0, &raw.capture);
+    let live = engine.finish();
+    assert_eq!(live.flows, 1, "duplicate claimed once");
+    assert_eq!(live.report_packets, 3);
+    assert_eq!(live.unjoined_reports(), 1, "the orphan is visible");
+    assert_equivalent(&live, std::slice::from_ref(&analysis));
+}

@@ -25,7 +25,7 @@ fn campaign() -> FullReport {
     let mut dispatch = DispatchConfig::default();
     dispatch.experiment.monkey.events = 250;
     dispatch.experiment.monkey.seed = 4242;
-    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None);
+    let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
     FullReport::build(&analyses)
 }
 

@@ -1,0 +1,302 @@
+//! Minimal stand-in for `criterion`: a timing harness with the same
+//! bench-authoring API subset this workspace uses (groups, throughput,
+//! parameterized inputs, `criterion_group!`/`criterion_main!`). It
+//! runs each benchmark for a short calibrated window and prints the
+//! mean time per iteration plus throughput, without criterion's
+//! statistics machinery. `--quick` shortens the window; a bare
+//! argument filters benchmarks by substring. See `third_party/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            measure: Duration::from_millis(300),
+            default_samples: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments. Recognized:
+    /// `--quick` (shorter measurement window) and a bare substring
+    /// filter; cargo's harness flags (`--bench`, ...) are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                c.measure = Duration::from_millis(40);
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            run_bench(id, self.measure, None, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units for reporting rate alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter value.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.default_samples = samples;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.enabled(&full) {
+            run_bench(&full, self.criterion.measure, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        if self.criterion.enabled(&full) {
+            run_bench(&full, self.criterion.measure, self.throughput, &mut |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for this bencher's assigned iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, measure: Duration, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one batch fills a
+    // fraction of the measurement window, then run the full window.
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed >= measure / 8 || iters >= 1 << 40 {
+            break;
+        }
+        let target = (measure.as_secs_f64() / 4.0 / per_iter.max(1e-9)).ceil();
+        iters = (iters * 2).max(target as u64).min(1 << 40);
+    }
+    let total = (measure.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+    let iters = total.clamp(1, 1 << 40);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let nanos = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{:>14} elem/s", human(n as f64 / (nanos * 1e-9))),
+        Throughput::Bytes(n) => {
+            format!("{:>14}/s", human_bytes(n as f64 / (nanos * 1e-9)))
+        }
+    });
+    println!(
+        "bench {id:<48} {:>14}/iter{}",
+        human_time(nanos),
+        rate.map(|r| format!("  {r}")).unwrap_or_default()
+    );
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1_000_000.0 {
+        format!("{:.2}M", rate / 1_000_000.0)
+    } else if rate >= 1_000.0 {
+        format!("{:.1}K", rate / 1_000.0)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    if rate >= 1_073_741_824.0 {
+        format!("{:.2} GiB", rate / 1_073_741_824.0)
+    } else if rate >= 1_048_576.0 {
+        format!("{:.2} MiB", rate / 1_048_576.0)
+    } else if rate >= 1024.0 {
+        format!("{:.1} KiB", rate / 1024.0)
+    } else {
+        format!("{rate:.0} B")
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            measure: Duration::from_millis(5),
+            default_samples: 0,
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(64u32), &64u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            measure: Duration::from_millis(5),
+            default_samples: 0,
+        };
+        // Would spin forever per iteration if actually run.
+        c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(60))));
+    }
+}

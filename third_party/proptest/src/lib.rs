@@ -1,0 +1,904 @@
+//! Minimal stand-in for `proptest`: a sampling-only property-testing
+//! harness (no shrinking, no persistence) covering the API subset this
+//! workspace uses. Strategies are simple samplers over the vendored
+//! `rand`; string literals act as strategies through a small
+//! regex-pattern *generator* supporting literals, classes, groups,
+//! alternation, and bounded quantifiers. Failing cases panic with the
+//! case number and deterministic seed so a failure reproduces exactly.
+//! See `third_party/README.md`.
+
+// Let the crate's own tests use `proptest::...` paths like downstream
+// crates do.
+extern crate self as proptest;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
+        prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+    /// `prop::sample::select(...)`-style paths, as in the original prelude.
+    pub use crate as prop;
+}
+
+/// Per-`proptest!` block settings.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Why a sampled case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test must abort.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; resample without counting.
+    Reject,
+}
+
+/// A value generator. Unlike the original there is no shrinking: a
+/// strategy is just a seeded sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind an `Arc` so it can be cloned and
+    /// stored (used by `prop_oneof!` and recursion).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sampler: Arc::new(move |rng| self.sample(rng)),
+        }
+    }
+
+    /// Recursive strategies: `expand` maps a strategy for depth-`d`
+    /// values to one for depth-`d+1` values; recursion is capped at
+    /// `levels`. The `_size`/`_branch` hints of the original are
+    /// accepted but unused (no shrinking to guide).
+    fn prop_recursive<F, S>(
+        self,
+        levels: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..levels {
+            let deeper = expand(current).boxed();
+            let shallow = base.clone();
+            current = BoxedStrategy {
+                sampler: Arc::new(move |rng: &mut SmallRng| {
+                    if rng.gen_bool(0.5) {
+                        shallow.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                }),
+            };
+        }
+        current
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Arc<dyn Fn(&mut SmallRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Arc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        sampler: Arc::new(move |rng: &mut SmallRng| {
+            let pick = rng.gen_range(0..arms.len());
+            arms[pick].sample(rng)
+        }),
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait ArbitrarySample {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// The canonical strategy for `T` (full value range).
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl<const N: usize> ArbitrarySample for [u8; N] {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let mut out = [0u8; N];
+        for byte in &mut out {
+            *byte = rng.gen();
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// A `&str` is a strategy generating strings matching it as a pattern
+/// (the original routes this through its regex machinery; here a small
+/// generator supports the subset used: literals, `.`, escapes,
+/// `[a-z0-9 ]`/`[^..]` classes, `(..|..)` groups, and `{m,n}` `?` `*`
+/// `+` quantifiers).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let node = pattern::parse(self);
+        let mut out = String::new();
+        pattern::render(&node, rng, &mut out);
+        out
+    }
+}
+
+mod pattern {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    pub enum Atom {
+        Lit(char),
+        /// `.` — any character from a mixed printable pool.
+        Any,
+        /// Character class; `true` = negated.
+        Class(Vec<(char, char)>, bool),
+        Group(Box<Node>),
+    }
+
+    /// Alternation of sequences of `(atom, min, max)` repetitions.
+    pub struct Node {
+        pub branches: Vec<Vec<(Atom, u32, u32)>>,
+    }
+
+    /// Pool for `.` and negated classes: printable ASCII plus a few
+    /// multi-byte characters to exercise UTF-8 handling.
+    const ANY_POOL: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '.', ',', '-',
+        '_', '/', ':', '(', ')', '[', ']', '{', '}', '*', '+', '?', '|', '\\', '"', '\'',
+        '\t', '~', '@', '#', 'é', '☃', '中',
+    ];
+
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported pattern `{pattern}` (stopped at {pos})"
+        );
+        node
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+        let mut branches = vec![Vec::new()];
+        while *pos < chars.len() && chars[*pos] != ')' {
+            match chars[*pos] {
+                '|' => {
+                    *pos += 1;
+                    branches.push(Vec::new());
+                }
+                _ => {
+                    let atom = parse_atom(chars, pos);
+                    let (min, max) = parse_quantifier(chars, pos);
+                    branches.last_mut().expect("non-empty").push((atom, min, max));
+                }
+            }
+        }
+        Node { branches }
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos);
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "unclosed group in pattern"
+                );
+                *pos += 1;
+                Atom::Group(Box::new(inner))
+            }
+            '[' => {
+                *pos += 1;
+                let negated = chars.get(*pos) == Some(&'^');
+                if negated {
+                    *pos += 1;
+                }
+                let mut ranges = Vec::new();
+                while chars.get(*pos).is_some_and(|c| *c != ']') {
+                    let mut ch = chars[*pos];
+                    if ch == '\\' {
+                        *pos += 1;
+                        ch = chars[*pos];
+                    }
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((ch, hi));
+                    } else {
+                        ranges.push((ch, ch));
+                    }
+                }
+                assert!(chars.get(*pos) == Some(&']'), "unclosed class in pattern");
+                *pos += 1;
+                Atom::Class(ranges, negated)
+            }
+            '.' => {
+                *pos += 1;
+                Atom::Any
+            }
+            '\\' => {
+                *pos += 1;
+                let ch = chars[*pos];
+                *pos += 1;
+                Atom::Lit(ch)
+            }
+            other => {
+                *pos += 1;
+                Atom::Lit(other)
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 6)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 6)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).expect("digit");
+                    *pos += 1;
+                }
+                let max = match chars[*pos] {
+                    ',' => {
+                        *pos += 1;
+                        if chars[*pos] == '}' {
+                            min + 5
+                        } else {
+                            let mut max = 0u32;
+                            while chars[*pos].is_ascii_digit() {
+                                max = max * 10 + chars[*pos].to_digit(10).expect("digit");
+                                *pos += 1;
+                            }
+                            max
+                        }
+                    }
+                    _ => min,
+                };
+                assert!(chars[*pos] == '}', "unclosed quantifier in pattern");
+                *pos += 1;
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub fn render(node: &Node, rng: &mut SmallRng, out: &mut String) {
+        let branch = &node.branches[rng.gen_range(0..node.branches.len())];
+        for (atom, min, max) in branch {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                render_atom(atom, rng, out);
+            }
+        }
+    }
+
+    fn render_atom(atom: &Atom, rng: &mut SmallRng, out: &mut String) {
+        match atom {
+            Atom::Lit(ch) => out.push(*ch),
+            Atom::Any => out.push(ANY_POOL[rng.gen_range(0..ANY_POOL.len())]),
+            Atom::Class(ranges, false) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                let span = hi as u32 - lo as u32;
+                let ch = char::from_u32(lo as u32 + rng.gen_range(0..=span))
+                    .expect("class range stays in valid chars");
+                out.push(ch);
+            }
+            Atom::Class(ranges, true) => {
+                // Rejection-sample the pool against the excluded set.
+                for _ in 0..64 {
+                    let ch = ANY_POOL[rng.gen_range(0..ANY_POOL.len())];
+                    if !ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&ch)) {
+                        out.push(ch);
+                        return;
+                    }
+                }
+                out.push('\u{2603}');
+            }
+            Atom::Group(inner) => render(inner, rng, out),
+        }
+    }
+}
+
+pub mod sample {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{BTreeSet, SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Collection size specifications: an exact `usize` or a `Range`.
+    pub trait IntoSizeRange {
+        /// The half-open `[min, max)` element-count range.
+        fn into_size_range(self) -> std::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> std::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let count = rng.gen_range(self.size.clone());
+            (0..count).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A set with size in `size` (best effort: duplicate draws are
+    /// retried a bounded number of times).
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 20 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// `None` ~25% of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Deterministic per-test RNG: the test name picks the stream, the
+/// attempt index advances it.
+pub fn rng_for(test_name: &str, attempt: u64) -> SmallRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (resampled without counting) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Builds a named strategy function. The two-section form samples the
+/// first section, then builds the second section's strategies from
+/// those values (the original's dependent-generation shape).
+#[macro_export]
+macro_rules! prop_compose {
+    (fn $name:ident($($fnarg:tt)*)($($p1:pat in $s1:expr),+ $(,)?)($($p2:pat in $s2:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        fn $name($($fnarg)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_flat_map(($($s1,)+), move |($($p1,)+)| {
+                $crate::Strategy::prop_map(($($s2,)+), move |($($p2,)+)| $body)
+            })
+        }
+    };
+    (fn $name:ident($($fnarg:tt)*)($($p:pat in $s:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        fn $name($($fnarg)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($s,)+), move |($($p,)+)| $body)
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)`
+/// samples its strategies `config.cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config); $($rest)* }
+    };
+    (@run ($config:expr); $($(#[$meta:meta])+ fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategies = ($($s,)+);
+                let mut __passed: u32 = 0;
+                let mut __attempt: u64 = 0;
+                let __max_attempts = u64::from(__config.cases) * 10 + 100;
+                while __passed < __config.cases {
+                    if __attempt >= __max_attempts {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} passed of {})",
+                            stringify!($name), __passed, __config.cases
+                        );
+                    }
+                    let mut __rng = $crate::rng_for(stringify!($name), __attempt);
+                    __attempt += 1;
+                    let ($($p,)+) = $crate::Strategy::sample(&__strategies, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest {} failed on attempt {}: {}",
+                                stringify!($name), __attempt - 1, __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generator_matches_shapes() {
+        let mut rng = crate::rng_for("pattern", 0);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{3,12}\\.[a-z]{2,5}", &mut rng);
+            let (head, tail) = s.split_once('.').expect("has a dot");
+            assert!((3..=12).contains(&head.len()), "{s}");
+            assert!((2..=5).contains(&tail.len()), "{s}");
+            assert!(head.chars().all(|c| c.is_ascii_lowercase()));
+            let opt = Strategy::sample(&"[a-z]{1,2}(\\.[a-z]{1,2})?", &mut rng);
+            assert!(opt.split('.').count() <= 2, "{opt}");
+            let len = Strategy::sample(&".{0,20}", &mut rng).chars().count();
+            assert!(len <= 20);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        let leaf = prop_oneof![Just("a".to_owned()), Just("b".to_owned())];
+        let nested = leaf.prop_recursive(3, 16, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(x, y)| format!("({x}{y})"))
+        });
+        let mut rng = crate::rng_for("recursive", 1);
+        for _ in 0..100 {
+            let s = nested.sample(&mut rng);
+            assert!(s.contains('a') || s.contains('b'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(v in proptest::collection::vec(any::<u8>(), 1..9),
+                                flag in any::<bool>(),
+                                pick in prop::sample::select(vec![1u8, 2, 3])) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(pick >= 1 && pick <= 3);
+            if flag {
+                prop_assert_ne!(v.len(), 100);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u8..20) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    prop_compose! {
+        fn sized_pair()(n in 1usize..5)
+            (v in proptest::collection::vec(any::<u8>(), 1..6), n in Just(n))
+            -> (usize, Vec<u8>)
+        {
+            (n, v)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_two_sections(pair in sized_pair()) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 5);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Minimal stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the vendored `serde`
+//! value-model traits. The input item is parsed directly from its token
+//! stream (no `syn`/`quote` — the build has no registry access), which
+//! is enough for the shapes this workspace uses: non-generic named
+//! structs, tuple structs, and enums with unit / tuple / struct
+//! variants. Supported field attributes: `#[serde(default)]`,
+//! `#[serde(skip)]`; container attribute: `#[serde(transparent)]`.
+//! The JSON representation matches the original's external tagging:
+//! unit variants as `"Name"`, newtype variants as `{"Name": value}`,
+//! struct variants as `{"Name": {..}}`. See `third_party/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+/// Consumes leading `#[...]` attributes, returning the words found
+/// inside any `#[serde(...)]` among them.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut words = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+            break;
+        };
+        if group.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(ident)) = inner.first() {
+            if ident.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for word in args.stream().to_string().split(',') {
+                        words.push(word.trim().to_string());
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    words
+}
+
+/// Skips `pub` / `pub(crate)`-style visibility.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*i) {
+        if ident.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(*i) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name: Type` fields from a brace group's stream. Type tokens
+/// are skipped up to the next comma at angle-bracket depth zero, so
+/// generics like `BTreeMap<String, u64>` don't split a field in two
+/// (commas inside parenthesized groups, e.g. tuple types, are invisible
+/// at this level by construction).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, found `{}`", tokens[i]);
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:`, found `{other}`"),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.iter().any(|a| a == "default"),
+            skip: attrs.iter().any(|a| a == "skip"),
+        });
+    }
+    fields
+}
+
+/// Counts the comma-separated elements of a tuple body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut arity = 1;
+    for (index, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                // A trailing comma does not add an element.
+                if index + 1 < tokens.len() {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected variant name, found `{}`", tokens[i]);
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored stand-in");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(tuple_arity(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+    Item {
+        name,
+        transparent: container_attrs.iter().any(|a| a == "transparent"),
+        kind,
+    }
+}
+
+/// Emits the push-statements serializing named fields into `__fields`,
+/// reading each value through `access` (e.g. `&self.` or `` for match
+/// bindings).
+fn serialize_named_fields(fields: &[Field], access: &str) -> String {
+    let mut out = String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+    for field in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((String::from(\"{name}\"), \
+             serde::Serialize::serialize_value({access}{name})));\n",
+            name = field.name,
+            access = access,
+        ));
+    }
+    out.push_str("serde::Value::Object(__fields)");
+    out
+}
+
+/// Emits the struct-literal body deserializing named fields from the
+/// object slice bound to `__fields`.
+fn deserialize_named_fields(type_name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for field in fields {
+        if field.skip {
+            out.push_str(&format!("{}: Default::default(),\n", field.name));
+            continue;
+        }
+        let on_missing = if field.default {
+            "Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(serde::DeError::missing_field(\"{type_name}\", \"{name}\"))",
+                name = field.name,
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match serde::find_field(__fields, \"{name}\") {{\n\
+             Some(__v) => serde::Deserialize::deserialize_value(__v)?,\n\
+             None => {on_missing},\n\
+             }},\n",
+            name = field.name,
+        ));
+    }
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    live.len() == 1,
+                    "serde_derive: transparent `{name}` must have exactly one field"
+                );
+                format!(
+                    "serde::Serialize::serialize_value(&self.{})",
+                    live[0].name
+                )
+            } else {
+                serialize_named_fields(fields, "&self.")
+            }
+        }
+        // Newtype structs serialize as their inner value, matching the
+        // original's behaviour with or without `transparent`.
+        ItemKind::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::Value::Object(vec![(\
+                         String::from(\"{vname}\"), \
+                         serde::Serialize::serialize_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::Value::Object(vec![(\
+                             String::from(\"{vname}\"), \
+                             serde::Value::Array(vec![{items}]))]),\n",
+                            binds = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => \
+                             serde::Value::Object(vec![(String::from(\"{vname}\"), \
+                             {{\n{body}\n}})]),\n",
+                            binds = binders.join(", "),
+                            body = serialize_named_fields(fields, ""),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    live.len() == 1,
+                    "serde_derive: transparent `{name}` must have exactly one field"
+                );
+                let mut init = format!(
+                    "{}: serde::Deserialize::deserialize_value(__value)?,\n",
+                    live[0].name
+                );
+                for field in fields.iter().filter(|f| f.skip) {
+                    init.push_str(&format!("{}: Default::default(),\n", field.name));
+                }
+                format!("Ok({name} {{\n{init}}})")
+            } else {
+                format!(
+                    "let __fields = __value.as_object()\
+                     .ok_or_else(|| serde::DeError::expected(\"object\", __value))?;\n\
+                     Ok({name} {{\n{}}})",
+                    deserialize_named_fields(name, fields)
+                )
+            }
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize_value(__value)?))")
+        }
+        ItemKind::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array()\
+                 .ok_or_else(|| serde::DeError::expected(\"array\", __value))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return Err(serde::DeError::expected(\"{arity}-element array\", __value));\n}}\n\
+                 Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut out = String::new();
+            out.push_str("if let Some(__tag) = __value.as_str() {\n");
+            if unit.is_empty() {
+                out.push_str(&format!(
+                    "return Err(serde::DeError::unknown_variant(\"{name}\", __tag));\n"
+                ));
+            } else {
+                out.push_str("match __tag {\n");
+                for variant in &unit {
+                    out.push_str(&format!(
+                        "\"{vname}\" => return Ok({name}::{vname}),\n",
+                        vname = variant.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "__other => return Err(serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                     }}\n"
+                ));
+            }
+            out.push_str("}\n");
+            out.push_str(&format!(
+                "let __fields = __value.as_object()\
+                 .ok_or_else(|| serde::DeError::expected(\"string or object\", __value))?;\n\
+                 if __fields.len() != 1 {{\n\
+                 return Err(serde::DeError::custom(\
+                 \"expected single-key object for enum {name}\"));\n}}\n\
+                 let (__tag, __inner) = (&__fields[0].0, &__fields[0].1);\n"
+            ));
+            out.push_str("match __tag.as_str() {\n");
+            for variant in &data {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => unreachable!(),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("serde::Deserialize::deserialize_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __inner.as_array()\
+                             .ok_or_else(|| serde::DeError::expected(\"array\", __inner))?;\n\
+                             if __items.len() != {arity} {{\n\
+                             return Err(serde::DeError::expected(\
+                             \"{arity}-element array\", __inner));\n}}\n\
+                             Ok({name}::{vname}({items}))\n}}\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => out.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let __fields = __inner.as_object()\
+                         .ok_or_else(|| serde::DeError::expected(\"object\", __inner))?;\n\
+                         Ok({name}::{vname} {{\n{body}}})\n}}\n",
+                        body = deserialize_named_fields(name, fields),
+                    )),
+                }
+            }
+            out.push_str(&format!(
+                "__other => Err(serde::DeError::unknown_variant(\"{name}\", __other)),\n}}"
+            ));
+            out
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__value: &serde::Value) -> \
+         Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,501 @@
+//! Minimal stand-in for `serde_json`, converting between JSON text and
+//! the vendored `serde` value model. Numbers are kept in three lanes
+//! (`u64` / `i64` / `f64`) so 64-bit byte counters round-trip exactly;
+//! floats render through Rust's shortest round-trip formatting.
+//! Non-finite floats render as `null`, as the original does inside
+//! arrays/objects with `arbitrary_precision` disabled. See
+//! `third_party/README.md`.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(err: DeError) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` mirrors the
+/// original signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&format_f64(*v));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+/// Shortest round-trip float rendering, forced to look like a float so
+/// it re-parses into the `F64` lane (`1.0` renders as `1.0`, not `1`).
+fn format_f64(v: f64) -> String {
+    let text = v.to_string();
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        text
+    } else {
+        format!("{text}.0")
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: advance over a plain UTF-8 span in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let span = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(e.to_string()))?;
+                out.push_str(span);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&unit) {
+                                // Surrogate pair: require a low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::new("invalid surrogate pair"));
+                                }
+                                let code =
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid code point"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| Error::new("invalid code point"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::new("control character in string")),
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| Error::new(e.to_string()))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v) {
+                        return Ok(Value::I64(-neg));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn value_roundtrip_via_text() {
+        let mut map: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        map.insert(
+            "libs".to_owned(),
+            vec![("com.ads".to_owned(), u64::MAX), ("so\"cial\n".to_owned(), 0)],
+        );
+        let json = to_string(&map).unwrap();
+        let back: BTreeMap<String, Vec<(String, u64)>> = from_str(&json).unwrap();
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let json = to_string(&u64::MAX).unwrap();
+        assert_eq!(json, "18446744073709551615");
+        assert_eq!(from_str::<u64>(&json).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let json = to_string(&1.0f64).unwrap();
+        assert_eq!(json, "1.0");
+        assert_eq!(from_str::<f64>(&json).unwrap(), 1.0);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let s = "tab\t nl\n quote\" back\\ snowman☃".to_owned();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(from_str::<String>("\"\\u2603\"").unwrap(), "☃");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let mut map = BTreeMap::new();
+        map.insert("k".to_owned(), vec![1u64, 2, 3]);
+        let pretty = to_string_pretty(&map).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: BTreeMap<String, Vec<u64>> = from_str(&pretty).unwrap();
+        assert_eq!(map, back);
+    }
+}
