@@ -57,11 +57,7 @@ pub fn compute(analyses: &[AppAnalysis]) -> CostReport {
 }
 
 /// Computes the cost report with explicit model parameters.
-pub fn compute_with(
-    analyses: &[AppAnalysis],
-    plan: &DataPlan,
-    energy: &EnergyModel,
-) -> CostReport {
+pub fn compute_with(analyses: &[AppAnalysis], plan: &DataPlan, energy: &EnergyModel) -> CostReport {
     let apps = analyses.len().max(1) as f64;
     let mut per_category: BTreeMap<String, u64> = BTreeMap::new();
     let mut libs_per_category: BTreeMap<String, std::collections::HashSet<String>> =
@@ -123,12 +119,26 @@ mod tests {
             app(
                 "a",
                 "TOOLS",
-                vec![flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d", DomainCategory::Advertisements, 0, ad_bytes)],
+                vec![flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "d",
+                    DomainCategory::Advertisements,
+                    0,
+                    ad_bytes,
+                )],
             ),
             app(
                 "b",
                 "TOOLS",
-                vec![flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d", DomainCategory::Advertisements, 0, ad_bytes)],
+                vec![flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "d",
+                    DomainCategory::Advertisements,
+                    0,
+                    ad_bytes,
+                )],
             ),
         ];
         let report = compute(&analyses);

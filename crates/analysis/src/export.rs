@@ -145,7 +145,11 @@ pub fn fig10_csv(report: &FullReport) -> String {
     let mut out = String::from("series,coverage_percent,cumulative_fraction\n");
     cdf_rows(&mut out, "coverage", &report.fig10.coverage_percent);
     let _ = writeln!(out, "mean,{},1", report.fig10.mean_coverage_percent);
-    let _ = writeln!(out, "above_mean_fraction,{},1", report.fig10.above_mean_fraction);
+    let _ = writeln!(
+        out,
+        "above_mean_fraction,{},1",
+        report.fig10.above_mean_fraction
+    );
     out
 }
 
@@ -218,7 +222,11 @@ mod tests {
             assert!(lines.len() >= 2, "{name} has no data rows");
             let columns = lines[0].split(',').count();
             for line in &lines {
-                assert_eq!(line.split(',').count(), columns, "{name}: ragged row {line}");
+                assert_eq!(
+                    line.split(',').count(),
+                    columns,
+                    "{name}: ragged row {line}"
+                );
             }
         }
     }

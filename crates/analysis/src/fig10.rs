@@ -25,10 +25,7 @@ pub struct Fig10 {
 
 /// Computes Figure 10.
 pub fn compute(analyses: &[AppAnalysis]) -> Fig10 {
-    let coverage: Vec<f64> = analyses
-        .iter()
-        .map(|a| a.coverage.percent())
-        .collect();
+    let coverage: Vec<f64> = analyses.iter().map(|a| a.coverage.percent()).collect();
     let methods: Vec<f64> = analyses
         .iter()
         .map(|a| a.coverage.total_methods as f64)

@@ -56,9 +56,7 @@ pub fn compute(analyses: &[AppAnalysis]) -> Fig2 {
         })
         .collect();
     let mut category_order: Vec<String> = bytes.keys().cloned().collect();
-    category_order.sort_by_key(|c| {
-        std::cmp::Reverse(bytes[c].values().sum::<u64>())
-    });
+    category_order.sort_by_key(|c| std::cmp::Reverse(bytes[c].values().sum::<u64>()));
     Fig2 {
         bytes,
         legend_percent,
@@ -80,14 +78,35 @@ mod tests {
                 "com.g",
                 "GAME_ACTION",
                 vec![
-                    flow(Some(("a.ads", "a.ads")), LibCategory::Advertisement, "d", DomainCategory::Cdn, 0, 600),
-                    flow(Some(("a.eng", "a.eng")), LibCategory::GameEngine, "e", DomainCategory::Games, 0, 300),
+                    flow(
+                        Some(("a.ads", "a.ads")),
+                        LibCategory::Advertisement,
+                        "d",
+                        DomainCategory::Cdn,
+                        0,
+                        600,
+                    ),
+                    flow(
+                        Some(("a.eng", "a.eng")),
+                        LibCategory::GameEngine,
+                        "e",
+                        DomainCategory::Games,
+                        0,
+                        300,
+                    ),
                 ],
             ),
             app(
                 "com.t",
                 "TOOLS",
-                vec![flow(Some(("a.ads", "a.ads")), LibCategory::Advertisement, "d", DomainCategory::Cdn, 0, 100)],
+                vec![flow(
+                    Some(("a.ads", "a.ads")),
+                    LibCategory::Advertisement,
+                    "d",
+                    DomainCategory::Cdn,
+                    0,
+                    100,
+                )],
             ),
         ];
         let fig = compute(&analyses);

@@ -71,10 +71,38 @@ mod tests {
             "com.a",
             "TOOLS",
             vec![
-                flow(Some(("com.unity3d.player", "com.unity3d")), LibCategory::GameEngine, "d1", DomainCategory::Games, 0, 1_000),
-                flow(Some(("com.unity3d.ads.cache", "com.unity3d")), LibCategory::Advertisement, "d2", DomainCategory::Cdn, 0, 400),
-                flow(Some(("com.vungle.publisher", "com.vungle")), LibCategory::Advertisement, "d3", DomainCategory::Advertisements, 0, 600),
-                flow(None, LibCategory::Unknown, "d4", DomainCategory::Advertisements, 0, 50),
+                flow(
+                    Some(("com.unity3d.player", "com.unity3d")),
+                    LibCategory::GameEngine,
+                    "d1",
+                    DomainCategory::Games,
+                    0,
+                    1_000,
+                ),
+                flow(
+                    Some(("com.unity3d.ads.cache", "com.unity3d")),
+                    LibCategory::Advertisement,
+                    "d2",
+                    DomainCategory::Cdn,
+                    0,
+                    400,
+                ),
+                flow(
+                    Some(("com.vungle.publisher", "com.vungle")),
+                    LibCategory::Advertisement,
+                    "d3",
+                    DomainCategory::Advertisements,
+                    0,
+                    600,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "d4",
+                    DomainCategory::Advertisements,
+                    0,
+                    50,
+                ),
             ],
         )];
         let fig = compute(&analyses);

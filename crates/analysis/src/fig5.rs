@@ -101,12 +101,26 @@ mod tests {
             app(
                 "com.a",
                 "TOOLS",
-                vec![flow(Some(("l1", "l1")), LibCategory::DevelopmentAid, "d1", DomainCategory::Cdn, 100, 1_000)],
+                vec![flow(
+                    Some(("l1", "l1")),
+                    LibCategory::DevelopmentAid,
+                    "d1",
+                    DomainCategory::Cdn,
+                    100,
+                    1_000,
+                )],
             ),
             app(
                 "com.b",
                 "TOOLS",
-                vec![flow(Some(("l2", "l2")), LibCategory::DevelopmentAid, "d2", DomainCategory::Cdn, 10, 300)],
+                vec![flow(
+                    Some(("l2", "l2")),
+                    LibCategory::DevelopmentAid,
+                    "d2",
+                    DomainCategory::Cdn,
+                    10,
+                    300,
+                )],
             ),
         ];
         let fig = compute(&analyses);
@@ -124,7 +138,14 @@ mod tests {
         let analyses = vec![app(
             "com.a",
             "TOOLS",
-            vec![flow(Some(("l1", "l1")), LibCategory::DevelopmentAid, "d1", DomainCategory::Cdn, 0, 1_000)],
+            vec![flow(
+                Some(("l1", "l1")),
+                LibCategory::DevelopmentAid,
+                "d1",
+                DomainCategory::Cdn,
+                0,
+                1_000,
+            )],
         )];
         let fig = compute(&analyses);
         assert!(fig.app_ratios.is_empty());

@@ -141,16 +141,30 @@ mod tests {
     #[test]
     fn ant_fractions() {
         let ant_flow = || {
-            flow(Some(("com.ads", "com.ads")), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 10, 550)
+            flow(
+                Some(("com.ads", "com.ads")),
+                LibCategory::Advertisement,
+                "a",
+                DomainCategory::Advertisements,
+                10,
+                550,
+            )
         };
         let other_flow = || {
-            flow(Some(("com.http", "com.http")), LibCategory::DevelopmentAid, "b", DomainCategory::Cdn, 10, 240)
+            flow(
+                Some(("com.http", "com.http")),
+                LibCategory::DevelopmentAid,
+                "b",
+                DomainCategory::Cdn,
+                10,
+                240,
+            )
         };
         let analyses = vec![
-            app("com.a", "TOOLS", vec![ant_flow()]),               // AnT-only
+            app("com.a", "TOOLS", vec![ant_flow()]), // AnT-only
             app("com.b", "TOOLS", vec![ant_flow(), other_flow()]), // mixed
-            app("com.c", "TOOLS", vec![other_flow()]),             // AnT-free
-            app("com.d", "TOOLS", vec![]),                         // no traffic at all
+            app("com.c", "TOOLS", vec![other_flow()]), // AnT-free
+            app("com.d", "TOOLS", vec![]),           // no traffic at all
         ];
         let fig = compute(&analyses);
         assert!((fig.ant_only_fraction - 1.0 / 3.0).abs() < 1e-9);

@@ -62,7 +62,10 @@ pub fn compute(analyses: &[AppAnalysis]) -> Fig7 {
             if let Some(domain) = &flow.domain {
                 let label = flow.domain_category.label().to_owned();
                 *dns_bytes.entry(label.clone()).or_default() += flow.total_bytes();
-                dns_entities.entry(label).or_default().insert(domain.clone());
+                dns_entities
+                    .entry(label)
+                    .or_default()
+                    .insert(domain.clone());
             }
         }
     }
@@ -102,10 +105,31 @@ mod tests {
             "TOOLS",
             vec![
                 // Two ad libraries, 300 bytes total.
-                flow(Some(("ads.one", "ads.one")), LibCategory::Advertisement, "d1", DomainCategory::Advertisements, 0, 100),
-                flow(Some(("ads.two", "ads.two")), LibCategory::Advertisement, "d2", DomainCategory::Advertisements, 0, 200),
+                flow(
+                    Some(("ads.one", "ads.one")),
+                    LibCategory::Advertisement,
+                    "d1",
+                    DomainCategory::Advertisements,
+                    0,
+                    100,
+                ),
+                flow(
+                    Some(("ads.two", "ads.two")),
+                    LibCategory::Advertisement,
+                    "d2",
+                    DomainCategory::Advertisements,
+                    0,
+                    200,
+                ),
                 // One CDN domain receiving 900 bytes from both.
-                flow(Some(("ads.one", "ads.one")), LibCategory::Advertisement, "cdn.host", DomainCategory::Cdn, 0, 900),
+                flow(
+                    Some(("ads.one", "ads.one")),
+                    LibCategory::Advertisement,
+                    "cdn.host",
+                    DomainCategory::Cdn,
+                    0,
+                    900,
+                ),
             ],
         )];
         let fig = compute(&analyses);
@@ -124,7 +148,14 @@ mod tests {
         let analyses = vec![app(
             "com.a",
             "TOOLS",
-            vec![flow(None, LibCategory::Unknown, "d", DomainCategory::Cdn, 0, 500)],
+            vec![flow(
+                None,
+                LibCategory::Unknown,
+                "d",
+                DomainCategory::Cdn,
+                0,
+                500,
+            )],
         )];
         let fig = compute(&analyses);
         assert!(fig.per_lib_category.is_empty());

@@ -30,11 +30,8 @@ pub fn compute(analyses: &[AppAnalysis]) -> Fig8 {
     let mut bytes: BTreeMap<String, u64> = BTreeMap::new();
     for analysis in analyses {
         *apps.entry(analysis.app_category.clone()).or_default() += 1;
-        *bytes.entry(analysis.app_category.clone()).or_default() += analysis
-            .flows
-            .iter()
-            .map(|f| f.total_bytes())
-            .sum::<u64>();
+        *bytes.entry(analysis.app_category.clone()).or_default() +=
+            analysis.flows.iter().map(|f| f.total_bytes()).sum::<u64>();
     }
     let per_category: BTreeMap<String, (usize, u64, f64)> = apps
         .into_iter()
@@ -66,7 +63,14 @@ mod tests {
     #[test]
     fn averages_per_category() {
         let traffic = |bytes| {
-            vec![flow(Some(("x", "x")), LibCategory::DevelopmentAid, "d", DomainCategory::Cdn, 0, bytes)]
+            vec![flow(
+                Some(("x", "x")),
+                LibCategory::DevelopmentAid,
+                "d",
+                DomainCategory::Cdn,
+                0,
+                bytes,
+            )]
         };
         let analyses = vec![
             app("a", "MUSIC_AND_AUDIO", traffic(3_000)),

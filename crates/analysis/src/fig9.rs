@@ -104,18 +104,50 @@ mod tests {
             "com.a",
             "TOOLS",
             vec![
-                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d1", DomainCategory::Advertisements, 0, 400),
-                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "d2", DomainCategory::Cdn, 0, 100),
-                flow(Some(("an.y", "an.y")), LibCategory::MobileAnalytics, "d3", DomainCategory::BusinessAndFinance, 0, 250),
+                flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "d1",
+                    DomainCategory::Advertisements,
+                    0,
+                    400,
+                ),
+                flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "d2",
+                    DomainCategory::Cdn,
+                    0,
+                    100,
+                ),
+                flow(
+                    Some(("an.y", "an.y")),
+                    LibCategory::MobileAnalytics,
+                    "d3",
+                    DomainCategory::BusinessAndFinance,
+                    0,
+                    250,
+                ),
             ],
         )];
         let fig = compute(&analyses);
         assert_eq!(fig.total, 750);
-        assert_eq!(fig.cell(DomainCategory::Advertisements, LibCategory::Advertisement), 400);
-        assert_eq!(fig.cell(DomainCategory::Cdn, LibCategory::Advertisement), 100);
+        assert_eq!(
+            fig.cell(DomainCategory::Advertisements, LibCategory::Advertisement),
+            400
+        );
+        assert_eq!(
+            fig.cell(DomainCategory::Cdn, LibCategory::Advertisement),
+            100
+        );
         assert_eq!(fig.lib_total(LibCategory::Advertisement), 500);
         assert_eq!(fig.domain_total(DomainCategory::Cdn), 100);
-        assert!((fig.column_share(DomainCategory::Cdn, LibCategory::Advertisement) - 0.2).abs() < 1e-12);
-        assert_eq!(fig.column_share(DomainCategory::Cdn, LibCategory::Payment), 0.0);
+        assert!(
+            (fig.column_share(DomainCategory::Cdn, LibCategory::Advertisement) - 0.2).abs() < 1e-12
+        );
+        assert_eq!(
+            fig.column_share(DomainCategory::Cdn, LibCategory::Payment),
+            0.0
+        );
     }
 }

@@ -176,6 +176,7 @@ pub(crate) mod testutil {
             },
             dns_packets: 2,
             report_packets: 1,
+            integrity: Default::default(),
         }
     }
 }

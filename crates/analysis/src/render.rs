@@ -147,20 +147,35 @@ fn render_fig7(out: &mut String, report: &FullReport) {
     let _ = writeln!(out, "== Figure 7: averages per category ==");
     let _ = writeln!(out, "  per library (MB/lib):");
     for (label, (_, count, avg)) in &report.fig7.per_lib_category {
-        let _ = writeln!(out, "    {label:<22} {:>8.3} MB over {count} libs", avg / MB);
+        let _ = writeln!(
+            out,
+            "    {label:<22} {:>8.3} MB over {count} libs",
+            avg / MB
+        );
     }
     let _ = writeln!(out, "  per domain (MB/domain):");
     for (label, (_, count, avg)) in &report.fig7.per_domain_category {
-        let _ = writeln!(out, "    {label:<22} {:>8.3} MB over {count} domains", avg / MB);
+        let _ = writeln!(
+            out,
+            "    {label:<22} {:>8.3} MB over {count} domains",
+            avg / MB
+        );
     }
     let _ = writeln!(out);
 }
 
 fn render_fig8(out: &mut String, report: &FullReport) {
-    let _ = writeln!(out, "== Figure 8: average transfer per app category (top 12) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 8: average transfer per app category (top 12) =="
+    );
     for category in report.fig8.order.iter().take(12) {
         let (apps, _, avg) = report.fig8.per_category[category];
-        let _ = writeln!(out, "  {category:<22} {:>8.3} MB/app over {apps} apps", avg / MB);
+        let _ = writeln!(
+            out,
+            "  {category:<22} {:>8.3} MB/app over {apps} apps",
+            avg / MB
+        );
     }
     let _ = writeln!(out);
 }
@@ -203,7 +218,12 @@ fn render_fig10(out: &mut String, report: &FullReport) {
 fn render_cost(out: &mut String, report: &FullReport) {
     let _ = writeln!(out, "== Cost to users (§IV-D) ==");
     for (label, usd) in &report.cost.hourly_usd {
-        let session = report.cost.avg_session_bytes.get(label).copied().unwrap_or(0.0);
+        let session = report
+            .cost
+            .avg_session_bytes
+            .get(label)
+            .copied()
+            .unwrap_or(0.0);
         let _ = writeln!(
             out,
             "  {label:<22} {:>7.3} MB/session  ${usd:>6.3}/hour",
@@ -216,7 +236,10 @@ fn render_cost(out: &mut String, report: &FullReport) {
         report.cost.ad_joules,
         report.cost.ad_battery_fraction * 100.0
     );
-    let _ = writeln!(out, "  per-origin-library granularity (the paper's §IV-D averaging):");
+    let _ = writeln!(
+        out,
+        "  per-origin-library granularity (the paper's §IV-D averaging):"
+    );
     for (label, usd) in &report.cost.hourly_usd_per_library {
         let per_lib = report
             .cost

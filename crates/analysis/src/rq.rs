@@ -152,8 +152,22 @@ mod tests {
             "com.a",
             "TOOLS",
             vec![
-                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 100, 5_000),
-                flow(Some(("ads.x", "ads.x")), LibCategory::Advertisement, "c", DomainCategory::Cdn, 100, 3_000),
+                flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "a",
+                    DomainCategory::Advertisements,
+                    100,
+                    5_000,
+                ),
+                flow(
+                    Some(("ads.x", "ads.x")),
+                    LibCategory::Advertisement,
+                    "c",
+                    DomainCategory::Cdn,
+                    100,
+                    3_000,
+                ),
             ],
         )];
         let answers = compute(&analyses);

@@ -54,11 +54,46 @@ mod tests {
             "com.a",
             "TOOLS",
             vec![
-                flow(None, LibCategory::Unknown, "ad1", DomainCategory::Advertisements, 1, 1),
-                flow(None, LibCategory::Unknown, "ad1", DomainCategory::Advertisements, 1, 1),
-                flow(None, LibCategory::Unknown, "ad2", DomainCategory::Advertisements, 1, 1),
-                flow(None, LibCategory::Unknown, "cdn1", DomainCategory::Cdn, 1, 1),
-                flow(None, LibCategory::Unknown, "x", DomainCategory::Unknown, 1, 1),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "ad1",
+                    DomainCategory::Advertisements,
+                    1,
+                    1,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "ad1",
+                    DomainCategory::Advertisements,
+                    1,
+                    1,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "ad2",
+                    DomainCategory::Advertisements,
+                    1,
+                    1,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "cdn1",
+                    DomainCategory::Cdn,
+                    1,
+                    1,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "x",
+                    DomainCategory::Unknown,
+                    1,
+                    1,
+                ),
             ],
         )];
         let table = compute(&analyses);

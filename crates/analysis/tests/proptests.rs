@@ -61,20 +61,23 @@ fn analysis() -> impl Strategy<Value = AppAnalysis> {
         proptest::collection::vec(flow(), 0..12),
         (1usize..50_000, 0usize..2_000),
     )
-        .prop_map(|(package, category, flows, (total, executed))| AppAnalysis {
-            package: format!("com.{package}"),
-            app_category: category.to_owned(),
-            flows,
-            unattributed_flows: 0,
-            reports_without_flow: 0,
-            coverage: CoverageReport {
-                total_methods: total,
-                executed_methods: executed.min(total),
-                external_methods: 3,
+        .prop_map(
+            |(package, category, flows, (total, executed))| AppAnalysis {
+                package: format!("com.{package}"),
+                app_category: category.to_owned(),
+                flows,
+                unattributed_flows: 0,
+                reports_without_flow: 0,
+                coverage: CoverageReport {
+                    total_methods: total,
+                    executed_methods: executed.min(total),
+                    external_methods: 3,
+                },
+                dns_packets: 1,
+                report_packets: 1,
+                integrity: Default::default(),
             },
-            dns_packets: 1,
-            report_packets: 1,
-        })
+        )
 }
 
 proptest! {

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use libspector::attribution::{attribute, BuiltinFilter};
-use libspector::experiment::{
-    resolver_for, run_app, run_app_with_hooks, ExperimentConfig,
-};
+use libspector::experiment::{resolver_for, run_app, run_app_with_hooks, ExperimentConfig};
 use libspector::knowledge::Knowledge;
 use libspector::policy::{Action, Matcher, OnlineEnforcer, Policy};
 use spector_bench::{corpus, knowledge};
@@ -23,15 +21,16 @@ fn bench_profiler_modes(c: &mut Criterion) {
     group.sample_size(10);
     for (name, mode) in [
         ("unique_methods", TraceMode::UniqueMethods),
-        ("stock_buffer_8k", TraceMode::StockBuffer { capacity: 8_192 }),
+        (
+            "stock_buffer_8k",
+            TraceMode::StockBuffer { capacity: 8_192 },
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut config = ExperimentConfig::default();
             config.monkey.events = 120;
             config.runtime.trace_mode = mode;
-            b.iter(|| {
-                std::hint::black_box(run_app(&app.apk, &resolver, &[], &config).unwrap())
-            });
+            b.iter(|| std::hint::black_box(run_app(&app.apk, &resolver, &[], &config).unwrap()));
         });
     }
     group.finish();
@@ -96,5 +95,10 @@ fn bench_enforcement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_profiler_modes, bench_filter_ablation, bench_enforcement);
+criterion_group!(
+    benches,
+    bench_profiler_modes,
+    bench_filter_ablation,
+    bench_enforcement
+);
 criterion_main!(benches);

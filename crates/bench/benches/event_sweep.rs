@@ -19,13 +19,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_sweep");
     group.sample_size(10);
     for events in [10u32, 100, 500, 1_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &events| {
-            let mut config = ExperimentConfig::default();
-            config.monkey.events = events;
-            b.iter(|| {
-                std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &events,
+            |b, &events| {
+                let mut config = ExperimentConfig::default();
+                config.monkey.events = events;
+                b.iter(|| {
+                    std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }

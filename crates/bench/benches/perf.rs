@@ -27,8 +27,8 @@ fn bench_hook_overhead(c: &mut Criterion) {
     use spector_dex::model::SigIndex;
     use spector_dex::DexFile;
     use spector_hooks::supervisor::{SocketSupervisor, SupervisorConfig};
-    use spector_runtime::{HookContext, RuntimeHook};
     use spector_runtime::stack::{CallStack, Frame};
+    use spector_runtime::{HookContext, RuntimeHook};
 
     let mut group = c.benchmark_group("perf/hook");
     group.bench_function("connect_bare", |b| {
@@ -79,9 +79,7 @@ fn bench_per_app_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/pipeline");
     group.sample_size(20);
     group.bench_function("experiment_one_app", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
-        });
+        b.iter(|| std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap()));
     });
     // The paper's "<5 s offline analysis per app" path.
     group.bench_function("offline_analysis_one_app", |b| {
@@ -134,6 +132,79 @@ fn bench_analysis_throughput(c: &mut Criterion) {
             for raw in raws {
                 std::hint::black_box(analyze_run(raw, knowledge, port));
             }
+        });
+    });
+    group.finish();
+}
+
+/// Cost of the fault-injection layer when it is armed but rolls no
+/// faults — the price every chaos-enabled campaign pays on its happy
+/// path. `perturb_*` isolates the wire-perturbation pass over the 400
+/// recorded captures (a zero-fault plan must fast-return; `light` pays
+/// per-packet dice); `campaign_*` compares a full `run_campaign` with
+/// no chaos against one threading a zero-fault plan + retry policy
+/// through every worker. Numbers land in `BENCH_pipeline.json`.
+fn bench_chaos_overhead(c: &mut Criterion) {
+    use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+    use spector_dispatch::{run_campaign, CampaignConfig, DispatchConfig, RetryPolicy};
+    use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
+
+    let (_, raws, port) = throughput_fixture();
+    let port = *port;
+    let noop = FaultPlan::new(7_779, FaultProfile::none());
+    let light = FaultPlan::new(7_779, FaultProfile::light());
+
+    let mut group = c.benchmark_group("perf/chaos_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("perturb_zero_fault_plan", |b| {
+        b.iter(|| {
+            for (index, raw) in raws.iter().enumerate() {
+                std::hint::black_box(perturb_capture(&noop, index, 0, raw.capture.clone(), port));
+            }
+        });
+    });
+    group.bench_function("perturb_light_plan", |b| {
+        b.iter(|| {
+            for (index, raw) in raws.iter().enumerate() {
+                std::hint::black_box(perturb_capture(&light, index, 0, raw.capture.clone(), port));
+            }
+        });
+    });
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps: 8,
+        seed: 7_780,
+        appgen: AppGenConfig {
+            method_scale: 0.004,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let knowledge = libspector::knowledge::Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig::default();
+    dispatch.experiment.monkey.events = 40;
+    dispatch.experiment.monkey.seed = 7_780;
+    dispatch.workers = 1;
+    group.throughput(Throughput::Elements(corpus.apps.len() as u64));
+    group.bench_function("campaign_plain", |b| {
+        let config = CampaignConfig {
+            dispatch: dispatch.clone(),
+            ..Default::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&corpus, &knowledge, &config, None, None).unwrap())
+        });
+    });
+    group.bench_function("campaign_zero_fault_plan", |b| {
+        let config = CampaignConfig {
+            dispatch: dispatch.clone(),
+            chaos: Some(noop),
+            retry: RetryPolicy::default(),
+            ..Default::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&corpus, &knowledge, &config, None, None).unwrap())
         });
     });
     group.finish();
@@ -212,7 +283,9 @@ fn bench_substrates(c: &mut Criterion) {
     };
     let encoded = report.encode();
     let mut group = c.benchmark_group("perf/report");
-    group.bench_function("encode", |b| b.iter(|| std::hint::black_box(report.encode())));
+    group.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(report.encode()))
+    });
     group.bench_function("decode", |b| {
         b.iter(|| std::hint::black_box(SocketReport::decode(&encoded).unwrap()))
     });
@@ -226,6 +299,7 @@ criterion_group!(
     bench_hook_overhead,
     bench_per_app_pipeline,
     bench_analysis_throughput,
+    bench_chaos_overhead,
     bench_substrates
 );
 criterion_main!(benches);

@@ -3,6 +3,9 @@
 //! ```text
 //! libspector run    --apps 200 --seed 42 --events 1000 [--workers 0]
 //!                   [--out campaign.json] [--method-scale 0.02]
+//!                   [--chaos none|light|heavy] [--chaos-seed S]
+//!                   [--max-failures N] [--checkpoint FILE]
+//!                   [--checkpoint-every N] [--resume FILE]
 //! libspector report --campaign campaign.json
 //! libspector sweep  --apps 50 --seed 42 --events 10,100,500,1000
 //! ```
@@ -10,10 +13,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use libspector::knowledge::Knowledge;
 use spector_analysis::FullReport;
 use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
-use spector_dispatch::{run_corpus, save_campaign, Campaign, DispatchConfig};
-use libspector::knowledge::Knowledge;
+use spector_dispatch::{
+    run_campaign, run_corpus, save_campaign, Campaign, CampaignConfig, CheckpointConfig,
+    DispatchConfig, RetryPolicy,
+};
+use spector_faults::{FaultPlan, FaultProfile};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +58,9 @@ libspector — context-aware network traffic analysis (simulated reproduction)
 USAGE:
   libspector run    --apps N [--seed S] [--events E] [--workers W]
                     [--out FILE] [--method-scale F]
+                    [--chaos none|light|heavy] [--chaos-seed S]
+                    [--max-failures N] [--checkpoint FILE]
+                    [--checkpoint-every N] [--resume FILE]
   libspector live   --apps N [--seed S] [--events E] [--workers W]
                     [--shards K] [--snapshot-every N]   (streaming attribution)
   libspector report --campaign FILE
@@ -67,11 +77,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn parse_flag<T: std::str::FromStr>(
-    args: &[String],
-    name: &str,
-    default: T,
-) -> Result<T, String> {
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
         Some(raw) => raw
@@ -100,6 +106,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let workers: usize = parse_flag(args, "--workers", 0)?;
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
     let out: Option<String> = flag(args, "--out");
+    let chaos_profile: FaultProfile = parse_flag(args, "--chaos", FaultProfile::none())?;
+    let chaos_seed: u64 = parse_flag(args, "--chaos-seed", seed)?;
+    let max_failures: usize = parse_flag(args, "--max-failures", 0)?;
+    let checkpoint: Option<String> = flag(args, "--checkpoint");
+    let checkpoint_every: usize = parse_flag(args, "--checkpoint-every", 25)?;
+    let resume: Option<String> = flag(args, "--resume");
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -110,19 +122,48 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     dispatch.experiment.monkey.events = events;
     dispatch.experiment.monkey.seed = seed;
+
+    let chaos = (!chaos_profile.is_noop()).then(|| FaultPlan::new(chaos_seed, chaos_profile));
+    if let Some(plan) = &chaos {
+        eprintln!("chaos enabled: seed {}", plan.seed());
+    }
+    let config = CampaignConfig {
+        dispatch,
+        chaos,
+        retry: if chaos.is_some() {
+            RetryPolicy::default()
+        } else {
+            RetryPolicy::never()
+        },
+        checkpoint: checkpoint.map(|path| CheckpointConfig {
+            path: PathBuf::from(path),
+            every: checkpoint_every,
+        }),
+        resume_from: resume.map(PathBuf::from),
+        ..Default::default()
+    };
     eprintln!("running campaign ({events} monkey events per app)");
     let progress = |done: usize| {
         if done.is_multiple_of(50) {
             eprintln!("  {done}/{apps} apps done");
         }
     };
-    let outcome = run_corpus(&corpus, &knowledge, &dispatch, Some(&progress));
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, Some(&progress))
+        .map_err(|e| format!("campaign checkpoint i/o: {e}"))?;
     for failure in &outcome.failures {
         eprintln!(
-            "warning: app {} ({}) failed: {}",
-            failure.index, failure.package, failure.error
+            "warning: app {} ({}) failed after {} attempt(s): {}",
+            failure.index, failure.package, failure.attempts, failure.error
         );
     }
+    if outcome.retried > 0 || outcome.injected.total() > 0 {
+        eprintln!(
+            "chaos summary: {} retried app run(s), {} injected fault event(s)",
+            outcome.retried,
+            outcome.injected.total()
+        );
+    }
+    let failures = outcome.failures;
     let analyses = outcome.analyses;
     let report = FullReport::build(&analyses);
     println!("{}", report.render());
@@ -132,9 +173,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             apps,
             monkey_events: events,
             analyses,
+            failures: failures.clone(),
         };
         save_campaign(&campaign, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
         eprintln!("campaign saved to {out}");
+    }
+    if failures.len() > max_failures {
+        return Err(format!(
+            "{} app(s) failed, exceeding --max-failures {max_failures}",
+            failures.len()
+        ));
     }
     Ok(())
 }
@@ -224,12 +272,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let raw_events = flag(args, "--events").unwrap_or_else(|| "10,100,500,1000".to_owned());
     let budgets: Vec<u32> = raw_events
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad event count {s:?}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad event count {s:?}"))
+        })
         .collect::<Result<_, _>>()?;
 
     let corpus = build_corpus(apps, seed, 0.02);
     let knowledge = Knowledge::from_corpus(&corpus);
-    println!("{:>8} {:>14} {:>12}", "events", "mean coverage", "mean MB/app");
+    println!(
+        "{:>8} {:>14} {:>12}",
+        "events", "mean coverage", "mean MB/app"
+    );
     for &events in &budgets {
         let mut dispatch = DispatchConfig::default();
         dispatch.experiment.monkey.events = events;
@@ -308,7 +363,11 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     let report = FullReport::build(&campaign.analyses);
     let written = spector_analysis::export::export_all(&report, &PathBuf::from(&out))
         .map_err(|e| e.to_string())?;
-    println!("wrote {} CSV files to {out}: {}", written.len(), written.join(", "));
+    println!(
+        "wrote {} CSV files to {out}: {}",
+        written.len(),
+        written.join(", ")
+    );
     Ok(())
 }
 

@@ -86,10 +86,7 @@ pub struct Attribution {
 
 /// Attributes a translated stack trace (most recent frame first).
 pub fn attribute(frames: &[String], filter: &BuiltinFilter) -> Attribution {
-    let surviving: Vec<&String> = frames
-        .iter()
-        .filter(|f| !filter.is_builtin(f))
-        .collect();
+    let surviving: Vec<&String> = frames.iter().filter(|f| !filter.is_builtin(f)).collect();
     match surviving.last() {
         None => Attribution {
             origin: OriginKind::Builtin,
@@ -243,7 +240,10 @@ mod tests {
         let frames = vec!["Main.run".to_owned()];
         let attribution = attribute(&frames, &BuiltinFilter::new());
         match attribution.origin {
-            OriginKind::Library { origin_library, two_level } => {
+            OriginKind::Library {
+                origin_library,
+                two_level,
+            } => {
                 assert_eq!(origin_library, "");
                 assert_eq!(two_level, "");
             }

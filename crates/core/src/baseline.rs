@@ -201,7 +201,10 @@ pub fn compare_user_agent(analyses: &[AppAnalysis]) -> UaComparison {
                     comparison.tagged_flows += 1;
                     comparison.tagged_bytes += flow.total_bytes();
                     let matches_context = match &flow.origin {
-                        crate::OriginKind::Library { origin_library, two_level } => {
+                        crate::OriginKind::Library {
+                            origin_library,
+                            two_level,
+                        } => {
                             &tag == origin_library
                                 || tag.starts_with(&format!("{origin_library}."))
                                 || origin_library.starts_with(&format!("{tag}."))
@@ -227,11 +230,7 @@ mod tests {
     use crate::coverage::CoverageReport;
     use crate::OriginKind;
 
-    fn flow(
-        lib: LibCategory,
-        domain_category: DomainCategory,
-        bytes: u64,
-    ) -> AnalyzedFlow {
+    fn flow(lib: LibCategory, domain_category: DomainCategory, bytes: u64) -> AnalyzedFlow {
         AnalyzedFlow {
             domain: Some("d.example".into()),
             domain_category,
@@ -265,6 +264,7 @@ mod tests {
             },
             dns_packets: 0,
             report_packets: 0,
+            integrity: Default::default(),
         }
     }
 
@@ -272,14 +272,26 @@ mod tests {
     fn agreement_conflict_and_invisibility() {
         let analyses = vec![app(vec![
             // Agree: ad lib -> ad domain.
-            flow(LibCategory::Advertisement, DomainCategory::Advertisements, 400),
+            flow(
+                LibCategory::Advertisement,
+                DomainCategory::Advertisements,
+                400,
+            ),
             // Invisible: ad lib -> CDN (the paper's core case).
             flow(LibCategory::Advertisement, DomainCategory::Cdn, 300),
             // Conflict: analytics lib -> ad domain.
-            flow(LibCategory::MobileAnalytics, DomainCategory::Advertisements, 200),
+            flow(
+                LibCategory::MobileAnalytics,
+                DomainCategory::Advertisements,
+                200,
+            ),
             // First-party -> business domain: baseline can't see it but
             // there is no known origin either (not counted as a miss).
-            flow(LibCategory::Unknown, DomainCategory::BusinessAndFinance, 100),
+            flow(
+                LibCategory::Unknown,
+                DomainCategory::BusinessAndFinance,
+                100,
+            ),
         ])];
         let comparison = compare(&analyses);
         assert_eq!(comparison.total_bytes, 1_000);
@@ -315,14 +327,21 @@ mod tests {
 
     #[test]
     fn ua_signal_classification() {
-        let mut f = flow(LibCategory::Advertisement, DomainCategory::Advertisements, 100);
+        let mut f = flow(
+            LibCategory::Advertisement,
+            DomainCategory::Advertisements,
+            100,
+        );
         f.http_user_agent = Some("okhttp/3.12.1 com.vungle.publisher".into());
         assert_eq!(
             ua_signal(&f),
             UaSignal::SdkTag("com.vungle.publisher".into())
         );
         f.http_user_agent = Some("okhttp/3.12.1".into());
-        assert_eq!(ua_signal(&f), UaSignal::GenericClient("okhttp/3.12.1".into()));
+        assert_eq!(
+            ua_signal(&f),
+            UaSignal::GenericClient("okhttp/3.12.1".into())
+        );
         f.http_user_agent = None;
         assert_eq!(ua_signal(&f), UaSignal::NonHttp);
         f.http_user_agent = Some(String::new());
@@ -332,7 +351,11 @@ mod tests {
     #[test]
     fn ua_comparison_counts_and_matching() {
         let mk = |ua: Option<&str>, origin: &str| {
-            let mut f = flow(LibCategory::Advertisement, DomainCategory::Advertisements, 100);
+            let mut f = flow(
+                LibCategory::Advertisement,
+                DomainCategory::Advertisements,
+                100,
+            );
             f.http_user_agent = ua.map(str::to_owned);
             f.origin = crate::OriginKind::Library {
                 origin_library: origin.to_owned(),
@@ -342,7 +365,10 @@ mod tests {
         };
         let analyses = vec![app(vec![
             // Tagged and matching (same family).
-            mk(Some("okhttp/3.12.1 com.vungle.publisher"), "com.vungle.publisher.cache"),
+            mk(
+                Some("okhttp/3.12.1 com.vungle.publisher"),
+                "com.vungle.publisher.cache",
+            ),
             // Tagged but disagreeing with the stack-based origin (the
             // sync-call case where UA carries the callee).
             mk(Some("okhttp/3.12.1 com.adnet.sdk"), "com.myapp"),

@@ -29,7 +29,7 @@ pub struct DataPlan {
 impl Default for DataPlan {
     fn default() -> Self {
         DataPlan {
-            usd_per_gb: 10.0,    // Google Fi, 2019
+            usd_per_gb: 10.0,     // Google Fi, 2019
             session_minutes: 8.0, // the paper's per-app runtime
         }
     }

@@ -247,10 +247,7 @@ mod tests {
         let corpus = one_app_corpus(6);
         let app = &corpus.apps[0];
         let resolver = resolver_for(&corpus.domains);
-        let run = || {
-            run_app(&app.apk, &resolver, &[], &quick_config())
-                .unwrap()
-        };
+        let run = || run_app(&app.apk, &resolver, &[], &quick_config()).unwrap();
         let a = run();
         let b = run();
         assert_eq!(a.capture.len(), b.capture.len());
@@ -304,13 +301,7 @@ mod tests {
             },
         ];
         let broken = rebuild(entries);
-        let err = run_app(
-            &broken,
-            &HashMap::new(),
-            &[],
-            &quick_config(),
-        )
-        .unwrap_err();
+        let err = run_app(&broken, &HashMap::new(), &[], &quick_config()).unwrap_err();
         assert!(matches!(err, ExperimentError::Apk(_)));
     }
 

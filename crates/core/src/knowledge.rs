@@ -115,7 +115,10 @@ impl Knowledge {
         let domains = corpus.domains.domains();
         let mut domain_categories = HashMap::with_capacity(domains.len());
         for domain in domains {
-            domain_categories.insert(domain.name.clone(), tokenizer.classify(&domain.vendor_labels));
+            domain_categories.insert(
+                domain.name.clone(),
+                tokenizer.classify(&domain.vendor_labels),
+            );
         }
         Knowledge::with_domain_categories(aggregated, corpus.lists.clone(), domain_categories)
     }
@@ -236,7 +239,7 @@ mod tests {
     }
 
     #[test]
-    fn precomputed_table_matches_tokenizer(){
+    fn precomputed_table_matches_tokenizer() {
         let (knowledge, corpus) = knowledge();
         // The memoized table must agree with classifying the raw labels
         // directly — the pre-memoization behavior.

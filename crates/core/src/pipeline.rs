@@ -20,8 +20,8 @@
 use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
-use spector_hooks::supervisor::{decode_reports, extract_reports};
-use spector_hooks::SocketReport;
+use spector_hooks::supervisor::decode_reports_classified;
+use spector_hooks::{ReportErrorKind, SocketReport};
 use spector_libradar::LibCategory;
 use spector_netsim::flows::{DnsMap, FlowTable};
 use spector_netsim::CaptureIndex;
@@ -71,6 +71,60 @@ impl AnalyzedFlow {
     }
 }
 
+/// Degraded-mode accounting for one analyzed run: how much of the
+/// measurement substrate was lost, corrupted, or reconstructed from
+/// partial evidence. The pipeline has always *tolerated* noisy input
+/// (undecodable frames and payloads are skipped); these counters make
+/// the tolerance measurable, so a headline number can carry an
+/// integrity annotation instead of silently absorbing missing data.
+///
+/// All counters are zero for a clean capture, which is what every
+/// fault-free run produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunIntegrity {
+    /// Capture frames dropped as truncated (packet loss, snap length).
+    pub frames_truncated: usize,
+    /// Capture frames dropped as structurally malformed.
+    pub frames_malformed: usize,
+    /// Capture frames dropped on IPv4/TCP checksum mismatch.
+    pub frames_bad_checksum: usize,
+    /// Collector-port datagrams whose report payload was truncated.
+    pub reports_truncated: usize,
+    /// Collector-port datagrams whose report payload was malformed.
+    pub reports_malformed: usize,
+    /// Stream epochs reassembled without a SYN (capture started or
+    /// died mid-connection): flows attributed from partial evidence.
+    pub synthesized_flows: usize,
+}
+
+impl RunIntegrity {
+    /// `true` when any measurement input was lost, corrupted, or
+    /// reconstructed from partial evidence.
+    pub fn is_degraded(&self) -> bool {
+        *self != RunIntegrity::default()
+    }
+
+    /// Total capture frames that failed to decode.
+    pub fn frames_lost(&self) -> usize {
+        self.frames_truncated + self.frames_malformed + self.frames_bad_checksum
+    }
+
+    /// Total report payloads that failed to decode.
+    pub fn reports_lost(&self) -> usize {
+        self.reports_truncated + self.reports_malformed
+    }
+
+    /// Field-wise sum, for campaign-level aggregation.
+    pub fn merge(&mut self, other: &RunIntegrity) {
+        self.frames_truncated += other.frames_truncated;
+        self.frames_malformed += other.frames_malformed;
+        self.frames_bad_checksum += other.frames_bad_checksum;
+        self.reports_truncated += other.reports_truncated;
+        self.reports_malformed += other.reports_malformed;
+        self.synthesized_flows += other.synthesized_flows;
+    }
+}
+
 /// Per-app analysis output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppAnalysis {
@@ -92,6 +146,9 @@ pub struct AppAnalysis {
     pub dns_packets: usize,
     /// Supervisor report datagrams observed (instrumentation traffic).
     pub report_packets: usize,
+    /// Degraded-mode accounting: what this run's capture lost.
+    #[serde(default)]
+    pub integrity: RunIntegrity,
 }
 
 /// Display label for platform-created sockets ([`OriginKind::Builtin`])
@@ -141,10 +198,24 @@ impl AppAnalysis {
 /// both produce identical [`AppAnalysis`] values.
 pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> AppAnalysis {
     let index = CaptureIndex::build(&raw.capture, collector_port);
-    let reports = decode_reports(index.report_payloads.iter().copied());
-    join_reports(raw, knowledge, &index.flows, &index.dns, &reports, |origin| {
-        knowledge.library_verdict(origin)
-    })
+    let (reports, report_errors) = decode_reports_classified(index.report_payloads.iter().copied());
+    let integrity = RunIntegrity {
+        frames_truncated: index.frame_errors.truncated,
+        frames_malformed: index.frame_errors.malformed,
+        frames_bad_checksum: index.frame_errors.bad_checksum,
+        reports_truncated: report_errors.truncated,
+        reports_malformed: report_errors.malformed,
+        synthesized_flows: index.flows.synthesized_epochs(),
+    };
+    join_reports(
+        raw,
+        knowledge,
+        &index.flows,
+        &index.dns,
+        &reports,
+        integrity,
+        |origin| knowledge.library_verdict(origin),
+    )
 }
 
 /// Reference implementation of [`analyze_run`]: three independent
@@ -154,16 +225,56 @@ pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> 
 /// (equivalence is asserted by tests and measured by the benches); not
 /// for production use.
 pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> AppAnalysis {
+    use spector_netsim::packet::{decode_frame, FrameErrorKind, Transport};
+
     let flow_table = FlowTable::from_capture(&raw.capture);
     let dns_map = DnsMap::from_capture(&raw.capture);
-    let reports = extract_reports(&raw.capture, collector_port);
-    join_reports(raw, knowledge, &flow_table, &dns_map, &reports, |origin| {
-        (
-            knowledge.aggregated.predict_category_oracle(origin),
-            knowledge.lists.is_ant(origin),
-            knowledge.lists.is_common(origin),
-        )
-    })
+    // Reference integrity pass: one more capture walk, classifying
+    // every frame and collector-port payload the views skipped.
+    let mut reports = Vec::new();
+    let mut integrity = RunIntegrity {
+        synthesized_flows: flow_table.synthesized_epochs(),
+        ..RunIntegrity::default()
+    };
+    for packet in &raw.capture {
+        match decode_frame(&packet.data) {
+            Ok(frame) => {
+                let Transport::Udp { payload } = frame.transport else {
+                    continue;
+                };
+                if frame.pair.dst_port != collector_port {
+                    continue;
+                }
+                match SocketReport::decode(&payload) {
+                    Ok(report) => reports.push(report),
+                    Err(error) => match error.kind {
+                        ReportErrorKind::Truncated => integrity.reports_truncated += 1,
+                        ReportErrorKind::Malformed => integrity.reports_malformed += 1,
+                    },
+                }
+            }
+            Err(error) => match error.kind {
+                FrameErrorKind::Truncated => integrity.frames_truncated += 1,
+                FrameErrorKind::Malformed => integrity.frames_malformed += 1,
+                FrameErrorKind::BadChecksum => integrity.frames_bad_checksum += 1,
+            },
+        }
+    }
+    join_reports(
+        raw,
+        knowledge,
+        &flow_table,
+        &dns_map,
+        &reports,
+        integrity,
+        |origin| {
+            (
+                knowledge.aggregated.predict_category_oracle(origin),
+                knowledge.lists.is_ant(origin),
+                knowledge.lists.is_common(origin),
+            )
+        },
+    )
 }
 
 /// The report↔flow join shared by [`analyze_run`] and
@@ -176,6 +287,7 @@ fn join_reports<F>(
     flow_table: &FlowTable,
     dns_map: &DnsMap,
     reports: &[SocketReport],
+    integrity: RunIntegrity,
     mut verdict: F,
 ) -> AppAnalysis
 where
@@ -240,6 +352,7 @@ where
         coverage,
         dns_packets: dns_map.dns_packet_count,
         report_packets,
+        integrity,
     }
 }
 
@@ -323,11 +436,7 @@ mod tests {
     fn volumes_match_ground_truth_for_startup_flows() {
         let (corpus, analysis) = run_and_analyze(13);
         let app = &corpus.apps[0];
-        for truth in app
-            .truth
-            .iter()
-            .filter(|t| t.style == OpStyle::Startup)
-        {
+        for truth in app.truth.iter().filter(|t| t.style == OpStyle::Startup) {
             let total_payload: u64 = analysis
                 .flows
                 .iter()
@@ -353,7 +462,10 @@ mod tests {
         let mut correct = 0;
         let mut total = 0;
         for flow in &analysis.flows {
-            let domain = corpus.domains.by_name(flow.domain.as_ref().unwrap()).unwrap();
+            let domain = corpus
+                .domains
+                .by_name(flow.domain.as_ref().unwrap())
+                .unwrap();
             total += 1;
             if flow.domain_category == domain.true_category {
                 correct += 1;

@@ -321,7 +321,13 @@ mod tests {
     use super::*;
     use crate::coverage::CoverageReport;
 
-    fn flow(origin: Option<&str>, lib: LibCategory, domain: &str, dc: DomainCategory, bytes: u64) -> AnalyzedFlow {
+    fn flow(
+        origin: Option<&str>,
+        lib: LibCategory,
+        domain: &str,
+        dc: DomainCategory,
+        bytes: u64,
+    ) -> AnalyzedFlow {
         AnalyzedFlow {
             domain: Some(domain.to_owned()),
             domain_category: dc,
@@ -333,7 +339,10 @@ mod tests {
                 None => OriginKind::Builtin,
             },
             lib_category: lib,
-            is_ant: matches!(lib, LibCategory::Advertisement | LibCategory::MobileAnalytics),
+            is_ant: matches!(
+                lib,
+                LibCategory::Advertisement | LibCategory::MobileAnalytics
+            ),
             is_common: false,
             sent_bytes: 0,
             recv_bytes: bytes,
@@ -358,6 +367,7 @@ mod tests {
             },
             dns_packets: 0,
             report_packets: 0,
+            integrity: Default::default(),
         }
     }
 
@@ -374,28 +384,64 @@ mod tests {
                 Matcher::LibraryPrefix("com.unity3d".into()),
                 Action::Block,
             );
-        let player = flow(Some("com.unity3d.player.core"), LibCategory::GameEngine, "g", DomainCategory::Games, 10);
-        let ads = flow(Some("com.unity3d.ads.cache"), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 10);
-        let lookalike = flow(Some("com.unity3dx.thing"), LibCategory::Utility, "u", DomainCategory::InfoTech, 10);
-        assert_eq!(policy.evaluate(&player), (Action::Allow, Some("allow-unity-player")));
+        let player = flow(
+            Some("com.unity3d.player.core"),
+            LibCategory::GameEngine,
+            "g",
+            DomainCategory::Games,
+            10,
+        );
+        let ads = flow(
+            Some("com.unity3d.ads.cache"),
+            LibCategory::Advertisement,
+            "a",
+            DomainCategory::Advertisements,
+            10,
+        );
+        let lookalike = flow(
+            Some("com.unity3dx.thing"),
+            LibCategory::Utility,
+            "u",
+            DomainCategory::InfoTech,
+            10,
+        );
+        assert_eq!(
+            policy.evaluate(&player),
+            (Action::Allow, Some("allow-unity-player"))
+        );
         assert_eq!(policy.evaluate(&ads), (Action::Block, Some("block-unity")));
         assert_eq!(policy.evaluate(&lookalike), (Action::Allow, None));
     }
 
     #[test]
     fn apply_accounts_bytes_and_rules() {
-        let policy = Policy::allow_by_default().with_rule(
-            "block-ant",
-            Matcher::AnyAnt,
-            Action::Block,
-        );
+        let policy =
+            Policy::allow_by_default().with_rule("block-ant", Matcher::AnyAnt, Action::Block);
         let analyses = vec![
             app(vec![
-                flow(Some("com.ads.sdk"), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 700),
-                flow(Some("okhttp3.internal"), LibCategory::DevelopmentAid, "c", DomainCategory::Cdn, 300),
+                flow(
+                    Some("com.ads.sdk"),
+                    LibCategory::Advertisement,
+                    "a",
+                    DomainCategory::Advertisements,
+                    700,
+                ),
+                flow(
+                    Some("okhttp3.internal"),
+                    LibCategory::DevelopmentAid,
+                    "c",
+                    DomainCategory::Cdn,
+                    300,
+                ),
             ]),
             // AnT-only app: fully blocked.
-            app(vec![flow(Some("com.ads.sdk"), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 500)]),
+            app(vec![flow(
+                Some("com.ads.sdk"),
+                LibCategory::Advertisement,
+                "a",
+                DomainCategory::Advertisements,
+                500,
+            )]),
         ];
         let report = apply(&policy, &analyses);
         assert_eq!(report.flows, 3);
@@ -410,8 +456,20 @@ mod tests {
 
     #[test]
     fn category_domain_and_builtin_matchers() {
-        let game = flow(Some("com.engine"), LibCategory::GameEngine, "play.x", DomainCategory::Games, 1);
-        let builtin = flow(None, LibCategory::Unknown, "probe.x", DomainCategory::InfoTech, 1);
+        let game = flow(
+            Some("com.engine"),
+            LibCategory::GameEngine,
+            "play.x",
+            DomainCategory::Games,
+            1,
+        );
+        let builtin = flow(
+            None,
+            LibCategory::Unknown,
+            "probe.x",
+            DomainCategory::InfoTech,
+            1,
+        );
         assert!(Matcher::LibraryCategory(LibCategory::GameEngine).matches(&game));
         assert!(!Matcher::LibraryCategory(LibCategory::Payment).matches(&game));
         assert!(Matcher::Domain("play.x".into()).matches(&game));
@@ -424,10 +482,34 @@ mod tests {
     #[test]
     fn blacklist_suggestion_ranks_ant_two_levels() {
         let analyses = vec![app(vec![
-            flow(Some("com.vungle.publisher"), LibCategory::Advertisement, "a", DomainCategory::Advertisements, 900),
-            flow(Some("com.adnet.banner"), LibCategory::Advertisement, "b", DomainCategory::Cdn, 400),
-            flow(Some("com.tiny.ads"), LibCategory::Advertisement, "c", DomainCategory::Advertisements, 10),
-            flow(Some("okhttp3.internal"), LibCategory::DevelopmentAid, "d", DomainCategory::Cdn, 5_000),
+            flow(
+                Some("com.vungle.publisher"),
+                LibCategory::Advertisement,
+                "a",
+                DomainCategory::Advertisements,
+                900,
+            ),
+            flow(
+                Some("com.adnet.banner"),
+                LibCategory::Advertisement,
+                "b",
+                DomainCategory::Cdn,
+                400,
+            ),
+            flow(
+                Some("com.tiny.ads"),
+                LibCategory::Advertisement,
+                "c",
+                DomainCategory::Advertisements,
+                10,
+            ),
+            flow(
+                Some("okhttp3.internal"),
+                LibCategory::DevelopmentAid,
+                "d",
+                DomainCategory::Cdn,
+                5_000,
+            ),
         ])];
         let suggestions = suggest_blacklist(&analyses, 100);
         assert_eq!(
@@ -445,7 +527,13 @@ mod tests {
             rules: vec![],
             default_action: Action::Block,
         };
-        let f = flow(Some("com.x"), LibCategory::Utility, "d", DomainCategory::InfoTech, 5);
+        let f = flow(
+            Some("com.x"),
+            LibCategory::Utility,
+            "d",
+            DomainCategory::InfoTech,
+            5,
+        );
         assert_eq!(policy.evaluate(&f), (Action::Block, None));
     }
 }

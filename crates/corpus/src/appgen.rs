@@ -24,8 +24,7 @@ use crate::categories::{game_share, mean_volume_multiplier, AppCategory};
 use crate::domains::DomainUniverse;
 use crate::fig9;
 use crate::libraries::{
-    instantiate, template_connector, templates_of, InstantiatedLibrary, LibraryOps,
-    LibraryTemplate,
+    instantiate, template_connector, templates_of, InstantiatedLibrary, LibraryOps, LibraryTemplate,
 };
 
 /// Traffic archetypes (§IV-A: 35 % of apps had AnT-only traffic, ~89 %
@@ -172,8 +171,8 @@ pub fn generate_app(
     // Per-app volume factor: Figure 8 category multiplier × lognormal
     // spread, normalized so corpus expectation matches Figure 9.
     let spread = lognormal(rng, 0.9);
-    let factor = category.volume_multiplier / mean_volume_multiplier() * spread
-        * config.volume_scale;
+    let factor =
+        category.volume_multiplier / mean_volume_multiplier() * spread * config.volume_scale;
 
     // --- Library composition ---------------------------------------------
     let mut libraries: Vec<(InstantiatedLibrary, f64)> = Vec::new(); // (instance, volume bytes)
@@ -234,12 +233,7 @@ pub fn generate_app(
     } else {
         fig9::per_app_mb(LibCategory::Unknown) * MB * factor / 0.65
     };
-    let app_on_create_sig = MethodSig::new(
-        &package,
-        "App",
-        "onCreate",
-        "()V",
-    );
+    let app_on_create_sig = MethodSig::new(&package, "App", "onCreate", "()V");
     let mut app_on_create_code: Vec<Instruction> = vec![Instruction::Const(0)];
     for (lib, _) in &libraries {
         let id = methods
@@ -253,7 +247,15 @@ pub fn generate_app(
     if fp_target > 1.0 {
         let (async_share, sync_share) = (fp_target * 0.6, fp_target * 0.4);
         let loader_sig = MethodSig::new(&format!("{package}.net"), "Loader", "run", "()V");
-        let op = first_party_op(async_share, universe, config, rng, &package, &mut truth, &mut used_domains);
+        let op = first_party_op(
+            async_share,
+            universe,
+            config,
+            rng,
+            &package,
+            &mut truth,
+            &mut used_domains,
+        );
         // The async loader runs on its own thread, so attribution lands
         // on the loader's own (sub-)package rather than the app root.
         if let Some(t) = truth.last_mut() {
@@ -272,7 +274,15 @@ pub fn generate_app(
             target: MethodRef::Internal(loader_id),
         });
         // Synchronous first-party fetch inside onCreate itself.
-        let op = first_party_op(sync_share, universe, config, rng, &package, &mut truth, &mut used_domains);
+        let op = first_party_op(
+            sync_share,
+            universe,
+            config,
+            rng,
+            &package,
+            &mut truth,
+            &mut used_domains,
+        );
         app_on_create_code.push(Instruction::Network(op));
     }
     app_on_create_code.push(Instruction::Return);
@@ -289,8 +299,12 @@ pub fn generate_app(
     let mut activities = Vec::with_capacity(activity_count);
     for a in 0..activity_count {
         let class = format!("{package}.Activity{a}");
-        let on_create_sig =
-            MethodSig::new(&package, &format!("Activity{a}"), "onCreate", "(Landroid/os/Bundle;)V");
+        let on_create_sig = MethodSig::new(
+            &package,
+            &format!("Activity{a}"),
+            "onCreate",
+            "(Landroid/os/Bundle;)V",
+        );
         methods.push(MethodDef {
             sig: on_create_sig.clone(),
             code: CodeItem {
@@ -332,8 +346,7 @@ pub fn generate_app(
     }
 
     // --- Filler to reach the method-count target ---------------------------
-    let target_methods =
-        (49_138.0 * config.method_scale * lognormal(rng, 0.55)).max(40.0) as usize;
+    let target_methods = (49_138.0 * config.method_scale * lognormal(rng, 0.55)).max(40.0) as usize;
     let mut filler_index = 0usize;
     while methods.len() < target_methods {
         let sub = ["", ".data", ".ui", ".sync"][filler_index % 4];
@@ -378,9 +391,7 @@ pub fn generate_app(
                 connector,
             };
             let expected_origin = match connector {
-                Connector::AndroidOkHttp => {
-                    Some("com.android.okhttp.internal.huc".to_owned())
-                }
+                Connector::AndroidOkHttp => Some("com.android.okhttp.internal.huc".to_owned()),
                 _ => None,
             };
             truth.push(FlowTruth {
@@ -582,7 +593,9 @@ fn sample_weighted(dist: &[(DomainCategory, f64)], rng: &mut SmallRng) -> Domain
             return *cat;
         }
     }
-    dist.last().map(|(c, _)| *c).unwrap_or(DomainCategory::Unknown)
+    dist.last()
+        .map(|(c, _)| *c)
+        .unwrap_or(DomainCategory::Unknown)
 }
 
 /// Mean-1 lognormal multiplier with shape `sigma`.
@@ -626,7 +639,14 @@ mod tests {
             method_scale: 0.005,
             ..Default::default()
         };
-        generate_app(0, &APP_CATEGORIES[0], archetype, &universe, &config, &mut rng)
+        generate_app(
+            0,
+            &APP_CATEGORIES[0],
+            archetype,
+            &universe,
+            &config,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -639,13 +659,12 @@ mod tests {
         assert_eq!(manifest.application_on_create.len(), 1);
         assert!(!manifest.activities.is_empty());
         // Every manifest entry point is defined in the dex.
-        for sig in manifest
-            .application_on_create
-            .iter()
-            .chain(manifest.activities.iter().flat_map(|a| {
-                a.on_create.iter().chain(a.handlers.iter())
-            }))
-        {
+        for sig in manifest.application_on_create.iter().chain(
+            manifest
+                .activities
+                .iter()
+                .flat_map(|a| a.on_create.iter().chain(a.handlers.iter())),
+        ) {
             assert!(dex.find_method(sig).is_some(), "{sig} missing from dex");
         }
     }
@@ -716,7 +735,11 @@ mod tests {
             &mut rng,
         );
         for t in &app.truth {
-            assert!(universe.by_name(&t.domain).is_some(), "{} unknown", t.domain);
+            assert!(
+                universe.by_name(&t.domain).is_some(),
+                "{} unknown",
+                t.domain
+            );
         }
     }
 

@@ -26,55 +26,251 @@ impl AppCategory {
 
 /// All 49 categories (Figure 2 x-axis).
 pub const APP_CATEGORIES: [AppCategory; 49] = [
-    AppCategory { name: "NEWS_AND_MAGAZINES", weight: 2.6, volume_multiplier: 3.2 },
-    AppCategory { name: "MUSIC_AND_AUDIO", weight: 2.6, volume_multiplier: 3.4 },
-    AppCategory { name: "GAME_SIMULATION", weight: 2.6, volume_multiplier: 2.1 },
-    AppCategory { name: "SPORTS", weight: 2.4, volume_multiplier: 2.4 },
-    AppCategory { name: "BOOKS_AND_REFERENCE", weight: 2.4, volume_multiplier: 2.0 },
-    AppCategory { name: "GAME_PUZZLE", weight: 3.0, volume_multiplier: 1.6 },
-    AppCategory { name: "GAME_ACTION", weight: 2.8, volume_multiplier: 1.9 },
-    AppCategory { name: "EDUCATION", weight: 2.6, volume_multiplier: 1.5 },
-    AppCategory { name: "ART_AND_DESIGN", weight: 1.6, volume_multiplier: 1.4 },
-    AppCategory { name: "GAME_RACING", weight: 1.8, volume_multiplier: 1.8 },
-    AppCategory { name: "GAME_ARCADE", weight: 2.8, volume_multiplier: 1.7 },
-    AppCategory { name: "GAME_ADVENTURE", weight: 1.8, volume_multiplier: 1.7 },
-    AppCategory { name: "PERSONALIZATION", weight: 2.8, volume_multiplier: 1.4 },
-    AppCategory { name: "ENTERTAINMENT", weight: 2.8, volume_multiplier: 1.4 },
-    AppCategory { name: "GAME_WORD", weight: 1.4, volume_multiplier: 1.5 },
-    AppCategory { name: "GAME_CASUAL", weight: 2.6, volume_multiplier: 1.5 },
-    AppCategory { name: "GAME_STRATEGY", weight: 1.8, volume_multiplier: 1.5 },
-    AppCategory { name: "FOOD_AND_DRINK", weight: 1.4, volume_multiplier: 1.1 },
-    AppCategory { name: "TOOLS", weight: 3.4, volume_multiplier: 1.2 },
-    AppCategory { name: "GAME_BOARD", weight: 1.4, volume_multiplier: 1.3 },
-    AppCategory { name: "GAME_TRIVIA", weight: 1.2, volume_multiplier: 1.3 },
-    AppCategory { name: "GAME_CASINO", weight: 1.2, volume_multiplier: 1.3 },
-    AppCategory { name: "GAME_SPORTS", weight: 1.4, volume_multiplier: 1.3 },
-    AppCategory { name: "VIDEO_PLAYERS", weight: 1.8, volume_multiplier: 1.2 },
-    AppCategory { name: "COMICS", weight: 1.0, volume_multiplier: 1.3 },
-    AppCategory { name: "GAME_ROLE_PLAYING", weight: 1.2, volume_multiplier: 1.2 },
-    AppCategory { name: "MEDICAL", weight: 1.2, volume_multiplier: 1.0 },
-    AppCategory { name: "GAME_CARD", weight: 1.2, volume_multiplier: 1.1 },
-    AppCategory { name: "LIFESTYLE", weight: 2.6, volume_multiplier: 0.9 },
-    AppCategory { name: "GAME_EDUCATIONAL", weight: 1.0, volume_multiplier: 1.0 },
-    AppCategory { name: "SHOPPING", weight: 1.8, volume_multiplier: 0.85 },
-    AppCategory { name: "HEALTH_AND_FITNESS", weight: 1.8, volume_multiplier: 0.8 },
-    AppCategory { name: "PHOTOGRAPHY", weight: 2.0, volume_multiplier: 0.8 },
-    AppCategory { name: "BEAUTY", weight: 1.0, volume_multiplier: 0.9 },
-    AppCategory { name: "TRAVEL_AND_LOCAL", weight: 1.8, volume_multiplier: 0.75 },
-    AppCategory { name: "LIBRARIES_AND_DEMO", weight: 1.0, volume_multiplier: 1.5 },
-    AppCategory { name: "WEATHER", weight: 1.0, volume_multiplier: 0.7 },
-    AppCategory { name: "HOUSE_AND_HOME", weight: 1.0, volume_multiplier: 0.7 },
-    AppCategory { name: "COMMUNICATION", weight: 2.2, volume_multiplier: 0.6 },
-    AppCategory { name: "EVENTS", weight: 0.8, volume_multiplier: 1.1 },
-    AppCategory { name: "GAME_MUSIC", weight: 0.6, volume_multiplier: 1.0 },
-    AppCategory { name: "SOCIAL", weight: 2.0, volume_multiplier: 0.55 },
-    AppCategory { name: "MAPS_AND_NAVIGATION", weight: 1.4, volume_multiplier: 0.5 },
-    AppCategory { name: "PRODUCTIVITY", weight: 2.4, volume_multiplier: 0.45 },
-    AppCategory { name: "BUSINESS", weight: 2.2, volume_multiplier: 0.4 },
-    AppCategory { name: "PARENTING", weight: 0.8, volume_multiplier: 0.5 },
-    AppCategory { name: "AUTO_AND_VEHICLES", weight: 1.0, volume_multiplier: 0.4 },
-    AppCategory { name: "FINANCE", weight: 2.0, volume_multiplier: 0.25 },
-    AppCategory { name: "DATING", weight: 0.8, volume_multiplier: 0.2 },
+    AppCategory {
+        name: "NEWS_AND_MAGAZINES",
+        weight: 2.6,
+        volume_multiplier: 3.2,
+    },
+    AppCategory {
+        name: "MUSIC_AND_AUDIO",
+        weight: 2.6,
+        volume_multiplier: 3.4,
+    },
+    AppCategory {
+        name: "GAME_SIMULATION",
+        weight: 2.6,
+        volume_multiplier: 2.1,
+    },
+    AppCategory {
+        name: "SPORTS",
+        weight: 2.4,
+        volume_multiplier: 2.4,
+    },
+    AppCategory {
+        name: "BOOKS_AND_REFERENCE",
+        weight: 2.4,
+        volume_multiplier: 2.0,
+    },
+    AppCategory {
+        name: "GAME_PUZZLE",
+        weight: 3.0,
+        volume_multiplier: 1.6,
+    },
+    AppCategory {
+        name: "GAME_ACTION",
+        weight: 2.8,
+        volume_multiplier: 1.9,
+    },
+    AppCategory {
+        name: "EDUCATION",
+        weight: 2.6,
+        volume_multiplier: 1.5,
+    },
+    AppCategory {
+        name: "ART_AND_DESIGN",
+        weight: 1.6,
+        volume_multiplier: 1.4,
+    },
+    AppCategory {
+        name: "GAME_RACING",
+        weight: 1.8,
+        volume_multiplier: 1.8,
+    },
+    AppCategory {
+        name: "GAME_ARCADE",
+        weight: 2.8,
+        volume_multiplier: 1.7,
+    },
+    AppCategory {
+        name: "GAME_ADVENTURE",
+        weight: 1.8,
+        volume_multiplier: 1.7,
+    },
+    AppCategory {
+        name: "PERSONALIZATION",
+        weight: 2.8,
+        volume_multiplier: 1.4,
+    },
+    AppCategory {
+        name: "ENTERTAINMENT",
+        weight: 2.8,
+        volume_multiplier: 1.4,
+    },
+    AppCategory {
+        name: "GAME_WORD",
+        weight: 1.4,
+        volume_multiplier: 1.5,
+    },
+    AppCategory {
+        name: "GAME_CASUAL",
+        weight: 2.6,
+        volume_multiplier: 1.5,
+    },
+    AppCategory {
+        name: "GAME_STRATEGY",
+        weight: 1.8,
+        volume_multiplier: 1.5,
+    },
+    AppCategory {
+        name: "FOOD_AND_DRINK",
+        weight: 1.4,
+        volume_multiplier: 1.1,
+    },
+    AppCategory {
+        name: "TOOLS",
+        weight: 3.4,
+        volume_multiplier: 1.2,
+    },
+    AppCategory {
+        name: "GAME_BOARD",
+        weight: 1.4,
+        volume_multiplier: 1.3,
+    },
+    AppCategory {
+        name: "GAME_TRIVIA",
+        weight: 1.2,
+        volume_multiplier: 1.3,
+    },
+    AppCategory {
+        name: "GAME_CASINO",
+        weight: 1.2,
+        volume_multiplier: 1.3,
+    },
+    AppCategory {
+        name: "GAME_SPORTS",
+        weight: 1.4,
+        volume_multiplier: 1.3,
+    },
+    AppCategory {
+        name: "VIDEO_PLAYERS",
+        weight: 1.8,
+        volume_multiplier: 1.2,
+    },
+    AppCategory {
+        name: "COMICS",
+        weight: 1.0,
+        volume_multiplier: 1.3,
+    },
+    AppCategory {
+        name: "GAME_ROLE_PLAYING",
+        weight: 1.2,
+        volume_multiplier: 1.2,
+    },
+    AppCategory {
+        name: "MEDICAL",
+        weight: 1.2,
+        volume_multiplier: 1.0,
+    },
+    AppCategory {
+        name: "GAME_CARD",
+        weight: 1.2,
+        volume_multiplier: 1.1,
+    },
+    AppCategory {
+        name: "LIFESTYLE",
+        weight: 2.6,
+        volume_multiplier: 0.9,
+    },
+    AppCategory {
+        name: "GAME_EDUCATIONAL",
+        weight: 1.0,
+        volume_multiplier: 1.0,
+    },
+    AppCategory {
+        name: "SHOPPING",
+        weight: 1.8,
+        volume_multiplier: 0.85,
+    },
+    AppCategory {
+        name: "HEALTH_AND_FITNESS",
+        weight: 1.8,
+        volume_multiplier: 0.8,
+    },
+    AppCategory {
+        name: "PHOTOGRAPHY",
+        weight: 2.0,
+        volume_multiplier: 0.8,
+    },
+    AppCategory {
+        name: "BEAUTY",
+        weight: 1.0,
+        volume_multiplier: 0.9,
+    },
+    AppCategory {
+        name: "TRAVEL_AND_LOCAL",
+        weight: 1.8,
+        volume_multiplier: 0.75,
+    },
+    AppCategory {
+        name: "LIBRARIES_AND_DEMO",
+        weight: 1.0,
+        volume_multiplier: 1.5,
+    },
+    AppCategory {
+        name: "WEATHER",
+        weight: 1.0,
+        volume_multiplier: 0.7,
+    },
+    AppCategory {
+        name: "HOUSE_AND_HOME",
+        weight: 1.0,
+        volume_multiplier: 0.7,
+    },
+    AppCategory {
+        name: "COMMUNICATION",
+        weight: 2.2,
+        volume_multiplier: 0.6,
+    },
+    AppCategory {
+        name: "EVENTS",
+        weight: 0.8,
+        volume_multiplier: 1.1,
+    },
+    AppCategory {
+        name: "GAME_MUSIC",
+        weight: 0.6,
+        volume_multiplier: 1.0,
+    },
+    AppCategory {
+        name: "SOCIAL",
+        weight: 2.0,
+        volume_multiplier: 0.55,
+    },
+    AppCategory {
+        name: "MAPS_AND_NAVIGATION",
+        weight: 1.4,
+        volume_multiplier: 0.5,
+    },
+    AppCategory {
+        name: "PRODUCTIVITY",
+        weight: 2.4,
+        volume_multiplier: 0.45,
+    },
+    AppCategory {
+        name: "BUSINESS",
+        weight: 2.2,
+        volume_multiplier: 0.4,
+    },
+    AppCategory {
+        name: "PARENTING",
+        weight: 0.8,
+        volume_multiplier: 0.5,
+    },
+    AppCategory {
+        name: "AUTO_AND_VEHICLES",
+        weight: 1.0,
+        volume_multiplier: 0.4,
+    },
+    AppCategory {
+        name: "FINANCE",
+        weight: 2.0,
+        volume_multiplier: 0.25,
+    },
+    AppCategory {
+        name: "DATING",
+        weight: 0.8,
+        volume_multiplier: 0.2,
+    },
 ];
 
 /// Weighted share of game apps in the corpus.
@@ -111,8 +307,7 @@ mod tests {
     #[test]
     fn forty_nine_distinct_categories() {
         assert_eq!(APP_CATEGORIES.len(), 49);
-        let names: std::collections::HashSet<_> =
-            APP_CATEGORIES.iter().map(|c| c.name).collect();
+        let names: std::collections::HashSet<_> = APP_CATEGORIES.iter().map(|c| c.name).collect();
         assert_eq!(names.len(), 49);
     }
 

@@ -217,10 +217,7 @@ mod tests {
         for _ in 0..n {
             let d = universe.sample(DomainCategory::Advertisements, &mut rng);
             assert_eq!(d.true_category, DomainCategory::Advertisements);
-            if std::ptr::eq(
-                d,
-                universe.sample_first(DomainCategory::Advertisements),
-            ) {
+            if std::ptr::eq(d, universe.sample_first(DomainCategory::Advertisements)) {
                 first_hit += 1;
             }
         }

@@ -37,39 +37,73 @@ pub const DOMAIN_ORDER: [DomainCategory; DOMAIN_ROWS] = DomainCategory::ALL;
 /// Figure 9 cell values in MB: `MATRIX_MB[domain_row][lib_col]`.
 pub const MATRIX_MB: [[f64; LIB_COLS]; DOMAIN_ROWS] = [
     // adult
-    [9.2, 0.0, 62.6, 0.1, 0.0, 0.0, 25.4, 4.1, 0.1, 0.3, 0.8, 19.1, 8.9],
+    [
+        9.2, 0.0, 62.6, 0.1, 0.0, 0.0, 25.4, 4.1, 0.1, 0.3, 0.8, 19.1, 8.9,
+    ],
     // advertisements
-    [3518.5, 0.1, 1855.7, 0.4, 1.6, 3.1, 223.3, 0.4, 61.2, 18.3, 13.1, 36.0, 45.7],
+    [
+        3518.5, 0.1, 1855.7, 0.4, 1.6, 3.1, 223.3, 0.4, 61.2, 18.3, 13.1, 36.0, 45.7,
+    ],
     // analytics
-    [3.5, 0.0, 97.3, 0.0, 1.0, 9.9, 4.9, 0.1, 190.6, 2.8, 0.8, 5.6, 3.3],
+    [
+        3.5, 0.0, 97.3, 0.0, 1.0, 9.9, 4.9, 0.1, 190.6, 2.8, 0.8, 5.6, 3.3,
+    ],
     // business_and_finance
-    [1633.3, 5.8, 1280.0, 8.1, 82.0, 198.6, 183.3, 18.8, 40.4, 14.8, 36.5, 2221.9, 249.8],
+    [
+        1633.3, 5.8, 1280.0, 8.1, 82.0, 198.6, 183.3, 18.8, 40.4, 14.8, 36.5, 2221.9, 249.8,
+    ],
     // cdn
-    [2098.8, 0.4, 711.2, 4.0, 0.1, 0.1, 465.5, 0.0, 1.0, 5.1, 23.6, 1000.6, 29.6],
+    [
+        2098.8, 0.4, 711.2, 4.0, 0.1, 0.1, 465.5, 0.0, 1.0, 5.1, 23.6, 1000.6, 29.6,
+    ],
     // communication
-    [23.6, 0.1, 195.4, 0.0, 0.2, 0.3, 2.2, 0.2, 19.5, 0.6, 14.2, 376.6, 14.2],
+    [
+        23.6, 0.1, 195.4, 0.0, 0.2, 0.3, 2.2, 0.2, 19.5, 0.6, 14.2, 376.6, 14.2,
+    ],
     // education
-    [4.7, 0.0, 307.8, 0.0, 0.3, 0.1, 2.2, 2.4, 2.7, 1.0, 34.6, 133.1, 7.4],
+    [
+        4.7, 0.0, 307.8, 0.0, 0.3, 0.1, 2.2, 2.4, 2.7, 1.0, 34.6, 133.1, 7.4,
+    ],
     // entertainment
-    [275.2, 0.0, 562.1, 1.3, 0.2, 1.4, 0.2, 0.5, 1.1, 25.4, 9.6, 629.3, 15.8],
+    [
+        275.2, 0.0, 562.1, 1.3, 0.2, 1.4, 0.2, 0.5, 1.1, 25.4, 9.6, 629.3, 15.8,
+    ],
     // games
-    [4.7, 0.0, 18.3, 0.0, 1.5, 0.0, 1515.5, 0.0, 0.0, 0.0, 1.9, 1.1, 186.0],
+    [
+        4.7, 0.0, 18.3, 0.0, 1.5, 0.0, 1515.5, 0.0, 0.0, 0.0, 1.9, 1.1, 186.0,
+    ],
     // health
-    [0.1, 0.0, 11.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 1.4, 40.3],
+    [
+        0.1, 0.0, 11.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 1.4, 40.3,
+    ],
     // info_tech
-    [892.5, 0.2, 615.6, 1.8, 14.7, 369.5, 245.8, 2.9, 60.8, 71.5, 93.6, 1862.3, 89.9],
+    [
+        892.5, 0.2, 615.6, 1.8, 14.7, 369.5, 245.8, 2.9, 60.8, 71.5, 93.6, 1862.3, 89.9,
+    ],
     // internet_services
-    [32.2, 0.0, 474.8, 3.3, 0.1, 1.4, 232.0, 1.4, 12.5, 0.9, 2.8, 88.0, 58.6],
+    [
+        32.2, 0.0, 474.8, 3.3, 0.1, 1.4, 232.0, 1.4, 12.5, 0.9, 2.8, 88.0, 58.6,
+    ],
     // lifestyle
-    [18.7, 0.0, 300.7, 0.1, 0.9, 0.5, 25.3, 0.5, 0.8, 32.3, 3.1, 225.0, 22.8],
+    [
+        18.7, 0.0, 300.7, 0.1, 0.9, 0.5, 25.3, 0.5, 0.8, 32.3, 3.1, 225.0, 22.8,
+    ],
     // malicious
-    [0.0, 0.0, 9.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.5, 0.3],
+    [
+        0.0, 0.0, 9.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.5, 0.3,
+    ],
     // news
-    [5.2, 0.0, 197.9, 0.4, 0.2, 3.7, 0.0, 0.3, 3.4, 9.4, 1.5, 110.8, 4.6],
+    [
+        5.2, 0.0, 197.9, 0.4, 0.2, 3.7, 0.0, 0.3, 3.4, 9.4, 1.5, 110.8, 4.6,
+    ],
     // social_networks
-    [0.1, 0.0, 24.1, 0.0, 0.1, 0.0, 1.1, 0.0, 0.0, 0.1, 160.0, 1.5, 15.6],
+    [
+        0.1, 0.0, 24.1, 0.0, 0.1, 0.0, 1.1, 0.0, 0.0, 0.1, 160.0, 1.5, 15.6,
+    ],
     // unknown
-    [177.4, 1.1, 1378.0, 4.3, 16.9, 21.5, 209.7, 28.2, 132.6, 33.6, 43.9, 1061.4, 241.9],
+    [
+        177.4, 1.1, 1378.0, 4.3, 16.9, 21.5, 209.7, 28.2, 132.6, 33.6, 43.9, 1061.4, 241.9,
+    ],
 ];
 
 /// Paper corpus size the matrix was measured over.

@@ -207,7 +207,9 @@ mod tests {
             .expect("some app has traffic");
         let domain = corpus.apps[app_with_truth].truth[0].domain.clone();
         assert!(corpus.expected_origin(app_with_truth, &domain).is_some());
-        assert!(corpus.expected_origin(app_with_truth, "no.such.domain").is_none());
+        assert!(corpus
+            .expected_origin(app_with_truth, "no.such.domain")
+            .is_none());
     }
 
     #[test]
@@ -226,10 +228,9 @@ mod tests {
                 .collect();
             for origin in expected {
                 // The origin is a sub-package of a detected library.
-                let found = detected.iter().any(|d| {
-                    origin == d.name
-                        || origin.starts_with(&format!("{}.", d.name))
-                });
+                let found = detected
+                    .iter()
+                    .any(|d| origin == d.name || origin.starts_with(&format!("{}.", d.name)));
                 assert!(found, "origin {origin} not covered by detection");
                 detected_any = true;
             }

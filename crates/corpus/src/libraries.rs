@@ -58,94 +58,544 @@ macro_rules! lib {
 /// The full template universe (~70 libraries).
 pub const LIBRARY_TEMPLATES: &[LibraryTemplate] = &[
     // Advertisement networks (AnT).
-    lib!("com.unity3d.ads", Advertisement, ant = true, common = false, w = 9.0),
-    lib!("com.vungle.publisher", Advertisement, ant = true, common = false, w = 8.0),
-    lib!("com.google.android.gms.internal.ads", Advertisement, ant = true, common = true, w = 10.0),
-    lib!("com.chartboost.sdk", Advertisement, ant = true, common = false, w = 6.0),
-    lib!("com.ironsource.sdk", Advertisement, ant = true, common = false, w = 6.0),
-    lib!("com.applovin.impl.sdk", Advertisement, ant = true, common = false, w = 5.0),
-    lib!("com.adcolony", Advertisement, ant = true, common = false, w = 4.0),
-    lib!("com.facebook.ads", Advertisement, ant = true, common = false, w = 6.0),
-    lib!("com.mopub.mobileads", Advertisement, ant = true, common = false, w = 4.0),
-    lib!("com.inmobi.ads", Advertisement, ant = true, common = false, w = 3.0),
-    lib!("com.millennialmedia", Advertisement, ant = true, common = false, w = 2.0),
-    lib!("com.startapp.android", Advertisement, ant = true, common = false, w = 2.0),
-    lib!("com.tapjoy", Advertisement, ant = true, common = false, w = 3.0),
-    lib!("com.smaato.soma", Advertisement, ant = true, common = false, w = 1.5),
-    lib!("com.amazon.device.ads", Advertisement, ant = true, common = false, w = 2.0),
-    lib!("com.flurry.android.ads", Advertisement, ant = true, common = false, w = 2.0),
-    lib!("com.heyzap.sdk", Advertisement, ant = true, common = false, w = 1.0),
-    lib!("com.fyber.ads", Advertisement, ant = true, common = false, w = 1.0),
-    lib!("com.appnext.ads", Advertisement, ant = true, common = false, w = 1.0),
-    lib!("net.pubnative.library", Advertisement, ant = true, common = false, w = 1.0),
+    lib!(
+        "com.unity3d.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 9.0
+    ),
+    lib!(
+        "com.vungle.publisher",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 8.0
+    ),
+    lib!(
+        "com.google.android.gms.internal.ads",
+        Advertisement,
+        ant = true,
+        common = true,
+        w = 10.0
+    ),
+    lib!(
+        "com.chartboost.sdk",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 6.0
+    ),
+    lib!(
+        "com.ironsource.sdk",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 6.0
+    ),
+    lib!(
+        "com.applovin.impl.sdk",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 5.0
+    ),
+    lib!(
+        "com.adcolony",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 4.0
+    ),
+    lib!(
+        "com.facebook.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 6.0
+    ),
+    lib!(
+        "com.mopub.mobileads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 4.0
+    ),
+    lib!(
+        "com.inmobi.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 3.0
+    ),
+    lib!(
+        "com.millennialmedia",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.startapp.android",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.tapjoy",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 3.0
+    ),
+    lib!(
+        "com.smaato.soma",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 1.5
+    ),
+    lib!(
+        "com.amazon.device.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.flurry.android.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.heyzap.sdk",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.fyber.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.appnext.ads",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "net.pubnative.library",
+        Advertisement,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
     // Mobile analytics / trackers (AnT).
-    lib!("com.google.android.gms.analytics", MobileAnalytics, ant = true, common = true, w = 9.0),
-    lib!("com.google.firebase.analytics", MobileAnalytics, ant = true, common = true, w = 8.0),
-    lib!("com.crashlytics.android", MobileAnalytics, ant = true, common = true, w = 6.0),
-    lib!("com.flurry.sdk", MobileAnalytics, ant = true, common = false, w = 4.0),
-    lib!("com.mixpanel.android", MobileAnalytics, ant = true, common = false, w = 2.0),
-    lib!("com.appsflyer", MobileAnalytics, ant = true, common = false, w = 3.0),
-    lib!("com.adjust.sdk", MobileAnalytics, ant = true, common = false, w = 2.0),
-    lib!("com.umeng.analytics", MobileAnalytics, ant = true, common = false, w = 2.0),
-    lib!("com.localytics.android", MobileAnalytics, ant = true, common = false, w = 1.0),
-    lib!("com.amplitude.api", MobileAnalytics, ant = true, common = false, w = 1.0),
+    lib!(
+        "com.google.android.gms.analytics",
+        MobileAnalytics,
+        ant = true,
+        common = true,
+        w = 9.0
+    ),
+    lib!(
+        "com.google.firebase.analytics",
+        MobileAnalytics,
+        ant = true,
+        common = true,
+        w = 8.0
+    ),
+    lib!(
+        "com.crashlytics.android",
+        MobileAnalytics,
+        ant = true,
+        common = true,
+        w = 6.0
+    ),
+    lib!(
+        "com.flurry.sdk",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 4.0
+    ),
+    lib!(
+        "com.mixpanel.android",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.appsflyer",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 3.0
+    ),
+    lib!(
+        "com.adjust.sdk",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.umeng.analytics",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.localytics.android",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.amplitude.api",
+        MobileAnalytics,
+        ant = true,
+        common = false,
+        w = 1.0
+    ),
     // Development aid.
-    lib!("okhttp3.internal", DevelopmentAid, ant = false, common = true, w = 10.0),
-    lib!("com.squareup.okhttp", DevelopmentAid, ant = false, common = true, w = 5.0),
-    lib!("com.squareup.picasso", DevelopmentAid, ant = false, common = true, w = 6.0),
-    lib!("com.bumptech.glide", DevelopmentAid, ant = false, common = true, w = 8.0),
-    lib!("com.nostra13.universalimageloader", DevelopmentAid, ant = false, common = true, w = 4.0),
-    lib!("com.android.volley", DevelopmentAid, ant = false, common = true, w = 6.0),
-    lib!("retrofit2", DevelopmentAid, ant = false, common = true, w = 5.0),
-    lib!("com.loopj.android.http", DevelopmentAid, ant = false, common = true, w = 2.0),
-    lib!("com.amazon.whispersync", DevelopmentAid, ant = false, common = false, w = 2.0),
-    lib!("com.koushikdutta.ion", DevelopmentAid, ant = false, common = false, w = 1.0),
-    lib!("com.octo.android.robospice", DevelopmentAid, ant = false, common = false, w = 1.0),
-    lib!("bestdict.common", DevelopmentAid, ant = false, common = false, w = 1.0),
+    lib!(
+        "okhttp3.internal",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 10.0
+    ),
+    lib!(
+        "com.squareup.okhttp",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 5.0
+    ),
+    lib!(
+        "com.squareup.picasso",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 6.0
+    ),
+    lib!(
+        "com.bumptech.glide",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 8.0
+    ),
+    lib!(
+        "com.nostra13.universalimageloader",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 4.0
+    ),
+    lib!(
+        "com.android.volley",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 6.0
+    ),
+    lib!(
+        "retrofit2",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 5.0
+    ),
+    lib!(
+        "com.loopj.android.http",
+        DevelopmentAid,
+        ant = false,
+        common = true,
+        w = 2.0
+    ),
+    lib!(
+        "com.amazon.whispersync",
+        DevelopmentAid,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.koushikdutta.ion",
+        DevelopmentAid,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.octo.android.robospice",
+        DevelopmentAid,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "bestdict.common",
+        DevelopmentAid,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // Game engines.
-    lib!("com.unity3d.player", GameEngine, ant = false, common = false, w = 10.0),
-    lib!("com.unity3d.services", GameEngine, ant = false, common = false, w = 5.0),
-    lib!("com.gameloft", GameEngine, ant = false, common = false, w = 5.0),
-    lib!("org.cocos2dx.lib", GameEngine, ant = false, common = false, w = 4.0),
-    lib!("com.badlogic.gdx", GameEngine, ant = false, common = false, w = 2.0),
-    lib!("com.ansca.corona", GameEngine, ant = false, common = false, w = 1.0),
-    lib!("com.epicgames.ue4", GameEngine, ant = false, common = false, w = 1.0),
+    lib!(
+        "com.unity3d.player",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 10.0
+    ),
+    lib!(
+        "com.unity3d.services",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 5.0
+    ),
+    lib!(
+        "com.gameloft",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 5.0
+    ),
+    lib!(
+        "org.cocos2dx.lib",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 4.0
+    ),
+    lib!(
+        "com.badlogic.gdx",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.ansca.corona",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.epicgames.ue4",
+        GameEngine,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // Social networks.
-    lib!("com.facebook.android", SocialNetwork, ant = false, common = true, w = 6.0),
-    lib!("com.twitter.sdk.android", SocialNetwork, ant = false, common = false, w = 2.0),
-    lib!("com.vk.sdk", SocialNetwork, ant = false, common = false, w = 1.0),
-    lib!("com.tencent.mm.opensdk", SocialNetwork, ant = false, common = false, w = 1.5),
-    lib!("com.linkedin.platform", SocialNetwork, ant = false, common = false, w = 0.5),
+    lib!(
+        "com.facebook.android",
+        SocialNetwork,
+        ant = false,
+        common = true,
+        w = 6.0
+    ),
+    lib!(
+        "com.twitter.sdk.android",
+        SocialNetwork,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.vk.sdk",
+        SocialNetwork,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.tencent.mm.opensdk",
+        SocialNetwork,
+        ant = false,
+        common = false,
+        w = 1.5
+    ),
+    lib!(
+        "com.linkedin.platform",
+        SocialNetwork,
+        ant = false,
+        common = false,
+        w = 0.5
+    ),
     // Payment.
-    lib!("com.paypal.android.sdk", Payment, ant = false, common = false, w = 2.0),
-    lib!("com.braintreepayments.api", Payment, ant = false, common = false, w = 1.0),
-    lib!("com.stripe.android", Payment, ant = false, common = false, w = 1.0),
-    lib!("com.android.billingclient", Payment, ant = false, common = true, w = 3.0),
+    lib!(
+        "com.paypal.android.sdk",
+        Payment,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.braintreepayments.api",
+        Payment,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.stripe.android",
+        Payment,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.android.billingclient",
+        Payment,
+        ant = false,
+        common = true,
+        w = 3.0
+    ),
     // Digital identity.
-    lib!("com.google.android.gms.auth", DigitalIdentity, ant = false, common = true, w = 4.0),
-    lib!("com.facebook.login", DigitalIdentity, ant = false, common = false, w = 2.0),
-    lib!("com.firebase.ui.auth", DigitalIdentity, ant = false, common = false, w = 1.0),
+    lib!(
+        "com.google.android.gms.auth",
+        DigitalIdentity,
+        ant = false,
+        common = true,
+        w = 4.0
+    ),
+    lib!(
+        "com.facebook.login",
+        DigitalIdentity,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.firebase.ui.auth",
+        DigitalIdentity,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // GUI components.
-    lib!("com.airbnb.lottie", GuiComponent, ant = false, common = true, w = 3.0),
-    lib!("com.github.mikephil.charting", GuiComponent, ant = false, common = true, w = 2.0),
-    lib!("com.handmark.pulltorefresh", GuiComponent, ant = false, common = true, w = 1.0),
-    lib!("uk.co.senab.photoview", GuiComponent, ant = false, common = true, w = 1.0),
+    lib!(
+        "com.airbnb.lottie",
+        GuiComponent,
+        ant = false,
+        common = true,
+        w = 3.0
+    ),
+    lib!(
+        "com.github.mikephil.charting",
+        GuiComponent,
+        ant = false,
+        common = true,
+        w = 2.0
+    ),
+    lib!(
+        "com.handmark.pulltorefresh",
+        GuiComponent,
+        ant = false,
+        common = true,
+        w = 1.0
+    ),
+    lib!(
+        "uk.co.senab.photoview",
+        GuiComponent,
+        ant = false,
+        common = true,
+        w = 1.0
+    ),
     // Map / LBS.
-    lib!("com.google.android.gms.maps", MapLbs, ant = false, common = true, w = 4.0),
-    lib!("com.mapbox.mapboxsdk", MapLbs, ant = false, common = false, w = 1.0),
-    lib!("com.baidu.location", MapLbs, ant = false, common = false, w = 1.0),
+    lib!(
+        "com.google.android.gms.maps",
+        MapLbs,
+        ant = false,
+        common = true,
+        w = 4.0
+    ),
+    lib!(
+        "com.mapbox.mapboxsdk",
+        MapLbs,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.baidu.location",
+        MapLbs,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // Development frameworks.
-    lib!("org.apache.cordova", DevelopmentFramework, ant = false, common = false, w = 2.0),
-    lib!("com.adobe.phonegap", DevelopmentFramework, ant = false, common = false, w = 1.0),
+    lib!(
+        "org.apache.cordova",
+        DevelopmentFramework,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "com.adobe.phonegap",
+        DevelopmentFramework,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // App market.
-    lib!("com.unity3d.plugin.downloader", AppMarket, ant = false, common = false, w = 1.0),
-    lib!("com.amazon.venezia", AppMarket, ant = false, common = false, w = 1.0),
+    lib!(
+        "com.unity3d.plugin.downloader",
+        AppMarket,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
+    lib!(
+        "com.amazon.venezia",
+        AppMarket,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
     // Utility.
-    lib!("com.evernote.android.job", Utility, ant = false, common = false, w = 2.0),
-    lib!("net.hockeyapp.android", Utility, ant = false, common = false, w = 2.0),
+    lib!(
+        "com.evernote.android.job",
+        Utility,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
+    lib!(
+        "net.hockeyapp.android",
+        Utility,
+        ant = false,
+        common = false,
+        w = 2.0
+    ),
     lib!("org.acra", Utility, ant = false, common = false, w = 1.5),
     lib!("com.parse", Utility, ant = false, common = false, w = 1.5),
-    lib!("io.realm.sync", Utility, ant = false, common = false, w = 1.0),
+    lib!(
+        "io.realm.sync",
+        Utility,
+        ant = false,
+        common = false,
+        w = 1.0
+    ),
 ];
 
 /// Templates of one category, with weights.
@@ -308,7 +758,10 @@ pub fn instantiate(
     methods.push(MethodDef {
         sig: bgr_sig.clone(),
         code: CodeItem {
-            instructions: vec![Instruction::Network(ops.refresh.clone()), Instruction::Return],
+            instructions: vec![
+                Instruction::Network(ops.refresh.clone()),
+                Instruction::Return,
+            ],
         },
     });
 

@@ -50,7 +50,10 @@ pub fn select_apks(archive: Vec<ArchivedApk>) -> Selection {
         if !by_package.contains_key(&entry.package) {
             order.push(entry.package.clone());
         }
-        by_package.entry(entry.package.clone()).or_default().push(entry);
+        by_package
+            .entry(entry.package.clone())
+            .or_default()
+            .push(entry);
     }
 
     let mut selection = Selection::default();
@@ -73,9 +76,7 @@ pub fn select_apks(archive: Vec<ArchivedApk>) -> Selection {
             let key = (dex_ts, manifest.vt_scan_date);
             let better = match &best {
                 None => true,
-                Some((_, best_ts, best_vt)) => {
-                    key > (*best_ts, *best_vt)
-                }
+                Some((_, best_ts, best_vt)) => key > (*best_ts, *best_vt),
             };
             if better {
                 best = Some((candidate, key.0, key.1));
@@ -86,9 +87,7 @@ pub fn select_apks(archive: Vec<ArchivedApk>) -> Selection {
                 if chosen.apk.supports_x86() {
                     selection.selected.push(chosen);
                 } else {
-                    selection
-                        .rejected
-                        .push((package, RejectReason::ArmOnly));
+                    selection.rejected.push((package, RejectReason::ArmOnly));
                 }
             }
             None => {
@@ -109,10 +108,7 @@ pub fn select_apks(archive: Vec<ArchivedApk>) -> Selection {
 /// versions carrying older (or default) dex timestamps, so the §III-A
 /// selection rules have real work to do. The *last* version of each
 /// package is the generated app itself — the one selection must pick.
-pub fn build_archive(
-    apps: &[crate::appgen::GeneratedApp],
-    seed: u64,
-) -> Vec<ArchivedApk> {
+pub fn build_archive(apps: &[crate::appgen::GeneratedApp], seed: u64) -> Vec<ArchivedApk> {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x00c0_ffee);
@@ -127,9 +123,9 @@ pub fn build_archive(
         let older_versions = rng.gen_range(0..=2usize);
         for version in 0..older_versions {
             let mut old = manifest.clone();
-            old.version_code = manifest.version_code.saturating_sub(
-                (older_versions - version) as u32,
-            );
+            old.version_code = manifest
+                .version_code
+                .saturating_sub((older_versions - version) as u32);
             // Half the stale entries carry the 01-01-1980 default dex
             // timestamp (the VT-date fallback path); the rest are just
             // older.
@@ -274,15 +270,15 @@ mod tests {
             ..Default::default()
         });
         let archive = build_archive(&corpus.apps, 55);
-        assert!(archive.len() >= corpus.apps.len(), "versions were generated");
+        assert!(
+            archive.len() >= corpus.apps.len(),
+            "versions were generated"
+        );
         let selection = select_apks(archive);
         // Every x86-capable package is selected, and the chosen apk is
         // the app's own latest version (identical checksum).
         for app in &corpus.apps {
-            let chosen = selection
-                .selected
-                .iter()
-                .find(|a| a.package == app.package);
+            let chosen = selection.selected.iter().find(|a| a.package == app.package);
             if app.apk.supports_x86() {
                 let chosen = chosen.expect("x86 app must be selected");
                 assert_eq!(chosen.apk.sha256(), app.apk.sha256(), "{}", app.package);

@@ -166,11 +166,11 @@ impl Apk {
     ///
     /// [`ApkError::Dex`] when `classes.dex` is missing or malformed.
     pub fn dex(&self) -> Result<DexFile, ApkError> {
-        let entry = self
-            .entry("classes.dex")
-            .ok_or_else(|| ApkError::Dex(DexParseError {
+        let entry = self.entry("classes.dex").ok_or_else(|| {
+            ApkError::Dex(DexParseError {
                 message: "missing classes.dex".into(),
-            }))?;
+            })
+        })?;
         Ok(parse_dex(&entry.data)?)
     }
 
@@ -303,7 +303,12 @@ mod tests {
     fn sample_dex() -> DexFile {
         DexFile {
             methods: vec![MethodDef {
-                sig: MethodSig::new("com.example.game", "MainActivity", "onCreate", "(Landroid/os/Bundle;)V"),
+                sig: MethodSig::new(
+                    "com.example.game",
+                    "MainActivity",
+                    "onCreate",
+                    "(Landroid/os/Bundle;)V",
+                ),
                 code: CodeItem::default(),
             }],
             classes: vec![],
@@ -367,9 +372,7 @@ mod tests {
 
     #[test]
     fn missing_entries_error() {
-        let apk = Apk {
-            entries: vec![],
-        };
+        let apk = Apk { entries: vec![] };
         assert!(matches!(apk.manifest(), Err(ApkError::Manifest(_))));
         assert!(matches!(apk.dex(), Err(ApkError::Dex(_))));
     }

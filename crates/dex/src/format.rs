@@ -282,9 +282,9 @@ pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
                 2 => Instruction::Invoke(MethodRef::Internal(get_uleb128(&mut buf)? as u32)),
                 3 => {
                     let sig_id = get_uleb128(&mut buf)?;
-                    let sig: MethodSig = lookup(sig_id)?.parse().map_err(|e| {
-                        DexParseError::new(format!("bad external signature: {e}"))
-                    })?;
+                    let sig: MethodSig = lookup(sig_id)?
+                        .parse()
+                        .map_err(|e| DexParseError::new(format!("bad external signature: {e}")))?;
                     Instruction::Invoke(MethodRef::External(sig))
                 }
                 4 => Instruction::Return,
@@ -297,9 +297,7 @@ pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
                         1 => Dispatcher::Thread,
                         2 => Dispatcher::Executor,
                         other => {
-                            return Err(DexParseError::new(format!(
-                                "invalid dispatcher {other}"
-                            )))
+                            return Err(DexParseError::new(format!("invalid dispatcher {other}")))
                         }
                     };
                     let target = match buf.get_u8() {
@@ -336,9 +334,7 @@ pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
                         1 => Connector::ApacheHttp,
                         2 => Connector::DirectSocket,
                         other => {
-                            return Err(DexParseError::new(format!(
-                                "invalid connector {other}"
-                            )))
+                            return Err(DexParseError::new(format!("invalid connector {other}")))
                         }
                     };
                     Instruction::Network(NetworkOp {
@@ -448,12 +444,7 @@ mod tests {
             },
             Instruction::InvokeAsync {
                 dispatcher: Dispatcher::Executor,
-                target: MethodRef::External(MethodSig::new(
-                    "java.lang",
-                    "Runnable",
-                    "run",
-                    "()V",
-                )),
+                target: MethodRef::External(MethodSig::new("java.lang", "Runnable", "run", "()V")),
             },
             Instruction::Network(NetworkOp {
                 domain: "ads.adnet.example".into(),
@@ -518,10 +509,7 @@ mod tests {
         let bytes = write_dex(&dex);
         // The external signature's text must appear exactly once.
         let needle = ext.as_smali().as_bytes();
-        let count = bytes
-            .windows(needle.len())
-            .filter(|w| *w == needle)
-            .count();
+        let count = bytes.windows(needle.len()).filter(|w| *w == needle).count();
         assert_eq!(count, 1);
     }
 

@@ -251,7 +251,10 @@ impl SigIndex {
         for (i, m) in dex.methods.iter().enumerate() {
             sigs.push(m.sig.clone());
             by_sig.insert(m.sig.clone(), i as u32);
-            by_dotted.entry(m.sig.dotted_name()).or_default().push(i as u32);
+            by_dotted
+                .entry(m.sig.dotted_name())
+                .or_default()
+                .push(i as u32);
         }
         SigIndex {
             sigs,

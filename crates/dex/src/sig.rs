@@ -52,7 +52,11 @@ pub struct SigParseError {
 
 impl fmt::Display for SigParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid method signature {:?}: {}", self.input, self.message)
+        write!(
+            f,
+            "invalid method signature {:?}: {}",
+            self.input, self.message
+        )
     }
 }
 
@@ -207,12 +211,16 @@ impl FromStr for MethodSig {
         if !s.starts_with('L') {
             return Err(err("must start with 'L'"));
         }
-        let arrow = s.find(";->").ok_or_else(|| err("missing ';->' separator"))?;
+        let arrow = s
+            .find(";->")
+            .ok_or_else(|| err("missing ';->' separator"))?;
         if arrow <= 1 {
             return Err(err("empty class path"));
         }
         let rest = &s[arrow + 3..];
-        let paren = rest.find('(').ok_or_else(|| err("missing '(' descriptor"))?;
+        let paren = rest
+            .find('(')
+            .ok_or_else(|| err("missing '(' descriptor"))?;
         if paren == 0 {
             return Err(err("empty method name"));
         }
@@ -228,7 +236,9 @@ impl FromStr for MethodSig {
             return Err(err("empty package component"));
         }
         validate_descriptor(&rest[paren..]).map_err(|m| err(&m))?;
-        Ok(MethodSig { smali: s.to_owned() })
+        Ok(MethodSig {
+            smali: s.to_owned(),
+        })
     }
 }
 
@@ -293,7 +303,10 @@ mod tests {
         assert_eq!(sig.class_name(), "b");
         assert_eq!(sig.method_name(), "doInBackground");
         assert_eq!(sig.descriptor(), "([Ljava/lang/Object;)Ljava/lang/Object;");
-        assert_eq!(sig.dotted_name(), "com.unity3d.ads.android.cache.b.doInBackground");
+        assert_eq!(
+            sig.dotted_name(),
+            "com.unity3d.ads.android.cache.b.doInBackground"
+        );
     }
 
     #[test]
@@ -338,24 +351,27 @@ mod tests {
     #[test]
     fn prefix_levels_short_names() {
         assert_eq!(prefix_levels("okhttp3", 2), "okhttp3");
-        assert_eq!(prefix_levels("okhttp3.internal.http", 2), "okhttp3.internal");
+        assert_eq!(
+            prefix_levels("okhttp3.internal.http", 2),
+            "okhttp3.internal"
+        );
         assert_eq!(prefix_levels("", 2), "");
     }
 
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "com/foo/Bar;->m()V",           // no leading L
-            "Lcom/foo/Bar->m()V",           // missing ;
-            "Lcom/foo/Bar;->m",             // no descriptor
-            "Lcom/foo/Bar;->(I)V",          // no method name
-            "Lcom/foo/Bar;->m()",           // no return type
-            "Lcom//Bar;->m()V",             // empty package component
-            "L;->m()V",                     // empty class path
-            "Lcom/foo/Bar;->m(Q)V",         // bad type descriptor
-            "Lcom/foo/Bar;->m([)V",         // dangling array
-            "Lcom/foo/Bar;->m(Lx)V",        // unterminated object type
-            "Lcom/foo/Bar;->m()VV",         // trailing bytes
+            "com/foo/Bar;->m()V",    // no leading L
+            "Lcom/foo/Bar->m()V",    // missing ;
+            "Lcom/foo/Bar;->m",      // no descriptor
+            "Lcom/foo/Bar;->(I)V",   // no method name
+            "Lcom/foo/Bar;->m()",    // no return type
+            "Lcom//Bar;->m()V",      // empty package component
+            "L;->m()V",              // empty class path
+            "Lcom/foo/Bar;->m(Q)V",  // bad type descriptor
+            "Lcom/foo/Bar;->m([)V",  // dangling array
+            "Lcom/foo/Bar;->m(Lx)V", // unterminated object type
+            "Lcom/foo/Bar;->m()VV",  // trailing bytes
         ] {
             assert!(bad.parse::<MethodSig>().is_err(), "should reject {bad}");
         }

@@ -1,4 +1,4 @@
-//! Parallel experiment campaigns (§II-B3).
+//! Parallel experiment campaigns (§II-B3), hardened.
 //!
 //! Libspector's data-collection framework is "a job dispatcher and
 //! multiple workers which run different and fresh copies of the same
@@ -19,23 +19,57 @@
 //! every app ends up in exactly one of
 //! [`CampaignOutcome::analyses`] or [`CampaignOutcome::failures`].
 //!
+//! [`run_campaign`] is the hardened entry point, built for rigs that
+//! fail:
+//!
+//! * **Chaos** — an optional seeded [`FaultPlan`] injects emulator boot
+//!   failures, monkey hangs, worker panics, and wire faults
+//!   (report loss/duplication/reordering/corruption, frame truncation,
+//!   capture death) deterministically per `(app, attempt)`.
+//! * **Isolation** — each attempt runs under `catch_unwind`, so one
+//!   poisoned app records an [`AppFailure`] instead of sinking the
+//!   campaign.
+//! * **Retries** — boot failures and hangs (the *retryable* weather)
+//!   are retried under a bounded [`RetryPolicy`] with exponential
+//!   backoff and deterministic jitter; real errors are not.
+//! * **Deadlines** — a per-app virtual-clock deadline turns a wedged
+//!   run into a retryable failure instead of a stuck worker.
+//! * **Checkpointing** — the collector persists a fingerprinted
+//!   [`CampaignCheckpoint`] every N results; a killed campaign resumes
+//!   from it without re-running completed apps, and produces the same
+//!   [`CampaignOutcome`] an uninterrupted run would have.
+//!
+//! [`run_corpus`] remains the simple facade: no chaos, no retries, no
+//! checkpointing — byte-identical to the pre-hardening dispatcher.
+//!
 //! With [`run_corpus_live`], each worker additionally streams its
 //! finished run's capture through a [`LiveCollector`] — the bridge to
 //! the `spector-live` online attribution engine — so a campaign can be
 //! watched while it runs.
 
+pub mod resilience;
 pub mod store;
 
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use crossbeam::channel;
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::{analyze_run, AppAnalysis};
+use serde::{Deserialize, Serialize};
 use spector_corpus::Corpus;
+use spector_faults::{perturb_capture, FaultPlan, PerturbStats};
 use spector_live::{LiveEngine, LiveSummary};
 
-pub use store::{load_campaign, save_campaign, Campaign};
+pub use resilience::RetryPolicy;
+pub use store::{
+    load_campaign, load_checkpoint, save_campaign, save_checkpoint, Campaign, CampaignCheckpoint,
+    CampaignFingerprint, CheckpointEntry,
+};
 
 /// Campaign settings.
 #[derive(Debug, Clone, Default)]
@@ -47,27 +81,92 @@ pub struct DispatchConfig {
     pub experiment: ExperimentConfig,
 }
 
+/// Periodic checkpoint settings for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint file lives (atomically replaced).
+    pub path: PathBuf,
+    /// Write a checkpoint every this many finished apps (min 1).
+    pub every: usize,
+}
+
+/// Everything [`run_campaign`] needs beyond the corpus: pool settings
+/// plus the resilience knobs. The default is exactly [`run_corpus`]'s
+/// behavior — no chaos, single attempt, no deadline, no checkpoint.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker pool and per-app experiment settings.
+    pub dispatch: DispatchConfig,
+    /// Seeded fault plan; `None` (or a no-op plan) injects nothing.
+    pub chaos: Option<FaultPlan>,
+    /// Retry budget for retryable failures (boot failure, hang).
+    pub retry: RetryPolicy,
+    /// Per-app virtual-clock deadline, microseconds: a run whose
+    /// virtual duration exceeds this counts as a hang (retryable).
+    pub deadline_micros: Option<u64>,
+    /// Periodic checkpointing; `None` disables it.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from this checkpoint file if it exists (a missing file
+    /// starts fresh; a fingerprint mismatch is an error).
+    pub resume_from: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            dispatch: DispatchConfig::default(),
+            chaos: None,
+            retry: RetryPolicy::never(),
+            deadline_micros: None,
+            checkpoint: None,
+            resume_from: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The identity this campaign checkpoints under.
+    pub fn fingerprint(&self, apps: usize) -> CampaignFingerprint {
+        CampaignFingerprint {
+            apps,
+            seed: self.dispatch.experiment.monkey.seed,
+            monkey_events: self.dispatch.experiment.monkey.events,
+            chaos: self.chaos,
+        }
+    }
+}
+
 /// One app whose experiment could not run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AppFailure {
     /// Index of the app in the corpus.
     pub index: usize,
     /// The app's package name.
     pub package: String,
-    /// Rendered experiment error.
+    /// Rendered experiment error (the last attempt's).
     pub error: String,
+    /// Attempts spent before giving up (1 = failed first try, no
+    /// retries allowed or the failure was not retryable).
+    #[serde(default)]
+    pub attempts: u32,
 }
 
 /// Everything a campaign produced: successful analyses in app order,
 /// plus an explicit record of every app that failed — the invariant
 /// `analyses.len() + failures.len() == corpus.apps.len()` always
 /// holds, so a hole in the data is visible instead of silent.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CampaignOutcome {
     /// Per-app analyses of the runs that succeeded, in app order.
     pub analyses: Vec<AppAnalysis>,
     /// Apps whose experiment failed, in app order.
     pub failures: Vec<AppFailure>,
+    /// Retry attempts spent beyond each app's first try.
+    #[serde(default)]
+    pub retried: usize,
+    /// Wire faults the chaos plan injected (all zero without chaos).
+    #[serde(default)]
+    pub injected: PerturbStats,
 }
 
 impl CampaignOutcome {
@@ -117,7 +216,12 @@ pub fn run_corpus(
     config: &DispatchConfig,
     progress: Option<&(dyn Fn(usize) + Sync)>,
 ) -> CampaignOutcome {
-    run_corpus_inner(corpus, knowledge, config, None, progress)
+    let campaign = CampaignConfig {
+        dispatch: config.clone(),
+        ..Default::default()
+    };
+    run_campaign(corpus, knowledge, &campaign, None, progress)
+        .expect("io is impossible without checkpoint/resume")
 }
 
 /// [`run_corpus`], additionally streaming every successful run's
@@ -132,22 +236,198 @@ pub fn run_corpus_live(
     collector: &LiveCollector,
     progress: Option<&(dyn Fn(usize) + Sync)>,
 ) -> CampaignOutcome {
-    run_corpus_inner(corpus, knowledge, config, Some(collector), progress)
+    let campaign = CampaignConfig {
+        dispatch: config.clone(),
+        ..Default::default()
+    };
+    run_campaign(corpus, knowledge, &campaign, Some(collector), progress)
+        .expect("io is impossible without checkpoint/resume")
 }
 
-fn run_corpus_inner(
+/// How one attempt at one app ended, before retry accounting.
+enum AttemptError {
+    /// Weather: worth retrying (boot failure, hang, deadline).
+    Retryable(String),
+    /// A real error or a panic: retrying would waste the budget.
+    Fatal(String),
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// One worker's full retry loop for one app. Everything that can blow
+/// up — the run, the perturbation, the analysis — executes under
+/// `catch_unwind`, so the worst an app can do is record a failure.
+#[allow(clippy::too_many_arguments)]
+fn run_one_app(
     corpus: &Corpus,
     knowledge: &Knowledge,
-    config: &DispatchConfig,
+    config: &CampaignConfig,
+    resolver: &std::collections::HashMap<String, std::net::Ipv4Addr>,
+    collector: Option<&LiveCollector>,
+    index: usize,
+) -> (Result<AppAnalysis, AppFailure>, PerturbStats, u32) {
+    let app = &corpus.apps[index];
+    let chaos_seed = config.chaos.map(|p| p.seed()).unwrap_or(0);
+    let deadline = config.deadline_micros.unwrap_or(u64::MAX);
+    let mut injected = PerturbStats::default();
+    let mut attempt: u32 = 0;
+    loop {
+        let faults = config
+            .chaos
+            .map(|plan| plan.process_faults(index, attempt))
+            .unwrap_or_default();
+        let attempt_result: Result<AppAnalysis, AttemptError> = if faults.boot_failure {
+            Err(AttemptError::Retryable(
+                "emulator failed to boot (injected)".to_owned(),
+            ))
+        } else {
+            let guarded = catch_unwind(AssertUnwindSafe(|| {
+                if faults.worker_panic {
+                    panic!("injected worker panic (chaos)");
+                }
+                let mut experiment = config.dispatch.experiment.clone();
+                // Deterministic per-app monkey seed, independent of
+                // scheduling and of the attempt number: a retried run
+                // replays the same app behavior, only the faults move.
+                experiment.monkey.seed ^= (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let system: Vec<_> = app
+                    .system_ops
+                    .iter()
+                    .map(|s| (s.op.clone(), s.dispatcher))
+                    .collect();
+                let mut raw = match run_app(&app.apk, resolver, &system, &experiment) {
+                    Ok(raw) => raw,
+                    Err(error) => return Err(AttemptError::Fatal(error.to_string())),
+                };
+                if faults.monkey_hang {
+                    return Err(AttemptError::Retryable(
+                        "monkey hang: virtual clock stalled past the app deadline (injected)"
+                            .to_owned(),
+                    ));
+                }
+                if raw.duration_micros > deadline {
+                    return Err(AttemptError::Retryable(format!(
+                        "app deadline exceeded: run took {}µs of virtual time (deadline {}µs)",
+                        raw.duration_micros, deadline
+                    )));
+                }
+                let mut stats = PerturbStats::default();
+                if let Some(plan) = &config.chaos {
+                    let capture = std::mem::take(&mut raw.capture);
+                    let (capture, perturbed) = perturb_capture(
+                        plan,
+                        index,
+                        attempt,
+                        capture,
+                        experiment.supervisor.collector_port,
+                    );
+                    raw.capture = capture;
+                    stats = perturbed;
+                }
+                if let Some(collector) = collector {
+                    collector.observe(index as u32, &raw);
+                }
+                Ok((
+                    analyze_run(&raw, knowledge, experiment.supervisor.collector_port),
+                    stats,
+                ))
+            }));
+            match guarded {
+                Ok(Ok((analysis, stats))) => {
+                    injected.merge(&stats);
+                    Ok(analysis)
+                }
+                Ok(Err(error)) => Err(error),
+                Err(payload) => Err(AttemptError::Fatal(format!(
+                    "worker panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            }
+        };
+        match attempt_result {
+            Ok(analysis) => return (Ok(analysis), injected, attempt),
+            Err(AttemptError::Retryable(error)) if attempt + 1 < config.retry.max_attempts => {
+                let backoff = config.retry.backoff_micros(chaos_seed, index, attempt);
+                if backoff > 0 {
+                    std::thread::sleep(Duration::from_micros(backoff));
+                }
+                attempt += 1;
+                let _ = error;
+            }
+            Err(AttemptError::Retryable(error)) | Err(AttemptError::Fatal(error)) => {
+                return (
+                    Err(AppFailure {
+                        index,
+                        package: app.package.clone(),
+                        error,
+                        attempts: attempt + 1,
+                    }),
+                    injected,
+                    attempt,
+                )
+            }
+        }
+    }
+}
+
+/// Runs a hardened campaign: [`run_corpus`] plus chaos injection,
+/// panic isolation, bounded retries, per-app deadlines, and
+/// checkpoint/resume. With the default [`CampaignConfig`] the outcome
+/// is byte-identical to [`run_corpus`].
+///
+/// # Errors
+///
+/// Returns an error when the resume checkpoint exists but does not
+/// match this campaign's fingerprint, or when a checkpoint write
+/// fails. The experiment itself cannot error: every app failure is
+/// recorded in the outcome.
+pub fn run_campaign(
+    corpus: &Corpus,
+    knowledge: &Knowledge,
+    config: &CampaignConfig,
     collector: Option<&LiveCollector>,
     progress: Option<&(dyn Fn(usize) + Sync)>,
-) -> CampaignOutcome {
-    let workers = if config.workers == 0 {
+) -> io::Result<CampaignOutcome> {
+    let apps = corpus.apps.len();
+    let fingerprint = config.fingerprint(apps);
+
+    let mut results: Vec<Option<Result<AppAnalysis, AppFailure>>> = Vec::new();
+    results.resize_with(apps, || None);
+    let mut retried: usize = 0;
+    let mut injected = PerturbStats::default();
+    if let Some(path) = &config.resume_from {
+        match load_checkpoint(path, &fingerprint) {
+            Ok(checkpoint) => {
+                retried = checkpoint.retried;
+                injected = checkpoint.injected;
+                for (slot, entry) in results.iter_mut().zip(checkpoint.results) {
+                    *slot = entry.map(|entry| match entry {
+                        CheckpointEntry::Analysis(analysis) => Ok(analysis),
+                        CheckpointEntry::Failure(failure) => Err(failure),
+                    });
+                }
+            }
+            // No checkpoint yet: a fresh campaign that will write one.
+            Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+            Err(error) => return Err(error),
+        }
+    }
+    let pending: Vec<usize> = (0..apps).filter(|i| results[*i].is_none()).collect();
+
+    let workers = if config.dispatch.workers == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
     } else {
-        config.workers
+        config.dispatch.workers
     };
     let resolver = resolver_for(&corpus.domains);
     // Bounded to the pool: the feeder blocks once every worker has a
@@ -155,20 +435,19 @@ fn run_corpus_inner(
     // results as they appear, so neither queue grows with corpus size.
     let queue = workers.max(1) * 2;
     let (job_tx, job_rx) = channel::bounded::<usize>(queue);
-    let (result_tx, result_rx) = channel::bounded::<(usize, Result<AppAnalysis, AppFailure>)>(queue);
+    let (result_tx, result_rx) =
+        channel::bounded::<(usize, Result<AppAnalysis, AppFailure>, PerturbStats, u32)>(queue);
 
-    let done = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<AppAnalysis, AppFailure>>> = Vec::new();
-    results.resize_with(corpus.apps.len(), || None);
-
+    let done = AtomicUsize::new(apps - pending.len());
+    let mut checkpoint_error: Option<io::Error> = None;
     crossbeam::scope(|scope| {
-        let apps = corpus.apps.len();
-        scope.spawn(move |_| {
-            for index in 0..apps {
-                if job_tx.send(index).is_err() {
+        scope.spawn(|_| {
+            for index in &pending {
+                if job_tx.send(*index).is_err() {
                     break;
                 }
             }
+            drop(job_tx);
             // job_tx drops here; workers drain and exit.
         });
         for _ in 0..workers {
@@ -178,51 +457,49 @@ fn run_corpus_inner(
             let done = &done;
             scope.spawn(move |_| {
                 while let Ok(index) = job_rx.recv() {
-                    let app = &corpus.apps[index];
-                    let mut experiment = config.experiment.clone();
-                    // Deterministic per-app monkey seed, independent of
-                    // scheduling.
-                    experiment.monkey.seed ^=
-                        (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    let system: Vec<_> = app
-                        .system_ops
-                        .iter()
-                        .map(|s| (s.op.clone(), s.dispatcher))
-                        .collect();
-                    let result = match run_app(&app.apk, resolver, &system, &experiment) {
-                        Ok(raw) => {
-                            if let Some(collector) = collector {
-                                collector.observe(index as u32, &raw);
-                            }
-                            Ok(analyze_run(
-                                &raw,
-                                knowledge,
-                                experiment.supervisor.collector_port,
-                            ))
-                        }
-                        Err(error) => Err(AppFailure {
-                            index,
-                            package: app.package.clone(),
-                            error: error.to_string(),
-                        }),
-                    };
+                    let (result, stats, extra_attempts) =
+                        run_one_app(corpus, knowledge, config, resolver, collector, index);
                     let count = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(callback) = progress {
                         callback(count);
                     }
-                    let _ = result_tx.send((index, result));
+                    let _ = result_tx.send((index, result, stats, extra_attempts));
                 }
             });
         }
         drop(job_rx);
         drop(result_tx);
-        for (index, result) in result_rx.iter() {
+        let mut since_checkpoint = 0usize;
+        for (index, result, stats, extra_attempts) in result_rx.iter() {
+            retried += extra_attempts as usize;
+            injected.merge(&stats);
             results[index] = Some(result);
+            if let Some(checkpoint) = &config.checkpoint {
+                since_checkpoint += 1;
+                if since_checkpoint >= checkpoint.every.max(1) && checkpoint_error.is_none() {
+                    since_checkpoint = 0;
+                    let snapshot = snapshot_checkpoint(&fingerprint, &results, retried, &injected);
+                    if let Err(error) = save_checkpoint(&snapshot, &checkpoint.path) {
+                        checkpoint_error = Some(error);
+                    }
+                }
+            }
         }
     })
-    .expect("worker panicked");
+    .expect("worker panicked outside isolation");
+    if let Some(error) = checkpoint_error {
+        return Err(error);
+    }
+    if let Some(checkpoint) = &config.checkpoint {
+        let snapshot = snapshot_checkpoint(&fingerprint, &results, retried, &injected);
+        save_checkpoint(&snapshot, &checkpoint.path)?;
+    }
 
-    let mut outcome = CampaignOutcome::default();
+    let mut outcome = CampaignOutcome {
+        retried,
+        injected,
+        ..Default::default()
+    };
     for result in results.into_iter() {
         match result.expect("every app index produces exactly one result") {
             Ok(analysis) => outcome.analyses.push(analysis),
@@ -230,7 +507,29 @@ fn run_corpus_inner(
         }
     }
     debug_assert_eq!(outcome.total(), corpus.apps.len());
-    outcome
+    Ok(outcome)
+}
+
+fn snapshot_checkpoint(
+    fingerprint: &CampaignFingerprint,
+    results: &[Option<Result<AppAnalysis, AppFailure>>],
+    retried: usize,
+    injected: &PerturbStats,
+) -> CampaignCheckpoint {
+    CampaignCheckpoint {
+        fingerprint: fingerprint.clone(),
+        results: results
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|result| match result {
+                    Ok(analysis) => CheckpointEntry::Analysis(analysis.clone()),
+                    Err(failure) => CheckpointEntry::Failure(failure.clone()),
+                })
+            })
+            .collect(),
+        retried,
+        injected: *injected,
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +566,8 @@ mod tests {
         assert_eq!(outcome.total(), corpus.apps.len());
         assert_eq!(outcome.analyses.len(), 8);
         assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.retried, 0);
+        assert_eq!(outcome.injected, PerturbStats::default());
         for (app, analysis) in corpus.apps.iter().zip(&outcome.analyses) {
             assert_eq!(app.package, analysis.package);
         }
@@ -320,8 +621,7 @@ mod tests {
             .position(|w| w == name)
             .expect("apk contains a dex entry");
         let len_off = pos + name.len();
-        let data_len =
-            u32::from_le_bytes(raw[len_off..len_off + 4].try_into().unwrap()) as usize;
+        let data_len = u32::from_le_bytes(raw[len_off..len_off + 4].try_into().unwrap()) as usize;
         for byte in &mut raw[len_off + 4..len_off + 4 + data_len] {
             *byte = 0xFF;
         }
@@ -346,8 +646,13 @@ mod tests {
         assert_eq!(failure.index, 2);
         assert_eq!(failure.package, corpus.apps[2].package);
         assert!(!failure.error.is_empty());
+        assert_eq!(failure.attempts, 1, "apk errors are not retryable");
         // The surviving analyses keep app order, skipping the hole.
-        let packages: Vec<&str> = outcome.analyses.iter().map(|a| a.package.as_str()).collect();
+        let packages: Vec<&str> = outcome
+            .analyses
+            .iter()
+            .map(|a| a.package.as_str())
+            .collect();
         let expected: Vec<&str> = corpus
             .apps
             .iter()
@@ -383,6 +688,8 @@ mod tests {
         assert_eq!(live.total_sent, offline.total_sent);
         assert_eq!(live.total_recv, offline.total_recv);
         assert_eq!(live.unjoined_reports(), offline.unjoined_reports());
+        assert_eq!(live.reports_truncated, offline.reports_truncated);
+        assert_eq!(live.reports_malformed, offline.reports_malformed);
         assert_eq!(live.dropped_events, 0);
     }
 }

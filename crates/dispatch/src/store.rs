@@ -3,6 +3,12 @@
 //! The original system ships per-app results to "a central database for
 //! later evaluation"; here a campaign serializes to a single JSON file
 //! that the analysis stage (and the CLI's `report` command) loads back.
+//!
+//! The store also holds **checkpoints**: periodic snapshots of a
+//! running campaign's per-app results, fingerprinted against the
+//! campaign settings so `--resume` can only continue the campaign it
+//! came from. Checkpoint writes are atomic (temp file + rename), so a
+//! campaign killed mid-write leaves the previous checkpoint intact.
 
 use std::fs;
 use std::io;
@@ -10,6 +16,9 @@ use std::path::Path;
 
 use libspector::pipeline::AppAnalysis;
 use serde::{Deserialize, Serialize};
+use spector_faults::{FaultPlan, PerturbStats};
+
+use crate::AppFailure;
 
 /// A completed campaign: settings fingerprint plus all per-app results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,6 +31,120 @@ pub struct Campaign {
     pub monkey_events: u32,
     /// Per-app analyses, in app order.
     pub analyses: Vec<AppAnalysis>,
+    /// Apps whose experiment failed, in app order (absent in campaigns
+    /// saved before degraded-mode accounting existed).
+    #[serde(default)]
+    pub failures: Vec<AppFailure>,
+}
+
+/// What a checkpoint is keyed by: resuming a campaign under different
+/// settings would stitch two different experiments together, so resume
+/// refuses anything but an exact fingerprint match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignFingerprint {
+    /// Apps in the corpus.
+    pub apps: usize,
+    /// Base monkey seed (per-app seeds derive from it).
+    pub seed: u64,
+    /// Monkey events per app.
+    pub monkey_events: u32,
+    /// The chaos plan, if any — a resumed chaos campaign must replay
+    /// the same faults.
+    pub chaos: Option<FaultPlan>,
+}
+
+/// One finished app inside a checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CheckpointEntry {
+    /// The app's run and analysis succeeded.
+    Analysis(AppAnalysis),
+    /// The app failed (after retries, if any were allowed).
+    Failure(AppFailure),
+}
+
+/// A mid-campaign snapshot: every app slot is either done (`Some`) or
+/// still owed (`None`). Resume prefills the done slots and only
+/// dispatches the rest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Settings the campaign ran under.
+    pub fingerprint: CampaignFingerprint,
+    /// Per-app results, indexed by corpus position.
+    pub results: Vec<Option<CheckpointEntry>>,
+    /// Retry attempts spent so far.
+    pub retried: usize,
+    /// Wire faults injected so far.
+    pub injected: PerturbStats,
+}
+
+impl CampaignCheckpoint {
+    /// An empty checkpoint for a campaign that has produced nothing.
+    pub fn empty(fingerprint: CampaignFingerprint, apps: usize) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            fingerprint,
+            results: vec![None; apps],
+            retried: 0,
+            injected: PerturbStats::default(),
+        }
+    }
+
+    /// Finished apps recorded in this checkpoint.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Writes a checkpoint atomically: serialize to `<path>.tmp` in the
+/// same directory, then rename over `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write or the rename.
+pub fn save_checkpoint(checkpoint: &CampaignCheckpoint, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_vec(checkpoint).map_err(io::Error::other)?;
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint and validates it against `expected`.
+///
+/// # Errors
+///
+/// Filesystem errors propagate; malformed JSON and a fingerprint
+/// mismatch both surface as [`io::ErrorKind::InvalidData`].
+pub fn load_checkpoint(
+    path: &Path,
+    expected: &CampaignFingerprint,
+) -> io::Result<CampaignCheckpoint> {
+    let bytes = fs::read(path)?;
+    let checkpoint: CampaignCheckpoint = serde_json::from_slice(&bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if &checkpoint.fingerprint != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint fingerprint mismatch: checkpoint was taken under {:?}, campaign runs under {:?}",
+                checkpoint.fingerprint, expected
+            ),
+        ));
+    }
+    if checkpoint.results.len() != expected.apps {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint covers {} apps, campaign has {}",
+                checkpoint.results.len(),
+                expected.apps
+            ),
+        ));
+    }
+    Ok(checkpoint)
 }
 
 /// Writes a campaign to `path` as JSON.
@@ -46,8 +169,7 @@ pub fn save_campaign(campaign: &Campaign, path: &Path) -> io::Result<()> {
 /// [`io::ErrorKind::InvalidData`]).
 pub fn load_campaign(path: &Path) -> io::Result<Campaign> {
     let bytes = fs::read(path)?;
-    serde_json::from_slice(&bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    serde_json::from_slice(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -73,8 +195,56 @@ mod tests {
                 },
                 dns_packets: 4,
                 report_packets: 2,
+                integrity: Default::default(),
             }],
+            failures: vec![],
         }
+    }
+
+    fn fingerprint() -> CampaignFingerprint {
+        CampaignFingerprint {
+            apps: 3,
+            seed: 7,
+            monkey_events: 50,
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_counts_completions() {
+        let dir = std::env::temp_dir().join("spector-store-test");
+        let path = dir.join("checkpoint.json");
+        let mut checkpoint = CampaignCheckpoint::empty(fingerprint(), 3);
+        checkpoint.results[1] = Some(CheckpointEntry::Failure(AppFailure {
+            index: 1,
+            package: "com.b".into(),
+            error: "boom".into(),
+            attempts: 2,
+        }));
+        checkpoint.retried = 1;
+        assert_eq!(checkpoint.completed(), 1);
+        save_checkpoint(&checkpoint, &path).unwrap();
+        let loaded = load_checkpoint(&path, &fingerprint()).unwrap();
+        assert_eq!(loaded.completed(), 1);
+        assert_eq!(loaded.retried, 1);
+        assert!(matches!(
+            loaded.results[1],
+            Some(CheckpointEntry::Failure(ref f)) if f.package == "com.b"
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_foreign_fingerprint() {
+        let dir = std::env::temp_dir().join("spector-store-test");
+        let path = dir.join("foreign.json");
+        let checkpoint = CampaignCheckpoint::empty(fingerprint(), 3);
+        save_checkpoint(&checkpoint, &path).unwrap();
+        let mut other = fingerprint();
+        other.seed = 8;
+        let err = load_checkpoint(&path, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Chaos properties of the hardened campaign runner.
+//!
+//! The contract under test: for *any* seeded `FaultPlan`, the
+//! accounting invariant holds and no panic escapes the pool; for the
+//! *same* plan, results are byte-identical across worker counts; and
+//! for the zero-fault plan, the hardened path reproduces the plain
+//! `run_corpus` output exactly. Byte identity is asserted on the
+//! serialized outcome, not field samples.
+
+use std::path::PathBuf;
+use std::sync::Once;
+
+use libspector::knowledge::Knowledge;
+use proptest::prelude::*;
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_dispatch::{
+    load_checkpoint, run_campaign, run_corpus, save_checkpoint, CampaignConfig, CampaignOutcome,
+    CheckpointConfig, DispatchConfig, RetryPolicy,
+};
+use spector_faults::{FaultPlan, FaultProfile};
+
+/// Injected panics are expected here; keep them out of test output.
+/// (The hook is process-global, but every test in this binary that
+/// panics on purpose wants the same silence.)
+fn silence_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn tiny_corpus(apps: usize, seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale: 0.004,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn chaos_config(workers: usize, plan: FaultPlan) -> CampaignConfig {
+    let mut dispatch = DispatchConfig {
+        workers,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = 40;
+    CampaignConfig {
+        dispatch,
+        chaos: Some(plan),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_micros: 0,
+            max_backoff_micros: 0,
+        },
+        ..Default::default()
+    }
+}
+
+fn outcome_bytes(outcome: &CampaignOutcome) -> Vec<u8> {
+    serde_json::to_vec(outcome).expect("outcome serializes")
+}
+
+fn temp_checkpoint(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spector-chaos-{}", std::process::id()));
+    dir.join(format!("{name}.json"))
+}
+
+fn arb_profile() -> impl Strategy<Value = FaultProfile> {
+    // Per-mille rates; the vendored proptest has no f64 range strategy.
+    let p = |permille: u32| permille as f64 / 1000.0;
+    (
+        0u32..400,
+        0u32..300,
+        0u32..300,
+        0u32..300,
+        0u32..200,
+        0u32..50,
+        0u32..300,
+        0u32..400,
+        0u32..300,
+        0u32..200,
+    )
+        .prop_map(
+            move |(loss, dup, reorder, trunc, flip, frame, death, boot, hang, panic)| {
+                FaultProfile {
+                    report_loss: p(loss),
+                    report_duplication: p(dup),
+                    report_reorder: p(reorder),
+                    report_truncation: p(trunc),
+                    report_bit_flip: p(flip),
+                    frame_truncation: p(frame),
+                    capture_death: p(death),
+                    boot_failure: p(boot),
+                    monkey_hang: p(hang),
+                    worker_panic: p(panic),
+                }
+            },
+        )
+}
+
+proptest! {
+    // Each case runs a full (tiny) campaign; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn accounting_invariant_holds_under_any_plan(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+    ) {
+        silence_panics();
+        let corpus = tiny_corpus(3, 31);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let config = chaos_config(2, FaultPlan::new(seed, profile));
+        let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+        // Every app lands in exactly one bucket, retries accounted.
+        prop_assert_eq!(outcome.total(), corpus.apps.len());
+        let failure_attempts: usize = outcome
+            .failures
+            .iter()
+            .map(|f| f.attempts as usize)
+            .sum();
+        prop_assert!(outcome.retried + outcome.failures.len() >= failure_attempts,
+            "retried {} failures {} attempts {}", outcome.retried, outcome.failures.len(), failure_attempts);
+        for failure in &outcome.failures {
+            prop_assert!(failure.attempts >= 1);
+            prop_assert!(failure.attempts <= config.retry.max_attempts);
+            prop_assert!(!failure.error.is_empty());
+        }
+        // App order is preserved in both buckets.
+        let analysis_packages: Vec<&str> =
+            outcome.analyses.iter().map(|a| a.package.as_str()).collect();
+        let mut expected = analysis_packages.clone();
+        expected.sort_by_key(|p| corpus.apps.iter().position(|a| a.package == *p));
+        prop_assert_eq!(analysis_packages, expected);
+    }
+
+    #[test]
+    fn same_plan_is_byte_identical_across_worker_counts(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+    ) {
+        silence_panics();
+        let corpus = tiny_corpus(3, 32);
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let plan = FaultPlan::new(seed, profile);
+        let serial = run_campaign(&corpus, &knowledge, &chaos_config(1, plan), None, None).unwrap();
+        let parallel = run_campaign(&corpus, &knowledge, &chaos_config(4, plan), None, None).unwrap();
+        prop_assert_eq!(outcome_bytes(&serial), outcome_bytes(&parallel));
+    }
+}
+
+#[test]
+fn zero_fault_plan_reproduces_plain_run_corpus_exactly() {
+    let corpus = tiny_corpus(4, 33);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = 40;
+    let plain = run_corpus(&corpus, &knowledge, &dispatch, None);
+    // Chaos machinery armed — retries allowed, plan present — but the
+    // profile is all zeros, so nothing may change.
+    let mut config = chaos_config(2, FaultPlan::new(987, FaultProfile::none()));
+    config.dispatch = dispatch;
+    let hardened = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome_bytes(&plain), outcome_bytes(&hardened));
+}
+
+#[test]
+fn no_panic_escapes_the_pool() {
+    silence_panics();
+    let corpus = tiny_corpus(3, 34);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut profile = FaultProfile::none();
+    profile.worker_panic = 1.0;
+    let config = chaos_config(2, FaultPlan::new(5, profile));
+    // Every attempt panics; the campaign must still return, with every
+    // app recorded as a failure (panics are not retryable).
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.analyses.len(), 0);
+    assert_eq!(outcome.failures.len(), 3);
+    for failure in &outcome.failures {
+        assert!(failure.error.contains("panicked"), "{}", failure.error);
+        assert_eq!(failure.attempts, 1);
+    }
+}
+
+#[test]
+fn retryable_faults_are_retried_with_bounded_attempts() {
+    silence_panics();
+    let corpus = tiny_corpus(6, 35);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut profile = FaultProfile::none();
+    profile.boot_failure = 0.6;
+    let config = chaos_config(2, FaultPlan::new(77, profile));
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.total(), 6);
+    assert!(
+        outcome.retried > 0,
+        "a 60% boot-failure rate must trigger retries"
+    );
+    assert!(
+        !outcome.analyses.is_empty(),
+        "with 3 attempts at 60% failure, some app must eventually boot"
+    );
+    for failure in &outcome.failures {
+        // Only the retryable fault fires, so every failure exhausted
+        // its attempts.
+        assert_eq!(failure.attempts, config.retry.max_attempts);
+        assert!(failure.error.contains("boot"), "{}", failure.error);
+    }
+}
+
+#[test]
+fn injected_deadline_hangs_are_retried() {
+    silence_panics();
+    let corpus = tiny_corpus(3, 36);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut profile = FaultProfile::none();
+    profile.monkey_hang = 1.0;
+    let mut config = chaos_config(2, FaultPlan::new(6, profile));
+    config.deadline_micros = Some(1_000_000_000);
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.analyses.len(), 0);
+    assert_eq!(outcome.failures.len(), 3);
+    assert_eq!(
+        outcome.retried,
+        3 * (config.retry.max_attempts as usize - 1)
+    );
+    for failure in &outcome.failures {
+        assert!(failure.error.contains("hang"), "{}", failure.error);
+        assert_eq!(failure.attempts, config.retry.max_attempts);
+    }
+}
+
+#[test]
+fn real_deadline_fires_on_virtual_clock() {
+    let corpus = tiny_corpus(2, 37);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut config = chaos_config(1, FaultPlan::new(0, FaultProfile::none()));
+    config.deadline_micros = Some(1); // Every run exceeds 1µs.
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.analyses.len(), 0);
+    assert_eq!(outcome.failures.len(), 2);
+    for failure in &outcome.failures {
+        assert!(
+            failure.error.contains("deadline exceeded"),
+            "{}",
+            failure.error
+        );
+    }
+}
+
+#[test]
+fn resumed_campaign_matches_uninterrupted_run() {
+    silence_panics();
+    let corpus = tiny_corpus(5, 38);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let plan = FaultPlan::new(41, FaultProfile::light());
+    let path = temp_checkpoint("resume");
+
+    // The uninterrupted reference run, checkpointing as it goes.
+    let mut config = chaos_config(2, plan);
+    config.checkpoint = Some(CheckpointConfig {
+        path: path.clone(),
+        every: 1,
+    });
+    let uninterrupted = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+
+    // Simulate a mid-run kill: strip the final checkpoint back to two
+    // completed apps, exactly what an interrupted collector leaves.
+    let fingerprint = config.fingerprint(corpus.apps.len());
+    let mut partial = load_checkpoint(&path, &fingerprint).unwrap();
+    assert_eq!(partial.completed(), 5);
+    for slot in partial.results.iter_mut().skip(2) {
+        *slot = None;
+    }
+    partial.retried = 0; // Conservative: retries of the lost apps replay.
+    partial.injected = Default::default();
+    save_checkpoint(&partial, &path).unwrap();
+
+    // Resume from the truncated checkpoint; only 3 apps re-run.
+    let mut resumed_config = config.clone();
+    resumed_config.resume_from = Some(path.clone());
+    let resumed = run_campaign(&corpus, &knowledge, &resumed_config, None, None).unwrap();
+    assert_eq!(
+        serde_json::to_vec(&resumed.analyses).unwrap(),
+        serde_json::to_vec(&uninterrupted.analyses).unwrap(),
+        "resumed analyses must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        serde_json::to_vec(&resumed.failures).unwrap(),
+        serde_json::to_vec(&uninterrupted.failures).unwrap(),
+    );
+    // The final checkpoint now covers the whole campaign again.
+    let final_checkpoint = load_checkpoint(&path, &fingerprint).unwrap();
+    assert_eq!(final_checkpoint.completed(), 5);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_refuses_a_foreign_checkpoint() {
+    let corpus = tiny_corpus(2, 39);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let path = temp_checkpoint("foreign");
+    let mut config = chaos_config(1, FaultPlan::new(1, FaultProfile::none()));
+    config.checkpoint = Some(CheckpointConfig {
+        path: path.clone(),
+        every: 1,
+    });
+    run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    // Same checkpoint, different chaos seed: must be rejected.
+    let mut other = chaos_config(1, FaultPlan::new(2, FaultProfile::none()));
+    other.resume_from = Some(path.clone());
+    let err = run_campaign(&corpus, &knowledge, &other, None, None).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_resume_checkpoint_starts_fresh() {
+    let corpus = tiny_corpus(2, 40);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut config = chaos_config(1, FaultPlan::new(3, FaultProfile::none()));
+    config.resume_from = Some(temp_checkpoint("never-written"));
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.total(), 2);
+    assert_eq!(outcome.analyses.len(), 2);
+}
+
+#[test]
+fn chaos_surfaces_in_degraded_mode_accounting() {
+    let corpus = tiny_corpus(3, 42);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut profile = FaultProfile::none();
+    profile.report_truncation = 1.0;
+    let config = chaos_config(2, FaultPlan::new(13, profile));
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).unwrap();
+    assert_eq!(outcome.analyses.len(), 3);
+    assert!(outcome.injected.reports_truncated > 0);
+    let truncated: usize = outcome
+        .analyses
+        .iter()
+        .map(|a| a.integrity.reports_truncated)
+        .sum();
+    assert_eq!(
+        truncated, outcome.injected.reports_truncated,
+        "every injected truncation must be observed by the decoder"
+    );
+    assert!(outcome.analyses.iter().all(|a| a.integrity.is_degraded()));
+}

@@ -1,0 +1,41 @@
+//! Seeded, deterministic fault injection for measurement hardening.
+//!
+//! A large campaign does not fail politely: report datagrams vanish in
+//! the kernel's UDP queue, tcpdump dies mid-capture, emulators refuse
+//! to boot, monkeys wedge, workers panic. This crate models that whole
+//! failure surface as *data*, not as chance: a [`FaultPlan`] is a pure
+//! function of `(campaign seed, app index, attempt)`, so the same plan
+//! injects byte-identical faults no matter how many workers run the
+//! campaign or how often it is resumed — which is what makes chaos
+//! testing assertable.
+//!
+//! Two layers of fault:
+//!
+//! * **Wire faults** ([`perturb_capture`]) — rewrite a finished run's
+//!   capture before analysis: report datagram loss / duplication /
+//!   reordering / truncation / bit flips, raw frame truncation, and
+//!   mid-stream capture death. Corrupted report payloads are re-encoded
+//!   through [`spector_netsim::packet::encode_udp`] so the damage lands
+//!   in the *report* decoder (where degraded-mode accounting lives),
+//!   not in frame parsing.
+//! * **Process faults** ([`FaultPlan::process_faults`]) — boot
+//!   failures, monkey hangs, and worker panics, surfaced as decisions
+//!   the dispatcher turns into retryable errors or injected panics.
+//!
+//! Everything derives from [`FaultProfile`] probabilities; the all-zero
+//! profile is a guaranteed no-op ([`FaultPlan::is_noop`]) so a chaos
+//! campaign with `--chaos none` reproduces the unhardened pipeline
+//! bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perturb;
+mod plan;
+mod profile;
+mod rng;
+
+pub use perturb::{perturb_capture, PerturbStats};
+pub use plan::{FaultPlan, ProcessFaults};
+pub use profile::{FaultProfile, ParseProfileError};
+pub use rng::FaultRng;

@@ -1,0 +1,175 @@
+//! Fault intensity profiles: what to break, how often.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-boundary fault probabilities. All probabilities are per-event
+/// (per report datagram, per frame, per attempt) and independent; the
+/// all-zero default injects nothing at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Drop a supervisor report datagram (UDP loss).
+    pub report_loss: f64,
+    /// Deliver a report datagram twice.
+    pub report_duplication: f64,
+    /// Deliver a report datagram behind the packet that followed it.
+    pub report_reorder: f64,
+    /// Truncate a report payload at a random byte (re-encoded as a
+    /// well-formed UDP frame, so the cut lands in the report decoder).
+    pub report_truncation: f64,
+    /// Flip one random bit in a report payload.
+    pub report_bit_flip: f64,
+    /// Truncate a non-report frame's raw bytes mid-header or
+    /// mid-payload (what a snapped pcap record looks like).
+    pub frame_truncation: f64,
+    /// Per run: the capture dies partway and the tail is lost.
+    pub capture_death: f64,
+    /// Per attempt: the emulator fails to boot (retryable).
+    pub boot_failure: f64,
+    /// Per attempt: the monkey wedges and the run deadline fires
+    /// (retryable).
+    pub monkey_hang: f64,
+    /// Per attempt: the worker thread panics mid-run (isolated, not
+    /// retried — a panic is a bug, not weather).
+    pub worker_panic: f64,
+}
+
+impl FaultProfile {
+    /// The inject-nothing profile (same as `Default`).
+    pub fn none() -> FaultProfile {
+        FaultProfile::default()
+    }
+
+    /// Mild weather: occasional UDP loss and process flakes, the rates
+    /// a healthy campaign rig actually sees.
+    pub fn light() -> FaultProfile {
+        FaultProfile {
+            report_loss: 0.02,
+            report_duplication: 0.01,
+            report_reorder: 0.02,
+            report_truncation: 0.01,
+            report_bit_flip: 0.005,
+            frame_truncation: 0.002,
+            capture_death: 0.01,
+            boot_failure: 0.02,
+            monkey_hang: 0.01,
+            worker_panic: 0.0,
+        }
+    }
+
+    /// Hostile weather: every fault class fires often enough that a
+    /// short campaign exercises all degraded paths, including panics.
+    pub fn heavy() -> FaultProfile {
+        FaultProfile {
+            report_loss: 0.15,
+            report_duplication: 0.08,
+            report_reorder: 0.10,
+            report_truncation: 0.10,
+            report_bit_flip: 0.05,
+            frame_truncation: 0.02,
+            capture_death: 0.10,
+            boot_failure: 0.15,
+            monkey_hang: 0.10,
+            worker_panic: 0.05,
+        }
+    }
+
+    /// True when no fault can ever fire: the guarantee behind the
+    /// zero-fault-identity property (chaos off == chaos never built).
+    pub fn is_noop(&self) -> bool {
+        let FaultProfile {
+            report_loss,
+            report_duplication,
+            report_reorder,
+            report_truncation,
+            report_bit_flip,
+            frame_truncation,
+            capture_death,
+            boot_failure,
+            monkey_hang,
+            worker_panic,
+        } = *self;
+        [
+            report_loss,
+            report_duplication,
+            report_reorder,
+            report_truncation,
+            report_bit_flip,
+            frame_truncation,
+            capture_death,
+            boot_failure,
+            monkey_hang,
+            worker_panic,
+        ]
+        .iter()
+        .all(|p| *p <= 0.0)
+    }
+}
+
+/// Error for an unrecognized profile name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown chaos profile {:?} (expected none, light, or heavy)",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseProfileError {}
+
+impl FromStr for FaultProfile {
+    type Err = ParseProfileError;
+
+    fn from_str(s: &str) -> Result<FaultProfile, ParseProfileError> {
+        match s {
+            "none" | "off" => Ok(FaultProfile::none()),
+            "light" => Ok(FaultProfile::light()),
+            "heavy" => Ok(FaultProfile::heavy()),
+            other => Err(ParseProfileError {
+                input: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_by_name() {
+        assert_eq!("none".parse::<FaultProfile>(), Ok(FaultProfile::none()));
+        assert_eq!("light".parse::<FaultProfile>(), Ok(FaultProfile::light()));
+        assert_eq!("heavy".parse::<FaultProfile>(), Ok(FaultProfile::heavy()));
+        assert!("medium".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn only_the_zero_profile_is_noop() {
+        assert!(FaultProfile::none().is_noop());
+        assert!(!FaultProfile::light().is_noop());
+        assert!(!FaultProfile::heavy().is_noop());
+        let mut one = FaultProfile::none();
+        one.report_loss = 0.001;
+        assert!(!one.is_noop());
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let profile = FaultProfile::heavy();
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: FaultProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(profile, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! The fault layer's own tiny RNG.
+//!
+//! SplitMix64: one u64 of state, full-period, and — unlike the
+//! workspace `rand` stand-in — trivially forkable by key, which is
+//! what keeps every `(seed, app, attempt)` fault stream independent of
+//! both worker scheduling and each other.
+
+/// Deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed }
+    }
+
+    /// Forks a generator keyed by `(seed, lane, index, attempt)`: the
+    /// derivation used for every per-app fault stream. Mixing the key
+    /// parts through one SplitMix64 step each keeps nearby keys
+    /// (app 4 attempt 0 vs app 4 attempt 1) statistically unrelated.
+    pub fn for_key(seed: u64, lane: u64, index: u64, attempt: u64) -> FaultRng {
+        let mut rng = FaultRng::new(seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        rng.state ^= rng.next_u64() ^ index.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        rng.state ^= rng.next_u64() ^ attempt.wrapping_mul(0x94d0_49bb_1331_11eb);
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift reduction: unbiased enough for fault sampling
+        // and branch-free, unlike rejection sampling.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against the top 53 bits: exact for every f64 in range.
+        let threshold = (p * (1u64 << 53) as f64) as u64;
+        (self.next_u64() >> 11) < threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultRng::for_key(42, 1, 7, 0);
+        let mut b = FaultRng::for_key(42, 1, 7, 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn key_parts_all_matter() {
+        let base: Vec<u64> = {
+            let mut rng = FaultRng::for_key(42, 1, 7, 0);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        for (seed, lane, index, attempt) in
+            [(43, 1, 7, 0), (42, 2, 7, 0), (42, 1, 8, 0), (42, 1, 7, 1)]
+        {
+            let mut rng = FaultRng::for_key(seed, lane, index, attempt);
+            let stream: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+            assert_ne!(stream, base, "key {seed}/{lane}/{index}/{attempt}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut rng = FaultRng::new(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(7.0));
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = FaultRng::new(1234);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = FaultRng::new(5);
+        assert_eq!(rng.below(0), 0);
+        for bound in [1u64, 2, 3, 17, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

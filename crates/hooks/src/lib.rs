@@ -25,8 +25,8 @@
 pub mod report;
 pub mod supervisor;
 
-pub use report::{SocketReport, ReportParseError, REPORT_MAGIC};
+pub use report::{ReportErrorKind, ReportParseError, SocketReport, REPORT_MAGIC};
 pub use supervisor::{
-    decode_report_datagram, decode_reports, extract_reports, SocketSupervisor, SupervisorConfig,
-    TimestampedReport,
+    decode_report_datagram, decode_reports, decode_reports_classified, extract_reports,
+    ReportDecodeStats, SocketSupervisor, SupervisorConfig, TimestampedReport,
 };

@@ -43,16 +43,31 @@ pub struct SocketReport {
     pub frames: Vec<String>,
 }
 
+/// Why a report datagram failed to parse. Truncation is what datagram
+/// loss and capture snapping produce — the payload is a strict prefix
+/// of a possible encoding; everything else (wrong magic, impossible
+/// counts, non-UTF-8 frames, trailing bytes) is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportErrorKind {
+    /// The payload ends before the encoding does.
+    Truncated,
+    /// The payload is structurally not a report.
+    Malformed,
+}
+
 /// Error produced when parsing a malformed report datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReportParseError {
+    /// Failure classification.
+    pub kind: ReportErrorKind,
     /// What was malformed.
     pub message: String,
 }
 
 impl ReportParseError {
-    fn new(message: impl Into<String>) -> Self {
+    fn new(kind: ReportErrorKind, message: impl Into<String>) -> Self {
         ReportParseError {
+            kind,
             message: message.into(),
         }
     }
@@ -83,11 +98,17 @@ fn get_uleb128(buf: &mut Bytes) -> Result<u64, ReportParseError> {
     let mut shift = 0;
     loop {
         if !buf.has_remaining() {
-            return Err(ReportParseError::new("truncated uleb128"));
+            return Err(ReportParseError::new(
+                ReportErrorKind::Truncated,
+                "truncated uleb128",
+            ));
         }
         let byte = buf.get_u8();
         if shift >= 64 {
-            return Err(ReportParseError::new("uleb128 overflow"));
+            return Err(ReportParseError::new(
+                ReportErrorKind::Malformed,
+                "uleb128 overflow",
+            ));
         }
         result |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -124,11 +145,29 @@ impl SocketReport {
     /// frames, or trailing bytes.
     pub fn decode(payload: &[u8]) -> Result<Self, ReportParseError> {
         let mut buf = Bytes::copy_from_slice(payload);
-        if buf.remaining() < 4 || &buf.split_to(4)[..] != REPORT_MAGIC {
-            return Err(ReportParseError::new("bad magic"));
+        // A short payload that is a prefix of the magic counts as
+        // truncated; anything else up front is a foreign datagram.
+        if buf.remaining() < 4 {
+            return Err(ReportParseError::new(
+                if REPORT_MAGIC.starts_with(payload) {
+                    ReportErrorKind::Truncated
+                } else {
+                    ReportErrorKind::Malformed
+                },
+                "truncated magic",
+            ));
+        }
+        if &buf.split_to(4)[..] != REPORT_MAGIC {
+            return Err(ReportParseError::new(
+                ReportErrorKind::Malformed,
+                "bad magic",
+            ));
         }
         if buf.remaining() < 32 + 12 + 8 {
-            return Err(ReportParseError::new("truncated header"));
+            return Err(ReportParseError::new(
+                ReportErrorKind::Truncated,
+                "truncated header",
+            ));
         }
         let mut digest = [0u8; 32];
         buf.copy_to_slice(&mut digest);
@@ -142,23 +181,34 @@ impl SocketReport {
         let timestamp_micros = buf.get_u64_le();
         let count = get_uleb128(&mut buf)? as usize;
         if count > payload.len() {
-            return Err(ReportParseError::new("frame count exceeds payload"));
+            return Err(ReportParseError::new(
+                ReportErrorKind::Malformed,
+                "frame count exceeds payload",
+            ));
         }
         let mut frames = Vec::with_capacity(count);
         for _ in 0..count {
             let len = get_uleb128(&mut buf)? as usize;
             if buf.remaining() < len {
-                return Err(ReportParseError::new("truncated frame"));
+                return Err(ReportParseError::new(
+                    ReportErrorKind::Truncated,
+                    "truncated frame",
+                ));
             }
             let raw = buf.split_to(len);
             frames.push(
                 std::str::from_utf8(&raw)
-                    .map_err(|_| ReportParseError::new("frame not UTF-8"))?
+                    .map_err(|_| {
+                        ReportParseError::new(ReportErrorKind::Malformed, "frame not UTF-8")
+                    })?
                     .to_owned(),
             );
         }
         if buf.has_remaining() {
-            return Err(ReportParseError::new("trailing bytes"));
+            return Err(ReportParseError::new(
+                ReportErrorKind::Malformed,
+                "trailing bytes",
+            ));
         }
         Ok(SocketReport {
             apk_sha256: Digest(digest),
@@ -226,7 +276,8 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let bytes = sample().encode();
         for len in 0..bytes.len() {
-            assert!(SocketReport::decode(&bytes[..len]).is_err(), "len {len}");
+            let err = SocketReport::decode(&bytes[..len]).unwrap_err();
+            assert_eq!(err.kind, ReportErrorKind::Truncated, "len {len}");
         }
     }
 
@@ -234,13 +285,15 @@ mod tests {
     fn rejects_trailing_bytes() {
         let mut bytes = sample().encode();
         bytes.push(0);
-        assert!(SocketReport::decode(&bytes).is_err());
+        let err = SocketReport::decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, ReportErrorKind::Malformed);
     }
 
     #[test]
     fn rejects_wrong_magic() {
         let mut bytes = sample().encode();
         bytes[0] = b'X';
-        assert!(SocketReport::decode(&bytes).is_err());
+        let err = SocketReport::decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, ReportErrorKind::Malformed);
     }
 }

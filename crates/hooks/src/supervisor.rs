@@ -25,7 +25,7 @@ use spector_dex::sha256::Digest;
 use spector_netsim::SocketId;
 use spector_runtime::{HookContext, RuntimeHook};
 
-use crate::report::SocketReport;
+use crate::report::{ReportErrorKind, ReportParseError, SocketReport};
 
 /// Supervisor settings.
 #[derive(Debug, Clone)]
@@ -163,6 +163,49 @@ pub fn decode_reports<'a>(payloads: impl IntoIterator<Item = &'a [u8]>) -> Vec<S
         .collect()
 }
 
+/// Per-classification tallies of collector-port payloads that failed
+/// report decode — the report-lane half of degraded-mode accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportDecodeStats {
+    /// Payloads rejected as truncated (datagram loss, capture snap).
+    pub truncated: usize,
+    /// Payloads rejected as structurally malformed.
+    pub malformed: usize,
+}
+
+impl ReportDecodeStats {
+    /// Tallies one decode failure.
+    pub fn record(&mut self, kind: ReportErrorKind) {
+        match kind {
+            ReportErrorKind::Truncated => self.truncated += 1,
+            ReportErrorKind::Malformed => self.malformed += 1,
+        }
+    }
+
+    /// Total payloads that failed to decode.
+    pub fn total(&self) -> usize {
+        self.truncated + self.malformed
+    }
+}
+
+/// [`decode_reports`], also tallying the payloads that failed to
+/// decode by classification. The returned reports are identical to
+/// [`decode_reports`]'s; the stats make the skipped payloads
+/// measurable instead of silent.
+pub fn decode_reports_classified<'a>(
+    payloads: impl IntoIterator<Item = &'a [u8]>,
+) -> (Vec<SocketReport>, ReportDecodeStats) {
+    let mut reports = Vec::new();
+    let mut stats = ReportDecodeStats::default();
+    for payload in payloads {
+        match SocketReport::decode(payload) {
+            Ok(report) => reports.push(report),
+            Err(error) => stats.record(error.kind),
+        }
+    }
+    (reports, stats)
+}
+
 /// A decoded report paired with the capture timestamp of the datagram
 /// that carried it.
 ///
@@ -180,24 +223,25 @@ pub struct TimestampedReport {
     pub report: SocketReport,
 }
 
-/// Decodes one datagram payload into a [`TimestampedReport`]. Returns
-/// `None` for payloads that are not valid reports (the streaming twin
-/// of the skip in [`decode_reports`]).
-pub fn decode_report_datagram(arrival_micros: u64, payload: &[u8]) -> Option<TimestampedReport> {
-    SocketReport::decode(payload)
-        .ok()
-        .map(|report| TimestampedReport {
-            arrival_micros,
-            report,
-        })
+/// Decodes one datagram payload into a [`TimestampedReport`]. Payloads
+/// that are not valid reports yield the structured parse error — with
+/// its truncated/malformed classification — so streaming consumers can
+/// count what they drop instead of silently skipping it (the
+/// counterpart of [`decode_reports_classified`]'s stats).
+pub fn decode_report_datagram(
+    arrival_micros: u64,
+    payload: &[u8],
+) -> Result<TimestampedReport, ReportParseError> {
+    SocketReport::decode(payload).map(|report| TimestampedReport {
+        arrival_micros,
+        report,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spector_dex::model::{
-        CodeItem, Connector, DexFile, Instruction, MethodDef, NetworkOp,
-    };
+    use spector_dex::model::{CodeItem, Connector, DexFile, Instruction, MethodDef, NetworkOp};
     use spector_dex::sha256::Sha256;
     use spector_dex::sig::MethodSig;
     use spector_netsim::clock::Clock;

@@ -5,6 +5,7 @@ use std::net::Ipv4Addr;
 use proptest::prelude::*;
 use spector_dex::sha256::Digest;
 use spector_hooks::report::SocketReport;
+use spector_hooks::{decode_report_datagram, decode_reports_classified, ReportErrorKind};
 use spector_netsim::packet::SocketPair;
 
 fn digest() -> impl Strategy<Value = Digest> {
@@ -12,11 +13,15 @@ fn digest() -> impl Strategy<Value = Digest> {
 }
 
 fn pair() -> impl Strategy<Value = SocketPair> {
-    (any::<[u8; 4]>(), any::<u16>(), any::<[u8; 4]>(), any::<u16>()).prop_map(
-        |(src, sp, dst, dp)| {
-            SocketPair::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp)
-        },
+    (
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
     )
+        .prop_map(|(src, sp, dst, dp)| {
+            SocketPair::new(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp)
+        })
 }
 
 fn report() -> impl Strategy<Value = SocketReport> {
@@ -26,12 +31,14 @@ fn report() -> impl Strategy<Value = SocketReport> {
         any::<u64>(),
         proptest::collection::vec(".{0,80}", 0..24),
     )
-        .prop_map(|(apk_sha256, pair, timestamp_micros, frames)| SocketReport {
-            apk_sha256,
-            pair,
-            timestamp_micros,
-            frames,
-        })
+        .prop_map(
+            |(apk_sha256, pair, timestamp_micros, frames)| SocketReport {
+                apk_sha256,
+                pair,
+                timestamp_micros,
+                frames,
+            },
+        )
 }
 
 proptest! {
@@ -66,5 +73,66 @@ proptest! {
         let mut bytes = original.encode();
         bytes.push(extra);
         prop_assert!(SocketReport::decode(&bytes).is_err());
+    }
+
+    // --- classification fuzz: the degraded-mode accounting depends on
+    // --- every decode failure landing in the right bucket.
+
+    #[test]
+    fn every_strict_prefix_classifies_as_truncated(original in report(), cut in 0usize..1_000) {
+        // Holds for any report with < 57 stack frames (the generator
+        // caps at 24): a shorter prefix can't end mid-nothing.
+        let bytes = original.encode();
+        let cut = cut % bytes.len().max(1);
+        if cut < bytes.len() {
+            let error = SocketReport::decode(&bytes[..cut]).unwrap_err();
+            prop_assert_eq!(error.kind, ReportErrorKind::Truncated, "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_classifies_as_malformed(original in report(), extra in any::<u8>()) {
+        let mut bytes = original.encode();
+        bytes.push(extra);
+        let error = SocketReport::decode(&bytes).unwrap_err();
+        prop_assert_eq!(error.kind, ReportErrorKind::Malformed);
+    }
+
+    #[test]
+    fn arbitrary_mutations_never_panic_and_always_classify(
+        original in report(),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = original.encode();
+        for (position, value) in mutations {
+            if bytes.is_empty() {
+                break;
+            }
+            let position = position % bytes.len();
+            bytes[position] = value;
+        }
+        // Either the mutations canceled out / hit don't-care bytes and
+        // the report still decodes, or the error carries a
+        // classification; decoding must never panic.
+        if let Err(error) = decode_report_datagram(0, &bytes) {
+            prop_assert!(matches!(
+                error.kind,
+                ReportErrorKind::Truncated | ReportErrorKind::Malformed
+            ));
+        }
+    }
+
+    #[test]
+    fn classified_batch_decode_accounts_for_every_payload(
+        reports in proptest::collection::vec(report(), 0..6),
+        noise in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..6),
+    ) {
+        let mut payloads: Vec<Vec<u8>> = reports.iter().map(SocketReport::encode).collect();
+        payloads.extend(noise);
+        let (decoded, errors) = decode_reports_classified(payloads.iter().map(|p| p.as_slice()));
+        // Every payload is either decoded or counted as an error —
+        // nothing disappears.
+        prop_assert_eq!(decoded.len() + errors.total(), payloads.len());
+        prop_assert!(decoded.len() >= reports.len());
     }
 }

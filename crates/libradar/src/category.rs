@@ -135,7 +135,10 @@ mod tests {
         for c in LibCategory::ALL {
             assert_eq!(c.label().parse::<LibCategory>().unwrap(), c);
         }
-        assert_eq!("game engine".parse::<LibCategory>().unwrap(), LibCategory::GameEngine);
+        assert_eq!(
+            "game engine".parse::<LibCategory>().unwrap(),
+            LibCategory::GameEngine
+        );
         assert!("Nonsense".parse::<LibCategory>().is_err());
     }
 }

@@ -118,7 +118,8 @@ pub fn fingerprint_subtree(dex: &DexFile, prefix: &str) -> Option<LibraryFingerp
     let mut features: Vec<String> = Vec::new();
     for method in &dex.methods {
         let pkg = method.sig.package();
-        if !(pkg == prefix || pkg.starts_with(prefix) && pkg.as_bytes().get(prefix.len()) == Some(&b'.'))
+        if !(pkg == prefix
+            || pkg.starts_with(prefix) && pkg.as_bytes().get(prefix.len()) == Some(&b'.'))
         {
             continue;
         }
@@ -278,14 +279,21 @@ mod tests {
         // identical structure, so it *will* match — mutate to make it
         // genuinely first-party.
         let mut app = app;
-        app.methods[0].code.instructions.insert(0, Instruction::Const(9));
+        app.methods[0]
+            .code
+            .instructions
+            .insert(0, Instruction::Const(9));
         assert!(db.detect(&app).is_empty());
     }
 
     #[test]
     fn detect_reports_multiple_libraries() {
         let mut db = LibraryDb::new();
-        db.add_library("com.adnet.sdk", LibCategory::Advertisement, &lib_dex("com.adnet.sdk"));
+        db.add_library(
+            "com.adnet.sdk",
+            LibCategory::Advertisement,
+            &lib_dex("com.adnet.sdk"),
+        );
         let analytics = {
             let mut d = lib_dex("io.metrics");
             d.methods[1].code.instructions.push(Instruction::Nop);

@@ -158,8 +158,7 @@ impl AggregatedLibraries {
         // Vote among all libraries under the common prefix.
         let mut votes: BTreeMap<LibCategory, usize> = BTreeMap::new();
         for (name, cat) in &self.libs {
-            if (is_dotted_prefix(&prefix, name) || name == &prefix)
-                && *cat != LibCategory::Unknown
+            if (is_dotted_prefix(&prefix, name) || name == &prefix) && *cat != LibCategory::Unknown
             {
                 *votes.entry(*cat).or_default() += 1;
             }
@@ -175,8 +174,7 @@ impl AggregatedLibraries {
 /// `true` when `prefix` is a whole-component dotted prefix of `name`
 /// (`com.unity3d` prefixes `com.unity3d.ads` but not `com.unity3dx`).
 fn is_dotted_prefix(prefix: &str, name: &str) -> bool {
-    name == prefix
-        || (name.starts_with(prefix) && name.as_bytes().get(prefix.len()) == Some(&b'.'))
+    name == prefix || (name.starts_with(prefix) && name.as_bytes().get(prefix.len()) == Some(&b'.'))
 }
 
 /// Number of leading dotted components `a` and `b` share.
@@ -257,7 +255,10 @@ mod tests {
             agg.longest_matching_prefix("com.unity3d.services.core"),
             Some("com.unity3d.services")
         );
-        assert_eq!(agg.longest_matching_prefix("com.unity3d"), Some("com.unity3d"));
+        assert_eq!(
+            agg.longest_matching_prefix("com.unity3d"),
+            Some("com.unity3d")
+        );
         assert_eq!(agg.longest_matching_prefix("com.other"), None);
         // Component boundary: com.unity3dx must not match com.unity3d.
         assert_eq!(agg.longest_matching_prefix("com.unity3dx.foo"), None);
@@ -269,7 +270,10 @@ mod tests {
             unity().predict_category("io.totally.unrelated"),
             LibCategory::Unknown
         );
-        assert_eq!(AggregatedLibraries::new().predict_category("a.b"), LibCategory::Unknown);
+        assert_eq!(
+            AggregatedLibraries::new().predict_category("a.b"),
+            LibCategory::Unknown
+        );
     }
 
     #[test]

@@ -283,7 +283,10 @@ mod tests {
             trie.predict_category("com.unity3d.ads.android.cache"),
             LibCategory::Advertisement
         );
-        assert_eq!(trie.predict_category("io.unrelated.pkg"), LibCategory::Unknown);
+        assert_eq!(
+            trie.predict_category("io.unrelated.pkg"),
+            LibCategory::Unknown
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn library_dex(root: &str, salt: u8) -> DexFile {
                 "()V",
             ),
             code: CodeItem {
-                instructions: vec![Instruction::Const(u32::from(salt) + i as u32), Instruction::Return],
+                instructions: vec![
+                    Instruction::Const(u32::from(salt) + i as u32),
+                    Instruction::Return,
+                ],
             },
         })
         .collect();

@@ -24,7 +24,7 @@
 //! canonical 4-tuple)` is.
 
 use libspector::Knowledge;
-use spector_hooks::{decode_report_datagram, TimestampedReport};
+use spector_hooks::{decode_report_datagram, ReportParseError, TimestampedReport};
 use spector_netsim::pcap::CapturedPacket;
 use spector_netsim::{SocketPair, WireEvent};
 
@@ -74,6 +74,18 @@ impl LiveEvent {
     /// Classifies one decoded wire event into a live event, or `None`
     /// for collector-port datagrams that are not valid reports.
     pub fn from_wire(run: u32, event: WireEvent, collector_port: u16) -> Option<LiveEvent> {
+        Self::classify_wire(run, event, collector_port).ok()
+    }
+
+    /// [`from_wire`](Self::from_wire), surfacing *why* a collector-port
+    /// datagram was dropped: the structured report parse error, with
+    /// its truncated/malformed classification, so ingress can count
+    /// what it discards (the engine's degraded-mode accounting).
+    pub fn classify_wire(
+        run: u32,
+        event: WireEvent,
+        collector_port: u16,
+    ) -> Result<LiveEvent, ReportParseError> {
         let kind = match event {
             WireEvent::Tcp {
                 timestamp_micros,
@@ -106,7 +118,7 @@ impl LiveEvent {
                 }
             }
         };
-        Some(LiveEvent { run, kind })
+        Ok(LiveEvent { run, kind })
     }
 
     /// The event's delivery timestamp on the virtual clock: capture

@@ -38,7 +38,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use libspector::Knowledge;
 use spector_netsim::pcap::CapturedPacket;
 
-use crate::event::{events_from_run, shard_of, LiveEvent, LiveEventKind};
+use crate::event::{shard_of, LiveEvent, LiveEventKind};
 use crate::joiner::{JoinerConfig, LiveJoiner};
 use crate::summary::LiveSummary;
 
@@ -99,6 +99,8 @@ pub struct LiveEngine {
     handles: Vec<JoinHandle<LiveSummary>>,
     events: AtomicU64,
     dropped: Arc<AtomicU64>,
+    reports_truncated: AtomicU64,
+    reports_malformed: AtomicU64,
     overflow: OverflowPolicy,
     collector_port: u16,
 }
@@ -124,6 +126,8 @@ impl LiveEngine {
             handles,
             events: AtomicU64::new(0),
             dropped: Arc::new(AtomicU64::new(0)),
+            reports_truncated: AtomicU64::new(0),
+            reports_malformed: AtomicU64::new(0),
             overflow: config.overflow,
             collector_port: config.collector_port,
         }
@@ -166,10 +170,25 @@ impl LiveEngine {
     }
 
     /// Streams one finished run's capture through the engine, in
-    /// capture order, as run `run`.
+    /// capture order, as run `run`. Collector-port datagrams that are
+    /// not valid reports are counted by classification instead of
+    /// silently skipped — the ingress half of degraded-mode
+    /// accounting, mirroring the offline [`RunIntegrity`] counters.
+    ///
+    /// [`RunIntegrity`]: libspector::RunIntegrity
     pub fn push_run(&self, run: u32, capture: &[CapturedPacket]) {
-        for event in events_from_run(run, capture, self.collector_port) {
-            self.push(event);
+        use spector_hooks::ReportErrorKind;
+        for event in spector_netsim::events_from_capture(capture) {
+            match LiveEvent::classify_wire(run, event, self.collector_port) {
+                Ok(event) => self.push(event),
+                Err(error) => {
+                    let counter = match error.kind {
+                        ReportErrorKind::Truncated => &self.reports_truncated,
+                        ReportErrorKind::Malformed => &self.reports_malformed,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -218,6 +237,8 @@ impl LiveEngine {
         }
         merged.events = self.events.load(Ordering::Relaxed);
         merged.dropped_events = self.dropped.load(Ordering::Relaxed);
+        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
+        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
         merged
     }
 
@@ -235,6 +256,8 @@ impl LiveEngine {
         }
         merged.events = self.events.load(Ordering::Relaxed);
         merged.dropped_events = self.dropped.load(Ordering::Relaxed);
+        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
+        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
         merged
     }
 }

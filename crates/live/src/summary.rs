@@ -69,6 +69,13 @@ pub struct LiveSummary {
     pub dns_packets: usize,
     /// Valid supervisor report datagrams observed.
     pub report_packets: usize,
+    /// Collector-port datagrams rejected as truncated reports —
+    /// measurement loss, counted at ingress (degraded-mode accounting).
+    #[serde(default)]
+    pub reports_truncated: usize,
+    /// Collector-port datagrams rejected as malformed reports.
+    #[serde(default)]
+    pub reports_malformed: usize,
     /// Total wire bytes sent across attributed flows.
     pub total_sent: u64,
     /// Total wire bytes received across attributed flows.
@@ -106,6 +113,8 @@ impl LiveSummary {
         self.evicted_reports += other.evicted_reports;
         self.dns_packets += other.dns_packets;
         self.report_packets += other.report_packets;
+        self.reports_truncated += other.reports_truncated;
+        self.reports_malformed += other.reports_malformed;
         self.total_sent += other.total_sent;
         self.total_recv += other.total_recv;
         self.ant_bytes += other.ant_bytes;
@@ -137,6 +146,8 @@ impl LiveSummary {
             summary.orphaned_reports += analysis.reports_without_flow;
             summary.dns_packets += analysis.dns_packets;
             summary.report_packets += analysis.report_packets;
+            summary.reports_truncated += analysis.integrity.reports_truncated;
+            summary.reports_malformed += analysis.integrity.reports_malformed;
             for flow in &analysis.flows {
                 summary.total_sent += flow.sent_bytes;
                 summary.total_recv += flow.recv_bytes;

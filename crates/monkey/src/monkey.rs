@@ -110,7 +110,10 @@ impl Monkey {
 
         for _ in 0..self.config.events {
             report.events_issued += 1;
-            runtime.net().clock().advance_millis(self.config.throttle_ms);
+            runtime
+                .net()
+                .clock()
+                .advance_millis(self.config.throttle_ms);
             let Some(&current) = activity_stack.last() else {
                 report.misses += 1;
                 continue;
@@ -141,7 +144,13 @@ impl Monkey {
                     if ui.len() > 1 {
                         let next = self.rng.gen_range(0..ui.len());
                         if next != current {
-                            self.start_activity(runtime, ui, next, &mut activity_stack, &mut report);
+                            self.start_activity(
+                                runtime,
+                                ui,
+                                next,
+                                &mut activity_stack,
+                                &mut report,
+                            );
                             continue;
                         }
                     }

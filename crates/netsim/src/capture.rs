@@ -14,7 +14,7 @@
 //! report scan): the same packet order feeds the same state machines.
 
 use crate::flows::{DnsMap, FlowTable, FlowTableBuilder};
-use crate::packet::{decode_frame_ref, TransportRef};
+use crate::packet::{decode_frame_ref, FrameErrorCounts, TransportRef};
 use crate::pcap::CapturedPacket;
 
 /// Every view of a capture the offline pipeline consumes, built in one
@@ -30,6 +30,11 @@ pub struct CaptureIndex<'a> {
     /// borrowed from the capture bytes. The hooks layer owns the report
     /// wire format and decodes these.
     pub report_payloads: Vec<&'a [u8]>,
+    /// Per-classification tallies of packets that failed frame decode.
+    /// The skipped packets were always invisible to the views above;
+    /// the tallies make the gap measurable for degraded-mode
+    /// accounting.
+    pub frame_errors: FrameErrorCounts,
 }
 
 impl<'a> CaptureIndex<'a> {
@@ -42,9 +47,14 @@ impl<'a> CaptureIndex<'a> {
         let mut flows = FlowTableBuilder::default();
         let mut dns = DnsMap::default();
         let mut report_payloads: Vec<&'a [u8]> = Vec::new();
+        let mut frame_errors = FrameErrorCounts::default();
         for packet in packets {
-            let Ok(frame) = decode_frame_ref(&packet.data) else {
-                continue;
+            let frame = match decode_frame_ref(&packet.data) {
+                Ok(frame) => frame,
+                Err(error) => {
+                    frame_errors.record(error.kind);
+                    continue;
+                }
             };
             match frame.transport {
                 TransportRef::Tcp { flags, payload, .. } => {
@@ -68,6 +78,7 @@ impl<'a> CaptureIndex<'a> {
             flows: flows.finish(),
             dns,
             report_payloads,
+            frame_errors,
         }
     }
 }
@@ -125,6 +136,9 @@ mod tests {
             }
         }
         assert_eq!(index.report_payloads.len(), 2);
+        // The trailing two-byte garbage packet is counted, classified.
+        assert_eq!(index.frame_errors.truncated, 1);
+        assert_eq!(index.frame_errors.total(), 1);
         assert_eq!(
             index
                 .report_payloads
@@ -141,5 +155,6 @@ mod tests {
         assert!(index.flows.is_empty());
         assert!(index.dns.is_empty());
         assert!(index.report_payloads.is_empty());
+        assert_eq!(index.frame_errors.total(), 0);
     }
 }

@@ -58,6 +58,8 @@ pub struct FlowTable {
     flows: Vec<TcpFlow>,
     /// canonical pair -> indices of flow epochs in time order.
     by_pair: HashMap<SocketPair, Vec<usize>>,
+    /// Epochs opened by a mid-stream packet with no preceding SYN.
+    synthesized: usize,
 }
 
 /// Incremental [`FlowTable`] construction: one decoded TCP segment at a
@@ -117,8 +119,12 @@ impl FlowTableBuilder {
             // A fresh SYN starts a new epoch for this 4-tuple. A
             // mid-stream packet without a preceding SYN (capture started
             // mid-connection) opens an epoch anyway so the bytes are not
-            // lost.
+            // lost; such epochs are tallied as synthesized, since their
+            // totals rest on partial evidence.
             _ => {
+                if !is_syn {
+                    self.table.synthesized += 1;
+                }
                 let idx = self.table.flows.len();
                 self.table.flows.push(TcpFlow {
                     pair,
@@ -206,6 +212,13 @@ impl FlowTable {
     /// Returns `true` when no flows were reassembled.
     pub fn is_empty(&self) -> bool {
         self.flows.is_empty()
+    }
+
+    /// Number of epochs opened without a SYN (capture started or
+    /// resumed mid-connection): flows whose byte totals rest on
+    /// partial evidence.
+    pub fn synthesized_epochs(&self) -> usize {
+        self.synthesized
     }
 
     /// Flow epochs matching the given 4-tuple (either direction), in
@@ -338,7 +351,10 @@ mod tests {
         assert!(flow.sent_wire_bytes > flow.sent_payload_bytes);
         assert!(flow.recv_wire_bytes > flow.recv_payload_bytes);
         assert!(flow.end_micros > flow.start_micros);
-        assert_eq!(flow.total_wire_bytes(), flow.sent_wire_bytes + flow.recv_wire_bytes);
+        assert_eq!(
+            flow.total_wire_bytes(),
+            flow.sent_wire_bytes + flow.recv_wire_bytes
+        );
     }
 
     #[test]

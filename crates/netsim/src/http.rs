@@ -174,14 +174,15 @@ mod tests {
 
     #[test]
     fn missing_user_agent_is_empty() {
-        let parsed =
-            HttpRequest::parse(b"GET / HTTP/1.1\r\nHost: h.example\r\n\r\n").unwrap();
+        let parsed = HttpRequest::parse(b"GET / HTTP/1.1\r\nHost: h.example\r\n\r\n").unwrap();
         assert_eq!(parsed.user_agent, "");
     }
 
     #[test]
     fn response_total_is_exact() {
-        for total in [0u64, 10, 90, 91, 92, 100, 1_000, 9_999, 10_000, 8_192, 1_048_576] {
+        for total in [
+            0u64, 10, 90, 91, 92, 100, 1_000, 9_999, 10_000, 8_192, 1_048_576,
+        ] {
             let bytes = encode_response_total(total);
             let min = encode_response(0).len() as u64;
             if total >= min {

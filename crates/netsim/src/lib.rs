@@ -61,5 +61,5 @@ pub use capture::CaptureIndex;
 pub use clock::Clock;
 pub use events::{events_from_capture, WireEvent};
 pub use flows::{DnsMap, FlowTable, FlowTableBuilder, TcpFlow};
-pub use packet::SocketPair;
+pub use packet::{FrameErrorCounts, FrameErrorKind, SocketPair};
 pub use stack::{NetStack, SocketId};

@@ -194,16 +194,64 @@ impl FrameRef<'_> {
     }
 }
 
+/// Why a frame failed to decode — the degraded-mode accounting
+/// classification. Truncation is what packet loss and capture death
+/// produce; checksum mismatches are bit-level corruption of otherwise
+/// well-formed frames; everything else is malformed (foreign
+/// ethertypes, impossible header fields, unsupported protocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameErrorKind {
+    /// The frame ends before its headers or declared lengths do.
+    Truncated,
+    /// Headers are structurally invalid or the protocol is unsupported.
+    Malformed,
+    /// IPv4 or TCP checksum verification failed.
+    BadChecksum,
+}
+
+/// Per-classification tallies of undecodable frames — what a capture
+/// walk accumulates for [`RunIntegrity`]-style degraded accounting.
+///
+/// [`RunIntegrity`]: https://docs.rs/libspector
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameErrorCounts {
+    /// Frames rejected as [`FrameErrorKind::Truncated`].
+    pub truncated: usize,
+    /// Frames rejected as [`FrameErrorKind::Malformed`].
+    pub malformed: usize,
+    /// Frames rejected as [`FrameErrorKind::BadChecksum`].
+    pub bad_checksum: usize,
+}
+
+impl FrameErrorCounts {
+    /// Tallies one decode failure.
+    pub fn record(&mut self, kind: FrameErrorKind) {
+        match kind {
+            FrameErrorKind::Truncated => self.truncated += 1,
+            FrameErrorKind::Malformed => self.malformed += 1,
+            FrameErrorKind::BadChecksum => self.bad_checksum += 1,
+        }
+    }
+
+    /// Total undecodable frames across classifications.
+    pub fn total(&self) -> usize {
+        self.truncated + self.malformed + self.bad_checksum
+    }
+}
+
 /// Error produced when decoding a malformed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameDecodeError {
+    /// Failure classification.
+    pub kind: FrameErrorKind,
     /// What was malformed.
     pub message: String,
 }
 
 impl FrameDecodeError {
-    fn new(message: impl Into<String>) -> Self {
+    fn new(kind: FrameErrorKind, message: impl Into<String>) -> Self {
         FrameDecodeError {
+            kind,
             message: message.into(),
         }
     }
@@ -342,28 +390,53 @@ pub fn decode_frame(raw: &[u8]) -> Result<Frame, FrameDecodeError> {
 /// checksum mismatches.
 pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
     if raw.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
-        return Err(FrameDecodeError::new("frame shorter than eth+ip headers"));
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Truncated,
+            "frame shorter than eth+ip headers",
+        ));
     }
     let ethertype = u16::from_be_bytes([raw[12], raw[13]]);
     if ethertype != ETHERTYPE_IPV4 {
-        return Err(FrameDecodeError::new(format!(
-            "unsupported ethertype {ethertype:#06x}"
-        )));
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Malformed,
+            format!("unsupported ethertype {ethertype:#06x}"),
+        ));
     }
     let ip = &raw[ETH_HEADER_LEN..];
     if ip[0] >> 4 != 4 {
-        return Err(FrameDecodeError::new("not IPv4"));
+        return Err(FrameDecodeError::new(FrameErrorKind::Malformed, "not IPv4"));
     }
     let ihl = usize::from(ip[0] & 0x0f) * 4;
-    if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
-        return Err(FrameDecodeError::new("bad IPv4 header length"));
+    if ihl < IPV4_HEADER_LEN {
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Malformed,
+            "bad IPv4 header length",
+        ));
+    }
+    if ip.len() < ihl {
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Truncated,
+            "IPv4 header exceeds frame",
+        ));
     }
     if internet_checksum(0, &ip[..ihl]) != 0 {
-        return Err(FrameDecodeError::new("IPv4 header checksum mismatch"));
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::BadChecksum,
+            "IPv4 header checksum mismatch",
+        ));
     }
     let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
-    if total_len < ihl || ip.len() < total_len {
-        return Err(FrameDecodeError::new("IPv4 total length exceeds frame"));
+    if total_len < ihl {
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Malformed,
+            "IPv4 total length below header length",
+        ));
+    }
+    if ip.len() < total_len {
+        return Err(FrameDecodeError::new(
+            FrameErrorKind::Truncated,
+            "IPv4 total length exceeds frame",
+        ));
     }
     let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
     let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
@@ -373,7 +446,10 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
     match protocol {
         6 => {
             if transport.len() < TCP_HEADER_LEN {
-                return Err(FrameDecodeError::new("truncated TCP header"));
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "truncated TCP header",
+                ));
             }
             let src_port = u16::from_be_bytes([transport[0], transport[1]]);
             let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
@@ -381,13 +457,25 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
             let ack =
                 u32::from_be_bytes([transport[8], transport[9], transport[10], transport[11]]);
             let data_offset = usize::from(transport[12] >> 4) * 4;
-            if data_offset < TCP_HEADER_LEN || transport.len() < data_offset {
-                return Err(FrameDecodeError::new("bad TCP data offset"));
+            if data_offset < TCP_HEADER_LEN {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Malformed,
+                    "bad TCP data offset",
+                ));
+            }
+            if transport.len() < data_offset {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "TCP data offset exceeds segment",
+                ));
             }
             let flags = transport[13];
             let seed = pseudo_header_sum(src_ip, dst_ip, 6, transport.len() as u16);
             if internet_checksum(seed, transport) != 0 {
-                return Err(FrameDecodeError::new("TCP checksum mismatch"));
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::BadChecksum,
+                    "TCP checksum mismatch",
+                ));
             }
             Ok(FrameRef {
                 pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
@@ -402,13 +490,25 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
         }
         17 => {
             if transport.len() < UDP_HEADER_LEN {
-                return Err(FrameDecodeError::new("truncated UDP header"));
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "truncated UDP header",
+                ));
             }
             let src_port = u16::from_be_bytes([transport[0], transport[1]]);
             let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
             let udp_len = usize::from(u16::from_be_bytes([transport[4], transport[5]]));
-            if udp_len < UDP_HEADER_LEN || transport.len() < udp_len {
-                return Err(FrameDecodeError::new("bad UDP length"));
+            if udp_len < UDP_HEADER_LEN {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Malformed,
+                    "bad UDP length",
+                ));
+            }
+            if transport.len() < udp_len {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "UDP length exceeds segment",
+                ));
             }
             Ok(FrameRef {
                 pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
@@ -418,9 +518,10 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
                 wire_len: raw.len(),
             })
         }
-        other => Err(FrameDecodeError::new(format!(
-            "unsupported IP protocol {other}"
-        ))),
+        other => Err(FrameDecodeError::new(
+            FrameErrorKind::Malformed,
+            format!("unsupported IP protocol {other}"),
+        )),
     }
 }
 
@@ -440,7 +541,13 @@ mod tests {
     #[test]
     fn tcp_roundtrip() {
         let payload = b"GET / HTTP/1.1\r\n\r\n";
-        let raw = encode_tcp(&pair(), 1000, 2000, tcp_flags::PSH | tcp_flags::ACK, payload);
+        let raw = encode_tcp(
+            &pair(),
+            1000,
+            2000,
+            tcp_flags::PSH | tcp_flags::ACK,
+            payload,
+        );
         let frame = decode_frame(&raw).unwrap();
         assert_eq!(frame.pair, pair());
         assert_eq!(frame.wire_len, raw.len());

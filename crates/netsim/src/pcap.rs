@@ -27,16 +27,30 @@ pub struct CapturedPacket {
     pub data: Vec<u8>,
 }
 
+/// Why a pcap file failed to parse. Truncation is what an interrupted
+/// tcpdump (capture death, full disk) produces; everything else is a
+/// structurally foreign or unsupported file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcapErrorKind {
+    /// The file ends inside a header or a record's declared length.
+    Truncated,
+    /// Bad magic, unsupported link type, or snapped records.
+    Malformed,
+}
+
 /// Error produced when reading a malformed pcap file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcapError {
+    /// Failure classification.
+    pub kind: PcapErrorKind,
     /// What was malformed.
     pub message: String,
 }
 
 impl PcapError {
-    fn new(message: impl Into<String>) -> Self {
+    fn new(kind: PcapErrorKind, message: impl Into<String>) -> Self {
         PcapError {
+            kind,
             message: message.into(),
         }
     }
@@ -52,7 +66,8 @@ impl Error for PcapError {}
 
 /// Serializes `packets` into a classic pcap file.
 pub fn write_pcap(packets: &[CapturedPacket]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+    let mut buf =
+        BytesMut::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
     buf.put_u32_le(PCAP_MAGIC);
     buf.put_u16_le(2); // version major
     buf.put_u16_le(4); // version minor
@@ -79,11 +94,17 @@ pub fn write_pcap(packets: &[CapturedPacket]) -> Bytes {
 pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     if buf.remaining() < 24 {
-        return Err(PcapError::new("missing global header"));
+        return Err(PcapError::new(
+            PcapErrorKind::Truncated,
+            "missing global header",
+        ));
     }
     let magic = buf.get_u32_le();
     if magic != PCAP_MAGIC {
-        return Err(PcapError::new(format!("bad magic {magic:#010x}")));
+        return Err(PcapError::new(
+            PcapErrorKind::Malformed,
+            format!("bad magic {magic:#010x}"),
+        ));
     }
     let _version_major = buf.get_u16_le();
     let _version_minor = buf.get_u16_le();
@@ -92,22 +113,34 @@ pub fn read_pcap(bytes: &[u8]) -> Result<Vec<CapturedPacket>, PcapError> {
     let _snaplen = buf.get_u32_le();
     let linktype = buf.get_u32_le();
     if linktype != LINKTYPE_ETHERNET {
-        return Err(PcapError::new(format!("unsupported linktype {linktype}")));
+        return Err(PcapError::new(
+            PcapErrorKind::Malformed,
+            format!("unsupported linktype {linktype}"),
+        ));
     }
     let mut packets = Vec::new();
     while buf.has_remaining() {
         if buf.remaining() < 16 {
-            return Err(PcapError::new("truncated record header"));
+            return Err(PcapError::new(
+                PcapErrorKind::Truncated,
+                "truncated record header",
+            ));
         }
         let ts_sec = u64::from(buf.get_u32_le());
         let ts_usec = u64::from(buf.get_u32_le());
         let incl_len = buf.get_u32_le() as usize;
         let orig_len = buf.get_u32_le() as usize;
         if incl_len != orig_len {
-            return Err(PcapError::new("snapped packets are not supported"));
+            return Err(PcapError::new(
+                PcapErrorKind::Malformed,
+                "snapped packets are not supported",
+            ));
         }
         if buf.remaining() < incl_len {
-            return Err(PcapError::new("truncated record data"));
+            return Err(PcapError::new(
+                PcapErrorKind::Truncated,
+                "truncated record data",
+            ));
         }
         let data = buf.split_to(incl_len).to_vec();
         packets.push(CapturedPacket {
@@ -180,21 +213,31 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = write_pcap(&sample()).to_vec();
         bytes[0] ^= 0xff;
-        assert!(read_pcap(&bytes).is_err());
+        assert_eq!(
+            read_pcap(&bytes).unwrap_err().kind,
+            PcapErrorKind::Malformed
+        );
     }
 
     #[test]
     fn rejects_bad_linktype() {
         let mut bytes = write_pcap(&[]).to_vec();
         bytes[20] = 101; // LINKTYPE_RAW
-        assert!(read_pcap(&bytes).is_err());
+        assert_eq!(
+            read_pcap(&bytes).unwrap_err().kind,
+            PcapErrorKind::Malformed
+        );
     }
 
     #[test]
     fn rejects_truncation() {
         let bytes = write_pcap(&sample());
         for len in [0, 10, 23, 30, bytes.len() - 1] {
-            assert!(read_pcap(&bytes[..len]).is_err(), "len {len}");
+            assert_eq!(
+                read_pcap(&bytes[..len]).unwrap_err().kind,
+                PcapErrorKind::Truncated,
+                "len {len}"
+            );
         }
     }
 }

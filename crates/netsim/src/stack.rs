@@ -385,7 +385,7 @@ mod tests {
         let id = s.tcp_connect(Ipv4Addr::new(1, 2, 3, 4), 80);
         let before = s.captured_count();
         s.tcp_transfer(id, 100, 3_000); // 1 sent segment, 3 recv segments
-        // 1 data + 1 ack + 3 data + 1 ack
+                                        // 1 data + 1 ack + 3 data + 1 ack
         assert_eq!(s.captured_count() - before, 6);
         let mut payload_total = 0u64;
         for p in &s.capture()[before..] {

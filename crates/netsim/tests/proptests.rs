@@ -81,6 +81,57 @@ proptest! {
     }
 
     #[test]
+    fn truncated_frames_classify_as_truncated(p in pair(),
+                                              payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                              cut in 0usize..1_000) {
+        // Any strict prefix of a valid frame is Truncated — with two
+        // carve-outs baked into the wire format itself: a cut inside
+        // the IP header invalidates its checksum before the length
+        // checks run (BadChecksum), and a cut just past the IP header
+        // leaves a valid-looking IP packet whose total-length field
+        // exceeds what's left (also caught, as Truncated).
+        use spector_netsim::packet::FrameErrorKind;
+        let raw = encode_tcp(&p, 1, 2, 0x18, &payload);
+        let cut = cut % raw.len();
+        match decode_frame(&raw[..cut]) {
+            Err(error) => prop_assert!(
+                matches!(error.kind, FrameErrorKind::Truncated | FrameErrorKind::BadChecksum),
+                "cut {} classified {:?}", cut, error.kind
+            ),
+            Ok(_) => prop_assert!(false, "a strict prefix must not decode (cut {})", cut),
+        }
+    }
+
+    #[test]
+    fn pcap_decode_never_panics_and_classifies(noise in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use spector_netsim::pcap::PcapErrorKind;
+        if let Err(error) = read_pcap(&noise) {
+            prop_assert!(matches!(
+                error.kind,
+                PcapErrorKind::Truncated | PcapErrorKind::Malformed
+            ));
+        }
+    }
+
+    #[test]
+    fn truncated_pcap_classifies_as_truncated(specs in proptest::collection::vec(
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..8),
+        cut in 0usize..10_000) {
+        use spector_netsim::pcap::PcapErrorKind;
+        let packets: Vec<CapturedPacket> = specs
+            .into_iter()
+            .map(|(ts, data)| CapturedPacket { timestamp_micros: u64::from(ts), data })
+            .collect();
+        let bytes = write_pcap(&packets);
+        let cut = cut % bytes.len();
+        match read_pcap(&bytes[..cut]) {
+            // A cut at a record boundary is a shorter-but-valid file.
+            Ok(parsed) => prop_assert!(parsed.len() < packets.len()),
+            Err(error) => prop_assert_eq!(error.kind, PcapErrorKind::Truncated, "cut {}", cut),
+        }
+    }
+
+    #[test]
     fn dns_roundtrip(id in any::<u16>(), name in domain(), a in ip(), ttl in any::<u32>()) {
         let q = parse_message(&encode_query(id, &name)).expect("query must parse");
         prop_assert_eq!(&q.questions[..], std::slice::from_ref(&name));

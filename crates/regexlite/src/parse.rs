@@ -251,10 +251,7 @@ mod tests {
     #[test]
     fn parses_literal_sequence() {
         let ast = parse("ab").unwrap();
-        assert_eq!(
-            ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
-        );
+        assert_eq!(ast, Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')]));
     }
 
     #[test]

@@ -94,9 +94,7 @@ fn add_thread(
     }
     on_list[pc] = true;
     match &program.insts[pc] {
-        Inst::Jmp(t) => {
-            add_thread(program, *t, pos, input_len, list, on_list, best_end, start)
-        }
+        Inst::Jmp(t) => add_thread(program, *t, pos, input_len, list, on_list, best_end, start),
         Inst::Split(a, b) => {
             add_thread(program, *a, pos, input_len, list, on_list, best_end, start);
             add_thread(program, *b, pos, input_len, list, on_list, best_end, start);

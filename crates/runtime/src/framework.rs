@@ -63,12 +63,20 @@ pub fn dispatcher_base(dispatcher: Dispatcher) -> &'static [&'static str] {
 
 /// Builds [`Frame`] values for a connector chain.
 pub fn connector_frames(connector: Connector) -> Vec<Frame> {
-    connector_chain(connector).iter().copied().map(Frame::new).collect()
+    connector_chain(connector)
+        .iter()
+        .copied()
+        .map(Frame::new)
+        .collect()
 }
 
 /// Builds [`Frame`] values for a dispatcher base.
 pub fn dispatcher_frames(dispatcher: Dispatcher) -> Vec<Frame> {
-    dispatcher_base(dispatcher).iter().copied().map(Frame::new).collect()
+    dispatcher_base(dispatcher)
+        .iter()
+        .copied()
+        .map(Frame::new)
+        .collect()
 }
 
 /// The built-in package prefixes of Android API 25 that the attribution
@@ -114,7 +122,10 @@ mod tests {
     fn android_okhttp_chain_matches_listing1() {
         let chain = connector_chain(Connector::AndroidOkHttp);
         assert_eq!(chain.len(), 10);
-        assert_eq!(chain[0], "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect");
+        assert_eq!(
+            chain[0],
+            "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect"
+        );
         assert_eq!(*chain.last().unwrap(), "java.net.Socket.connect");
     }
 
@@ -134,12 +145,12 @@ mod tests {
 
     #[test]
     fn dispatcher_bases_are_builtin_but_okhttp_chain_is_not() {
-        let is_builtin = |name: &str| {
-            BUILTIN_PACKAGE_PREFIXES
-                .iter()
-                .any(|p| name.starts_with(p))
-        };
-        for dispatcher in [Dispatcher::AsyncTask, Dispatcher::Thread, Dispatcher::Executor] {
+        let is_builtin = |name: &str| BUILTIN_PACKAGE_PREFIXES.iter().any(|p| name.starts_with(p));
+        for dispatcher in [
+            Dispatcher::AsyncTask,
+            Dispatcher::Thread,
+            Dispatcher::Executor,
+        ] {
             for frame in dispatcher_base(dispatcher) {
                 assert!(is_builtin(frame), "{frame} must be builtin");
             }

@@ -96,9 +96,7 @@ impl Profiler {
     pub fn unique_methods(&self) -> HashSet<MethodSig> {
         match self.mode {
             TraceMode::UniqueMethods => self.seen.clone(),
-            TraceMode::StockBuffer { .. } => {
-                self.events.iter().map(|e| e.sig.clone()).collect()
-            }
+            TraceMode::StockBuffer { .. } => self.events.iter().map(|e| e.sig.clone()).collect(),
         }
     }
 

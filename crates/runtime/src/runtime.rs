@@ -313,9 +313,7 @@ const UA_TAGGED_PERCENT: u64 = 40;
 fn build_http_request(op: &NetworkOp, owner_frame: Option<&str>) -> Vec<u8> {
     let client = match op.connector {
         spector_dex::model::Connector::AndroidOkHttp => "okhttp/3.12.1",
-        spector_dex::model::Connector::ApacheHttp => {
-            "Apache-HttpClient/UNAVAILABLE (java 1.4)"
-        }
+        spector_dex::model::Connector::ApacheHttp => "Apache-HttpClient/UNAVAILABLE (java 1.4)",
         spector_dex::model::Connector::DirectSocket => "raw",
     };
     let tagged = fnv_mix(&op.domain) % 100 < UA_TAGGED_PERCENT;

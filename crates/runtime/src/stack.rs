@@ -111,8 +111,14 @@ mod tests {
         // matching Listing 1's bottom two lines.
         assert_eq!(
             stack.snapshot(),
-            vec!["android.os.AsyncTask$2.call", "java.util.concurrent.FutureTask.run"]
+            vec![
+                "android.os.AsyncTask$2.call",
+                "java.util.concurrent.FutureTask.run"
+            ]
         );
-        assert_eq!(stack.frames()[0].dotted, "java.util.concurrent.FutureTask.run");
+        assert_eq!(
+            stack.frames()[0].dotted,
+            "java.util.concurrent.FutureTask.run"
+        );
     }
 }

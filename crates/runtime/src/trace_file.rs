@@ -67,9 +67,7 @@ pub fn parse_trace(text: &str) -> Result<HashSet<MethodSig>, TraceParseError> {
         message: message.to_owned(),
     };
     let mut lines = text.lines().enumerate();
-    let (_, version) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty trace file"))?;
+    let (_, version) = lines.next().ok_or_else(|| err(1, "empty trace file"))?;
     if !version.starts_with("*version 1") {
         return Err(err(1, "unsupported version header"));
     }
@@ -141,10 +139,7 @@ mod tests {
         let methods = sigs(30);
         assert_eq!(write_trace(&methods), write_trace(&methods.clone()));
         let text = write_trace(&methods);
-        let body: Vec<&str> = text
-            .lines()
-            .filter(|l| !l.starts_with('*'))
-            .collect();
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('*')).collect();
         let mut sorted = body.clone();
         sorted.sort_unstable();
         assert_eq!(body, sorted);

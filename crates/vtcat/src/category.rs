@@ -139,8 +139,14 @@ mod tests {
 
     #[test]
     fn labels_match_table1() {
-        assert_eq!(DomainCategory::BusinessAndFinance.to_string(), "business_and_finance");
-        assert_eq!(DomainCategory::SocialNetworks.to_string(), "social_networks");
+        assert_eq!(
+            DomainCategory::BusinessAndFinance.to_string(),
+            "business_and_finance"
+        );
+        assert_eq!(
+            DomainCategory::SocialNetworks.to_string(),
+            "social_networks"
+        );
         assert_eq!(DomainCategory::Cdn.to_string(), "cdn");
     }
 

@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn unknown_category_yields_no_labels() {
         let oracle = VendorOracle::new(1);
-        assert!(oracle.labels("mystery.example", DomainCategory::Unknown).is_empty());
+        assert!(oracle
+            .labels("mystery.example", DomainCategory::Unknown)
+            .is_empty());
     }
 
     #[test]

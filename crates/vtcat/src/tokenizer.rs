@@ -173,13 +173,19 @@ mod tests {
     #[test]
     fn tokenizes_paper_examples() {
         let t = Tokenizer::new();
-        assert_eq!(t.tokenize("Mobile Advertising"), vec![DomainCategory::Advertisements]);
+        assert_eq!(
+            t.tokenize("Mobile Advertising"),
+            vec![DomainCategory::Advertisements]
+        );
         assert_eq!(t.tokenize("web analytics"), vec![DomainCategory::Analytics]);
-        assert_eq!(t.tokenize("Content Delivery Network"), vec![DomainCategory::Cdn]);
-        assert_eq!(t.tokenize("online games"), vec![
-            DomainCategory::Games,
-            DomainCategory::InternetServices,
-        ]);
+        assert_eq!(
+            t.tokenize("Content Delivery Network"),
+            vec![DomainCategory::Cdn]
+        );
+        assert_eq!(
+            t.tokenize("online games"),
+            vec![DomainCategory::Games, DomainCategory::InternetServices,]
+        );
         assert_eq!(t.tokenize("totally novel thing"), vec![]);
     }
 
@@ -187,12 +193,22 @@ mod tests {
     fn word_bounded_short_tokens() {
         let t = Tokenizer::new();
         // "im" must not fire inside other words.
-        assert!(!t.tokenize("animation").contains(&DomainCategory::Communication));
-        assert!(!t.tokenize("streaming video").contains(&DomainCategory::Communication));
-        assert!(t.tokenize("IM and chat").contains(&DomainCategory::Communication));
+        assert!(!t
+            .tokenize("animation")
+            .contains(&DomainCategory::Communication));
+        assert!(!t
+            .tokenize("streaming video")
+            .contains(&DomainCategory::Communication));
+        assert!(t
+            .tokenize("IM and chat")
+            .contains(&DomainCategory::Communication));
         // "bot" must not fire inside "robots".
-        assert!(!t.tokenize("robots exclusion").contains(&DomainCategory::Malicious));
-        assert!(t.tokenize("bot network").contains(&DomainCategory::Malicious));
+        assert!(!t
+            .tokenize("robots exclusion")
+            .contains(&DomainCategory::Malicious));
+        assert!(t
+            .tokenize("bot network")
+            .contains(&DomainCategory::Malicious));
     }
 
     #[test]
@@ -205,12 +221,7 @@ mod tests {
     #[test]
     fn classify_majority_vote() {
         let t = Tokenizer::new();
-        let labels = [
-            "advertising network",
-            "mobile ads",
-            "marketing",
-            "shopping",
-        ];
+        let labels = ["advertising network", "mobile ads", "marketing", "shopping"];
         assert_eq!(t.classify(&labels), DomainCategory::Advertisements);
     }
 

@@ -12,9 +12,9 @@
 //! ```
 
 use libspector::baseline;
+use libspector::cost::DataPlan;
 use libspector::knowledge::Knowledge;
 use libspector::policy::{apply, suggest_blacklist, Action, Matcher, Policy};
-use libspector::cost::DataPlan;
 use spector_corpus::{Corpus, CorpusConfig};
 use spector_dispatch::{run_corpus, DispatchConfig};
 

@@ -25,9 +25,7 @@ fn main() {
     let app = &corpus.apps[0];
     println!(
         "app {} ({}, archetype {:?})",
-        app.package,
-        app.category.name,
-        app.archetype
+        app.package, app.category.name, app.archetype
     );
 
     // Drive the app: process init, platform traffic, 300 monkey events.
@@ -74,8 +72,7 @@ fn main() {
         "\ntotals: sent {} B, received {} B, AnT share {:.1}%",
         analysis.total_sent(),
         analysis.total_recv(),
-        analysis.ant_bytes() as f64
-            / (analysis.total_sent() + analysis.total_recv()).max(1) as f64
+        analysis.ant_bytes() as f64 / (analysis.total_sent() + analysis.total_recv()).max(1) as f64
             * 100.0
     );
 }

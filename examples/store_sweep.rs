@@ -37,7 +37,7 @@ fn main() {
     let mut dispatch = DispatchConfig::default();
     dispatch.experiment.monkey.events = 250;
     let progress = |done: usize| {
-        if done % 20 == 0 {
+        if done.is_multiple_of(20) {
             eprintln!("  {done}/{apps} apps analyzed");
         }
     };

@@ -15,3 +15,7 @@ cargo bench -p spector-bench --bench headline -- --quick "$@"
 
 # live: streaming engine events/sec, 1 vs N shards.
 cargo bench -p spector-bench --bench live -- --quick "$@"
+
+# chaos: fault-injection layer overhead + end-to-end robustness smoke
+# (heavy profile, checkpoint/resume identity, --max-failures gate).
+scripts/chaos_smoke.sh

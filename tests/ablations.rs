@@ -129,7 +129,7 @@ fn dropped_reports_become_unattributed_flows() {
             && SocketReport::is_report_payload(&payload)
         {
             report_index += 1;
-            return report_index % 2 == 0;
+            return report_index.is_multiple_of(2);
         }
         true
     });

@@ -73,7 +73,10 @@ fn reports_flows_and_dns_are_mutually_consistent() {
             flow.pair.dst_ip
         );
         // Stack traces end at the connect syscall.
-        assert_eq!(report.frames.first().map(String::as_str), Some("java.net.Socket.connect"));
+        assert_eq!(
+            report.frames.first().map(String::as_str),
+            Some("java.net.Socket.connect")
+        );
     }
 }
 

@@ -21,9 +21,7 @@ fn corpus() -> Corpus {
     })
 }
 
-fn ip_to_domain(
-    corpus: &Corpus,
-) -> std::collections::HashMap<std::net::Ipv4Addr, String> {
+fn ip_to_domain(corpus: &Corpus) -> std::collections::HashMap<std::net::Ipv4Addr, String> {
     corpus
         .domains
         .domains()
@@ -52,14 +50,8 @@ fn blocking_ant_eliminates_ant_payload_but_keeps_other_traffic() {
 
     let policy = Policy::allow_by_default().with_rule("no-ant", Matcher::AnyAnt, Action::Block);
     let enforcer = OnlineEnforcer::new(policy, &knowledge, ip_to_domain(&corpus));
-    let enforced_raw = run_app_with_hooks(
-        &app.apk,
-        &resolver,
-        &[],
-        &config,
-        vec![Box::new(enforcer)],
-    )
-    .unwrap();
+    let enforced_raw =
+        run_app_with_hooks(&app.apk, &resolver, &[], &config, vec![Box::new(enforcer)]).unwrap();
     assert!(enforced_raw.runtime_stats.blocked_ops > 0);
     let enforced = analyze_run(&enforced_raw, &knowledge, config.supervisor.collector_port);
 
@@ -119,14 +111,9 @@ fn library_prefix_blacklist_blocks_only_that_family() {
             Action::Block,
         );
         let enforcer = OnlineEnforcer::new(policy, &knowledge, ip_to_domain(&corpus));
-        let enforced_raw = run_app_with_hooks(
-            &app.apk,
-            &resolver,
-            &[],
-            &config,
-            vec![Box::new(enforcer)],
-        )
-        .unwrap();
+        let enforced_raw =
+            run_app_with_hooks(&app.apk, &resolver, &[], &config, vec![Box::new(enforcer)])
+                .unwrap();
         let enforced = analyze_run(&enforced_raw, &knowledge, config.supervisor.collector_port);
         for flow in &enforced.flows {
             if let libspector::OriginKind::Library { two_level, .. } = &flow.origin {
@@ -159,14 +146,8 @@ fn allow_by_default_policy_changes_nothing() {
         &knowledge,
         ip_to_domain(&corpus),
     );
-    let enforced = run_app_with_hooks(
-        &app.apk,
-        &resolver,
-        &[],
-        &config,
-        vec![Box::new(enforcer)],
-    )
-    .unwrap();
+    let enforced =
+        run_app_with_hooks(&app.apk, &resolver, &[], &config, vec![Box::new(enforcer)]).unwrap();
     assert_eq!(enforced.runtime_stats.blocked_ops, 0);
     assert_eq!(enforced.capture.len(), baseline.capture.len());
 }

@@ -110,10 +110,7 @@ fn paper_shapes_hold_at_campaign_scale() {
 
     // Figure 10: coverage is partial — around the paper's 9.5 % mean.
     let coverage = report.fig10.mean_coverage_percent;
-    assert!(
-        (2.0..30.0).contains(&coverage),
-        "mean coverage {coverage}%"
-    );
+    assert!((2.0..30.0).contains(&coverage), "mean coverage {coverage}%");
 
     // Figure 3: a minority of 2-level libraries carries the majority of
     // bytes (paper: top 25 of 4,793 carried 72.5 %).

@@ -3,6 +3,9 @@
 //! ([`BytesMut`]), plus the [`Buf`]/[`BufMut`] trait subset the
 //! workspace uses. See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::ops::Deref;
 
 /// Read side: sequential big/little-endian getters over a buffer.

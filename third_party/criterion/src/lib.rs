@@ -6,6 +6,9 @@
 //! statistics machinery. `--quick` shortens the window; a bare
 //! argument filters benchmarks by substring. See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -297,6 +300,8 @@ mod tests {
             default_samples: 0,
         };
         // Would spin forever per iteration if actually run.
-        c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(60))));
+        c.bench_function("skipped", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_secs(60)))
+        });
     }
 }

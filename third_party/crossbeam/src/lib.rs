@@ -5,6 +5,9 @@
 //! sender is gone *and* the queue is drained. See
 //! `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -3,6 +3,9 @@
 //! is recovered with `into_inner`, matching parking_lot's "no
 //! poisoning" contract. See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion lock (non-poisoning `lock()` signature).

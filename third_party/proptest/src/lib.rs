@@ -7,6 +7,9 @@
 //! case number and deterministic seed so a failure reproduces exactly.
 //! See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 // Let the crate's own tests use `proptest::...` paths like downstream
 // crates do.
 extern crate self as proptest;
@@ -19,12 +22,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub mod prelude {
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
-        prop_oneof, proptest, Just, ProptestConfig, Strategy,
-    };
     /// `prop::sample::select(...)`-style paths, as in the original prelude.
     pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Just, ProptestConfig, Strategy,
+    };
 }
 
 /// Per-`proptest!` block settings.
@@ -364,9 +367,9 @@ mod pattern {
     /// Pool for `.` and negated classes: printable ASCII plus a few
     /// multi-byte characters to exercise UTF-8 handling.
     const ANY_POOL: &[char] = &[
-        'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '.', ',', '-',
-        '_', '/', ':', '(', ')', '[', ']', '{', '}', '*', '+', '?', '|', '\\', '"', '\'',
-        '\t', '~', '@', '#', 'é', '☃', '中',
+        'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '.', ',', '-', '_',
+        '/', ':', '(', ')', '[', ']', '{', '}', '*', '+', '?', '|', '\\', '"', '\'', '\t', '~',
+        '@', '#', 'é', '☃', '中',
     ];
 
     pub fn parse(pattern: &str) -> Node {
@@ -391,7 +394,10 @@ mod pattern {
                 _ => {
                     let atom = parse_atom(chars, pos);
                     let (min, max) = parse_quantifier(chars, pos);
-                    branches.last_mut().expect("non-empty").push((atom, min, max));
+                    branches
+                        .last_mut()
+                        .expect("non-empty")
+                        .push((atom, min, max));
                 }
             }
         }
@@ -403,10 +409,7 @@ mod pattern {
             '(' => {
                 *pos += 1;
                 let inner = parse_alt(chars, pos);
-                assert!(
-                    chars.get(*pos) == Some(&')'),
-                    "unclosed group in pattern"
-                );
+                assert!(chars.get(*pos) == Some(&')'), "unclosed group in pattern");
                 *pos += 1;
                 Atom::Group(Box::new(inner))
             }
@@ -424,7 +427,9 @@ mod pattern {
                         ch = chars[*pos];
                     }
                     *pos += 1;
-                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|c| *c != ']')
+                    {
                         let hi = chars[*pos + 1];
                         *pos += 2;
                         ranges.push((ch, hi));

@@ -5,6 +5,9 @@
 //! `Rng`/`SeedableRng` subset the workspace calls is provided. See
 //! `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 /// Uniform sampling from a range (the `gen_range` argument bound).
 pub trait SampleRange<T> {
     /// Draws one value from the range.
@@ -100,10 +103,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [mut s0, mut s1, mut s2, mut s3] = self.s;
-            let result = s0
-                .wrapping_add(s3)
-                .rotate_left(23)
-                .wrapping_add(s0);
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
             let t = s1 << 17;
             s2 ^= s0;
             s3 ^= s1;

@@ -8,6 +8,9 @@
 //! variants as `"Name"` / `{"Name": ...}`), so persisted files stay
 //! interchangeable. See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
@@ -188,7 +191,9 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        value.as_bool().ok_or_else(|| DeError::expected("boolean", value))
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("boolean", value))
     }
 }
 
@@ -249,7 +254,9 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        value.as_f64().ok_or_else(|| DeError::expected("number", value))
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
     }
 }
 
@@ -473,9 +480,15 @@ mod tests {
 
     #[test]
     fn primitives_roundtrip() {
-        assert_eq!(u64::deserialize_value(&18_446_744_073_709_551_615u64.serialize_value()), Ok(u64::MAX));
+        assert_eq!(
+            u64::deserialize_value(&18_446_744_073_709_551_615u64.serialize_value()),
+            Ok(u64::MAX)
+        );
         assert_eq!(i64::deserialize_value(&(-5i64).serialize_value()), Ok(-5));
-        assert_eq!(String::deserialize_value(&"hi".serialize_value()), Ok("hi".to_owned()));
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()),
+            Ok("hi".to_owned())
+        );
         assert_eq!(Option::<u32>::deserialize_value(&Value::Null), Ok(None));
         let ip: Ipv4Addr = "10.0.2.2".parse().unwrap();
         assert_eq!(Ipv4Addr::deserialize_value(&ip.serialize_value()), Ok(ip));

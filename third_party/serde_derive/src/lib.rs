@@ -10,6 +10,9 @@
 //! unit variants as `"Name"`, newtype variants as `{"Name": value}`,
 //! struct variants as `{"Name": {..}}`. See `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize`.
@@ -304,10 +307,7 @@ fn generate_serialize(item: &Item) -> String {
                     live.len() == 1,
                     "serde_derive: transparent `{name}` must have exactly one field"
                 );
-                format!(
-                    "serde::Serialize::serialize_value(&self.{})",
-                    live[0].name
-                )
+                format!("serde::Serialize::serialize_value(&self.{})", live[0].name)
             } else {
                 serialize_named_fields(fields, "&self.")
             }
@@ -336,8 +336,7 @@ fn generate_serialize(item: &Item) -> String {
                          serde::Serialize::serialize_value(__f0))]),\n"
                     )),
                     VariantKind::Tuple(arity) => {
-                        let binders: Vec<String> =
-                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
                         let items: Vec<String> = binders
                             .iter()
                             .map(|b| format!("serde::Serialize::serialize_value({b})"))
@@ -351,8 +350,7 @@ fn generate_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binders: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {binds} }} => \
                              serde::Value::Object(vec![(String::from(\"{vname}\"), \

@@ -6,6 +6,9 @@
 //! arrays/objects with `arbitrary_precision` disabled. See
 //! `third_party/README.md`.
 
+// Vendored dependency: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
 use std::fmt;
 
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -247,10 +250,7 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -368,8 +368,7 @@ impl Parser<'_> {
                                 if !(0xdc00..0xe000).contains(&low) {
                                     return Err(Error::new("invalid surrogate pair"));
                                 }
-                                let code =
-                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
                                 char::from_u32(code)
                                     .ok_or_else(|| Error::new("invalid code point"))?
                             } else {
@@ -379,10 +378,7 @@ impl Parser<'_> {
                             out.push(ch);
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -399,8 +395,7 @@ impl Parser<'_> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|e| Error::new(e.to_string()))?;
-        let unit =
-            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
         self.pos = end;
         Ok(unit)
     }
@@ -450,7 +445,10 @@ mod tests {
         let mut map: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
         map.insert(
             "libs".to_owned(),
-            vec![("com.ads".to_owned(), u64::MAX), ("so\"cial\n".to_owned(), 0)],
+            vec![
+                ("com.ads".to_owned(), u64::MAX),
+                ("so\"cial\n".to_owned(), 0),
+            ],
         );
         let json = to_string(&map).unwrap();
         let back: BTreeMap<String, Vec<(String, u64)>> = from_str(&json).unwrap();
