@@ -35,6 +35,7 @@ pub mod fig9;
 pub mod headline;
 pub mod live;
 pub mod paper;
+pub mod profile;
 pub mod render;
 pub mod rq;
 pub mod stats;

@@ -1,0 +1,147 @@
+//! Per-stage profile rendering over a telemetry snapshot — the table
+//! `libspector metrics` prints.
+//!
+//! Input is the stable JSON [`MetricsSnapshot`] that
+//! `libspector run --metrics` writes. Stage rows come from the
+//! `spector_stage_micros{stage="..."}` histograms (call count, total
+//! and mean duration, bucket-derived p50/p90); the counter section
+//! lists every non-stage counter so campaign, pipeline-balance, fault,
+//! and integrity totals are all visible in one place.
+
+use std::fmt::Write as _;
+
+use spector_telemetry::{MetricKey, MetricsSnapshot, STAGE_CALLS_SUFFIX, STAGE_MICROS};
+
+/// One rendered stage row, extracted from the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Slash-separated stage path (`pipeline/flow_join/attribute`).
+    pub path: String,
+    /// Spans recorded for this stage.
+    pub calls: u64,
+    /// Total recorded duration, microseconds.
+    pub total_micros: u64,
+    /// Mean duration per call, microseconds.
+    pub mean_micros: f64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_micros: u64,
+    /// 90th percentile (bucket upper bound), microseconds.
+    pub p90_micros: u64,
+}
+
+/// Extracts the stage rows from a snapshot, sorted by path — so
+/// parents precede children and the hierarchy reads as a tree.
+pub fn stage_rows(snapshot: &MetricsSnapshot) -> Vec<StageRow> {
+    let mut rows = Vec::new();
+    for (id, histogram) in &snapshot.histograms {
+        let key = MetricKey::parse(id);
+        if key.name != STAGE_MICROS {
+            continue;
+        }
+        let Some((label, path)) = key.label else {
+            continue;
+        };
+        if label != "stage" {
+            continue;
+        }
+        rows.push(StageRow {
+            calls: histogram.count,
+            total_micros: histogram.sum,
+            mean_micros: histogram.mean().unwrap_or(0.0),
+            p50_micros: histogram.quantile(0.5).unwrap_or(0),
+            p90_micros: histogram.quantile(0.9).unwrap_or(0),
+            path,
+        });
+    }
+    rows.sort_by(|a, b| a.path.cmp(&b.path));
+    rows
+}
+
+/// Renders the per-stage profile table plus the counter inventory.
+pub fn render_profile(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Stage profile ==");
+    let rows = stage_rows(snapshot);
+    if rows.is_empty() {
+        let _ = writeln!(out, "  (no stage spans recorded)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>9} {:>12} {:>10} {:>9} {:>9}",
+            "stage", "calls", "total ms", "mean µs", "p50 µs", "p90 µs"
+        );
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>9} {:>12.3} {:>10.1} {:>9} {:>9}",
+                row.path,
+                row.calls,
+                row.total_micros as f64 / 1_000.0,
+                row.mean_micros,
+                row.p50_micros,
+                row.p90_micros
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "== Counters ==");
+    let calls_family = format!("{STAGE_MICROS}{STAGE_CALLS_SUFFIX}");
+    let mut printed = 0usize;
+    for (id, value) in &snapshot.counters {
+        // Stage call counts already appear in the table above.
+        if MetricKey::parse(id).name == calls_family {
+            continue;
+        }
+        let _ = writeln!(out, "  {id:<52} {value:>12}");
+        printed += 1;
+    }
+    if printed == 0 {
+        let _ = writeln!(out, "  (no counters recorded)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spector_telemetry::Telemetry;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn profile_lists_stages_hierarchically_with_quantiles() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let telemetry = Telemetry::with_virtual_clock(Arc::clone(&clock));
+        let outer = telemetry.stage_recorder("pipeline/flow_join");
+        let inner = telemetry.stage_recorder("pipeline/flow_join/attribute");
+        for step in [10u64, 20, 400] {
+            outer.time(|| {
+                inner.time(|| clock.fetch_add(step, Ordering::Relaxed));
+            });
+        }
+        telemetry.counter("spector_campaign_apps_ok_total").add(3);
+        let snapshot = telemetry.snapshot();
+
+        let rows = stage_rows(&snapshot);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].path, "pipeline/flow_join");
+        assert_eq!(rows[1].path, "pipeline/flow_join/attribute");
+        assert_eq!(rows[0].calls, 3);
+        assert_eq!(rows[0].total_micros, 430);
+
+        let text = render_profile(&snapshot);
+        assert!(text.contains("pipeline/flow_join/attribute"));
+        assert!(text.contains("spector_campaign_apps_ok_total"));
+        assert!(
+            !text.contains("spector_stage_micros_calls_total"),
+            "stage call counters fold into the table"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholders() {
+        let text = render_profile(&MetricsSnapshot::default());
+        assert!(text.contains("(no stage spans recorded)"));
+        assert!(text.contains("(no counters recorded)"));
+    }
+}

@@ -14,21 +14,100 @@ fn mb(bytes: u64) -> f64 {
     bytes as f64 / MB
 }
 
+/// One independently renderable section of the full report — the unit
+/// the golden-snapshot suite pins (`tests/golden_render.rs`, one file
+/// per section under `tests/golden/`). Figures 4 and 5 share a section
+/// because they have always rendered as one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// §IV-A headline statistics.
+    Headline,
+    /// Table I — domain-category tokenization counts.
+    Table1,
+    /// Figure 2 — traffic per app category.
+    Fig2,
+    /// Figure 3 — top origin-libraries and 2-level libraries.
+    Fig3,
+    /// Figures 4+5 — flow-size CDFs and transfer ratios.
+    Fig4And5,
+    /// Figure 6 — AnT vs common-library comparison.
+    Fig6,
+    /// Figure 7 — averages per library / domain category.
+    Fig7,
+    /// Figure 8 — average transfer per app category.
+    Fig8,
+    /// Figure 9 — library × domain category heatmap.
+    Fig9,
+    /// Figure 10 — method coverage distribution.
+    Fig10,
+    /// §IV-D monetary and energy cost.
+    Cost,
+    /// §IV research-question summaries.
+    Rq,
+}
+
+impl Section {
+    /// Every section, in the order [`render_full`] emits them.
+    pub const ALL: [Section; 12] = [
+        Section::Headline,
+        Section::Table1,
+        Section::Fig2,
+        Section::Fig3,
+        Section::Fig4And5,
+        Section::Fig6,
+        Section::Fig7,
+        Section::Fig8,
+        Section::Fig9,
+        Section::Fig10,
+        Section::Cost,
+        Section::Rq,
+    ];
+
+    /// Stable file-name slug (`tests/golden/<slug>.txt`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Section::Headline => "headline",
+            Section::Table1 => "table1",
+            Section::Fig2 => "fig2",
+            Section::Fig3 => "fig3",
+            Section::Fig4And5 => "fig4_5",
+            Section::Fig6 => "fig6",
+            Section::Fig7 => "fig7",
+            Section::Fig8 => "fig8",
+            Section::Fig9 => "fig9",
+            Section::Fig10 => "fig10",
+            Section::Cost => "cost",
+            Section::Rq => "rq",
+        }
+    }
+}
+
+/// Renders one section exactly as [`render_full`] would emit it.
+pub fn render_section(report: &FullReport, section: Section) -> String {
+    let mut out = String::new();
+    match section {
+        Section::Headline => render_headline(&mut out, report),
+        Section::Table1 => render_table1(&mut out, report),
+        Section::Fig2 => render_fig2(&mut out, report),
+        Section::Fig3 => render_fig3(&mut out, report),
+        Section::Fig4And5 => render_fig4_5(&mut out, report),
+        Section::Fig6 => render_fig6(&mut out, report),
+        Section::Fig7 => render_fig7(&mut out, report),
+        Section::Fig8 => render_fig8(&mut out, report),
+        Section::Fig9 => render_fig9(&mut out, report),
+        Section::Fig10 => render_fig10(&mut out, report),
+        Section::Cost => render_cost(&mut out, report),
+        Section::Rq => out.push_str(&crate::rq::render(&report.rq)),
+    }
+    out
+}
+
 /// Renders the complete report.
 pub fn render_full(report: &FullReport) -> String {
     let mut out = String::new();
-    render_headline(&mut out, report);
-    render_table1(&mut out, report);
-    render_fig2(&mut out, report);
-    render_fig3(&mut out, report);
-    render_fig4_5(&mut out, report);
-    render_fig6(&mut out, report);
-    render_fig7(&mut out, report);
-    render_fig8(&mut out, report);
-    render_fig9(&mut out, report);
-    render_fig10(&mut out, report);
-    render_cost(&mut out, report);
-    out.push_str(&crate::rq::render(&report.rq));
+    for section in Section::ALL {
+        out.push_str(&render_section(report, section));
+    }
     out
 }
 

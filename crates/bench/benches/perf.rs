@@ -210,6 +210,87 @@ fn bench_chaos_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the telemetry layer — the zero-overhead-when-disabled
+/// contract, measured. `analyze_*` isolates the offline pipeline:
+/// plain `analyze_run` vs the instrumented path with a disabled handle
+/// (must be within noise — every touch point is one `Option` branch)
+/// vs a fully enabled registry (atomics + virtual-clock spans, the
+/// `--metrics` price). `campaign_*` measures the same at campaign
+/// granularity. Numbers land in `BENCH_pipeline.json`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use libspector::pipeline::{analyze_run_instrumented, PipelineTelemetry};
+    use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+    use spector_dispatch::{run_campaign, CampaignConfig, DispatchConfig};
+    use spector_telemetry::Telemetry;
+
+    let (knowledge, raws, port) = throughput_fixture();
+    let port = *port;
+
+    let mut group = c.benchmark_group("perf/telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("analyze_plain", |b| {
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run(raw, knowledge, port));
+            }
+        });
+    });
+    group.bench_function("analyze_instrumented_disabled", |b| {
+        let pt = PipelineTelemetry::disabled_ref();
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run_instrumented(raw, knowledge, port, pt));
+            }
+        });
+    });
+    group.bench_function("analyze_instrumented_enabled", |b| {
+        let telemetry = Telemetry::enabled();
+        let pt = PipelineTelemetry::new(&telemetry);
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run_instrumented(raw, knowledge, port, &pt));
+            }
+        });
+    });
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps: 8,
+        seed: 7_780,
+        appgen: AppGenConfig {
+            method_scale: 0.004,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let knowledge = libspector::knowledge::Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig::default();
+    dispatch.experiment.monkey.events = 40;
+    dispatch.experiment.monkey.seed = 7_780;
+    dispatch.workers = 1;
+    group.throughput(Throughput::Elements(corpus.apps.len() as u64));
+    group.bench_function("campaign_telemetry_disabled", |b| {
+        let config = CampaignConfig {
+            dispatch: dispatch.clone(),
+            ..Default::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&corpus, &knowledge, &config, None, None).unwrap())
+        });
+    });
+    group.bench_function("campaign_telemetry_enabled", |b| {
+        let config = CampaignConfig {
+            dispatch: dispatch.clone(),
+            telemetry: Telemetry::enabled(),
+            ..Default::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&corpus, &knowledge, &config, None, None).unwrap())
+        });
+    });
+    group.finish();
+}
+
 fn bench_substrates(c: &mut Criterion) {
     let pair = SocketPair::new(
         Ipv4Addr::new(10, 0, 2, 15),
@@ -300,6 +381,7 @@ criterion_group!(
     bench_per_app_pipeline,
     bench_analysis_throughput,
     bench_chaos_overhead,
+    bench_telemetry_overhead,
     bench_substrates
 );
 criterion_main!(benches);

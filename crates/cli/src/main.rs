@@ -31,6 +31,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
         "live" => cmd_live(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "baseline" => cmd_baseline(&args[1..]),
@@ -61,8 +62,10 @@ USAGE:
                     [--chaos none|light|heavy] [--chaos-seed S]
                     [--max-failures N] [--checkpoint FILE]
                     [--checkpoint-every N] [--resume FILE]
+                    [--metrics FILE]  (also writes FILE.prom)
   libspector live   --apps N [--seed S] [--events E] [--workers W]
-                    [--shards K] [--snapshot-every N]   (streaming attribution)
+                    [--shards K] [--snapshot-every N] [--metrics FILE]
+  libspector metrics --file FILE [--prometheus]  (per-stage profile table)
   libspector report --campaign FILE
   libspector sweep  --apps N [--seed S] --events E1,E2,...
   libspector baseline --campaign FILE          (DNS-only classifier comparison)
@@ -84,6 +87,18 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
             .parse()
             .map_err(|_| format!("invalid value {raw:?} for {name}")),
     }
+}
+
+/// Writes the snapshot as stable JSON to `path` and as Prometheus
+/// text to `path` + ".prom".
+fn write_metrics(snapshot: &spector_telemetry::MetricsSnapshot, path: &str) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    let prom_path = format!("{path}.prom");
+    let prom = spector_telemetry::render_prometheus(snapshot);
+    std::fs::write(&prom_path, prom).map_err(|e| format!("writing {prom_path}: {e}"))?;
+    eprintln!("metrics written to {path} (+ {prom_path})");
+    Ok(())
 }
 
 fn build_corpus(apps: usize, seed: u64, method_scale: f64) -> Corpus {
@@ -112,6 +127,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let checkpoint: Option<String> = flag(args, "--checkpoint");
     let checkpoint_every: usize = parse_flag(args, "--checkpoint-every", 25)?;
     let resume: Option<String> = flag(args, "--resume");
+    let metrics_out: Option<String> = flag(args, "--metrics");
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -127,6 +143,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(plan) = &chaos {
         eprintln!("chaos enabled: seed {}", plan.seed());
     }
+    let telemetry = if metrics_out.is_some() {
+        spector_telemetry::Telemetry::enabled()
+    } else {
+        spector_telemetry::Telemetry::disabled()
+    };
     let config = CampaignConfig {
         dispatch,
         chaos,
@@ -140,6 +161,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             every: checkpoint_every,
         }),
         resume_from: resume.map(PathBuf::from),
+        telemetry: telemetry.clone(),
         ..Default::default()
     };
     eprintln!("running campaign ({events} monkey events per app)");
@@ -162,6 +184,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             outcome.retried,
             outcome.injected.total()
         );
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics(&telemetry.snapshot(), path)?;
     }
     let failures = outcome.failures;
     let analyses = outcome.analyses;
@@ -198,6 +223,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let shards: usize = parse_flag(args, "--shards", 2)?;
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
     let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
+    let metrics_out: Option<String> = flag(args, "--metrics");
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -213,6 +239,11 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         std::sync::Arc::new(knowledge.clone()),
         LiveConfig {
             shards,
+            telemetry: if metrics_out.is_some() {
+                spector_telemetry::Telemetry::enabled()
+            } else {
+                spector_telemetry::Telemetry::disabled()
+            },
             ..Default::default()
         },
     ));
@@ -226,7 +257,10 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         }
     };
     let outcome = run_corpus_live(&corpus, &knowledge, &dispatch, &collector, Some(&progress));
-    let live = collector.finish();
+    let (live, live_metrics) = collector.finish_with_metrics();
+    if let Some(path) = &metrics_out {
+        write_metrics(&live_metrics, path)?;
+    }
     print!("{}", spector_analysis::live::render(&live));
     for failure in &outcome.failures {
         eprintln!(
@@ -254,6 +288,19 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         live.per_library.len(),
         live.per_domain_category.len(),
     );
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--file").ok_or("missing --file FILE (a --metrics JSON snapshot)")?;
+    let raw = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snapshot: spector_telemetry::MetricsSnapshot =
+        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    if args.iter().any(|a| a == "--prometheus") {
+        print!("{}", spector_telemetry::render_prometheus(&snapshot));
+    } else {
+        print!("{}", spector_analysis::profile::render_profile(&snapshot));
+    }
     Ok(())
 }
 

@@ -61,6 +61,6 @@ pub use coverage::CoverageReport;
 pub use experiment::{run_app, ExperimentConfig, ExperimentError, RawRun};
 pub use knowledge::Knowledge;
 pub use pipeline::{
-    analyze_run, analyze_run_oracle, origin_label, AnalyzedFlow, AppAnalysis, RunIntegrity,
-    BUILTIN_ORIGIN_LABEL,
+    analyze_run, analyze_run_instrumented, analyze_run_oracle, origin_label, AnalyzedFlow,
+    AppAnalysis, PipelineTelemetry, RunIntegrity, BUILTIN_ORIGIN_LABEL,
 };

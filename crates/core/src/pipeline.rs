@@ -18,6 +18,7 @@
 //! 6. compute method coverage.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 use spector_hooks::supervisor::decode_reports_classified;
@@ -25,6 +26,7 @@ use spector_hooks::{ReportErrorKind, SocketReport};
 use spector_libradar::LibCategory;
 use spector_netsim::flows::{DnsMap, FlowTable};
 use spector_netsim::CaptureIndex;
+use spector_telemetry::{Counter, Histogram, StageRecorder, Telemetry, SIZE_BOUNDS_BYTES};
 use spector_vtcat::DomainCategory;
 
 use crate::attribution::{attribute, Attribution, OriginKind};
@@ -188,6 +190,120 @@ impl AppAnalysis {
     }
 }
 
+/// Pre-fetched telemetry handles for the offline pipeline: one
+/// [`StageRecorder`] per stage of the analyze hot path (slash-paths
+/// under `pipeline/`), the report↔flow join balance counters, and the
+/// [`RunIntegrity`] mirror counters.
+///
+/// Built once per campaign ([`PipelineTelemetry::new`]) and shared by
+/// every worker; all handles are atomics behind `Arc`s, so recording
+/// is lock-free. The plain [`analyze_run`] entry point routes through
+/// a process-wide *disabled* instance, which reduces every telemetry
+/// touch point to a single branch.
+///
+/// Two invariants these counters carry (both property-tested):
+///
+/// * **join balance** — every decoded report takes exactly one branch,
+///   so `spector_pipeline_reports_total` always equals
+///   `flows_attributed + duplicate_reports + reports_without_flow`;
+/// * **integrity agreement** — [`PipelineTelemetry::record_integrity`]
+///   is called exactly once per accepted analysis, so the
+///   `spector_integrity_*_total` counters equal the field-wise sum of
+///   the [`RunIntegrity`] values over the campaign's analyses.
+#[derive(Clone)]
+pub struct PipelineTelemetry {
+    /// `pipeline/capture_decode`: one-pass capture index build.
+    pub capture_decode: StageRecorder,
+    /// `pipeline/report_decode`: supervisor report datagram decode.
+    pub report_decode: StageRecorder,
+    /// `pipeline/flow_join`: the report↔epoch join (steps 3–6).
+    pub flow_join: StageRecorder,
+    /// `pipeline/flow_join/attribute`: frame translation, builtin
+    /// filter, origin-library pick.
+    pub attribute: StageRecorder,
+    /// `pipeline/flow_join/library_verdict`: category prediction +
+    /// AnT/common list membership for the picked origin.
+    pub library_verdict: StageRecorder,
+    /// `pipeline/flow_join/domain_categorize`: DNS domain recovery and
+    /// vendor-label categorization.
+    pub domain_categorize: StageRecorder,
+    /// `pipeline/coverage`: executed ∩ dex method coverage.
+    pub coverage: StageRecorder,
+    /// `spector_pipeline_reports_total`: decoded supervisor reports
+    /// entering the join.
+    pub reports_total: Counter,
+    /// `spector_pipeline_flows_attributed_total`: reports that joined a
+    /// fresh stream epoch and produced an [`AnalyzedFlow`].
+    pub flows_attributed: Counter,
+    /// `spector_pipeline_duplicate_reports_total`: reports whose epoch
+    /// was already matched (counted once, skipped thereafter).
+    pub duplicate_reports: Counter,
+    /// `spector_pipeline_reports_without_flow_total`: reports whose
+    /// 4-tuple joined no epoch.
+    pub reports_without_flow: Counter,
+    /// `spector_pipeline_flows_unattributed_total`: stream epochs with
+    /// no matching report.
+    pub flows_unattributed: Counter,
+    /// `spector_pipeline_flow_bytes`: wire bytes per attributed flow.
+    pub flow_bytes: Histogram,
+    integrity: [Counter; 6],
+}
+
+impl PipelineTelemetry {
+    /// Fetches all pipeline handles from `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let integrity_counter =
+            |field: &str| telemetry.counter(&format!("spector_integrity_{field}_total"));
+        PipelineTelemetry {
+            capture_decode: telemetry.stage_recorder("pipeline/capture_decode"),
+            report_decode: telemetry.stage_recorder("pipeline/report_decode"),
+            flow_join: telemetry.stage_recorder("pipeline/flow_join"),
+            attribute: telemetry.stage_recorder("pipeline/flow_join/attribute"),
+            library_verdict: telemetry.stage_recorder("pipeline/flow_join/library_verdict"),
+            domain_categorize: telemetry.stage_recorder("pipeline/flow_join/domain_categorize"),
+            coverage: telemetry.stage_recorder("pipeline/coverage"),
+            reports_total: telemetry.counter("spector_pipeline_reports_total"),
+            flows_attributed: telemetry.counter("spector_pipeline_flows_attributed_total"),
+            duplicate_reports: telemetry.counter("spector_pipeline_duplicate_reports_total"),
+            reports_without_flow: telemetry.counter("spector_pipeline_reports_without_flow_total"),
+            flows_unattributed: telemetry.counter("spector_pipeline_flows_unattributed_total"),
+            flow_bytes: telemetry.histogram("spector_pipeline_flow_bytes", &SIZE_BOUNDS_BYTES),
+            integrity: [
+                integrity_counter("frames_truncated"),
+                integrity_counter("frames_malformed"),
+                integrity_counter("frames_bad_checksum"),
+                integrity_counter("reports_truncated"),
+                integrity_counter("reports_malformed"),
+                integrity_counter("synthesized_flows"),
+            ],
+        }
+    }
+
+    /// The process-wide disabled instance [`analyze_run`] routes
+    /// through: every handle is inert, so instrumentation costs one
+    /// branch per touch point and performs no allocation per call.
+    pub fn disabled_ref() -> &'static PipelineTelemetry {
+        static DISABLED: OnceLock<PipelineTelemetry> = OnceLock::new();
+        DISABLED.get_or_init(|| PipelineTelemetry::new(&Telemetry::disabled()))
+    }
+
+    /// Mirrors one run's [`RunIntegrity`] into the
+    /// `spector_integrity_*_total` counters.
+    pub fn record_integrity(&self, integrity: &RunIntegrity) {
+        let fields = [
+            integrity.frames_truncated,
+            integrity.frames_malformed,
+            integrity.frames_bad_checksum,
+            integrity.reports_truncated,
+            integrity.reports_malformed,
+            integrity.synthesized_flows,
+        ];
+        for (counter, value) in self.integrity.iter().zip(fields) {
+            counter.add(value as u64);
+        }
+    }
+}
+
 /// Analyzes one raw run against corpus knowledge.
 ///
 /// This is the hot path: the capture is decoded exactly once (flow
@@ -196,9 +312,34 @@ impl AppAnalysis {
 /// knowledge base's memoizing caches. [`analyze_run_oracle`] is the
 /// retired three-pass/uncached implementation, kept as a reference;
 /// both produce identical [`AppAnalysis`] values.
+///
+/// Routes through [`analyze_run_instrumented`] with the disabled
+/// telemetry instance — one branch per stage, no recording.
 pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> AppAnalysis {
-    let index = CaptureIndex::build(&raw.capture, collector_port);
-    let (reports, report_errors) = decode_reports_classified(index.report_payloads.iter().copied());
+    analyze_run_instrumented(
+        raw,
+        knowledge,
+        collector_port,
+        PipelineTelemetry::disabled_ref(),
+    )
+}
+
+/// [`analyze_run`] with per-stage spans and join-balance counters
+/// recorded into `pt`. Produces byte-identical [`AppAnalysis`] values
+/// to the plain entry point — telemetry observes the pipeline, it
+/// never steers it.
+pub fn analyze_run_instrumented(
+    raw: &RawRun,
+    knowledge: &Knowledge,
+    collector_port: u16,
+    pt: &PipelineTelemetry,
+) -> AppAnalysis {
+    let index = pt
+        .capture_decode
+        .time(|| CaptureIndex::build(&raw.capture, collector_port));
+    let (reports, report_errors) = pt
+        .report_decode
+        .time(|| decode_reports_classified(index.report_payloads.iter().copied()));
     let integrity = RunIntegrity {
         frames_truncated: index.frame_errors.truncated,
         frames_malformed: index.frame_errors.malformed,
@@ -207,6 +348,7 @@ pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> 
         reports_malformed: report_errors.malformed,
         synthesized_flows: index.flows.synthesized_epochs(),
     };
+    pt.record_integrity(&integrity);
     join_reports(
         raw,
         knowledge,
@@ -214,7 +356,11 @@ pub fn analyze_run(raw: &RawRun, knowledge: &Knowledge, collector_port: u16) -> 
         &index.dns,
         &reports,
         integrity,
-        |origin| knowledge.library_verdict(origin),
+        pt,
+        |origin| {
+            pt.library_verdict
+                .time(|| knowledge.library_verdict(origin))
+        },
     )
 }
 
@@ -267,6 +413,7 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
         &dns_map,
         &reports,
         integrity,
+        PipelineTelemetry::disabled_ref(),
         |origin| {
             (
                 knowledge.aggregated.predict_category_oracle(origin),
@@ -280,7 +427,10 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
 /// The report↔flow join shared by [`analyze_run`] and
 /// [`analyze_run_oracle`] — steps 3–6 of the pipeline. `verdict`
 /// resolves an origin-library to `(category, is_ant, is_common)`; the
-/// fast path memoizes, the oracle recomputes.
+/// fast path memoizes, the oracle recomputes. Balance counters land in
+/// `pt` at the branch they describe, so the join-balance invariant is
+/// structural, not arithmetic.
+#[allow(clippy::too_many_arguments)]
 fn join_reports<F>(
     raw: &RawRun,
     knowledge: &Knowledge,
@@ -288,6 +438,7 @@ fn join_reports<F>(
     dns_map: &DnsMap,
     reports: &[SocketReport],
     integrity: RunIntegrity,
+    pt: &PipelineTelemetry,
     mut verdict: F,
 ) -> AppAnalysis
 where
@@ -301,46 +452,62 @@ where
     let mut flows = Vec::with_capacity(reports.len());
     let mut matched: HashSet<usize> = HashSet::new();
     let mut reports_without_flow = 0usize;
-    for report in reports {
-        let Some(idx) = flow_table.lookup_epoch(&report.pair, report.timestamp_micros) else {
-            reports_without_flow += 1;
-            continue;
-        };
-        if !matched.insert(idx) {
-            continue;
-        }
-        let flow = &flow_table.flows()[idx];
+    pt.reports_total.add(reports.len() as u64);
+    pt.flow_join.time(|| {
+        for report in reports {
+            let Some(idx) = flow_table.lookup_epoch(&report.pair, report.timestamp_micros) else {
+                reports_without_flow += 1;
+                pt.reports_without_flow.inc();
+                continue;
+            };
+            if !matched.insert(idx) {
+                pt.duplicate_reports.inc();
+                continue;
+            }
+            let flow = &flow_table.flows()[idx];
 
-        let attribution: Attribution = attribute(&report.frames, &knowledge.builtin);
-        let (lib_category, is_ant, is_common) = match &attribution.origin {
-            OriginKind::Library { origin_library, .. } => verdict(origin_library),
-            OriginKind::Builtin => (LibCategory::Unknown, false, false),
-        };
-        let domain = dns_map.domain_for(flow.pair.dst_ip).map(str::to_owned);
-        let domain_category = domain
-            .as_deref()
-            .map(|d| knowledge.domain_category(d))
-            .unwrap_or(DomainCategory::Unknown);
-        let http_user_agent = spector_netsim::http::HttpRequest::parse(&flow.first_payload)
-            .map(|request| request.user_agent);
-        flows.push(AnalyzedFlow {
-            domain,
-            domain_category,
-            origin: attribution.origin,
-            lib_category,
-            is_ant,
-            is_common,
-            sent_bytes: flow.sent_wire_bytes,
-            recv_bytes: flow.recv_wire_bytes,
-            sent_payload: flow.sent_payload_bytes,
-            recv_payload: flow.recv_payload_bytes,
-            start_micros: flow.start_micros,
-            http_user_agent,
-        });
-    }
+            let attribution: Attribution = pt
+                .attribute
+                .time(|| attribute(&report.frames, &knowledge.builtin));
+            let (lib_category, is_ant, is_common) = match &attribution.origin {
+                OriginKind::Library { origin_library, .. } => verdict(origin_library),
+                OriginKind::Builtin => (LibCategory::Unknown, false, false),
+            };
+            let (domain, domain_category) = pt.domain_categorize.time(|| {
+                let domain = dns_map.domain_for(flow.pair.dst_ip).map(str::to_owned);
+                let category = domain
+                    .as_deref()
+                    .map(|d| knowledge.domain_category(d))
+                    .unwrap_or(DomainCategory::Unknown);
+                (domain, category)
+            });
+            let http_user_agent = spector_netsim::http::HttpRequest::parse(&flow.first_payload)
+                .map(|request| request.user_agent);
+            pt.flows_attributed.inc();
+            pt.flow_bytes
+                .record(flow.sent_wire_bytes + flow.recv_wire_bytes);
+            flows.push(AnalyzedFlow {
+                domain,
+                domain_category,
+                origin: attribution.origin,
+                lib_category,
+                is_ant,
+                is_common,
+                sent_bytes: flow.sent_wire_bytes,
+                recv_bytes: flow.recv_wire_bytes,
+                sent_payload: flow.sent_payload_bytes,
+                recv_payload: flow.recv_payload_bytes,
+                start_micros: flow.start_micros,
+                http_user_agent,
+            });
+        }
+    });
 
     let unattributed_flows = flow_table.len().saturating_sub(flows.len());
-    let coverage = compute_coverage(&raw.executed_methods, &raw.dex_signatures);
+    pt.flows_unattributed.add(unattributed_flows as u64);
+    let coverage = pt
+        .coverage
+        .time(|| compute_coverage(&raw.executed_methods, &raw.dex_signatures));
     let report_packets = reports.len();
 
     AppAnalysis {

@@ -59,11 +59,12 @@ use std::time::Duration;
 use crossbeam::channel;
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
-use libspector::pipeline::{analyze_run, AppAnalysis};
+use libspector::pipeline::{analyze_run_instrumented, AppAnalysis, PipelineTelemetry};
 use serde::{Deserialize, Serialize};
 use spector_corpus::Corpus;
-use spector_faults::{perturb_capture, FaultPlan, PerturbStats};
+use spector_faults::{perturb_capture, FaultPlan, FaultTelemetry, PerturbStats};
 use spector_live::{LiveEngine, LiveSummary};
+use spector_telemetry::{Counter, Histogram, StageRecorder, Telemetry, LATENCY_BOUNDS_MICROS};
 
 pub use resilience::RetryPolicy;
 pub use store::{
@@ -109,6 +110,11 @@ pub struct CampaignConfig {
     /// Resume from this checkpoint file if it exists (a missing file
     /// starts fresh; a fingerprint mismatch is an error).
     pub resume_from: Option<PathBuf>,
+    /// Telemetry sink for campaign/pipeline/fault metrics. The default
+    /// disabled handle reduces every instrumentation touch point to one
+    /// branch; it never affects results, so it is deliberately not part
+    /// of the checkpoint fingerprint.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CampaignConfig {
@@ -120,6 +126,7 @@ impl Default for CampaignConfig {
             deadline_micros: None,
             checkpoint: None,
             resume_from: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -200,9 +207,19 @@ impl LiveCollector {
         self.engine.snapshot()
     }
 
+    /// [`LiveCollector::snapshot`] plus the engine's merged telemetry.
+    pub fn snapshot_full(&self) -> (LiveSummary, spector_telemetry::MetricsSnapshot) {
+        self.engine.snapshot_full()
+    }
+
     /// Closes the stream and returns the final summary.
     pub fn finish(self) -> LiveSummary {
         self.engine.finish()
+    }
+
+    /// [`LiveCollector::finish`] plus the final merged telemetry.
+    pub fn finish_with_metrics(self) -> (LiveSummary, spector_telemetry::MetricsSnapshot) {
+        self.engine.finish_with_metrics()
     }
 }
 
@@ -244,6 +261,53 @@ pub fn run_corpus_live(
         .expect("io is impossible without checkpoint/resume")
 }
 
+/// Pre-fetched telemetry handles for one campaign, cloned into every
+/// worker: the pipeline's stage recorders and balance counters, the
+/// fault-event counters, and the dispatcher's own campaign counters.
+/// Built once per [`run_campaign`] from [`CampaignConfig::telemetry`];
+/// everything is inert when that handle is disabled.
+#[derive(Clone)]
+pub struct CampaignInstruments {
+    /// Offline-pipeline stages and join-balance counters.
+    pub pipeline: PipelineTelemetry,
+    /// Injected-fault counters (`spector_fault_*_total`).
+    pub faults: FaultTelemetry,
+    /// `experiment/run_app` stage: wall time of one experiment run.
+    pub run_app_stage: StageRecorder,
+    /// `spector_campaign_apps_ok_total`: apps that produced an analysis.
+    pub apps_ok: Counter,
+    /// `spector_campaign_apps_failed_total`: apps that exhausted their
+    /// retry budget (or failed fatally).
+    pub apps_failed: Counter,
+    /// `spector_campaign_retries_total`: attempts beyond each app's
+    /// first try.
+    pub retries: Counter,
+    /// `spector_campaign_checkpoints_total`: checkpoint files written.
+    pub checkpoints: Counter,
+    /// `spector_campaign_app_virtual_micros`: each successful run's
+    /// virtual-clock duration — deterministic, unlike the wall spans.
+    pub app_virtual_micros: Histogram,
+}
+
+impl CampaignInstruments {
+    /// Fetches all campaign handles from `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        CampaignInstruments {
+            pipeline: PipelineTelemetry::new(telemetry),
+            faults: FaultTelemetry::new(telemetry),
+            run_app_stage: telemetry.stage_recorder("experiment/run_app"),
+            apps_ok: telemetry.counter("spector_campaign_apps_ok_total"),
+            apps_failed: telemetry.counter("spector_campaign_apps_failed_total"),
+            retries: telemetry.counter("spector_campaign_retries_total"),
+            checkpoints: telemetry.counter("spector_campaign_checkpoints_total"),
+            app_virtual_micros: telemetry.histogram(
+                "spector_campaign_app_virtual_micros",
+                &LATENCY_BOUNDS_MICROS,
+            ),
+        }
+    }
+}
+
 /// How one attempt at one app ended, before retry accounting.
 enum AttemptError {
     /// Weather: worth retrying (boot failure, hang, deadline).
@@ -272,6 +336,7 @@ fn run_one_app(
     config: &CampaignConfig,
     resolver: &std::collections::HashMap<String, std::net::Ipv4Addr>,
     collector: Option<&LiveCollector>,
+    instruments: &CampaignInstruments,
     index: usize,
 ) -> (Result<AppAnalysis, AppFailure>, PerturbStats, u32) {
     let app = &corpus.apps[index];
@@ -285,12 +350,14 @@ fn run_one_app(
             .map(|plan| plan.process_faults(index, attempt))
             .unwrap_or_default();
         let attempt_result: Result<AppAnalysis, AttemptError> = if faults.boot_failure {
+            instruments.faults.boot_failures.inc();
             Err(AttemptError::Retryable(
                 "emulator failed to boot (injected)".to_owned(),
             ))
         } else {
             let guarded = catch_unwind(AssertUnwindSafe(|| {
                 if faults.worker_panic {
+                    instruments.faults.worker_panics.inc();
                     panic!("injected worker panic (chaos)");
                 }
                 let mut experiment = config.dispatch.experiment.clone();
@@ -303,11 +370,15 @@ fn run_one_app(
                     .iter()
                     .map(|s| (s.op.clone(), s.dispatcher))
                     .collect();
-                let mut raw = match run_app(&app.apk, resolver, &system, &experiment) {
+                let mut raw = match instruments
+                    .run_app_stage
+                    .time(|| run_app(&app.apk, resolver, &system, &experiment))
+                {
                     Ok(raw) => raw,
                     Err(error) => return Err(AttemptError::Fatal(error.to_string())),
                 };
                 if faults.monkey_hang {
+                    instruments.faults.monkey_hangs.inc();
                     return Err(AttemptError::Retryable(
                         "monkey hang: virtual clock stalled past the app deadline (injected)"
                             .to_owned(),
@@ -335,8 +406,14 @@ fn run_one_app(
                 if let Some(collector) = collector {
                     collector.observe(index as u32, &raw);
                 }
+                instruments.app_virtual_micros.record(raw.duration_micros);
                 Ok((
-                    analyze_run(&raw, knowledge, experiment.supervisor.collector_port),
+                    analyze_run_instrumented(
+                        &raw,
+                        knowledge,
+                        experiment.supervisor.collector_port,
+                        &instruments.pipeline,
+                    ),
                     stats,
                 ))
             }));
@@ -398,6 +475,7 @@ pub fn run_campaign(
 ) -> io::Result<CampaignOutcome> {
     let apps = corpus.apps.len();
     let fingerprint = config.fingerprint(apps);
+    let instruments = CampaignInstruments::new(&config.telemetry);
 
     let mut results: Vec<Option<Result<AppAnalysis, AppFailure>>> = Vec::new();
     results.resize_with(apps, || None);
@@ -455,10 +533,18 @@ pub fn run_campaign(
             let result_tx = result_tx.clone();
             let resolver = &resolver;
             let done = &done;
+            let instruments = &instruments;
             scope.spawn(move |_| {
                 while let Ok(index) = job_rx.recv() {
-                    let (result, stats, extra_attempts) =
-                        run_one_app(corpus, knowledge, config, resolver, collector, index);
+                    let (result, stats, extra_attempts) = run_one_app(
+                        corpus,
+                        knowledge,
+                        config,
+                        resolver,
+                        collector,
+                        instruments,
+                        index,
+                    );
                     let count = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(callback) = progress {
                         callback(count);
@@ -472,7 +558,13 @@ pub fn run_campaign(
         let mut since_checkpoint = 0usize;
         for (index, result, stats, extra_attempts) in result_rx.iter() {
             retried += extra_attempts as usize;
+            instruments.retries.add(extra_attempts as u64);
             injected.merge(&stats);
+            instruments.faults.record(&stats);
+            match &result {
+                Ok(_) => instruments.apps_ok.inc(),
+                Err(_) => instruments.apps_failed.inc(),
+            }
             results[index] = Some(result);
             if let Some(checkpoint) = &config.checkpoint {
                 since_checkpoint += 1;
@@ -481,6 +573,8 @@ pub fn run_campaign(
                     let snapshot = snapshot_checkpoint(&fingerprint, &results, retried, &injected);
                     if let Err(error) = save_checkpoint(&snapshot, &checkpoint.path) {
                         checkpoint_error = Some(error);
+                    } else {
+                        instruments.checkpoints.inc();
                     }
                 }
             }
@@ -493,6 +587,7 @@ pub fn run_campaign(
     if let Some(checkpoint) = &config.checkpoint {
         let snapshot = snapshot_checkpoint(&fingerprint, &results, retried, &injected);
         save_checkpoint(&snapshot, &checkpoint.path)?;
+        instruments.checkpoints.inc();
     }
 
     let mut outcome = CampaignOutcome {

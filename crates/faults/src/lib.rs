@@ -34,8 +34,10 @@ mod perturb;
 mod plan;
 mod profile;
 mod rng;
+mod telemetry;
 
 pub use perturb::{perturb_capture, PerturbStats};
 pub use plan::{FaultPlan, ProcessFaults};
 pub use profile::{FaultProfile, ParseProfileError};
 pub use rng::FaultRng;
+pub use telemetry::FaultTelemetry;

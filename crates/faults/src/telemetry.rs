@@ -1,0 +1,116 @@
+//! Fault-event telemetry: injected faults surfaced as counters.
+//!
+//! The chaos layer already accounts every injection in
+//! [`PerturbStats`]; this module mirrors those per-run stats into
+//! `spector_fault_*_total` counters so a campaign's metrics snapshot
+//! carries the same injection totals the [`PerturbStats`] fold does —
+//! one name per stats field, plus process-fault counters for the
+//! dispatcher's boot-failure / hang / panic decisions.
+
+use spector_telemetry::{Counter, Telemetry};
+
+use crate::perturb::PerturbStats;
+
+/// Pre-fetched counters for fault events, one per [`PerturbStats`]
+/// field (`spector_fault_<field>_total`) plus the process-fault
+/// classes. Cloned freely into dispatch workers.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTelemetry {
+    wire: [Counter; 7],
+    /// `spector_fault_boot_failures_total`: injected emulator boot
+    /// failures (retryable).
+    pub boot_failures: Counter,
+    /// `spector_fault_monkey_hangs_total`: injected monkey hangs
+    /// (retryable).
+    pub monkey_hangs: Counter,
+    /// `spector_fault_worker_panics_total`: injected worker panics
+    /// (worker respawned, attempt retried).
+    pub worker_panics: Counter,
+}
+
+impl FaultTelemetry {
+    /// Fetches all fault counters from `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let wire_counter = |field: &str| telemetry.counter(&format!("spector_fault_{field}_total"));
+        FaultTelemetry {
+            wire: [
+                wire_counter("reports_dropped"),
+                wire_counter("reports_duplicated"),
+                wire_counter("reports_reordered"),
+                wire_counter("reports_truncated"),
+                wire_counter("reports_bit_flipped"),
+                wire_counter("frames_truncated"),
+                wire_counter("frames_lost_to_capture_death"),
+            ],
+            boot_failures: wire_counter("boot_failures"),
+            monkey_hangs: wire_counter("monkey_hangs"),
+            worker_panics: wire_counter("worker_panics"),
+        }
+    }
+
+    /// Mirrors one run's wire-fault injections into the counters.
+    pub fn record(&self, stats: &PerturbStats) {
+        let fields = [
+            stats.reports_dropped,
+            stats.reports_duplicated,
+            stats.reports_reordered,
+            stats.reports_truncated,
+            stats.reports_bit_flipped,
+            stats.frames_truncated,
+            stats.frames_lost_to_capture_death,
+        ];
+        for (counter, value) in self.wire.iter().zip(fields) {
+            counter.add(value as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_mirror_perturb_stats_fields() {
+        let telemetry = Telemetry::enabled();
+        let ft = FaultTelemetry::new(&telemetry);
+        let stats = PerturbStats {
+            reports_dropped: 1,
+            reports_duplicated: 2,
+            reports_reordered: 3,
+            reports_truncated: 4,
+            reports_bit_flipped: 5,
+            frames_truncated: 6,
+            frames_lost_to_capture_death: 7,
+        };
+        ft.record(&stats);
+        ft.record(&stats);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counter("spector_fault_reports_dropped_total"), 2);
+        assert_eq!(
+            snapshot.counter("spector_fault_reports_bit_flipped_total"),
+            10
+        );
+        assert_eq!(
+            snapshot.counter("spector_fault_frames_lost_to_capture_death_total"),
+            14
+        );
+        let total: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("spector_fault_"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, 2 * stats.total() as u64);
+    }
+
+    #[test]
+    fn disabled_counters_are_inert() {
+        let ft = FaultTelemetry::new(&Telemetry::disabled());
+        ft.record(&PerturbStats {
+            reports_dropped: 9,
+            ..PerturbStats::default()
+        });
+        ft.boot_failures.inc();
+        assert_eq!(ft.boot_failures.get(), 0);
+    }
+}

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use libspector::Knowledge;
 use spector_netsim::pcap::CapturedPacket;
+use spector_telemetry::{Counter, MetricsSnapshot, Telemetry};
 
 use crate::event::{shard_of, LiveEvent, LiveEventKind};
 use crate::joiner::{JoinerConfig, LiveJoiner};
@@ -65,6 +66,11 @@ pub struct LiveConfig {
     pub collector_port: u16,
     /// Joiner tuning (pending-report TTL).
     pub joiner: JoinerConfig,
+    /// Engine-level telemetry sink. When enabled, each shard also
+    /// keeps a local counter-only registry whose snapshot folds into
+    /// [`LiveEngine::snapshot_full`]; counters only, so the merged
+    /// snapshot is identical for any shard count.
+    pub telemetry: Telemetry,
 }
 
 impl Default for LiveConfig {
@@ -75,13 +81,14 @@ impl Default for LiveConfig {
             overflow: OverflowPolicy::Block,
             collector_port: spector_hooks::SupervisorConfig::default().collector_port,
             joiner: JoinerConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
 
 enum ShardMsg {
     Event(LiveEvent),
-    Snapshot(Sender<LiveSummary>),
+    Snapshot(Sender<(LiveSummary, MetricsSnapshot)>),
     /// Test-only: acknowledge, then block until the gate closes — lets
     /// tests fill a queue deterministically to exercise backpressure.
     #[cfg(test)]
@@ -91,18 +98,57 @@ enum ShardMsg {
     },
 }
 
+/// Shard-local event counters. Deliberately counters only (no
+/// wall-time histograms): every event lands on exactly one shard (DNS
+/// broadcasts are counted on shard 0 only, mirroring the summary's
+/// DNS convention), so the fold over shard snapshots is independent of
+/// the shard count — pinned by the live telemetry tests.
+struct ShardTelemetry {
+    registry: Telemetry,
+    tcp_events: Counter,
+    dns_events: Counter,
+    report_events: Counter,
+    count_dns: bool,
+}
+
+impl ShardTelemetry {
+    fn new(shard_idx: usize, enabled: bool) -> ShardTelemetry {
+        let registry = if enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        ShardTelemetry {
+            tcp_events: registry.counter("spector_live_tcp_events_total"),
+            dns_events: registry.counter("spector_live_dns_events_total"),
+            report_events: registry.counter("spector_live_report_events_total"),
+            count_dns: shard_idx == 0,
+            registry,
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
 /// The running engine. `push` is `&self` and thread-safe; `snapshot`
 /// can be called at any time from any thread; `finish` consumes the
 /// engine, drains the shards, and returns the final summary.
 pub struct LiveEngine {
     senders: Vec<Sender<ShardMsg>>,
-    handles: Vec<JoinHandle<LiveSummary>>,
+    handles: Vec<JoinHandle<(LiveSummary, MetricsSnapshot)>>,
     events: AtomicU64,
     dropped: Arc<AtomicU64>,
     reports_truncated: AtomicU64,
     reports_malformed: AtomicU64,
     overflow: OverflowPolicy,
     collector_port: u16,
+    telemetry: Telemetry,
+    events_counter: Counter,
+    dropped_counter: Counter,
+    reports_truncated_counter: Counter,
+    reports_malformed_counter: Counter,
 }
 
 impl LiveEngine {
@@ -110,6 +156,7 @@ impl LiveEngine {
     pub fn start(knowledge: Arc<Knowledge>, config: LiveConfig) -> LiveEngine {
         let shards = config.shards.max(1);
         let capacity = config.queue_capacity.max(1);
+        let telemetry_enabled = config.telemetry.is_enabled();
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard_idx in 0..shards {
@@ -117,7 +164,13 @@ impl LiveEngine {
             let knowledge = Arc::clone(&knowledge);
             let joiner_config = config.joiner.clone();
             handles.push(std::thread::spawn(move || {
-                shard_loop(shard_idx, receiver, knowledge, joiner_config)
+                shard_loop(
+                    shard_idx,
+                    receiver,
+                    knowledge,
+                    joiner_config,
+                    telemetry_enabled,
+                )
             }));
             senders.push(sender);
         }
@@ -130,6 +183,17 @@ impl LiveEngine {
             reports_malformed: AtomicU64::new(0),
             overflow: config.overflow,
             collector_port: config.collector_port,
+            events_counter: config.telemetry.counter("spector_live_events_total"),
+            dropped_counter: config
+                .telemetry
+                .counter("spector_live_dropped_events_total"),
+            reports_truncated_counter: config
+                .telemetry
+                .counter("spector_live_ingress_reports_truncated_total"),
+            reports_malformed_counter: config
+                .telemetry
+                .counter("spector_live_ingress_reports_malformed_total"),
+            telemetry: config.telemetry,
         }
     }
 
@@ -154,6 +218,7 @@ impl LiveEngine {
     /// shed (counted).
     pub fn push(&self, event: LiveEvent) {
         self.events.fetch_add(1, Ordering::Relaxed);
+        self.events_counter.inc();
         match event.routing_pair() {
             Some(pair) => {
                 let shard = shard_of(event.run, &pair, self.senders.len());
@@ -182,11 +247,16 @@ impl LiveEngine {
             match LiveEvent::classify_wire(run, event, self.collector_port) {
                 Ok(event) => self.push(event),
                 Err(error) => {
-                    let counter = match error.kind {
-                        ReportErrorKind::Truncated => &self.reports_truncated,
-                        ReportErrorKind::Malformed => &self.reports_malformed,
+                    let (counter, mirror) = match error.kind {
+                        ReportErrorKind::Truncated => {
+                            (&self.reports_truncated, &self.reports_truncated_counter)
+                        }
+                        ReportErrorKind::Malformed => {
+                            (&self.reports_malformed, &self.reports_malformed_counter)
+                        }
                     };
                     counter.fetch_add(1, Ordering::Relaxed);
+                    mirror.inc();
                 }
             }
         }
@@ -204,6 +274,7 @@ impl LiveEngine {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
                         self.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.dropped_counter.inc();
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         panic!("live shard terminated while engine running")
@@ -217,9 +288,17 @@ impl LiveEngine {
     /// this call (see the module docs for the barrier argument). Safe
     /// to call repeatedly; the stream may keep flowing afterwards.
     pub fn snapshot(&self) -> LiveSummary {
+        self.snapshot_full().0
+    }
+
+    /// [`LiveEngine::snapshot`] plus the merged telemetry view: every
+    /// shard's local counter snapshot folded together with the
+    /// engine-level registry ([`MetricsSnapshot::merge`] is
+    /// associative/commutative, so the fold order is irrelevant).
+    pub fn snapshot_full(&self) -> (LiveSummary, MetricsSnapshot) {
         // Enqueue every barrier first, then collect: shards quiesce in
         // parallel instead of one at a time.
-        let replies: Vec<Receiver<LiveSummary>> = self
+        let replies: Vec<Receiver<(LiveSummary, MetricsSnapshot)>> = self
             .senders
             .iter()
             .map(|sender| {
@@ -231,15 +310,15 @@ impl LiveEngine {
             })
             .collect();
         let mut merged = LiveSummary::default();
+        let mut metrics = self.telemetry.snapshot();
         for receiver in replies {
-            let partial = receiver.recv().expect("live shard dropped snapshot reply");
+            let (partial, shard_metrics) =
+                receiver.recv().expect("live shard dropped snapshot reply");
             merged.merge(&partial);
+            metrics.merge(&shard_metrics);
         }
-        merged.events = self.events.load(Ordering::Relaxed);
-        merged.dropped_events = self.dropped.load(Ordering::Relaxed);
-        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
-        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
-        merged
+        self.stamp_engine_totals(&mut merged);
+        (merged, metrics)
     }
 
     /// Closes the stream: drops the queues, joins every shard, and
@@ -248,17 +327,31 @@ impl LiveEngine {
     /// captures, `orphaned + evicted` equals the offline pipeline's
     /// `reports_without_flow`.
     pub fn finish(self) -> LiveSummary {
+        self.finish_with_metrics().0
+    }
+
+    /// [`LiveEngine::finish`] plus the final merged telemetry view.
+    pub fn finish_with_metrics(self) -> (LiveSummary, MetricsSnapshot) {
         drop(self.senders);
         let mut merged = LiveSummary::default();
+        let mut metrics = self.telemetry.snapshot();
         for handle in self.handles {
-            let partial = handle.join().expect("live shard panicked");
+            let (partial, shard_metrics) = handle.join().expect("live shard panicked");
             merged.merge(&partial);
+            metrics.merge(&shard_metrics);
         }
         merged.events = self.events.load(Ordering::Relaxed);
         merged.dropped_events = self.dropped.load(Ordering::Relaxed);
         merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
         merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
-        merged
+        (merged, metrics)
+    }
+
+    fn stamp_engine_totals(&self, merged: &mut LiveSummary) {
+        merged.events = self.events.load(Ordering::Relaxed);
+        merged.dropped_events = self.dropped.load(Ordering::Relaxed);
+        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
+        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
     }
 }
 
@@ -267,8 +360,10 @@ fn shard_loop(
     receiver: Receiver<ShardMsg>,
     knowledge: Arc<Knowledge>,
     joiner_config: JoinerConfig,
-) -> LiveSummary {
+    telemetry_enabled: bool,
+) -> (LiveSummary, MetricsSnapshot) {
     let mut joiners: HashMap<u32, LiveJoiner> = HashMap::new();
+    let telemetry = ShardTelemetry::new(shard_idx, telemetry_enabled);
     while let Ok(msg) = receiver.recv() {
         match msg {
             ShardMsg::Event(event) => {
@@ -283,25 +378,41 @@ fn shard_loop(
                         payload_len,
                         head,
                         wire_len,
-                    } => joiner.on_tcp(
-                        timestamp_micros,
-                        pair,
-                        flags,
-                        payload_len,
-                        &head,
-                        wire_len,
-                        &knowledge,
-                    ),
+                    } => {
+                        telemetry.tcp_events.inc();
+                        joiner.on_tcp(
+                            timestamp_micros,
+                            pair,
+                            flags,
+                            payload_len,
+                            &head,
+                            wire_len,
+                            &knowledge,
+                        )
+                    }
                     LiveEventKind::Dns {
                         timestamp_micros,
                         pair,
                         payload,
-                    } => joiner.on_dns(timestamp_micros, &pair, &payload),
-                    LiveEventKind::Report(report) => joiner.on_report(report, &knowledge),
+                    } => {
+                        // Broadcast event: counted on shard 0 only, so
+                        // the merged count is shard-count-independent.
+                        if telemetry.count_dns {
+                            telemetry.dns_events.inc();
+                        }
+                        joiner.on_dns(timestamp_micros, &pair, &payload)
+                    }
+                    LiveEventKind::Report(report) => {
+                        telemetry.report_events.inc();
+                        joiner.on_report(report, &knowledge)
+                    }
                 }
             }
             ShardMsg::Snapshot(reply) => {
-                let _ = reply.send(partial_summary(shard_idx, &joiners, &knowledge));
+                let _ = reply.send((
+                    partial_summary(shard_idx, &joiners, &knowledge),
+                    telemetry.snapshot(),
+                ));
             }
             #[cfg(test)]
             ShardMsg::Park { ack, gate } => {
@@ -310,7 +421,10 @@ fn shard_loop(
             }
         }
     }
-    partial_summary(shard_idx, &joiners, &knowledge)
+    (
+        partial_summary(shard_idx, &joiners, &knowledge),
+        telemetry.snapshot(),
+    )
 }
 
 /// This shard's contribution to the merged summary. Only shard 0
@@ -470,6 +584,77 @@ mod tests {
         assert_eq!(summary.dropped_events, 0);
         assert_eq!(summary.flows, 20 * 3);
         assert_eq!(summary.unjoined_reports(), 0);
+    }
+
+    #[test]
+    fn telemetry_counters_are_identical_for_any_shard_count() {
+        let captures: Vec<_> = (0..3).map(|i| scripted_capture(i * 11)).collect();
+        let mut metric_views = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let engine = LiveEngine::start(
+                knowledge(),
+                LiveConfig {
+                    shards,
+                    telemetry: Telemetry::enabled(),
+                    ..Default::default()
+                },
+            );
+            for (run, capture) in captures.iter().enumerate() {
+                engine.push_run(run as u32, capture);
+            }
+            let (_, metrics) = engine.finish_with_metrics();
+            metric_views.push(metrics);
+        }
+        assert_eq!(metric_views[0], metric_views[1]);
+        assert_eq!(metric_views[1], metric_views[2]);
+        let m = &metric_views[0];
+        // Ingress balance: every pushed event is exactly one of the
+        // shard-counted classes (nothing was shed under Block).
+        assert_eq!(
+            m.counter("spector_live_events_total"),
+            m.counter("spector_live_tcp_events_total")
+                + m.counter("spector_live_dns_events_total")
+                + m.counter("spector_live_report_events_total")
+        );
+        assert_eq!(m.counter("spector_live_dropped_events_total"), 0);
+        assert!(m.counter("spector_live_report_events_total") >= 9);
+    }
+
+    #[test]
+    fn mid_stream_metrics_snapshot_balances_and_keeps_flowing() {
+        let capture = scripted_capture(61);
+        let engine = LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 2,
+                telemetry: Telemetry::enabled(),
+                ..Default::default()
+            },
+        );
+        engine.push_run(0, &capture);
+        let (summary, metrics) = engine.snapshot_full();
+        assert_eq!(metrics.counter("spector_live_events_total"), summary.events);
+        assert_eq!(
+            metrics.counter("spector_live_events_total"),
+            metrics.counter("spector_live_tcp_events_total")
+                + metrics.counter("spector_live_dns_events_total")
+                + metrics.counter("spector_live_report_events_total")
+        );
+        engine.push_run(1, &capture);
+        let (final_summary, final_metrics) = engine.finish_with_metrics();
+        assert_eq!(
+            final_metrics.counter("spector_live_events_total"),
+            final_summary.events
+        );
+        assert!(final_summary.events > summary.events);
+    }
+
+    #[test]
+    fn disabled_telemetry_reports_empty_metrics() {
+        let engine = LiveEngine::start(knowledge(), LiveConfig::default());
+        engine.push_run(0, &scripted_capture(5));
+        let (_, metrics) = engine.finish_with_metrics();
+        assert_eq!(metrics, MetricsSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Exporters: Prometheus text format over a [`MetricsSnapshot`].
+//!
+//! The JSON exporter is simply the snapshot's serde form (stable —
+//! `BTreeMap` keys sort deterministically); this module renders the
+//! same snapshot in the Prometheus text exposition format, with
+//! `# TYPE` headers per family, `_bucket{le="..."}` lines per
+//! histogram bucket, and cumulative bucket counts as the format
+//! requires.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricKey;
+use crate::snapshot::MetricsSnapshot;
+
+fn family(rendered_id: &str) -> &str {
+    rendered_id.split('{').next().unwrap_or(rendered_id)
+}
+
+fn label_body(id: &MetricKey) -> String {
+    match &id.label {
+        None => String::new(),
+        Some((key, value)) => format!("{key}=\"{value}\""),
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut type_header = |out: &mut String, id: &str, kind: &str| {
+        let fam = family(id);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            last_family = fam.to_owned();
+        }
+    };
+
+    for (id, value) in &snapshot.counters {
+        type_header(&mut out, id, "counter");
+        let _ = writeln!(out, "{id} {value}");
+    }
+    for (id, value) in &snapshot.gauges {
+        type_header(&mut out, id, "gauge");
+        let _ = writeln!(out, "{id} {value}");
+    }
+    for (id, histogram) in &snapshot.histograms {
+        type_header(&mut out, id, "histogram");
+        let key = MetricKey::parse(id);
+        let fam = key.name.clone();
+        let labels = label_body(&key);
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (idx, bucket) in histogram.buckets.iter().enumerate() {
+            cumulative += bucket;
+            let le = match histogram.bounds.get(idx) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_owned(),
+            };
+            let _ = writeln!(out, "{fam}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}");
+        }
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{fam}_sum{suffix} {}", histogram.sum);
+        let _ = writeln!(out, "{fam}_count{suffix} {}", histogram.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Telemetry, LATENCY_BOUNDS_MICROS};
+
+    #[test]
+    fn prometheus_format_has_types_buckets_and_cumulative_counts() {
+        let telemetry = Telemetry::enabled();
+        telemetry.counter("spector_apps_total").add(3);
+        telemetry.gauge("spector_workers").set(4);
+        let h = telemetry.histogram_labeled(
+            "spector_stage_micros",
+            "stage",
+            "pipeline",
+            &LATENCY_BOUNDS_MICROS,
+        );
+        h.record(3);
+        h.record(7);
+        h.record(2_000_000);
+        let text = render_prometheus(&telemetry.snapshot());
+        assert!(text.contains("# TYPE spector_apps_total counter"));
+        assert!(text.contains("spector_apps_total 3"));
+        assert!(text.contains("# TYPE spector_workers gauge"));
+        assert!(text.contains("# TYPE spector_stage_micros histogram"));
+        assert!(text.contains("spector_stage_micros_bucket{stage=\"pipeline\",le=\"5\"} 1"));
+        assert!(text.contains("spector_stage_micros_bucket{stage=\"pipeline\",le=\"10\"} 2"));
+        assert!(text.contains("spector_stage_micros_bucket{stage=\"pipeline\",le=\"+Inf\"} 3"));
+        assert!(text.contains("spector_stage_micros_sum{stage=\"pipeline\"} 2000010"));
+        assert!(text.contains("spector_stage_micros_count{stage=\"pipeline\"} 3"));
+    }
+
+    #[test]
+    fn unlabeled_histogram_renders_plain_suffixes() {
+        let telemetry = Telemetry::enabled();
+        telemetry.histogram("spector_app_micros", &[100]).record(42);
+        let text = render_prometheus(&telemetry.snapshot());
+        assert!(text.contains("spector_app_micros_bucket{le=\"100\"} 1"));
+        assert!(text.contains("spector_app_micros_sum 42"));
+        assert!(text.contains("spector_app_micros_count 1"));
+    }
+}

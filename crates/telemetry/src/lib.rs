@@ -1,0 +1,53 @@
+//! `spector-telemetry` — observability for the measurement system
+//! itself.
+//!
+//! Libspector *is* a measurement system, so its own internals must be
+//! measurable: how many reports each pipeline stage saw, dropped, and
+//! attributed; how long each stage took; what the chaos layer
+//! injected. This crate provides the shared substrate:
+//!
+//! * **Registry** ([`registry`]) — a lock-light [`Telemetry`] handle.
+//!   Registration takes a short write lock once per metric; every
+//!   increment afterwards is a single atomic op through a pre-fetched
+//!   [`Counter`] / [`Gauge`] / [`Histogram`] handle that workers clone
+//!   freely. A *disabled* handle ([`Telemetry::disabled`]) reduces
+//!   every operation to one `Option` test — the zero-overhead-when-
+//!   disabled contract pinned by `perf/telemetry_overhead`.
+//! * **Spans** ([`span`]) — hierarchical stage profiling. A span path
+//!   is slash-separated (`pipeline/flow_join/attribute`); durations
+//!   land in a fixed-bucket latency histogram keyed by the path.
+//!   Timing comes from a [`TimeSource`]: wall-clock in production, or
+//!   a shared virtual clock ([`TimeSource::Virtual`]) so spans are
+//!   deterministic under the fault layer's virtual-time testing.
+//! * **Snapshots** ([`snapshot`]) — [`MetricsSnapshot`] is the
+//!   serializable point-in-time view. [`MetricsSnapshot::merge`] is
+//!   associative and commutative (property-tested), which is what
+//!   lets shard-local telemetry fold into one campaign view the same
+//!   way `LiveSummary` partials do.
+//! * **Exporters** ([`export`]) — Prometheus text format and a stable
+//!   JSON layout (the snapshot's serde form), surfaced by
+//!   `libspector run --metrics` / `libspector metrics`.
+//!
+//! # Metric naming scheme
+//!
+//! Every metric name is `spector_<subsystem>_<what>[_total]`, with at
+//! most one `{key="value"}` label pair (stage paths use
+//! `{stage="..."}`). Counters end in `_total`; histograms carry their
+//! unit in the name (`_micros`, `_bytes`). See DESIGN.md
+//! "Observability" for the full inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use export::render_prometheus;
+pub use registry::{
+    Counter, Gauge, Histogram, MetricKey, Telemetry, TimeSource, LATENCY_BOUNDS_MICROS,
+    SIZE_BOUNDS_BYTES,
+};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use span::{StageGuard, StageRecorder, STAGE_CALLS_SUFFIX, STAGE_MICROS};

@@ -1,0 +1,486 @@
+//! The lock-light metrics registry and its cheap handles.
+//!
+//! Design: a [`Telemetry`] value is `Option<Arc<Inner>>`. The
+//! *disabled* handle is `None`, so every operation on it is a single
+//! branch — no allocation, no atomics, no locks. The *enabled* handle
+//! shares one registry: metric registration takes a short `RwLock`
+//! write once per distinct metric key; the returned [`Counter`] /
+//! [`Gauge`] / [`Histogram`] handles hold an `Arc` straight to the
+//! atomic cells, so the hot path (worker threads bumping counters,
+//! stage spans recording durations) never touches the lock again.
+//! Handles are `Clone` and are meant to be fetched once per subsystem
+//! and cloned into workers / shards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Default fixed bucket upper bounds for latency histograms, in
+/// microseconds (an implicit `+Inf` bucket follows the last bound).
+pub const LATENCY_BOUNDS_MICROS: [u64; 12] = [
+    1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+];
+
+/// Default fixed bucket upper bounds for size histograms, in bytes.
+pub const SIZE_BOUNDS_BYTES: [u64; 10] = [
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// Identity of one metric: a family name plus at most one label pair.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetricKey {
+    /// Metric family name (`spector_pipeline_reports_total`).
+    pub name: String,
+    /// Optional single `{key="value"}` label pair.
+    pub label: Option<(String, String)>,
+}
+
+impl MetricKey {
+    /// Key with no label.
+    pub fn plain(name: &str) -> MetricKey {
+        MetricKey {
+            name: name.to_owned(),
+            label: None,
+        }
+    }
+
+    /// Key with one label pair.
+    pub fn labeled(name: &str, key: &str, value: &str) -> MetricKey {
+        MetricKey {
+            name: name.to_owned(),
+            label: Some((key.to_owned(), value.to_owned())),
+        }
+    }
+
+    /// Canonical rendered id — `name` or `name{key="value"}`. This is
+    /// the string the JSON snapshot keys metrics by.
+    pub fn render(&self) -> String {
+        match &self.label {
+            None => self.name.clone(),
+            Some((key, value)) => format!("{}{{{key}=\"{value}\"}}", self.name),
+        }
+    }
+
+    /// Parses a rendered id back into a key (inverse of [`render`]
+    /// for ids produced by it).
+    ///
+    /// [`render`]: MetricKey::render
+    pub fn parse(rendered: &str) -> MetricKey {
+        let Some((name, rest)) = rendered.split_once('{') else {
+            return MetricKey::plain(rendered);
+        };
+        let Some(body) = rest.strip_suffix('}') else {
+            return MetricKey::plain(rendered);
+        };
+        let Some((key, value)) = body.split_once('=') else {
+            return MetricKey::plain(rendered);
+        };
+        MetricKey::labeled(name, key, value.trim_matches('"'))
+    }
+}
+
+/// Where span/stage timing comes from.
+///
+/// `Wall` anchors at registry creation and reads the monotonic OS
+/// clock; `Virtual` reads a shared atomic micros cell that tests (and
+/// the fault layer's virtual-time harnesses) advance explicitly, so
+/// recorded durations are bit-deterministic.
+#[derive(Clone, Debug)]
+pub enum TimeSource {
+    /// Monotonic wall clock, anchored at registry creation.
+    Wall(Instant),
+    /// Shared virtual clock in microseconds; never advances on its own.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl TimeSource {
+    /// Current time in microseconds under this source.
+    pub fn now_micros(&self) -> u64 {
+        match self {
+            TimeSource::Wall(anchor) => anchor.elapsed().as_micros() as u64,
+            TimeSource::Virtual(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One histogram's shared cells: fixed bucket bounds, per-bucket
+/// counts (plus the trailing `+Inf` bucket), total count and sum.
+#[derive(Debug)]
+pub struct HistogramCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> HistogramCore {
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    time: TimeSource,
+    counters: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<MetricKey, Arc<HistogramCore>>>,
+}
+
+/// The registry handle. Cloning is one `Arc` bump (or nothing when
+/// disabled); every subsystem that wants to record clones one of
+/// these and pre-fetches its handles.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(_) => f.write_str("Telemetry(enabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: every operation is a single branch.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// An enabled registry timing spans on the wall clock.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_time_source(TimeSource::Wall(Instant::now()))
+    }
+
+    /// An enabled registry timing spans on a shared virtual clock —
+    /// deterministic under test and under the fault layer's clock.
+    pub fn with_virtual_clock(clock: Arc<AtomicU64>) -> Telemetry {
+        Telemetry::with_time_source(TimeSource::Virtual(clock))
+    }
+
+    /// An enabled registry over an explicit time source.
+    pub fn with_time_source(time: TimeSource) -> Telemetry {
+        Telemetry(Some(Arc::new(Inner {
+            time,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Current time under the registry's time source; `None` when
+    /// disabled (callers skip timing work entirely).
+    pub fn now_micros(&self) -> Option<u64> {
+        self.0.as_ref().map(|inner| inner.time.now_micros())
+    }
+
+    /// Registers (or fetches) the counter `name` and returns its
+    /// handle. Disabled registries return a no-op handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(MetricKey::plain(name))
+    }
+
+    /// [`counter`](Self::counter) with one label pair.
+    pub fn counter_labeled(&self, name: &str, key: &str, value: &str) -> Counter {
+        self.counter_with(MetricKey::labeled(name, key, value))
+    }
+
+    fn counter_with(&self, metric: MetricKey) -> Counter {
+        let Some(inner) = &self.0 else {
+            return Counter(None);
+        };
+        if let Some(cell) = inner.counters.read().get(&metric) {
+            return Counter(Some(Arc::clone(cell)));
+        }
+        let mut map = inner.counters.write();
+        let cell = map.entry(metric).or_default();
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or fetches) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.0 else {
+            return Gauge(None);
+        };
+        let metric = MetricKey::plain(name);
+        if let Some(cell) = inner.gauges.read().get(&metric) {
+            return Gauge(Some(Arc::clone(cell)));
+        }
+        let mut map = inner.gauges.write();
+        let cell = map.entry(metric).or_default();
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or fetches) the histogram `name` with the given
+    /// fixed bucket upper bounds (an `+Inf` bucket is implicit). The
+    /// first registration of a key wins; later callers share its
+    /// bounds — by construction every histogram of one name has one
+    /// bucket layout, which is what keeps snapshot merging exact.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(MetricKey::plain(name), bounds)
+    }
+
+    /// [`histogram`](Self::histogram) with one label pair.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        key: &str,
+        value: &str,
+        bounds: &[u64],
+    ) -> Histogram {
+        self.histogram_with(MetricKey::labeled(name, key, value), bounds)
+    }
+
+    fn histogram_with(&self, metric: MetricKey, bounds: &[u64]) -> Histogram {
+        let Some(inner) = &self.0 else {
+            return Histogram(None);
+        };
+        if let Some(core) = inner.histograms.read().get(&metric) {
+            return Histogram(Some(Arc::clone(core)));
+        }
+        let mut map = inner.histograms.write();
+        let core = map
+            .entry(metric)
+            .or_insert_with(|| Arc::new(HistogramCore::new(bounds)));
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// A consistent point-in-time snapshot of every registered metric.
+    /// Disabled registries return the empty snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.0 else {
+            return MetricsSnapshot::default();
+        };
+        let mut snapshot = MetricsSnapshot::default();
+        for (key, cell) in inner.counters.read().iter() {
+            snapshot
+                .counters
+                .insert(key.render(), cell.load(Ordering::Relaxed));
+        }
+        for (key, cell) in inner.gauges.read().iter() {
+            snapshot
+                .gauges
+                .insert(key.render(), cell.load(Ordering::Relaxed));
+        }
+        for (key, core) in inner.histograms.read().iter() {
+            snapshot.histograms.insert(key.render(), core.snapshot());
+        }
+        snapshot
+    }
+}
+
+/// Monotonic counter handle. No-op when fetched from a disabled
+/// registry.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|cell| cell.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Gauge handle: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds (possibly negative) `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map(|cell| cell.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Fixed-bucket histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Observation count so far (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|core| core.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let telemetry = Telemetry::disabled();
+        let counter = telemetry.counter("spector_test_total");
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 0);
+        let gauge = telemetry.gauge("spector_test_gauge");
+        gauge.set(7);
+        assert_eq!(gauge.get(), 0);
+        let histogram = telemetry.histogram("spector_test_micros", &LATENCY_BOUNDS_MICROS);
+        histogram.record(123);
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(telemetry.now_micros(), None);
+        assert_eq!(telemetry.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_share_cells_across_fetches_and_clones() {
+        let telemetry = Telemetry::enabled();
+        let a = telemetry.counter("spector_shared_total");
+        let b = telemetry.counter("spector_shared_total");
+        let c = a.clone();
+        a.inc();
+        b.add(2);
+        c.add(3);
+        assert_eq!(telemetry.counter("spector_shared_total").get(), 6);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counters["spector_shared_total"], 6);
+    }
+
+    #[test]
+    fn labeled_metrics_render_and_parse() {
+        let key = MetricKey::labeled("spector_stage_micros", "stage", "pipeline/flow_join");
+        let rendered = key.render();
+        assert_eq!(
+            rendered,
+            "spector_stage_micros{stage=\"pipeline/flow_join\"}"
+        );
+        assert_eq!(MetricKey::parse(&rendered), key);
+        assert_eq!(
+            MetricKey::parse("spector_plain_total"),
+            MetricKey::plain("spector_plain_total")
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let telemetry = Telemetry::enabled();
+        let histogram = telemetry.histogram("spector_lat_micros", &[10, 100]);
+        for value in [0, 10, 11, 100, 5_000] {
+            histogram.record(value);
+        }
+        let snapshot = telemetry.snapshot();
+        let h = &snapshot.histograms["spector_lat_micros"];
+        assert_eq!(h.bounds, vec![10, 100]);
+        assert_eq!(h.buckets, vec![2, 2, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 5_121, "0 + 10 + 11 + 100 + 5_000");
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn virtual_clock_is_deterministic() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let telemetry = Telemetry::with_virtual_clock(Arc::clone(&clock));
+        assert_eq!(telemetry.now_micros(), Some(0));
+        clock.store(1_234, Ordering::Relaxed);
+        assert_eq!(telemetry.now_micros(), Some(1_234));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let telemetry = Telemetry::enabled();
+        let gauge = telemetry.gauge("spector_in_flight");
+        gauge.add(5);
+        gauge.add(-2);
+        assert_eq!(gauge.get(), 3);
+        gauge.set(0);
+        assert_eq!(gauge.get(), 0);
+    }
+}

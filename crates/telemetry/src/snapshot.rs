@@ -1,0 +1,198 @@
+//! Serializable, mergeable point-in-time metric snapshots.
+//!
+//! [`MetricsSnapshot`] is the exchange format between subsystems: the
+//! registry produces one, shard-local registries produce partials,
+//! and [`MetricsSnapshot::merge`] folds partials into a campaign view
+//! exactly the way `LiveSummary::merge` folds shard summaries —
+//! field-wise addition, bucket-wise for histograms. Merge is
+//! associative and commutative with the empty snapshot as identity
+//! (pinned by `tests/proptests.rs`), so any fold order over any shard
+//! partition produces the same campaign view.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram's state: fixed bucket upper bounds, per-bucket
+/// counts (with the trailing `+Inf` bucket), total count and sum.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; the final `+Inf` bucket is
+    /// implicit (so `buckets.len() == bounds.len() + 1`).
+    pub bounds: Vec<u64>,
+    /// Observation count per bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile (0..=1) from the bucket counts: returns
+    /// the upper bound of the bucket containing the q-th observation
+    /// (`None` when empty; the `+Inf` bucket reports the largest
+    /// finite bound).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Some(match self.bounds.get(idx) {
+                    Some(bound) => *bound,
+                    None => self.bounds.last().copied().unwrap_or(u64::MAX),
+                });
+            }
+        }
+        Some(self.bounds.last().copied().unwrap_or(u64::MAX))
+    }
+
+    /// Bucket-wise sum invariant: every observation lives in exactly
+    /// one bucket.
+    pub fn buckets_sum_to_count(&self) -> bool {
+        self.buckets.iter().sum::<u64>() == self.count
+    }
+
+    /// Folds `other` into `self`. Same-layout histograms (the only
+    /// kind one metric name can produce, since the registry fixes a
+    /// name's bounds at first registration) add bucket-wise. For
+    /// mismatched layouts the operation stays total, associative and
+    /// commutative: buckets pad with zeros and add element-wise,
+    /// bounds combine by element-wise max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.bounds.len() > self.bounds.len() {
+            self.bounds.resize(other.bounds.len(), 0);
+        }
+        for (mine, theirs) in self.bounds.iter_mut().zip(&other.bounds) {
+            *mine = (*mine).max(*theirs);
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Point-in-time view of every metric a registry (or a merged set of
+/// registries) holds, keyed by the rendered metric id
+/// (`name` or `name{key="value"}`). This is the stable JSON layout
+/// `libspector run --metrics` writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (point-in-time values; merge adds, which is the right
+    /// semantics for shard-local occupancy-style gauges).
+    pub gauges: BTreeMap<String, i64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience: the counter's value, 0 when absent.
+    pub fn counter(&self, id: &str) -> u64 {
+        self.counters.get(id).copied().unwrap_or(0)
+    }
+
+    /// Folds another (typically shard-local) snapshot into this one:
+    /// counters and gauges add, histograms merge bucket-wise.
+    /// Associative and commutative, with the default snapshot as
+    /// identity.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (id, value) in &other.counters {
+            *self.counters.entry(id.clone()).or_default() += value;
+        }
+        for (id, value) in &other.gauges {
+            *self.gauges.entry(id.clone()).or_default() += value;
+        }
+        for (id, histogram) in &other.histograms {
+            self.histograms
+                .entry(id.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// Merges a list of partials into one view (any order — merge is
+    /// associative and commutative).
+    pub fn merged<'a>(partials: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for partial in partials {
+            out.merge(partial);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[u64], buckets: &[u64], sum: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            buckets: buckets.to_vec(),
+            count: buckets.iter().sum(),
+            sum,
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x_total".into(), 2);
+        a.histograms
+            .insert("lat".into(), hist(&[10, 100], &[1, 0, 0], 3));
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("x_total".into(), 5);
+        b.counters.insert("y_total".into(), 1);
+        b.histograms
+            .insert("lat".into(), hist(&[10, 100], &[0, 2, 1], 5_000));
+        a.merge(&b);
+        assert_eq!(a.counter("x_total"), 7);
+        assert_eq!(a.counter("y_total"), 1);
+        let h = &a.histograms["lat"];
+        assert_eq!(h.buckets, vec![1, 2, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 5_003);
+        assert!(h.buckets_sum_to_count());
+    }
+
+    #[test]
+    fn quantiles_report_bucket_bounds() {
+        let h = hist(&[10, 100, 1_000], &[5, 3, 1, 1], 2_000);
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.9), Some(1_000));
+        // The +Inf bucket reports the largest finite bound.
+        assert_eq!(h.quantile(1.0), Some(1_000));
+        assert_eq!(h.mean(), Some(200.0));
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("x_total".into(), 3);
+        a.gauges.insert("g".into(), -2);
+        a.histograms.insert("lat".into(), hist(&[10], &[1, 1], 50));
+        let mut merged = a.clone();
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged, a);
+        let mut from_empty = MetricsSnapshot::default();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+}

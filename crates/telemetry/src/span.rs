@@ -1,0 +1,185 @@
+//! Hierarchical stage spans: who spent how long where.
+//!
+//! A *stage path* is a slash-separated hierarchy rooted at the
+//! subsystem (`pipeline/flow_join/attribute`, `experiment/run_app`).
+//! Each stage owns two metrics keyed by a `{stage="<path>"}` label:
+//! a fixed-bucket latency histogram [`STAGE_MICROS`] and a call
+//! counter (`STAGE_MICROS` + [`STAGE_CALLS_SUFFIX`]). Durations come
+//! from the registry's [`TimeSource`], so under a virtual clock the
+//! recorded numbers are bit-deterministic.
+//!
+//! Two usage shapes:
+//!
+//! * [`Telemetry::stage`] returns a scope guard that records on drop
+//!   — for one-off coarse stages. [`StageGuard::child`] opens a
+//!   nested stage, extending the path.
+//! * [`StageRecorder`] pre-fetches the handles once (per campaign,
+//!   per analyze call, per shard) and then times closures with two
+//!   clock reads and two atomic ops — the hot-path shape. A recorder
+//!   fetched from a disabled registry runs the closure untouched.
+//!
+//! [`TimeSource`]: crate::TimeSource
+
+use crate::registry::{Counter, Histogram, Telemetry, LATENCY_BOUNDS_MICROS};
+
+/// Histogram family for stage durations, labeled `{stage="<path>"}`.
+pub const STAGE_MICROS: &str = "spector_stage_micros";
+
+/// Suffix appended to [`STAGE_MICROS`] for the per-stage call counter
+/// family (`spector_stage_micros_calls_total`).
+pub const STAGE_CALLS_SUFFIX: &str = "_calls_total";
+
+impl Telemetry {
+    /// Opens a stage scope that records its duration into
+    /// [`STAGE_MICROS`]`{stage=path}` when dropped.
+    pub fn stage(&self, path: &str) -> StageGuard {
+        StageGuard {
+            recorder: self.stage_recorder(path),
+            telemetry: self.clone(),
+            path: path.to_owned(),
+            start: self.now_micros(),
+        }
+    }
+
+    /// Pre-fetches the duration histogram and call counter for one
+    /// stage path. Fetch once, then [`StageRecorder::time`] per call.
+    pub fn stage_recorder(&self, path: &str) -> StageRecorder {
+        StageRecorder {
+            telemetry: self.clone(),
+            micros: self.histogram_labeled(STAGE_MICROS, "stage", path, &LATENCY_BOUNDS_MICROS),
+            calls: self.counter_labeled(
+                &format!("{STAGE_MICROS}{STAGE_CALLS_SUFFIX}"),
+                "stage",
+                path,
+            ),
+        }
+    }
+}
+
+/// Pre-fetched handles for one stage: a duration histogram and a call
+/// counter. Cheap to clone; free when disabled.
+#[derive(Clone, Default)]
+pub struct StageRecorder {
+    telemetry: Telemetry,
+    micros: Histogram,
+    calls: Counter,
+}
+
+impl StageRecorder {
+    /// Runs `f`, recording its duration and one call. When the
+    /// recorder is disabled this is exactly one branch around `f`.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let Some(start) = self.telemetry.now_micros() else {
+            return f();
+        };
+        let result = f();
+        let end = self.telemetry.now_micros().unwrap_or(start);
+        self.micros.record(end.saturating_sub(start));
+        self.calls.inc();
+        result
+    }
+
+    /// Records an externally measured duration (e.g. a virtual-clock
+    /// run duration) as one call of this stage.
+    pub fn record_micros(&self, micros: u64) {
+        self.micros.record(micros);
+        self.calls.inc();
+    }
+
+    /// Calls recorded so far (0 when disabled).
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+}
+
+/// Scope guard from [`Telemetry::stage`]: records the stage duration
+/// when dropped.
+pub struct StageGuard {
+    recorder: StageRecorder,
+    telemetry: Telemetry,
+    path: String,
+    start: Option<u64>,
+}
+
+impl StageGuard {
+    /// Opens a nested stage (`<parent path>/<name>`).
+    pub fn child(&self, name: &str) -> StageGuard {
+        self.telemetry.stage(&format!("{}/{name}", self.path))
+    }
+
+    /// This stage's full path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if let (Some(start), Some(end)) = (self.start, self.telemetry.now_micros()) {
+            self.recorder.record_micros(end.saturating_sub(start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn virtual_clock_spans_are_deterministic() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let telemetry = Telemetry::with_virtual_clock(Arc::clone(&clock));
+        {
+            let outer = telemetry.stage("pipeline");
+            clock.fetch_add(100, Ordering::Relaxed);
+            {
+                let _inner = outer.child("flow_join");
+                clock.fetch_add(40, Ordering::Relaxed);
+            }
+            clock.fetch_add(10, Ordering::Relaxed);
+        }
+        let snapshot = telemetry.snapshot();
+        let outer = &snapshot.histograms["spector_stage_micros{stage=\"pipeline\"}"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.sum, 150);
+        let inner = &snapshot.histograms["spector_stage_micros{stage=\"pipeline/flow_join\"}"];
+        assert_eq!(inner.sum, 40);
+        assert_eq!(
+            snapshot.counter("spector_stage_micros_calls_total{stage=\"pipeline\"}"),
+            1
+        );
+    }
+
+    #[test]
+    fn recorder_times_closures_and_counts_calls() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let telemetry = Telemetry::with_virtual_clock(Arc::clone(&clock));
+        let recorder = telemetry.stage_recorder("pipeline/report_decode");
+        for step in [5u64, 15, 25] {
+            let value = recorder.time(|| {
+                clock.fetch_add(step, Ordering::Relaxed);
+                step * 2
+            });
+            assert_eq!(value, step * 2);
+        }
+        assert_eq!(recorder.calls(), 3);
+        let snapshot = telemetry.snapshot();
+        let h = &snapshot.histograms["spector_stage_micros{stage=\"pipeline/report_decode\"}"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 45);
+        assert!(h.buckets_sum_to_count());
+    }
+
+    #[test]
+    fn disabled_recorder_passes_through() {
+        let recorder = Telemetry::disabled().stage_recorder("anything");
+        assert_eq!(recorder.time(|| 41) + 1, 42);
+        assert_eq!(recorder.calls(), 0);
+        let guard = Telemetry::disabled().stage("outer");
+        let _child = guard.child("inner");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests pinning the algebra the telemetry subsystem leans
+//! on: snapshot merge is associative and commutative with the empty
+//! snapshot as identity, and histograms never lose observations
+//! (bucket counts always sum to the total count, before and after
+//! merging).
+
+use proptest::prelude::*;
+use spector_telemetry::{HistogramSnapshot, MetricsSnapshot, Telemetry, LATENCY_BOUNDS_MICROS};
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    // Layouts drawn from a tiny set of bound vectors so merges hit
+    // both the same-layout fast path and the padded mismatch path.
+    let layouts = prop_oneof![
+        Just(vec![10u64, 100, 1_000]),
+        Just(vec![10u64, 100]),
+        Just(LATENCY_BOUNDS_MICROS.to_vec()),
+    ];
+    (layouts, proptest::collection::vec(0u64..50, 0..16)).prop_map(|(bounds, values)| {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.histogram("h", &bounds);
+        let mut sum = 0u64;
+        for v in &values {
+            h.record(*v * 97);
+            sum += *v * 97;
+        }
+        let snap = telemetry.snapshot().histograms["h"].clone();
+        assert_eq!(snap.sum, sum);
+        snap
+    })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    let names = || prop_oneof![Just("a_total"), Just("b_total"), Just("c_total")];
+    (
+        proptest::collection::vec((names(), 0u64..1_000), 0..3),
+        proptest::collection::vec((names(), (0u64..100).prop_map(|v| v as i64 - 50)), 0..3),
+        proptest::collection::vec(
+            (prop_oneof![Just("lat"), Just("size")], arb_histogram()),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            gauges: gauges.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_snapshot(), b in arb_snapshot(), c in arb_snapshot()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_identity(a in arb_snapshot()) {
+        let mut left = MetricsSnapshot::default();
+        left.merge(&a);
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge(&MetricsSnapshot::default());
+        prop_assert_eq!(&right, &a);
+    }
+
+    #[test]
+    fn histogram_buckets_always_sum_to_count(h in arb_histogram(), g in arb_histogram()) {
+        prop_assert!(h.buckets_sum_to_count());
+        let mut merged = h.clone();
+        merged.merge(&g);
+        prop_assert!(merged.buckets_sum_to_count());
+        prop_assert_eq!(merged.count, h.count + g.count);
+        prop_assert_eq!(merged.sum, h.sum + g.sum);
+    }
+
+    #[test]
+    fn recorded_values_land_in_exactly_one_bucket(values in proptest::collection::vec(0u64..2_000_000, 0..64)) {
+        let telemetry = Telemetry::enabled();
+        let h = telemetry.histogram("lat", &LATENCY_BOUNDS_MICROS);
+        for v in &values {
+            h.record(*v);
+        }
+        let snap = &telemetry.snapshot().histograms["lat"];
+        prop_assert!(snap.buckets_sum_to_count());
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+}

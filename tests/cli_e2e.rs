@@ -1,0 +1,237 @@
+//! End-to-end CLI tests: shell out to the built `libspector` binary
+//! and assert on exit codes, stderr diagnostics, and the artifacts it
+//! writes — the metrics JSON/Prometheus pair, checkpoint files, and
+//! the `metrics` subcommand's profile table.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use spector_telemetry::{MetricKey, MetricsSnapshot};
+
+fn libspector(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_libspector"))
+        .args(args)
+        .output()
+        .expect("spawn libspector")
+}
+
+/// Per-test scratch directory under the target-adjacent temp root.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("libspector-e2e-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn counter(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn help_succeeds_and_unknown_command_fails() {
+    let help = libspector(&["--help"]);
+    assert!(help.status.success());
+    assert!(stdout_of(&help).contains("libspector run"));
+
+    let unknown = libspector(&["frobnicate"]);
+    assert!(!unknown.status.success());
+    assert!(stderr_of(&unknown).contains("unknown command"));
+
+    let bare = libspector(&[]);
+    assert!(!bare.status.success());
+}
+
+#[test]
+fn chaos_run_with_checkpoint_and_metrics_balances() {
+    let dir = scratch("chaos-metrics");
+    let checkpoint = dir.join("campaign.ck");
+    let metrics = dir.join("metrics.json");
+    let output = libspector(&[
+        "run",
+        "--apps",
+        "6",
+        "--seed",
+        "91",
+        "--events",
+        "80",
+        "--workers",
+        "2",
+        "--method-scale",
+        "0.006",
+        "--chaos",
+        "light",
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--checkpoint-every",
+        "2",
+        "--resume",
+        checkpoint.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "run failed:\n{}",
+        stderr_of(&output)
+    );
+    // The run prints the full evaluation report.
+    let stdout = stdout_of(&output);
+    assert!(stdout.contains("Headline"), "report missing from stdout");
+
+    // The metrics JSON parses back into a snapshot...
+    let raw = std::fs::read_to_string(&metrics).expect("metrics JSON written");
+    let snapshot: MetricsSnapshot = serde_json::from_str(&raw).expect("metrics JSON parses");
+
+    // ...and its pipeline counters balance exactly: every decoded
+    // report is attributed, a duplicate, or flow-less — nothing is
+    // silently dropped.
+    let reports = counter(&snapshot, "spector_pipeline_reports_total");
+    let attributed = counter(&snapshot, "spector_pipeline_flows_attributed_total");
+    let duplicates = counter(&snapshot, "spector_pipeline_duplicate_reports_total");
+    let orphans = counter(&snapshot, "spector_pipeline_reports_without_flow_total");
+    assert!(reports > 0, "campaign produced no reports");
+    assert_eq!(
+        reports,
+        attributed + duplicates + orphans,
+        "pipeline join balance violated"
+    );
+
+    // Stage histograms rode along with sane call counts.
+    assert!(snapshot
+        .histograms
+        .keys()
+        .any(|k| MetricKey::parse(k).name == "spector_stage_micros"));
+
+    // The Prometheus twin exists and is well-formed text exposition.
+    let prom =
+        std::fs::read_to_string(format!("{}.prom", metrics.display())).expect(".prom written");
+    assert!(prom.contains("# TYPE spector_pipeline_reports_total counter"));
+    assert!(prom.contains("le=\"+Inf\""));
+
+    // The checkpoint file survived the run (final save).
+    assert!(checkpoint.exists(), "checkpoint file missing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_a_foreign_checkpoint_fingerprint() {
+    let dir = scratch("fingerprint");
+    let checkpoint = dir.join("campaign.ck");
+    let ck = checkpoint.to_str().unwrap();
+    let base = [
+        "run",
+        "--apps",
+        "4",
+        "--events",
+        "60",
+        "--method-scale",
+        "0.006",
+        "--checkpoint",
+        ck,
+    ];
+    let mut first: Vec<&str> = base.to_vec();
+    first.extend(["--seed", "7"]);
+    let output = libspector(&first);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    assert!(checkpoint.exists());
+
+    // Same checkpoint, different seed: the fingerprint no longer
+    // matches and the CLI must refuse to resume rather than mix runs.
+    let mut second: Vec<&str> = base.to_vec();
+    second.extend(["--seed", "8", "--resume", ck]);
+    let refused = libspector(&second);
+    assert!(!refused.status.success(), "mismatched resume must fail");
+    assert!(
+        stderr_of(&refused).contains("fingerprint mismatch"),
+        "unexpected stderr: {}",
+        stderr_of(&refused)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_subcommand_renders_profile_and_prometheus() {
+    let dir = scratch("metrics-cmd");
+    let metrics = dir.join("metrics.json");
+    let run = libspector(&[
+        "run",
+        "--apps",
+        "3",
+        "--seed",
+        "14",
+        "--events",
+        "60",
+        "--method-scale",
+        "0.006",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr_of(&run));
+
+    let table = libspector(&["metrics", "--file", metrics.to_str().unwrap()]);
+    assert!(table.status.success(), "{}", stderr_of(&table));
+    let text = stdout_of(&table);
+    assert!(text.contains("== Stage profile =="));
+    assert!(text.contains("pipeline/flow_join"));
+    assert!(text.contains("spector_campaign_apps_ok_total"));
+
+    let prom = libspector(&[
+        "metrics",
+        "--file",
+        metrics.to_str().unwrap(),
+        "--prometheus",
+    ]);
+    assert!(prom.status.success());
+    assert!(stdout_of(&prom).contains("# TYPE"));
+
+    // Missing --file and unreadable files are clean failures.
+    let missing = libspector(&["metrics"]);
+    assert!(!missing.status.success());
+    let bogus = libspector(&["metrics", "--file", "/nonexistent/metrics.json"]);
+    assert!(!bogus.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_mode_writes_a_merged_shard_snapshot() {
+    let dir = scratch("live-metrics");
+    let metrics = dir.join("live.json");
+    let output = libspector(&[
+        "live",
+        "--apps",
+        "4",
+        "--seed",
+        "23",
+        "--events",
+        "60",
+        "--method-scale",
+        "0.006",
+        "--shards",
+        "2",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let raw = std::fs::read_to_string(&metrics).expect("live metrics written");
+    let snapshot: MetricsSnapshot = serde_json::from_str(&raw).expect("live metrics parse");
+    let events = counter(&snapshot, "spector_live_events_total");
+    let tcp = counter(&snapshot, "spector_live_tcp_events_total");
+    let dns = counter(&snapshot, "spector_live_dns_events_total");
+    let reports = counter(&snapshot, "spector_live_report_events_total");
+    assert!(events > 0, "no live events recorded");
+    assert_eq!(
+        events,
+        tcp + dns + reports,
+        "shard-merged event counters must cover the ingress total"
+    );
+    assert_eq!(counter(&snapshot, "spector_live_dropped_events_total"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,215 @@
+//! Telemetry-vs-ground-truth agreement: the counters a campaign's
+//! metrics snapshot reports must equal, exactly, the totals the
+//! campaign outcome itself carries — under every chaos profile.
+//!
+//! Three independent accounting systems observe the same campaign:
+//! the [`RunIntegrity`] ledgers embedded in each accepted analysis,
+//! the [`PerturbStats`] the fault layer accumulates, and the
+//! telemetry counters incremented at the instrumentation points.
+//! Any drift between them means an instrumentation point is missing,
+//! double-counted, or misplaced.
+
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::RunIntegrity;
+use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_dispatch::{
+    run_campaign, CampaignConfig, CampaignOutcome, DispatchConfig, RetryPolicy,
+};
+use spector_faults::{FaultPlan, FaultProfile};
+use spector_telemetry::{MetricsSnapshot, Telemetry};
+
+fn run_with_profile(
+    profile: FaultProfile,
+    seed: u64,
+    apps: usize,
+) -> (CampaignOutcome, MetricsSnapshot) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale: 0.006,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = 80;
+    dispatch.experiment.monkey.seed = seed;
+    let chaos = (!profile.is_noop()).then(|| FaultPlan::new(seed ^ 0xc4a5, profile));
+    let telemetry = Telemetry::enabled();
+    let config = CampaignConfig {
+        dispatch,
+        retry: if chaos.is_some() {
+            RetryPolicy::default()
+        } else {
+            RetryPolicy::never()
+        },
+        chaos,
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).expect("campaign runs");
+    (outcome, telemetry.snapshot())
+}
+
+/// Field-wise sum of the per-analysis integrity ledgers.
+fn integrity_totals(outcome: &CampaignOutcome) -> RunIntegrity {
+    let mut total = RunIntegrity::default();
+    for analysis in &outcome.analyses {
+        total.frames_truncated += analysis.integrity.frames_truncated;
+        total.frames_malformed += analysis.integrity.frames_malformed;
+        total.frames_bad_checksum += analysis.integrity.frames_bad_checksum;
+        total.reports_truncated += analysis.integrity.reports_truncated;
+        total.reports_malformed += analysis.integrity.reports_malformed;
+        total.synthesized_flows += analysis.integrity.synthesized_flows;
+    }
+    total
+}
+
+fn assert_agreement(outcome: &CampaignOutcome, snapshot: &MetricsSnapshot, label: &str) {
+    // 1. Integrity counters equal the field-wise RunIntegrity sums —
+    //    record_integrity fires exactly once per accepted analysis.
+    let integrity = integrity_totals(outcome);
+    let pairs = [
+        ("frames_truncated", integrity.frames_truncated),
+        ("frames_malformed", integrity.frames_malformed),
+        ("frames_bad_checksum", integrity.frames_bad_checksum),
+        ("reports_truncated", integrity.reports_truncated),
+        ("reports_malformed", integrity.reports_malformed),
+        ("synthesized_flows", integrity.synthesized_flows),
+    ];
+    for (field, expected) in pairs {
+        assert_eq!(
+            snapshot.counter(&format!("spector_integrity_{field}_total")),
+            expected as u64,
+            "{label}: integrity counter {field} disagrees with analyses"
+        );
+    }
+
+    // 2. Fault counters equal the outcome's accumulated PerturbStats —
+    //    recorded in the collector exactly where `injected` merges.
+    let injected = &outcome.injected;
+    let faults = [
+        ("reports_dropped", injected.reports_dropped),
+        ("reports_duplicated", injected.reports_duplicated),
+        ("reports_reordered", injected.reports_reordered),
+        ("reports_truncated", injected.reports_truncated),
+        ("reports_bit_flipped", injected.reports_bit_flipped),
+        ("frames_truncated", injected.frames_truncated),
+        (
+            "frames_lost_to_capture_death",
+            injected.frames_lost_to_capture_death,
+        ),
+    ];
+    for (field, expected) in faults {
+        assert_eq!(
+            snapshot.counter(&format!("spector_fault_{field}_total")),
+            expected as u64,
+            "{label}: fault counter {field} disagrees with outcome.injected"
+        );
+    }
+
+    // 3. Campaign lifecycle counters equal the outcome lens.
+    assert_eq!(
+        snapshot.counter("spector_campaign_apps_ok_total"),
+        outcome.analyses.len() as u64,
+        "{label}: apps_ok"
+    );
+    assert_eq!(
+        snapshot.counter("spector_campaign_apps_failed_total"),
+        outcome.failures.len() as u64,
+        "{label}: apps_failed"
+    );
+    assert_eq!(
+        snapshot.counter("spector_campaign_retries_total"),
+        outcome.retried as u64,
+        "{label}: retries"
+    );
+
+    // 4. Pipeline join balance and per-analysis flow accounting.
+    let reports = snapshot.counter("spector_pipeline_reports_total");
+    let attributed = snapshot.counter("spector_pipeline_flows_attributed_total");
+    let duplicates = snapshot.counter("spector_pipeline_duplicate_reports_total");
+    let orphans = snapshot.counter("spector_pipeline_reports_without_flow_total");
+    assert_eq!(
+        reports,
+        attributed + duplicates + orphans,
+        "{label}: join balance"
+    );
+    let flows: u64 = outcome.analyses.iter().map(|a| a.flows.len() as u64).sum();
+    let unattributed: u64 = outcome
+        .analyses
+        .iter()
+        .map(|a| a.unattributed_flows as u64)
+        .sum();
+    let orphaned: u64 = outcome
+        .analyses
+        .iter()
+        .map(|a| a.reports_without_flow as u64)
+        .sum();
+    assert_eq!(attributed, flows, "{label}: attributed flows");
+    assert_eq!(
+        snapshot.counter("spector_pipeline_flows_unattributed_total"),
+        unattributed,
+        "{label}: unattributed flows"
+    );
+    assert_eq!(orphans, orphaned, "{label}: flow-less reports");
+}
+
+#[test]
+fn clean_campaign_telemetry_agrees_with_outcome() {
+    let (outcome, snapshot) = run_with_profile(FaultProfile::none(), 501, 8);
+    assert_eq!(outcome.failures.len(), 0, "no chaos, no failures");
+    assert_eq!(outcome.injected.total(), 0);
+    assert_agreement(&outcome, &snapshot, "none/501");
+    // Without chaos every fault counter is zero.
+    assert_eq!(
+        snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("spector_fault_"))
+            .map(|(_, v)| *v)
+            .sum::<u64>(),
+        0
+    );
+}
+
+#[test]
+fn light_chaos_telemetry_agrees_with_outcome() {
+    let (outcome, snapshot) = run_with_profile(FaultProfile::light(), 502, 8);
+    assert!(
+        outcome.injected.total() > 0,
+        "light chaos must inject something at this scale"
+    );
+    assert_agreement(&outcome, &snapshot, "light/502");
+}
+
+#[test]
+fn heavy_chaos_telemetry_agrees_with_outcome() {
+    let (outcome, snapshot) = run_with_profile(FaultProfile::heavy(), 503, 8);
+    assert!(outcome.injected.total() > 0);
+    // Heavy chaos corrupts reports on the wire: the integrity ledgers
+    // (and therefore the counters checked below) see real damage.
+    assert_agreement(&outcome, &snapshot, "heavy/503");
+}
+
+/// Seed sweep: agreement is a property of the instrumentation points,
+/// not of any particular trace, so it must hold for every seed.
+#[test]
+fn agreement_holds_across_profiles_and_seeds() {
+    for profile in [
+        FaultProfile::none(),
+        FaultProfile::light(),
+        FaultProfile::heavy(),
+    ] {
+        for seed in [9_001u64, 9_002] {
+            let label = format!("{profile:?}/{seed}");
+            let (outcome, snapshot) = run_with_profile(profile, seed, 5);
+            assert_agreement(&outcome, &snapshot, &label);
+        }
+    }
+}
