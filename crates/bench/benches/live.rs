@@ -1,30 +1,34 @@
-//! Streaming engine throughput: events/sec through `LiveEngine` at
-//! the paper's campaign scale (the 400-run throughput fixture), for
-//! 1 vs N shards. Numbers are recorded in `BENCH_pipeline.json` at
-//! the repo root.
+//! Streaming engine throughput: raw frames/sec through `LiveEngine`'s
+//! two-phase ingress at the paper's campaign scale (the 400-run
+//! throughput fixture), for 1 vs N shards. Numbers are recorded in
+//! `BENCH_pipeline.json` at the repo root.
 //!
-//! The event streams are decoded once outside the measurement loop —
-//! the benches time the engine (routing, channels, incremental join),
-//! not the frame decoder, which `perf/substrate` already covers.
+//! Captures are lifted into `Arc<[u8]>`-backed [`RawFrame`] streams
+//! once outside the measurement loop, so each iteration times what
+//! production ingress does per frame: the producer's structural peek +
+//! route + batch handoff, and the full classified decode on the
+//! receiving shard — not the one-time cost of reading a capture.
+//! Result identity across shard counts and vs the offline pipeline is
+//! enforced by tests/live_equivalence.rs and crates/live/tests/.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spector_bench::throughput_fixture;
-use spector_live::{events_from_run, LiveConfig, LiveEngine, LiveEvent};
+use spector_live::{LiveConfig, LiveEngine, RawFrame};
 
 fn bench_live_throughput(c: &mut Criterion) {
     let (knowledge, raws, port) = throughput_fixture();
     let knowledge = Arc::new(knowledge.clone());
-    let events: Vec<LiveEvent> = raws
+    let streams: Vec<Vec<RawFrame>> = raws
         .iter()
-        .enumerate()
-        .flat_map(|(run, raw)| events_from_run(run as u32, &raw.capture, *port))
+        .map(|raw| raw.capture.iter().map(RawFrame::from_packet).collect())
         .collect();
+    let total_frames: u64 = streams.iter().map(|s| s.len() as u64).sum();
 
     let mut group = c.benchmark_group("perf/live_throughput");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(events.len() as u64));
+    group.throughput(Throughput::Elements(total_frames));
     for shards in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::from_parameter(shards),
@@ -39,8 +43,8 @@ fn bench_live_throughput(c: &mut Criterion) {
                             ..Default::default()
                         },
                     );
-                    for event in &events {
-                        engine.push(event.clone());
+                    for (run, stream) in streams.iter().enumerate() {
+                        engine.push_raw_run(run as u32, stream);
                     }
                     std::hint::black_box(engine.finish())
                 });

@@ -64,7 +64,8 @@ USAGE:
                     [--checkpoint-every N] [--resume FILE]
                     [--metrics FILE]  (also writes FILE.prom)
   libspector live   --apps N [--seed S] [--events E] [--workers W]
-                    [--shards K] [--snapshot-every N] [--metrics FILE]
+                    [--shards K] [--batch-events B] [--snapshot-every N]
+                    [--metrics FILE]
   libspector metrics --file FILE [--prometheus]  (per-stage profile table)
   libspector report --campaign FILE
   libspector sweep  --apps N [--seed S] --events E1,E2,...
@@ -221,6 +222,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let events: u32 = parse_flag(args, "--events", 500)?;
     let workers: usize = parse_flag(args, "--workers", 0)?;
     let shards: usize = parse_flag(args, "--shards", 2)?;
+    let batch_events: usize = parse_flag(args, "--batch-events", 64)?;
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
     let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
     let metrics_out: Option<String> = flag(args, "--metrics");
@@ -239,6 +241,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         std::sync::Arc::new(knowledge.clone()),
         LiveConfig {
             shards,
+            batch_events,
             telemetry: if metrics_out.is_some() {
                 spector_telemetry::Telemetry::enabled()
             } else {
@@ -247,7 +250,10 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
             ..Default::default()
         },
     ));
-    eprintln!("streaming campaign through {shards} shard(s), {events} monkey events per app");
+    eprintln!(
+        "streaming campaign through {shards} shard(s), batches of {batch_events}, \
+         {events} monkey events per app"
+    );
     let progress = |done: usize| {
         if snapshot_every > 0 && done.is_multiple_of(snapshot_every) {
             eprintln!(

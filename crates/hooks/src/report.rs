@@ -224,6 +224,33 @@ impl SocketReport {
     pub fn is_report_payload(payload: &[u8]) -> bool {
         payload.len() >= 4 && &payload[..4] == REPORT_MAGIC
     }
+
+    /// Bytes [`peek_pair`](Self::peek_pair) needs: magic (4) + apk
+    /// digest (32) + the embedded socket pair (12).
+    pub const PEEK_PREFIX_LEN: usize = 4 + 32 + 12;
+
+    /// Extracts the report's *embedded* socket pair from the fixed
+    /// header prefix without decoding the rest of the payload. This is
+    /// the producer-side routing peek of the live engine: a report
+    /// must land on the shard that owns its flow's epochs, which is
+    /// keyed by this pair (not by the carrying datagram's 4-tuple).
+    ///
+    /// Returns `None` when the magic is wrong or the payload is too
+    /// short — in which case [`decode`](Self::decode) is guaranteed to
+    /// fail too, so the caller can route the bytes to a fallback shard
+    /// and let the shard-local decode classify the failure.
+    pub fn peek_pair(payload: &[u8]) -> Option<SocketPair> {
+        if payload.len() < Self::PEEK_PREFIX_LEN || &payload[..4] != REPORT_MAGIC {
+            return None;
+        }
+        let pair = &payload[36..48];
+        Some(SocketPair::new(
+            Ipv4Addr::new(pair[0], pair[1], pair[2], pair[3]),
+            u16::from_be_bytes([pair[4], pair[5]]),
+            Ipv4Addr::new(pair[6], pair[7], pair[8], pair[9]),
+            u16::from_be_bytes([pair[10], pair[11]]),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +297,28 @@ mod tests {
         assert!(!SocketReport::is_report_payload(b"SRP"));
         assert!(!SocketReport::is_report_payload(b"HTTP/1.1 200 OK"));
         assert!(!SocketReport::is_report_payload(&[]));
+    }
+
+    #[test]
+    fn peek_pair_reads_the_embedded_pair_without_decoding() {
+        let report = sample();
+        let bytes = report.encode();
+        assert_eq!(SocketReport::peek_pair(&bytes), Some(report.pair));
+        // Too short or wrong magic: no peek — and decode fails too.
+        for len in 0..SocketReport::PEEK_PREFIX_LEN {
+            assert_eq!(SocketReport::peek_pair(&bytes[..len]), None, "len {len}");
+            assert!(SocketReport::decode(&bytes[..len]).is_err());
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(SocketReport::peek_pair(&bad_magic), None);
+        assert!(SocketReport::decode(&bad_magic).is_err());
+        // A corrupted *body* still peeks (the pair prefix is intact):
+        // routing works, the shard-local decode classifies the damage.
+        let mut bad_body = bytes.clone();
+        let last = bad_body.len() - 1;
+        bad_body[last] ^= 0xff;
+        assert_eq!(SocketReport::peek_pair(&bad_body), Some(report.pair));
     }
 
     #[test]

@@ -170,13 +170,16 @@ impl LiveJoiner {
     }
 
     /// Delivers one decoded supervisor report: joins immediately when
-    /// the flow is already known, pends otherwise.
-    pub fn on_report(&mut self, report: TimestampedReport, knowledge: &Knowledge) {
+    /// the flow is already known, pends otherwise. Takes the report by
+    /// reference — the hot path joins without cloning; only a pending
+    /// report (its flow's packets not seen yet) is cloned into the
+    /// wait queue.
+    pub fn on_report(&mut self, report: &TimestampedReport, knowledge: &Knowledge) {
         self.advance(report.arrival_micros);
         self.report_packets += 1;
         if !self.try_join(&report.report, knowledge) {
             self.pending.push_back(PendingReport {
-                report: report.report,
+                report: report.report.clone(),
                 enqueued_micros: self.watermark,
             });
         }
@@ -311,7 +314,7 @@ mod tests {
                     pair,
                     payload,
                 } => joiner.on_dns(timestamp_micros, &pair, &payload),
-                LiveEventKind::Report(report) => joiner.on_report(report, knowledge),
+                LiveEventKind::Report(report) => joiner.on_report(&report, knowledge),
             }
         }
     }
@@ -407,7 +410,7 @@ mod tests {
             pending_ttl_micros: 1_000,
         });
         joiner.on_report(
-            TimestampedReport {
+            &TimestampedReport {
                 arrival_micros: 10,
                 report: orphan,
             },
@@ -466,7 +469,7 @@ mod tests {
             pending_ttl_micros: 1_000,
         });
         joiner.on_report(
-            TimestampedReport {
+            &TimestampedReport {
                 arrival_micros: 50,
                 report: orphan,
             },

@@ -9,29 +9,49 @@
 //! available at any instant — with the guarantee that once the stream
 //! is finished, the live answer equals the offline one exactly.
 //!
-//! # Architecture
+//! # Architecture: two-phase ingress
+//!
+//! Decode happens **per shard, not on the producer**. The producer
+//! does a cheap structural header peek on the raw bytes (just enough
+//! to extract the canonical 4-tuple), routes by the stable FNV-1a
+//! hash, and ships `Arc<[u8]>` payloads in per-shard batches — one
+//! channel operation per ~dozens of frames. Each shard then runs the
+//! full classified decode on the bytes it owns.
 //!
 //! ```text
-//!  capture / collector          LiveEngine
-//!  ───────────────────   push   ┌──────────────────────────────┐
-//!  LiveEvent{run, kind} ──────▶ │ route: hash(run, canonical   │
-//!                               │        4-tuple) → shard      │
-//!                               │ DNS: broadcast to all shards │
-//!                               └──┬─────────┬─────────┬───────┘
-//!                        bounded   ▼         ▼         ▼
-//!                        queues  shard 0   shard 1 … shard N-1
-//!                                LiveJoiner per run, per shard
-//!                                  snapshot() ⇒ LiveSummary
+//!  capture / collector / ingest socket     LiveEngine
+//!  ───────────────────────────────  push_run / push_raw_run
+//!  raw frame bytes ───────▶ ┌────────────────────────────────────┐
+//!                           │ PEEK   structural header walk      │
+//!                           │ ROUTE  hash(run, 4-tuple) → shard  │
+//!                           │        DNS lane: broadcast (Arc    │
+//!                           │        clone); unroutable bytes →  │
+//!                           │        deterministic fallback shard│
+//!                           │ BATCH  RawBatch per shard channel  │
+//!                           └──┬───────────┬───────────┬─────────┘
+//!                     bounded  ▼           ▼           ▼
+//!                     queues  shard 0    shard 1  …  shard N-1
+//!                             full classified DECODE (frame +
+//!                             report error ledgers, shard-local)
+//!                             LiveJoiner per run, per shard
+//!                               snapshot() ⇒ LiveSummary
 //! ```
 //!
-//! * [`LiveEvent`] ([`event`]) is the ingress unit: one TCP segment,
-//!   DNS datagram, or decoded supervisor report, tagged with its run.
+//! * [`batch`] is the producer half: [`classify_route`] peeks and
+//!   routes, [`IngressBatcher`] accumulates per-shard [`RawBatch`]es.
+//! * [`LiveEvent`] ([`event`]) remains the pre-decoded ingress unit
+//!   for [`LiveEngine::push`]; broadcast copies share one `Arc`.
 //! * [`LiveJoiner`] ([`joiner`]) is the incremental report↔flow join —
 //!   the streaming twin of the offline join, with a pending buffer for
 //!   out-of-order arrivals and TTL eviction on the virtual clock.
 //! * [`LiveEngine`] ([`shard`]) owns N shard threads fed by bounded
 //!   channels with an explicit backpressure policy
-//!   ([`OverflowPolicy`]); sharding changes throughput, never results.
+//!   ([`OverflowPolicy`]); sharding changes throughput, never results —
+//!   decode errors land on deterministic shards so even the error
+//!   ledgers are shard-count-invariant.
+//! * [`IngestServer`] ([`ingest`]) is the service boundary: a loopback
+//!   TCP/UDP listener speaking a 16-byte-header record framing,
+//!   feeding the same batched ingress with the same backpressure.
 //! * [`LiveSummary`] ([`summary`]) is the mergeable snapshot, directly
 //!   comparable with the offline pipeline via
 //!   [`LiveSummary::from_analyses`].
@@ -79,12 +99,16 @@
 //! resulting identity field for field against
 //! [`libspector::analyze_run`].
 
+pub mod batch;
 pub mod event;
+pub mod ingest;
 pub mod joiner;
 pub mod shard;
 pub mod summary;
 
+pub use batch::{classify_route, fallback_shard, RawBatch, RawFrame, RawItem, Route};
 pub use event::{events_from_run, shard_of, LiveEvent, LiveEventKind};
+pub use ingest::{encode_record, IngestClient, IngestConfig, IngestServer, RECORD_HEADER_LEN};
 pub use joiner::{JoinerConfig, LiveJoiner};
-pub use shard::{LiveConfig, LiveEngine, OverflowPolicy};
+pub use shard::{IngressBatcher, LiveConfig, LiveEngine, OverflowPolicy};
 pub use summary::{LiveSummary, LiveVolume};

@@ -2,19 +2,26 @@
 //!
 //! [`LiveEngine::start`] spawns N shard threads. Each shard owns the
 //! joiner state for the `(run, canonical 4-tuple)` keys that hash to
-//! it and consumes a **bounded** crossbeam channel. TCP segments and
-//! reports route to the shard owning their pair (a report must land
-//! where its flow's epochs live); DNS events are broadcast, so every
-//! shard can resolve destination domains locally without cross-shard
-//! chatter — the merge takes the DNS datagram count from shard 0 only.
+//! it and consumes a **bounded** crossbeam channel. Ingress is
+//! two-phase (see [`crate::batch`]): the producer peeks raw frame
+//! headers just far enough to route, ships `Arc<[u8]>` batches, and
+//! the **full classified decode runs here, on the owning shard** —
+//! TCP segments and reports route to the shard owning their pair (a
+//! report must land where its flow's epochs live); DNS frames are
+//! broadcast by `Arc` clone, so every shard can resolve destination
+//! domains locally without cross-shard chatter — the merge takes the
+//! DNS datagram count from shard 0 only. Frames the peek cannot route
+//! land on the run's deterministic fallback shard, where the decode
+//! classifies and counts the failure exactly once — error totals are
+//! shard-count-invariant.
 //!
 //! # Backpressure
 //!
 //! The queues are bounded by [`LiveConfig::queue_capacity`]. When a
 //! queue is full, [`OverflowPolicy`] decides: `Block` stalls the
 //! producer (lossless — the default, and what the equivalence
-//! guarantee assumes), `DropNewest` sheds the incoming event and
-//! increments a counter surfaced as
+//! guarantee assumes), `DropNewest` sheds the incoming event or batch
+//! and increments a counter surfaced as
 //! [`LiveSummary::dropped_events`] — dropping is *never* silent.
 //!
 //! # Snapshot consistency
@@ -25,9 +32,9 @@
 //! FIFO, so each shard answers after processing everything enqueued
 //! before the barrier; the reply is a per-shard partial summary and
 //! the engine merges them. Determinism: per-key event order is
-//! preserved (single channel per shard, one joiner per run), so the
-//! final summary is identical for any shard count — sharding changes
-//! throughput, never results.
+//! preserved (single channel per shard, one batcher per producer
+//! call, one joiner per run), so the final summary is identical for
+//! any shard count — sharding changes throughput, never results.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,9 +43,13 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use libspector::Knowledge;
+use spector_hooks::{decode_report_datagram, ReportErrorKind};
+use spector_netsim::flows::FIRST_PAYLOAD_CAP;
+use spector_netsim::packet::{decode_frame_ref, TransportRef};
 use spector_netsim::pcap::CapturedPacket;
-use spector_telemetry::{Counter, MetricsSnapshot, Telemetry};
+use spector_telemetry::{Counter, Histogram, MetricsSnapshot, Telemetry, COUNT_BOUNDS};
 
+use crate::batch::{classify_route, fallback_shard, RawBatch, RawFrame, RawItem, Route};
 use crate::event::{shard_of, LiveEvent, LiveEventKind};
 use crate::joiner::{JoinerConfig, LiveJoiner};
 use crate::summary::LiveSummary;
@@ -58,18 +69,24 @@ pub enum OverflowPolicy {
 pub struct LiveConfig {
     /// Number of shard threads. Clamped to at least 1.
     pub shards: usize,
-    /// Per-shard queue capacity, in events. Clamped to at least 1.
+    /// Per-shard queue capacity, in messages (an event or a whole
+    /// batch each occupy one slot). Clamped to at least 1.
     pub queue_capacity: usize,
     /// Full-queue policy.
     pub overflow: OverflowPolicy,
-    /// Collector UDP port, used when converting captures to events.
+    /// Collector UDP port, used when classifying raw frames.
     pub collector_port: u16,
+    /// Target items per ingress batch: a producer's per-shard buffer
+    /// ships once it holds this many raw frames (and always at the end
+    /// of the producer call). Clamped to at least 1.
+    pub batch_events: usize,
     /// Joiner tuning (pending-report TTL).
     pub joiner: JoinerConfig,
     /// Engine-level telemetry sink. When enabled, each shard also
     /// keeps a local counter-only registry whose snapshot folds into
-    /// [`LiveEngine::snapshot_full`]; counters only, so the merged
-    /// snapshot is identical for any shard count.
+    /// [`LiveEngine::snapshot_full`]; the per-class counters are
+    /// designed so the merged snapshot balances identically for any
+    /// shard count.
     pub telemetry: Telemetry,
 }
 
@@ -80,6 +97,7 @@ impl Default for LiveConfig {
             queue_capacity: 1_024,
             overflow: OverflowPolicy::Block,
             collector_port: spector_hooks::SupervisorConfig::default().collector_port,
+            batch_events: 64,
             joiner: JoinerConfig::default(),
             telemetry: Telemetry::disabled(),
         }
@@ -87,7 +105,11 @@ impl Default for LiveConfig {
 }
 
 enum ShardMsg {
-    Event(LiveEvent),
+    /// A single pre-classified event (the test/example path). Shared,
+    /// so broadcast delivery clones the `Arc`, never the event.
+    Event(Arc<LiveEvent>),
+    /// A batch of raw frames to decode shard-side (the hot path).
+    Batch(RawBatch),
     Snapshot(Sender<(LiveSummary, MetricsSnapshot)>),
     /// Test-only: acknowledge, then block until the gate closes — lets
     /// tests fill a queue deterministically to exercise backpressure.
@@ -100,14 +122,21 @@ enum ShardMsg {
 
 /// Shard-local event counters. Deliberately counters only (no
 /// wall-time histograms): every event lands on exactly one shard (DNS
-/// broadcasts are counted on shard 0 only, mirroring the summary's
-/// DNS convention), so the fold over shard snapshots is independent of
-/// the shard count — pinned by the live telemetry tests.
+/// broadcasts — both the datagram count and any decode error on a
+/// broadcast copy — are counted on shard 0 only, mirroring the
+/// summary's DNS convention), so the fold over shard snapshots is
+/// independent of the shard count — pinned by the live telemetry
+/// tests.
 struct ShardTelemetry {
     registry: Telemetry,
     tcp_events: Counter,
     dns_events: Counter,
     report_events: Counter,
+    frames_truncated: Counter,
+    frames_malformed: Counter,
+    frames_bad_checksum: Counter,
+    reports_truncated: Counter,
+    reports_malformed: Counter,
     count_dns: bool,
 }
 
@@ -122,6 +151,11 @@ impl ShardTelemetry {
             tcp_events: registry.counter("spector_live_tcp_events_total"),
             dns_events: registry.counter("spector_live_dns_events_total"),
             report_events: registry.counter("spector_live_report_events_total"),
+            frames_truncated: registry.counter("spector_live_ingress_frames_truncated_total"),
+            frames_malformed: registry.counter("spector_live_ingress_frames_malformed_total"),
+            frames_bad_checksum: registry.counter("spector_live_ingress_frames_bad_checksum_total"),
+            reports_truncated: registry.counter("spector_live_ingress_reports_truncated_total"),
+            reports_malformed: registry.counter("spector_live_ingress_reports_malformed_total"),
             count_dns: shard_idx == 0,
             registry,
         }
@@ -132,23 +166,34 @@ impl ShardTelemetry {
     }
 }
 
-/// The running engine. `push` is `&self` and thread-safe; `snapshot`
-/// can be called at any time from any thread; `finish` consumes the
-/// engine, drains the shards, and returns the final summary.
+/// This shard's decode-error ledger, folded into its partial summary.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardErrors {
+    frames_truncated: usize,
+    frames_malformed: usize,
+    frames_bad_checksum: usize,
+    reports_truncated: usize,
+    reports_malformed: usize,
+}
+
+/// The running engine. `push`/`push_run` are `&self` and thread-safe;
+/// `snapshot` can be called at any time from any thread; `finish`
+/// consumes the engine, drains the shards, and returns the final
+/// summary.
 pub struct LiveEngine {
     senders: Vec<Sender<ShardMsg>>,
     handles: Vec<JoinHandle<(LiveSummary, MetricsSnapshot)>>,
     events: AtomicU64,
     dropped: Arc<AtomicU64>,
-    reports_truncated: AtomicU64,
-    reports_malformed: AtomicU64,
     overflow: OverflowPolicy,
     collector_port: u16,
+    batch_events: usize,
     telemetry: Telemetry,
     events_counter: Counter,
     dropped_counter: Counter,
-    reports_truncated_counter: Counter,
-    reports_malformed_counter: Counter,
+    batches_counter: Counter,
+    batch_events_counter: Counter,
+    batch_size: Histogram,
 }
 
 impl LiveEngine {
@@ -157,6 +202,7 @@ impl LiveEngine {
         let shards = config.shards.max(1);
         let capacity = config.queue_capacity.max(1);
         let telemetry_enabled = config.telemetry.is_enabled();
+        let collector_port = config.collector_port;
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard_idx in 0..shards {
@@ -169,6 +215,7 @@ impl LiveEngine {
                     receiver,
                     knowledge,
                     joiner_config,
+                    collector_port,
                     telemetry_enabled,
                 )
             }));
@@ -179,20 +226,18 @@ impl LiveEngine {
             handles,
             events: AtomicU64::new(0),
             dropped: Arc::new(AtomicU64::new(0)),
-            reports_truncated: AtomicU64::new(0),
-            reports_malformed: AtomicU64::new(0),
             overflow: config.overflow,
-            collector_port: config.collector_port,
+            collector_port,
+            batch_events: config.batch_events.max(1),
             events_counter: config.telemetry.counter("spector_live_events_total"),
             dropped_counter: config
                 .telemetry
                 .counter("spector_live_dropped_events_total"),
-            reports_truncated_counter: config
+            batches_counter: config.telemetry.counter("spector_live_batches_total"),
+            batch_events_counter: config.telemetry.counter("spector_live_batch_events_total"),
+            batch_size: config
                 .telemetry
-                .counter("spector_live_ingress_reports_truncated_total"),
-            reports_malformed_counter: config
-                .telemetry
-                .counter("spector_live_ingress_reports_malformed_total"),
+                .histogram("spector_live_batch_size", &COUNT_BOUNDS),
             telemetry: config.telemetry,
         }
     }
@@ -202,9 +247,15 @@ impl LiveEngine {
         self.senders.len()
     }
 
-    /// The collector port captures are classified against.
+    /// The collector port raw frames are classified against.
     pub fn collector_port(&self) -> u16 {
         self.collector_port
+    }
+
+    /// The engine's telemetry sink (shared with the ingest service so
+    /// listener counters land in the same registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Events shed so far under [`OverflowPolicy::DropNewest`].
@@ -212,57 +263,70 @@ impl LiveEngine {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Delivers one event: routed to its pair's shard, or broadcast to
-    /// every shard for DNS. Under `Block` this may stall until the
-    /// shard catches up; under `DropNewest` it never stalls but may
-    /// shed (counted).
+    /// Delivers one pre-classified event: routed to its pair's shard,
+    /// or broadcast to every shard for DNS — by `Arc` clone, never a
+    /// deep event clone. Under `Block` this may stall until the shard
+    /// catches up; under `DropNewest` it never stalls but may shed
+    /// (counted).
     pub fn push(&self, event: LiveEvent) {
         self.events.fetch_add(1, Ordering::Relaxed);
         self.events_counter.inc();
-        match event.routing_pair() {
-            Some(pair) => {
-                let shard = shard_of(event.run, &pair, self.senders.len());
-                self.deliver(shard, event);
-            }
+        let shard = event
+            .routing_pair()
+            .map(|pair| shard_of(event.run, &pair, self.senders.len()));
+        let event = Arc::new(event);
+        match shard {
+            Some(shard) => self.deliver(shard, event),
             None => {
-                // Broadcast: clone for all but the last shard.
-                for shard in 0..self.senders.len() - 1 {
-                    self.deliver(shard, event.clone());
+                for shard in 0..self.senders.len() {
+                    self.deliver(shard, Arc::clone(&event));
                 }
-                self.deliver(self.senders.len() - 1, event);
             }
+        }
+    }
+
+    /// A fresh per-producer batcher. Each producer thread (or call)
+    /// owns its own buffers, so `&self` stays thread-safe; dropping
+    /// the batcher flushes whatever is left.
+    pub fn batcher(&self) -> IngressBatcher<'_> {
+        IngressBatcher {
+            buffers: (0..self.senders.len()).map(|_| Vec::new()).collect(),
+            limit: self.batch_events,
+            engine: self,
         }
     }
 
     /// Streams one finished run's capture through the engine, in
-    /// capture order, as run `run`. Collector-port datagrams that are
-    /// not valid reports are counted by classification instead of
-    /// silently skipped — the ingress half of degraded-mode
-    /// accounting, mirroring the offline [`RunIntegrity`] counters.
+    /// capture order, as run `run`: peek-route-batch on this thread,
+    /// classified decode on the owning shard. Undecodable frames and
+    /// collector-port datagrams that are not valid reports are counted
+    /// by classification on the shard that owns the bytes — the
+    /// ingress half of degraded-mode accounting, mirroring the offline
+    /// [`RunIntegrity`] counters.
     ///
     /// [`RunIntegrity`]: libspector::RunIntegrity
     pub fn push_run(&self, run: u32, capture: &[CapturedPacket]) {
-        use spector_hooks::ReportErrorKind;
-        for event in spector_netsim::events_from_capture(capture) {
-            match LiveEvent::classify_wire(run, event, self.collector_port) {
-                Ok(event) => self.push(event),
-                Err(error) => {
-                    let (counter, mirror) = match error.kind {
-                        ReportErrorKind::Truncated => {
-                            (&self.reports_truncated, &self.reports_truncated_counter)
-                        }
-                        ReportErrorKind::Malformed => {
-                            (&self.reports_malformed, &self.reports_malformed_counter)
-                        }
-                    };
-                    counter.fetch_add(1, Ordering::Relaxed);
-                    mirror.inc();
-                }
-            }
+        let mut batcher = self.batcher();
+        for packet in capture {
+            batcher.push_raw(
+                run,
+                packet.timestamp_micros,
+                Arc::from(packet.data.as_slice()),
+            );
         }
     }
 
-    fn deliver(&self, shard: usize, event: LiveEvent) {
+    /// [`push_run`](Self::push_run) over pre-shared frames: the replay
+    /// path for benches and services that already hold `Arc` bytes —
+    /// no copy, just a peek and an `Arc` clone per frame.
+    pub fn push_raw_run(&self, run: u32, frames: &[RawFrame]) {
+        let mut batcher = self.batcher();
+        for frame in frames {
+            batcher.push_raw(run, frame.timestamp_micros, Arc::clone(&frame.data));
+        }
+    }
+
+    fn deliver(&self, shard: usize, event: Arc<LiveEvent>) {
         match self.overflow {
             OverflowPolicy::Block => {
                 if self.senders[shard].send(ShardMsg::Event(event)).is_err() {
@@ -275,6 +339,36 @@ impl LiveEngine {
                     Err(TrySendError::Full(_)) => {
                         self.dropped.fetch_add(1, Ordering::Relaxed);
                         self.dropped_counter.inc();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("live shard terminated while engine running")
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_batch(&self, shard: usize, batch: RawBatch) {
+        let items = batch.items.len() as u64;
+        self.batches_counter.inc();
+        self.batch_events_counter.add(items);
+        self.batch_size.record(items);
+        match self.overflow {
+            OverflowPolicy::Block => {
+                if self.senders[shard].send(ShardMsg::Batch(batch)).is_err() {
+                    panic!("live shard terminated while engine running");
+                }
+            }
+            OverflowPolicy::DropNewest => {
+                match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(batch)) => {
+                        let ShardMsg::Batch(batch) = batch else {
+                            unreachable!("try_send returns the rejected message")
+                        };
+                        let items = batch.items.len() as u64;
+                        self.dropped.fetch_add(items, Ordering::Relaxed);
+                        self.dropped_counter.add(items);
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         panic!("live shard terminated while engine running")
@@ -342,16 +436,103 @@ impl LiveEngine {
         }
         merged.events = self.events.load(Ordering::Relaxed);
         merged.dropped_events = self.dropped.load(Ordering::Relaxed);
-        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
-        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
         (merged, metrics)
     }
 
     fn stamp_engine_totals(&self, merged: &mut LiveSummary) {
         merged.events = self.events.load(Ordering::Relaxed);
         merged.dropped_events = self.dropped.load(Ordering::Relaxed);
-        merged.reports_truncated = self.reports_truncated.load(Ordering::Relaxed) as usize;
-        merged.reports_malformed = self.reports_malformed.load(Ordering::Relaxed) as usize;
+    }
+}
+
+/// Producer-side ingress buffers: one `Vec<RawItem>` per shard, shipped
+/// as a [`RawBatch`] once [`LiveConfig::batch_events`] items accumulate
+/// (and flushed on drop). Create one per producer thread via
+/// [`LiveEngine::batcher`] — the batcher is intentionally not `Sync`.
+pub struct IngressBatcher<'e> {
+    engine: &'e LiveEngine,
+    buffers: Vec<Vec<RawItem>>,
+    limit: usize,
+}
+
+impl IngressBatcher<'_> {
+    /// Peeks, routes, and buffers one raw frame. Counted in
+    /// [`LiveSummary::events`] immediately (a broadcast frame counts
+    /// once); shipped to its shard when the buffer fills or the
+    /// batcher flushes/drops.
+    pub fn push_raw(&mut self, run: u32, timestamp_micros: u64, data: Arc<[u8]>) {
+        self.engine.events.fetch_add(1, Ordering::Relaxed);
+        self.engine.events_counter.inc();
+        let shards = self.buffers.len();
+        match classify_route(&data, self.engine.collector_port) {
+            Route::Pair(pair) => {
+                let shard = shard_of(run, &pair, shards);
+                self.append(
+                    shard,
+                    RawItem {
+                        run,
+                        timestamp_micros,
+                        broadcast: false,
+                        data,
+                    },
+                );
+            }
+            Route::Broadcast => {
+                for shard in 0..shards {
+                    self.append(
+                        shard,
+                        RawItem {
+                            run,
+                            timestamp_micros,
+                            broadcast: true,
+                            data: Arc::clone(&data),
+                        },
+                    );
+                }
+            }
+            Route::Fallback => {
+                let shard = fallback_shard(run, shards);
+                self.append(
+                    shard,
+                    RawItem {
+                        run,
+                        timestamp_micros,
+                        broadcast: false,
+                        data,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Ships every non-empty buffer now. Called automatically on drop;
+    /// call it explicitly before a snapshot that must observe
+    /// everything pushed so far by this producer.
+    pub fn flush(&mut self) {
+        for shard in 0..self.buffers.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn append(&mut self, shard: usize, item: RawItem) {
+        self.buffers[shard].push(item);
+        if self.buffers[shard].len() >= self.limit {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        if self.buffers[shard].is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.buffers[shard]);
+        self.engine.deliver_batch(shard, RawBatch { items });
+    }
+}
+
+impl Drop for IngressBatcher<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -360,57 +541,34 @@ fn shard_loop(
     receiver: Receiver<ShardMsg>,
     knowledge: Arc<Knowledge>,
     joiner_config: JoinerConfig,
+    collector_port: u16,
     telemetry_enabled: bool,
 ) -> (LiveSummary, MetricsSnapshot) {
     let mut joiners: HashMap<u32, LiveJoiner> = HashMap::new();
+    let mut errors = ShardErrors::default();
     let telemetry = ShardTelemetry::new(shard_idx, telemetry_enabled);
     while let Ok(msg) = receiver.recv() {
         match msg {
             ShardMsg::Event(event) => {
-                let joiner = joiners
-                    .entry(event.run)
-                    .or_insert_with(|| LiveJoiner::new(joiner_config.clone()));
-                match event.kind {
-                    LiveEventKind::Tcp {
-                        timestamp_micros,
-                        pair,
-                        flags,
-                        payload_len,
-                        head,
-                        wire_len,
-                    } => {
-                        telemetry.tcp_events.inc();
-                        joiner.on_tcp(
-                            timestamp_micros,
-                            pair,
-                            flags,
-                            payload_len,
-                            &head,
-                            wire_len,
-                            &knowledge,
-                        )
-                    }
-                    LiveEventKind::Dns {
-                        timestamp_micros,
-                        pair,
-                        payload,
-                    } => {
-                        // Broadcast event: counted on shard 0 only, so
-                        // the merged count is shard-count-independent.
-                        if telemetry.count_dns {
-                            telemetry.dns_events.inc();
-                        }
-                        joiner.on_dns(timestamp_micros, &pair, &payload)
-                    }
-                    LiveEventKind::Report(report) => {
-                        telemetry.report_events.inc();
-                        joiner.on_report(report, &knowledge)
-                    }
+                on_event(&event, &mut joiners, &joiner_config, &knowledge, &telemetry)
+            }
+            ShardMsg::Batch(batch) => {
+                for item in batch.items {
+                    on_raw_item(
+                        item,
+                        shard_idx,
+                        collector_port,
+                        &mut joiners,
+                        &joiner_config,
+                        &knowledge,
+                        &telemetry,
+                        &mut errors,
+                    );
                 }
             }
             ShardMsg::Snapshot(reply) => {
                 let _ = reply.send((
-                    partial_summary(shard_idx, &joiners, &knowledge),
+                    partial_summary(shard_idx, &joiners, &errors, &knowledge),
                     telemetry.snapshot(),
                 ));
             }
@@ -422,22 +580,162 @@ fn shard_loop(
         }
     }
     (
-        partial_summary(shard_idx, &joiners, &knowledge),
+        partial_summary(shard_idx, &joiners, &errors, &knowledge),
         telemetry.snapshot(),
     )
 }
 
+/// Applies one pre-classified event to this shard's joiner state.
+fn on_event(
+    event: &LiveEvent,
+    joiners: &mut HashMap<u32, LiveJoiner>,
+    joiner_config: &JoinerConfig,
+    knowledge: &Knowledge,
+    telemetry: &ShardTelemetry,
+) {
+    let joiner = joiners
+        .entry(event.run)
+        .or_insert_with(|| LiveJoiner::new(joiner_config.clone()));
+    match &event.kind {
+        LiveEventKind::Tcp {
+            timestamp_micros,
+            pair,
+            flags,
+            payload_len,
+            head,
+            wire_len,
+        } => {
+            telemetry.tcp_events.inc();
+            joiner.on_tcp(
+                *timestamp_micros,
+                *pair,
+                *flags,
+                *payload_len,
+                head,
+                *wire_len,
+                knowledge,
+            )
+        }
+        LiveEventKind::Dns {
+            timestamp_micros,
+            pair,
+            payload,
+        } => {
+            // Broadcast event: counted on shard 0 only, so the merged
+            // count is shard-count-independent.
+            if telemetry.count_dns {
+                telemetry.dns_events.inc();
+            }
+            joiner.on_dns(*timestamp_micros, pair, payload)
+        }
+        LiveEventKind::Report(report) => {
+            telemetry.report_events.inc();
+            joiner.on_report(report, knowledge)
+        }
+    }
+}
+
+/// The shard-local half of the two-phase ingress: the full classified
+/// decode of one raw frame, with degraded-mode accounting. Decode
+/// failures on a broadcast copy are counted on shard 0 only (every
+/// shard received the same bytes); routed and fallback frames are
+/// owned by exactly one shard and counted unconditionally.
+#[allow(clippy::too_many_arguments)]
+fn on_raw_item(
+    item: RawItem,
+    shard_idx: usize,
+    collector_port: u16,
+    joiners: &mut HashMap<u32, LiveJoiner>,
+    joiner_config: &JoinerConfig,
+    knowledge: &Knowledge,
+    telemetry: &ShardTelemetry,
+    errors: &mut ShardErrors,
+) {
+    let frame = match decode_frame_ref(&item.data) {
+        Ok(frame) => frame,
+        Err(error) => {
+            if !item.broadcast || shard_idx == 0 {
+                match error.kind {
+                    spector_netsim::FrameErrorKind::Truncated => {
+                        errors.frames_truncated += 1;
+                        telemetry.frames_truncated.inc();
+                    }
+                    spector_netsim::FrameErrorKind::Malformed => {
+                        errors.frames_malformed += 1;
+                        telemetry.frames_malformed.inc();
+                    }
+                    spector_netsim::FrameErrorKind::BadChecksum => {
+                        errors.frames_bad_checksum += 1;
+                        telemetry.frames_bad_checksum.inc();
+                    }
+                }
+            }
+            return;
+        }
+    };
+    let joiner = joiners
+        .entry(item.run)
+        .or_insert_with(|| LiveJoiner::new(joiner_config.clone()));
+    match frame.transport {
+        TransportRef::Tcp { flags, payload, .. } => {
+            telemetry.tcp_events.inc();
+            joiner.on_tcp(
+                item.timestamp_micros,
+                frame.pair,
+                flags,
+                payload.len(),
+                &payload[..payload.len().min(FIRST_PAYLOAD_CAP)],
+                frame.wire_len,
+                knowledge,
+            )
+        }
+        TransportRef::Udp { payload } => {
+            if frame.pair.dst_port == collector_port {
+                match decode_report_datagram(item.timestamp_micros, payload) {
+                    Ok(report) => {
+                        telemetry.report_events.inc();
+                        joiner.on_report(&report, knowledge)
+                    }
+                    Err(error) => match error.kind {
+                        ReportErrorKind::Truncated => {
+                            errors.reports_truncated += 1;
+                            telemetry.reports_truncated.inc();
+                        }
+                        ReportErrorKind::Malformed => {
+                            errors.reports_malformed += 1;
+                            telemetry.reports_malformed.inc();
+                        }
+                    },
+                }
+            } else {
+                if telemetry.count_dns {
+                    telemetry.dns_events.inc();
+                }
+                joiner.on_dns(item.timestamp_micros, &frame.pair, payload)
+            }
+        }
+    }
+}
+
 /// This shard's contribution to the merged summary. Only shard 0
-/// contributes the DNS datagram count (DNS events are broadcast).
+/// contributes the DNS datagram count (DNS events are broadcast); the
+/// shard's decode-error ledger rides along, so merged error totals are
+/// the exact sum over owners.
 fn partial_summary(
     shard_idx: usize,
     joiners: &HashMap<u32, LiveJoiner>,
+    errors: &ShardErrors,
     knowledge: &Knowledge,
 ) -> LiveSummary {
     let mut summary = LiveSummary::default();
     for joiner in joiners.values() {
         joiner.snapshot_into(knowledge, shard_idx == 0, &mut summary);
     }
+    summary.frames_truncated = errors.frames_truncated;
+    summary.frames_malformed = errors.frames_malformed;
+    summary.frames_bad_checksum = errors.frames_bad_checksum;
+    summary.reports_truncated = errors.reports_truncated;
+    summary.reports_malformed = errors.reports_malformed;
     summary
 }
 
@@ -505,6 +803,31 @@ mod tests {
         assert_eq!(summaries[0].dropped_events, 0);
     }
 
+    /// Tiny batches exercise every flush path; the result must be
+    /// byte-identical to the default batch size at any width.
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let captures: Vec<_> = (0..3).map(|i| scripted_capture(i * 13)).collect();
+        let mut summaries = Vec::new();
+        for (shards, batch_events) in [(1usize, 1usize), (2, 2), (4, 3), (2, 1_000)] {
+            let engine = LiveEngine::start(
+                knowledge(),
+                LiveConfig {
+                    shards,
+                    batch_events,
+                    ..Default::default()
+                },
+            );
+            for (run, capture) in captures.iter().enumerate() {
+                engine.push_run(run as u32, capture);
+            }
+            summaries.push(engine.finish());
+        }
+        for pair in summaries.windows(2) {
+            assert_eq!(pair[0], pair[1], "batch size must be invisible");
+        }
+    }
+
     #[test]
     fn snapshot_is_a_consistent_barrier_and_stream_continues() {
         let capture = scripted_capture(50);
@@ -565,6 +888,43 @@ mod tests {
         assert_eq!(summary.dropped_events, expected_drops);
     }
 
+    /// The batched path sheds whole batches, counting every item.
+    #[test]
+    fn drop_newest_counts_every_item_of_a_shed_batch() {
+        let capacity = 2usize;
+        let engine = LiveEngine::start(
+            knowledge(),
+            LiveConfig {
+                shards: 1,
+                queue_capacity: capacity,
+                overflow: OverflowPolicy::DropNewest,
+                batch_events: 1,
+                ..Default::default()
+            },
+        );
+        let (ack_tx, ack_rx) = bounded(1);
+        let (gate_tx, gate_rx) = bounded::<()>(1);
+        engine.senders[0]
+            .send(ShardMsg::Park {
+                ack: ack_tx,
+                gate: gate_rx,
+            })
+            .unwrap_or_else(|_| panic!("park message rejected"));
+        ack_rx.recv().unwrap();
+
+        // batch_events = 1: every frame ships as its own batch, so
+        // exactly `capacity` batches fit and the rest shed, one item
+        // each.
+        let capture = scripted_capture(33);
+        engine.push_run(0, &capture);
+        let expected_drops = (capture.len() - capacity) as u64;
+        assert_eq!(engine.dropped_events(), expected_drops);
+        drop(gate_tx);
+        let summary = engine.finish();
+        assert_eq!(summary.events, capture.len() as u64);
+        assert_eq!(summary.dropped_events, expected_drops);
+    }
+
     #[test]
     fn blocking_policy_is_lossless_under_pressure() {
         let capture = scripted_capture(17);
@@ -574,6 +934,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 2,
                 overflow: OverflowPolicy::Block,
+                batch_events: 3,
                 ..Default::default()
             },
         );
@@ -586,6 +947,11 @@ mod tests {
         assert_eq!(summary.unjoined_reports(), 0);
     }
 
+    /// The merged per-class counters (and their balance against the
+    /// ingress total) are identical at any width. Whole-snapshot
+    /// equality is deliberately *not* asserted: batch-shipping metrics
+    /// (batch count, size histogram) legitimately depend on how items
+    /// distribute over shards.
     #[test]
     fn telemetry_counters_are_identical_for_any_shard_count() {
         let captures: Vec<_> = (0..3).map(|i| scripted_capture(i * 11)).collect();
@@ -605,10 +971,29 @@ mod tests {
             let (_, metrics) = engine.finish_with_metrics();
             metric_views.push(metrics);
         }
-        assert_eq!(metric_views[0], metric_views[1]);
-        assert_eq!(metric_views[1], metric_views[2]);
+        let class_counters = [
+            "spector_live_events_total",
+            "spector_live_tcp_events_total",
+            "spector_live_dns_events_total",
+            "spector_live_report_events_total",
+            "spector_live_ingress_frames_truncated_total",
+            "spector_live_ingress_frames_malformed_total",
+            "spector_live_ingress_frames_bad_checksum_total",
+            "spector_live_ingress_reports_truncated_total",
+            "spector_live_ingress_reports_malformed_total",
+            "spector_live_dropped_events_total",
+        ];
+        for view in &metric_views[1..] {
+            for name in class_counters {
+                assert_eq!(
+                    metric_views[0].counter(name),
+                    view.counter(name),
+                    "{name} must be shard-count-invariant"
+                );
+            }
+        }
         let m = &metric_views[0];
-        // Ingress balance: every pushed event is exactly one of the
+        // Ingress balance: every pushed frame is exactly one of the
         // shard-counted classes (nothing was shed under Block).
         assert_eq!(
             m.counter("spector_live_events_total"),
@@ -618,6 +1003,13 @@ mod tests {
         );
         assert_eq!(m.counter("spector_live_dropped_events_total"), 0);
         assert!(m.counter("spector_live_report_events_total") >= 9);
+        // The batch path is observable: every event arrived batched.
+        assert_eq!(
+            m.counter("spector_live_batch_events_total"),
+            m.counter("spector_live_events_total"),
+            "single-shard batches carry each frame exactly once"
+        );
+        assert!(m.counter("spector_live_batches_total") > 0);
     }
 
     #[test]
@@ -676,5 +1068,65 @@ mod tests {
         let summary = Arc::into_inner(engine).unwrap().finish();
         assert_eq!(summary.flows, 12);
         assert_eq!(summary.unjoined_reports(), 0);
+    }
+
+    /// Degraded frames are decoded — and therefore counted — on the
+    /// shard that owns the bytes, so the error ledger in the summary
+    /// is identical at every width.
+    #[test]
+    fn decode_errors_are_shard_count_invariant() {
+        let mut capture = scripted_capture(41);
+        // Structural garbage: peek fails, routes to the fallback shard.
+        capture.push(CapturedPacket {
+            timestamp_micros: 1,
+            data: vec![0xde, 0xad, 0xbe, 0xef],
+        });
+        // A TCP frame with a flipped payload byte: peeks fine (the
+        // structural walk skips payloads), fails the shard-side
+        // checksum verification. TCP specifically — UDP checksums are
+        // not verified by the decode.
+        let tcp_frame = capture
+            .iter()
+            .find(|p| {
+                matches!(
+                    decode_frame_ref(&p.data),
+                    Ok(spector_netsim::packet::FrameRef {
+                        transport: TransportRef::Tcp { .. },
+                        ..
+                    })
+                )
+            })
+            .expect("scripted capture has TCP traffic");
+        let mut corrupted = tcp_frame.data.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        capture.push(CapturedPacket {
+            timestamp_micros: 2,
+            data: corrupted,
+        });
+        let mut summaries = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let engine = LiveEngine::start(
+                knowledge(),
+                LiveConfig {
+                    shards,
+                    ..Default::default()
+                },
+            );
+            engine.push_run(0, &capture);
+            summaries.push(engine.finish());
+        }
+        for pair in summaries.windows(2) {
+            assert_eq!(pair[0], pair[1], "error ledger must not depend on width");
+        }
+        let total_errors = summaries[0].frames_truncated
+            + summaries[0].frames_malformed
+            + summaries[0].frames_bad_checksum;
+        assert_eq!(total_errors, 2, "both damaged frames counted once");
+        assert_eq!(
+            summaries[0].events,
+            capture.len() as u64,
+            "damaged frames still count as ingress events"
+        );
     }
 }

@@ -49,8 +49,10 @@ impl LiveVolume {
 /// A point-in-time view of everything the engine has attributed.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LiveSummary {
-    /// Events accepted by the engine (counted at `push`, before
-    /// sharding; a broadcast DNS event counts once).
+    /// Events accepted at ingress (counted at `push`/`push_run`,
+    /// before sharding; a broadcast DNS frame counts once, and raw
+    /// frames count whether or not their shard-local decode succeeds —
+    /// failures show up in the error ledger below).
     pub events: u64,
     /// Events dropped by the backpressure policy — always counted,
     /// never silent. Zero under [`OverflowPolicy::Block`].
@@ -70,12 +72,24 @@ pub struct LiveSummary {
     /// Valid supervisor report datagrams observed.
     pub report_packets: usize,
     /// Collector-port datagrams rejected as truncated reports —
-    /// measurement loss, counted at ingress (degraded-mode accounting).
+    /// measurement loss, counted by the shard-local classified decode
+    /// (degraded-mode accounting).
     #[serde(default)]
     pub reports_truncated: usize,
     /// Collector-port datagrams rejected as malformed reports.
     #[serde(default)]
     pub reports_malformed: usize,
+    /// Raw frames rejected as truncated by the shard-local decode.
+    #[serde(default)]
+    pub frames_truncated: usize,
+    /// Raw frames rejected as malformed by the shard-local decode.
+    #[serde(default)]
+    pub frames_malformed: usize,
+    /// Raw frames rejected for checksum mismatch by the shard-local
+    /// decode (these pass the producer's structural routing peek, so
+    /// they are counted on the shard owning their 4-tuple).
+    #[serde(default)]
+    pub frames_bad_checksum: usize,
     /// Total wire bytes sent across attributed flows.
     pub total_sent: u64,
     /// Total wire bytes received across attributed flows.
@@ -115,6 +129,9 @@ impl LiveSummary {
         self.report_packets += other.report_packets;
         self.reports_truncated += other.reports_truncated;
         self.reports_malformed += other.reports_malformed;
+        self.frames_truncated += other.frames_truncated;
+        self.frames_malformed += other.frames_malformed;
+        self.frames_bad_checksum += other.frames_bad_checksum;
         self.total_sent += other.total_sent;
         self.total_recv += other.total_recv;
         self.ant_bytes += other.ant_bytes;
@@ -148,6 +165,9 @@ impl LiveSummary {
             summary.report_packets += analysis.report_packets;
             summary.reports_truncated += analysis.integrity.reports_truncated;
             summary.reports_malformed += analysis.integrity.reports_malformed;
+            summary.frames_truncated += analysis.integrity.frames_truncated;
+            summary.frames_malformed += analysis.integrity.frames_malformed;
+            summary.frames_bad_checksum += analysis.integrity.frames_bad_checksum;
             for flow in &analysis.flows {
                 summary.total_sent += flow.sent_bytes;
                 summary.total_recv += flow.recv_bytes;

@@ -1,4 +1,5 @@
-//! Property tests: out-of-order report delivery converges.
+//! Property tests: out-of-order report delivery converges, and the
+//! producer's peek-based routing agrees with the shard-local decode.
 //!
 //! The supervisor's report datagrams race the capture path, so the
 //! engine may see a report displaced relative to its flow's TCP
@@ -6,6 +7,12 @@
 //! window (in either direction), the final summary is identical to
 //! in-order delivery — joins land on the same epochs, duplicates
 //! still claim once, and orphans are still counted, never lost.
+//!
+//! The second family pins the two-phase ingress: for every frame the
+//! fault injector can produce (truncated, bit-flipped, reordered) and
+//! for raw garbage, the producer's structural header peek routes to
+//! the same shard the full decode's canonical 4-tuple would, and
+//! undecodable bytes land on the run's deterministic fallback shard.
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -13,12 +20,13 @@ use std::sync::Arc;
 use libspector::knowledge::Knowledge;
 use proptest::prelude::*;
 use spector_dex::sha256::Sha256;
-use spector_hooks::{SocketReport, SupervisorConfig};
+use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
+use spector_hooks::{decode_report_datagram, SocketReport, SupervisorConfig};
 use spector_live::{
-    events_from_run, JoinerConfig, LiveConfig, LiveEngine, LiveEvent, LiveEventKind, LiveJoiner,
-    LiveSummary,
+    classify_route, events_from_run, fallback_shard, shard_of, JoinerConfig, LiveConfig,
+    LiveEngine, LiveEvent, LiveEventKind, LiveJoiner, LiveSummary, Route,
 };
-use spector_netsim::packet::SocketPair;
+use spector_netsim::packet::{decode_frame_ref, SocketPair, TransportRef};
 use spector_netsim::pcap::CapturedPacket;
 use spector_netsim::{Clock, NetStack};
 
@@ -122,7 +130,7 @@ fn run_joiner(events: &[LiveEvent], knowledge: &Knowledge) -> LiveSummary {
                 pair,
                 payload,
             } => joiner.on_dns(*timestamp_micros, pair, payload),
-            LiveEventKind::Report(report) => joiner.on_report(report.clone(), knowledge),
+            LiveEventKind::Report(report) => joiner.on_report(report, knowledge),
         }
     }
     let mut summary = LiveSummary::default();
@@ -152,6 +160,136 @@ fn run_engine(events: &[LiveEvent], knowledge: &Knowledge, shards: usize) -> Liv
 
 fn knowledge() -> Knowledge {
     Knowledge::new(Default::default(), Default::default(), Default::default())
+}
+
+/// Pins the two-phase-ingress routing contract for one frame: the
+/// producer's structural peek and the shard-local full decode must
+/// never disagree about where the bytes belong.
+///
+/// * `Fallback` never swallows a routable frame — the bytes fail the
+///   full decode too (or decode as a collector datagram whose report
+///   cannot be parsed), and the fallback shard is deterministic and
+///   in range at every width.
+/// * `Broadcast` only ever covers the DNS lane (non-collector UDP).
+/// * `Pair` routes hash to the same shard the post-decode canonical
+///   4-tuple (for reports: the pair *embedded in the payload*) would
+///   have chosen, at every width.
+fn assert_route_agrees(raw: &[u8], run: u32, port: u16) {
+    match classify_route(raw, port) {
+        Route::Fallback => {
+            match decode_frame_ref(raw) {
+                Err(_) => {}
+                Ok(frame) => match frame.transport {
+                    TransportRef::Udp { payload } if frame.pair.dst_port == port => {
+                        assert!(
+                            decode_report_datagram(0, payload).is_err(),
+                            "peek fell back on a decodable report"
+                        );
+                    }
+                    _ => panic!("peek fell back on a routable frame"),
+                },
+            }
+            for shards in [1usize, 2, 4, 8] {
+                let home = fallback_shard(run, shards);
+                assert!(home < shards, "fallback shard out of range");
+                assert_eq!(home, fallback_shard(run, shards), "must be deterministic");
+            }
+        }
+        Route::Broadcast => {
+            if let Ok(frame) = decode_frame_ref(raw) {
+                match frame.transport {
+                    TransportRef::Udp { .. } => assert_ne!(
+                        frame.pair.dst_port, port,
+                        "collector datagram leaked onto the broadcast lane"
+                    ),
+                    _ => panic!("broadcast route for a non-UDP frame"),
+                }
+            }
+        }
+        Route::Pair(peeked) => {
+            if let Ok(frame) = decode_frame_ref(raw) {
+                let expected = match frame.transport {
+                    TransportRef::Tcp { .. } => Some(frame.pair),
+                    TransportRef::Udp { payload } if frame.pair.dst_port == port => {
+                        // A report that peeked but fails the deeper
+                        // decode (e.g. cut after byte 48) is counted on
+                        // the shard owning the peeked pair; there is no
+                        // post-decode pair to compare against.
+                        decode_report_datagram(0, payload)
+                            .ok()
+                            .map(|tr| tr.report.pair)
+                    }
+                    TransportRef::Udp { .. } => panic!("DNS-lane frame routed by pair"),
+                };
+                if let Some(expected) = expected {
+                    for shards in [1usize, 2, 4, 8] {
+                        assert_eq!(
+                            shard_of(run, &peeked, shards),
+                            shard_of(run, &expected, shards),
+                            "peek route hash disagrees with post-decode hash"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The routing contract holds for every frame `spector-faults` can
+    /// produce — truncations, bit flips, duplications, reorders — at
+    /// any chaos seed, plus raw garbage that was never a frame.
+    #[test]
+    fn peek_route_agrees_with_post_decode_for_any_frame(
+        transfers in proptest::collection::vec((0u64..5_000, 0u64..30_000), 1..4),
+        orphans in 0usize..2,
+        seed in 0u64..1_000_000,
+        index in 0usize..64,
+        attempt in 0u32..3,
+        run in 0u32..1_000,
+        garbage in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..96), 0..4),
+    ) {
+        let (capture, port) = scripted_capture(&transfers, orphans);
+        let plan = FaultPlan::new(seed, FaultProfile::heavy());
+        let (perturbed, _) = perturb_capture(&plan, index, attempt, capture, port);
+        for packet in &perturbed {
+            assert_route_agrees(&packet.data, run, port);
+        }
+        for blob in &garbage {
+            assert_route_agrees(blob, run, port);
+        }
+    }
+
+    /// Chaos-damaged streams produce identical summaries — volumes
+    /// *and* the frame/report error ledgers — at every shard width
+    /// through the batched ingress.
+    #[test]
+    fn perturbed_summaries_are_shard_count_invariant(
+        transfers in proptest::collection::vec((0u64..5_000, 0u64..30_000), 1..4),
+        seed in 0u64..1_000_000,
+    ) {
+        let (capture, port) = scripted_capture(&transfers, 1);
+        let plan = FaultPlan::new(seed, FaultProfile::heavy());
+        let (perturbed, _) = perturb_capture(&plan, 0, 0, capture, port);
+        let knowledge = Arc::new(knowledge());
+        let summarize = |shards: usize, batch_events: usize| {
+            let engine = LiveEngine::start(
+                Arc::clone(&knowledge),
+                LiveConfig { shards, batch_events, ..Default::default() },
+            );
+            engine.push_run(5, &perturbed);
+            engine.finish()
+        };
+        let one = summarize(1, 1);
+        prop_assert_eq!(one.events, perturbed.len() as u64,
+            "every raw frame counts at ingress, decodable or not");
+        for (shards, batch_events) in [(2, 3), (4, 64), (8, 7)] {
+            let wide = summarize(shards, batch_events);
+            prop_assert_eq!(&wide, &one,
+                "width {} batch {} diverged", shards, batch_events);
+        }
+    }
 }
 
 proptest! {

@@ -59,7 +59,7 @@ pub mod stack;
 
 pub use capture::CaptureIndex;
 pub use clock::Clock;
-pub use events::{events_from_capture, WireEvent};
+pub use events::{events_from_capture, peek_frame, PeekedFrame, PeekedTransport, WireEvent};
 pub use flows::{DnsMap, FlowTable, FlowTableBuilder, TcpFlow};
 pub use packet::{FrameErrorCounts, FrameErrorKind, SocketPair};
 pub use stack::{NetStack, SocketId};

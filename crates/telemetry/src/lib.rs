@@ -46,8 +46,8 @@ pub mod span;
 
 pub use export::render_prometheus;
 pub use registry::{
-    Counter, Gauge, Histogram, MetricKey, Telemetry, TimeSource, LATENCY_BOUNDS_MICROS,
-    SIZE_BOUNDS_BYTES,
+    Counter, Gauge, Histogram, MetricKey, Telemetry, TimeSource, COUNT_BOUNDS,
+    LATENCY_BOUNDS_MICROS, SIZE_BOUNDS_BYTES,
 };
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use span::{StageGuard, StageRecorder, STAGE_CALLS_SUFFIX, STAGE_MICROS};

@@ -32,6 +32,10 @@ pub const SIZE_BOUNDS_BYTES: [u64; 10] = [
     64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
 ];
 
+/// Default fixed bucket upper bounds for small-cardinality count
+/// histograms (batch sizes, queue depths): powers of two up to 512.
+pub const COUNT_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
 /// Identity of one metric: a family name plus at most one label pair.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MetricKey {

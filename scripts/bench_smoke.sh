@@ -13,8 +13,13 @@ cargo bench -p spector-bench --bench perf -- --quick "$@"
 # headline: campaign-level aggregation figures.
 cargo bench -p spector-bench --bench headline -- --quick "$@"
 
-# live: streaming engine events/sec, 1 vs N shards.
+# live: streaming engine raw frames/sec through the two-phase
+# (peek-route-batch) ingress, 1 vs N shards.
 cargo bench -p spector-bench --bench live -- --quick "$@"
+
+# ingest: the loopback TCP ingest service end-to-end — client framing,
+# socket hop, record parse, batched ingress, shard-local decode.
+cargo bench -p spector-bench --bench ingest -- --quick "$@"
 
 # chaos: fault-injection layer overhead + end-to-end robustness smoke
 # (heavy profile, checkpoint/resume identity, --max-failures gate).

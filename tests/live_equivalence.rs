@@ -13,6 +13,7 @@ use libspector::knowledge::Knowledge;
 use libspector::pipeline::{analyze_run, AppAnalysis};
 use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
 use spector_dex::sha256::Sha256;
+use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
 use spector_hooks::{SocketReport, SupervisorConfig};
 use spector_live::{LiveConfig, LiveEngine, LiveSummary};
 use spector_netsim::packet::SocketPair;
@@ -61,6 +62,16 @@ fn configured_shards(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Batch-size override for the CI matrix: `LIVE_BATCH_EVENTS=1`
+/// replays the suite with every frame shipped as its own batch, the
+/// adversarial extreme of the batched ingress.
+fn configured_batch(default: usize) -> usize {
+    std::env::var("LIVE_BATCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn offline(knowledge: &Knowledge, runs: &[RawRun], port: u16) -> Vec<AppAnalysis> {
     runs.iter()
         .map(|raw| analyze_run(raw, knowledge, port))
@@ -78,6 +89,7 @@ fn stream(
         LiveConfig {
             shards,
             collector_port: port,
+            batch_events: configured_batch(64),
             ..Default::default()
         },
     );
@@ -111,6 +123,13 @@ fn assert_equivalent(live: &LiveSummary, analyses: &[AppAnalysis]) {
         offline.unjoined_reports(),
         "orphaned + evicted must equal offline reports_without_flow"
     );
+    // The degraded-mode ledgers: the shard-local classified decode must
+    // count exactly what the offline RunIntegrity accounting counts.
+    assert_eq!(live.frames_truncated, offline.frames_truncated);
+    assert_eq!(live.frames_malformed, offline.frames_malformed);
+    assert_eq!(live.frames_bad_checksum, offline.frames_bad_checksum);
+    assert_eq!(live.reports_truncated, offline.reports_truncated);
+    assert_eq!(live.reports_malformed, offline.reports_malformed);
 }
 
 #[test]
@@ -124,6 +143,73 @@ fn finished_campaign_streams_to_identical_volumes() {
     // finish() after a snapshot returns the same final state.
     let final_summary = engine.finish();
     assert_equivalent(&final_summary, &analyses);
+}
+
+/// The adversarial extreme of the batched ingress: every frame ships
+/// as its own single-item batch, at several widths. Equivalence is a
+/// property of routing + shard-local decode, not of batch geometry.
+#[test]
+fn tiny_batches_preserve_equivalence_at_any_width() {
+    let (knowledge, runs, port) = campaign(3, 74);
+    let analyses = offline(&knowledge, &runs, port);
+    for (shards, batch_events) in [(1usize, 1usize), (2, 1), (8, 3)] {
+        let engine = LiveEngine::start(
+            Arc::new(knowledge.clone()),
+            LiveConfig {
+                shards,
+                collector_port: port,
+                batch_events,
+                ..Default::default()
+            },
+        );
+        for (index, raw) in runs.iter().enumerate() {
+            engine.push_run(index as u32, &raw.capture);
+        }
+        let live = engine.finish();
+        assert_eq!(live.dropped_events, 0);
+        assert_equivalent(&live, &analyses);
+    }
+}
+
+/// Chaos-damaged captures stream to the same answer the offline
+/// pipeline computes from the same damaged bytes — including the
+/// frame/report error ledgers, at every shard width. This is the
+/// equivalence guarantee extended to the degraded-mode accounting:
+/// truncated frames and corrupted reports are *counted*, identically,
+/// wherever the decode runs.
+#[test]
+fn chaos_damaged_streams_stay_equivalent() {
+    let (knowledge, runs, port) = campaign(4, 75);
+    let plan = FaultPlan::new(0xBAD5EED, FaultProfile::heavy());
+    let damaged: Vec<RawRun> = runs
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut raw)| {
+            let capture = std::mem::take(&mut raw.capture);
+            let (capture, _) = perturb_capture(&plan, index, 0, capture, port);
+            raw.capture = capture;
+            raw
+        })
+        .collect();
+    let analyses = offline(&knowledge, &damaged, port);
+    let offline_view = LiveSummary::from_analyses(&analyses);
+    assert!(
+        offline_view.frames_truncated
+            + offline_view.reports_truncated
+            + offline_view.reports_malformed
+            > 0,
+        "heavy chaos at this scale must damage something on the wire"
+    );
+    let mut at_width: Vec<LiveSummary> = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let (live, engine) = stream(&knowledge, &damaged, port, shards);
+        engine.finish();
+        assert_equivalent(&live, &analyses);
+        at_width.push(live);
+    }
+    // And the widths agree with each other field for field.
+    assert_eq!(at_width[0], at_width[1]);
+    assert_eq!(at_width[0], at_width[2]);
 }
 
 #[test]

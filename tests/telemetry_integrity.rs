@@ -9,13 +9,17 @@
 //! Any drift between them means an instrumentation point is missing,
 //! double-counted, or misplaced.
 
+use std::sync::Arc;
+
+use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::RunIntegrity;
 use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
 use spector_dispatch::{
     run_campaign, CampaignConfig, CampaignOutcome, DispatchConfig, RetryPolicy,
 };
-use spector_faults::{FaultPlan, FaultProfile};
+use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
+use spector_live::{LiveConfig, LiveEngine};
 use spector_telemetry::{MetricsSnapshot, Telemetry};
 
 fn run_with_profile(
@@ -158,6 +162,121 @@ fn assert_agreement(outcome: &CampaignOutcome, snapshot: &MetricsSnapshot, label
         "{label}: unattributed flows"
     );
     assert_eq!(orphans, orphaned, "{label}: flow-less reports");
+}
+
+/// Scripted experiment runs (the live engine's input shape), with the
+/// wire damage of `profile` applied per run.
+fn perturbed_runs(profile: FaultProfile, seed: u64, apps: usize) -> (Knowledge, Vec<RawRun>, u16) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale: 0.006,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let resolver = resolver_for(&corpus.domains);
+    let mut config = ExperimentConfig::default();
+    config.monkey.events = 100;
+    let port = config.supervisor.collector_port;
+    let plan = FaultPlan::new(seed ^ 0x11ce, profile);
+    let runs: Vec<RawRun> = corpus
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(index, app)| {
+            let mut experiment = config.clone();
+            experiment.monkey.seed ^= (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let system: Vec<_> = app
+                .system_ops
+                .iter()
+                .map(|s| (s.op.clone(), s.dispatcher))
+                .collect();
+            let mut raw = run_app(&app.apk, &resolver, &system, &experiment).unwrap();
+            let capture = std::mem::take(&mut raw.capture);
+            let (capture, _) = perturb_capture(&plan, index, 0, capture, port);
+            raw.capture = capture;
+            raw
+        })
+        .collect();
+    (Knowledge::from_corpus(&corpus), runs, port)
+}
+
+/// The live ingress balance sheet: every raw frame accepted at the
+/// producer is accounted for by exactly one shard-side class counter —
+/// decoded TCP/DNS/report, or one of the five decode-error classes.
+/// The identity must hold *merged across shards*, at any width and
+/// batch size, under any chaos profile.
+fn assert_live_ingress_balances(profile: FaultProfile, seed: u64, label: &str) {
+    let (knowledge, runs, port) = perturbed_runs(profile, seed, 4);
+    let knowledge = Arc::new(knowledge);
+    let total_frames: u64 = runs.iter().map(|r| r.capture.len() as u64).sum();
+    let mut class_counts: Vec<Vec<u64>> = Vec::new();
+    for (shards, batch_events) in [(1usize, 64usize), (2, 1), (4, 7)] {
+        let engine = LiveEngine::start(
+            Arc::clone(&knowledge),
+            LiveConfig {
+                shards,
+                collector_port: port,
+                batch_events,
+                telemetry: Telemetry::enabled(),
+                ..Default::default()
+            },
+        );
+        for (index, raw) in runs.iter().enumerate() {
+            engine.push_run(index as u32, &raw.capture);
+        }
+        let (summary, metrics) = engine.finish_with_metrics();
+        let counter = |name: &str| metrics.counter(name);
+        let events = counter("spector_live_events_total");
+        assert_eq!(
+            events, total_frames,
+            "{label}: every raw frame counts once at ingress ({shards} shards)"
+        );
+        let classes = [
+            counter("spector_live_tcp_events_total"),
+            counter("spector_live_dns_events_total"),
+            counter("spector_live_report_events_total"),
+            counter("spector_live_ingress_frames_truncated_total"),
+            counter("spector_live_ingress_frames_malformed_total"),
+            counter("spector_live_ingress_frames_bad_checksum_total"),
+            counter("spector_live_ingress_reports_truncated_total"),
+            counter("spector_live_ingress_reports_malformed_total"),
+        ];
+        assert_eq!(
+            events,
+            classes.iter().sum::<u64>(),
+            "{label}: merged ingress counters must balance exactly ({shards} shards)"
+        );
+        // The telemetry error counters are the summary ledger, which in
+        // turn equals the offline RunIntegrity sums (live_equivalence).
+        assert_eq!(classes[3], summary.frames_truncated as u64, "{label}");
+        assert_eq!(classes[4], summary.frames_malformed as u64, "{label}");
+        assert_eq!(classes[5], summary.frames_bad_checksum as u64, "{label}");
+        assert_eq!(classes[6], summary.reports_truncated as u64, "{label}");
+        assert_eq!(classes[7], summary.reports_malformed as u64, "{label}");
+        assert_eq!(counter("spector_live_dropped_events_total"), 0, "{label}");
+        class_counts.push(classes.to_vec());
+    }
+    // Width and batch geometry never move a frame between classes.
+    assert_eq!(class_counts[0], class_counts[1], "{label}: 1 vs 2 shards");
+    assert_eq!(class_counts[0], class_counts[2], "{label}: 1 vs 4 shards");
+}
+
+#[test]
+fn live_ingress_balances_without_chaos() {
+    assert_live_ingress_balances(FaultProfile::none(), 601, "live/none");
+}
+
+#[test]
+fn live_ingress_balances_under_light_chaos() {
+    assert_live_ingress_balances(FaultProfile::light(), 602, "live/light");
+}
+
+#[test]
+fn live_ingress_balances_under_heavy_chaos() {
+    assert_live_ingress_balances(FaultProfile::heavy(), 603, "live/heavy");
 }
 
 #[test]
