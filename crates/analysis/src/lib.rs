@@ -22,6 +22,7 @@
 //! and EXPERIMENTS.md use; [`stats`] holds the CDF/quantile machinery.
 
 pub mod cost;
+pub mod detect;
 pub mod export;
 pub mod fig10;
 pub mod fig2;
@@ -178,6 +179,7 @@ pub(crate) mod testutil {
             dns_packets: 2,
             report_packets: 1,
             integrity: Default::default(),
+            detect: Default::default(),
         }
     }
 }

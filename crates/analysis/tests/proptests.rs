@@ -76,6 +76,7 @@ fn analysis() -> impl Strategy<Value = AppAnalysis> {
                 dns_packets: 1,
                 report_packets: 1,
                 integrity: Default::default(),
+                detect: Default::default(),
             },
         )
 }

@@ -1,0 +1,99 @@
+//! `perf/detect` — cascade throughput per detection tier.
+//!
+//! Each leg replays the offline pipeline over the 400-app throughput
+//! store with the corpus obfuscated at a different tier, so every
+//! Library-origin verdict lookup resolves in exactly one layer of the
+//! cascade:
+//!
+//! * `trie_only_apps`       — unobfuscated: every lookup is a trie
+//!   longest-prefix hit (the legacy fast path; within noise of
+//!   `perf/throughput analyze_run_apps`, which shares the fixture).
+//! * `exact_fp_apps`        — Rename tier: the trie misses and the
+//!   exact subtree-fingerprint index answers.
+//! * `structural_apps`      — Mangle tier: both prefix layers miss and
+//!   the structural profile index answers.
+//!
+//! Before timing, each leg asserts (via `DetectStats`) that the fixture
+//! really routes lookups through the advertised tier — a mislabeled
+//! bench is worse than no bench.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use libspector::experiment::RawRun;
+use libspector::knowledge::Knowledge;
+use libspector::pipeline::analyze_run;
+use spector_bench::{obfuscated_throughput_fixture, throughput_fixture};
+use spector_corpus::ObfuscationTier;
+
+/// Sums the per-app detect stats over one full pass of the store.
+fn tier_counts(knowledge: &Knowledge, raws: &[RawRun], port: u16) -> (u64, u64, u64, u64) {
+    let mut trie = 0;
+    let mut exact = 0;
+    let mut structural = 0;
+    let mut miss = 0;
+    for raw in raws {
+        let d = analyze_run(raw, knowledge, port).detect;
+        trie += d.trie_hits;
+        exact += d.exact_fp_hits;
+        structural += d.structural_hits;
+        miss += d.misses;
+    }
+    (trie, exact, structural, miss)
+}
+
+fn bench_leg(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    knowledge: &Knowledge,
+    raws: &[RawRun],
+    port: u16,
+) {
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            for raw in raws {
+                std::hint::black_box(analyze_run(raw, knowledge, port));
+            }
+        })
+    });
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/detect");
+    group.sample_size(10);
+
+    let (knowledge, raws, port) = throughput_fixture();
+    let (trie, exact, structural, _) = tier_counts(knowledge, raws, *port);
+    assert!(trie > 0, "clean fixture must exercise the trie tier");
+    assert_eq!(
+        (exact, structural),
+        (0, 0),
+        "clean fixture must never fall through the trie tier"
+    );
+    bench_leg(&mut group, "trie_only_apps", knowledge, raws, *port);
+
+    let (knowledge, raws, port) = obfuscated_throughput_fixture(ObfuscationTier::Rename);
+    let (_, exact, structural, _) = tier_counts(&knowledge, &raws, port);
+    assert!(exact > 0, "renamed fixture must exercise the exact-fp tier");
+    assert_eq!(
+        structural, 0,
+        "renamed fixture must resolve before the structural tier"
+    );
+    bench_leg(&mut group, "exact_fp_apps", &knowledge, &raws, port);
+
+    let (knowledge, raws, port) = obfuscated_throughput_fixture(ObfuscationTier::Mangle);
+    let (_, exact, structural, _) = tier_counts(&knowledge, &raws, port);
+    assert!(
+        structural > 0,
+        "mangled fixture must exercise the structural tier"
+    );
+    assert_eq!(
+        exact, 0,
+        "identifier mangling must defeat the exact-fp tier"
+    );
+    bench_leg(&mut group, "structural_apps", &knowledge, &raws, port);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::AppAnalysis;
-use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_corpus::{obfuscate_corpus, AppGenConfig, Corpus, CorpusConfig, ObfuscationTier};
 use spector_dispatch::{run_corpus, DispatchConfig};
 
 /// Number of apps in the benchmark campaign.
@@ -63,32 +63,47 @@ pub const THROUGHPUT_APPS: usize = 400;
 /// pipeline over all of them.
 pub fn throughput_fixture() -> &'static (Knowledge, Vec<RawRun>, u16) {
     static FIXTURE: OnceLock<(Knowledge, Vec<RawRun>, u16)> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let corpus = Corpus::generate(&CorpusConfig {
-            apps: THROUGHPUT_APPS,
-            seed: 7_778,
-            appgen: AppGenConfig {
-                method_scale: 0.004,
-                ..Default::default()
-            },
+    FIXTURE.get_or_init(|| record_throughput_runs(ObfuscationTier::None))
+}
+
+/// [`throughput_fixture`] with the 400-app corpus obfuscated at `tier`
+/// before knowledge extraction — the fixture for the `perf/detect`
+/// cascade benches. The knowledge bases stay canonical, so verdict
+/// lookups exercise exactly one fallback tier per obfuscation level
+/// (Rename → exact fingerprint, Mangle/Junk → structural). Not cached:
+/// each bench process builds the one tier it measures.
+pub fn obfuscated_throughput_fixture(tier: ObfuscationTier) -> (Knowledge, Vec<RawRun>, u16) {
+    record_throughput_runs(tier)
+}
+
+fn record_throughput_runs(tier: ObfuscationTier) -> (Knowledge, Vec<RawRun>, u16) {
+    let mut corpus = Corpus::generate(&CorpusConfig {
+        apps: THROUGHPUT_APPS,
+        seed: 7_778,
+        appgen: AppGenConfig {
+            method_scale: 0.004,
             ..Default::default()
-        });
-        let knowledge = Knowledge::from_corpus(&corpus);
-        let resolver = resolver_for(&corpus.domains);
-        let mut config = ExperimentConfig::default();
-        config.monkey.events = 60;
-        let raws = corpus
-            .apps
-            .iter()
-            .map(|app| {
-                let system: Vec<_> = app
-                    .system_ops
-                    .iter()
-                    .map(|s| (s.op.clone(), s.dispatcher))
-                    .collect();
-                run_app(&app.apk, &resolver, &system, &config).expect("bench app must run")
-            })
-            .collect();
-        (knowledge, raws, config.supervisor.collector_port)
-    })
+        },
+        ..Default::default()
+    });
+    if tier != ObfuscationTier::None {
+        obfuscate_corpus(&mut corpus, tier, 7_778 ^ 0x0bf5);
+    }
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let resolver = resolver_for(&corpus.domains);
+    let mut config = ExperimentConfig::default();
+    config.monkey.events = 60;
+    let raws = corpus
+        .apps
+        .iter()
+        .map(|app| {
+            let system: Vec<_> = app
+                .system_ops
+                .iter()
+                .map(|s| (s.op.clone(), s.dispatcher))
+                .collect();
+            run_app(&app.apk, &resolver, &system, &config).expect("bench app must run")
+        })
+        .collect();
+    (knowledge, raws, config.supervisor.collector_port)
 }

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "policy" => cmd_policy(&args[1..]),
         "export" => cmd_export(&args[1..]),
         "shapes" => cmd_shapes(&args[1..]),
+        "detect-quality" => cmd_detect_quality(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -73,6 +74,8 @@ USAGE:
   libspector policy   --campaign FILE [--min-mb F]  (blacklist suggestion + what-if)
   libspector export   --campaign FILE --out DIR     (CSV per table/figure)
   libspector shapes   --campaign FILE                (check paper shapes)
+  libspector detect-quality [--apps N] [--seed S] [--method-scale F]
+                    [--obf-seed S]   (cascade precision/recall per obfuscation level)
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -421,6 +424,24 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
         written.len(),
         written.join(", ")
     );
+    Ok(())
+}
+
+fn cmd_detect_quality(args: &[String]) -> Result<(), String> {
+    use spector_analysis::detect::{evaluate, render, DetectQualityConfig};
+
+    let defaults = DetectQualityConfig::default();
+    let config = DetectQualityConfig {
+        apps: parse_flag(args, "--apps", defaults.apps)?,
+        seed: parse_flag(args, "--seed", defaults.seed)?,
+        method_scale: parse_flag(args, "--method-scale", defaults.method_scale)?,
+        obfuscation_seed: parse_flag(args, "--obf-seed", defaults.obfuscation_seed)?,
+    };
+    eprintln!(
+        "grading detection cascade: {} apps per obfuscation level, seed {}",
+        config.apps, config.seed
+    );
+    print!("{}", render(&evaluate(&config)));
     Ok(())
 }
 

@@ -265,6 +265,7 @@ mod tests {
             dns_packets: 0,
             report_packets: 0,
             integrity: Default::default(),
+            detect: Default::default(),
         }
     }
 

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use parking_lot::RwLock;
-use spector_libradar::{AggregatedLibraries, LibCategory, LibraryLists};
+use spector_libradar::{AggregatedLibraries, DetectTier, LibCategory, LibraryLists, PrefixAliases};
 use spector_vtcat::{DomainCategory, Tokenizer};
 
 use crate::attribution::BuiltinFilter;
@@ -43,9 +43,17 @@ pub struct Knowledge {
     pub tokenizer: Tokenizer,
     /// Compiled footnote 2 filter.
     pub builtin: BuiltinFilter,
-    /// Concurrent per-campaign cache of origin-library verdicts, shared
-    /// by all analysis workers.
-    library_verdicts: RwLock<HashMap<String, LibraryVerdict>>,
+    /// Renamed in-app prefixes bridged to canonical library packages by
+    /// the exact `LibraryDb` fingerprint during the corpus scan. Empty
+    /// on unobfuscated corpora (identity aliases are never recorded).
+    pub exact_aliases: PrefixAliases,
+    /// Prefixes only the structural-profile tier could bridge (mangled
+    /// copies the exact fingerprint no longer recognizes).
+    pub structural_aliases: PrefixAliases,
+    /// Concurrent per-campaign cache of origin-library verdicts (with
+    /// the cascade tier that produced each), shared by all analysis
+    /// workers.
+    library_verdicts: RwLock<HashMap<String, (LibraryVerdict, DetectTier)>>,
 }
 
 impl Clone for Knowledge {
@@ -56,6 +64,8 @@ impl Clone for Knowledge {
             domain_categories: self.domain_categories.clone(),
             tokenizer: self.tokenizer.clone(),
             builtin: self.builtin.clone(),
+            exact_aliases: self.exact_aliases.clone(),
+            structural_aliases: self.structural_aliases.clone(),
             library_verdicts: RwLock::new(self.library_verdicts.read().clone()),
         }
     }
@@ -94,6 +104,8 @@ impl Knowledge {
             domain_categories,
             tokenizer: Tokenizer::new(),
             builtin: BuiltinFilter::new(),
+            exact_aliases: PrefixAliases::new(),
+            structural_aliases: PrefixAliases::new(),
             library_verdicts: RwLock::new(HashMap::new()),
         }
     }
@@ -102,12 +114,27 @@ impl Knowledge {
     /// LibRadar-style detector on every apk, merge the results, and
     /// classify every domain in the universe from its vendor labels
     /// directly (no intermediate per-domain label clone).
+    ///
+    /// Both detection knowledge bases run per apk. The exact fingerprint
+    /// recognizes renamed library copies; the structural index also
+    /// recognizes mangled ones. Every detection records the *canonical*
+    /// name into the aggregate (so the trie and the Listing 2 vote see
+    /// canonical packages even when no app ships them verbatim), and
+    /// every non-identity `in_app_prefix` becomes an alias the verdict
+    /// cascade can resolve obfuscated origins through.
     pub fn from_corpus(corpus: &spector_corpus::Corpus) -> Self {
         let mut aggregated = AggregatedLibraries::new();
+        let mut exact_aliases = PrefixAliases::new();
+        let mut structural_aliases = PrefixAliases::new();
         for app in &corpus.apps {
             if let Ok(dex) = app.apk.dex() {
                 for detected in corpus.library_db.detect(&dex) {
                     aggregated.record(&detected.name, detected.category);
+                    exact_aliases.insert(&detected.in_app_prefix, &detected.name);
+                }
+                for matched in corpus.structural_index.detect(&dex) {
+                    aggregated.record(&matched.name, matched.category);
+                    structural_aliases.insert(&matched.in_app_prefix, &matched.name);
                 }
             }
         }
@@ -120,7 +147,11 @@ impl Knowledge {
                 tokenizer.classify(&domain.vendor_labels),
             );
         }
-        Knowledge::with_domain_categories(aggregated, corpus.lists.clone(), domain_categories)
+        let mut knowledge =
+            Knowledge::with_domain_categories(aggregated, corpus.lists.clone(), domain_categories);
+        knowledge.exact_aliases = exact_aliases;
+        knowledge.structural_aliases = structural_aliases;
+        knowledge
     }
 
     /// Generic category of a domain, from the precomputed table; unseen
@@ -142,21 +173,98 @@ impl Knowledge {
 
     /// Memoized `(category, is_ant, is_common)` verdict for an
     /// origin-library. The first query per distinct origin pays the
-    /// trie walk plus two list scans; every repeat across the whole
-    /// campaign is one concurrent hash lookup.
+    /// cascade walk; every repeat across the whole campaign is one
+    /// concurrent hash lookup.
     pub fn library_verdict(&self, origin_library: &str) -> LibraryVerdict {
-        if let Some(verdict) = self.library_verdicts.read().get(origin_library) {
-            return *verdict;
+        self.library_verdict_tiered(origin_library).0
+    }
+
+    /// The three-tier detection cascade, memoized: the verdict plus the
+    /// tier that produced it.
+    ///
+    /// 1. **Trie** — longest-prefix / Listing 2 vote on the raw origin
+    ///    package. Any non-`Unknown` category is a hit: this is the
+    ///    paper's own path and stays byte-identical when no aliases
+    ///    exist (every unobfuscated corpus).
+    /// 2. **Exact fingerprint** — the origin sits under a renamed prefix
+    ///    the `LibraryDb` scan bridged; the verdict is recomputed on the
+    ///    canonical rewrite.
+    /// 3. **Structural** — same, for prefixes only the structural
+    ///    profile index could bridge (mangled copies).
+    /// 4. **Miss** — the plain tier-1 verdict (typically first-party:
+    ///    `Unknown`, off both lists).
+    pub fn library_verdict_tiered(&self, origin_library: &str) -> (LibraryVerdict, DetectTier) {
+        if let Some(entry) = self.library_verdicts.read().get(origin_library) {
+            return *entry;
         }
-        let verdict = (
+        let base = (
             self.aggregated.predict_category(origin_library),
             self.lists.is_ant(origin_library),
             self.lists.is_common(origin_library),
         );
+        let entry = if base.0 != LibCategory::Unknown {
+            (base, DetectTier::Trie)
+        } else if let Some(canonical) = self.exact_aliases.resolve(origin_library) {
+            (
+                self.canonical_verdict(&canonical),
+                DetectTier::ExactFingerprint,
+            )
+        } else if let Some(canonical) = self.structural_aliases.resolve(origin_library) {
+            (self.canonical_verdict(&canonical), DetectTier::Structural)
+        } else {
+            (base, DetectTier::Miss)
+        };
         self.library_verdicts
             .write()
-            .insert(origin_library.to_owned(), verdict);
-        verdict
+            .insert(origin_library.to_owned(), entry);
+        entry
+    }
+
+    /// Verdict for an alias-rewritten canonical origin (not memoized:
+    /// the obfuscated origin's cache entry covers the repeat traffic).
+    fn canonical_verdict(&self, canonical: &str) -> LibraryVerdict {
+        (
+            self.aggregated.predict_category(canonical),
+            self.lists.is_ant(canonical),
+            self.lists.is_common(canonical),
+        )
+    }
+
+    /// Linear-scan twin of [`Knowledge::library_verdict_tiered`] for the
+    /// oracle pipeline: same cascade, oracle prefix prediction and alias
+    /// resolution, no memoization.
+    pub fn library_verdict_tiered_oracle(
+        &self,
+        origin_library: &str,
+    ) -> (LibraryVerdict, DetectTier) {
+        let base = (
+            self.aggregated.predict_category_oracle(origin_library),
+            self.lists.is_ant(origin_library),
+            self.lists.is_common(origin_library),
+        );
+        if base.0 != LibCategory::Unknown {
+            (base, DetectTier::Trie)
+        } else if let Some(canonical) = self.exact_aliases.resolve_oracle(origin_library) {
+            (
+                (
+                    self.aggregated.predict_category_oracle(&canonical),
+                    self.lists.is_ant(&canonical),
+                    self.lists.is_common(&canonical),
+                ),
+                DetectTier::ExactFingerprint,
+            )
+        } else if let Some(canonical) = self.structural_aliases.resolve_oracle(origin_library) {
+            (
+                (
+                    self.aggregated.predict_category_oracle(&canonical),
+                    self.lists.is_ant(&canonical),
+                    self.lists.is_common(&canonical),
+                ),
+                DetectTier::Structural,
+            )
+        } else {
+            (base, DetectTier::Miss)
+        }
     }
 
     /// Number of distinct origin-libraries currently memoized.

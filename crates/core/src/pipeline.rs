@@ -17,13 +17,13 @@
 //! 5. categorize destination domains by tokenizing their vendor labels;
 //! 6. compute method coverage.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 use spector_hooks::supervisor::decode_reports_classified;
 use spector_hooks::{ReportErrorKind, SocketReport};
-use spector_libradar::LibCategory;
+use spector_libradar::{DetectTier, LibCategory};
 use spector_netsim::flows::{DnsMap, FlowTable};
 use spector_netsim::CaptureIndex;
 use spector_telemetry::{Counter, Histogram, StageRecorder, Telemetry, SIZE_BOUNDS_BYTES};
@@ -127,6 +127,64 @@ impl RunIntegrity {
     }
 }
 
+/// Which detection tier attributed each origin-library of a run, plus
+/// the tier totals (§III-C cascade: trie prefix → exact fingerprint →
+/// structural profile). One lookup is counted per attributed
+/// library-origin flow; builtin flows never consult the cascade.
+///
+/// Invariant (asserted by the telemetry-integrity wall):
+/// `lookups == trie_hits + exact_fp_hits + structural_hits + misses`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DetectStats {
+    /// Library-origin verdict lookups performed by the join.
+    pub lookups: u64,
+    /// Lookups answered by the longest-prefix trie tier.
+    pub trie_hits: u64,
+    /// Lookups answered by the exact subtree-fingerprint tier.
+    pub exact_fp_hits: u64,
+    /// Lookups answered by the structural-profile tier.
+    pub structural_hits: u64,
+    /// Lookups no tier could attribute.
+    pub misses: u64,
+    /// Tier that attributed each distinct origin-library package.
+    pub per_library_tier: BTreeMap<String, DetectTier>,
+}
+
+impl DetectStats {
+    /// Records one verdict lookup resolved at `tier` for `origin`.
+    pub fn record(&mut self, origin: &str, tier: DetectTier) {
+        self.lookups += 1;
+        match tier {
+            DetectTier::Trie => self.trie_hits += 1,
+            DetectTier::ExactFingerprint => self.exact_fp_hits += 1,
+            DetectTier::Structural => self.structural_hits += 1,
+            DetectTier::Miss => self.misses += 1,
+        }
+        self.per_library_tier
+            .entry(origin.to_owned())
+            .or_insert(tier);
+    }
+
+    /// Sum of the per-tier counters (must equal `lookups`).
+    pub fn tier_sum(&self) -> u64 {
+        self.trie_hits + self.exact_fp_hits + self.structural_hits + self.misses
+    }
+
+    /// Field-wise sum, for campaign-level aggregation; per-library
+    /// tiers keep the first tier seen (tiers are deterministic per
+    /// knowledge base, so collisions agree).
+    pub fn merge(&mut self, other: &DetectStats) {
+        self.lookups += other.lookups;
+        self.trie_hits += other.trie_hits;
+        self.exact_fp_hits += other.exact_fp_hits;
+        self.structural_hits += other.structural_hits;
+        self.misses += other.misses;
+        for (origin, tier) in &other.per_library_tier {
+            self.per_library_tier.entry(origin.clone()).or_insert(*tier);
+        }
+    }
+}
+
 /// Per-app analysis output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppAnalysis {
@@ -151,6 +209,10 @@ pub struct AppAnalysis {
     /// Degraded-mode accounting: what this run's capture lost.
     #[serde(default)]
     pub integrity: RunIntegrity,
+    /// Detection-cascade accounting: which tier attributed each
+    /// origin-library.
+    #[serde(default)]
+    pub detect: DetectStats,
 }
 
 /// Display label for platform-created sockets ([`OriginKind::Builtin`])
@@ -246,6 +308,20 @@ pub struct PipelineTelemetry {
     pub flows_unattributed: Counter,
     /// `spector_pipeline_flow_bytes`: wire bytes per attributed flow.
     pub flow_bytes: Histogram,
+    /// `spector_detect_lookups_total`: library-origin verdict lookups
+    /// entering the detection cascade.
+    pub detect_lookups: Counter,
+    /// `spector_detect_trie_hit_total`: lookups answered by the trie
+    /// longest-prefix tier.
+    pub detect_trie_hit: Counter,
+    /// `spector_detect_exact_fp_hit_total`: lookups answered by the
+    /// exact subtree-fingerprint tier.
+    pub detect_exact_fp_hit: Counter,
+    /// `spector_detect_structural_hit_total`: lookups answered by the
+    /// structural-profile tier.
+    pub detect_structural_hit: Counter,
+    /// `spector_detect_miss_total`: lookups no tier attributed.
+    pub detect_miss: Counter,
     integrity: [Counter; 6],
 }
 
@@ -268,6 +344,11 @@ impl PipelineTelemetry {
             reports_without_flow: telemetry.counter("spector_pipeline_reports_without_flow_total"),
             flows_unattributed: telemetry.counter("spector_pipeline_flows_unattributed_total"),
             flow_bytes: telemetry.histogram("spector_pipeline_flow_bytes", &SIZE_BOUNDS_BYTES),
+            detect_lookups: telemetry.counter("spector_detect_lookups_total"),
+            detect_trie_hit: telemetry.counter("spector_detect_trie_hit_total"),
+            detect_exact_fp_hit: telemetry.counter("spector_detect_exact_fp_hit_total"),
+            detect_structural_hit: telemetry.counter("spector_detect_structural_hit_total"),
+            detect_miss: telemetry.counter("spector_detect_miss_total"),
             integrity: [
                 integrity_counter("frames_truncated"),
                 integrity_counter("frames_malformed"),
@@ -285,6 +366,17 @@ impl PipelineTelemetry {
     pub fn disabled_ref() -> &'static PipelineTelemetry {
         static DISABLED: OnceLock<PipelineTelemetry> = OnceLock::new();
         DISABLED.get_or_init(|| PipelineTelemetry::new(&Telemetry::disabled()))
+    }
+
+    /// Mirrors one cascade lookup into the `spector_detect_*` counters.
+    pub fn record_detect(&self, tier: DetectTier) {
+        self.detect_lookups.inc();
+        match tier {
+            DetectTier::Trie => self.detect_trie_hit.inc(),
+            DetectTier::ExactFingerprint => self.detect_exact_fp_hit.inc(),
+            DetectTier::Structural => self.detect_structural_hit.inc(),
+            DetectTier::Miss => self.detect_miss.inc(),
+        }
     }
 
     /// Mirrors one run's [`RunIntegrity`] into the
@@ -359,7 +451,7 @@ pub fn analyze_run_instrumented(
         pt,
         |origin| {
             pt.library_verdict
-                .time(|| knowledge.library_verdict(origin))
+                .time(|| knowledge.library_verdict_tiered(origin))
         },
     )
 }
@@ -414,22 +506,16 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
         &reports,
         integrity,
         PipelineTelemetry::disabled_ref(),
-        |origin| {
-            (
-                knowledge.aggregated.predict_category_oracle(origin),
-                knowledge.lists.is_ant(origin),
-                knowledge.lists.is_common(origin),
-            )
-        },
+        |origin| knowledge.library_verdict_tiered_oracle(origin),
     )
 }
 
 /// The report↔flow join shared by [`analyze_run`] and
 /// [`analyze_run_oracle`] — steps 3–6 of the pipeline. `verdict`
-/// resolves an origin-library to `(category, is_ant, is_common)`; the
-/// fast path memoizes, the oracle recomputes. Balance counters land in
-/// `pt` at the branch they describe, so the join-balance invariant is
-/// structural, not arithmetic.
+/// resolves an origin-library to `((category, is_ant, is_common),
+/// tier)`; the fast path memoizes, the oracle recomputes. Balance
+/// counters land in `pt` at the branch they describe, so the
+/// join-balance invariant is structural, not arithmetic.
 #[allow(clippy::too_many_arguments)]
 fn join_reports<F>(
     raw: &RawRun,
@@ -442,7 +528,7 @@ fn join_reports<F>(
     mut verdict: F,
 ) -> AppAnalysis
 where
-    F: FnMut(&str) -> LibraryVerdict,
+    F: FnMut(&str) -> (LibraryVerdict, DetectTier),
 {
     // Join each report with its stream epoch. Several reports can hit
     // the same epoch when a 4-tuple carries more than one hooked
@@ -452,6 +538,7 @@ where
     let mut flows = Vec::with_capacity(reports.len());
     let mut matched: HashSet<usize> = HashSet::new();
     let mut reports_without_flow = 0usize;
+    let mut detect = DetectStats::default();
     pt.reports_total.add(reports.len() as u64);
     pt.flow_join.time(|| {
         for report in reports {
@@ -470,7 +557,12 @@ where
                 .attribute
                 .time(|| attribute(&report.frames, &knowledge.builtin));
             let (lib_category, is_ant, is_common) = match &attribution.origin {
-                OriginKind::Library { origin_library, .. } => verdict(origin_library),
+                OriginKind::Library { origin_library, .. } => {
+                    let (v, tier) = verdict(origin_library);
+                    detect.record(origin_library, tier);
+                    pt.record_detect(tier);
+                    v
+                }
                 OriginKind::Builtin => (LibCategory::Unknown, false, false),
             };
             let (domain, domain_category) = pt.domain_categorize.time(|| {
@@ -520,6 +612,7 @@ where
         dns_packets: dns_map.dns_packet_count,
         report_packets,
         integrity,
+        detect,
     }
 }
 

@@ -33,6 +33,7 @@ pub mod categories;
 pub mod domains;
 pub mod fig9;
 pub mod libraries;
+pub mod obfuscate;
 pub mod store;
 
 use rand::rngs::SmallRng;
@@ -40,7 +41,8 @@ use rand::{Rng, SeedableRng};
 
 pub use appgen::{AppGenConfig, Archetype, FlowTruth, GeneratedApp, OpStyle, SystemOp};
 pub use domains::DomainUniverse;
-use spector_libradar::{LibraryDb, LibraryLists};
+pub use obfuscate::{obfuscate_app, obfuscate_corpus, LibraryMapping, ObfuscationTier};
+use spector_libradar::{LibraryDb, LibraryLists, StructuralIndex};
 
 /// Corpus generation settings.
 #[derive(Debug, Clone)]
@@ -77,6 +79,9 @@ pub struct Corpus {
     pub domains: DomainUniverse,
     /// LibRadar-style fingerprint database over the library universe.
     pub library_db: LibraryDb,
+    /// Structural-profile index over the same universe (the
+    /// obfuscation-resistant detection tier's knowledge base).
+    pub structural_index: StructuralIndex,
     /// Li et al.'s AnT / common-library lists.
     pub lists: LibraryLists,
 }
@@ -124,6 +129,7 @@ impl Corpus {
             apps,
             domains,
             library_db: libraries::build_library_db(),
+            structural_index: libraries::build_structural_index(),
             lists: libraries::library_lists(),
         }
     }

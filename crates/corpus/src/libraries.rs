@@ -26,7 +26,7 @@ use spector_dex::model::{
     CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef, NetworkOp,
 };
 use spector_dex::sig::MethodSig;
-use spector_libradar::{LibCategory, LibraryDb, LibraryLists};
+use spector_libradar::{LibCategory, LibraryDb, LibraryLists, StructuralIndex};
 
 /// One library in the universe.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -770,13 +770,27 @@ pub fn instantiate(
     // form short chains that the runtime never reaches.
     let filler_count = 12 + (rng.gen_range(0..32)) as usize;
     let subpackages = ["", ".internal", ".model", ".util"];
+    // Descriptor shapes drawn from the template-seeded rng: libraries
+    // genuinely differ in their signature-shape distributions, and
+    // descriptors survive identifier mangling, so this is what keeps
+    // structurally similar templates apart in the profile space.
+    let filler_descriptors = [
+        "()V",
+        "(I)V",
+        "(J)V",
+        "(Z)Z",
+        "(II)I",
+        "(Ljava/lang/String;)I",
+        "([B)V",
+    ];
     for i in 0..filler_count {
         let sub = subpackages[i % subpackages.len()];
+        let descriptor = filler_descriptors[rng.gen_range(0..filler_descriptors.len())];
         let sig = MethodSig::new(
             &format!("{pkg}{sub}"),
             &format!("C{}", i / 3),
             &format!("m{i}"),
-            "()V",
+            descriptor,
         );
         let mut instructions = vec![Instruction::Const(i as u32)];
         // Chain to the next filler within the same template, sometimes.
@@ -823,6 +837,27 @@ pub fn build_library_db() -> LibraryDb {
     db
 }
 
+/// Builds the structural-profile index over the whole universe — the
+/// obfuscation-resistant twin of [`build_library_db`]. Operands do not
+/// affect structural profiles either.
+pub fn build_structural_index() -> StructuralIndex {
+    let mut index = StructuralIndex::new();
+    let placeholder = LibraryOps {
+        bg0: placeholder_op(),
+        bg1: placeholder_op(),
+        refresh: placeholder_op(),
+    };
+    for template in LIBRARY_TEMPLATES {
+        let instance = instantiate(template, 0, &placeholder);
+        let dex = DexFile {
+            methods: instance.methods,
+            classes: vec![],
+        };
+        index.add_library(template.package, template.category, &dex);
+    }
+    index
+}
+
 fn placeholder_op() -> NetworkOp {
     NetworkOp {
         domain: "placeholder.invalid".into(),
@@ -860,6 +895,34 @@ mod tests {
                 !templates_of(cat).is_empty(),
                 "category {cat} has no templates"
             );
+        }
+    }
+
+    #[test]
+    fn template_structural_profiles_are_pairwise_distinct() {
+        use spector_dex::subtree_profile;
+
+        let placeholder = LibraryOps {
+            bg0: placeholder_op(),
+            bg1: placeholder_op(),
+            refresh: placeholder_op(),
+        };
+        let mut profiles = Vec::new();
+        for template in LIBRARY_TEMPLATES {
+            let instance = instantiate(template, 0, &placeholder);
+            let dex = DexFile {
+                methods: instance.methods,
+                classes: vec![],
+            };
+            profiles.push((template.package, subtree_profile(&dex, template.package)));
+        }
+        for (i, (name_a, a)) in profiles.iter().enumerate() {
+            for (name_b, b) in &profiles[i + 1..] {
+                assert_ne!(
+                    a, b,
+                    "{name_a} and {name_b} are structurally indistinguishable"
+                );
+            }
         }
     }
 

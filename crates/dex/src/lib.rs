@@ -39,12 +39,14 @@
 //! ```
 
 pub mod apk;
+pub mod features;
 pub mod format;
 pub mod model;
 pub mod sha256;
 pub mod sig;
 
 pub use apk::{Apk, ApkEntry, ApkError, Manifest};
+pub use features::{shape_of, subtree_profile, StructuralProfile};
 pub use format::{parse_dex, write_dex, DexParseError};
 pub use model::{
     ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,

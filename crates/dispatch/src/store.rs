@@ -196,6 +196,7 @@ mod tests {
                 dns_packets: 4,
                 report_packets: 2,
                 integrity: Default::default(),
+                detect: Default::default(),
             }],
             failures: vec![],
         }

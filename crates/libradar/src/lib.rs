@@ -33,10 +33,15 @@ pub mod category;
 pub mod detect;
 pub mod lists;
 pub mod predict;
+pub mod structural;
 pub mod trie;
 
 pub use category::LibCategory;
 pub use detect::{DetectedLibrary, LibraryDb, LibraryFingerprint};
 pub use lists::LibraryLists;
 pub use predict::AggregatedLibraries;
+pub use structural::{
+    DetectTier, PrefixAliases, StructuralIndex, StructuralMatch, MATCH_THRESHOLD,
+    MIN_MATCH_FEATURES,
+};
 pub use trie::LibTrie;

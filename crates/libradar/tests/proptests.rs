@@ -183,3 +183,80 @@ proptest! {
         prop_assert!(!lists.is_ant(&lookalike));
     }
 }
+
+// Obfuscator-backed properties: each case generates a small corpus and
+// runs the real synthetic obfuscator over it, so the case count is kept
+// low — the corpus itself already varies per seed.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Structural profiles are the cascade's last line of defense: they
+    /// must be bit-identical across every obfuscation tier, per library
+    /// subtree, through the canonical→obfuscated root mapping.
+    #[test]
+    fn structural_profile_is_invariant_under_every_obfuscation_tier(
+        seed in 0u64..1_000,
+        obf_seed in 0u64..1_000,
+    ) {
+        use spector_corpus::obfuscate::{library_roots, obfuscate_dex};
+        use spector_corpus::{AppGenConfig, Corpus, CorpusConfig, ObfuscationTier};
+        use spector_dex::subtree_profile;
+
+        let corpus = Corpus::generate(&CorpusConfig {
+            apps: 2,
+            seed,
+            appgen: AppGenConfig { method_scale: 0.004, ..Default::default() },
+            ..Default::default()
+        });
+        for app in &corpus.apps {
+            let original = app.apk.dex().unwrap();
+            let roots = library_roots(&original);
+            prop_assume!(!roots.is_empty());
+            for tier in [ObfuscationTier::Rename, ObfuscationTier::Mangle, ObfuscationTier::Junk] {
+                let mut obfuscated = original.clone();
+                let mapping = obfuscate_dex(&mut obfuscated, &roots, tier, obf_seed);
+                for root in &roots {
+                    let renamed = mapping.get(*root).map(String::as_str).unwrap_or(root);
+                    prop_assert_eq!(
+                        subtree_profile(&original, root),
+                        subtree_profile(&obfuscated, renamed),
+                        "profile of {} drifted at {:?}", root, tier
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zero false positives by construction: whatever the structural
+    /// index matches in a fully-obfuscated app must be a library the
+    /// app really instantiates — first-party subtrees never cross the
+    /// match threshold.
+    #[test]
+    fn first_party_code_never_crosses_the_structural_threshold(
+        seed in 0u64..1_000,
+        obf_seed in 0u64..1_000,
+    ) {
+        use spector_corpus::obfuscate::{library_roots, obfuscate_app};
+        use spector_corpus::{AppGenConfig, Corpus, CorpusConfig, ObfuscationTier};
+
+        let mut corpus = Corpus::generate(&CorpusConfig {
+            apps: 2,
+            seed,
+            appgen: AppGenConfig { method_scale: 0.004, ..Default::default() },
+            ..Default::default()
+        });
+        for app in &mut corpus.apps {
+            let truth: std::collections::BTreeSet<&str> =
+                library_roots(&app.apk.dex().unwrap()).into_iter().collect();
+            obfuscate_app(app, ObfuscationTier::Junk, obf_seed);
+            let dex = app.apk.dex().unwrap();
+            for matched in corpus.structural_index.detect(&dex) {
+                prop_assert!(
+                    truth.contains(matched.name.as_str()),
+                    "structural tier claimed {} (score {:.3}) which {} does not instantiate",
+                    matched.name, matched.score, app.package
+                );
+            }
+        }
+    }
+}

@@ -21,6 +21,10 @@ cargo bench -p spector-bench --bench live -- --quick "$@"
 # socket hop, record parse, batched ingress, shard-local decode.
 cargo bench -p spector-bench --bench ingest -- --quick "$@"
 
+# detect: cascade throughput per detection tier (trie / exact-fp /
+# structural) over obfuscated variants of the 400-app store.
+cargo bench -p spector-bench --bench detect -- --quick "$@"
+
 # chaos: fault-injection layer overhead + end-to-end robustness smoke
 # (heavy profile, checkpoint/resume identity, --max-failures gate).
 scripts/chaos_smoke.sh

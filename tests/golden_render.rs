@@ -86,6 +86,34 @@ fn every_section_matches_its_golden_snapshot() {
     );
 }
 
+/// The detection-quality table gets its own golden file: it is not a
+/// [`Section`] of the campaign report (it grades the corpus statically,
+/// no campaign needed) but its rendering is pinned just as strictly.
+#[test]
+fn detect_quality_matches_its_golden_snapshot() {
+    use spector_analysis::detect::{evaluate, render, DetectQualityConfig};
+
+    let rendered = render(&evaluate(&DetectQualityConfig {
+        apps: 12,
+        seed: 9_406,
+        method_scale: 0.006,
+        obfuscation_seed: 0x0bf5,
+    }));
+    let path = golden_dir().join("detect_quality.txt");
+    if update_requested() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("tests/golden/detect_quality.txt (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        golden, rendered,
+        "detect_quality: rendered output differs from golden \
+         (regenerate with UPDATE_GOLDEN=1 if intentional)"
+    );
+}
+
 #[test]
 fn full_render_is_the_concatenation_of_all_sections() {
     let full = report().render();
@@ -110,6 +138,7 @@ fn golden_directory_holds_exactly_the_known_sections() {
         .iter()
         .map(|s| format!("{}.txt", s.slug()))
         .collect();
+    expected.push("detect_quality.txt".to_owned());
     expected.sort();
     assert_eq!(on_disk, expected, "stale or missing golden files");
 }

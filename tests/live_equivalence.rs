@@ -11,7 +11,7 @@ use std::sync::Arc;
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
 use libspector::pipeline::{analyze_run, AppAnalysis};
-use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use spector_corpus::{obfuscate_corpus, AppGenConfig, Corpus, CorpusConfig, ObfuscationTier};
 use spector_dex::sha256::Sha256;
 use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
 use spector_hooks::{SocketReport, SupervisorConfig};
@@ -20,7 +20,7 @@ use spector_netsim::packet::SocketPair;
 use spector_netsim::{Clock, NetStack};
 
 fn campaign(apps: usize, seed: u64) -> (Knowledge, Vec<RawRun>, u16) {
-    let corpus = Corpus::generate(&CorpusConfig {
+    let mut corpus = Corpus::generate(&CorpusConfig {
         apps,
         seed,
         appgen: AppGenConfig {
@@ -29,6 +29,9 @@ fn campaign(apps: usize, seed: u64) -> (Knowledge, Vec<RawRun>, u16) {
         },
         ..Default::default()
     });
+    if let Some(tier) = configured_obfuscation() {
+        obfuscate_corpus(&mut corpus, tier, seed ^ 0x0bf5);
+    }
     let resolver = resolver_for(&corpus.domains);
     let mut config = ExperimentConfig::default();
     config.monkey.events = 120;
@@ -60,6 +63,18 @@ fn configured_shards(default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Obfuscation override for the CI matrix: `OBFUSCATION_TIER=rename`
+/// (or `mangle`/`junk`) obfuscates the fixture corpus before knowledge
+/// extraction, so equivalence is also proven when verdict lookups fall
+/// through to the exact-fingerprint or structural cascade tiers. Unset
+/// or `none` leaves the corpus canonical (pure trie-tier lookups).
+fn configured_obfuscation() -> Option<ObfuscationTier> {
+    std::env::var("OBFUSCATION_TIER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t != ObfuscationTier::None)
 }
 
 /// Batch-size override for the CI matrix: `LIVE_BATCH_EVENTS=1`

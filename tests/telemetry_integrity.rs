@@ -11,10 +11,11 @@
 
 use std::sync::Arc;
 
+use libspector::attribution::OriginKind;
 use libspector::experiment::{resolver_for, run_app, ExperimentConfig, RawRun};
 use libspector::knowledge::Knowledge;
-use libspector::pipeline::RunIntegrity;
-use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
+use libspector::pipeline::{DetectStats, RunIntegrity};
+use spector_corpus::{obfuscate_corpus, AppGenConfig, Corpus, CorpusConfig, ObfuscationTier};
 use spector_dispatch::{
     run_campaign, CampaignConfig, CampaignOutcome, DispatchConfig, RetryPolicy,
 };
@@ -53,6 +54,43 @@ fn run_with_profile(
             RetryPolicy::never()
         },
         chaos,
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let outcome = run_campaign(&corpus, &knowledge, &config, None, None).expect("campaign runs");
+    (outcome, telemetry.snapshot())
+}
+
+/// [`run_with_profile`] without chaos, but with the corpus obfuscated
+/// at `tier` before knowledge extraction — the knowledge bases stay
+/// canonical, so the campaign's verdict lookups must bridge obfuscated
+/// origins through the fingerprint/structural tiers.
+fn run_obfuscated(
+    tier: ObfuscationTier,
+    seed: u64,
+    apps: usize,
+) -> (CampaignOutcome, MetricsSnapshot) {
+    let mut corpus = Corpus::generate(&CorpusConfig {
+        apps,
+        seed,
+        appgen: AppGenConfig {
+            method_scale: 0.006,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    obfuscate_corpus(&mut corpus, tier, seed ^ 0x0bf5);
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = 80;
+    dispatch.experiment.monkey.seed = seed;
+    let telemetry = Telemetry::enabled();
+    let config = CampaignConfig {
+        dispatch,
+        retry: RetryPolicy::never(),
         telemetry: telemetry.clone(),
         ..Default::default()
     };
@@ -162,6 +200,53 @@ fn assert_agreement(outcome: &CampaignOutcome, snapshot: &MetricsSnapshot, label
         "{label}: unattributed flows"
     );
     assert_eq!(orphans, orphaned, "{label}: flow-less reports");
+
+    // 5. Detection-cascade balance: one lookup per attributed
+    //    library-origin flow, each resolved by exactly one tier. The
+    //    `spector_detect_*` counters must equal the per-analysis
+    //    DetectStats sums, per tier.
+    let mut detect = DetectStats::default();
+    for analysis in &outcome.analyses {
+        assert_eq!(
+            analysis.detect.lookups,
+            analysis.detect.tier_sum(),
+            "{label}: {} per-app tier counts must sum to lookups",
+            analysis.package
+        );
+        detect.merge(&analysis.detect);
+    }
+    let library_flows = outcome
+        .analyses
+        .iter()
+        .flat_map(|a| &a.flows)
+        .filter(|f| matches!(f.origin, OriginKind::Library { .. }))
+        .count() as u64;
+    assert_eq!(
+        detect.lookups, library_flows,
+        "{label}: one cascade lookup per library-origin flow"
+    );
+    let tiers = [
+        ("lookups", detect.lookups),
+        ("trie_hit", detect.trie_hits),
+        ("exact_fp_hit", detect.exact_fp_hits),
+        ("structural_hit", detect.structural_hits),
+        ("miss", detect.misses),
+    ];
+    for (tier, expected) in tiers {
+        assert_eq!(
+            snapshot.counter(&format!("spector_detect_{tier}_total")),
+            expected,
+            "{label}: detect counter {tier} disagrees with analyses"
+        );
+    }
+    assert_eq!(
+        snapshot.counter("spector_detect_lookups_total"),
+        snapshot.counter("spector_detect_trie_hit_total")
+            + snapshot.counter("spector_detect_exact_fp_hit_total")
+            + snapshot.counter("spector_detect_structural_hit_total")
+            + snapshot.counter("spector_detect_miss_total"),
+        "{label}: detect tier counters must sum to lookups"
+    );
 }
 
 /// Scripted experiment runs (the live engine's input shape), with the
@@ -294,6 +379,47 @@ fn clean_campaign_telemetry_agrees_with_outcome() {
             .map(|(_, v)| *v)
             .sum::<u64>(),
         0
+    );
+}
+
+#[test]
+fn clean_campaign_resolves_every_lookup_in_the_trie_tier() {
+    let (outcome, snapshot) = run_with_profile(FaultProfile::none(), 504, 6);
+    assert_agreement(&outcome, &snapshot, "none/504");
+    // Unobfuscated origins carry their canonical packages, so the trie
+    // tier answers everything the cascade is asked; the fallback tiers
+    // stay cold.
+    assert!(snapshot.counter("spector_detect_lookups_total") > 0);
+    assert_eq!(snapshot.counter("spector_detect_exact_fp_hit_total"), 0);
+    assert_eq!(snapshot.counter("spector_detect_structural_hit_total"), 0);
+}
+
+#[test]
+fn renamed_campaign_exercises_the_exact_fingerprint_tier() {
+    let (outcome, snapshot) = run_obfuscated(ObfuscationTier::Rename, 701, 6);
+    assert_agreement(&outcome, &snapshot, "rename/701");
+    // Renamed roots defeat the trie, but the subtree fingerprints are
+    // rename-invariant: the exact tier must pick up real traffic.
+    assert!(
+        snapshot.counter("spector_detect_exact_fp_hit_total") > 0,
+        "renamed libraries must resolve through the exact tier"
+    );
+}
+
+#[test]
+fn mangled_campaign_exercises_the_structural_tier() {
+    let (outcome, snapshot) = run_obfuscated(ObfuscationTier::Mangle, 702, 6);
+    assert_agreement(&outcome, &snapshot, "mangle/702");
+    // Identifier mangling breaks the exact fingerprints too; only the
+    // structural profiles survive.
+    assert!(
+        snapshot.counter("spector_detect_structural_hit_total") > 0,
+        "mangled libraries must resolve through the structural tier"
+    );
+    assert_eq!(
+        snapshot.counter("spector_detect_exact_fp_hit_total"),
+        0,
+        "mangling must defeat the exact-fingerprint tier"
     );
 }
 
