@@ -40,6 +40,7 @@ pub mod profile;
 pub mod render;
 pub mod rq;
 pub mod stats;
+pub mod storeq;
 pub mod table1;
 
 use libspector::pipeline::{AnalyzedFlow, AppAnalysis};

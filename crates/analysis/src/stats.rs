@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// An empirical cumulative distribution over non-negative samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Cdf {
     /// Samples, ascending.
     sorted: Vec<f64>,

@@ -1,0 +1,379 @@
+//! Store-backed analytics: the historical query engine behind
+//! `libspector query`.
+//!
+//! Two paths out of a [`StoreReader`]:
+//!
+//! * [`report_from_store`] — materializes one campaign's analyses in
+//!   corpus order and builds the ordinary [`FullReport`]; its
+//!   `render()` is **byte-identical** to the in-memory report the
+//!   campaign printed when it ran (the golden `query_report` test and
+//!   the CI round-trip job hold this line).
+//! * [`compute`]/[`render`] — columnar aggregation over arbitrary
+//!   campaign sets, straight off the segment columns without
+//!   materializing `AppAnalysis` structs: per-library, per-domain,
+//!   per-domain-category and per-library-category volumes, top-N
+//!   tables, and flow-size CDFs — EXPERIMENTS.md figures computed
+//!   *from the store*.
+
+use std::collections::BTreeMap;
+
+use libspector::BUILTIN_ORIGIN_LABEL;
+use spector_store::{StoreIntegrity, StoreReader};
+
+use crate::stats::Cdf;
+use crate::FullReport;
+
+/// Flow count and byte volume of one aggregation bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Volume {
+    /// Attributed flows in the bucket.
+    pub flows: u64,
+    /// Wire bytes sent.
+    pub sent: u64,
+    /// Wire bytes received.
+    pub recv: u64,
+}
+
+impl Volume {
+    fn add(&mut self, sent: u64, recv: u64) {
+        self.flows += 1;
+        self.sent += sent;
+        self.recv += recv;
+    }
+
+    /// Total wire bytes.
+    pub fn total(&self) -> u64 {
+        self.sent + self.recv
+    }
+}
+
+/// Everything one columnar scan aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Campaign ids covered by the scan, ascending.
+    pub campaigns: Vec<u32>,
+    /// Analysis records scanned.
+    pub apps: u64,
+    /// Flow records scanned.
+    pub flows: u64,
+    /// Report records scanned.
+    pub reports: u64,
+    /// Bytes sent / received across all flows.
+    pub total: Volume,
+    /// Bytes in flows whose origin is on the AnT list.
+    pub ant_bytes: u64,
+    /// Per origin-library volumes (builtins under `(builtin)`).
+    pub per_library: BTreeMap<String, Volume>,
+    /// Per destination-domain volumes (unresolved under `(none)`).
+    pub per_domain: BTreeMap<String, Volume>,
+    /// Per domain-category volumes, keyed by snake_case label.
+    pub per_domain_category: BTreeMap<String, Volume>,
+    /// Per library-category volumes, keyed by label.
+    pub per_lib_category: BTreeMap<String, Volume>,
+    /// Flow-size CDF (total wire bytes per flow).
+    pub flow_bytes: Cdf,
+    /// Per-app coverage CDF (percent).
+    pub coverage_percent: Cdf,
+    /// What the reader found when opening the store.
+    pub integrity: StoreIntegrity,
+}
+
+/// Label for flows whose DNS name never resolved.
+pub const NO_DOMAIN_LABEL: &str = "(none)";
+
+/// Scans the store's columns over `campaigns` (`None` = all) and
+/// aggregates every table the query report renders. No `AppAnalysis`
+/// is materialized — this is the zero-copy path.
+pub fn compute(reader: &StoreReader, campaigns: Option<&[u32]>) -> QueryStats {
+    let mut stats = QueryStats {
+        integrity: reader.integrity().clone(),
+        ..QueryStats::default()
+    };
+    let mut flow_bytes = Vec::new();
+    let mut coverage = Vec::new();
+    for view in reader.views(campaigns) {
+        if !stats.campaigns.contains(&view.campaign) {
+            stats.campaigns.push(view.campaign);
+        }
+        let (analyses, flows, reports) = view.counts();
+        stats.apps += analyses as u64;
+        stats.flows += flows as u64;
+        stats.reports += reports as u64;
+        for row in view.analyses() {
+            let percent = if row.coverage[0] == 0 {
+                0.0
+            } else {
+                row.coverage[1] as f64 * 100.0 / row.coverage[0] as f64
+            };
+            coverage.push(percent);
+        }
+        for flow in view.flows() {
+            stats.total.add(flow.sent_bytes, flow.recv_bytes);
+            if flow.is_ant {
+                stats.ant_bytes += flow.sent_bytes + flow.recv_bytes;
+            }
+            let library = flow.origin.unwrap_or(BUILTIN_ORIGIN_LABEL);
+            stats
+                .per_library
+                .entry(library.to_owned())
+                .or_default()
+                .add(flow.sent_bytes, flow.recv_bytes);
+            let domain = flow.domain.unwrap_or(NO_DOMAIN_LABEL);
+            stats
+                .per_domain
+                .entry(domain.to_owned())
+                .or_default()
+                .add(flow.sent_bytes, flow.recv_bytes);
+            stats
+                .per_domain_category
+                .entry(flow.domain_category.label().to_owned())
+                .or_default()
+                .add(flow.sent_bytes, flow.recv_bytes);
+            stats
+                .per_lib_category
+                .entry(flow.lib_category.label().to_owned())
+                .or_default()
+                .add(flow.sent_bytes, flow.recv_bytes);
+            flow_bytes.push((flow.sent_bytes + flow.recv_bytes) as f64);
+        }
+    }
+    stats.campaigns.sort_unstable();
+    stats.flow_bytes = Cdf::from_samples(flow_bytes);
+    stats.coverage_percent = Cdf::from_samples(coverage);
+    stats
+}
+
+/// Builds the standard campaign report from stored records. The
+/// reader returns analyses in `(campaign, app_index)` order — corpus
+/// order — so the result renders byte-identically to the in-memory
+/// `FullReport` the campaign built when it ran.
+pub fn report_from_store(reader: &StoreReader, campaign: u32) -> FullReport {
+    FullReport::build(&reader.campaign_analyses(campaign))
+}
+
+fn mb(bytes: u64) -> f64 {
+    // Same MiB convention as `render` and `live`.
+    bytes as f64 / 1_048_576.0
+}
+
+fn render_top(out: &mut String, title: &str, map: &BTreeMap<String, Volume>, top: usize) {
+    out.push_str(&format!("== {title} (top {top} by volume) ==\n"));
+    let mut rows: Vec<(&String, &Volume)> = map.iter().collect();
+    rows.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(b.0)));
+    out.push_str(&format!(
+        "  {:<44} {:>8} {:>12} {:>12}\n",
+        "bucket", "flows", "sent MB", "recv MB"
+    ));
+    for (label, volume) in rows.iter().take(top) {
+        out.push_str(&format!(
+            "  {:<44} {:>8} {:>12.3} {:>12.3}\n",
+            label,
+            volume.flows,
+            mb(volume.sent),
+            mb(volume.recv)
+        ));
+    }
+    if rows.len() > top {
+        let rest: u64 = rows.iter().skip(top).map(|(_, v)| v.total()).sum();
+        out.push_str(&format!(
+            "  ({} more buckets, {:.3} MB)\n",
+            rows.len() - top,
+            mb(rest)
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_cdf(out: &mut String, title: &str, cdf: &Cdf, unit: &str) {
+    out.push_str(&format!("== {title} ==\n"));
+    if cdf.is_empty() {
+        out.push_str("  (no samples)\n\n");
+        return;
+    }
+    out.push_str(&format!(
+        "  n {}  mean {:.2} {unit}\n",
+        cdf.len(),
+        cdf.mean()
+    ));
+    for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+        out.push_str(&format!(
+            "  p{:<4} {:>14.2} {unit}\n",
+            (q * 100.0) as u32,
+            cdf.quantile(q)
+        ));
+    }
+    out.push('\n');
+}
+
+/// Renders the full historical query report.
+pub fn render(stats: &QueryStats, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str("== store query ==\n");
+    let campaigns: Vec<String> = stats.campaigns.iter().map(u32::to_string).collect();
+    out.push_str(&format!(
+        "  campaigns {} ({})  apps {}  flows {}  reports {}\n",
+        stats.campaigns.len(),
+        if campaigns.is_empty() {
+            "-".to_owned()
+        } else {
+            campaigns.join(",")
+        },
+        stats.apps,
+        stats.flows,
+        stats.reports
+    ));
+    out.push_str(&format!(
+        "  segments ok {}  rejected {}  orphaned {}  unsealed campaigns {}\n",
+        stats.integrity.segments_ok,
+        stats.integrity.rejected.len(),
+        stats.integrity.orphaned_segments,
+        stats.integrity.unsealed_campaigns
+    ));
+    for (file, kind) in &stats.integrity.rejected {
+        out.push_str(&format!("    rejected {file}: {}\n", kind.label()));
+    }
+    let total = stats.total.total();
+    out.push_str(&format!(
+        "  sent {:.2} MB  recv {:.2} MB  AnT {:.2} MB ({:.1}%)\n\n",
+        mb(stats.total.sent),
+        mb(stats.total.recv),
+        mb(stats.ant_bytes),
+        if total > 0 {
+            stats.ant_bytes as f64 * 100.0 / total as f64
+        } else {
+            0.0
+        }
+    ));
+    render_top(&mut out, "per origin-library", &stats.per_library, top);
+    render_top(&mut out, "per domain", &stats.per_domain, top);
+    render_top(
+        &mut out,
+        "per domain category",
+        &stats.per_domain_category,
+        top,
+    );
+    render_top(
+        &mut out,
+        "per library category",
+        &stats.per_lib_category,
+        top,
+    );
+    render_cdf(&mut out, "flow size CDF", &stats.flow_bytes, "bytes");
+    render_cdf(
+        &mut out,
+        "per-app coverage CDF",
+        &stats.coverage_percent,
+        "%",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind};
+    use spector_libradar::LibCategory;
+    use spector_store::{
+        CampaignKind, CampaignMeta, CampaignSealRecord, StoreOptions, StoreWriter,
+    };
+    use spector_vtcat::DomainCategory;
+
+    use super::*;
+
+    fn flow(origin: Option<&str>, domain: Option<&str>, sent: u64, recv: u64) -> AnalyzedFlow {
+        AnalyzedFlow {
+            domain: domain.map(str::to_owned),
+            domain_category: DomainCategory::Advertisements,
+            origin: match origin {
+                Some(lib) => OriginKind::Library {
+                    origin_library: lib.to_owned(),
+                    two_level: lib.split('.').take(2).collect::<Vec<_>>().join("."),
+                },
+                None => OriginKind::Builtin,
+            },
+            lib_category: LibCategory::Advertisement,
+            is_ant: origin.is_some(),
+            is_common: false,
+            sent_bytes: sent,
+            recv_bytes: recv,
+            sent_payload: sent.saturating_sub(40),
+            recv_payload: recv.saturating_sub(40),
+            start_micros: 1_000,
+            http_user_agent: None,
+        }
+    }
+
+    fn app(package: &str, flows: Vec<AnalyzedFlow>) -> AppAnalysis {
+        AppAnalysis {
+            package: package.to_owned(),
+            app_category: "TOOLS".to_owned(),
+            flows,
+            unattributed_flows: 0,
+            reports_without_flow: 0,
+            coverage: CoverageReport {
+                total_methods: 100,
+                executed_methods: 40,
+                external_methods: 5,
+            },
+            dns_packets: 0,
+            report_packets: 0,
+            integrity: Default::default(),
+            detect: Default::default(),
+        }
+    }
+
+    #[test]
+    fn columnar_scan_matches_materialized_report_and_renders() {
+        let dir = std::env::temp_dir().join(format!("spector-storeq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let analyses = vec![
+            app(
+                "com.a",
+                vec![
+                    flow(Some("com.ads.sdk"), Some("ads.example.com"), 1_000, 9_000),
+                    flow(None, None, 500, 700),
+                ],
+            ),
+            app("com.b", vec![flow(Some("com.ads.sdk"), None, 10, 20)]),
+        ];
+        let meta = CampaignMeta {
+            seed: 3,
+            apps: 2,
+            monkey_events: 5,
+            kind: CampaignKind::Run,
+        };
+        let mut writer = StoreWriter::create(&dir, &meta, StoreOptions::default()).unwrap();
+        for (i, analysis) in analyses.iter().enumerate() {
+            writer.append_analysis(i as u32, analysis).unwrap();
+        }
+        writer
+            .finish(&CampaignSealRecord {
+                seed: 3,
+                apps: 2,
+                monkey_events: 5,
+                failures: vec![],
+            })
+            .unwrap();
+
+        let reader = StoreReader::open(&dir).unwrap();
+        // Byte-identity of the standard report path.
+        let stored = report_from_store(&reader, 0).render();
+        let in_memory = FullReport::build(&analyses).render();
+        assert_eq!(stored, in_memory);
+
+        // Columnar aggregation agrees with a straight fold.
+        let stats = compute(&reader, None);
+        assert_eq!(stats.apps, 2);
+        assert_eq!(stats.flows, 3);
+        assert_eq!(stats.total.sent, 1_510);
+        assert_eq!(stats.total.recv, 9_720);
+        assert_eq!(stats.ant_bytes, 1_000 + 9_000 + 10 + 20);
+        assert_eq!(stats.per_library["com.ads.sdk"].flows, 2);
+        assert_eq!(stats.per_library[BUILTIN_ORIGIN_LABEL].flows, 1);
+        assert_eq!(stats.per_domain[NO_DOMAIN_LABEL].flows, 2);
+        let rendered = render(&stats, 5);
+        assert!(rendered.contains("== store query =="));
+        assert!(rendered.contains("com.ads.sdk"));
+        assert!(rendered.contains("flow size CDF"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Durable-store performance: segment ingest and historical query
+//! throughput at 10× and 100× the 400-app `perf/throughput` fixture.
+//!
+//! Each scale replicates the fixture campaign as that many *separate
+//! campaigns* in one store directory — the multi-campaign shape the
+//! query engine exists for — so `ingest_10x_apps` appends and seals
+//! 4 000 app records per iteration and `query_100x_apps` scans 40 000
+//! apps' columns (open + verify + columnar aggregation, the cost a
+//! fresh `libspector query` process pays).
+//!
+//! Before timing anything, the bench asserts the tentpole identity on
+//! the 400-app campaign: the store-backed report renders byte-for-byte
+//! equal to the in-memory one.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use libspector::pipeline::{analyze_run, AppAnalysis};
+use spector_analysis::{storeq, FullReport};
+use spector_bench::throughput_fixture;
+use spector_store::{
+    CampaignKind, CampaignMeta, CampaignSealRecord, StoreOptions, StoreReader, StoreWriter,
+};
+
+/// The 400 analyses of the throughput fixture, computed once.
+fn analyses() -> &'static Vec<AppAnalysis> {
+    static ANALYSES: OnceLock<Vec<AppAnalysis>> = OnceLock::new();
+    ANALYSES.get_or_init(|| {
+        let (knowledge, raws, port) = throughput_fixture();
+        raws.iter()
+            .map(|raw| analyze_run(raw, knowledge, *port))
+            .collect()
+    })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spector-bench-store-{tag}-{}", std::process::id()))
+}
+
+/// Appends the fixture as `campaigns` sealed campaigns under `dir`.
+fn ingest(dir: &PathBuf, campaigns: usize) {
+    let base = analyses();
+    let _ = std::fs::remove_dir_all(dir);
+    for _ in 0..campaigns {
+        let meta = CampaignMeta {
+            seed: 7_778,
+            apps: base.len(),
+            monkey_events: 60,
+            kind: CampaignKind::Run,
+        };
+        let mut writer =
+            StoreWriter::create(dir, &meta, StoreOptions::default()).expect("store opens");
+        for (index, analysis) in base.iter().enumerate() {
+            writer
+                .append_analysis(index as u32, analysis)
+                .expect("append");
+        }
+        writer
+            .finish(&CampaignSealRecord {
+                seed: 7_778,
+                apps: base.len(),
+                monkey_events: 60,
+                failures: vec![],
+            })
+            .expect("seal");
+    }
+}
+
+/// The tentpole identity, asserted at bench scale before timing.
+fn assert_byte_identity() {
+    let dir = scratch("identity");
+    ingest(&dir, 1);
+    let reader = StoreReader::open(&dir).expect("store reads back");
+    assert_eq!(reader.integrity().rejected.len(), 0);
+    let stored = storeq::report_from_store(&reader, 0).render();
+    let in_memory = FullReport::build(analyses()).render();
+    assert_eq!(
+        stored, in_memory,
+        "store-backed report must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_store(c: &mut Criterion) {
+    assert_byte_identity();
+    let apps = analyses().len() as u64;
+
+    let mut group = c.benchmark_group("perf/store");
+    group.sample_size(10);
+    for scale in [10u64, 100] {
+        group.throughput(Throughput::Elements(apps * scale));
+        let dir = scratch(&format!("ingest-{scale}x"));
+        group.bench_function(&format!("ingest_{scale}x_apps"), |b| {
+            b.iter(|| ingest(&dir, scale as usize));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Query cost as a fresh process pays it: open + verify every
+        // fingerprint + full columnar aggregation over all campaigns.
+        let dir = scratch(&format!("query-{scale}x"));
+        ingest(&dir, scale as usize);
+        group.bench_function(&format!("query_{scale}x_apps"), |b| {
+            b.iter(|| {
+                let reader = StoreReader::open(&dir).expect("store opens");
+                let stats = storeq::compute(&reader, None);
+                assert_eq!(stats.apps, apps * scale);
+                std::hint::black_box(stats)
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

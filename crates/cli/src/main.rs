@@ -17,10 +17,14 @@ use libspector::knowledge::Knowledge;
 use spector_analysis::FullReport;
 use spector_corpus::{AppGenConfig, Corpus, CorpusConfig};
 use spector_dispatch::{
-    run_campaign, run_corpus, save_campaign, Campaign, CampaignConfig, CheckpointConfig,
-    DispatchConfig, RetryPolicy,
+    run_campaign_stored, run_corpus, save_campaign, AppFailure, Campaign, CampaignConfig,
+    CheckpointConfig, DispatchConfig, RetryPolicy,
 };
 use spector_faults::{FaultPlan, FaultProfile};
+use spector_store::{
+    CampaignKind, CampaignMeta, CampaignSealRecord, StoreOptions, StoreReader, StoreTelemetry,
+    StoreWriter, StoredFailure,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..]),
         "live" => cmd_live(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
@@ -64,9 +69,14 @@ USAGE:
                     [--max-failures N] [--checkpoint FILE]
                     [--checkpoint-every N] [--resume FILE]
                     [--metrics FILE]  (also writes FILE.prom)
+                    [--store DIR]     (durable columnar campaign store)
   libspector live   --apps N [--seed S] [--events E] [--workers W]
                     [--shards K] [--batch-events B] [--snapshot-every N]
-                    [--metrics FILE]
+                    [--metrics FILE] [--store DIR]
+  libspector query  --store DIR [--campaign N | --campaigns N1,N2,...]
+                    [--report] [--top N] [--metrics FILE]
+                    (--report prints the stored campaign's standard report,
+                     byte-identical to what `run` printed)
   libspector metrics --file FILE [--prometheus]  (per-stage profile table)
   libspector report --campaign FILE
   libspector sweep  --apps N [--seed S] --events E1,E2,...
@@ -118,6 +128,61 @@ fn build_corpus(apps: usize, seed: u64, method_scale: f64) -> Corpus {
     })
 }
 
+/// Opens `dir` as a store and registers a new campaign for this
+/// invocation.
+fn open_store_writer(
+    dir: &str,
+    seed: u64,
+    apps: usize,
+    events: u32,
+    kind: CampaignKind,
+    telemetry: &spector_telemetry::Telemetry,
+) -> Result<std::sync::Mutex<StoreWriter>, String> {
+    let meta = CampaignMeta {
+        seed,
+        apps,
+        monkey_events: events as usize,
+        kind,
+    };
+    let options = StoreOptions {
+        telemetry: StoreTelemetry::new(telemetry),
+        ..StoreOptions::default()
+    };
+    let writer = StoreWriter::create(std::path::Path::new(dir), &meta, options)
+        .map_err(|e| format!("opening store {dir}: {e}"))?;
+    eprintln!("store: writing campaign {} to {dir}", writer.campaign_id());
+    Ok(std::sync::Mutex::new(writer))
+}
+
+/// Seals the store campaign, preserving the failure ledger.
+fn seal_store(
+    writer: std::sync::Mutex<StoreWriter>,
+    seed: u64,
+    apps: usize,
+    events: u32,
+    failures: &[AppFailure],
+) -> Result<(), String> {
+    let seal = CampaignSealRecord {
+        seed,
+        apps,
+        monkey_events: events as usize,
+        failures: failures
+            .iter()
+            .map(|f| StoredFailure {
+                index: f.index,
+                package: f.package.clone(),
+                error: f.error.clone(),
+                attempts: f.attempts,
+            })
+            .collect(),
+    };
+    writer
+        .into_inner()
+        .expect("store writer poisoned")
+        .finish(&seal)
+        .map_err(|e| format!("sealing store campaign: {e}"))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let apps: usize = parse_flag(args, "--apps", 100)?;
     let seed: u64 = parse_flag(args, "--seed", 42)?;
@@ -132,6 +197,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let checkpoint_every: usize = parse_flag(args, "--checkpoint-every", 25)?;
     let resume: Option<String> = flag(args, "--resume");
     let metrics_out: Option<String> = flag(args, "--metrics");
+    let store_dir: Option<String> = flag(args, "--store");
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -168,14 +234,28 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         telemetry: telemetry.clone(),
         ..Default::default()
     };
+    let store = store_dir
+        .as_deref()
+        .map(|dir| open_store_writer(dir, seed, apps, events, CampaignKind::Run, &telemetry))
+        .transpose()?;
     eprintln!("running campaign ({events} monkey events per app)");
     let progress = |done: usize| {
         if done.is_multiple_of(50) {
             eprintln!("  {done}/{apps} apps done");
         }
     };
-    let outcome = run_campaign(&corpus, &knowledge, &config, None, Some(&progress))
-        .map_err(|e| format!("campaign checkpoint i/o: {e}"))?;
+    let outcome = run_campaign_stored(
+        &corpus,
+        &knowledge,
+        &config,
+        None,
+        Some(&progress),
+        store.as_ref(),
+    )
+    .map_err(|e| format!("campaign checkpoint i/o: {e}"))?;
+    if let Some(writer) = store {
+        seal_store(writer, seed, apps, events, &outcome.failures)?;
+    }
     for failure in &outcome.failures {
         eprintln!(
             "warning: app {} ({}) failed after {} attempt(s): {}",
@@ -217,7 +297,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_live(args: &[String]) -> Result<(), String> {
-    use spector_dispatch::{run_corpus_live, LiveCollector};
+    use spector_dispatch::LiveCollector;
     use spector_live::{LiveConfig, LiveEngine, LiveSummary};
 
     let apps: usize = parse_flag(args, "--apps", 50)?;
@@ -229,6 +309,7 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
     let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
     let metrics_out: Option<String> = flag(args, "--metrics");
+    let store_dir: Option<String> = flag(args, "--store");
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -240,16 +321,21 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     dispatch.experiment.monkey.events = events;
     dispatch.experiment.monkey.seed = seed;
 
+    let telemetry = if metrics_out.is_some() {
+        spector_telemetry::Telemetry::enabled()
+    } else {
+        spector_telemetry::Telemetry::disabled()
+    };
+    let store = store_dir
+        .as_deref()
+        .map(|dir| open_store_writer(dir, seed, apps, events, CampaignKind::Live, &telemetry))
+        .transpose()?;
     let collector = LiveCollector::new(LiveEngine::start(
         std::sync::Arc::new(knowledge.clone()),
         LiveConfig {
             shards,
             batch_events,
-            telemetry: if metrics_out.is_some() {
-                spector_telemetry::Telemetry::enabled()
-            } else {
-                spector_telemetry::Telemetry::disabled()
-            },
+            telemetry: telemetry.clone(),
             ..Default::default()
         },
     ));
@@ -259,13 +345,40 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     );
     let progress = |done: usize| {
         if snapshot_every > 0 && done.is_multiple_of(snapshot_every) {
+            let snapshot = collector.snapshot();
+            if let Some(writer) = &store {
+                if let Err(error) = writer
+                    .lock()
+                    .expect("store writer poisoned")
+                    .append_live_snapshot(&snapshot)
+                {
+                    eprintln!("warning: store snapshot flush failed: {error}");
+                }
+            }
             eprintln!(
                 "  [{done}/{apps}] {}",
-                spector_analysis::live::brief(&collector.snapshot())
+                spector_analysis::live::brief(&snapshot)
             );
         }
     };
-    let outcome = run_corpus_live(&corpus, &knowledge, &dispatch, &collector, Some(&progress));
+    // Matches what `run_corpus_live` builds: dispatch telemetry stays
+    // default so the metrics snapshot remains the live engine's alone.
+    let campaign_config = CampaignConfig {
+        dispatch: dispatch.clone(),
+        ..Default::default()
+    };
+    let outcome = run_campaign_stored(
+        &corpus,
+        &knowledge,
+        &campaign_config,
+        Some(&collector),
+        Some(&progress),
+        store.as_ref(),
+    )
+    .map_err(|e| format!("campaign store i/o: {e}"))?;
+    if let Some(writer) = store {
+        seal_store(writer, seed, apps, events, &outcome.failures)?;
+    }
     let (live, live_metrics) = collector.finish_with_metrics();
     if let Some(path) = &metrics_out {
         write_metrics(&live_metrics, path)?;
@@ -297,6 +410,70 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
         live.per_library.len(),
         live.per_domain_category.len(),
     );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--store").ok_or("missing --store DIR")?;
+    let campaign: Option<u32> = match flag(args, "--campaign") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value {raw:?} for --campaign"))?,
+        ),
+    };
+    let campaigns: Option<Vec<u32>> = match flag(args, "--campaigns") {
+        None => campaign.map(|c| vec![c]),
+        Some(_) if campaign.is_some() => {
+            return Err("--campaign and --campaigns are mutually exclusive".into());
+        }
+        Some(raw) => Some(
+            raw.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("bad campaign id {s:?}"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?,
+        ),
+    };
+    let top: usize = parse_flag(args, "--top", 20)?;
+    let report = args.iter().any(|a| a == "--report");
+    let metrics_out: Option<String> = flag(args, "--metrics");
+
+    let telemetry = if metrics_out.is_some() {
+        spector_telemetry::Telemetry::enabled()
+    } else {
+        spector_telemetry::Telemetry::disabled()
+    };
+    let reader =
+        StoreReader::open_with(std::path::Path::new(&dir), StoreTelemetry::new(&telemetry))
+            .map_err(|e| format!("opening store {dir}: {e}"))?;
+    for (file, kind) in &reader.integrity().rejected {
+        eprintln!("warning: rejected segment {file}: {}", kind.label());
+    }
+
+    if report {
+        // The stored campaign's standard report: byte-identical to the
+        // stdout `libspector run` produced for the same campaign.
+        let id = match campaigns.as_deref() {
+            Some([id]) => *id,
+            Some(_) => return Err("--report takes exactly one campaign".into()),
+            None => match reader.campaigns() {
+                [only] => only.id,
+                [] => return Err(format!("store {dir} holds no campaigns")),
+                _ => return Err("--report needs --campaign N (store holds several)".into()),
+            },
+        };
+        let full = spector_analysis::storeq::report_from_store(&reader, id);
+        println!("{}", full.render());
+    } else {
+        let stats = spector_analysis::storeq::compute(&reader, campaigns.as_deref());
+        print!("{}", spector_analysis::storeq::render(&stats, top));
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics(&telemetry.snapshot(), path)?;
+    }
     Ok(())
 }
 

@@ -54,6 +54,7 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crossbeam::channel;
@@ -473,6 +474,29 @@ pub fn run_campaign(
     collector: Option<&LiveCollector>,
     progress: Option<&(dyn Fn(usize) + Sync)>,
 ) -> io::Result<CampaignOutcome> {
+    run_campaign_stored(corpus, knowledge, config, collector, progress, None)
+}
+
+/// [`run_campaign`] with a durable write path: every successful
+/// analysis is appended to `store` the moment the collector loop sees
+/// it — incrementally, beside the checkpoints — so a campaign's
+/// records hit disk as it runs instead of only living in the returned
+/// [`CampaignOutcome`]. Analyses prefilled from a resume checkpoint
+/// are appended too (the writer registered a fresh store campaign, so
+/// nothing is double-counted).
+///
+/// The writer rides in a `Mutex` because the caller keeps using it
+/// after the campaign (live snapshot flushes, the final seal):
+/// appends happen only from the single collector loop, so the lock is
+/// uncontended here.
+pub fn run_campaign_stored(
+    corpus: &Corpus,
+    knowledge: &Knowledge,
+    config: &CampaignConfig,
+    collector: Option<&LiveCollector>,
+    progress: Option<&(dyn Fn(usize) + Sync)>,
+    store: Option<&Mutex<spector_store::StoreWriter>>,
+) -> io::Result<CampaignOutcome> {
     let apps = corpus.apps.len();
     let fingerprint = config.fingerprint(apps);
     let instruments = CampaignInstruments::new(&config.telemetry);
@@ -498,6 +522,18 @@ pub fn run_campaign(
             Err(error) => return Err(error),
         }
     }
+    if let Some(store) = store {
+        // Checkpoint-resumed analyses belong to this writer's (new)
+        // store campaign as much as freshly-computed ones do.
+        let mut writer = store.lock().expect("store writer poisoned");
+        for (index, slot) in results.iter().enumerate() {
+            if let Some(Ok(analysis)) = slot {
+                writer
+                    .append_analysis(index as u32, analysis)
+                    .map_err(io::Error::from)?;
+            }
+        }
+    }
     let pending: Vec<usize> = (0..apps).filter(|i| results[*i].is_none()).collect();
 
     let workers = if config.dispatch.workers == 0 {
@@ -518,6 +554,7 @@ pub fn run_campaign(
 
     let done = AtomicUsize::new(apps - pending.len());
     let mut checkpoint_error: Option<io::Error> = None;
+    let mut store_error: Option<io::Error> = None;
     crossbeam::scope(|scope| {
         scope.spawn(|_| {
             for index in &pending {
@@ -562,7 +599,17 @@ pub fn run_campaign(
             injected.merge(&stats);
             instruments.faults.record(&stats);
             match &result {
-                Ok(_) => instruments.apps_ok.inc(),
+                Ok(analysis) => {
+                    instruments.apps_ok.inc();
+                    if let Some(store) = store {
+                        if store_error.is_none() {
+                            let mut writer = store.lock().expect("store writer poisoned");
+                            if let Err(error) = writer.append_analysis(index as u32, analysis) {
+                                store_error = Some(error.into());
+                            }
+                        }
+                    }
+                }
                 Err(_) => instruments.apps_failed.inc(),
             }
             results[index] = Some(result);
@@ -582,6 +629,9 @@ pub fn run_campaign(
     })
     .expect("worker panicked outside isolation");
     if let Some(error) = checkpoint_error {
+        return Err(error);
+    }
+    if let Some(error) = store_error {
         return Err(error);
     }
     if let Some(checkpoint) = &config.checkpoint {

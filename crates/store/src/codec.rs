@@ -1,0 +1,253 @@
+//! Little-endian primitives shared by the segment encoder and the
+//! zero-copy decoder: fixed-width reads, LEB128 varints, zigzag
+//! deltas, and the FNV-1a fingerprint.
+//!
+//! Everything decodes from a plain `&[u8]` with explicit bounds
+//! checks — the same discipline `spector-netsim`'s `FrameRef` decode
+//! applies to pcap bytes — so a mapped or fully-read segment file is
+//! queried in place, and corruption surfaces as a classified
+//! [`StoreError`], never a panic.
+
+use crate::error::{StoreError, StoreResult};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes` — the segment fingerprint function
+/// (the same family the live engine routes 4-tuples with).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes stay short.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// A bounds-checked little-endian reader over a byte slice. All
+/// failures are classified truncation errors carrying the label of the
+/// field being read.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Reader over `bytes` starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes the next `len` bytes as a subslice.
+    pub fn take(&mut self, len: usize, what: &str) -> StoreResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(StoreError::truncated(format!(
+                "{what}: need {len} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> StoreResult<u32> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> StoreResult<u64> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads one LEB128 varint (at most 10 bytes).
+    pub fn varint(&mut self, what: &str) -> StoreResult<u64> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| StoreError::truncated(format!("{what}: varint ends early")))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(StoreError::malformed(format!(
+                    "{what}: varint overflows u64"
+                )));
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// A zero-copy view of a fixed-width `u32` column.
+#[derive(Debug, Clone, Copy)]
+pub struct U32Col<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U32Col<'a> {
+    /// Interprets `bytes` as `len` little-endian `u32`s.
+    pub fn new(bytes: &'a [u8], len: usize, what: &str) -> StoreResult<U32Col<'a>> {
+        if bytes.len() != len * 4 {
+            return Err(StoreError::malformed(format!(
+                "{what}: u32 column holds {} bytes, want {}",
+                bytes.len(),
+                len * 4
+            )));
+        }
+        Ok(U32Col { bytes })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Row `i` (panics only on indexes past the validated length —
+    /// internal iteration never exceeds it).
+    pub fn get(&self, i: usize) -> u32 {
+        let at = i * 4;
+        u32::from_le_bytes(self.bytes[at..at + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Iterates all rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+    }
+}
+
+/// A zero-copy view of a fixed-width `u64` column.
+#[derive(Debug, Clone, Copy)]
+pub struct U64Col<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U64Col<'a> {
+    /// Interprets `bytes` as `len` little-endian `u64`s.
+    pub fn new(bytes: &'a [u8], len: usize, what: &str) -> StoreResult<U64Col<'a>> {
+        if bytes.len() != len * 8 {
+            return Err(StoreError::malformed(format!(
+                "{what}: u64 column holds {} bytes, want {}",
+                bytes.len(),
+                len * 8
+            )));
+        }
+        Ok(U64Col { bytes })
+    }
+
+    /// Row `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        let at = i * 8;
+        u64::from_le_bytes(self.bytes[at..at + 8].try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            let mut cursor = Cursor::new(&buf);
+            assert_eq!(cursor.varint("v").unwrap(), value);
+            assert_eq!(cursor.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(value)), value);
+        }
+    }
+
+    #[test]
+    fn truncated_reads_classify_not_panic() {
+        let mut cursor = Cursor::new(&[1, 2]);
+        let err = cursor.u32("field").unwrap_err();
+        assert_eq!(err.kind, crate::StoreErrorKind::Truncated);
+        let mut cursor = Cursor::new(&[0x80, 0x80]);
+        let err = cursor.varint("field").unwrap_err();
+        assert_eq!(err.kind, crate::StoreErrorKind::Truncated);
+    }
+
+    #[test]
+    fn overlong_varint_is_malformed() {
+        let bytes = [0xffu8; 11];
+        let mut cursor = Cursor::new(&bytes);
+        let err = cursor.varint("field").unwrap_err();
+        assert_eq!(err.kind, crate::StoreErrorKind::Malformed);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a 64 of "a" per the reference implementation.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b""), FNV_OFFSET);
+    }
+}

@@ -1,0 +1,103 @@
+//! Pre-fetched `spector_store_*` counter handles, one instance shared
+//! by a writer or reader — the same prefetch pattern as
+//! `PipelineTelemetry` and `CampaignInstruments`, so the disabled
+//! default costs a single branch per touch point.
+//!
+//! Balance invariant carried by these counters (asserted in
+//! `tests/telemetry_integrity.rs`):
+//!
+//! ```text
+//! spector_store_records_appended_total ==
+//!     analyses_appended + flows_appended + reports_appended
+//! ```
+
+use spector_telemetry::{Counter, Telemetry};
+
+use crate::error::StoreErrorKind;
+
+/// Counter handles for one store writer/reader.
+#[derive(Debug, Clone, Default)]
+pub struct StoreTelemetry {
+    registry: Telemetry,
+    /// Segment files durably renamed into place.
+    pub segments_written: Counter,
+    /// Campaigns marked sealed by a finishing producer.
+    pub campaigns_sealed: Counter,
+    /// All records appended (analyses + flows + reports).
+    pub records_appended: Counter,
+    /// Analysis records appended.
+    pub analyses_appended: Counter,
+    /// Flow records appended.
+    pub flows_appended: Counter,
+    /// Report records appended.
+    pub reports_appended: Counter,
+    /// Encoded segment bytes written.
+    pub bytes_written: Counter,
+    /// Query scans started (one per reader materialize/scan pass).
+    pub query_scans: Counter,
+    /// Records visited by query scans.
+    pub records_scanned: Counter,
+    /// Segments rejected at open, any kind (also counted per kind
+    /// under `spector_store_segments_rejected_total{kind=...}`).
+    pub segments_rejected: Counter,
+    /// Well-formed segment files the manifest does not list (crash
+    /// tails) plus abandoned `.tmp` files.
+    pub orphaned_segments: Counter,
+}
+
+impl StoreTelemetry {
+    /// Prefetches every handle from `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> StoreTelemetry {
+        StoreTelemetry {
+            registry: telemetry.clone(),
+            segments_written: telemetry.counter("spector_store_segments_written_total"),
+            campaigns_sealed: telemetry.counter("spector_store_campaigns_sealed_total"),
+            records_appended: telemetry.counter("spector_store_records_appended_total"),
+            analyses_appended: telemetry.counter("spector_store_analyses_appended_total"),
+            flows_appended: telemetry.counter("spector_store_flows_appended_total"),
+            reports_appended: telemetry.counter("spector_store_reports_appended_total"),
+            bytes_written: telemetry.counter("spector_store_bytes_written_total"),
+            query_scans: telemetry.counter("spector_store_query_scans_total"),
+            records_scanned: telemetry.counter("spector_store_records_scanned_total"),
+            segments_rejected: telemetry.counter("spector_store_segments_rejected_total"),
+            orphaned_segments: telemetry.counter("spector_store_orphaned_segments_total"),
+        }
+    }
+
+    /// Counts one rejected segment, overall and per kind.
+    pub fn record_rejection(&self, kind: StoreErrorKind) {
+        self.segments_rejected.inc();
+        self.registry
+            .counter_labeled(
+                "spector_store_segments_rejected_total",
+                "kind",
+                kind.label(),
+            )
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_family_shares_one_registry() {
+        let registry = Telemetry::enabled();
+        let store = StoreTelemetry::new(&registry);
+        store.analyses_appended.add(2);
+        store.flows_appended.add(5);
+        store.reports_appended.add(1);
+        store.records_appended.add(8);
+        store.record_rejection(StoreErrorKind::Truncated);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("spector_store_records_appended_total"), 8);
+        assert_eq!(
+            snapshot.counter("spector_store_analyses_appended_total")
+                + snapshot.counter("spector_store_flows_appended_total")
+                + snapshot.counter("spector_store_reports_appended_total"),
+            8
+        );
+        assert_eq!(snapshot.counter("spector_store_segments_rejected_total"), 1);
+    }
+}

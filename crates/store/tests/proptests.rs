@@ -1,0 +1,241 @@
+//! Property wall for the columnar store.
+//!
+//! Two laws, each over arbitrary inputs:
+//!
+//! 1. **Lossless encode.** For any list of [`AppAnalysis`] records —
+//!    arbitrary strings (unicode included), every enum discriminant,
+//!    extreme counters — sealing a segment and parsing it back yields
+//!    the identical records in the identical order.
+//! 2. **Crash replay.** Killing a writer mid-campaign (no `finish`,
+//!    no `Drop` flush) loses at most the unsealed tail; everything
+//!    the manifest lists is still readable, the unsealed campaign is
+//!    *counted*, and stray tmp files surface as orphans — never as
+//!    silent data loss, never as a failed open.
+
+use libspector::pipeline::DetectStats;
+use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind, RunIntegrity};
+use proptest::prelude::*;
+use spector_libradar::{DetectTier, LibCategory};
+use spector_store::{
+    CampaignKind, CampaignMeta, SegmentBuilder, SegmentView, StoreOptions, StoreReader, StoreWriter,
+};
+use spector_vtcat::DomainCategory;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    // Dictionary-pool strings: short identifiers, the empty string,
+    // and multi-byte unicode all must round-trip.
+    prop_oneof![
+        "[a-z]{1,8}(\\.[a-z]{1,8})?",
+        Just(String::new()),
+        Just("π-漢字-ß".to_owned()),
+    ]
+}
+
+fn arb_origin() -> impl Strategy<Value = OriginKind> {
+    prop_oneof![
+        Just(OriginKind::Builtin),
+        (arb_label(), arb_label()).prop_map(|(origin_library, two_level)| OriginKind::Library {
+            origin_library,
+            two_level,
+        }),
+    ]
+}
+
+fn arb_flow() -> impl Strategy<Value = AnalyzedFlow> {
+    (
+        (
+            proptest::option::of(arb_label()),
+            prop::sample::select(DomainCategory::ALL.to_vec()),
+            arb_origin(),
+            prop::sample::select(LibCategory::ALL.to_vec()),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(arb_label()),
+        ),
+    )
+        .prop_map(
+            |(
+                (domain, domain_category, origin, lib_category, is_ant, is_common),
+                (sent_bytes, recv_bytes, sent_payload, recv_payload, start_micros, ua),
+            )| AnalyzedFlow {
+                domain,
+                domain_category,
+                origin,
+                lib_category,
+                is_ant,
+                is_common,
+                sent_bytes,
+                recv_bytes,
+                sent_payload,
+                recv_payload,
+                start_micros,
+                http_user_agent: ua,
+            },
+        )
+}
+
+fn arb_detect() -> impl Strategy<Value = DetectStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (arb_label(), prop::sample::select(DetectTier::ALL.to_vec())),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |(lookups, trie_hits, exact_fp_hits, structural_hits, misses, tiers)| {
+                let mut stats = DetectStats {
+                    lookups,
+                    trie_hits,
+                    exact_fp_hits,
+                    structural_hits,
+                    misses,
+                    ..Default::default()
+                };
+                for (library, tier) in tiers {
+                    stats.per_library_tier.insert(library, tier);
+                }
+                stats
+            },
+        )
+}
+
+fn arb_analysis() -> impl Strategy<Value = AppAnalysis> {
+    (
+        (
+            arb_label(),
+            arb_label(),
+            proptest::collection::vec(arb_flow(), 0..5),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u32>(), 6usize),
+            arb_detect(),
+        ),
+    )
+        .prop_map(
+            |(
+                (package, app_category, flows, unattributed, orphans),
+                (total, executed, external, dns, reports, ledger, detect),
+            )| AppAnalysis {
+                package,
+                app_category,
+                flows,
+                unattributed_flows: unattributed as usize,
+                reports_without_flow: orphans as usize,
+                coverage: CoverageReport {
+                    total_methods: total as usize,
+                    executed_methods: executed as usize,
+                    external_methods: external as usize,
+                },
+                dns_packets: dns as usize,
+                report_packets: reports as usize,
+                integrity: RunIntegrity {
+                    frames_truncated: ledger[0] as usize,
+                    frames_malformed: ledger[1] as usize,
+                    frames_bad_checksum: ledger[2] as usize,
+                    reports_truncated: ledger[3] as usize,
+                    reports_malformed: ledger[4] as usize,
+                    synthesized_flows: ledger[5] as usize,
+                },
+                detect,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_round_trips_arbitrary_analyses(
+        analyses in proptest::collection::vec(arb_analysis(), 0..6),
+        campaign in 0u32..1_000,
+        seq in 0u32..1_000,
+    ) {
+        let mut builder = SegmentBuilder::default();
+        for (i, analysis) in analyses.iter().enumerate() {
+            builder.push_analysis(i as u32, analysis);
+        }
+        let bytes = builder.seal(campaign, seq);
+        let view = SegmentView::parse(&bytes).expect("sealed segment parses");
+        let (n_analyses, n_flows, _) = view.counts();
+        prop_assert_eq!(n_analyses, analyses.len());
+        prop_assert_eq!(
+            n_flows,
+            analyses.iter().map(|a| a.flows.len()).sum::<usize>()
+        );
+        let records = view.materialize();
+        prop_assert_eq!(records.len(), analyses.len());
+        for (i, (index, got)) in records.iter().enumerate() {
+            prop_assert_eq!(*index, i as u32);
+            prop_assert_eq!(got, &analyses[i]);
+        }
+    }
+
+    #[test]
+    fn crash_loses_at_most_the_unsealed_tail_and_counts_it(
+        analyses in proptest::collection::vec(arb_analysis(), 1..10),
+        seal_every in 1usize..4,
+        leave_tmp in any::<bool>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "spector-store-prop-{}-{seal_every}-{}",
+            std::process::id(),
+            analyses.len(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = CampaignMeta {
+            seed: 1,
+            apps: analyses.len(),
+            monkey_events: 1,
+            kind: CampaignKind::Run,
+        };
+        let options = StoreOptions {
+            seal_every,
+            ..StoreOptions::default()
+        };
+        let mut writer = StoreWriter::create(&dir, &meta, options).expect("store opens");
+        for (i, analysis) in analyses.iter().enumerate() {
+            writer.append_analysis(i as u32, analysis).expect("append");
+        }
+        // Crash: the writer vanishes without finish() or Drop.
+        std::mem::forget(writer);
+        if leave_tmp {
+            // A torn tmp file from a rename that never happened.
+            std::fs::write(dir.join("seg-9999-9999.spseg.tmp"), b"torn").unwrap();
+        }
+
+        let reader = StoreReader::open(&dir).expect("crash never breaks open");
+        let sealed = (analyses.len() / seal_every) * seal_every;
+        let recovered = reader.campaign_analyses(0);
+        prop_assert_eq!(recovered.len(), sealed, "exactly the sealed prefix survives");
+        for (got, want) in recovered.iter().zip(&analyses) {
+            prop_assert_eq!(got, want, "sealed records survive bit-exact");
+        }
+        prop_assert_eq!(reader.integrity().rejected.len(), 0);
+        prop_assert_eq!(
+            reader.integrity().unsealed_campaigns, 1,
+            "the interrupted campaign is counted, not silent"
+        );
+        let orphans = reader.integrity().orphaned_segments;
+        prop_assert_eq!(orphans, usize::from(leave_tmp), "stray tmp files are counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

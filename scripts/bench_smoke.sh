@@ -25,6 +25,11 @@ cargo bench -p spector-bench --bench ingest -- --quick "$@"
 # structural) over obfuscated variants of the 400-app store.
 cargo bench -p spector-bench --bench detect -- --quick "$@"
 
+# store: durable-store segment ingest + historical query throughput at
+# 10x/100x the 400-app fixture (asserts store-backed report
+# byte-identity before timing).
+cargo bench -p spector-bench --bench store -- --quick "$@"
+
 # chaos: fault-injection layer overhead + end-to-end robustness smoke
 # (heavy profile, checkpoint/resume identity, --max-failures gate).
 scripts/chaos_smoke.sh

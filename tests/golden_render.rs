@@ -139,6 +139,9 @@ fn golden_directory_holds_exactly_the_known_sections() {
         .map(|s| format!("{}.txt", s.slug()))
         .collect();
     expected.push("detect_quality.txt".to_owned());
+    // The store-backed report golden (tests/store_query.rs) shares the
+    // directory.
+    expected.push("query_report.txt".to_owned());
     expected.sort();
     assert_eq!(on_disk, expected, "stale or missing golden files");
 }

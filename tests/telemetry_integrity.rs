@@ -442,6 +442,102 @@ fn heavy_chaos_telemetry_agrees_with_outcome() {
     assert_agreement(&outcome, &snapshot, "heavy/503");
 }
 
+/// The store's append ledger balances against both itself and the
+/// campaign ground truth: `records_appended` is exactly the sum of its
+/// three parts, analyses/flows match the outcome, and the one extra
+/// report is the campaign seal.
+#[test]
+fn store_counters_balance_against_the_campaign() {
+    use spector_dispatch::run_campaign_stored;
+    use spector_store::{
+        CampaignKind, CampaignMeta, CampaignSealRecord, StoreOptions, StoreReader, StoreTelemetry,
+        StoreWriter,
+    };
+
+    let dir = std::env::temp_dir().join(format!("spector-telemetry-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        apps: 6,
+        seed: 808,
+        appgen: AppGenConfig {
+            method_scale: 0.006,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let knowledge = Knowledge::from_corpus(&corpus);
+    let mut dispatch = DispatchConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    dispatch.experiment.monkey.events = 80;
+    dispatch.experiment.monkey.seed = 808;
+    let telemetry = Telemetry::enabled();
+    let config = CampaignConfig {
+        dispatch,
+        retry: RetryPolicy::never(),
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let meta = CampaignMeta {
+        seed: 808,
+        apps: 6,
+        monkey_events: 80,
+        kind: CampaignKind::Run,
+    };
+    let options = StoreOptions {
+        seal_every: 2, // several segments, not one
+        telemetry: StoreTelemetry::new(&telemetry),
+    };
+    let writer =
+        std::sync::Mutex::new(StoreWriter::create(&dir, &meta, options).expect("store opens"));
+    let outcome = run_campaign_stored(&corpus, &knowledge, &config, None, None, Some(&writer))
+        .expect("campaign runs");
+    writer
+        .into_inner()
+        .unwrap()
+        .finish(&CampaignSealRecord {
+            seed: 808,
+            apps: 6,
+            monkey_events: 80,
+            failures: vec![],
+        })
+        .expect("campaign seals");
+    let snapshot = telemetry.snapshot();
+
+    // 1. Internal balance: the total is exactly the sum of its parts.
+    let appended = snapshot.counter("spector_store_records_appended_total");
+    let analyses = snapshot.counter("spector_store_analyses_appended_total");
+    let flows = snapshot.counter("spector_store_flows_appended_total");
+    let reports = snapshot.counter("spector_store_reports_appended_total");
+    assert_eq!(
+        appended,
+        analyses + flows + reports,
+        "records_appended must equal analyses + flows + reports"
+    );
+
+    // 2. Ground truth: one analysis row per accepted app, one flow row
+    //    per analyzed flow, one report row (the campaign seal).
+    assert_eq!(analyses, outcome.analyses.len() as u64);
+    let total_flows: u64 = outcome.analyses.iter().map(|a| a.flows.len() as u64).sum();
+    assert_eq!(flows, total_flows);
+    assert_eq!(reports, 1, "exactly the campaign seal record");
+
+    // 3. The bytes/segments the writer claims are what landed on disk,
+    //    and reading them back rejects nothing.
+    let reader =
+        StoreReader::open_with(&dir, StoreTelemetry::new(&telemetry)).expect("store reads back");
+    assert_eq!(
+        reader.integrity().segments_ok as u64,
+        snapshot.counter("spector_store_segments_written_total"),
+    );
+    assert_eq!(reader.integrity().rejected.len(), 0);
+    assert_eq!(snapshot.counter("spector_store_segments_rejected_total"), 0);
+    assert_eq!(reader.campaign_analyses(0).len(), outcome.analyses.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Seed sweep: agreement is a property of the instrumentation points,
 /// not of any particular trace, so it must hold for every seed.
 #[test]
