@@ -39,6 +39,7 @@ pub mod paper;
 pub mod profile;
 pub mod render;
 pub mod rq;
+pub mod sampling;
 pub mod stats;
 pub mod storeq;
 pub mod table1;
@@ -94,6 +95,9 @@ pub struct FullReport {
     pub cost: cost::CostReport,
     /// §IV research-question answers, incl. the RQ2 baseline comparison.
     pub rq: rq::RqAnswers,
+    /// Sampled-tracing volume recovery (inactive for exact campaigns).
+    #[serde(default)]
+    pub sampling: sampling::SamplingReport,
 }
 
 impl FullReport {
@@ -113,6 +117,7 @@ impl FullReport {
             fig10: fig10::compute(analyses),
             cost: cost::compute(analyses),
             rq: rq::compute(analyses),
+            sampling: sampling::compute(analyses),
         }
     }
 
@@ -181,6 +186,7 @@ pub(crate) mod testutil {
             report_packets: 1,
             integrity: Default::default(),
             detect: Default::default(),
+            sampling: Default::default(),
         }
     }
 }

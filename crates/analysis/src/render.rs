@@ -102,13 +102,57 @@ pub fn render_section(report: &FullReport, section: Section) -> String {
     out
 }
 
-/// Renders the complete report.
+/// Renders the complete report. The sampled-tracing recovery section
+/// is appended after the pinned sections, and only for campaigns that
+/// shipped sampling ledgers — exact reports stay byte-identical to
+/// what this function has always produced.
 pub fn render_full(report: &FullReport) -> String {
     let mut out = String::new();
     for section in Section::ALL {
         out.push_str(&render_section(report, section));
     }
+    if report.sampling.active {
+        render_sampling(&mut out, report);
+    }
     out
+}
+
+/// The sampled-tracing recovery section. Deliberately not a
+/// [`Section`] variant: `Section::ALL` is pinned by the golden suite
+/// and this section has no exact-campaign rendering.
+fn render_sampling(out: &mut String, report: &FullReport) {
+    let s = &report.sampling;
+    let l = &s.ledger;
+    let _ = writeln!(out, "== Sampled tracing: volume recovery ==");
+    let _ = writeln!(
+        out,
+        "  ledger: observed {} | emitted {} | sampled-out {} | budget-suppressed {} | windows-exhausted {} | ledgers-lost {}",
+        l.reports_observed,
+        l.reports_emitted,
+        l.sampled_out,
+        l.budget_suppressed,
+        l.windows_exhausted,
+        l.ledgers_lost
+    );
+    let _ = writeln!(out, "  mean inclusion p = {:.4}", s.mean_inclusion);
+    let fmt = |est: &crate::sampling::VolumeEstimate| {
+        format!(
+            "{:>9.3} -> {:>9.3} ± {:>7.3} MB",
+            mb(est.observed_bytes),
+            est.estimated_bytes / MB,
+            est.ci95 / MB
+        )
+    };
+    let _ = writeln!(out, "  per-library estimates (observed -> estimated):");
+    for (name, est) in s.per_library.iter().take(15) {
+        let _ = writeln!(out, "    {name:<44} {}", fmt(est));
+    }
+    let _ = writeln!(out, "  per-domain-category estimates:");
+    for (name, est) in s.per_domain_category.iter().take(15) {
+        let _ = writeln!(out, "    {name:<44} {}", fmt(est));
+    }
+    let _ = writeln!(out, "  {:<44} {}", "total", fmt(&s.total));
+    let _ = writeln!(out);
 }
 
 fn render_headline(out: &mut String, report: &FullReport) {

@@ -1,0 +1,253 @@
+//! Statistical volume recovery for sampled campaigns.
+//!
+//! When a campaign runs with `--sample-rate < 1` (or a trace budget),
+//! the Socket Supervisor suppresses a counted fraction of its report
+//! datagrams, so library attribution only sees the surviving flows.
+//! This module scales what survived back to a population estimate with
+//! a Horvitz–Thompson-style ratio estimator:
+//!
+//! * Each app's [`SamplingLedger`] gives the realized inclusion
+//!   probability `p̂ = reports_emitted / reports_observed` — the exact
+//!   fraction of its sockets whose reports made it out, not the
+//!   configured rate, so budget suppression is recovered too.
+//! * A library-attributed flow survives attribution iff its report was
+//!   emitted, so each surviving flow is reweighted by `1/p̂` (the HT
+//!   inverse-inclusion weight). Platform-created (builtin) flows never
+//!   depend on reports and pass through unweighted.
+//! * The per-bucket 95% interval half-width is
+//!   `1.96 · √(Σ bytes² · (1−p̂)/p̂²)` — the HT variance estimate under
+//!   independent per-socket inclusion.
+//!
+//! At rate 1.0 with no budget the hook layer emits no ledger at all:
+//! `p̂ = 1`, every estimate equals the observed value exactly, the
+//! interval collapses to zero, and [`SamplingReport::active`] is
+//! `false`, so the rendered report is byte-identical to an exact
+//! campaign's. Convergence as the rate approaches 1 is pinned by
+//! `tests/sampling_convergence.rs`.
+
+use std::collections::BTreeMap;
+
+use libspector::pipeline::AppAnalysis;
+use libspector::OriginKind;
+use serde::{Deserialize, Serialize};
+use spector_sampling::SamplingLedger;
+
+use crate::origin_key;
+
+/// One bucket's observed volume, its population estimate, and the 95%
+/// interval half-width around the estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VolumeEstimate {
+    /// Wire bytes that survived sampling (what the exact aggregations
+    /// saw).
+    pub observed_bytes: u64,
+    /// Horvitz–Thompson estimate of the unsampled population volume.
+    pub estimated_bytes: f64,
+    /// 95% confidence half-width: `estimated ± ci95`.
+    pub ci95: f64,
+}
+
+impl VolumeEstimate {
+    fn add(&mut self, bytes: u64, scale: f64, var: f64) {
+        self.observed_bytes += bytes;
+        self.estimated_bytes += bytes as f64 * scale;
+        // Variances add across independent inclusions; the half-width
+        // is recomputed from the running sum.
+        let sum_var = self.variance() + var;
+        self.ci95 = 1.96 * sum_var.sqrt();
+    }
+
+    fn variance(&self) -> f64 {
+        let half = self.ci95 / 1.96;
+        half * half
+    }
+
+    /// Relative error of the estimate against a known exact volume.
+    pub fn relative_error(&self, exact_bytes: u64) -> f64 {
+        if exact_bytes == 0 {
+            return 0.0;
+        }
+        (self.estimated_bytes - exact_bytes as f64).abs() / exact_bytes as f64
+    }
+}
+
+/// The campaign-wide recovery report: merged ledger plus per-bucket
+/// estimates. All-default (inactive) when every run was exact.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SamplingReport {
+    /// `true` when at least one run shipped a sampling ledger; the
+    /// renderer emits nothing otherwise, keeping exact reports
+    /// byte-identical.
+    pub active: bool,
+    /// Campaign-wide merged ledger.
+    pub ledger: SamplingLedger,
+    /// Mean realized inclusion probability across the campaign
+    /// (`emitted / observed`; 1.0 when nothing was observed).
+    pub mean_inclusion: f64,
+    /// Per-origin-library estimates ([`origin_key`] buckets), sorted by
+    /// estimated volume descending.
+    pub per_library: Vec<(String, VolumeEstimate)>,
+    /// Per-domain-category estimates (label is the category's `Debug`
+    /// name), sorted by estimated volume descending.
+    pub per_domain_category: Vec<(String, VolumeEstimate)>,
+    /// Whole-campaign estimate over every flow.
+    pub total: VolumeEstimate,
+}
+
+/// Computes the recovery report over a campaign's analyses.
+pub fn compute(analyses: &[AppAnalysis]) -> SamplingReport {
+    let mut report = SamplingReport::default();
+    let mut per_library: BTreeMap<String, VolumeEstimate> = BTreeMap::new();
+    let mut per_domain: BTreeMap<String, VolumeEstimate> = BTreeMap::new();
+    for analysis in analyses {
+        let ledger = &analysis.sampling;
+        report.ledger.merge(ledger);
+        if !ledger.is_empty() {
+            report.active = true;
+        }
+        // Realized per-app inclusion probability. With no survivors
+        // there is nothing to scale (the attributed volume is zero),
+        // so the degenerate scale never multiplies anything.
+        let (p_hat, scale) = if ledger.reports_observed == 0 || ledger.reports_emitted == 0 {
+            (1.0, 1.0)
+        } else {
+            let p = ledger.reports_emitted as f64 / ledger.reports_observed as f64;
+            (
+                p,
+                ledger.reports_observed as f64 / ledger.reports_emitted as f64,
+            )
+        };
+        for flow in &analysis.flows {
+            let bytes = flow.total_bytes();
+            // Only report-driven attribution is thinned by sampling;
+            // platform sockets pass through unweighted.
+            let (scale, var) = match &flow.origin {
+                OriginKind::Library { .. } => {
+                    let b = bytes as f64;
+                    (scale, b * b * (1.0 - p_hat) / (p_hat * p_hat))
+                }
+                OriginKind::Builtin => (1.0, 0.0),
+            };
+            per_library
+                .entry(origin_key(flow))
+                .or_default()
+                .add(bytes, scale, var);
+            per_domain
+                .entry(format!("{:?}", flow.domain_category))
+                .or_default()
+                .add(bytes, scale, var);
+            report.total.add(bytes, scale, var);
+        }
+    }
+    report.mean_inclusion = if report.ledger.reports_observed == 0 {
+        1.0
+    } else {
+        report.ledger.reports_emitted as f64 / report.ledger.reports_observed as f64
+    };
+    report.per_library = sorted_desc(per_library);
+    report.per_domain_category = sorted_desc(per_domain);
+    report
+}
+
+fn sorted_desc(map: BTreeMap<String, VolumeEstimate>) -> Vec<(String, VolumeEstimate)> {
+    let mut out: Vec<(String, VolumeEstimate)> = map.into_iter().collect();
+    // BTreeMap iteration is name-ordered, and the sort is stable, so
+    // equal volumes tie-break by name: fully deterministic.
+    out.sort_by(|a, b| {
+        b.1.estimated_bytes
+            .partial_cmp(&a.1.estimated_bytes)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    fn sampled_app(emitted: u64, observed: u64) -> AppAnalysis {
+        let mut analysis = app(
+            "com.a",
+            "GAME_ACTION",
+            vec![
+                flow(
+                    Some(("com.unity3d.ads", "com.unity3d")),
+                    LibCategory::Advertisement,
+                    "ads.host",
+                    DomainCategory::Advertisements,
+                    500,
+                    4_500,
+                ),
+                flow(
+                    None,
+                    LibCategory::Unknown,
+                    "p.host",
+                    DomainCategory::Cdn,
+                    100,
+                    900,
+                ),
+            ],
+        );
+        analysis.sampling = SamplingLedger {
+            reports_observed: observed,
+            reports_emitted: emitted,
+            sampled_out: observed - emitted,
+            ..Default::default()
+        };
+        analysis
+    }
+
+    #[test]
+    fn exact_campaign_is_inactive_and_unscaled() {
+        let report = compute(&[app("com.a", "TOOLS", vec![])]);
+        assert!(!report.active);
+        assert_eq!(report.mean_inclusion, 1.0);
+        assert_eq!(report.total, VolumeEstimate::default());
+    }
+
+    #[test]
+    fn fully_emitted_ledger_estimates_exactly() {
+        let report = compute(&[sampled_app(8, 8)]);
+        assert!(report.active, "a shipped ledger activates the section");
+        assert_eq!(report.total.observed_bytes, 6_000);
+        assert_eq!(report.total.estimated_bytes, 6_000.0);
+        assert_eq!(report.total.ci95, 0.0);
+    }
+
+    #[test]
+    fn half_rate_doubles_library_volume_but_not_builtin() {
+        let report = compute(&[sampled_app(4, 8)]);
+        let lib = &report
+            .per_library
+            .iter()
+            .find(|(name, _)| name == "com.unity3d.ads")
+            .unwrap()
+            .1;
+        assert_eq!(lib.observed_bytes, 5_000);
+        assert_eq!(lib.estimated_bytes, 10_000.0);
+        assert!(lib.ci95 > 0.0, "thinned buckets carry uncertainty");
+        let builtin = &report
+            .per_library
+            .iter()
+            .find(|(name, _)| name.starts_with('*'))
+            .unwrap()
+            .1;
+        assert_eq!(builtin.estimated_bytes, 1_000.0);
+        assert_eq!(builtin.ci95, 0.0);
+        assert_eq!(report.total.estimated_bytes, 11_000.0);
+        assert_eq!(report.mean_inclusion, 0.5);
+    }
+
+    #[test]
+    fn zero_survivors_do_not_blow_up() {
+        let mut analysis = sampled_app(0, 8);
+        analysis.flows.clear();
+        let report = compute(&[analysis]);
+        assert!(report.active);
+        assert_eq!(report.total.estimated_bytes, 0.0);
+        assert_eq!(report.mean_inclusion, 0.0);
+    }
+}

@@ -77,6 +77,7 @@ fn analysis() -> impl Strategy<Value = AppAnalysis> {
                 report_packets: 1,
                 integrity: Default::default(),
                 detect: Default::default(),
+                sampling: Default::default(),
             },
         )
 }

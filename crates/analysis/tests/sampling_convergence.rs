@@ -1,0 +1,214 @@
+//! Estimator convergence: the Horvitz–Thompson volume recovery in
+//! `spector_analysis::sampling` must equal the exact volume
+//! bit-for-bit at rate 1.0, and its error must shrink to zero as the
+//! rate approaches 1.
+//!
+//! The tests simulate exactly what the hook layer does: one inclusion
+//! draw per socket via [`should_sample`], survivors keep their flows,
+//! the ledger counts the rest. Because every rate thresholds the same
+//! draw, sampled sets are *nested* across rates — the deterministic
+//! backbone the convergence assertions lean on.
+
+use libspector::coverage::CoverageReport;
+use libspector::pipeline::{AnalyzedFlow, AppAnalysis};
+use libspector::OriginKind;
+use proptest::prelude::*;
+use spector_analysis::sampling::compute;
+use spector_libradar::LibCategory;
+use spector_sampling::{should_sample, SamplingLedger};
+use spector_vtcat::DomainCategory;
+
+/// One library-origin flow of `bytes` wire bytes.
+fn library_flow(index: usize, bytes: u64) -> AnalyzedFlow {
+    AnalyzedFlow {
+        domain: Some(format!("host{}.example.net", index % 7)),
+        domain_category: DomainCategory::Advertisements,
+        origin: OriginKind::Library {
+            origin_library: format!("com.lib{}.sdk", index % 5),
+            two_level: format!("com.lib{}", index % 5),
+        },
+        lib_category: LibCategory::Advertisement,
+        is_ant: true,
+        is_common: false,
+        sent_bytes: bytes / 4,
+        recv_bytes: bytes - bytes / 4,
+        sent_payload: bytes / 4,
+        recv_payload: bytes - bytes / 4,
+        start_micros: index as u64 * 1_000,
+        http_user_agent: None,
+    }
+}
+
+fn app_with(index: usize, flows: Vec<AnalyzedFlow>, ledger: SamplingLedger) -> AppAnalysis {
+    AppAnalysis {
+        package: format!("com.app{index}"),
+        app_category: "TOOLS".to_owned(),
+        flows,
+        unattributed_flows: 0,
+        reports_without_flow: 0,
+        coverage: CoverageReport {
+            total_methods: 100,
+            executed_methods: 10,
+            external_methods: 2,
+        },
+        dns_packets: 0,
+        report_packets: 0,
+        integrity: Default::default(),
+        detect: Default::default(),
+        sampling: ledger,
+    }
+}
+
+/// The canonical 4-tuple bytes for socket `i` of app `app` — the same
+/// key shape the supervisor feeds the inclusion draw.
+fn pair_bytes(app: usize, i: usize) -> Vec<u8> {
+    let mut bytes = vec![10, 0, 2, 15];
+    bytes.extend_from_slice(&(40_000 + i as u16).to_be_bytes());
+    bytes.extend_from_slice(&[198, 51, 100, (app % 250) as u8 + 1]);
+    bytes.extend_from_slice(&443u16.to_be_bytes());
+    bytes
+}
+
+/// Simulates a sampled campaign over a known population: per app, one
+/// socket per byte count, each included iff its draw passes `rate`.
+/// Returns the thinned analyses (ledgers balanced by construction).
+fn sampled_campaign(population: &[Vec<u64>], seed: u64, rate: f64) -> Vec<AppAnalysis> {
+    population
+        .iter()
+        .enumerate()
+        .map(|(app, sizes)| {
+            let digest = [app as u8 + 1; 32];
+            let mut flows = Vec::new();
+            let mut ledger = SamplingLedger::default();
+            for (i, &bytes) in sizes.iter().enumerate() {
+                ledger.reports_observed += 1;
+                if should_sample(seed, &digest, &pair_bytes(app, i), rate) {
+                    ledger.reports_emitted += 1;
+                    flows.push(library_flow(i, bytes));
+                } else {
+                    ledger.sampled_out += 1;
+                }
+            }
+            app_with(app, flows, ledger)
+        })
+        .collect()
+}
+
+fn exact_total(population: &[Vec<u64>]) -> u64 {
+    population.iter().flatten().sum()
+}
+
+proptest! {
+    /// Rate 1.0 is the exact path: every socket survives, the estimate
+    /// equals the observed volume exactly, and the interval collapses.
+    #[test]
+    fn rate_one_recovers_exactly(
+        population in prop::collection::vec(
+            prop::collection::vec(100u64..10_000, 1..40), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let report = compute(&sampled_campaign(&population, seed, 1.0));
+        let exact = exact_total(&population);
+        prop_assert_eq!(report.total.observed_bytes, exact);
+        prop_assert_eq!(report.total.estimated_bytes, exact as f64);
+        prop_assert_eq!(report.total.ci95, 0.0);
+        prop_assert_eq!(report.mean_inclusion, 1.0);
+    }
+
+    /// Nested inclusion: raising the rate never evicts a survivor, so
+    /// the observed volume is monotone nondecreasing up the ladder —
+    /// and at the top it is the whole population.
+    #[test]
+    fn observed_volume_is_monotone_in_rate(
+        population in prop::collection::vec(
+            prop::collection::vec(100u64..10_000, 5..40), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut previous = 0u64;
+        for rate in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let report = compute(&sampled_campaign(&population, seed, rate));
+            prop_assert!(
+                report.total.observed_bytes >= previous,
+                "observed volume shrank from {previous} at rate {rate}"
+            );
+            previous = report.total.observed_bytes;
+        }
+        prop_assert_eq!(previous, exact_total(&population));
+    }
+
+    /// The estimator is the per-app ratio blow-up and nothing else:
+    /// the whole-campaign estimate equals the hand-computed
+    /// `Σ_app (observed/emitted) · surviving_bytes`, and every
+    /// constructed ledger balances.
+    #[test]
+    fn estimate_is_the_ratio_blowup(
+        population in prop::collection::vec(
+            prop::collection::vec(100u64..10_000, 1..40), 1..5),
+        seed in any::<u64>(),
+        rate in (5u32..100).prop_map(|pct| pct as f64 / 100.0),
+    ) {
+        let analyses = sampled_campaign(&population, seed, rate);
+        let report = compute(&analyses);
+        let mut expected = 0.0f64;
+        for analysis in &analyses {
+            prop_assert!(analysis.sampling.is_balanced());
+            let survived: u64 = analysis.flows.iter().map(|f| f.total_bytes()).sum();
+            if analysis.sampling.reports_emitted > 0 {
+                expected += survived as f64 * analysis.sampling.reports_observed as f64
+                    / analysis.sampling.reports_emitted as f64;
+            }
+        }
+        let diff = (report.total.estimated_bytes - expected).abs();
+        prop_assert!(diff <= expected.abs() * 1e-9 + 1e-6, "diff {diff}");
+    }
+}
+
+/// Error shrinks as the rate approaches 1: over a fixed population and
+/// a spread of sampling seeds, the mean relative error of the
+/// recovered total is bounded, decreases up the rate ladder, and hits
+/// zero at rate 1.0. Fully deterministic — fixed population, fixed
+/// seeds — so the observed means never move between runs.
+#[test]
+fn mean_error_shrinks_up_the_rate_ladder() {
+    // 24 apps x 60 sockets with a heavy-tailed size mix.
+    let population: Vec<Vec<u64>> = (0..24)
+        .map(|app| {
+            (0..60)
+                .map(|i| {
+                    let r = (app * 60 + i) as u64;
+                    200 + (r * r * 37) % 20_000
+                })
+                .collect()
+        })
+        .collect();
+    let exact = exact_total(&population);
+    let ladder = [0.25, 0.5, 0.9, 1.0];
+    let mut mean_errors = Vec::new();
+    for &rate in &ladder {
+        let total: f64 = (0..16u64)
+            .map(|seed| {
+                compute(&sampled_campaign(&population, seed * 7 + 1, rate))
+                    .total
+                    .relative_error(exact)
+            })
+            .sum();
+        mean_errors.push(total / 16.0);
+    }
+    assert_eq!(mean_errors[3], 0.0, "exact at rate 1.0");
+    assert!(
+        mean_errors[2] < mean_errors[0],
+        "error at 0.9 ({}) must undercut error at 0.25 ({})",
+        mean_errors[2],
+        mean_errors[0]
+    );
+    assert!(
+        mean_errors[1] < mean_errors[0] + 1e-12,
+        "error at 0.5 ({}) must not exceed error at 0.25 ({})",
+        mean_errors[1],
+        mean_errors[0]
+    );
+    // Absolute sanity: with ~1.4k sockets the ratio estimator's mean
+    // relative error stays small even at the bottom of the ladder.
+    assert!(mean_errors[0] < 0.10, "rate 0.25 error {}", mean_errors[0]);
+    assert!(mean_errors[2] < 0.02, "rate 0.9 error {}", mean_errors[2]);
+}

@@ -375,6 +375,59 @@ fn bench_substrates(c: &mut Criterion) {
     let _ = HashMap::<u8, u8>::new(); // keep HashMap import meaningful under cfg tweaks
 }
 
+/// Cost of the sampled-tracing layer on the per-app experiment:
+/// `exact` (rate 1.0, no budget) takes the wire-identical fast path
+/// and must sit within noise of the pre-sampling pipeline numbers in
+/// `BENCH_pipeline.json`; `sampled`/`budgeted` pay one SplitMix64 draw
+/// (plus a window check) per socket. The bare inclusion decision is
+/// timed on its own at the bottom.
+fn bench_sampling_overhead(c: &mut Criterion) {
+    use spector_sampling::{sample_draw, SamplingConfig, TraceBudget};
+
+    let corpus = corpus();
+    let resolver = resolver_for(&corpus.domains);
+    let app = &corpus.apps[0];
+    let system: Vec<_> = app
+        .system_ops
+        .iter()
+        .map(|s| (s.op.clone(), s.dispatcher))
+        .collect();
+    let mut group = c.benchmark_group("perf/sampling_overhead");
+    group.sample_size(20);
+    let cases = [
+        ("experiment_exact", 1.0, None),
+        ("experiment_rate_0.5", 0.5, None),
+        (
+            "experiment_budget_64",
+            1.0,
+            Some(TraceBudget {
+                max_reports: 64,
+                window_micros: 50_000,
+            }),
+        ),
+    ];
+    for (label, rate, budget) in cases {
+        let mut config = ExperimentConfig::default();
+        config.monkey.events = 120;
+        config.supervisor.sampling = SamplingConfig {
+            rate,
+            seed: 7,
+            budget,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_app(&app.apk, &resolver, &system, &config).unwrap())
+            });
+        });
+    }
+    let digest = [0xa5u8; 32];
+    let pair = [10u8, 0, 2, 15, 0x9c, 0x40, 198, 18, 0, 1, 1, 0xbb];
+    group.bench_function("inclusion_draw", |b| {
+        b.iter(|| std::hint::black_box(sample_draw(7, &digest, &pair)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_hook_overhead,
@@ -382,6 +435,7 @@ criterion_group!(
     bench_analysis_throughput,
     bench_chaos_overhead,
     bench_telemetry_overhead,
-    bench_substrates
+    bench_substrates,
+    bench_sampling_overhead
 );
 criterion_main!(benches);

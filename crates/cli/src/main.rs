@@ -21,9 +21,10 @@ use spector_dispatch::{
     CheckpointConfig, DispatchConfig, RetryPolicy,
 };
 use spector_faults::{FaultPlan, FaultProfile};
+use spector_sampling::{SamplingConfig, TraceBudget};
 use spector_store::{
     CampaignKind, CampaignMeta, CampaignSealRecord, StoreOptions, StoreReader, StoreTelemetry,
-    StoreWriter, StoredFailure,
+    StoreWriter, StoredFailure, DEFAULT_SEAL_EVERY,
 };
 
 fn main() -> ExitCode {
@@ -68,15 +69,20 @@ USAGE:
                     [--chaos none|light|heavy] [--chaos-seed S]
                     [--max-failures N] [--checkpoint FILE]
                     [--checkpoint-every N] [--resume FILE]
+                    [--sample-rate F]    (per-socket report sampling, default 1.0)
+                    [--trace-budget N [--trace-budget-window MICROS]]
                     [--metrics FILE]  (also writes FILE.prom)
                     [--store DIR]     (durable columnar campaign store)
+                    [--store-seal-every N]  (analyses per sealed segment)
   libspector live   --apps N [--seed S] [--events E] [--workers W]
                     [--shards K] [--batch-events B] [--snapshot-every N]
-                    [--metrics FILE] [--store DIR]
+                    [--sample-rate F] [--trace-budget N [--trace-budget-window MICROS]]
+                    [--metrics FILE] [--store DIR] [--store-seal-every N]
   libspector query  --store DIR [--campaign N | --campaigns N1,N2,...]
                     [--report] [--top N] [--metrics FILE]
                     (--report prints the stored campaign's standard report,
-                     byte-identical to what `run` printed)
+                     byte-identical to what `run` printed; integrity counts
+                     — ok/rejected/orphaned/unsealed — go to stderr)
   libspector metrics --file FILE [--prometheus]  (per-stage profile table)
   libspector report --campaign FILE
   libspector sweep  --apps N [--seed S] --events E1,E2,...
@@ -101,6 +107,32 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
             .parse()
             .map_err(|_| format!("invalid value {raw:?} for {name}")),
     }
+}
+
+/// Parses the shared sampling/budget flags. The inclusion seed is
+/// derived from the campaign seed so reruns are reproducible, but
+/// offset so changing the rate never perturbs the monkey workload.
+fn parse_sampling(args: &[String], seed: u64) -> Result<SamplingConfig, String> {
+    let rate: f64 = parse_flag(args, "--sample-rate", 1.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--sample-rate {rate} outside [0, 1]"));
+    }
+    let budget: Option<u64> = match flag(args, "--trace-budget") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value {raw:?} for --trace-budget"))?,
+        ),
+    };
+    let window_micros: u64 = parse_flag(args, "--trace-budget-window", 0)?;
+    Ok(SamplingConfig {
+        rate,
+        seed: seed ^ 0x5a4d_9a17_c0ff_ee01,
+        budget: budget.map(|max_reports| TraceBudget {
+            max_reports,
+            window_micros,
+        }),
+    })
 }
 
 /// Writes the snapshot as stable JSON to `path` and as Prometheus
@@ -136,6 +168,7 @@ fn open_store_writer(
     apps: usize,
     events: u32,
     kind: CampaignKind,
+    seal_every: usize,
     telemetry: &spector_telemetry::Telemetry,
 ) -> Result<std::sync::Mutex<StoreWriter>, String> {
     let meta = CampaignMeta {
@@ -145,8 +178,8 @@ fn open_store_writer(
         kind,
     };
     let options = StoreOptions {
+        seal_every,
         telemetry: StoreTelemetry::new(telemetry),
-        ..StoreOptions::default()
     };
     let writer = StoreWriter::create(std::path::Path::new(dir), &meta, options)
         .map_err(|e| format!("opening store {dir}: {e}"))?;
@@ -198,6 +231,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let resume: Option<String> = flag(args, "--resume");
     let metrics_out: Option<String> = flag(args, "--metrics");
     let store_dir: Option<String> = flag(args, "--store");
+    let seal_every: usize = parse_flag(args, "--store-seal-every", DEFAULT_SEAL_EVERY)?;
+    let sampling = parse_sampling(args, seed)?;
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -208,6 +243,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     dispatch.experiment.monkey.events = events;
     dispatch.experiment.monkey.seed = seed;
+    dispatch.experiment.supervisor.sampling = sampling;
+    if !sampling.is_exact() {
+        eprintln!(
+            "sampled tracing: rate {}, budget {}",
+            sampling.rate,
+            match sampling.budget {
+                Some(b) => format!(
+                    "{} report(s) per {} us window",
+                    b.max_reports, b.window_micros
+                ),
+                None => "none".to_owned(),
+            }
+        );
+    }
 
     let chaos = (!chaos_profile.is_noop()).then(|| FaultPlan::new(chaos_seed, chaos_profile));
     if let Some(plan) = &chaos {
@@ -236,7 +285,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let store = store_dir
         .as_deref()
-        .map(|dir| open_store_writer(dir, seed, apps, events, CampaignKind::Run, &telemetry))
+        .map(|dir| {
+            open_store_writer(
+                dir,
+                seed,
+                apps,
+                events,
+                CampaignKind::Run,
+                seal_every,
+                &telemetry,
+            )
+        })
         .transpose()?;
     eprintln!("running campaign ({events} monkey events per app)");
     let progress = |done: usize| {
@@ -310,6 +369,8 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
     let metrics_out: Option<String> = flag(args, "--metrics");
     let store_dir: Option<String> = flag(args, "--store");
+    let seal_every: usize = parse_flag(args, "--store-seal-every", DEFAULT_SEAL_EVERY)?;
+    let sampling = parse_sampling(args, seed)?;
 
     let corpus = build_corpus(apps, seed, method_scale);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
@@ -320,6 +381,10 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     };
     dispatch.experiment.monkey.events = events;
     dispatch.experiment.monkey.seed = seed;
+    dispatch.experiment.supervisor.sampling = sampling;
+    if !sampling.is_exact() {
+        eprintln!("sampled tracing: rate {}", sampling.rate);
+    }
 
     let telemetry = if metrics_out.is_some() {
         spector_telemetry::Telemetry::enabled()
@@ -328,7 +393,17 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     };
     let store = store_dir
         .as_deref()
-        .map(|dir| open_store_writer(dir, seed, apps, events, CampaignKind::Live, &telemetry))
+        .map(|dir| {
+            open_store_writer(
+                dir,
+                seed,
+                apps,
+                events,
+                CampaignKind::Live,
+                seal_every,
+                &telemetry,
+            )
+        })
         .transpose()?;
     let collector = LiveCollector::new(LiveEngine::start(
         std::sync::Arc::new(knowledge.clone()),
@@ -452,6 +527,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     for (file, kind) in &reader.integrity().rejected {
         eprintln!("warning: rejected segment {file}: {}", kind.label());
     }
+    let integrity = reader.integrity();
+    eprintln!(
+        "store integrity: {} segment(s) ok, {} rejected, {} orphaned, {} unsealed campaign(s)",
+        integrity.segments_ok,
+        integrity.rejected.len(),
+        integrity.orphaned_segments,
+        integrity.unsealed_campaigns,
+    );
 
     if report {
         // The stored campaign's standard report: byte-identical to the

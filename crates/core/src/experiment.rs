@@ -164,6 +164,10 @@ pub fn run_app_with_hooks(
     let mut monkey = Monkey::new(config.monkey.clone());
     let monkey_report = monkey.run(&mut runtime, &ui);
 
+    // 4. End of run: hooks flush out-of-band state (the supervisor's
+    // sampling ledger; a no-op on the exact path).
+    runtime.finish_hooks();
+
     let runtime_stats = runtime.stats();
     let duration_micros = runtime.net().clock().now_micros();
     let (net, profiler) = runtime.into_parts();

@@ -22,10 +22,11 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 use spector_hooks::supervisor::decode_reports_classified;
-use spector_hooks::{ReportErrorKind, SocketReport};
+use spector_hooks::{LedgerRecord, ReportErrorKind, SocketReport};
 use spector_libradar::{DetectTier, LibCategory};
 use spector_netsim::flows::{DnsMap, FlowTable};
 use spector_netsim::CaptureIndex;
+use spector_sampling::SamplingLedger;
 use spector_telemetry::{Counter, Histogram, StageRecorder, Telemetry, SIZE_BOUNDS_BYTES};
 use spector_vtcat::DomainCategory;
 
@@ -213,6 +214,11 @@ pub struct AppAnalysis {
     /// origin-library.
     #[serde(default)]
     pub detect: DetectStats,
+    /// Sampled-tracing accounting: reports the hook observed, emitted,
+    /// and suppressed (all-zero on an exact run, which emits no
+    /// ledger).
+    #[serde(default)]
+    pub sampling: SamplingLedger,
 }
 
 /// Display label for platform-created sockets ([`OriginKind::Builtin`])
@@ -323,6 +329,7 @@ pub struct PipelineTelemetry {
     /// `spector_detect_miss_total`: lookups no tier attributed.
     pub detect_miss: Counter,
     integrity: [Counter; 6],
+    sampling: [Counter; 6],
 }
 
 impl PipelineTelemetry {
@@ -330,6 +337,8 @@ impl PipelineTelemetry {
     pub fn new(telemetry: &Telemetry) -> Self {
         let integrity_counter =
             |field: &str| telemetry.counter(&format!("spector_integrity_{field}_total"));
+        let sampling_counter =
+            |field: &str| telemetry.counter(&format!("spector_sampling_{field}_total"));
         PipelineTelemetry {
             capture_decode: telemetry.stage_recorder("pipeline/capture_decode"),
             report_decode: telemetry.stage_recorder("pipeline/report_decode"),
@@ -357,6 +366,14 @@ impl PipelineTelemetry {
                 integrity_counter("reports_malformed"),
                 integrity_counter("synthesized_flows"),
             ],
+            sampling: [
+                sampling_counter("reports_observed"),
+                sampling_counter("reports_emitted"),
+                sampling_counter("sampled_out"),
+                sampling_counter("budget_suppressed"),
+                sampling_counter("windows_exhausted"),
+                sampling_counter("ledgers_lost"),
+            ],
         }
     }
 
@@ -376,6 +393,25 @@ impl PipelineTelemetry {
             DetectTier::ExactFingerprint => self.detect_exact_fp_hit.inc(),
             DetectTier::Structural => self.detect_structural_hit.inc(),
             DetectTier::Miss => self.detect_miss.inc(),
+        }
+    }
+
+    /// Mirrors one run's [`SamplingLedger`] into the
+    /// `spector_sampling_*_total` counters. Called once per accepted
+    /// analysis, so the counters inherit the ledger's balance
+    /// invariant: `spector_sampling_reports_observed_total` equals
+    /// emitted + sampled_out + budget_suppressed across the campaign.
+    pub fn record_sampling(&self, ledger: &SamplingLedger) {
+        let fields = [
+            ledger.reports_observed,
+            ledger.reports_emitted,
+            ledger.sampled_out,
+            ledger.budget_suppressed,
+            ledger.windows_exhausted,
+            ledger.ledgers_lost,
+        ];
+        for (counter, value) in self.sampling.iter().zip(fields) {
+            counter.add(value);
         }
     }
 
@@ -429,9 +465,11 @@ pub fn analyze_run_instrumented(
     let index = pt
         .capture_decode
         .time(|| CaptureIndex::build(&raw.capture, collector_port));
-    let (reports, report_errors) = pt
-        .report_decode
-        .time(|| decode_reports_classified(index.report_payloads.iter().copied()));
+    let (reports, report_errors, sampling) = pt.report_decode.time(|| {
+        let (report_payloads, sampling) = peel_ledgers(index.report_payloads.iter().copied());
+        let (reports, report_errors) = decode_reports_classified(report_payloads);
+        (reports, report_errors, sampling)
+    });
     let integrity = RunIntegrity {
         frames_truncated: index.frame_errors.truncated,
         frames_malformed: index.frame_errors.malformed,
@@ -441,6 +479,7 @@ pub fn analyze_run_instrumented(
         synthesized_flows: index.flows.synthesized_epochs(),
     };
     pt.record_integrity(&integrity);
+    pt.record_sampling(&sampling);
     join_reports(
         raw,
         knowledge,
@@ -448,12 +487,36 @@ pub fn analyze_run_instrumented(
         &index.dns,
         &reports,
         integrity,
+        sampling,
         pt,
         |origin| {
             pt.library_verdict
                 .time(|| knowledge.library_verdict_tiered(origin))
         },
     )
+}
+
+/// Splits collector-port payloads into report payloads and the run's
+/// merged [`SamplingLedger`]: ledger datagrams are decoded and summed;
+/// a ledger that fails to decode is *counted* into `ledgers_lost` —
+/// the loss accounting never loses anything silently, not even its
+/// own records. Everything else passes through to report decode.
+fn peel_ledgers<'a>(
+    payloads: impl IntoIterator<Item = &'a [u8]>,
+) -> (Vec<&'a [u8]>, SamplingLedger) {
+    let mut reports = Vec::new();
+    let mut ledger = SamplingLedger::default();
+    for payload in payloads {
+        if LedgerRecord::is_ledger_payload(payload) {
+            match LedgerRecord::decode(payload) {
+                Ok(record) => ledger.merge(&record.ledger),
+                Err(_) => ledger.ledgers_lost += 1,
+            }
+        } else {
+            reports.push(payload);
+        }
+    }
+    (reports, ledger)
 }
 
 /// Reference implementation of [`analyze_run`]: three independent
@@ -470,6 +533,7 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
     // Reference integrity pass: one more capture walk, classifying
     // every frame and collector-port payload the views skipped.
     let mut reports = Vec::new();
+    let mut sampling = SamplingLedger::default();
     let mut integrity = RunIntegrity {
         synthesized_flows: flow_table.synthesized_epochs(),
         ..RunIntegrity::default()
@@ -481,6 +545,13 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
                     continue;
                 };
                 if frame.pair.dst_port != collector_port {
+                    continue;
+                }
+                if LedgerRecord::is_ledger_payload(&payload) {
+                    match LedgerRecord::decode(&payload) {
+                        Ok(record) => sampling.merge(&record.ledger),
+                        Err(_) => sampling.ledgers_lost += 1,
+                    }
                     continue;
                 }
                 match SocketReport::decode(&payload) {
@@ -505,6 +576,7 @@ pub fn analyze_run_oracle(raw: &RawRun, knowledge: &Knowledge, collector_port: u
         &dns_map,
         &reports,
         integrity,
+        sampling,
         PipelineTelemetry::disabled_ref(),
         |origin| knowledge.library_verdict_tiered_oracle(origin),
     )
@@ -524,6 +596,7 @@ fn join_reports<F>(
     dns_map: &DnsMap,
     reports: &[SocketReport],
     integrity: RunIntegrity,
+    sampling: SamplingLedger,
     pt: &PipelineTelemetry,
     mut verdict: F,
 ) -> AppAnalysis
@@ -613,6 +686,7 @@ where
         report_packets,
         integrity,
         detect,
+        sampling,
     }
 }
 

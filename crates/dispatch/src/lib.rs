@@ -140,6 +140,7 @@ impl CampaignConfig {
             seed: self.dispatch.experiment.monkey.seed,
             monkey_events: self.dispatch.experiment.monkey.events,
             chaos: self.chaos,
+            sampling: self.dispatch.experiment.supervisor.sampling,
         }
     }
 }

@@ -17,6 +17,7 @@ use std::path::Path;
 use libspector::pipeline::AppAnalysis;
 use serde::{Deserialize, Serialize};
 use spector_faults::{FaultPlan, PerturbStats};
+use spector_sampling::SamplingConfig;
 
 use crate::AppFailure;
 
@@ -51,9 +52,17 @@ pub struct CampaignFingerprint {
     /// The chaos plan, if any — a resumed chaos campaign must replay
     /// the same faults.
     pub chaos: Option<FaultPlan>,
+    /// Sampling and budget settings — resuming under a different rate
+    /// would mix differently-thinned runs (defaults to exact for
+    /// checkpoints saved before sampled tracing existed).
+    #[serde(default)]
+    pub sampling: SamplingConfig,
 }
 
 /// One finished app inside a checkpoint.
+// Boxing the analysis would shrink the enum but the vendored serde
+// derives have no `Box<T>` impls; checkpoints hold few entries.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum CheckpointEntry {
     /// The app's run and analysis succeeded.
@@ -197,6 +206,7 @@ mod tests {
                 report_packets: 2,
                 integrity: Default::default(),
                 detect: Default::default(),
+                sampling: Default::default(),
             }],
             failures: vec![],
         }
@@ -208,6 +218,7 @@ mod tests {
             seed: 7,
             monkey_events: 50,
             chaos: None,
+            sampling: Default::default(),
         }
     }
 

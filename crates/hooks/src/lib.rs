@@ -14,6 +14,8 @@
 //!
 //! * [`report`] — the binary wire format of the supervisor's UDP
 //!   datagrams (encode on the device side, parse on the collector side);
+//! * [`ledger`] — the wire format of the end-of-run sampling-ledger
+//!   datagram the supervisor emits when sampled tracing is enabled;
 //! * [`supervisor`] — the hook module itself, implementing
 //!   [`spector_runtime::RuntimeHook`].
 //!
@@ -22,9 +24,11 @@
 //! capture — the offline pipeline must recognize and exclude them, just
 //! as the original analysis excluded Libspector's own UDP traffic.
 
+pub mod ledger;
 pub mod report;
 pub mod supervisor;
 
+pub use ledger::{LedgerRecord, LEDGER_MAGIC, LEDGER_WIRE_LEN};
 pub use report::{ReportErrorKind, ReportParseError, SocketReport, REPORT_MAGIC};
 pub use supervisor::{
     decode_report_datagram, decode_reports, decode_reports_classified, extract_reports,

@@ -22,9 +22,12 @@ use std::net::Ipv4Addr;
 
 use spector_dex::model::SigIndex;
 use spector_dex::sha256::Digest;
+use spector_netsim::packet::SocketPair;
 use spector_netsim::SocketId;
 use spector_runtime::{HookContext, RuntimeHook};
+use spector_sampling::{should_sample, BudgetState, SamplingConfig, SamplingLedger};
 
+use crate::ledger::LedgerRecord;
 use crate::report::{ReportErrorKind, ReportParseError, SocketReport};
 
 /// Supervisor settings.
@@ -38,6 +41,10 @@ pub struct SupervisorConfig {
     /// microseconds. The paper measured a 0.5 ms (9.75 %) worst-case
     /// per-request delay; the default models a typical 300 µs.
     pub hook_latency_micros: u64,
+    /// Sampled-tracing settings. The default is exact (rate 1.0, no
+    /// budget), in which case the supervisor's wire behavior is
+    /// byte-identical to a build without the sampling layer.
+    pub sampling: SamplingConfig,
 }
 
 impl Default for SupervisorConfig {
@@ -46,6 +53,7 @@ impl Default for SupervisorConfig {
             collector_ip: Ipv4Addr::new(10, 0, 2, 2),
             collector_port: 47_000,
             hook_latency_micros: 300,
+            sampling: SamplingConfig::default(),
         }
     }
 }
@@ -57,6 +65,8 @@ pub struct SocketSupervisor {
     index: SigIndex,
     config: SupervisorConfig,
     reports_sent: u64,
+    ledger: SamplingLedger,
+    budget: BudgetState,
 }
 
 impl SocketSupervisor {
@@ -68,12 +78,37 @@ impl SocketSupervisor {
             index,
             config,
             reports_sent: 0,
+            ledger: SamplingLedger::default(),
+            budget: BudgetState::default(),
         }
     }
 
     /// Number of report datagrams sent so far.
     pub fn reports_sent(&self) -> u64 {
         self.reports_sent
+    }
+
+    /// The run's sampling ledger so far (all-zero on the exact path).
+    pub fn ledger(&self) -> SamplingLedger {
+        self.ledger
+    }
+
+    /// The seeded inclusion decision for one socket: keyed by the
+    /// sampling seed, the apk digest, and the canonical 4-tuple, so it
+    /// is reproducible across workers, shards, and re-runs.
+    fn sampled(&self, pair: &SocketPair) -> bool {
+        let canonical = pair.canonical();
+        let mut key = [0u8; 12];
+        key[..4].copy_from_slice(&canonical.src_ip.octets());
+        key[4..6].copy_from_slice(&canonical.src_port.to_be_bytes());
+        key[6..10].copy_from_slice(&canonical.dst_ip.octets());
+        key[10..12].copy_from_slice(&canonical.dst_port.to_be_bytes());
+        should_sample(
+            self.config.sampling.seed,
+            &self.apk_sha256.0,
+            &key,
+            self.config.sampling.rate,
+        )
     }
 
     /// Translates one dotted stack-frame name: the full type signature
@@ -96,6 +131,21 @@ impl RuntimeHook for SocketSupervisor {
         let Some(pair) = ctx.net.socket_pair(socket) else {
             return;
         };
+        self.ledger.reports_observed += 1;
+        // Sampled tracing: suppressed reports are counted, never
+        // silent, and the decision never touches the virtual clock —
+        // at rate 1.0 with no budget this path is byte-identical to
+        // the unsampled supervisor.
+        if !self.sampled(&pair) {
+            self.ledger.sampled_out += 1;
+            return;
+        }
+        if let Some(budget) = self.config.sampling.budget {
+            let now = ctx.net.clock().now_micros();
+            if !self.budget.admit(&budget, now, &mut self.ledger) {
+                return;
+            }
+        }
         // getStackTrace: most recent first.
         let frames: Vec<String> = ctx
             .stack
@@ -118,7 +168,27 @@ impl RuntimeHook for SocketSupervisor {
             self.config.collector_port,
             &report.encode(),
         );
+        self.ledger.reports_emitted += 1;
         self.reports_sent += 1;
+    }
+
+    fn on_run_finish(&mut self, ctx: &mut HookContext<'_>) {
+        // Exact runs flush nothing: the capture must stay byte-
+        // identical to a build without the sampling layer. Sampled
+        // runs ship the ledger on the same out-of-band channel as the
+        // reports, with no clock perturbation.
+        if self.config.sampling.is_exact() {
+            return;
+        }
+        let record = LedgerRecord {
+            apk_sha256: self.apk_sha256,
+            ledger: self.ledger,
+        };
+        ctx.net.udp_send(
+            self.config.collector_ip,
+            self.config.collector_port,
+            &record.encode(),
+        );
     }
 }
 
@@ -370,6 +440,127 @@ mod tests {
         );
         assert_eq!(sup.translate_frame("com.a.C.m"), "Lcom/a/C;->m(I)V");
         assert_eq!(sup.translate_frame("unknown.F.g"), "unknown.F.g");
+    }
+
+    /// Drives the supervisor directly over `sockets` distinct flows,
+    /// firing the end-of-run hook point at the end, and returns the
+    /// supervisor plus the capture.
+    fn drive(
+        config: SupervisorConfig,
+        sockets: usize,
+    ) -> (SocketSupervisor, Vec<spector_netsim::pcap::CapturedPacket>) {
+        use spector_runtime::stack::Frame;
+        let dex = network_dex();
+        let mut sup =
+            SocketSupervisor::new(Sha256::digest(b"test-apk"), SigIndex::build(&dex), config);
+        let mut net = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let stack = spector_runtime::CallStack::with_base([
+            Frame::new("android.os.Handler.dispatchMessage"),
+            Frame::new("com.vendor.sdk.Fetcher.pull"),
+            Frame::new("java.net.Socket.connect"),
+        ]);
+        for i in 0..sockets {
+            let ip = net.resolve(
+                &format!("s{i}.example.net"),
+                Ipv4Addr::new(198, 51, 100, (i % 250 + 1) as u8),
+            );
+            let sock = net.tcp_connect(ip, 443);
+            let mut ctx = HookContext {
+                stack: &stack,
+                net: &mut net,
+            };
+            sup.after_socket_connect(&mut ctx, sock);
+            net.tcp_transfer(sock, 100, 1_000);
+            net.tcp_close(sock);
+        }
+        let mut ctx = HookContext {
+            stack: &stack,
+            net: &mut net,
+        };
+        sup.on_run_finish(&mut ctx);
+        (sup, net.into_capture())
+    }
+
+    #[test]
+    fn sampled_run_counts_all_loss_and_ships_the_ledger() {
+        let config = SupervisorConfig {
+            sampling: spector_sampling::SamplingConfig {
+                rate: 0.5,
+                seed: 7,
+                budget: None,
+            },
+            ..Default::default()
+        };
+        let (sup, capture) = drive(config.clone(), 40);
+        let ledger = sup.ledger();
+        assert_eq!(ledger.reports_observed, 40);
+        assert!(ledger.sampled_out > 0, "rate 0.5 over 40 sockets");
+        assert!(ledger.reports_emitted > 0);
+        assert!(ledger.is_balanced());
+        // The capture holds exactly `emitted` reports plus one ledger
+        // datagram that round-trips the supervisor's counts.
+        let reports = extract_reports(&capture, config.collector_port);
+        assert_eq!(reports.len() as u64, ledger.reports_emitted);
+        let shipped: Vec<crate::LedgerRecord> = capture
+            .iter()
+            .filter_map(|p| {
+                let frame = spector_netsim::packet::decode_frame_ref(&p.data).ok()?;
+                match frame.transport {
+                    spector_netsim::packet::TransportRef::Udp { payload }
+                        if crate::LedgerRecord::is_ledger_payload(payload) =>
+                    {
+                        crate::LedgerRecord::decode(payload).ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        assert_eq!(shipped.len(), 1);
+        assert_eq!(shipped[0].ledger, ledger);
+    }
+
+    #[test]
+    fn rate_one_without_budget_is_byte_identical_to_unsampled() {
+        let exact = SupervisorConfig {
+            sampling: spector_sampling::SamplingConfig {
+                rate: 1.0,
+                seed: 999, // seed must be irrelevant on the exact path
+                budget: None,
+            },
+            ..Default::default()
+        };
+        let (sup, sampled_capture) = drive(exact, 12);
+        let (_, plain_capture) = drive(SupervisorConfig::default(), 12);
+        assert_eq!(sampled_capture, plain_capture);
+        assert_eq!(sup.ledger().reports_emitted, 12);
+        assert_eq!(sup.ledger().suppressed(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_counted_loss() {
+        let config = SupervisorConfig {
+            sampling: spector_sampling::SamplingConfig {
+                rate: 1.0,
+                seed: 0,
+                budget: Some(spector_sampling::TraceBudget {
+                    max_reports: 3,
+                    window_micros: 0,
+                }),
+            },
+            ..Default::default()
+        };
+        let (sup, capture) = drive(config.clone(), 10);
+        let ledger = sup.ledger();
+        assert_eq!(ledger.reports_observed, 10);
+        assert_eq!(ledger.reports_emitted, 3);
+        assert_eq!(ledger.budget_suppressed, 7);
+        assert_eq!(ledger.windows_exhausted, 1);
+        assert!(ledger.is_balanced());
+        assert_eq!(
+            extract_reports(&capture, config.collector_port).len(),
+            3,
+            "only the admitted reports reach the wire"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! canonical 4-tuple)` is.
 
 use libspector::Knowledge;
-use spector_hooks::{decode_report_datagram, ReportParseError, TimestampedReport};
+use spector_hooks::{decode_report_datagram, LedgerRecord, ReportParseError, TimestampedReport};
 use spector_netsim::pcap::CapturedPacket;
 use spector_netsim::{SocketPair, WireEvent};
 
@@ -58,6 +58,13 @@ pub enum LiveEventKind {
     },
     /// A decoded Socket Supervisor report datagram.
     Report(TimestampedReport),
+    /// A decoded end-of-run sampling-ledger datagram.
+    Ledger {
+        /// Capture timestamp of the carrying datagram, microseconds.
+        timestamp_micros: u64,
+        /// The decoded record.
+        record: LedgerRecord,
+    },
 }
 
 /// One streaming input event, tagged with the app run it belongs to.
@@ -108,7 +115,14 @@ impl LiveEvent {
                 payload,
             } => {
                 if pair.dst_port == collector_port {
-                    LiveEventKind::Report(decode_report_datagram(timestamp_micros, &payload)?)
+                    if LedgerRecord::is_ledger_payload(&payload) {
+                        LiveEventKind::Ledger {
+                            timestamp_micros,
+                            record: LedgerRecord::decode(&payload)?,
+                        }
+                    } else {
+                        LiveEventKind::Report(decode_report_datagram(timestamp_micros, &payload)?)
+                    }
                 } else {
                     LiveEventKind::Dns {
                         timestamp_micros,
@@ -131,6 +145,9 @@ impl LiveEvent {
             }
             | LiveEventKind::Dns {
                 timestamp_micros, ..
+            }
+            | LiveEventKind::Ledger {
+                timestamp_micros, ..
             } => *timestamp_micros,
             LiveEventKind::Report(report) => report.arrival_micros,
         }
@@ -138,13 +155,15 @@ impl LiveEvent {
 
     /// The key the engine shards by: the canonical 4-tuple for TCP
     /// segments and reports (a report must land on the shard holding
-    /// its flow's epochs), `None` for DNS events, which are broadcast
-    /// to every shard so each can resolve domains locally.
+    /// its flow's epochs), `None` for DNS and ledger events, which are
+    /// broadcast to every shard (DNS so each can resolve domains
+    /// locally; ledgers are accumulated on shard 0 only, like the DNS
+    /// packet count, so the merged totals stay shard-count invariant).
     pub fn routing_pair(&self) -> Option<SocketPair> {
         match &self.kind {
             LiveEventKind::Tcp { pair, .. } => Some(pair.canonical()),
             LiveEventKind::Report(report) => Some(report.report.pair.canonical()),
-            LiveEventKind::Dns { .. } => None,
+            LiveEventKind::Dns { .. } | LiveEventKind::Ledger { .. } => None,
         }
     }
 }

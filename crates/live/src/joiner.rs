@@ -315,6 +315,8 @@ mod tests {
                     payload,
                 } => joiner.on_dns(timestamp_micros, &pair, &payload),
                 LiveEventKind::Report(report) => joiner.on_report(&report, knowledge),
+                // Summary-level accounting, not joiner state.
+                LiveEventKind::Ledger { .. } => {}
             }
         }
     }

@@ -43,10 +43,11 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use libspector::Knowledge;
-use spector_hooks::{decode_report_datagram, ReportErrorKind};
+use spector_hooks::{decode_report_datagram, LedgerRecord, ReportErrorKind};
 use spector_netsim::flows::FIRST_PAYLOAD_CAP;
 use spector_netsim::packet::{decode_frame_ref, TransportRef};
 use spector_netsim::pcap::CapturedPacket;
+use spector_sampling::SamplingLedger;
 use spector_telemetry::{Counter, Histogram, MetricsSnapshot, Telemetry, COUNT_BOUNDS};
 
 use crate::batch::{classify_route, fallback_shard, RawBatch, RawFrame, RawItem, Route};
@@ -137,6 +138,7 @@ struct ShardTelemetry {
     frames_bad_checksum: Counter,
     reports_truncated: Counter,
     reports_malformed: Counter,
+    ledger_events: Counter,
     count_dns: bool,
 }
 
@@ -156,6 +158,7 @@ impl ShardTelemetry {
             frames_bad_checksum: registry.counter("spector_live_ingress_frames_bad_checksum_total"),
             reports_truncated: registry.counter("spector_live_ingress_reports_truncated_total"),
             reports_malformed: registry.counter("spector_live_ingress_reports_malformed_total"),
+            ledger_events: registry.counter("spector_live_ledger_events_total"),
             count_dns: shard_idx == 0,
             registry,
         }
@@ -174,6 +177,11 @@ struct ShardErrors {
     frames_bad_checksum: usize,
     reports_truncated: usize,
     reports_malformed: usize,
+    /// Sampling-ledger accounting decoded by this shard. Raw ledger
+    /// datagrams land on exactly one (fallback) shard; pre-classified
+    /// ledger events are broadcast and accumulated on shard 0 only —
+    /// either way the merged total is shard-count-invariant.
+    sampling: SamplingLedger,
 }
 
 /// The running engine. `push`/`push_run` are `&self` and thread-safe;
@@ -549,9 +557,14 @@ fn shard_loop(
     let telemetry = ShardTelemetry::new(shard_idx, telemetry_enabled);
     while let Ok(msg) = receiver.recv() {
         match msg {
-            ShardMsg::Event(event) => {
-                on_event(&event, &mut joiners, &joiner_config, &knowledge, &telemetry)
-            }
+            ShardMsg::Event(event) => on_event(
+                &event,
+                &mut joiners,
+                &joiner_config,
+                &knowledge,
+                &telemetry,
+                &mut errors,
+            ),
             ShardMsg::Batch(batch) => {
                 for item in batch.items {
                     on_raw_item(
@@ -592,6 +605,7 @@ fn on_event(
     joiner_config: &JoinerConfig,
     knowledge: &Knowledge,
     telemetry: &ShardTelemetry,
+    errors: &mut ShardErrors,
 ) {
     let joiner = joiners
         .entry(event.run)
@@ -631,6 +645,14 @@ fn on_event(
         LiveEventKind::Report(report) => {
             telemetry.report_events.inc();
             joiner.on_report(report, knowledge)
+        }
+        LiveEventKind::Ledger { record, .. } => {
+            // Broadcast event: accumulated on shard 0 only, like the
+            // DNS count, so the merged ledger is shard-count-invariant.
+            if telemetry.count_dns {
+                telemetry.ledger_events.inc();
+                errors.sampling.merge(&record.ledger);
+            }
         }
     }
 }
@@ -691,6 +713,21 @@ fn on_raw_item(
         }
         TransportRef::Udp { payload } => {
             if frame.pair.dst_port == collector_port {
+                if LedgerRecord::is_ledger_payload(payload) {
+                    // A sampling-ledger datagram: peeled off before
+                    // report decode, exactly like the offline views.
+                    // The structural peek cannot route it (no SRPT
+                    // pair), so it lands on exactly one fallback
+                    // shard — accumulate unconditionally.
+                    match LedgerRecord::decode(payload) {
+                        Ok(record) => {
+                            telemetry.ledger_events.inc();
+                            errors.sampling.merge(&record.ledger);
+                        }
+                        Err(_) => errors.sampling.ledgers_lost += 1,
+                    }
+                    return;
+                }
                 match decode_report_datagram(item.timestamp_micros, payload) {
                     Ok(report) => {
                         telemetry.report_events.inc();
@@ -736,6 +773,7 @@ fn partial_summary(
     summary.frames_bad_checksum = errors.frames_bad_checksum;
     summary.reports_truncated = errors.reports_truncated;
     summary.reports_malformed = errors.reports_malformed;
+    summary.sampling = errors.sampling;
     summary
 }
 
@@ -981,6 +1019,7 @@ mod tests {
             "spector_live_ingress_frames_bad_checksum_total",
             "spector_live_ingress_reports_truncated_total",
             "spector_live_ingress_reports_malformed_total",
+            "spector_live_ledger_events_total",
             "spector_live_dropped_events_total",
         ];
         for view in &metric_views[1..] {
@@ -1128,5 +1167,69 @@ mod tests {
             capture.len() as u64,
             "damaged frames still count as ingress events"
         );
+    }
+
+    /// A sampled run's end-of-run ledger datagram folds into the
+    /// merged summary identically at every width, and a corrupt
+    /// ledger is counted as lost — never silently dropped.
+    #[test]
+    fn sampling_ledgers_are_shard_count_invariant() {
+        let config = SupervisorConfig::default();
+        let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+        let ip = stack.resolve("host.example.net", Ipv4Addr::new(198, 51, 100, 7));
+        let sock = stack.tcp_connect(ip, 443);
+        let pair = stack.socket_pair(sock).unwrap();
+        let report = SocketReport {
+            apk_sha256: Sha256::digest(b"sampled-apk"),
+            pair,
+            timestamp_micros: stack.clock().now_micros(),
+            frames: vec!["com.sdk.Net.call".into()],
+        };
+        stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        stack.tcp_transfer(sock, 100, 1_000);
+        stack.tcp_close(sock);
+        let record = LedgerRecord {
+            apk_sha256: Sha256::digest(b"sampled-apk"),
+            ledger: SamplingLedger {
+                reports_observed: 10,
+                reports_emitted: 1,
+                sampled_out: 7,
+                budget_suppressed: 2,
+                windows_exhausted: 1,
+                ledgers_lost: 0,
+            },
+        };
+        let encoded = record.encode();
+        stack.udp_send(config.collector_ip, config.collector_port, &encoded);
+        // A truncated ledger: lost, but counted, on its owning shard.
+        stack.udp_send(config.collector_ip, config.collector_port, &encoded[..20]);
+        let capture = stack.into_capture();
+        let mut summaries = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let engine = LiveEngine::start(
+                knowledge(),
+                LiveConfig {
+                    shards,
+                    ..Default::default()
+                },
+            );
+            engine.push_run(0, &capture);
+            summaries.push(engine.finish());
+        }
+        for pair in summaries.windows(2) {
+            assert_eq!(pair[0], pair[1], "ledger totals must not depend on width");
+        }
+        let sampling = summaries[0].sampling;
+        assert_eq!(sampling.reports_observed, 10);
+        assert_eq!(sampling.reports_emitted, 1);
+        assert_eq!(sampling.sampled_out, 7);
+        assert_eq!(sampling.budget_suppressed, 2);
+        assert_eq!(sampling.windows_exhausted, 1);
+        assert_eq!(sampling.ledgers_lost, 1);
+        assert!(sampling.is_balanced());
+        // Ledger datagrams never count as (or corrupt) report packets.
+        assert_eq!(summaries[0].report_packets, 1);
+        assert_eq!(summaries[0].reports_truncated, 0);
+        assert_eq!(summaries[0].reports_malformed, 0);
     }
 }

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use libspector::{origin_label, AppAnalysis};
 use serde::{Deserialize, Serialize};
+use spector_sampling::SamplingLedger;
 use spector_vtcat::DomainCategory;
 
 /// Flow count plus per-direction wire bytes for one accounting bucket.
@@ -90,6 +91,10 @@ pub struct LiveSummary {
     /// they are counted on the shard owning their 4-tuple).
     #[serde(default)]
     pub frames_bad_checksum: usize,
+    /// Sampled-tracing accounting, summed over decoded ledger
+    /// datagrams (all-zero when every run was exact).
+    #[serde(default)]
+    pub sampling: SamplingLedger,
     /// Total wire bytes sent across attributed flows.
     pub total_sent: u64,
     /// Total wire bytes received across attributed flows.
@@ -132,6 +137,7 @@ impl LiveSummary {
         self.frames_truncated += other.frames_truncated;
         self.frames_malformed += other.frames_malformed;
         self.frames_bad_checksum += other.frames_bad_checksum;
+        self.sampling.merge(&other.sampling);
         self.total_sent += other.total_sent;
         self.total_recv += other.total_recv;
         self.ant_bytes += other.ant_bytes;
@@ -168,6 +174,7 @@ impl LiveSummary {
             summary.frames_truncated += analysis.integrity.frames_truncated;
             summary.frames_malformed += analysis.integrity.frames_malformed;
             summary.frames_bad_checksum += analysis.integrity.frames_bad_checksum;
+            summary.sampling.merge(&analysis.sampling);
             for flow in &analysis.flows {
                 summary.total_sent += flow.sent_bytes;
                 summary.total_recv += flow.recv_bytes;
@@ -205,6 +212,18 @@ impl LiveSummary {
             "dns {}  reports {}  sent {} B  recv {} B  ant {} B\n",
             self.dns_packets, self.report_packets, self.total_sent, self.total_recv, self.ant_bytes,
         ));
+        if !self.sampling.is_empty() {
+            out.push_str(&format!(
+                "sampling: observed {}  emitted {}  sampled-out {}  budget-suppressed {}  \
+                 windows-exhausted {}  ledgers-lost {}\n",
+                self.sampling.reports_observed,
+                self.sampling.reports_emitted,
+                self.sampling.sampled_out,
+                self.sampling.budget_suppressed,
+                self.sampling.windows_exhausted,
+                self.sampling.ledgers_lost,
+            ));
+        }
         out.push_str("per-library:\n");
         for (label, volume) in &self.per_library {
             out.push_str(&format!(

@@ -50,6 +50,12 @@ pub trait RuntimeHook: Send {
     /// Called immediately after a TCP socket finishes connecting.
     fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId);
 
+    /// Called once when the run is over, before the capture is taken —
+    /// the hook's last chance to flush out-of-band state (the Socket
+    /// Supervisor's sampling ledger rides on this). Pure observers need
+    /// nothing here, so the default is a no-op.
+    fn on_run_finish(&mut self, _ctx: &mut HookContext<'_>) {}
+
     /// Policy decision for the new connection; the default permits
     /// everything (pure observers like the Socket Supervisor never
     /// interfere with the app).

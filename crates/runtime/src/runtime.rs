@@ -136,6 +136,26 @@ impl Runtime {
         (self.net, self.profiler)
     }
 
+    /// Fires every hook's end-of-run point. Call once when the workload
+    /// is done, before [`into_parts`](Self::into_parts) — hooks may
+    /// still send traffic here (e.g. the supervisor's sampling ledger),
+    /// which lands in the capture like any other.
+    pub fn finish_hooks(&mut self) {
+        let stack = CallStack::with_base([
+            Frame::new("com.android.internal.os.ZygoteInit.main"),
+            Frame::new("android.app.ActivityThread.main"),
+        ]);
+        let mut hooks = std::mem::take(&mut self.hooks);
+        for hook in &mut hooks {
+            let mut ctx = HookContext {
+                stack: &stack,
+                net: &mut self.net,
+            };
+            hook.on_run_finish(&mut ctx);
+        }
+        self.hooks = hooks;
+    }
+
     /// Invokes an app method by signature on a fresh main-thread stack,
     /// then drains any async tasks it scheduled. Returns `false` when
     /// the signature is not defined by the app.

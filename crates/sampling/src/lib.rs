@@ -1,0 +1,359 @@
+//! Deterministic sampled tracing with counted loss.
+//!
+//! The paper instruments every socket in a controlled emulator farm;
+//! continuous fleet monitoring cannot afford that. This crate is the
+//! budget layer between the two: seeded per-socket sampling decisions
+//! (any rate is reproducible and shard-invariant) plus a per-window
+//! trace budget, with every suppressed report tallied in a
+//! [`SamplingLedger`] — loss is always *counted*, never silent, so the
+//! analysis side can scale what survived back to population estimates.
+//!
+//! The inclusion decision is a threshold test on one SplitMix64 draw
+//! keyed by `(seed, app digest, canonical 4-tuple)` — the same
+//! construction as `spector-faults`' `FaultRng`, duplicated here so
+//! the hook side stays dependency-free. Because every rate compares
+//! the *same* draw against a rate-proportional threshold, sampled
+//! sets are nested: `rate a <= rate b` implies every socket sampled at
+//! `a` is also sampled at `b`, and rate 1.0 samples everything. That
+//! nesting is what makes the estimator provably convergent as the
+//! rate approaches 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Golden-ratio increment, the SplitMix64 state step.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One SplitMix64 output step over `state`.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The uniform 64-bit draw the inclusion decision thresholds against,
+/// keyed by `(seed, app digest, canonical 4-tuple bytes)`. Pure: no
+/// state, no clock — the same key always yields the same draw, on any
+/// worker, shard, or re-run.
+pub fn sample_draw(seed: u64, app_digest: &[u8], pair_bytes: &[u8]) -> u64 {
+    let mut state = seed;
+    mix(&mut state);
+    for chunk in app_digest.chunks(8).chain(pair_bytes.chunks(8)) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state ^= u64::from_le_bytes(word).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        mix(&mut state);
+    }
+    mix(&mut state)
+}
+
+/// Seeded per-socket inclusion decision: `true` when the socket's
+/// report should be emitted at `rate`. Thresholding the top 53 bits of
+/// one shared draw makes the decision exact at the extremes (every
+/// socket at `rate >= 1.0`, none at `rate <= 0.0`) and *nested* across
+/// rates — see the crate docs.
+pub fn should_sample(seed: u64, app_digest: &[u8], pair_bytes: &[u8], rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    // Compare against the top 53 bits: exact for every f64 in range.
+    let threshold = (rate * (1u64 << 53) as f64) as u64;
+    (sample_draw(seed, app_digest, pair_bytes) >> 11) < threshold
+}
+
+/// A per-app, per-time-window report budget: at most `max_reports`
+/// report datagrams per `window_micros` of virtual time. Crossing a
+/// window boundary re-arms the hook.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceBudget {
+    /// Reports admitted per window. Zero suppresses every report (the
+    /// ledger still counts them).
+    pub max_reports: u64,
+    /// Window length in microseconds of virtual time. Zero means one
+    /// unbounded window covering the whole run.
+    pub window_micros: u64,
+}
+
+/// Sampling and budget settings threaded from the CLI down to the
+/// hook layer. The default is *exact*: rate 1.0, no budget — and the
+/// hook side is wire-for-wire identical to a build without this layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Per-socket report sampling rate in `[0, 1]`.
+    pub rate: f64,
+    /// Seed for the inclusion draw (independent of the monkey seed so
+    /// the workload does not change when the rate does).
+    pub seed: u64,
+    /// Optional per-window report budget, applied after sampling.
+    pub budget: Option<TraceBudget>,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            rate: 1.0,
+            seed: 0,
+            budget: None,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// `true` when this configuration cannot suppress anything: the
+    /// hook layer takes the exact path and emits no ledger, so the
+    /// run's capture is byte-identical to an unsampled run.
+    pub fn is_exact(&self) -> bool {
+        self.rate >= 1.0 && self.budget.is_none()
+    }
+}
+
+/// Counted report loss for one app run (or, merged, a whole
+/// campaign). The balance invariant
+/// `reports_observed == reports_emitted + sampled_out + budget_suppressed`
+/// holds at every point: a report the hook sees is emitted or counted
+/// into exactly one suppression bucket, never silently dropped.
+/// `windows_exhausted` and `ledgers_lost` ride alongside the balance
+/// (a window is exhausted once however many reports it suppresses; a
+/// lost ledger is a decode-side event).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingLedger {
+    /// Sockets the hook observed connecting (reports it would have
+    /// emitted unsampled).
+    pub reports_observed: u64,
+    /// Report datagrams actually sent.
+    pub reports_emitted: u64,
+    /// Reports suppressed by the sampling decision.
+    pub sampled_out: u64,
+    /// Reports suppressed because the window budget was spent.
+    pub budget_suppressed: u64,
+    /// Windows that hit their budget (counted once per window).
+    pub windows_exhausted: u64,
+    /// Ledger datagrams that failed to decode on the analysis side —
+    /// the loss accounting's own loss, still counted.
+    pub ledgers_lost: u64,
+}
+
+impl SamplingLedger {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &SamplingLedger) {
+        self.reports_observed += other.reports_observed;
+        self.reports_emitted += other.reports_emitted;
+        self.sampled_out += other.sampled_out;
+        self.budget_suppressed += other.budget_suppressed;
+        self.windows_exhausted += other.windows_exhausted;
+        self.ledgers_lost += other.ledgers_lost;
+    }
+
+    /// The balance invariant: everything observed is emitted or
+    /// counted into a suppression bucket.
+    pub fn is_balanced(&self) -> bool {
+        self.reports_observed == self.reports_emitted + self.sampled_out + self.budget_suppressed
+    }
+
+    /// `true` when every counter is zero — the exact path.
+    pub fn is_empty(&self) -> bool {
+        *self == SamplingLedger::default()
+    }
+
+    /// Reports suppressed for any reason.
+    pub fn suppressed(&self) -> u64 {
+        self.sampled_out + self.budget_suppressed
+    }
+}
+
+/// The budget's per-run state machine: which window the clock is in,
+/// how much of the budget that window has spent, and whether its
+/// exhaustion has been tallied yet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetState {
+    window: u64,
+    used: u64,
+    exhausted_tallied: bool,
+}
+
+impl BudgetState {
+    /// Admits or suppresses one report at virtual time `now_micros`.
+    /// Crossing a window boundary re-arms the budget; at the limit the
+    /// window is tallied exhausted once and every further report in it
+    /// counts as `budget_suppressed`.
+    pub fn admit(
+        &mut self,
+        budget: &TraceBudget,
+        now_micros: u64,
+        ledger: &mut SamplingLedger,
+    ) -> bool {
+        let window = now_micros.checked_div(budget.window_micros).unwrap_or(0);
+        if window != self.window {
+            self.window = window;
+            self.used = 0;
+            self.exhausted_tallied = false;
+        }
+        if self.used < budget.max_reports {
+            self.used += 1;
+            return true;
+        }
+        if !self.exhausted_tallied {
+            self.exhausted_tallied = true;
+            ledger.windows_exhausted += 1;
+        }
+        ledger.budget_suppressed += 1;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_bytes(i: u16) -> Vec<u8> {
+        let mut bytes = vec![10, 0, 2, 15];
+        bytes.extend_from_slice(&(40_000 + i).to_be_bytes());
+        bytes.extend_from_slice(&[198, 51, 100, (i % 250) as u8 + 1]);
+        bytes.extend_from_slice(&443u16.to_be_bytes());
+        bytes
+    }
+
+    #[test]
+    fn decision_is_deterministic() {
+        let digest = [7u8; 32];
+        for i in 0..50 {
+            let pair = pair_bytes(i);
+            let a = should_sample(42, &digest, &pair, 0.5);
+            let b = should_sample(42, &digest, &pair, 0.5);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let digest = [1u8; 32];
+        for i in 0..50 {
+            let pair = pair_bytes(i);
+            assert!(should_sample(9, &digest, &pair, 1.0));
+            assert!(should_sample(9, &digest, &pair, 2.0));
+            assert!(!should_sample(9, &digest, &pair, 0.0));
+            assert!(!should_sample(9, &digest, &pair, -1.0));
+        }
+    }
+
+    #[test]
+    fn rates_nest() {
+        // sampled(r1) is a subset of sampled(r2) whenever r1 <= r2:
+        // the property the estimator's convergence rests on.
+        let digest = [3u8; 32];
+        let ladder = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        for i in 0..200 {
+            let pair = pair_bytes(i);
+            let mut previous = false;
+            for &rate in &ladder {
+                let now = should_sample(17, &digest, &pair, rate);
+                assert!(now || !previous, "socket {i} left the sample at {rate}");
+                previous = now;
+            }
+        }
+    }
+
+    #[test]
+    fn rate_tracks_frequency() {
+        let digest = [5u8; 32];
+        let hits = (0..10_000u16)
+            .filter(|&i| should_sample(1234, &digest, &pair_bytes(i), 0.25))
+            .count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn key_parts_all_matter() {
+        let digest = [9u8; 32];
+        let other_digest = [10u8; 32];
+        let pair = pair_bytes(1);
+        let base = sample_draw(42, &digest, &pair);
+        assert_ne!(sample_draw(43, &digest, &pair), base);
+        assert_ne!(sample_draw(42, &other_digest, &pair), base);
+        assert_ne!(sample_draw(42, &digest, &pair_bytes(2)), base);
+    }
+
+    #[test]
+    fn budget_window_re_arms() {
+        let budget = TraceBudget {
+            max_reports: 2,
+            window_micros: 1_000,
+        };
+        let mut state = BudgetState::default();
+        let mut ledger = SamplingLedger::default();
+        // Window 0: two admitted, two suppressed, exhausted once.
+        assert!(state.admit(&budget, 10, &mut ledger));
+        assert!(state.admit(&budget, 20, &mut ledger));
+        assert!(!state.admit(&budget, 30, &mut ledger));
+        assert!(!state.admit(&budget, 40, &mut ledger));
+        assert_eq!(ledger.budget_suppressed, 2);
+        assert_eq!(ledger.windows_exhausted, 1);
+        // Window 1: re-armed.
+        assert!(state.admit(&budget, 1_500, &mut ledger));
+        assert!(state.admit(&budget, 1_600, &mut ledger));
+        assert!(!state.admit(&budget, 1_700, &mut ledger));
+        assert_eq!(ledger.budget_suppressed, 3);
+        assert_eq!(ledger.windows_exhausted, 2);
+    }
+
+    #[test]
+    fn zero_budget_suppresses_everything_counted() {
+        let budget = TraceBudget {
+            max_reports: 0,
+            window_micros: 0,
+        };
+        let mut state = BudgetState::default();
+        let mut ledger = SamplingLedger::default();
+        for now in 0..10 {
+            assert!(!state.admit(&budget, now, &mut ledger));
+        }
+        assert_eq!(ledger.budget_suppressed, 10);
+        assert_eq!(ledger.windows_exhausted, 1);
+    }
+
+    #[test]
+    fn ledger_balance_and_merge() {
+        let mut a = SamplingLedger {
+            reports_observed: 10,
+            reports_emitted: 6,
+            sampled_out: 3,
+            budget_suppressed: 1,
+            windows_exhausted: 1,
+            ledgers_lost: 0,
+        };
+        assert!(a.is_balanced());
+        let b = SamplingLedger {
+            reports_observed: 4,
+            reports_emitted: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!(a.is_balanced());
+        assert_eq!(a.reports_observed, 14);
+        assert_eq!(a.suppressed(), 4);
+        assert!(!a.is_empty());
+        assert!(SamplingLedger::default().is_empty());
+    }
+
+    #[test]
+    fn exactness_predicate() {
+        assert!(SamplingConfig::default().is_exact());
+        assert!(!SamplingConfig {
+            rate: 0.5,
+            ..Default::default()
+        }
+        .is_exact());
+        assert!(!SamplingConfig {
+            budget: Some(TraceBudget {
+                max_reports: 10,
+                window_micros: 0
+            }),
+            ..Default::default()
+        }
+        .is_exact());
+    }
+}

@@ -84,6 +84,7 @@ mod tests {
             report_packets: 0,
             integrity: Default::default(),
             detect: Default::default(),
+            sampling: Default::default(),
         }
     }
 

@@ -19,7 +19,7 @@
 //! 64            string pool, then length-prefixed column blocks
 //! ```
 //!
-//! Column blocks appear in a fixed order (A0–A12 analyses, F0–F11
+//! Column blocks appear in a fixed order (A0–A13 analyses, F0–F11
 //! flows, R0–R1 reports), each prefixed by its `u32` byte length.
 //! Dictionary columns store pool ids (`u32`, [`NO_STRING`] for
 //! `None`/builtin); enum columns store a `u8` index into the enum's
@@ -40,6 +40,7 @@ use std::collections::BTreeMap;
 use libspector::pipeline::DetectStats;
 use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind, RunIntegrity};
 use spector_libradar::{DetectTier, LibCategory};
+use spector_sampling::SamplingLedger;
 use spector_vtcat::DomainCategory;
 
 use crate::codec::{
@@ -70,7 +71,7 @@ const FLAG_COMMON: u8 = 2;
 #[derive(Debug, Default)]
 pub struct SegmentBuilder {
     pool: PoolBuilder,
-    // Analyses: A0–A12.
+    // Analyses: A0–A13.
     app_index: Vec<u32>,
     package: Vec<u32>,
     app_category: Vec<u32>,
@@ -85,6 +86,7 @@ pub struct SegmentBuilder {
     tier_counts: Vec<u32>,
     tier_ids: Vec<u32>,
     tier_bytes: Vec<u8>,
+    sampling: Vec<u64>,
     // Flows: F0–F11.
     domain: Vec<u32>,
     domain_category: Vec<u8>,
@@ -161,6 +163,14 @@ impl SegmentBuilder {
             self.tier_ids.push(id);
             self.tier_bytes.push(enum_index(&DetectTier::ALL, tier));
         }
+        self.sampling.extend([
+            analysis.sampling.reports_observed,
+            analysis.sampling.reports_emitted,
+            analysis.sampling.sampled_out,
+            analysis.sampling.budget_suppressed,
+            analysis.sampling.windows_exhausted,
+            analysis.sampling.ledgers_lost,
+        ]);
         for flow in &analysis.flows {
             self.push_flow(flow);
         }
@@ -241,6 +251,7 @@ impl SegmentBuilder {
         }
         tier_entries.extend_from_slice(&self.tier_bytes);
         block_bytes(&mut cols, &tier_entries);
+        block_u64(&mut cols, &self.sampling);
         // F0–F11.
         block_u32(&mut cols, &self.domain);
         block_bytes(&mut cols, &self.domain_category);
@@ -333,6 +344,8 @@ pub struct AnalysisRow<'a> {
     pub integrity: [u32; 6],
     /// Detect scalars (lookups, trie, exact_fp, structural, misses).
     pub detect: [u64; 5],
+    /// Sampling-ledger counters in [`SamplingLedger`] field order.
+    pub sampling: [u64; 6],
 }
 
 /// One decoded flow row (strings borrow the segment bytes).
@@ -403,6 +416,7 @@ pub struct SegmentView<'a> {
     tier_counts: U32Col<'a>,
     tier_ids: U32Col<'a>,
     tier_bytes: &'a [u8],
+    sampling: U64Col<'a>,
     domain: U32Col<'a>,
     domain_category: &'a [u8],
     origin: U32Col<'a>,
@@ -496,6 +510,7 @@ impl<'a> SegmentView<'a> {
         }
         let tier_ids = U32Col::new(&tier_entries[..n_tiers * 4], n_tiers, "A12 ids")?;
         let tier_bytes = &tier_entries[n_tiers * 4..];
+        let sampling = U64Col::new(block(&mut cols, "A13 sampling")?, n_analyses * 6, "A13")?;
 
         let domain = U32Col::new(block(&mut cols, "F0 domain")?, n_flows, "F0")?;
         let domain_category = fixed_block(&mut cols, n_flows, "F1 domain_category")?;
@@ -540,6 +555,7 @@ impl<'a> SegmentView<'a> {
             tier_counts,
             tier_ids,
             tier_bytes,
+            sampling,
             domain,
             domain_category,
             origin,
@@ -642,6 +658,22 @@ impl<'a> SegmentView<'a> {
                 )));
             }
         }
+        for i in 0..self.n_analyses {
+            // The hook side only ever emits balanced ledgers, so an
+            // unbalanced stored row is corruption, caught at parse.
+            let observed = self.sampling.get(i * 6);
+            let accounted = self
+                .sampling
+                .get(i * 6 + 1)
+                .wrapping_add(self.sampling.get(i * 6 + 2))
+                .wrapping_add(self.sampling.get(i * 6 + 3));
+            if observed != accounted {
+                return Err(StoreError::malformed(format!(
+                    "analysis {i}: A13 sampling ledger unbalanced \
+                     ({observed} observed, {accounted} accounted)"
+                )));
+            }
+        }
         for (i, &kind) in self.report_kind.iter().enumerate() {
             if kind > REPORT_KIND_LIVE_SNAPSHOT {
                 return Err(StoreError::malformed(format!(
@@ -681,6 +713,7 @@ impl<'a> SegmentView<'a> {
             ],
             integrity: std::array::from_fn(|j| self.integrity.get(i * 6 + j)),
             detect: std::array::from_fn(|j| self.detect_scalars.get(i * 5 + j)),
+            sampling: std::array::from_fn(|j| self.sampling.get(i * 6 + j)),
         })
     }
 
@@ -775,6 +808,14 @@ impl<'a> SegmentView<'a> {
                             structural_hits: row.detect[3],
                             misses: row.detect[4],
                             per_library_tier,
+                        },
+                        sampling: SamplingLedger {
+                            reports_observed: row.sampling[0],
+                            reports_emitted: row.sampling[1],
+                            sampled_out: row.sampling[2],
+                            budget_suppressed: row.sampling[3],
+                            windows_exhausted: row.sampling[4],
+                            ledgers_lost: row.sampling[5],
                         },
                     },
                 )
@@ -943,6 +984,14 @@ mod tests {
                 ..RunIntegrity::default()
             },
             detect,
+            sampling: SamplingLedger {
+                reports_observed: 40,
+                reports_emitted: 34,
+                sampled_out: 5,
+                budget_suppressed: 1,
+                windows_exhausted: 1,
+                ledgers_lost: 0,
+            },
         }
     }
 

@@ -16,6 +16,7 @@ use libspector::pipeline::DetectStats;
 use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind, RunIntegrity};
 use proptest::prelude::*;
 use spector_libradar::{DetectTier, LibCategory};
+use spector_sampling::SamplingLedger;
 use spector_store::{
     CampaignKind, CampaignMeta, SegmentBuilder, SegmentView, StoreOptions, StoreReader, StoreWriter,
 };
@@ -128,12 +129,13 @@ fn arb_analysis() -> impl Strategy<Value = AppAnalysis> {
             any::<u32>(),
             proptest::collection::vec(any::<u32>(), 6usize),
             arb_detect(),
+            arb_sampling(),
         ),
     )
         .prop_map(
             |(
                 (package, app_category, flows, unattributed, orphans),
-                (total, executed, external, dns, reports, ledger, detect),
+                (total, executed, external, dns, reports, ledger, detect, sampling),
             )| AppAnalysis {
                 package,
                 app_category,
@@ -156,6 +158,30 @@ fn arb_analysis() -> impl Strategy<Value = AppAnalysis> {
                     synthesized_flows: ledger[5] as usize,
                 },
                 detect,
+                sampling,
+            },
+        )
+}
+
+/// Ledgers on disk are always balanced (the hook side cannot emit an
+/// unbalanced one), so the strategy derives `reports_observed` from
+/// the suppression buckets rather than drawing it independently.
+fn arb_sampling() -> impl Strategy<Value = SamplingLedger> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(emitted, sampled_out, suppressed, windows, lost)| SamplingLedger {
+                reports_observed: emitted as u64 + sampled_out as u64 + suppressed as u64,
+                reports_emitted: emitted as u64,
+                sampled_out: sampled_out as u64,
+                budget_suppressed: suppressed as u64,
+                windows_exhausted: windows as u64,
+                ledgers_lost: lost as u64,
             },
         )
 }

@@ -35,6 +35,8 @@ fn campaign(apps: usize, seed: u64) -> (Knowledge, Vec<RawRun>, u16) {
     let resolver = resolver_for(&corpus.domains);
     let mut config = ExperimentConfig::default();
     config.monkey.events = 120;
+    config.supervisor.sampling.rate = configured_sample_rate();
+    config.supervisor.sampling.seed = seed ^ 0x5a4d;
     let runs: Vec<RawRun> = corpus
         .apps
         .iter()
@@ -75,6 +77,18 @@ fn configured_obfuscation() -> Option<ObfuscationTier> {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&t| t != ObfuscationTier::None)
+}
+
+/// Sampling-rate override for the CI matrix: `SAMPLE_RATE=0.25` thins
+/// the supervisor's report stream at capture time, so equivalence is
+/// also proven over a sampled wire — both sides consume the same
+/// thinned bytes plus the run's sampling ledger datagram. Unset or
+/// `1.0` keeps the exact (byte-identical) wire.
+fn configured_sample_rate() -> f64 {
+    std::env::var("SAMPLE_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Batch-size override for the CI matrix: `LIVE_BATCH_EVENTS=1`
@@ -145,6 +159,13 @@ fn assert_equivalent(live: &LiveSummary, analyses: &[AppAnalysis]) {
     assert_eq!(live.frames_bad_checksum, offline.frames_bad_checksum);
     assert_eq!(live.reports_truncated, offline.reports_truncated);
     assert_eq!(live.reports_malformed, offline.reports_malformed);
+    // The sampled-tracing ledgers: shards must account suppressed
+    // reports exactly as the offline decode does (all-zero on an
+    // exact wire).
+    assert_eq!(
+        live.sampling, offline.sampling,
+        "sampling ledgers must merge to identical totals"
+    );
 }
 
 #[test]

@@ -21,10 +21,20 @@ use spector_dispatch::{
 };
 use spector_faults::{perturb_capture, FaultPlan, FaultProfile};
 use spector_live::{LiveConfig, LiveEngine};
+use spector_sampling::{SamplingConfig, SamplingLedger, TraceBudget};
 use spector_telemetry::{MetricsSnapshot, Telemetry};
 
 fn run_with_profile(
     profile: FaultProfile,
+    seed: u64,
+    apps: usize,
+) -> (CampaignOutcome, MetricsSnapshot) {
+    run_sampled(profile, SamplingConfig::default(), seed, apps)
+}
+
+fn run_sampled(
+    profile: FaultProfile,
+    sampling: SamplingConfig,
     seed: u64,
     apps: usize,
 ) -> (CampaignOutcome, MetricsSnapshot) {
@@ -44,6 +54,7 @@ fn run_with_profile(
     };
     dispatch.experiment.monkey.events = 80;
     dispatch.experiment.monkey.seed = seed;
+    dispatch.experiment.supervisor.sampling = sampling;
     let chaos = (!profile.is_noop()).then(|| FaultPlan::new(seed ^ 0xc4a5, profile));
     let telemetry = Telemetry::enabled();
     let config = CampaignConfig {
@@ -536,6 +547,113 @@ fn store_counters_balance_against_the_campaign() {
     assert_eq!(snapshot.counter("spector_store_segments_rejected_total"), 0);
     assert_eq!(reader.campaign_analyses(0).len(), outcome.analyses.len());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sampled-tracing balance wall: the `spector_sampling_*` counters
+/// must equal the field-wise sum of the per-analysis ledgers, every
+/// stored ledger must balance internally, and
+/// `reports_emitted + sampled_out + budget_suppressed` must equal
+/// `reports_observed` — suppression is *counted*, never silent.
+fn assert_sampling_balance(outcome: &CampaignOutcome, snapshot: &MetricsSnapshot, label: &str) {
+    let mut total = SamplingLedger::default();
+    for analysis in &outcome.analyses {
+        assert!(
+            analysis.sampling.is_balanced(),
+            "{label}: {} ships an unbalanced ledger: {:?}",
+            analysis.package,
+            analysis.sampling
+        );
+        total.merge(&analysis.sampling);
+    }
+    let counter = |field: &str| snapshot.counter(&format!("spector_sampling_{field}_total"));
+    let pairs = [
+        ("reports_observed", total.reports_observed),
+        ("reports_emitted", total.reports_emitted),
+        ("sampled_out", total.sampled_out),
+        ("budget_suppressed", total.budget_suppressed),
+        ("windows_exhausted", total.windows_exhausted),
+        ("ledgers_lost", total.ledgers_lost),
+    ];
+    for (field, expected) in pairs {
+        assert_eq!(
+            counter(field),
+            expected,
+            "{label}: sampling counter {field} disagrees with analyses"
+        );
+    }
+    assert_eq!(
+        counter("reports_observed"),
+        counter("reports_emitted") + counter("sampled_out") + counter("budget_suppressed"),
+        "{label}: sampling balance wall"
+    );
+}
+
+/// Exact configuration (the default) must leave every sampling counter
+/// at zero and every per-analysis ledger empty: the layer is invisible
+/// until asked for.
+#[test]
+fn exact_campaigns_carry_no_sampling_ledger() {
+    let (outcome, snapshot) = run_with_profile(FaultProfile::none(), 901, 5);
+    assert_sampling_balance(&outcome, &snapshot, "exact/901");
+    assert_eq!(
+        snapshot.counter("spector_sampling_reports_observed_total"),
+        0
+    );
+    assert!(outcome.analyses.iter().all(|a| a.sampling.is_empty()));
+}
+
+/// Sampled campaigns balance under every chaos profile — and the rest
+/// of the accounting (integrity, faults, join, detect) still agrees,
+/// because sampling thins what the hooks *emit*, not what the
+/// downstream ledgers count.
+#[test]
+fn sampled_campaigns_balance_across_chaos_profiles() {
+    let sampling = SamplingConfig {
+        rate: 0.5,
+        seed: 0xfeed,
+        budget: None,
+    };
+    for (profile, seed) in [
+        (FaultProfile::none(), 911u64),
+        (FaultProfile::light(), 912),
+        (FaultProfile::heavy(), 913),
+    ] {
+        let label = format!("sampled/{profile:?}/{seed}");
+        let (outcome, snapshot) = run_sampled(profile, sampling, seed, 8);
+        assert_sampling_balance(&outcome, &snapshot, &label);
+        assert_agreement(&outcome, &snapshot, &label);
+        let observed = snapshot.counter("spector_sampling_reports_observed_total");
+        let sampled_out = snapshot.counter("spector_sampling_sampled_out_total");
+        assert!(observed > 0, "{label}: ledgers must arrive");
+        assert!(sampled_out > 0, "{label}: rate 0.5 must thin something");
+    }
+}
+
+/// Budget exhaustion degrades *counted*: a tight per-window budget
+/// under heavy chaos still accounts for every observed report, tallies
+/// the exhausted windows, and never loses a report silently.
+#[test]
+fn budget_exhaustion_is_counted_never_silent() {
+    let sampling = SamplingConfig {
+        rate: 1.0,
+        seed: 0xb007,
+        budget: Some(TraceBudget {
+            max_reports: 1,
+            window_micros: 0,
+        }),
+    };
+    let (outcome, snapshot) = run_sampled(FaultProfile::heavy(), sampling, 914, 8);
+    assert_sampling_balance(&outcome, &snapshot, "budget/heavy/914");
+    assert_agreement(&outcome, &snapshot, "budget/heavy/914");
+    let suppressed = snapshot.counter("spector_sampling_budget_suppressed_total");
+    let windows = snapshot.counter("spector_sampling_windows_exhausted_total");
+    assert!(suppressed > 0, "one report per run must exhaust the budget");
+    assert!(windows > 0, "exhausted windows are tallied");
+    assert_eq!(
+        snapshot.counter("spector_sampling_sampled_out_total"),
+        0,
+        "rate 1.0 never samples out; only the budget suppresses"
+    );
 }
 
 /// Seed sweep: agreement is a property of the instrumentation points,
