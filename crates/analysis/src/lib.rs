@@ -40,6 +40,7 @@ pub mod profile;
 pub mod render;
 pub mod rq;
 pub mod sampling;
+pub mod shapes;
 pub mod stats;
 pub mod storeq;
 pub mod table1;
@@ -98,6 +99,9 @@ pub struct FullReport {
     /// Sampled-tracing volume recovery (inactive for exact campaigns).
     #[serde(default)]
     pub sampling: sampling::SamplingReport,
+    /// Socket-shape mix (inactive for legacy v4-plain campaigns).
+    #[serde(default)]
+    pub shapes: shapes::ShapeMix,
 }
 
 impl FullReport {
@@ -118,6 +122,7 @@ impl FullReport {
             cost: cost::compute(analyses),
             rq: rq::compute(analyses),
             sampling: sampling::compute(analyses),
+            shapes: shapes::compute(analyses),
         }
     }
 
@@ -166,6 +171,9 @@ pub(crate) mod testutil {
             recv_payload: recv,
             start_micros: 0,
             http_user_agent: None,
+            family: Default::default(),
+            shape: Default::default(),
+            stream: None,
         }
     }
 

@@ -111,9 +111,43 @@ pub fn render_full(report: &FullReport) -> String {
     for section in Section::ALL {
         out.push_str(&render_section(report, section));
     }
+    if report.shapes.active {
+        out.push_str(&render_shape_mix(report));
+    }
     if report.sampling.active {
         render_sampling(&mut out, report);
     }
+    out
+}
+
+/// The socket-shape mix section: family split, framing shapes, and the
+/// streams-per-connection histogram. Like the sampling section, it is
+/// deliberately not a [`Section`] variant — `Section::ALL` is pinned
+/// by the golden suite and legacy campaigns never render this block.
+/// Mixed campaigns pin it through `tests/golden/shape_mix.txt`.
+pub fn render_shape_mix(report: &FullReport) -> String {
+    let s = &report.shapes;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Socket shapes: family and stream mix ==");
+    let _ = writeln!(
+        out,
+        "  family: v4 {} flows ({:.3} MB) | v6 {} flows ({:.3} MB)",
+        s.v4_flows,
+        mb(s.v4_bytes),
+        s.v6_flows,
+        mb(s.v6_bytes)
+    );
+    let _ = writeln!(
+        out,
+        "  shape: plain {} | tls-like {} (sni-attributed {}) | connect-proxy {}",
+        s.plain_flows, s.tls_flows, s.sni_attributed, s.proxy_flows
+    );
+    let h = s.stream_histogram();
+    let _ = writeln!(
+        out,
+        "  streams/connection: 1={} 2={} 3={} 4+={} | pooled connections {}",
+        h[0], h[1], h[2], h[3], s.pooled_connections
+    );
     out
 }
 

@@ -1,0 +1,152 @@
+//! Socket-shape mix — how the campaign's traffic splits across the
+//! modern wire shapes: address family, TLS-like framing, CONNECT
+//! tunnels, and connection pooling (streams per connection).
+//!
+//! Inactive (and therefore unrendered) for legacy v4-plain campaigns,
+//! so every historical report stays byte-identical.
+
+use libspector::pipeline::AppAnalysis;
+use libspector::{FlowShape, IpFamily};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated socket-shape statistics over one campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShapeMix {
+    /// True when any flow departs from the legacy shape (v4, plain,
+    /// unpooled). Gates rendering.
+    pub active: bool,
+    /// Attributed flows whose connection ran over IPv4.
+    pub v4_flows: usize,
+    /// Attributed flows whose connection ran over IPv6.
+    pub v6_flows: usize,
+    /// Wire bytes (sent + received) over IPv4 connections.
+    pub v4_bytes: u64,
+    /// Wire bytes (sent + received) over IPv6 connections.
+    pub v6_bytes: u64,
+    /// Flows with no recognizable framing in the first payload.
+    pub plain_flows: usize,
+    /// Flows opening with a TLS-like client hello.
+    pub tls_flows: usize,
+    /// TLS-like flows whose domain resolved (via the SNI) — the
+    /// paper's context-aware attribution working where DNS cannot.
+    pub sni_attributed: usize,
+    /// Flows opening with a CONNECT tunnel preamble.
+    pub proxy_flows: usize,
+    /// Connections carrying more than one logical stream.
+    pub pooled_connections: usize,
+    /// Connections carrying exactly one stream (the legacy shape).
+    pub streams_1: usize,
+    /// Connections carrying exactly two streams.
+    pub streams_2: usize,
+    /// Connections carrying exactly three streams.
+    pub streams_3: usize,
+    /// Connections carrying four or more streams.
+    pub streams_4_plus: usize,
+}
+
+impl ShapeMix {
+    /// The streams-per-connection histogram as `[1, 2, 3, 4+]` buckets.
+    pub fn stream_histogram(&self) -> [usize; 4] {
+        [
+            self.streams_1,
+            self.streams_2,
+            self.streams_3,
+            self.streams_4_plus,
+        ]
+    }
+}
+
+/// Computes the shape mix. Pooled flows carry a stream ordinal and
+/// share their connection's epoch start, so streams are re-grouped
+/// into connections by `(app, start_micros)` — the virtual clock
+/// advances between connects, making the epoch start unique per
+/// connection within an app.
+pub fn compute(analyses: &[AppAnalysis]) -> ShapeMix {
+    use std::collections::HashMap;
+    let mut mix = ShapeMix::default();
+    for (app, analysis) in analyses.iter().enumerate() {
+        let mut pooled: HashMap<(usize, u64), usize> = HashMap::new();
+        for flow in &analysis.flows {
+            let wire = flow.sent_bytes + flow.recv_bytes;
+            match flow.family {
+                IpFamily::V4 => {
+                    mix.v4_flows += 1;
+                    mix.v4_bytes += wire;
+                }
+                IpFamily::V6 => {
+                    mix.v6_flows += 1;
+                    mix.v6_bytes += wire;
+                }
+            }
+            match flow.shape {
+                FlowShape::Plain => mix.plain_flows += 1,
+                FlowShape::TlsLike => {
+                    mix.tls_flows += 1;
+                    if flow.domain.is_some() {
+                        mix.sni_attributed += 1;
+                    }
+                }
+                FlowShape::ConnectProxy => mix.proxy_flows += 1,
+            }
+            match flow.stream {
+                None => mix.streams_1 += 1,
+                Some(_) => *pooled.entry((app, flow.start_micros)).or_insert(0) += 1,
+            }
+        }
+        for (_, streams) in pooled {
+            mix.pooled_connections += 1;
+            match streams {
+                0 | 1 => mix.streams_1 += 1,
+                2 => mix.streams_2 += 1,
+                3 => mix.streams_3 += 1,
+                _ => mix.streams_4_plus += 1,
+            }
+        }
+    }
+    mix.active =
+        mix.v6_flows > 0 || mix.tls_flows > 0 || mix.proxy_flows > 0 || mix.pooled_connections > 0;
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{app, flow};
+    use spector_libradar::LibCategory;
+    use spector_vtcat::DomainCategory;
+
+    fn sample_flow() -> libspector::AnalyzedFlow {
+        flow(
+            Some(("com.ads.sdk", "com.ads")),
+            LibCategory::Advertisement,
+            "ads.example",
+            DomainCategory::Advertisements,
+            1_000,
+            2_000,
+        )
+    }
+
+    #[test]
+    fn legacy_campaign_stays_inactive() {
+        let analyses = vec![app("com.app", "tools", vec![sample_flow()])];
+        let mix = compute(&analyses);
+        assert!(!mix.active, "v4-plain-unpooled must not activate");
+        assert_eq!(mix.v4_flows, 1);
+        assert_eq!(mix.stream_histogram(), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pooled_streams_regroup_into_connections() {
+        let mut a = app("com.app", "tools", vec![]);
+        for k in 0..3u32 {
+            let mut f = sample_flow();
+            f.stream = Some(k);
+            f.start_micros = 500; // same connection epoch
+            a.flows.push(f);
+        }
+        let mix = compute(&[a]);
+        assert!(mix.active);
+        assert_eq!(mix.pooled_connections, 1);
+        assert_eq!(mix.stream_histogram(), [0, 0, 1, 0]);
+    }
+}

@@ -299,6 +299,9 @@ mod tests {
             recv_payload: recv.saturating_sub(40),
             start_micros: 1_000,
             http_user_agent: None,
+            family: Default::default(),
+            shape: Default::default(),
+            stream: None,
         }
     }
 

@@ -49,6 +49,9 @@ fn flow() -> impl Strategy<Value = AnalyzedFlow> {
                     recv_payload: recv / 2,
                     start_micros: 0,
                     http_user_agent: None,
+                    family: Default::default(),
+                    shape: Default::default(),
+                    stream: None,
                 }
             },
         )

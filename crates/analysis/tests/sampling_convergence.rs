@@ -36,6 +36,9 @@ fn library_flow(index: usize, bytes: u64) -> AnalyzedFlow {
         recv_payload: bytes - bytes / 4,
         start_micros: index as u64 * 1_000,
         http_user_agent: None,
+        family: Default::default(),
+        shape: Default::default(),
+        stream: None,
     }
 }
 

@@ -66,11 +66,11 @@ fn bench_enforcement(c: &mut Criterion) {
     let knowledge: &Knowledge = knowledge();
     let resolver = resolver_for(&corpus.domains);
     let app = &corpus.apps[0];
-    let domains: std::collections::HashMap<std::net::Ipv4Addr, String> = corpus
+    let domains: std::collections::HashMap<std::net::IpAddr, String> = corpus
         .domains
         .domains()
         .iter()
-        .map(|d| (d.ip, d.name.clone()))
+        .map(|d| (std::net::IpAddr::V4(d.ip), d.name.clone()))
         .collect();
     let mut group = c.benchmark_group("ablation/enforcement");
     group.sample_size(10);

@@ -357,6 +357,7 @@ fn bench_substrates(c: &mut Criterion) {
 
     // Report codec.
     let report = SocketReport {
+        stream: None,
         apk_sha256: Sha256::digest(b"x"),
         pair,
         timestamp_micros: 123,

@@ -66,6 +66,7 @@ libspector — context-aware network traffic analysis (simulated reproduction)
 USAGE:
   libspector run    --apps N [--seed S] [--events E] [--workers W]
                     [--out FILE] [--method-scale F]
+                    [--modern-fraction F]  (IPv6/pooled/TLS-like/CONNECT traffic share)
                     [--chaos none|light|heavy] [--chaos-seed S]
                     [--max-failures N] [--checkpoint FILE]
                     [--checkpoint-every N] [--resume FILE]
@@ -76,6 +77,7 @@ USAGE:
                     [--store-seal-every N]  (analyses per sealed segment)
   libspector live   --apps N [--seed S] [--events E] [--workers W]
                     [--shards K] [--batch-events B] [--snapshot-every N]
+                    [--modern-fraction F]
                     [--sample-rate F] [--trace-budget N [--trace-budget-window MICROS]]
                     [--metrics FILE] [--store DIR] [--store-seal-every N]
   libspector query  --store DIR [--campaign N | --campaigns N1,N2,...]
@@ -147,13 +149,14 @@ fn write_metrics(snapshot: &spector_telemetry::MetricsSnapshot, path: &str) -> R
     Ok(())
 }
 
-fn build_corpus(apps: usize, seed: u64, method_scale: f64) -> Corpus {
+fn build_corpus(apps: usize, seed: u64, method_scale: f64, modern_fraction: f64) -> Corpus {
     eprintln!("generating corpus: {apps} apps, seed {seed}");
     Corpus::generate(&CorpusConfig {
         apps,
         seed,
         appgen: AppGenConfig {
             method_scale,
+            modern_fraction,
             ..Default::default()
         },
         ..Default::default()
@@ -222,6 +225,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let events: u32 = parse_flag(args, "--events", 1_000)?;
     let workers: usize = parse_flag(args, "--workers", 0)?;
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
+    let modern_fraction: f64 = parse_flag(args, "--modern-fraction", 0.0)?;
     let out: Option<String> = flag(args, "--out");
     let chaos_profile: FaultProfile = parse_flag(args, "--chaos", FaultProfile::none())?;
     let chaos_seed: u64 = parse_flag(args, "--chaos-seed", seed)?;
@@ -234,7 +238,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let seal_every: usize = parse_flag(args, "--store-seal-every", DEFAULT_SEAL_EVERY)?;
     let sampling = parse_sampling(args, seed)?;
 
-    let corpus = build_corpus(apps, seed, method_scale);
+    let corpus = build_corpus(apps, seed, method_scale, modern_fraction);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
     let knowledge = Knowledge::from_corpus(&corpus);
     let mut dispatch = DispatchConfig {
@@ -366,13 +370,14 @@ fn cmd_live(args: &[String]) -> Result<(), String> {
     let shards: usize = parse_flag(args, "--shards", 2)?;
     let batch_events: usize = parse_flag(args, "--batch-events", 64)?;
     let method_scale: f64 = parse_flag(args, "--method-scale", 0.02)?;
+    let modern_fraction: f64 = parse_flag(args, "--modern-fraction", 0.0)?;
     let snapshot_every: usize = parse_flag(args, "--snapshot-every", 10)?;
     let metrics_out: Option<String> = flag(args, "--metrics");
     let store_dir: Option<String> = flag(args, "--store");
     let seal_every: usize = parse_flag(args, "--store-seal-every", DEFAULT_SEAL_EVERY)?;
     let sampling = parse_sampling(args, seed)?;
 
-    let corpus = build_corpus(apps, seed, method_scale);
+    let corpus = build_corpus(apps, seed, method_scale, modern_fraction);
     eprintln!("scanning corpus (LibRadar aggregate + domain labels)");
     let knowledge = Knowledge::from_corpus(&corpus);
     let mut dispatch = DispatchConfig {
@@ -595,7 +600,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
 
-    let corpus = build_corpus(apps, seed, 0.02);
+    let corpus = build_corpus(apps, seed, 0.02, 0.0);
     let knowledge = Knowledge::from_corpus(&corpus);
     println!(
         "{:>8} {:>14} {:>12}",

@@ -247,6 +247,9 @@ mod tests {
             recv_payload: bytes,
             start_micros: 0,
             http_user_agent: None,
+            family: Default::default(),
+            shape: Default::default(),
+            stream: None,
         }
     }
 

@@ -64,3 +64,4 @@ pub use pipeline::{
     analyze_run, analyze_run_instrumented, analyze_run_oracle, origin_label, AnalyzedFlow,
     AppAnalysis, PipelineTelemetry, RunIntegrity, BUILTIN_ORIGIN_LABEL,
 };
+pub use spector_netsim::shape::{FlowShape, IpFamily};

@@ -25,6 +25,7 @@ use spector_hooks::supervisor::decode_reports_classified;
 use spector_hooks::{LedgerRecord, ReportErrorKind, SocketReport};
 use spector_libradar::{DetectTier, LibCategory};
 use spector_netsim::flows::{DnsMap, FlowTable};
+use spector_netsim::shape::{classify_shape, resolve_flow_domain, FlowShape, IpFamily};
 use spector_netsim::CaptureIndex;
 use spector_sampling::SamplingLedger;
 use spector_telemetry::{Counter, Histogram, StageRecorder, Telemetry, SIZE_BOUNDS_BYTES};
@@ -65,6 +66,19 @@ pub struct AnalyzedFlow {
     /// parseable HTTP (what header-based classifiers inspect).
     #[serde(default)]
     pub http_user_agent: Option<String>,
+    /// Address family of the flow's canonical 4-tuple (v4-mapped
+    /// endpoints fold to [`IpFamily::V4`]).
+    #[serde(default)]
+    pub family: IpFamily,
+    /// Visible wire shape classified from the flow's leading payload:
+    /// plain, TLS-like (SNI hello), or CONNECT-proxied.
+    #[serde(default)]
+    pub shape: FlowShape,
+    /// Stream ordinal within a reused (keep-alive) connection when
+    /// this row is a per-stream split; `None` for whole-connection
+    /// rows, which is every flow of a legacy single-stream run.
+    #[serde(default)]
+    pub stream: Option<u32>,
 }
 
 impl AnalyzedFlow {
@@ -603,13 +617,13 @@ fn join_reports<F>(
 where
     F: FnMut(&str) -> (LibraryVerdict, DetectTier),
 {
-    // Join each report with its stream epoch. Several reports can hit
-    // the same epoch when a 4-tuple carries more than one hooked
-    // connect (e.g. a duplicated report datagram): the epoch's bytes
-    // must be counted once, so later reports for a matched epoch are
-    // skipped.
+    // Join each report with its stream epoch. Claims are keyed by
+    // `(epoch, stream slot)`: the connect-time report (stream `None`)
+    // covers slot 0, explicit per-stream reports cover their own
+    // ordinal, and a slot's bytes must be counted once — a duplicated
+    // report datagram re-claims an already-claimed slot and is skipped.
     let mut flows = Vec::with_capacity(reports.len());
-    let mut matched: HashSet<usize> = HashSet::new();
+    let mut matched: HashSet<(usize, u32)> = HashSet::new();
     let mut reports_without_flow = 0usize;
     let mut detect = DetectStats::default();
     pt.reports_total.add(reports.len() as u64);
@@ -620,11 +634,24 @@ where
                 pt.reports_without_flow.inc();
                 continue;
             };
-            if !matched.insert(idx) {
+            let slot = report.stream.unwrap_or(0);
+            if !matched.insert((idx, slot)) {
                 pt.duplicate_reports.inc();
                 continue;
             }
             let flow = &flow_table.flows()[idx];
+            // Volume resolution: a legacy report (stream `None`) on a
+            // single-stream epoch claims the whole epoch — the
+            // pre-pooling behavior, byte for byte. On a multi-stream
+            // epoch the connect report covers stream 0 and explicit
+            // stream reports take their own ordinal's split, so the
+            // per-stream rows sum exactly to the connection totals.
+            let (volumes, stream) = match (report.stream, flow.stream_count() > 1) {
+                (None, false) => (flow.stream_volumes(None), None),
+                (None, true) => (flow.stream_volumes(Some(0)), Some(0)),
+                (Some(k), _) => (flow.stream_volumes(Some(k)), Some(k)),
+            };
+            let (sent_bytes, recv_bytes, sent_payload, recv_payload) = volumes;
 
             let attribution: Attribution = pt
                 .attribute
@@ -639,7 +666,8 @@ where
                 OriginKind::Builtin => (LibCategory::Unknown, false, false),
             };
             let (domain, domain_category) = pt.domain_categorize.time(|| {
-                let domain = dns_map.domain_for(flow.pair.dst_ip).map(str::to_owned);
+                let domain = resolve_flow_domain(&flow.first_payload, &flow.pair, dns_map)
+                    .map(str::to_owned);
                 let category = domain
                     .as_deref()
                     .map(|d| knowledge.domain_category(d))
@@ -649,8 +677,7 @@ where
             let http_user_agent = spector_netsim::http::HttpRequest::parse(&flow.first_payload)
                 .map(|request| request.user_agent);
             pt.flows_attributed.inc();
-            pt.flow_bytes
-                .record(flow.sent_wire_bytes + flow.recv_wire_bytes);
+            pt.flow_bytes.record(sent_bytes + recv_bytes);
             flows.push(AnalyzedFlow {
                 domain,
                 domain_category,
@@ -658,17 +685,22 @@ where
                 lib_category,
                 is_ant,
                 is_common,
-                sent_bytes: flow.sent_wire_bytes,
-                recv_bytes: flow.recv_wire_bytes,
-                sent_payload: flow.sent_payload_bytes,
-                recv_payload: flow.recv_payload_bytes,
+                sent_bytes,
+                recv_bytes,
+                sent_payload,
+                recv_payload,
                 start_micros: flow.start_micros,
                 http_user_agent,
+                family: IpFamily::of(&flow.pair),
+                shape: classify_shape(&flow.first_payload),
+                stream,
             });
         }
     });
 
-    let unattributed_flows = flow_table.len().saturating_sub(flows.len());
+    // An epoch is attributed once any of its stream slots is claimed.
+    let matched_epochs: HashSet<usize> = matched.iter().map(|&(idx, _)| idx).collect();
+    let unattributed_flows = flow_table.len().saturating_sub(matched_epochs.len());
     pt.flows_unattributed.add(unattributed_flows as u64);
     let coverage = pt
         .coverage
@@ -854,6 +886,7 @@ mod tests {
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"dup-apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),
@@ -868,6 +901,7 @@ mod tests {
         stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
         // A third report references a 4-tuple with no packets at all.
         let orphan = SocketReport {
+            stream: None,
             pair: SocketPair::new(
                 Ipv4Addr::new(10, 0, 2, 15),
                 61_000,

@@ -210,7 +210,7 @@ pub fn apply(policy: &Policy, analyses: &[AppAnalysis]) -> PolicyReport {
 pub struct OnlineEnforcer {
     policy: Policy,
     filter: crate::attribution::BuiltinFilter,
-    domains: std::collections::HashMap<std::net::Ipv4Addr, String>,
+    domains: std::collections::HashMap<std::net::IpAddr, String>,
     lists: spector_libradar::LibraryLists,
     aggregated: spector_libradar::AggregatedLibraries,
     blocked: u64,
@@ -222,7 +222,7 @@ impl OnlineEnforcer {
     pub fn new(
         policy: Policy,
         knowledge: &crate::knowledge::Knowledge,
-        domains: std::collections::HashMap<std::net::Ipv4Addr, String>,
+        domains: std::collections::HashMap<std::net::IpAddr, String>,
     ) -> Self {
         OnlineEnforcer {
             policy,
@@ -266,7 +266,10 @@ impl spector_runtime::RuntimeHook for OnlineEnforcer {
             ),
             OriginKind::Builtin => (LibCategory::Unknown, false),
         };
-        let domain = self.domains.get(&pair.dst_ip).cloned();
+        let domain = self
+            .domains
+            .get(&spector_netsim::canonical_ip(pair.dst_ip))
+            .cloned();
         // Domain category is not known online (no VT labels inside the
         // emulator); domain-category rules only fire offline.
         let flow = AnalyzedFlow {
@@ -282,6 +285,9 @@ impl spector_runtime::RuntimeHook for OnlineEnforcer {
             recv_payload: 0,
             start_micros: 0,
             http_user_agent: None,
+            family: spector_netsim::shape::IpFamily::of(&pair),
+            shape: spector_netsim::shape::FlowShape::Plain,
+            stream: None,
         };
         match self.policy.evaluate(&flow).0 {
             Action::Block => {
@@ -350,6 +356,9 @@ mod tests {
             recv_payload: bytes,
             start_micros: 0,
             http_user_agent: None,
+            family: Default::default(),
+            shape: Default::default(),
+            stream: None,
         }
     }
 

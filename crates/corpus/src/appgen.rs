@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use spector_dex::apk::{ActivityDecl, Apk, ApkEntry, Manifest};
 use spector_dex::model::{
     ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,
-    NetworkOp,
+    NetworkOp, WireShape,
 };
 use spector_dex::sig::MethodSig;
 use spector_libradar::LibCategory;
@@ -76,6 +76,9 @@ pub struct FlowTruth {
     pub is_common: bool,
     /// Execution style.
     pub style: OpStyle,
+    /// Wire shape the op was generated with (legacy ops are `Plain`).
+    #[serde(default)]
+    pub shape: WireShape,
 }
 
 /// A system-initiated op the experiment driver replays.
@@ -117,6 +120,12 @@ pub struct AppGenConfig {
     /// a run (used to budget refresh op sizes); matches a 1,000-event
     /// monkey with default hit rates.
     pub expected_refresh_invocations: f64,
+    /// Fraction of network ops carrying a modern wire shape — IPv6,
+    /// TLS-like framing, CONNECT proxying, or pooled keep-alive —
+    /// assigned deterministically per (owner, domain) with no RNG
+    /// draws, so `0.0` (the default) generates a corpus byte-identical
+    /// to the pre-shape generator.
+    pub modern_fraction: f64,
 }
 
 impl Default for AppGenConfig {
@@ -125,11 +134,35 @@ impl Default for AppGenConfig {
             method_scale: 0.02,
             volume_scale: 1.0,
             expected_refresh_invocations: 7.0,
+            modern_fraction: 0.0,
         }
     }
 }
 
 const MB: f64 = 1_048_576.0;
+
+/// Deterministic wire-shape assignment, hashed rather than rolled: the
+/// FNV-1a hash of `owner` and `domain` decides both *whether* the op is
+/// modern (against `modern_fraction`) and *which* shape it gets, so
+/// shape assignment consumes zero RNG draws and every other random
+/// decision in the generator is unperturbed by the knob.
+fn shape_for_op(modern_fraction: f64, owner: &str, domain: &str) -> WireShape {
+    if modern_fraction <= 0.0 {
+        return WireShape::Plain;
+    }
+    let hash = crate::libraries::fnv1a(&format!("{owner}\u{1f}{domain}"));
+    if (hash % 10_000) as f64 >= modern_fraction * 10_000.0 {
+        return WireShape::Plain;
+    }
+    match (hash >> 16) % 4 {
+        0 => WireShape::V6,
+        1 => WireShape::TlsSni,
+        2 => WireShape::ConnectProxy,
+        _ => WireShape::Pooled {
+            streams: 2 + ((hash >> 32) % 3) as u32,
+        },
+    }
+}
 
 /// Samples a domain of `category`, retrying to avoid domains this app
 /// already uses so that `(app, domain)` uniquely identifies a ground-
@@ -383,12 +416,14 @@ pub fn generate_app(
             let domain = sample_unused(universe, domain_category, rng, &mut used_domains);
             let recv = (sys_volume / 2.0).max(64.0) as u64;
             let send = (recv as f64 / ratio_for(LibCategory::Utility, rng)).max(32.0) as u64;
+            let shape = shape_for_op(config.modern_fraction, "android.system", &domain.name);
             let op = NetworkOp {
                 domain: domain.name.clone(),
                 port: 443,
                 send_bytes: send,
                 recv_bytes: recv,
                 connector,
+                shape,
             };
             let expected_origin = match connector {
                 Connector::AndroidOkHttp => Some("com.android.okhttp.internal.huc".to_owned()),
@@ -406,6 +441,7 @@ pub fn generate_app(
                 is_ant: false,
                 is_common: false,
                 style: OpStyle::System,
+                shape,
             });
             system_ops.push(SystemOp {
                 op,
@@ -494,6 +530,7 @@ fn build_instance(
             send_bytes: send,
             recv_bytes: recv,
             connector,
+            shape: shape_for_op(config.modern_fraction, template.package, &domain.name),
         };
         (op, domain_category, style)
     };
@@ -526,6 +563,7 @@ fn build_instance(
             is_ant: template.is_ant,
             is_common: template.is_common,
             style,
+            shape: op.shape,
         });
     }
     instance
@@ -536,7 +574,7 @@ fn build_instance(
 fn first_party_op(
     bytes: f64,
     universe: &DomainUniverse,
-    _config: &AppGenConfig,
+    config: &AppGenConfig,
     rng: &mut SmallRng,
     package: &str,
     truth: &mut Vec<FlowTruth>,
@@ -553,6 +591,7 @@ fn first_party_op(
         send_bytes: send,
         recv_bytes: recv,
         connector: Connector::AndroidOkHttp,
+        shape: shape_for_op(config.modern_fraction, package, &domain.name),
     };
     truth.push(FlowTruth {
         domain: domain.name.clone(),
@@ -566,6 +605,7 @@ fn first_party_op(
         is_ant: false,
         is_common: false,
         style: OpStyle::Startup,
+        shape: op.shape,
     });
     op
 }
@@ -741,6 +781,58 @@ mod tests {
                 t.domain
             );
         }
+    }
+
+    #[test]
+    fn modern_fraction_consumes_no_rng() {
+        // Same seed, different fraction: every random decision must be
+        // identical — only the shape labels change. This is the
+        // legacy-inertness guarantee at the generator level.
+        let universe = DomainUniverse::generate(1, 400);
+        let config = |modern_fraction| AppGenConfig {
+            method_scale: 0.005,
+            modern_fraction,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let legacy = generate_app(
+            0,
+            &APP_CATEGORIES[0],
+            Archetype::Mixed,
+            &universe,
+            &config(0.0),
+            &mut rng,
+        );
+        let mut rng = SmallRng::seed_from_u64(11);
+        let modern = generate_app(
+            0,
+            &APP_CATEGORIES[0],
+            Archetype::Mixed,
+            &universe,
+            &config(0.6),
+            &mut rng,
+        );
+        assert!(legacy.truth.iter().all(|t| t.shape == WireShape::Plain));
+        assert!(modern.truth.iter().any(|t| t.shape != WireShape::Plain));
+        assert_eq!(legacy.truth.len(), modern.truth.len());
+        for (l, m) in legacy.truth.iter().zip(&modern.truth) {
+            assert_eq!(l.domain, m.domain);
+            assert_eq!(l.send_bytes, m.send_bytes);
+            assert_eq!(l.recv_bytes, m.recv_bytes);
+            assert_eq!(l.owner_package, m.owner_package);
+        }
+    }
+
+    #[test]
+    fn shape_assignment_covers_every_kind() {
+        // Across a spread of owners and domains at a high fraction, all
+        // four modern shapes (and plain) must appear.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let shape = shape_for_op(0.7, &format!("com.lib{}", i % 17), &format!("d{i}.example"));
+            seen.insert(std::mem::discriminant(&shape));
+        }
+        assert_eq!(seen.len(), 5, "plain + 4 modern shapes");
     }
 
     #[test]

@@ -865,6 +865,7 @@ fn placeholder_op() -> NetworkOp {
         send_bytes: 0,
         recv_bytes: 0,
         connector: Connector::AndroidOkHttp,
+        shape: spector_dex::model::WireShape::Plain,
     }
 }
 
@@ -946,6 +947,7 @@ mod tests {
                 send_bytes: 10,
                 recv_bytes: 1_000,
                 connector: template_connector(template),
+                shape: spector_dex::model::WireShape::Plain,
             },
             bg1: placeholder_op(),
             refresh: placeholder_op(),
@@ -957,6 +959,7 @@ mod tests {
                 send_bytes: 99,
                 recv_bytes: 2_000,
                 connector: template_connector(template),
+                shape: spector_dex::model::WireShape::Plain,
             },
             bg1: placeholder_op(),
             refresh: placeholder_op(),
@@ -984,6 +987,7 @@ mod tests {
                     send_bytes: 5,
                     recv_bytes: 50,
                     connector: template_connector(template),
+                    shape: spector_dex::model::WireShape::Plain,
                 },
                 bg1: placeholder_op(),
                 refresh: placeholder_op(),

@@ -281,6 +281,7 @@ mod tests {
                             send_bytes: 10,
                             recv_bytes: 20,
                             connector: crate::model::Connector::AndroidOkHttp,
+                            shape: crate::model::WireShape::Plain,
                         }),
                         Instruction::Return,
                     ],

@@ -17,11 +17,17 @@
 //!              05 disp ref uleb128     InvokeAsync (disp: 0 AsyncTask,
 //!                                      1 Thread, 2 Executor; ref: 0
 //!                                      internal, 1 external)
-//!              06 domain-idx port send recv conn
+//!              06 domain-idx port send recv conn [shape]
 //!                                      Network (all uleb128 except the
-//!                                      trailing connector byte: 0
-//!                                      AndroidOkHttp, 1 ApacheHttp,
-//!                                      2 DirectSocket)
+//!                                      connector byte: 0 AndroidOkHttp,
+//!                                      1 ApacheHttp, 2 DirectSocket).
+//!                                      The connector's high bit (0x80)
+//!                                      flags a trailing wire-shape
+//!                                      byte: 1 V6, 2 TlsSni,
+//!                                      3 ConnectProxy, 4 Pooled
+//!                                      (followed by a uleb128 stream
+//!                                      count >= 1). Plain ops carry no
+//!                                      flag, keeping legacy bytes.
 //! class_count  uleb128
 //!   classes    name string idx, method idx count, method idxs
 //! ```
@@ -37,7 +43,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::model::{
     ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,
-    NetworkOp,
+    NetworkOp, WireShape,
 };
 use crate::sig::MethodSig;
 
@@ -199,11 +205,30 @@ pub fn write_dex(dex: &DexFile) -> Bytes {
                     put_uleb128(&mut buf, u64::from(op.port));
                     put_uleb128(&mut buf, op.send_bytes);
                     put_uleb128(&mut buf, op.recv_bytes);
-                    buf.put_u8(match op.connector {
+                    let connector = match op.connector {
                         Connector::AndroidOkHttp => 0,
                         Connector::ApacheHttp => 1,
                         Connector::DirectSocket => 2,
-                    });
+                    };
+                    // The high bit of the connector byte marks a
+                    // non-plain wire shape; plain ops keep the legacy
+                    // single-byte encoding bit-for-bit.
+                    match op.shape {
+                        WireShape::Plain => buf.put_u8(connector),
+                        shape => {
+                            buf.put_u8(connector | 0x80);
+                            match shape {
+                                WireShape::Plain => unreachable!(),
+                                WireShape::V6 => buf.put_u8(1),
+                                WireShape::TlsSni => buf.put_u8(2),
+                                WireShape::ConnectProxy => buf.put_u8(3),
+                                WireShape::Pooled { streams } => {
+                                    buf.put_u8(4);
+                                    put_uleb128(&mut buf, u64::from(streams));
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -329,12 +354,41 @@ pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
                     if !buf.has_remaining() {
                         return Err(DexParseError::new("truncated network op"));
                     }
-                    let connector = match buf.get_u8() {
+                    let connector_byte = buf.get_u8();
+                    let connector = match connector_byte & 0x7f {
                         0 => Connector::AndroidOkHttp,
                         1 => Connector::ApacheHttp,
                         2 => Connector::DirectSocket,
                         other => {
                             return Err(DexParseError::new(format!("invalid connector {other}")))
+                        }
+                    };
+                    let shape = if connector_byte & 0x80 == 0 {
+                        WireShape::Plain
+                    } else {
+                        if !buf.has_remaining() {
+                            return Err(DexParseError::new("truncated network op"));
+                        }
+                        match buf.get_u8() {
+                            1 => WireShape::V6,
+                            2 => WireShape::TlsSni,
+                            3 => WireShape::ConnectProxy,
+                            4 => {
+                                let streams = get_uleb128(&mut buf)?;
+                                if streams == 0 || streams > u64::from(u32::MAX) {
+                                    return Err(DexParseError::new("invalid pooled stream count"));
+                                }
+                                WireShape::Pooled {
+                                    streams: streams as u32,
+                                }
+                            }
+                            // Tag 0 (plain-behind-the-flag) is rejected
+                            // so every shape has exactly one encoding.
+                            other => {
+                                return Err(DexParseError::new(format!(
+                                    "invalid wire shape {other}"
+                                )))
+                            }
                         }
                     };
                     Instruction::Network(NetworkOp {
@@ -343,6 +397,7 @@ pub fn parse_dex(bytes: &[u8]) -> Result<DexFile, DexParseError> {
                         send_bytes,
                         recv_bytes,
                         connector,
+                        shape,
                     })
                 }
                 other => return Err(DexParseError::new(format!("invalid opcode {other}"))),
@@ -447,6 +502,7 @@ mod tests {
                 target: MethodRef::External(MethodSig::new("java.lang", "Runnable", "run", "()V")),
             },
             Instruction::Network(NetworkOp {
+                shape: WireShape::Plain,
                 domain: "ads.adnet.example".into(),
                 port: 443,
                 send_bytes: 512,
@@ -454,6 +510,7 @@ mod tests {
                 connector: Connector::AndroidOkHttp,
             }),
             Instruction::Network(NetworkOp {
+                shape: WireShape::Plain,
                 domain: "cdn.host.example".into(),
                 port: 80,
                 send_bytes: 0,
@@ -464,6 +521,108 @@ mod tests {
         ];
         let parsed = parse_dex(&write_dex(&dex)).unwrap();
         assert_eq!(parsed, dex);
+    }
+
+    fn shaped_op(shape: WireShape) -> NetworkOp {
+        NetworkOp {
+            domain: "shaped.example".into(),
+            port: 443,
+            send_bytes: 128,
+            recv_bytes: 4_096,
+            connector: Connector::AndroidOkHttp,
+            shape,
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_wire_shape() {
+        for shape in [
+            WireShape::Plain,
+            WireShape::V6,
+            WireShape::TlsSni,
+            WireShape::ConnectProxy,
+            WireShape::Pooled { streams: 7 },
+        ] {
+            let mut dex = sample();
+            dex.methods[0].code.instructions =
+                vec![Instruction::Network(shaped_op(shape)), Instruction::Return];
+            let parsed = parse_dex(&write_dex(&dex)).unwrap();
+            assert_eq!(parsed, dex, "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn plain_ops_keep_legacy_connector_byte() {
+        // The shaped encoder must be bit-for-bit inert for plain ops: no
+        // high bit on the connector, no trailing shape byte. A dex whose
+        // final bytes are a plain Network op pins this exactly — the
+        // file must end `… 01 00`: the unflagged ApacheHttp connector,
+        // then the empty class-section count.
+        let mut op = shaped_op(WireShape::Plain);
+        op.connector = Connector::ApacheHttp;
+        let dex = DexFile {
+            methods: vec![MethodDef {
+                sig: MethodSig::new("com.app", "C", "m", "()V"),
+                code: CodeItem {
+                    instructions: vec![Instruction::Network(op)],
+                },
+            }],
+            classes: vec![],
+        };
+        let bytes = write_dex(&dex).to_vec();
+        assert_eq!(bytes[bytes.len() - 1], 0, "class count");
+        assert_eq!(
+            bytes[bytes.len() - 2],
+            1,
+            "unflagged connector, no shape byte"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_wire_shape_tags() {
+        let mut dex = sample();
+        dex.methods[0].code.instructions = vec![
+            Instruction::Network(shaped_op(WireShape::V6)),
+            Instruction::Return,
+        ];
+        let bytes = write_dex(&dex).to_vec();
+        // The V6 op encodes `... conn|0x80, 01, Return(04)`. Corrupt
+        // the shape byte (second-to-last of the method body).
+        let pos = bytes
+            .iter()
+            .rposition(|&b| b == 0x80)
+            .expect("flagged connector present");
+        let mut bad = bytes.clone();
+        bad[pos + 1] = 0; // plain-behind-the-flag: non-canonical
+        assert!(parse_dex(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid wire shape"));
+        let mut bad = bytes;
+        bad[pos + 1] = 9;
+        assert!(parse_dex(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid wire shape"));
+    }
+
+    #[test]
+    fn rejects_zero_pooled_streams() {
+        let mut dex = sample();
+        dex.methods[0].code.instructions = vec![
+            Instruction::Network(shaped_op(WireShape::Pooled { streams: 1 })),
+            Instruction::Return,
+        ];
+        let bytes = write_dex(&dex).to_vec();
+        // Pooled encodes `conn|0x80, 04, <streams>`; zero the count.
+        let pos = bytes.iter().rposition(|&b| b == 0x80).unwrap();
+        let mut bad = bytes;
+        assert_eq!(bad[pos + 1], 4);
+        bad[pos + 2] = 0;
+        assert!(parse_dex(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("invalid pooled stream count"));
     }
 
     #[test]

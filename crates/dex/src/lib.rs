@@ -50,7 +50,7 @@ pub use features::{shape_of, subtree_profile, StructuralProfile};
 pub use format::{parse_dex, write_dex, DexParseError};
 pub use model::{
     ClassDef, CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef,
-    NetworkOp, SigIndex,
+    NetworkOp, SigIndex, WireShape,
 };
 pub use sha256::Sha256;
 pub use sig::{MethodSig, SigParseError};

@@ -55,6 +55,37 @@ pub enum Connector {
     DirectSocket,
 }
 
+/// How a network operation appears on the wire beyond the legacy
+/// plain IPv4-TCP request/response exchange.
+///
+/// The shape changes the *transport realism* of the traffic — address
+/// family, framing, tunnelling, connection reuse — while the logical
+/// behaviour (which library talks to which domain, how many payload
+/// bytes move) stays the behaviour-graph's to decide. `Plain` is the
+/// legacy shape: an app whose every op is `Plain` produces a dex, a
+/// capture, and reports byte-identical to before shapes existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WireShape {
+    /// Legacy IPv4 TCP exchange — the pre-shape wire behaviour.
+    #[default]
+    Plain,
+    /// Same exchange over IPv6 (AAAA resolution, v6 frames).
+    V6,
+    /// TLS-like record framing; the destination name travels in the
+    /// ClientHello SNI instead of a DNS lookup observable in capture.
+    TlsSni,
+    /// CONNECT-style proxying: the TCP connection goes to a fixed
+    /// forward proxy and the logical destination is named only in the
+    /// tunnel preamble.
+    ConnectProxy,
+    /// Connection reuse: `streams` logical request/response exchanges
+    /// multiplexed over one TCP connection (keep-alive pooling).
+    Pooled {
+        /// Number of logical streams carried on the one connection.
+        streams: u32,
+    },
+}
+
 /// One simulated network operation: connect to `domain:port`, send
 /// `send_bytes` of request payload, receive `recv_bytes` of response.
 ///
@@ -72,6 +103,9 @@ pub struct NetworkOp {
     pub recv_bytes: u64,
     /// Client chain used for the connection.
     pub connector: Connector,
+    /// Wire-level shape of the exchange (legacy ops are `Plain`).
+    #[serde(default)]
+    pub shape: WireShape,
 }
 
 /// One bytecode-like instruction in a code item.

@@ -185,6 +185,7 @@ mod tests {
         let pair = stack.socket_pair(sock).unwrap();
         for i in 0..reports {
             let report = SocketReport {
+                stream: None,
                 apk_sha256: spector_dex::sha256::Sha256::digest(&[i as u8]),
                 pair,
                 timestamp_micros: stack.clock().now_micros(),

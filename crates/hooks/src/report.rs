@@ -1,6 +1,8 @@
 //! Wire format of the Socket Supervisor's UDP report datagrams.
 //!
-//! Layout (integers little-endian unless noted, lengths uleb128):
+//! Legacy layout — emitted for every IPv4 connection-level report, so
+//! pre-dual-stack campaigns produce byte-identical datagrams (integers
+//! little-endian unless noted, lengths uleb128):
 //!
 //! ```text
 //! magic       4 bytes  "SRPT"
@@ -14,20 +16,40 @@
 //!   frames    uleb128 length + UTF-8, most recent first
 //! ```
 //!
+//! Modern layout — used only when the report cannot be expressed in
+//! the legacy form (an IPv6 endpoint, or a per-stream report carrying
+//! a keep-alive stream ordinal):
+//!
+//! ```text
+//! magic       4 bytes  "SRP2"
+//! apk sha256  32 bytes
+//! family      1 byte   4 or 6
+//! src ip      4 or 16 bytes per family (network order)
+//! src port    2 bytes  (big endian)
+//! dst ip      4 or 16 bytes
+//! dst port    2 bytes
+//! timestamp   8 bytes  little-endian microseconds
+//! stream      uleb128  ordinal + 1 (0 = connection-level report)
+//! frame count uleb128
+//!   frames    uleb128 length + UTF-8, most recent first
+//! ```
+//!
 //! Frames are the *translated* stack: full smali type signatures where
 //! the app's dex defines the method, the raw dotted name for framework
 //! frames the dex knows nothing about.
 
 use std::error::Error;
 use std::fmt;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use spector_dex::sha256::Digest;
-use spector_netsim::packet::SocketPair;
+use spector_netsim::packet::{canonical_ip, SocketPair};
 
-/// Magic prefix of every report datagram.
+/// Magic prefix of legacy (IPv4, connection-level) report datagrams.
 pub const REPORT_MAGIC: &[u8; 4] = b"SRPT";
+/// Magic prefix of modern (IPv6-capable, stream-aware) report datagrams.
+pub const REPORT_MAGIC_V2: &[u8; 4] = b"SRP2";
 
 /// One socket report: everything the offline pipeline needs to join a
 /// stack trace with its TCP stream in the capture.
@@ -39,6 +61,10 @@ pub struct SocketReport {
     pub pair: SocketPair,
     /// Virtual timestamp when the hook fired (microseconds).
     pub timestamp_micros: u64,
+    /// Keep-alive stream ordinal within the connection (0-based) for
+    /// per-stream reports; `None` for connection-level reports, which
+    /// attribute the whole epoch's volume as before.
+    pub stream: Option<u32>,
     /// Translated stack frames, most recent first.
     pub frames: Vec<String>,
 }
@@ -118,17 +144,63 @@ fn get_uleb128(buf: &mut Bytes) -> Result<u64, ReportParseError> {
     }
 }
 
+/// Writes an address known to be IPv4 as its 4 network-order bytes.
+fn put_ip4(buf: &mut BytesMut, ip: IpAddr) {
+    match ip {
+        IpAddr::V4(v4) => buf.put_slice(&v4.octets()),
+        IpAddr::V6(_) => unreachable!("family-4 encoding of a v6 address"),
+    }
+}
+
+/// The 16-byte v6 form of an address for SRP2 family-6 encoding.
+fn v6_octets(ip: IpAddr) -> [u8; 16] {
+    match ip {
+        IpAddr::V4(v4) => v4.to_ipv6_mapped().octets(),
+        IpAddr::V6(v6) => v6.octets(),
+    }
+}
+
 impl SocketReport {
+    /// `true` when this report needs the modern "SRP2" layout: any v6
+    /// endpoint, or a per-stream ordinal. Everything else encodes as a
+    /// byte-identical legacy "SRPT" datagram.
+    fn needs_v2(&self) -> bool {
+        self.stream.is_some()
+            || !matches!(
+                (self.pair.src_ip, self.pair.dst_ip),
+                (IpAddr::V4(_), IpAddr::V4(_))
+            )
+    }
+
     /// Serializes the report into datagram payload bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::new();
-        buf.put_slice(REPORT_MAGIC);
-        buf.put_slice(&self.apk_sha256.0);
-        buf.put_slice(&self.pair.src_ip.octets());
-        buf.put_u16(self.pair.src_port);
-        buf.put_slice(&self.pair.dst_ip.octets());
-        buf.put_u16(self.pair.dst_port);
-        buf.put_u64_le(self.timestamp_micros);
+        if !self.needs_v2() {
+            buf.put_slice(REPORT_MAGIC);
+            buf.put_slice(&self.apk_sha256.0);
+            put_ip4(&mut buf, self.pair.src_ip);
+            buf.put_u16(self.pair.src_port);
+            put_ip4(&mut buf, self.pair.dst_ip);
+            buf.put_u16(self.pair.dst_port);
+            buf.put_u64_le(self.timestamp_micros);
+        } else {
+            let family6 = self.pair.src_ip.is_ipv6() || self.pair.dst_ip.is_ipv6();
+            buf.put_slice(REPORT_MAGIC_V2);
+            buf.put_slice(&self.apk_sha256.0);
+            buf.put_u8(if family6 { 6 } else { 4 });
+            if family6 {
+                buf.put_slice(&v6_octets(self.pair.src_ip));
+                buf.put_u16(self.pair.src_port);
+                buf.put_slice(&v6_octets(self.pair.dst_ip));
+            } else {
+                put_ip4(&mut buf, self.pair.src_ip);
+                buf.put_u16(self.pair.src_port);
+                put_ip4(&mut buf, self.pair.dst_ip);
+            }
+            buf.put_u16(self.pair.dst_port);
+            buf.put_u64_le(self.timestamp_micros);
+            put_uleb128(&mut buf, self.stream.map(|s| u64::from(s) + 1).unwrap_or(0));
+        }
         put_uleb128(&mut buf, self.frames.len() as u64);
         for frame in &self.frames {
             put_uleb128(&mut buf, frame.len() as u64);
@@ -145,11 +217,11 @@ impl SocketReport {
     /// frames, or trailing bytes.
     pub fn decode(payload: &[u8]) -> Result<Self, ReportParseError> {
         let mut buf = Bytes::copy_from_slice(payload);
-        // A short payload that is a prefix of the magic counts as
+        // A short payload that is a prefix of either magic counts as
         // truncated; anything else up front is a foreign datagram.
         if buf.remaining() < 4 {
             return Err(ReportParseError::new(
-                if REPORT_MAGIC.starts_with(payload) {
+                if REPORT_MAGIC.starts_with(payload) || REPORT_MAGIC_V2.starts_with(payload) {
                     ReportErrorKind::Truncated
                 } else {
                     ReportErrorKind::Malformed
@@ -157,13 +229,18 @@ impl SocketReport {
                 "truncated magic",
             ));
         }
-        if &buf.split_to(4)[..] != REPORT_MAGIC {
-            return Err(ReportParseError::new(
-                ReportErrorKind::Malformed,
-                "bad magic",
-            ));
-        }
-        if buf.remaining() < 32 + 12 + 8 {
+        let magic = buf.split_to(4);
+        let v2 = match &magic[..] {
+            m if m == REPORT_MAGIC => false,
+            m if m == REPORT_MAGIC_V2 => true,
+            _ => {
+                return Err(ReportParseError::new(
+                    ReportErrorKind::Malformed,
+                    "bad magic",
+                ));
+            }
+        };
+        if buf.remaining() < 32 {
             return Err(ReportParseError::new(
                 ReportErrorKind::Truncated,
                 "truncated header",
@@ -171,14 +248,66 @@ impl SocketReport {
         }
         let mut digest = [0u8; 32];
         buf.copy_to_slice(&mut digest);
-        let mut ip = [0u8; 4];
-        buf.copy_to_slice(&mut ip);
-        let src_ip = Ipv4Addr::from(ip);
+        let family6 = if v2 {
+            if !buf.has_remaining() {
+                return Err(ReportParseError::new(
+                    ReportErrorKind::Truncated,
+                    "truncated family",
+                ));
+            }
+            match buf.get_u8() {
+                4 => false,
+                6 => true,
+                other => {
+                    return Err(ReportParseError::new(
+                        ReportErrorKind::Malformed,
+                        format!("bad address family {other}"),
+                    ));
+                }
+            }
+        } else {
+            false
+        };
+        let addr_len = if family6 { 16 } else { 4 };
+        if buf.remaining() < 2 * addr_len + 4 + 8 {
+            return Err(ReportParseError::new(
+                ReportErrorKind::Truncated,
+                "truncated header",
+            ));
+        }
+        let get_ip = |buf: &mut Bytes| -> IpAddr {
+            if family6 {
+                let mut ip = [0u8; 16];
+                buf.copy_to_slice(&mut ip);
+                // A v4 endpoint of a mixed-family pair travels
+                // v4-mapped on the v6 wire; fold it back so decode
+                // restores the address the supervisor observed.
+                canonical_ip(IpAddr::V6(Ipv6Addr::from(ip)))
+            } else {
+                let mut ip = [0u8; 4];
+                buf.copy_to_slice(&mut ip);
+                IpAddr::V4(Ipv4Addr::from(ip))
+            }
+        };
+        let src_ip = get_ip(&mut buf);
         let src_port = buf.get_u16();
-        buf.copy_to_slice(&mut ip);
-        let dst_ip = Ipv4Addr::from(ip);
+        let dst_ip = get_ip(&mut buf);
         let dst_port = buf.get_u16();
         let timestamp_micros = buf.get_u64_le();
+        let stream = if v2 {
+            match get_uleb128(&mut buf)? {
+                0 => None,
+                n if n <= u64::from(u32::MAX) => Some((n - 1) as u32),
+                _ => {
+                    return Err(ReportParseError::new(
+                        ReportErrorKind::Malformed,
+                        "stream ordinal overflow",
+                    ));
+                }
+            }
+        } else {
+            None
+        };
         let count = get_uleb128(&mut buf)? as usize;
         if count > payload.len() {
             return Err(ReportParseError::new(
@@ -214,6 +343,7 @@ impl SocketReport {
             apk_sha256: Digest(digest),
             pair: SocketPair::new(src_ip, src_port, dst_ip, dst_port),
             timestamp_micros,
+            stream,
             frames,
         })
     }
@@ -222,34 +352,65 @@ impl SocketReport {
     /// — used by the pipeline to exclude instrumentation traffic from
     /// the app's accounting.
     pub fn is_report_payload(payload: &[u8]) -> bool {
-        payload.len() >= 4 && &payload[..4] == REPORT_MAGIC
+        payload.len() >= 4 && (&payload[..4] == REPORT_MAGIC || &payload[..4] == REPORT_MAGIC_V2)
     }
 
-    /// Bytes [`peek_pair`](Self::peek_pair) needs: magic (4) + apk
-    /// digest (32) + the embedded socket pair (12).
+    /// Bytes [`peek_pair`](Self::peek_pair) needs for a legacy "SRPT"
+    /// datagram: magic (4) + apk digest (32) + the embedded v4 socket
+    /// pair (12). "SRP2" datagrams need up to
+    /// [`PEEK_PREFIX_LEN_V6`](Self::PEEK_PREFIX_LEN_V6).
     pub const PEEK_PREFIX_LEN: usize = 4 + 32 + 12;
+
+    /// Bytes the peek needs for the largest header form: "SRP2" with
+    /// family 6 (magic + digest + family byte + 36-byte pair).
+    pub const PEEK_PREFIX_LEN_V6: usize = 4 + 32 + 1 + 36;
 
     /// Extracts the report's *embedded* socket pair from the fixed
     /// header prefix without decoding the rest of the payload. This is
     /// the producer-side routing peek of the live engine: a report
     /// must land on the shard that owns its flow's epochs, which is
     /// keyed by this pair (not by the carrying datagram's 4-tuple).
+    /// Handles both magics; the stream ordinal does not affect routing
+    /// (all streams of a connection share its flow epochs).
     ///
     /// Returns `None` when the magic is wrong or the payload is too
     /// short — in which case [`decode`](Self::decode) is guaranteed to
     /// fail too, so the caller can route the bytes to a fallback shard
     /// and let the shard-local decode classify the failure.
     pub fn peek_pair(payload: &[u8]) -> Option<SocketPair> {
-        if payload.len() < Self::PEEK_PREFIX_LEN || &payload[..4] != REPORT_MAGIC {
+        if payload.len() < 4 {
             return None;
         }
-        let pair = &payload[36..48];
-        Some(SocketPair::new(
-            Ipv4Addr::new(pair[0], pair[1], pair[2], pair[3]),
-            u16::from_be_bytes([pair[4], pair[5]]),
-            Ipv4Addr::new(pair[6], pair[7], pair[8], pair[9]),
-            u16::from_be_bytes([pair[10], pair[11]]),
-        ))
+        let (pair, family6) = match &payload[..4] {
+            m if m == REPORT_MAGIC => (payload.get(36..48)?, false),
+            m if m == REPORT_MAGIC_V2 => match payload.get(36)? {
+                4 => (payload.get(37..49)?, false),
+                6 => (payload.get(37..73)?, true),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        if family6 {
+            let mut src = [0u8; 16];
+            src.copy_from_slice(&pair[0..16]);
+            let mut dst = [0u8; 16];
+            dst.copy_from_slice(&pair[18..34]);
+            // Fold v4-mapped endpoints exactly as decode() does, so
+            // peek-based routing agrees with post-decode routing.
+            Some(SocketPair::new(
+                canonical_ip(IpAddr::V6(Ipv6Addr::from(src))),
+                u16::from_be_bytes([pair[16], pair[17]]),
+                canonical_ip(IpAddr::V6(Ipv6Addr::from(dst))),
+                u16::from_be_bytes([pair[34], pair[35]]),
+            ))
+        } else {
+            Some(SocketPair::new(
+                Ipv4Addr::new(pair[0], pair[1], pair[2], pair[3]),
+                u16::from_be_bytes([pair[4], pair[5]]),
+                Ipv4Addr::new(pair[6], pair[7], pair[8], pair[9]),
+                u16::from_be_bytes([pair[10], pair[11]]),
+            ))
+        }
     }
 }
 
@@ -268,6 +429,7 @@ mod tests {
                 443,
             ),
             timestamp_micros: 123_456_789,
+            stream: None,
             frames: vec![
                 "java.net.Socket.connect".to_owned(),
                 "Lcom/unity3d/ads/android/cache/b;->a()V".to_owned(),
@@ -277,11 +439,89 @@ mod tests {
         }
     }
 
+    fn sample_v6() -> SocketReport {
+        let mut report = sample();
+        report.pair = SocketPair::new(
+            "fd00:5eca::a00:20f".parse::<Ipv6Addr>().unwrap(),
+            40_001,
+            "fd00:5eca::c633:6407".parse::<Ipv6Addr>().unwrap(),
+            443,
+        );
+        report.stream = Some(2);
+        report
+    }
+
     #[test]
     fn roundtrip() {
         let report = sample();
         let decoded = SocketReport::decode(&report.encode()).unwrap();
         assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn legacy_reports_keep_the_legacy_magic() {
+        // The inertness pin: a v4 connection-level report must encode
+        // as a byte-identical legacy "SRPT" datagram.
+        let bytes = sample().encode();
+        assert_eq!(&bytes[..4], REPORT_MAGIC);
+    }
+
+    #[test]
+    fn v6_stream_roundtrip() {
+        let report = sample_v6();
+        let bytes = report.encode();
+        assert_eq!(&bytes[..4], REPORT_MAGIC_V2);
+        assert_eq!(SocketReport::decode(&bytes).unwrap(), report);
+        assert!(SocketReport::is_report_payload(&bytes));
+    }
+
+    #[test]
+    fn v4_stream_report_uses_v2_family_4() {
+        // A pooled stream on a v4 connection: v2 magic, 4-byte addrs.
+        let mut report = sample();
+        report.stream = Some(0);
+        let bytes = report.encode();
+        assert_eq!(&bytes[..4], REPORT_MAGIC_V2);
+        assert_eq!(bytes[36], 4);
+        assert_eq!(SocketReport::decode(&bytes).unwrap(), report);
+        assert_eq!(SocketReport::peek_pair(&bytes), Some(report.pair));
+    }
+
+    #[test]
+    fn v2_rejects_truncation_everywhere() {
+        let bytes = sample_v6().encode();
+        for len in 0..bytes.len() {
+            let err = SocketReport::decode(&bytes[..len]).unwrap_err();
+            assert_eq!(err.kind, ReportErrorKind::Truncated, "len {len}");
+        }
+    }
+
+    #[test]
+    fn v2_rejects_bad_family_and_trailing() {
+        let mut bytes = sample_v6().encode();
+        bytes[36] = 5;
+        assert_eq!(
+            SocketReport::decode(&bytes).unwrap_err().kind,
+            ReportErrorKind::Malformed
+        );
+        assert_eq!(SocketReport::peek_pair(&bytes), None);
+        let mut bytes = sample_v6().encode();
+        bytes.push(0);
+        assert_eq!(
+            SocketReport::decode(&bytes).unwrap_err().kind,
+            ReportErrorKind::Malformed
+        );
+    }
+
+    #[test]
+    fn v2_peek_pair_reads_the_embedded_pair() {
+        let report = sample_v6();
+        let bytes = report.encode();
+        assert_eq!(SocketReport::peek_pair(&bytes), Some(report.pair));
+        for len in 0..SocketReport::PEEK_PREFIX_LEN_V6 {
+            assert_eq!(SocketReport::peek_pair(&bytes[..len]), None, "len {len}");
+            assert!(SocketReport::decode(&bytes[..len]).is_err());
+        }
     }
 
     #[test]

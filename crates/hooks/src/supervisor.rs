@@ -97,12 +97,33 @@ impl SocketSupervisor {
     /// sampling seed, the apk digest, and the canonical 4-tuple, so it
     /// is reproducible across workers, shards, and re-runs.
     fn sampled(&self, pair: &SocketPair) -> bool {
+        use std::net::IpAddr;
         let canonical = pair.canonical();
-        let mut key = [0u8; 12];
-        key[..4].copy_from_slice(&canonical.src_ip.octets());
-        key[4..6].copy_from_slice(&canonical.src_port.to_be_bytes());
-        key[6..10].copy_from_slice(&canonical.dst_ip.octets());
-        key[10..12].copy_from_slice(&canonical.dst_port.to_be_bytes());
+        // Pure-v4 pairs keep the exact 12-byte key the pre-dual-stack
+        // supervisor hashed, so legacy sampling decisions are inert;
+        // any v6 endpoint widens both addresses to 16 bytes (36 total).
+        let key: Vec<u8> = match (canonical.src_ip, canonical.dst_ip) {
+            (IpAddr::V4(src), IpAddr::V4(dst)) => {
+                let mut key = Vec::with_capacity(12);
+                key.extend_from_slice(&src.octets());
+                key.extend_from_slice(&canonical.src_port.to_be_bytes());
+                key.extend_from_slice(&dst.octets());
+                key.extend_from_slice(&canonical.dst_port.to_be_bytes());
+                key
+            }
+            (src, dst) => {
+                let widen = |ip: IpAddr| match ip {
+                    IpAddr::V4(v4) => v4.to_ipv6_mapped().octets(),
+                    IpAddr::V6(v6) => v6.octets(),
+                };
+                let mut key = Vec::with_capacity(36);
+                key.extend_from_slice(&widen(src));
+                key.extend_from_slice(&canonical.src_port.to_be_bytes());
+                key.extend_from_slice(&widen(dst));
+                key.extend_from_slice(&canonical.dst_port.to_be_bytes());
+                key
+            }
+        };
         should_sample(
             self.config.sampling.seed,
             &self.apk_sha256.0,
@@ -123,10 +144,12 @@ impl SocketSupervisor {
             None => dotted.to_owned(),
         }
     }
-}
 
-impl RuntimeHook for SocketSupervisor {
-    fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId) {
+    /// The shared report path behind both hook points: sampling gate,
+    /// budget gate, stack translation, latency model, datagram send.
+    /// `stream` is `None` for the connection-level report fired at
+    /// connect time, `Some(ordinal)` for keep-alive per-stream reports.
+    fn emit_report(&mut self, ctx: &mut HookContext<'_>, socket: SocketId, stream: Option<u32>) {
         // Shared-library syscall shim: getsockname + getpeername.
         let Some(pair) = ctx.net.socket_pair(socket) else {
             return;
@@ -135,7 +158,8 @@ impl RuntimeHook for SocketSupervisor {
         // Sampled tracing: suppressed reports are counted, never
         // silent, and the decision never touches the virtual clock —
         // at rate 1.0 with no budget this path is byte-identical to
-        // the unsampled supervisor.
+        // the unsampled supervisor. The decision is per-socket (not
+        // per-stream), so a connection's streams sample as one unit.
         if !self.sampled(&pair) {
             self.ledger.sampled_out += 1;
             return;
@@ -157,6 +181,7 @@ impl RuntimeHook for SocketSupervisor {
             apk_sha256: self.apk_sha256,
             pair,
             timestamp_micros: ctx.net.clock().now_micros(),
+            stream,
             frames,
         };
         // Model the measured instrumentation latency on the request path.
@@ -170,6 +195,16 @@ impl RuntimeHook for SocketSupervisor {
         );
         self.ledger.reports_emitted += 1;
         self.reports_sent += 1;
+    }
+}
+
+impl RuntimeHook for SocketSupervisor {
+    fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId) {
+        self.emit_report(ctx, socket, None);
+    }
+
+    fn after_stream_start(&mut self, ctx: &mut HookContext<'_>, socket: SocketId, ordinal: u32) {
+        self.emit_report(ctx, socket, Some(ordinal));
     }
 
     fn on_run_finish(&mut self, ctx: &mut HookContext<'_>) {
@@ -330,6 +365,7 @@ mod tests {
                             send_bytes: 256,
                             recv_bytes: 8_192,
                             connector: Connector::AndroidOkHttp,
+                            shape: spector_dex::model::WireShape::Plain,
                         }),
                         Instruction::Return,
                     ],

@@ -285,6 +285,7 @@ mod tests {
                             send_bytes: 1,
                             recv_bytes: 2,
                             connector: spector_dex::model::Connector::AndroidOkHttp,
+                            shape: spector_dex::model::WireShape::Plain,
                         }),
                         Instruction::Return,
                     ],

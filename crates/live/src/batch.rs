@@ -157,6 +157,7 @@ mod tests {
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),

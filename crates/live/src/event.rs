@@ -192,18 +192,30 @@ pub fn shard_of(run: u32, pair: &SocketPair, shards: usize) -> usize {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     };
+    // Per-family octet feed: a canonical V4 endpoint contributes exactly
+    // the 4 bytes the pre-dual-stack hash consumed, so every legacy
+    // (pure-IPv4) pair keeps its historical shard assignment; genuine V6
+    // endpoints contribute their 16 bytes.
+    let feed_ip = |ip: std::net::IpAddr, feed: &mut dyn FnMut(u8)| match ip {
+        std::net::IpAddr::V4(v4) => {
+            for byte in v4.octets() {
+                feed(byte);
+            }
+        }
+        std::net::IpAddr::V6(v6) => {
+            for byte in v6.octets() {
+                feed(byte);
+            }
+        }
+    };
     for byte in run.to_be_bytes() {
         feed(byte);
     }
-    for byte in canonical.src_ip.octets() {
-        feed(byte);
-    }
+    feed_ip(canonical.src_ip, &mut feed);
     for byte in canonical.src_port.to_be_bytes() {
         feed(byte);
     }
-    for byte in canonical.dst_ip.octets() {
-        feed(byte);
-    }
+    feed_ip(canonical.dst_ip, &mut feed);
     for byte in canonical.dst_port.to_be_bytes() {
         feed(byte);
     }
@@ -231,6 +243,7 @@ mod tests {
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),

@@ -46,6 +46,7 @@ use std::collections::{HashSet, VecDeque};
 use libspector::knowledge::Knowledge;
 use libspector::{attribution::attribute, origin_label};
 use spector_hooks::{SocketReport, TimestampedReport};
+use spector_netsim::shape::{classify_shape, resolve_flow_domain, FlowShape, IpFamily};
 use spector_netsim::{DnsMap, FlowTableBuilder, SocketPair};
 use spector_vtcat::DomainCategory;
 
@@ -76,6 +77,11 @@ impl Default for JoinerConfig {
 struct Claim {
     /// Index into the flow table's epoch array.
     epoch: usize,
+    /// The report's raw stream ordinal (`None` for connect-time
+    /// reports). Volume resolution happens at snapshot time, against
+    /// the stream split as of the latest delivered segment — exactly
+    /// like domains and byte counters.
+    stream: Option<u32>,
     /// Per-library accounting label ([`libspector::origin_label`]).
     label: String,
     /// Origin is on the AnT list.
@@ -97,7 +103,7 @@ struct PendingReport {
 pub struct LiveJoiner {
     flows: FlowTableBuilder,
     dns: DnsMap,
-    claimed: HashSet<usize>,
+    claimed: HashSet<(usize, u32)>,
     claims: Vec<Claim>,
     pending: VecDeque<PendingReport>,
     watermark: u64,
@@ -198,7 +204,11 @@ impl LiveJoiner {
         else {
             return false;
         };
-        if self.claimed.insert(epoch) {
+        // One claim per (epoch, stream slot), mirroring the offline
+        // join: the connect-time report covers slot 0, explicit stream
+        // reports their own ordinal.
+        let slot = report.stream.unwrap_or(0);
+        if self.claimed.insert((epoch, slot)) {
             let attribution = attribute(&report.frames, &knowledge.builtin);
             let label = origin_label(&attribution.origin).to_owned();
             let is_ant = match &attribution.origin {
@@ -209,6 +219,7 @@ impl LiveJoiner {
             };
             self.claims.push(Claim {
                 epoch,
+                stream: report.stream,
                 label,
                 is_ant,
             });
@@ -245,7 +256,8 @@ impl LiveJoiner {
     pub fn snapshot_into(&self, knowledge: &Knowledge, include_dns: bool, out: &mut LiveSummary) {
         let table = self.flows.table();
         out.flows += self.claims.len();
-        out.unattributed_flows += table.len().saturating_sub(self.claims.len());
+        let claimed_epochs: HashSet<usize> = self.claims.iter().map(|c| c.epoch).collect();
+        out.unattributed_flows += table.len().saturating_sub(claimed_epochs.len());
         out.orphaned_reports += self.pending.len();
         out.evicted_reports += self.evicted;
         out.report_packets += self.report_packets;
@@ -254,23 +266,41 @@ impl LiveJoiner {
         }
         for claim in &self.claims {
             let flow = &table.flows()[claim.epoch];
-            out.total_sent += flow.sent_wire_bytes;
-            out.total_recv += flow.recv_wire_bytes;
+            // The offline join's volume-resolution rule, applied to the
+            // stream split as of now.
+            let (sent, recv, _, _) = match (claim.stream, flow.stream_count() > 1) {
+                (None, false) => flow.stream_volumes(None),
+                (None, true) => flow.stream_volumes(Some(0)),
+                (Some(k), _) => flow.stream_volumes(Some(k)),
+            };
+            let pooled = claim.stream.is_some() || flow.stream_count() > 1;
+            out.total_sent += sent;
+            out.total_recv += recv;
             if claim.is_ant {
-                out.ant_bytes += flow.sent_wire_bytes + flow.recv_wire_bytes;
+                out.ant_bytes += sent + recv;
+            }
+            match IpFamily::of(&flow.pair) {
+                IpFamily::V6 => out.flows_v6 += 1,
+                IpFamily::V4 => {}
+            }
+            match classify_shape(&flow.first_payload) {
+                FlowShape::TlsLike => out.flows_tls += 1,
+                FlowShape::ConnectProxy => out.flows_proxied += 1,
+                FlowShape::Plain => {}
+            }
+            if pooled {
+                out.pooled_streams += 1;
             }
             let volume = out.per_library.entry(claim.label.clone()).or_default();
-            volume.add_flow(flow.sent_wire_bytes, flow.recv_wire_bytes);
-            let category = self
-                .dns
-                .domain_for(flow.pair.dst_ip)
+            volume.add_flow(sent, recv);
+            let category = resolve_flow_domain(&flow.first_payload, &flow.pair, &self.dns)
                 .map(|domain| knowledge.domain_category(domain))
                 .unwrap_or(DomainCategory::Unknown);
             let volume = out
                 .per_domain_category
                 .entry(LiveSummary::domain_category_label(category))
                 .or_default();
-            volume.add_flow(flow.sent_wire_bytes, flow.recv_wire_bytes);
+            volume.add_flow(sent, recv);
         }
     }
 }
@@ -328,6 +358,7 @@ mod tests {
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = spector_hooks::SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),
@@ -398,6 +429,7 @@ mod tests {
         let (capture, port) = scripted_capture();
         let knowledge = knowledge();
         let orphan = spector_hooks::SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"apk"),
             pair: SocketPair::new(
                 Ipv4Addr::new(10, 0, 2, 15),
@@ -457,6 +489,7 @@ mod tests {
     fn stalled_stream_never_evicts() {
         let knowledge = knowledge();
         let orphan = spector_hooks::SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"apk"),
             pair: SocketPair::new(
                 Ipv4Addr::new(10, 0, 2, 15),

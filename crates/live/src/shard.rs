@@ -45,8 +45,9 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use libspector::Knowledge;
 use spector_hooks::{decode_report_datagram, LedgerRecord, ReportErrorKind};
 use spector_netsim::flows::FIRST_PAYLOAD_CAP;
-use spector_netsim::packet::{decode_frame_ref, TransportRef};
+use spector_netsim::packet::{decode_frame_ref, SocketPair, TransportRef};
 use spector_netsim::pcap::CapturedPacket;
+use spector_netsim::shape::IpFamily;
 use spector_sampling::SamplingLedger;
 use spector_telemetry::{Counter, Histogram, MetricsSnapshot, Telemetry, COUNT_BOUNDS};
 
@@ -139,6 +140,8 @@ struct ShardTelemetry {
     reports_truncated: Counter,
     reports_malformed: Counter,
     ledger_events: Counter,
+    shape_ipv4: Counter,
+    shape_ipv6: Counter,
     count_dns: bool,
 }
 
@@ -159,8 +162,21 @@ impl ShardTelemetry {
             reports_truncated: registry.counter("spector_live_ingress_reports_truncated_total"),
             reports_malformed: registry.counter("spector_live_ingress_reports_malformed_total"),
             ledger_events: registry.counter("spector_live_ledger_events_total"),
+            shape_ipv4: registry.counter("spector_shape_ipv4_total"),
+            shape_ipv6: registry.counter("spector_shape_ipv6_total"),
             count_dns: shard_idx == 0,
             registry,
+        }
+    }
+
+    /// Counts the address family of one counted event's 4-tuple, in
+    /// lockstep with the tcp/dns/report event counters (same shard-0
+    /// gating for broadcasts), so the merged totals obey
+    /// `tcp + dns + report == ipv4 + ipv6` at any shard count.
+    fn count_family(&self, pair: &SocketPair) {
+        match IpFamily::of(pair) {
+            IpFamily::V4 => self.shape_ipv4.inc(),
+            IpFamily::V6 => self.shape_ipv6.inc(),
         }
     }
 
@@ -620,6 +636,7 @@ fn on_event(
             wire_len,
         } => {
             telemetry.tcp_events.inc();
+            telemetry.count_family(pair);
             joiner.on_tcp(
                 *timestamp_micros,
                 *pair,
@@ -639,11 +656,13 @@ fn on_event(
             // count is shard-count-independent.
             if telemetry.count_dns {
                 telemetry.dns_events.inc();
+                telemetry.count_family(pair);
             }
             joiner.on_dns(*timestamp_micros, pair, payload)
         }
         LiveEventKind::Report(report) => {
             telemetry.report_events.inc();
+            telemetry.count_family(&report.report.pair);
             joiner.on_report(report, knowledge)
         }
         LiveEventKind::Ledger { record, .. } => {
@@ -701,6 +720,7 @@ fn on_raw_item(
     match frame.transport {
         TransportRef::Tcp { flags, payload, .. } => {
             telemetry.tcp_events.inc();
+            telemetry.count_family(&frame.pair);
             joiner.on_tcp(
                 item.timestamp_micros,
                 frame.pair,
@@ -731,6 +751,7 @@ fn on_raw_item(
                 match decode_report_datagram(item.timestamp_micros, payload) {
                     Ok(report) => {
                         telemetry.report_events.inc();
+                        telemetry.count_family(&report.report.pair);
                         joiner.on_report(&report, knowledge)
                     }
                     Err(error) => match error.kind {
@@ -747,6 +768,7 @@ fn on_raw_item(
             } else {
                 if telemetry.count_dns {
                     telemetry.dns_events.inc();
+                    telemetry.count_family(&frame.pair);
                 }
                 joiner.on_dns(item.timestamp_micros, &frame.pair, payload)
             }
@@ -806,6 +828,7 @@ mod tests {
             let sock = stack.tcp_connect(ip, 443);
             let pair = stack.socket_pair(sock).unwrap();
             let report = SocketReport {
+                stream: None,
                 apk_sha256: Sha256::digest(&[salt]),
                 pair,
                 timestamp_micros: stack.clock().now_micros(),
@@ -1180,6 +1203,7 @@ mod tests {
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"sampled-apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),

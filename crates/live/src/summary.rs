@@ -101,6 +101,18 @@ pub struct LiveSummary {
     pub total_recv: u64,
     /// Wire bytes attributed to AnT origins.
     pub ant_bytes: u64,
+    /// Attributed flow rows over genuinely-IPv6 canonical 4-tuples.
+    #[serde(default)]
+    pub flows_v6: usize,
+    /// Attributed flow rows whose visible shape is TLS-like.
+    #[serde(default)]
+    pub flows_tls: usize,
+    /// Attributed flow rows tunneled through a CONNECT-style proxy.
+    #[serde(default)]
+    pub flows_proxied: usize,
+    /// Per-stream rows from reused (keep-alive) connections.
+    #[serde(default)]
+    pub pooled_streams: usize,
     /// Traffic per origin-library label ([`libspector::origin_label`]).
     pub per_library: BTreeMap<String, LiveVolume>,
     /// Traffic per destination-domain category (label is the
@@ -141,6 +153,10 @@ impl LiveSummary {
         self.total_sent += other.total_sent;
         self.total_recv += other.total_recv;
         self.ant_bytes += other.ant_bytes;
+        self.flows_v6 += other.flows_v6;
+        self.flows_tls += other.flows_tls;
+        self.flows_proxied += other.flows_proxied;
+        self.pooled_streams += other.pooled_streams;
         for (label, volume) in &other.per_library {
             self.per_library
                 .entry(label.clone())
@@ -181,6 +197,17 @@ impl LiveSummary {
                 if flow.is_ant {
                     summary.ant_bytes += flow.total_bytes();
                 }
+                if flow.family == libspector::IpFamily::V6 {
+                    summary.flows_v6 += 1;
+                }
+                match flow.shape {
+                    libspector::FlowShape::TlsLike => summary.flows_tls += 1,
+                    libspector::FlowShape::ConnectProxy => summary.flows_proxied += 1,
+                    libspector::FlowShape::Plain => {}
+                }
+                if flow.stream.is_some() {
+                    summary.pooled_streams += 1;
+                }
                 summary
                     .per_library
                     .entry(origin_label(&flow.origin).to_owned())
@@ -212,6 +239,12 @@ impl LiveSummary {
             "dns {}  reports {}  sent {} B  recv {} B  ant {} B\n",
             self.dns_packets, self.report_packets, self.total_sent, self.total_recv, self.ant_bytes,
         ));
+        if self.flows_v6 + self.flows_tls + self.flows_proxied + self.pooled_streams > 0 {
+            out.push_str(&format!(
+                "shapes: v6 {}  tls {}  proxied {}  pooled-streams {}\n",
+                self.flows_v6, self.flows_tls, self.flows_proxied, self.pooled_streams,
+            ));
+        }
         if !self.sampling.is_empty() {
             out.push_str(&format!(
                 "sampling: observed {}  emitted {}  sampled-out {}  budget-suppressed {}  \

@@ -14,7 +14,7 @@
 //! the same shard the full decode's canonical 4-tuple would, and
 //! undecodable bytes land on the run's deterministic fallback shard.
 
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 use std::sync::Arc;
 
 use libspector::knowledge::Knowledge;
@@ -46,6 +46,7 @@ fn scripted_capture(transfers: &[(u64, u64)], orphans: usize) -> (Vec<CapturedPa
         let sock = stack.tcp_connect(ip, 443);
         let pair = stack.socket_pair(sock).unwrap();
         let report = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"prop-apk"),
             pair,
             timestamp_micros: stack.clock().now_micros(),
@@ -60,6 +61,7 @@ fn scripted_capture(transfers: &[(u64, u64)], orphans: usize) -> (Vec<CapturedPa
     }
     for i in 0..orphans {
         let orphan = SocketReport {
+            stream: None,
             apk_sha256: Sha256::digest(b"prop-apk"),
             pair: SocketPair::new(
                 Ipv4Addr::new(10, 0, 2, 15),
@@ -72,6 +74,59 @@ fn scripted_capture(transfers: &[(u64, u64)], orphans: usize) -> (Vec<CapturedPa
         };
         stack.udp_send(config.collector_ip, config.collector_port, &orphan.encode());
     }
+    (stack.into_capture(), config.collector_port)
+}
+
+/// Like [`scripted_capture`] but exercising the modern socket shapes
+/// end to end on the wire: IPv6 flows whose reports travel as "SRP2"
+/// datagrams (16-byte addresses), pooled connections with one
+/// per-stream report each, a TLS-like hello carrying an SNI, and a
+/// CONNECT tunnel preamble. Deterministic in its arguments.
+fn scripted_modern_capture(transfers: &[(u64, u64)]) -> (Vec<CapturedPacket>, u16) {
+    use spector_netsim::shape::{encode_connect_preamble, encode_tls_hello};
+    let config = SupervisorConfig::default();
+    let mut stack = NetStack::new(Clock::new(), Ipv4Addr::new(10, 0, 2, 15));
+    let report_for = |pair, stream, now, i: usize| SocketReport {
+        stream,
+        apk_sha256: Sha256::digest(b"prop-apk"),
+        pair,
+        timestamp_micros: now,
+        frames: vec![
+            "java.net.Socket.connect".into(),
+            format!("com.vendor{i}.sdk.Net.call"),
+        ],
+    };
+    for (i, &(sent, recv)) in transfers.iter().enumerate() {
+        let v6 = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, (i + 1) as u16);
+        stack.resolve6(&format!("v6svc{i}.example.net"), v6);
+        let sock = stack.tcp_connect(v6, 443);
+        let pair = stack.socket_pair(sock).unwrap();
+        // Pooled: two logical streams on the one 4-tuple, one SRP2
+        // report per stream ordinal.
+        for stream in 0..2u32 {
+            let report = report_for(pair, Some(stream), stack.clock().now_micros(), i);
+            stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+        }
+        stack.tcp_transfer(sock, sent, recv);
+        stack.tcp_close(sock);
+    }
+    // One TLS-like flow (SNI in the clear) and one CONNECT tunnel.
+    let tls = stack.tcp_connect(Ipv4Addr::new(198, 51, 100, 250), 443);
+    let tls_pair = stack.socket_pair(tls).unwrap();
+    let report = report_for(tls_pair, None, stack.clock().now_micros(), 90);
+    stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+    stack.tcp_exchange(tls, &encode_tls_hello("mixed.tracker.example"), 900);
+    stack.tcp_close(tls);
+    let tunnel = stack.tcp_connect(Ipv4Addr::new(10, 0, 2, 88), 3128);
+    let tunnel_pair = stack.socket_pair(tunnel).unwrap();
+    let report = report_for(tunnel_pair, None, stack.clock().now_micros(), 91);
+    stack.udp_send(config.collector_ip, config.collector_port, &report.encode());
+    stack.tcp_exchange(
+        tunnel,
+        &encode_connect_preamble("hidden.example.net", 443),
+        300,
+    );
+    stack.tcp_close(tunnel);
     (stack.into_capture(), config.collector_port)
 }
 
@@ -261,6 +316,57 @@ proptest! {
         }
         for blob in &garbage {
             assert_route_agrees(blob, run, port);
+        }
+    }
+
+    /// The same routing contract for the modern shapes: IPv6 frames,
+    /// "SRP2" per-stream report datagrams, TLS-like hellos, and
+    /// CONNECT preambles — again under the full fault injector plus
+    /// raw garbage. The peek reads 16-byte addresses off the v6 header
+    /// and the embedded pair out of SRP2 reports; it must land on the
+    /// shard the post-decode pair hashes to, at every width.
+    #[test]
+    fn peek_route_agrees_with_post_decode_for_modern_frames(
+        transfers in proptest::collection::vec((0u64..5_000, 0u64..30_000), 1..4),
+        seed in 0u64..1_000_000,
+        index in 0usize..64,
+        attempt in 0u32..3,
+        run in 0u32..1_000,
+    ) {
+        let (capture, port) = scripted_modern_capture(&transfers);
+        let plan = FaultPlan::new(seed, FaultProfile::heavy());
+        let (perturbed, _) = perturb_capture(&plan, index, attempt, capture, port);
+        for packet in &perturbed {
+            assert_route_agrees(&packet.data, run, port);
+        }
+    }
+
+    /// Chaos-damaged *modern* streams (v6 + pooled SRP2 reports +
+    /// TLS-like + CONNECT) summarize identically — volumes, shape
+    /// counters, and error ledgers — at every shard width.
+    #[test]
+    fn perturbed_modern_summaries_are_shard_count_invariant(
+        transfers in proptest::collection::vec((0u64..5_000, 0u64..30_000), 1..4),
+        seed in 0u64..1_000_000,
+    ) {
+        let (capture, port) = scripted_modern_capture(&transfers);
+        let plan = FaultPlan::new(seed, FaultProfile::heavy());
+        let (perturbed, _) = perturb_capture(&plan, 0, 0, capture, port);
+        let knowledge = Arc::new(knowledge());
+        let summarize = |shards: usize, batch_events: usize| {
+            let engine = LiveEngine::start(
+                Arc::clone(&knowledge),
+                LiveConfig { shards, batch_events, ..Default::default() },
+            );
+            engine.push_run(5, &perturbed);
+            engine.finish()
+        };
+        let one = summarize(1, 1);
+        prop_assert_eq!(one.events, perturbed.len() as u64);
+        for (shards, batch_events) in [(2, 3), (4, 64), (8, 7)] {
+            let wide = summarize(shards, batch_events);
+            prop_assert_eq!(&wide, &one,
+                "width {} batch {} diverged", shards, batch_events);
         }
     }
 

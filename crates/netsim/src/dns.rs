@@ -1,4 +1,5 @@
-//! DNS wire format (RFC 1035) for A-record queries and responses.
+//! DNS wire format (RFC 1035) for A- and AAAA-record queries and
+//! responses.
 //!
 //! The attribution pipeline recovers "which DNS domain did this flow talk
 //! to" by replaying the DNS traffic observed in the packet capture
@@ -9,18 +10,20 @@
 
 use std::error::Error;
 use std::fmt;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use bytes::{BufMut, BytesMut};
 
 /// QTYPE A.
 pub const QTYPE_A: u16 = 1;
+/// QTYPE AAAA.
+pub const QTYPE_AAAA: u16 = 28;
 /// QCLASS IN.
 pub const QCLASS_IN: u16 = 1;
 /// Standard DNS port.
 pub const DNS_PORT: u16 = 53;
 
-/// A parsed DNS message (the subset relevant to A lookups).
+/// A parsed DNS message (the subset relevant to A/AAAA lookups).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnsMessage {
     /// Transaction id.
@@ -29,8 +32,8 @@ pub struct DnsMessage {
     pub is_response: bool,
     /// Queried names (usually exactly one).
     pub questions: Vec<String>,
-    /// `(name, address, ttl)` for each A answer record.
-    pub answers: Vec<(String, Ipv4Addr, u32)>,
+    /// `(name, address, ttl)` for each A or AAAA answer record.
+    pub answers: Vec<(String, IpAddr, u32)>,
 }
 
 /// Error produced when parsing a malformed DNS message.
@@ -65,8 +68,8 @@ fn put_name(buf: &mut BytesMut, name: &str) {
     buf.put_u8(0);
 }
 
-/// Encodes an A-record query for `name`.
-pub fn encode_query(id: u16, name: &str) -> Vec<u8> {
+/// Encodes a query of the given QTYPE for `name`.
+pub fn encode_query_typed(id: u16, name: &str, qtype: u16) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u16(id);
     buf.put_u16(0x0100); // RD set
@@ -75,13 +78,25 @@ pub fn encode_query(id: u16, name: &str) -> Vec<u8> {
     buf.put_u16(0); // NSCOUNT
     buf.put_u16(0); // ARCOUNT
     put_name(&mut buf, name);
-    buf.put_u16(QTYPE_A);
+    buf.put_u16(qtype);
     buf.put_u16(QCLASS_IN);
     buf.to_vec()
 }
 
-/// Encodes an A-record response answering `name` with `addr`.
-pub fn encode_response(id: u16, name: &str, addr: Ipv4Addr, ttl: u32) -> Vec<u8> {
+/// Encodes an A-record query for `name`.
+pub fn encode_query(id: u16, name: &str) -> Vec<u8> {
+    encode_query_typed(id, name, QTYPE_A)
+}
+
+/// Encodes a response answering `name` with `addr` — an A record for a
+/// v4 address, an AAAA record for v6. For v4 addresses the bytes are
+/// identical to the pre-dual-stack encoder's.
+pub fn encode_response(id: u16, name: &str, addr: impl Into<IpAddr>, ttl: u32) -> Vec<u8> {
+    let addr = addr.into();
+    let (qtype, rdata): (u16, Vec<u8>) = match addr {
+        IpAddr::V4(v4) => (QTYPE_A, v4.octets().to_vec()),
+        IpAddr::V6(v6) => (QTYPE_AAAA, v6.octets().to_vec()),
+    };
     let mut buf = BytesMut::new();
     buf.put_u16(id);
     buf.put_u16(0x8180); // QR, RD, RA
@@ -90,14 +105,14 @@ pub fn encode_response(id: u16, name: &str, addr: Ipv4Addr, ttl: u32) -> Vec<u8>
     buf.put_u16(0);
     buf.put_u16(0);
     put_name(&mut buf, name);
-    buf.put_u16(QTYPE_A);
+    buf.put_u16(qtype);
     buf.put_u16(QCLASS_IN);
     put_name(&mut buf, name);
-    buf.put_u16(QTYPE_A);
+    buf.put_u16(qtype);
     buf.put_u16(QCLASS_IN);
     buf.put_u32(ttl);
-    buf.put_u16(4); // RDLENGTH
-    buf.put_slice(&addr.octets());
+    buf.put_u16(rdata.len() as u16); // RDLENGTH
+    buf.put_slice(&rdata);
     buf.to_vec()
 }
 
@@ -155,9 +170,9 @@ fn read_name(data: &[u8], mut pos: usize) -> Result<(String, usize), DnsError> {
     Ok((labels.join("."), jumped_end.unwrap_or(pos)))
 }
 
-/// Parses a DNS message, extracting questions and A answers.
+/// Parses a DNS message, extracting questions and A/AAAA answers.
 ///
-/// Non-A answer records are skipped (not an error).
+/// Other answer record types are skipped (not an error).
 ///
 /// # Errors
 ///
@@ -196,7 +211,11 @@ pub fn parse_message(data: &[u8]) -> Result<DnsMessage, DnsError> {
         }
         if rtype == QTYPE_A && rdlength == 4 {
             let addr = Ipv4Addr::new(data[pos], data[pos + 1], data[pos + 2], data[pos + 3]);
-            answers.push((name, addr, ttl));
+            answers.push((name, IpAddr::V4(addr), ttl));
+        } else if rtype == QTYPE_AAAA && rdlength == 16 {
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(&data[pos..pos + 16]);
+            answers.push((name, IpAddr::V6(Ipv6Addr::from(octets)), ttl));
         }
         pos += rdlength;
     }
@@ -229,7 +248,24 @@ mod tests {
         let msg = parse_message(&raw).unwrap();
         assert!(msg.is_response);
         assert_eq!(msg.questions, vec!["cdn.example.net".to_owned()]);
-        assert_eq!(msg.answers, vec![("cdn.example.net".to_owned(), addr, 300)]);
+        assert_eq!(
+            msg.answers,
+            vec![("cdn.example.net".to_owned(), IpAddr::V4(addr), 300)]
+        );
+    }
+
+    #[test]
+    fn aaaa_response_roundtrip() {
+        let addr: Ipv6Addr = "2606:2800:220:1::1".parse().unwrap();
+        let raw = encode_response(7, "v6.example.net", addr, 300);
+        let msg = parse_message(&raw).unwrap();
+        assert!(msg.is_response);
+        assert_eq!(
+            msg.answers,
+            vec![("v6.example.net".to_owned(), IpAddr::V6(addr), 300)]
+        );
+        let q = parse_message(&encode_query_typed(7, "v6.example.net", QTYPE_AAAA)).unwrap();
+        assert_eq!(q.questions, vec!["v6.example.net".to_owned()]);
     }
 
     #[test]
@@ -256,13 +292,13 @@ mod tests {
         let msg = parse_message(&buf).unwrap();
         assert_eq!(
             msg.answers,
-            vec![("a.bc".to_owned(), Ipv4Addr::new(1, 2, 3, 4), 60)]
+            vec![("a.bc".to_owned(), IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4)), 60)]
         );
     }
 
     #[test]
-    fn skips_non_a_answers() {
-        // AAAA answer (type 28) must be skipped without error.
+    fn skips_non_address_answers() {
+        // TXT answer (type 16) must be skipped without error.
         let mut buf = BytesMut::new();
         buf.put_u16(1);
         buf.put_u16(0x8180);
@@ -270,12 +306,12 @@ mod tests {
         buf.put_u16(1);
         buf.put_u16(0);
         buf.put_u16(0);
-        put_name(&mut buf, "v6.example");
-        buf.put_u16(28);
+        put_name(&mut buf, "txt.example");
+        buf.put_u16(16);
         buf.put_u16(QCLASS_IN);
         buf.put_u32(60);
-        buf.put_u16(16);
-        buf.put_slice(&[0; 16]);
+        buf.put_u16(4);
+        buf.put_slice(b"spam");
         let msg = parse_message(&buf).unwrap();
         assert!(msg.answers.is_empty());
     }

@@ -17,8 +17,8 @@
 
 use crate::flows::FIRST_PAYLOAD_CAP;
 use crate::packet::{
-    decode_frame_ref, SocketPair, TransportRef, ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN,
-    UDP_HEADER_LEN,
+    decode_frame_ref, SocketPair, TransportRef, ETH_HEADER_LEN, IPV4_HEADER_LEN, IPV6_HEADER_LEN,
+    TCP_HEADER_LEN, UDP_HEADER_LEN,
 };
 use crate::pcap::CapturedPacket;
 
@@ -110,28 +110,55 @@ pub struct PeekedFrame<'a> {
 /// not hold: a frame with a corrupted checksum peeks fine, routes by
 /// its (intact) 4-tuple, and fails decode on exactly one shard.
 pub fn peek_frame(raw: &[u8]) -> Option<PeekedFrame<'_>> {
+    use std::net::IpAddr;
+
     if raw.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
         return None;
     }
-    if u16::from_be_bytes([raw[12], raw[13]]) != 0x0800 {
-        return None;
-    }
     let ip = &raw[ETH_HEADER_LEN..];
-    if ip[0] >> 4 != 4 {
-        return None;
-    }
-    let ihl = usize::from(ip[0] & 0x0f) * 4;
-    if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
-        return None;
-    }
-    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
-    if total_len < ihl || ip.len() < total_len {
-        return None;
-    }
-    let src_ip = std::net::Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
-    let dst_ip = std::net::Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
-    let transport = &ip[ihl..total_len];
-    match ip[9] {
+    let (src_ip, dst_ip, protocol, transport): (IpAddr, IpAddr, u8, &[u8]) =
+        match u16::from_be_bytes([raw[12], raw[13]]) {
+            0x0800 => {
+                if ip[0] >> 4 != 4 {
+                    return None;
+                }
+                let ihl = usize::from(ip[0] & 0x0f) * 4;
+                if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
+                    return None;
+                }
+                let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+                if total_len < ihl || ip.len() < total_len {
+                    return None;
+                }
+                (
+                    std::net::Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]).into(),
+                    std::net::Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]).into(),
+                    ip[9],
+                    &ip[ihl..total_len],
+                )
+            }
+            0x86DD => {
+                if ip.len() < IPV6_HEADER_LEN || ip[0] >> 4 != 6 {
+                    return None;
+                }
+                let payload_len = usize::from(u16::from_be_bytes([ip[4], ip[5]]));
+                if ip.len() < IPV6_HEADER_LEN + payload_len {
+                    return None;
+                }
+                let mut src = [0u8; 16];
+                src.copy_from_slice(&ip[8..24]);
+                let mut dst = [0u8; 16];
+                dst.copy_from_slice(&ip[24..40]);
+                (
+                    std::net::Ipv6Addr::from(src).into(),
+                    std::net::Ipv6Addr::from(dst).into(),
+                    ip[6],
+                    &ip[IPV6_HEADER_LEN..IPV6_HEADER_LEN + payload_len],
+                )
+            }
+            _ => return None,
+        };
+    match protocol {
         6 => {
             if transport.len() < TCP_HEADER_LEN {
                 return None;

@@ -11,11 +11,27 @@
 //! connection endpoint are counted separately".
 
 use std::collections::HashMap;
-use std::net::Ipv4Addr;
+use std::net::IpAddr;
 
 use crate::dns::parse_message;
-use crate::packet::{decode_frame_ref, tcp_flags, SocketPair, TransportRef};
+use crate::packet::{canonical_ip, decode_frame_ref, tcp_flags, SocketPair, TransportRef};
 use crate::pcap::CapturedPacket;
+
+/// Byte counters for one logical request/response stream inside a
+/// connection epoch — the unit pooled (keep-alive) attribution works
+/// at. Every packet of the epoch lands in exactly one stream, so the
+/// per-stream counters always sum to the epoch totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStat {
+    /// Wire bytes initiator → responder within this stream.
+    pub sent_wire_bytes: u64,
+    /// Wire bytes responder → initiator within this stream.
+    pub recv_wire_bytes: u64,
+    /// Payload bytes initiator → responder within this stream.
+    pub sent_payload_bytes: u64,
+    /// Payload bytes responder → initiator within this stream.
+    pub recv_payload_bytes: u64,
+}
 
 /// One reassembled TCP stream epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +56,12 @@ pub struct TcpFlow {
     /// First initiator→responder payload bytes (capped), enough to see
     /// an HTTP request head — what header-based classifiers inspect.
     pub first_payload: Vec<u8>,
+    /// Per-stream byte split: a new stream opens each time an
+    /// initiator→responder payload follows a responder→initiator
+    /// payload (request after response — the keep-alive reuse
+    /// signature). Plain one-request connections have exactly one
+    /// stream whose counters equal the epoch totals.
+    pub streams: Vec<StreamStat>,
 }
 
 /// Cap on the stored leading payload (covers any realistic HTTP head).
@@ -49,6 +71,39 @@ impl TcpFlow {
     /// Total wire bytes in both directions.
     pub fn total_wire_bytes(&self) -> u64 {
         self.sent_wire_bytes + self.recv_wire_bytes
+    }
+
+    /// Number of logical request/response streams observed in this
+    /// epoch (at least 1 once any packet landed).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Byte volumes `(sent_wire, recv_wire, sent_payload, recv_payload)`
+    /// for the given stream ordinal, or the whole-epoch totals when
+    /// `ordinal` is `None` — the single volume-resolution rule shared by
+    /// the offline pipeline and the live joiner so both attribute
+    /// stream-scoped socket reports identically. An ordinal beyond the
+    /// observed stream count resolves to zero volumes (the report
+    /// claimed a stream the wire never showed).
+    pub fn stream_volumes(&self, ordinal: Option<u32>) -> (u64, u64, u64, u64) {
+        match ordinal {
+            None => (
+                self.sent_wire_bytes,
+                self.recv_wire_bytes,
+                self.sent_payload_bytes,
+                self.recv_payload_bytes,
+            ),
+            Some(k) => match self.streams.get(k as usize) {
+                Some(s) => (
+                    s.sent_wire_bytes,
+                    s.recv_wire_bytes,
+                    s.sent_payload_bytes,
+                    s.recv_payload_bytes,
+                ),
+                None => (0, 0, 0, 0),
+            },
+        }
     }
 }
 
@@ -74,6 +129,10 @@ pub struct FlowTableBuilder {
     table: FlowTable,
     /// canonical pair -> index of currently-open epoch in `table.flows`.
     open: HashMap<SocketPair, usize>,
+    /// Per-epoch (aligned with `table.flows`): a responder payload has
+    /// been seen since the last initiator payload, so the next
+    /// initiator payload opens a new stream.
+    stream_gate: Vec<bool>,
 }
 
 impl FlowTableBuilder {
@@ -136,9 +195,11 @@ impl FlowTableBuilder {
                     recv_payload_bytes: 0,
                     packet_count: 0,
                     first_payload: Vec::new(),
+                    streams: vec![StreamStat::default()],
                 });
                 self.table.by_pair.entry(canonical).or_default().push(idx);
                 self.open.insert(canonical, idx);
+                self.stream_gate.push(false);
                 idx
             }
         };
@@ -148,6 +209,15 @@ impl FlowTableBuilder {
         if pair == flow.pair {
             flow.sent_wire_bytes += wire_len as u64;
             flow.sent_payload_bytes += payload_len as u64;
+            if payload_len > 0 && self.stream_gate[idx] {
+                // Request after response: keep-alive reuse of the
+                // connection — open the next stream.
+                flow.streams.push(StreamStat::default());
+                self.stream_gate[idx] = false;
+            }
+            let stream = flow.streams.last_mut().expect("epoch has a stream");
+            stream.sent_wire_bytes += wire_len as u64;
+            stream.sent_payload_bytes += payload_len as u64;
             if flow.first_payload.len() < FIRST_PAYLOAD_CAP && payload_len > 0 {
                 let room = FIRST_PAYLOAD_CAP - flow.first_payload.len();
                 flow.first_payload
@@ -156,6 +226,12 @@ impl FlowTableBuilder {
         } else {
             flow.recv_wire_bytes += wire_len as u64;
             flow.recv_payload_bytes += payload_len as u64;
+            if payload_len > 0 {
+                self.stream_gate[idx] = true;
+            }
+            let stream = flow.streams.last_mut().expect("epoch has a stream");
+            stream.recv_wire_bytes += wire_len as u64;
+            stream.recv_payload_bytes += payload_len as u64;
         }
         idx
     }
@@ -263,7 +339,7 @@ impl FlowTable {
 /// recent response wins at lookup time — the map tracks response order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DnsMap {
-    by_ip: HashMap<Ipv4Addr, String>,
+    by_ip: HashMap<IpAddr, String>,
     /// Total DNS datagrams seen (queries + responses).
     pub dns_packet_count: usize,
 }
@@ -301,13 +377,16 @@ impl DnsMap {
             return;
         }
         for (name, addr, _ttl) in message.answers {
-            self.by_ip.insert(addr, name);
+            // Keyed canonically so a v4-mapped AAAA answer and the v4
+            // flow endpoint it produces resolve to the same entry.
+            self.by_ip.insert(canonical_ip(addr), name);
         }
     }
 
-    /// Domain most recently resolved to `ip`, if observed.
-    pub fn domain_for(&self, ip: Ipv4Addr) -> Option<&str> {
-        self.by_ip.get(&ip).map(String::as_str)
+    /// Domain most recently resolved to `ip` (canonicalized), if
+    /// observed. Accepts `Ipv4Addr`, `Ipv6Addr`, or `IpAddr`.
+    pub fn domain_for(&self, ip: impl Into<IpAddr>) -> Option<&str> {
+        self.by_ip.get(&canonical_ip(ip.into())).map(String::as_str)
     }
 
     /// Number of distinct addresses with a known domain.
@@ -323,6 +402,8 @@ impl DnsMap {
 
 #[cfg(test)]
 mod tests {
+    use std::net::Ipv4Addr;
+
     use super::*;
     use crate::clock::Clock;
     use crate::stack::NetStack;

@@ -55,11 +55,13 @@ pub mod flows;
 pub mod http;
 pub mod packet;
 pub mod pcap;
+pub mod shape;
 pub mod stack;
 
 pub use capture::CaptureIndex;
 pub use clock::Clock;
 pub use events::{events_from_capture, peek_frame, PeekedFrame, PeekedTransport, WireEvent};
-pub use flows::{DnsMap, FlowTable, FlowTableBuilder, TcpFlow};
-pub use packet::{FrameErrorCounts, FrameErrorKind, SocketPair};
-pub use stack::{NetStack, SocketId};
+pub use flows::{DnsMap, FlowTable, FlowTableBuilder, StreamStat, TcpFlow};
+pub use packet::{canonical_ip, FrameErrorCounts, FrameErrorKind, SocketPair};
+pub use shape::{classify_shape, resolve_flow_domain, FlowShape, IpFamily};
+pub use stack::{local_ipv6_for, NetStack, SocketId};

@@ -1,13 +1,21 @@
-//! Ethernet II / IPv4 / TCP / UDP frame encoding and decoding.
+//! Ethernet II / IPv4+IPv6 / TCP / UDP frame encoding and decoding.
 //!
 //! Frames produced here are byte-compatible with what tcpdump would have
 //! captured from the emulator's interface: real header layouts, real
 //! internet checksums (IPv4 header checksum and the TCP/UDP pseudo-header
-//! checksum). The decoder is the offline pipeline's view of the capture.
+//! checksum, including the IPv6 pseudo-header for v6 frames). The
+//! decoder is the offline pipeline's view of the capture.
+//!
+//! Address-family policy: a [`SocketPair`] whose endpoints are both
+//! IPv4 encodes exactly the frame bytes this module has always
+//! produced; any v6 endpoint switches the frame to Ethernet II /
+//! IPv6, with v4 members carried v4-mapped. [`SocketPair::canonical`]
+//! folds v4-mapped v6 addresses back onto plain v4, so flow keys and
+//! shard routing are family-agnostic.
 
 use std::error::Error;
 use std::fmt;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -16,6 +24,8 @@ use serde::{Deserialize, Serialize};
 pub const ETH_HEADER_LEN: usize = 14;
 /// Length of an IPv4 header without options.
 pub const IPV4_HEADER_LEN: usize = 20;
+/// Length of the fixed IPv6 header.
+pub const IPV6_HEADER_LEN: usize = 40;
 /// Length of a TCP header without options.
 pub const TCP_HEADER_LEN: usize = 20;
 /// Length of a UDP header.
@@ -24,7 +34,34 @@ pub const UDP_HEADER_LEN: usize = 8;
 pub const TCP_MSS: usize = 1460;
 
 /// EtherType for IPv4.
-const ETHERTYPE_IPV4: u16 = 0x0800;
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+
+/// Folds a v4-mapped IPv6 address (`::ffff:a.b.c.d`) onto plain IPv4;
+/// every other address passes through unchanged. This is the
+/// canonicalization rule that makes dual-stack flows — observed as v6
+/// on the wire but reported v4-mapped by the socket layer (or vice
+/// versa) — key identically everywhere: flow table, joiner, FNV-1a
+/// shard routing.
+pub fn canonical_ip(ip: IpAddr) -> IpAddr {
+    match ip {
+        IpAddr::V6(v6) => match v6.to_ipv4_mapped() {
+            Some(v4) => IpAddr::V4(v4),
+            None => ip,
+        },
+        IpAddr::V4(_) => ip,
+    }
+}
+
+/// The 16-byte on-wire form of an address inside an IPv6 header
+/// (v4 members travel v4-mapped).
+fn v6_octets(ip: IpAddr) -> [u8; 16] {
+    match ip {
+        IpAddr::V4(v4) => v4.to_ipv6_mapped().octets(),
+        IpAddr::V6(v6) => v6.octets(),
+    }
+}
 
 /// TCP flag bits.
 pub mod tcp_flags {
@@ -48,22 +85,28 @@ pub mod tcp_flags {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SocketPair {
     /// Source address.
-    pub src_ip: Ipv4Addr,
+    pub src_ip: IpAddr,
     /// Source port.
     pub src_port: u16,
     /// Destination address.
-    pub dst_ip: Ipv4Addr,
+    pub dst_ip: IpAddr,
     /// Destination port.
     pub dst_port: u16,
 }
 
 impl SocketPair {
-    /// Builds a socket pair.
-    pub fn new(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+    /// Builds a socket pair. Accepts `Ipv4Addr`, `Ipv6Addr`, or
+    /// `IpAddr` endpoints.
+    pub fn new(
+        src_ip: impl Into<IpAddr>,
+        src_port: u16,
+        dst_ip: impl Into<IpAddr>,
+        dst_port: u16,
+    ) -> Self {
         SocketPair {
-            src_ip,
+            src_ip: src_ip.into(),
             src_port,
-            dst_ip,
+            dst_ip: dst_ip.into(),
             dst_port,
         }
     }
@@ -78,16 +121,33 @@ impl SocketPair {
         }
     }
 
-    /// Direction-independent canonical form (lexicographically smaller
-    /// endpoint first) for use as a flow key.
+    /// Direction-independent canonical form for use as a flow key:
+    /// v4-mapped v6 endpoints are folded onto plain v4
+    /// ([`canonical_ip`]), then the lexicographically smaller endpoint
+    /// goes first. For pure-IPv4 pairs this is byte-for-byte the form
+    /// the pre-dual-stack engine used, so legacy flow keys and shard
+    /// assignments are unchanged.
     pub fn canonical(&self) -> SocketPair {
-        let a = (self.src_ip, self.src_port);
-        let b = (self.dst_ip, self.dst_port);
+        let folded = SocketPair {
+            src_ip: canonical_ip(self.src_ip),
+            src_port: self.src_port,
+            dst_ip: canonical_ip(self.dst_ip),
+            dst_port: self.dst_port,
+        };
+        let a = (folded.src_ip, folded.src_port);
+        let b = (folded.dst_ip, folded.dst_port);
         if a <= b {
-            *self
+            folded
         } else {
-            self.reversed()
+            folded.reversed()
         }
+    }
+
+    /// `true` when the canonical form of this pair has any genuine
+    /// (non-v4-mapped) IPv6 endpoint.
+    pub fn is_ipv6(&self) -> bool {
+        matches!(canonical_ip(self.src_ip), IpAddr::V6(_))
+            || matches!(canonical_ip(self.dst_ip), IpAddr::V6(_))
     }
 }
 
@@ -282,24 +342,45 @@ fn internet_checksum(initial: u32, data: &[u8]) -> u16 {
     !(sum as u16)
 }
 
-/// Pseudo-header checksum seed for TCP/UDP.
-fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, len: u16) -> u32 {
-    let s = src.octets();
-    let d = dst.octets();
-    u32::from(u16::from_be_bytes([s[0], s[1]]))
-        + u32::from(u16::from_be_bytes([s[2], s[3]]))
-        + u32::from(u16::from_be_bytes([d[0], d[1]]))
-        + u32::from(u16::from_be_bytes([d[2], d[3]]))
-        + u32::from(protocol)
-        + u32::from(len)
+/// Sums 16-bit big-endian words of `data` (must be even-length) for
+/// pseudo-header seeding.
+fn sum_words(data: &[u8]) -> u32 {
+    data.chunks_exact(2)
+        .map(|c| u32::from(u16::from_be_bytes([c[0], c[1]])))
+        .sum()
 }
 
-fn mac_for(ip: Ipv4Addr) -> [u8; 6] {
-    let o = ip.octets();
-    [0x02, 0x00, o[0], o[1], o[2], o[3]]
+/// Pseudo-header checksum seed for TCP/UDP, per the frame's address
+/// family: the RFC 793 IPv4 pseudo-header, or the RFC 8200 IPv6 one
+/// (16-byte addresses, 32-bit length). For v4 the sum is numerically
+/// identical to the pre-dual-stack implementation.
+fn pseudo_header_sum(src: IpAddr, dst: IpAddr, protocol: u8, len: u32) -> u32 {
+    match (src, dst) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            sum_words(&s.octets()) + sum_words(&d.octets()) + u32::from(protocol) + len
+        }
+        _ => {
+            sum_words(&v6_octets(src))
+                + sum_words(&v6_octets(dst))
+                + (len >> 16)
+                + (len & 0xffff)
+                + u32::from(protocol)
+        }
+    }
 }
 
-fn encode_eth_ipv4(
+fn mac_for(ip: IpAddr) -> [u8; 6] {
+    let o = v6_octets(ip);
+    [0x02, 0x00, o[12], o[13], o[14], o[15]]
+}
+
+/// Emits the Ethernet II + IP header for `pair`'s address family: a
+/// pair stored with two `IpAddr::V4` endpoints produces exactly the
+/// legacy IPv4 frame bytes; any stored v6 endpoint switches the frame
+/// to IPv6 (v4 members carried v4-mapped). The family dispatch here
+/// matches [`pseudo_header_sum`]'s exactly, so the transport checksum
+/// seed always agrees with the frame that carries it.
+fn encode_eth_ip(
     buf: &mut BytesMut,
     pair: &SocketPair,
     protocol: u8,
@@ -308,25 +389,40 @@ fn encode_eth_ipv4(
     // Ethernet II
     buf.put_slice(&mac_for(pair.dst_ip));
     buf.put_slice(&mac_for(pair.src_ip));
-    buf.put_u16(ETHERTYPE_IPV4);
-    // IPv4
-    let total_len = (IPV4_HEADER_LEN + transport_and_payload.len()) as u16;
-    let mut ip = [0u8; IPV4_HEADER_LEN];
-    ip[0] = 0x45; // version 4, IHL 5
-    ip[1] = 0; // DSCP/ECN
-    ip[2..4].copy_from_slice(&total_len.to_be_bytes());
-    // identification / flags / fragment offset left zero
-    ip[8] = 64; // TTL
-    ip[9] = protocol;
-    ip[12..16].copy_from_slice(&pair.src_ip.octets());
-    ip[16..20].copy_from_slice(&pair.dst_ip.octets());
-    let csum = internet_checksum(0, &ip);
-    ip[10..12].copy_from_slice(&csum.to_be_bytes());
-    buf.put_slice(&ip);
+    match (pair.src_ip, pair.dst_ip) {
+        (IpAddr::V4(src), IpAddr::V4(dst)) => {
+            buf.put_u16(ETHERTYPE_IPV4);
+            let total_len = (IPV4_HEADER_LEN + transport_and_payload.len()) as u16;
+            let mut ip = [0u8; IPV4_HEADER_LEN];
+            ip[0] = 0x45; // version 4, IHL 5
+            ip[1] = 0; // DSCP/ECN
+            ip[2..4].copy_from_slice(&total_len.to_be_bytes());
+            // identification / flags / fragment offset left zero
+            ip[8] = 64; // TTL
+            ip[9] = protocol;
+            ip[12..16].copy_from_slice(&src.octets());
+            ip[16..20].copy_from_slice(&dst.octets());
+            let csum = internet_checksum(0, &ip);
+            ip[10..12].copy_from_slice(&csum.to_be_bytes());
+            buf.put_slice(&ip);
+        }
+        _ => {
+            buf.put_u16(ETHERTYPE_IPV6);
+            let mut ip = [0u8; IPV6_HEADER_LEN];
+            ip[0] = 0x60; // version 6, traffic class / flow label zero
+            ip[4..6].copy_from_slice(&(transport_and_payload.len() as u16).to_be_bytes());
+            ip[6] = protocol; // next header
+            ip[7] = 64; // hop limit
+            ip[8..24].copy_from_slice(&v6_octets(pair.src_ip));
+            ip[24..40].copy_from_slice(&v6_octets(pair.dst_ip));
+            buf.put_slice(&ip);
+        }
+    }
     buf.put_slice(transport_and_payload);
 }
 
-/// Encodes a TCP segment into a complete Ethernet frame.
+/// Encodes a TCP segment into a complete Ethernet frame (IPv4 or IPv6
+/// per the pair's address family).
 pub fn encode_tcp(pair: &SocketPair, seq: u32, ack: u32, flags: u8, payload: &[u8]) -> Vec<u8> {
     let mut tcp = vec![0u8; TCP_HEADER_LEN + payload.len()];
     tcp[0..2].copy_from_slice(&pair.src_port.to_be_bytes());
@@ -337,16 +433,17 @@ pub fn encode_tcp(pair: &SocketPair, seq: u32, ack: u32, flags: u8, payload: &[u
     tcp[13] = flags;
     tcp[14..16].copy_from_slice(&65_535u16.to_be_bytes()); // window
     tcp[TCP_HEADER_LEN..].copy_from_slice(payload);
-    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 6, tcp.len() as u16);
+    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 6, tcp.len() as u32);
     let csum = internet_checksum(seed, &tcp);
     tcp[16..18].copy_from_slice(&csum.to_be_bytes());
 
-    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + tcp.len());
-    encode_eth_ipv4(&mut buf, pair, 6, &tcp);
+    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV6_HEADER_LEN + tcp.len());
+    encode_eth_ip(&mut buf, pair, 6, &tcp);
     buf.to_vec()
 }
 
-/// Encodes a UDP datagram into a complete Ethernet frame.
+/// Encodes a UDP datagram into a complete Ethernet frame (IPv4 or IPv6
+/// per the pair's address family).
 pub fn encode_udp(pair: &SocketPair, payload: &[u8]) -> Vec<u8> {
     let mut udp = vec![0u8; UDP_HEADER_LEN + payload.len()];
     udp[0..2].copy_from_slice(&pair.src_port.to_be_bytes());
@@ -354,14 +451,14 @@ pub fn encode_udp(pair: &SocketPair, payload: &[u8]) -> Vec<u8> {
     let udp_len = udp.len() as u16;
     udp[4..6].copy_from_slice(&udp_len.to_be_bytes());
     udp[UDP_HEADER_LEN..].copy_from_slice(payload);
-    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 17, udp.len() as u16);
+    let seed = pseudo_header_sum(pair.src_ip, pair.dst_ip, 17, udp.len() as u32);
     let csum = internet_checksum(seed, &udp);
     // Per RFC 768, a computed checksum of zero is transmitted as 0xffff.
     let csum = if csum == 0 { 0xffff } else { csum };
     udp[6..8].copy_from_slice(&csum.to_be_bytes());
 
-    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + udp.len());
-    encode_eth_ipv4(&mut buf, pair, 17, &udp);
+    let mut buf = BytesMut::with_capacity(ETH_HEADER_LEN + IPV6_HEADER_LEN + udp.len());
+    encode_eth_ip(&mut buf, pair, 17, &udp);
     buf.to_vec()
 }
 
@@ -396,52 +493,90 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
         ));
     }
     let ethertype = u16::from_be_bytes([raw[12], raw[13]]);
-    if ethertype != ETHERTYPE_IPV4 {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::Malformed,
-            format!("unsupported ethertype {ethertype:#06x}"),
-        ));
-    }
     let ip = &raw[ETH_HEADER_LEN..];
-    if ip[0] >> 4 != 4 {
-        return Err(FrameDecodeError::new(FrameErrorKind::Malformed, "not IPv4"));
-    }
-    let ihl = usize::from(ip[0] & 0x0f) * 4;
-    if ihl < IPV4_HEADER_LEN {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::Malformed,
-            "bad IPv4 header length",
-        ));
-    }
-    if ip.len() < ihl {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::Truncated,
-            "IPv4 header exceeds frame",
-        ));
-    }
-    if internet_checksum(0, &ip[..ihl]) != 0 {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::BadChecksum,
-            "IPv4 header checksum mismatch",
-        ));
-    }
-    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
-    if total_len < ihl {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::Malformed,
-            "IPv4 total length below header length",
-        ));
-    }
-    if ip.len() < total_len {
-        return Err(FrameDecodeError::new(
-            FrameErrorKind::Truncated,
-            "IPv4 total length exceeds frame",
-        ));
-    }
-    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
-    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
-    let protocol = ip[9];
-    let transport = &ip[ihl..total_len];
+    let (src_ip, dst_ip, protocol, transport): (IpAddr, IpAddr, u8, &[u8]) = match ethertype {
+        ETHERTYPE_IPV4 => {
+            if ip[0] >> 4 != 4 {
+                return Err(FrameDecodeError::new(FrameErrorKind::Malformed, "not IPv4"));
+            }
+            let ihl = usize::from(ip[0] & 0x0f) * 4;
+            if ihl < IPV4_HEADER_LEN {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Malformed,
+                    "bad IPv4 header length",
+                ));
+            }
+            if ip.len() < ihl {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "IPv4 header exceeds frame",
+                ));
+            }
+            if internet_checksum(0, &ip[..ihl]) != 0 {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::BadChecksum,
+                    "IPv4 header checksum mismatch",
+                ));
+            }
+            let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+            if total_len < ihl {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Malformed,
+                    "IPv4 total length below header length",
+                ));
+            }
+            if ip.len() < total_len {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "IPv4 total length exceeds frame",
+                ));
+            }
+            (
+                IpAddr::V4(Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15])),
+                IpAddr::V4(Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19])),
+                ip[9],
+                &ip[ihl..total_len],
+            )
+        }
+        ETHERTYPE_IPV6 => {
+            if ip.len() < IPV6_HEADER_LEN {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "frame shorter than eth+ipv6 headers",
+                ));
+            }
+            if ip[0] >> 4 != 6 {
+                return Err(FrameDecodeError::new(FrameErrorKind::Malformed, "not IPv6"));
+            }
+            let payload_len = usize::from(u16::from_be_bytes([ip[4], ip[5]]));
+            if ip.len() < IPV6_HEADER_LEN + payload_len {
+                return Err(FrameDecodeError::new(
+                    FrameErrorKind::Truncated,
+                    "IPv6 payload length exceeds frame",
+                ));
+            }
+            let mut src = [0u8; 16];
+            src.copy_from_slice(&ip[8..24]);
+            let mut dst = [0u8; 16];
+            dst.copy_from_slice(&ip[24..40]);
+            // Addresses are kept in on-wire v6 form (v4-mapped members
+            // included) so the transport checksum seed below dispatches
+            // to the same IPv6 pseudo-header the encoder used;
+            // `SocketPair::canonical` folds them for flow keying.
+            (
+                IpAddr::V6(Ipv6Addr::from(src)),
+                IpAddr::V6(Ipv6Addr::from(dst)),
+                ip[6],
+                &ip[IPV6_HEADER_LEN..IPV6_HEADER_LEN + payload_len],
+            )
+        }
+        other => {
+            return Err(FrameDecodeError::new(
+                FrameErrorKind::Malformed,
+                format!("unsupported ethertype {other:#06x}"),
+            ));
+        }
+    };
 
     match protocol {
         6 => {
@@ -470,7 +605,7 @@ pub fn decode_frame_ref(raw: &[u8]) -> Result<FrameRef<'_>, FrameDecodeError> {
                 ));
             }
             let flags = transport[13];
-            let seed = pseudo_header_sum(src_ip, dst_ip, 6, transport.len() as u16);
+            let seed = pseudo_header_sum(src_ip, dst_ip, 6, transport.len() as u32);
             if internet_checksum(seed, transport) != 0 {
                 return Err(FrameDecodeError::new(
                     FrameErrorKind::BadChecksum,
@@ -632,6 +767,111 @@ mod tests {
     #[test]
     fn socket_pair_display() {
         assert_eq!(pair().to_string(), "10.0.2.15:43210 -> 93.184.216.34:443");
+    }
+
+    fn pair_v6() -> SocketPair {
+        SocketPair::new(
+            "fd00:5eca::a00:20f".parse::<Ipv6Addr>().unwrap(),
+            43_210,
+            "2606:2800:220:1::1".parse::<Ipv6Addr>().unwrap(),
+            443,
+        )
+    }
+
+    #[test]
+    fn tcp_roundtrip_v6() {
+        let payload = b"\x16\x03\x03hello";
+        let raw = encode_tcp(
+            &pair_v6(),
+            1000,
+            2000,
+            tcp_flags::PSH | tcp_flags::ACK,
+            payload,
+        );
+        assert_eq!(
+            u16::from_be_bytes([raw[12], raw[13]]),
+            ETHERTYPE_IPV6,
+            "v6 pair must produce an IPv6 frame"
+        );
+        assert_eq!(
+            raw.len(),
+            ETH_HEADER_LEN + IPV6_HEADER_LEN + TCP_HEADER_LEN + payload.len()
+        );
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(frame.pair, pair_v6());
+        match frame.transport {
+            Transport::Tcp { payload: p, .. } => assert_eq!(p, payload),
+            other => panic!("expected tcp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip_v6() {
+        let raw = encode_udp(&pair_v6(), b"report-payload");
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(frame.pair, pair_v6());
+        match frame.transport {
+            Transport::Udp { payload } => assert_eq!(payload, b"report-payload"),
+            other => panic!("expected udp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_v6_tcp_checksum_rejected() {
+        let mut raw = encode_tcp(&pair_v6(), 1, 1, tcp_flags::ACK, b"data");
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        let err = decode_frame(&raw).unwrap_err();
+        assert_eq!(err.kind, FrameErrorKind::BadChecksum);
+    }
+
+    #[test]
+    fn truncated_v6_frames_classified() {
+        let raw = encode_tcp(&pair_v6(), 1, 1, tcp_flags::ACK, b"data");
+        for cut in [
+            ETH_HEADER_LEN + IPV4_HEADER_LEN,
+            ETH_HEADER_LEN + IPV6_HEADER_LEN + 4,
+        ] {
+            let err = decode_frame(&raw[..cut]).unwrap_err();
+            assert_eq!(err.kind, FrameErrorKind::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn v4_mapped_pair_canonicalizes_to_v4() {
+        let mapped = SocketPair::new(
+            Ipv4Addr::new(10, 0, 2, 15).to_ipv6_mapped(),
+            43_210,
+            Ipv4Addr::new(93, 184, 216, 34).to_ipv6_mapped(),
+            443,
+        );
+        assert_eq!(mapped.canonical(), pair().canonical());
+        assert!(!mapped.is_ipv6());
+        assert!(pair_v6().is_ipv6());
+        // A v4-mapped pair still travels as an IPv6 frame and survives
+        // the round trip in on-wire form.
+        let raw = encode_tcp(&mapped, 1, 1, tcp_flags::ACK, b"x");
+        assert_eq!(u16::from_be_bytes([raw[12], raw[13]]), ETHERTYPE_IPV6);
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(frame.pair.canonical(), pair().canonical());
+    }
+
+    #[test]
+    fn v4_frame_bytes_unchanged_by_dual_stack() {
+        // The legacy-inertness pin: a pure-v4 pair produces exactly the
+        // frame layout the pre-dual-stack encoder emitted (spot-check
+        // structure; the cross-crate goldens pin full campaigns).
+        let raw = encode_tcp(&pair(), 7, 9, tcp_flags::ACK, b"abc");
+        assert_eq!(u16::from_be_bytes([raw[12], raw[13]]), ETHERTYPE_IPV4);
+        assert_eq!(
+            raw.len(),
+            ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + 3
+        );
+        assert_eq!(raw[ETH_HEADER_LEN], 0x45);
+        assert_eq!(
+            &raw[ETH_HEADER_LEN + 12..ETH_HEADER_LEN + 16],
+            &[10, 0, 2, 15]
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Libspector's own packets from the traffic accounting.
 
 use std::collections::HashMap;
-use std::net::Ipv4Addr;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 use crate::clock::Clock;
 use crate::dns;
@@ -46,6 +46,7 @@ pub struct NetStack {
     next_dns_id: u16,
     sockets: HashMap<SocketId, TcpSocket>,
     dns_cache: HashMap<String, Ipv4Addr>,
+    dns6_cache: HashMap<String, Ipv6Addr>,
     capture: Vec<CapturedPacket>,
     /// Microseconds the clock advances per emitted packet, modelling
     /// emulator-to-network latency.
@@ -63,6 +64,7 @@ impl NetStack {
             next_dns_id: 1,
             sockets: HashMap::new(),
             dns_cache: HashMap::new(),
+            dns6_cache: HashMap::new(),
             capture: Vec::new(),
             per_packet_micros: 100,
         }
@@ -71,6 +73,13 @@ impl NetStack {
     /// The emulator's own address.
     pub fn local_ip(&self) -> Ipv4Addr {
         self.local_ip
+    }
+
+    /// The emulator's IPv6 address: a deterministic ULA derived from
+    /// the v4 address ([`local_ipv6_for`]), so dual-stack sockets need
+    /// no extra configuration.
+    pub fn local_ip6(&self) -> Ipv6Addr {
+        local_ipv6_for(self.local_ip)
     }
 
     /// Shared virtual clock.
@@ -124,14 +133,49 @@ impl NetStack {
         ip
     }
 
+    /// [`resolve`](Self::resolve) for AAAA lookups: emits an AAAA
+    /// query/response exchange (over the v4 DNS transport, as Android
+    /// resolvers do on NAT64-free networks) on first lookup and caches
+    /// the answer separately from the A cache.
+    pub fn resolve6(&mut self, domain: &str, ip: Ipv6Addr) -> Ipv6Addr {
+        if let Some(&cached) = self.dns6_cache.get(domain) {
+            return cached;
+        }
+        let id = self.next_dns_id;
+        self.next_dns_id = self.next_dns_id.wrapping_add(1);
+        let src_port = self.alloc_port();
+        let dns_server = Ipv4Addr::new(10, 0, 2, 3); // emulator default
+        let query_pair = SocketPair::new(self.local_ip, src_port, dns_server, dns::DNS_PORT);
+        let query = packet::encode_udp(
+            &query_pair,
+            &dns::encode_query_typed(id, domain, dns::QTYPE_AAAA),
+        );
+        self.emit(query);
+        let response = packet::encode_udp(
+            &query_pair.reversed(),
+            &dns::encode_response(id, domain, ip, 300),
+        );
+        self.emit(response);
+        self.dns6_cache.insert(domain.to_owned(), ip);
+        ip
+    }
+
     /// Opens a TCP connection, emitting the three-way handshake.
     ///
     /// Returns the socket handle; the 4-tuple is queryable via
     /// [`NetStack::socket_pair`] (the `getsockname`/`getpeername`
     /// equivalent the supervisor's shared library calls).
-    pub fn tcp_connect(&mut self, dst_ip: Ipv4Addr, dst_port: u16) -> SocketId {
+    /// Accepts `Ipv4Addr`, `Ipv6Addr`, or `IpAddr` destinations; a v6
+    /// destination binds the local side to the stack's v6 address, so
+    /// the whole connection travels as IPv6 frames.
+    pub fn tcp_connect(&mut self, dst_ip: impl Into<IpAddr>, dst_port: u16) -> SocketId {
+        let dst_ip = dst_ip.into();
         let src_port = self.alloc_port();
-        let pair = SocketPair::new(self.local_ip, src_port, dst_ip, dst_port);
+        let src_ip: IpAddr = match dst_ip {
+            IpAddr::V4(_) => self.local_ip.into(),
+            IpAddr::V6(_) => self.local_ip6().into(),
+        };
+        let pair = SocketPair::new(src_ip, src_port, dst_ip, dst_port);
         let isn = 1_000;
         let peer_isn = 9_000;
         self.emit(packet::encode_tcp(&pair, isn, 0, tcp_flags::SYN, &[]));
@@ -283,6 +327,56 @@ impl NetStack {
         self.sockets.insert(socket, state);
     }
 
+    /// Transfers explicit payload bytes in *both* directions — used for
+    /// protocols whose response framing matters on the wire (TLS-like
+    /// record streams), where the HTTP 200 filler of
+    /// [`tcp_exchange`](Self::tcp_exchange) would be wrong.
+    pub fn tcp_exchange_with(&mut self, socket: SocketId, request: &[u8], response: &[u8]) {
+        let Some(state) = self.sockets.get(&socket).filter(|s| s.open).cloned() else {
+            return;
+        };
+        let mut state = state;
+        for chunk in request.chunks(TCP_MSS) {
+            self.emit(packet::encode_tcp(
+                &state.pair,
+                state.seq,
+                state.peer_seq,
+                tcp_flags::PSH | tcp_flags::ACK,
+                chunk,
+            ));
+            state.seq = state.seq.wrapping_add(chunk.len() as u32);
+        }
+        if !request.is_empty() {
+            self.emit(packet::encode_tcp(
+                &state.pair.reversed(),
+                state.peer_seq,
+                state.seq,
+                tcp_flags::ACK,
+                &[],
+            ));
+        }
+        for chunk in response.chunks(TCP_MSS) {
+            self.emit(packet::encode_tcp(
+                &state.pair.reversed(),
+                state.peer_seq,
+                state.seq,
+                tcp_flags::PSH | tcp_flags::ACK,
+                chunk,
+            ));
+            state.peer_seq = state.peer_seq.wrapping_add(chunk.len() as u32);
+        }
+        if !response.is_empty() {
+            self.emit(packet::encode_tcp(
+                &state.pair,
+                state.seq,
+                state.peer_seq,
+                tcp_flags::ACK,
+                &[],
+            ));
+        }
+        self.sockets.insert(socket, state);
+    }
+
     /// Closes the connection with a FIN/ACK exchange in both directions.
     pub fn tcp_close(&mut self, socket: SocketId) {
         let Some(state) = self.sockets.get_mut(&socket).filter(|s| s.open) else {
@@ -317,9 +411,14 @@ impl NetStack {
     /// transport used for the Socket Supervisor's out-of-band reports.
     ///
     /// Returns the source port chosen.
-    pub fn udp_send(&mut self, dst_ip: Ipv4Addr, dst_port: u16, payload: &[u8]) -> u16 {
+    pub fn udp_send(&mut self, dst_ip: impl Into<IpAddr>, dst_port: u16, payload: &[u8]) -> u16 {
+        let dst_ip = dst_ip.into();
+        let src_ip: IpAddr = match dst_ip {
+            IpAddr::V4(_) => self.local_ip.into(),
+            IpAddr::V6(_) => self.local_ip6().into(),
+        };
         let src_port = self.alloc_port();
-        let pair = SocketPair::new(self.local_ip, src_port, dst_ip, dst_port);
+        let pair = SocketPair::new(src_ip, src_port, dst_ip, dst_port);
         let frame = packet::encode_udp(&pair, payload);
         self.emit(frame);
         src_port
@@ -344,6 +443,25 @@ impl NetStack {
     pub fn into_capture(self) -> Vec<CapturedPacket> {
         self.capture
     }
+}
+
+/// Deterministic unique-local IPv6 address for an emulator (or remote
+/// endpoint) known by a v4 address: `fd00:5eca::a.b.c.d`-style ULA
+/// embedding the v4 octets in the low 32 bits. One shared rule keeps
+/// the workload model, the stack, and tests agreeing on every host's
+/// v6 identity without extra configuration.
+pub fn local_ipv6_for(v4: Ipv4Addr) -> Ipv6Addr {
+    let o = v4.octets();
+    Ipv6Addr::new(
+        0xfd00,
+        0x5eca,
+        0,
+        0,
+        0,
+        0,
+        u16::from_be_bytes([o[0], o[1]]),
+        u16::from_be_bytes([o[2], o[3]]),
+    )
 }
 
 /// Fills payload bytes deterministically from the sequence number so

@@ -1,7 +1,7 @@
 //! Property tests: wire formats survive roundtrips; flow accounting
 //! conserves bytes for arbitrary transfer schedules.
 
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 
 use proptest::prelude::*;
 use spector_netsim::capture::CaptureIndex;
@@ -19,6 +19,42 @@ fn ip() -> impl Strategy<Value = Ipv4Addr> {
 fn pair() -> impl Strategy<Value = SocketPair> {
     (ip(), any::<u16>(), ip(), any::<u16>())
         .prop_map(|(si, sp, di, dp)| SocketPair::new(si, sp, di, dp))
+}
+
+/// Arbitrary IPv6 address: mostly pure v6, but a slice of the space is
+/// v4-mapped (`::ffff:a.b.c.d`) so the canonical-fold path is always
+/// exercised.
+fn ip6() -> impl Strategy<Value = Ipv6Addr> {
+    (any::<[u8; 16]>(), any::<u8>()).prop_map(|(raw, pick)| {
+        if pick % 5 == 0 {
+            Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3]).to_ipv6_mapped()
+        } else {
+            Ipv6Addr::from(raw)
+        }
+    })
+}
+
+fn pair6() -> impl Strategy<Value = SocketPair> {
+    (ip6(), any::<u16>(), ip6(), any::<u16>())
+        .prop_map(|(si, sp, di, dp)| SocketPair::new(si, sp, di, dp))
+}
+
+/// Decoders keep the on-wire v6 form (v4-mapped members included);
+/// folding is `SocketPair::canonical`'s job. This pins the second half
+/// of that contract: a canonicalized pair never retains a v4-mapped
+/// member.
+fn assert_canonical_folds(pair: &SocketPair) -> Result<(), proptest::TestCaseError> {
+    let canon = pair.canonical();
+    for ip in [canon.src_ip, canon.dst_ip] {
+        if let std::net::IpAddr::V6(v6) = ip {
+            prop_assert!(
+                v6.to_ipv4_mapped().is_none(),
+                "canonical pair kept a v4-mapped member: {}",
+                v6
+            );
+        }
+    }
+    Ok(())
 }
 
 fn domain() -> impl Strategy<Value = String> {
@@ -138,7 +174,7 @@ proptest! {
         prop_assert!(!q.is_response);
         let r = parse_message(&encode_response(id, &name, a, ttl)).expect("response must parse");
         prop_assert!(r.is_response);
-        prop_assert_eq!(&r.answers[..], &[(name, a, ttl)]);
+        prop_assert_eq!(&r.answers[..], &[(name, std::net::IpAddr::V4(a), ttl)]);
     }
 
     #[test]
@@ -239,6 +275,179 @@ proptest! {
         let map = DnsMap::from_capture(stack.capture());
         for (d, ip) in assigned {
             prop_assert_eq!(map.domain_for(ip), Some(d.as_str()));
+        }
+    }
+}
+
+// --- Modern socket shapes: IPv6 frames, TLS-like records, CONNECT ---
+
+proptest! {
+    #[test]
+    fn v6_tcp_frame_roundtrip(p in pair6(), seq in any::<u32>(), ack in any::<u32>(),
+                              flags in 0u8..32,
+                              payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let raw = encode_tcp(&p, seq, ack, flags, &payload);
+        let frame = decode_frame(&raw).expect("encoded v6 frame must decode");
+        prop_assert_eq!(frame.pair, p, "decode keeps the on-wire v6 form");
+        assert_canonical_folds(&frame.pair)?;
+        match frame.transport {
+            Transport::Tcp { seq: s, ack: a, flags: f, payload: pl } => {
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(a, ack);
+                prop_assert_eq!(f, flags);
+                prop_assert_eq!(pl, payload);
+            }
+            other => prop_assert!(false, "expected tcp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn v6_udp_frame_roundtrip(p in pair6(),
+                              payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let raw = encode_udp(&p, &payload);
+        let frame = decode_frame(&raw).expect("encoded v6 frame must decode");
+        prop_assert_eq!(frame.pair, p, "decode keeps the on-wire v6 form");
+        assert_canonical_folds(&frame.pair)?;
+        match frame.transport {
+            Transport::Udp { payload: pl } => prop_assert_eq!(pl, payload),
+            other => prop_assert!(false, "expected udp, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn v6_truncated_frames_never_decode_and_classify(
+        p in pair6(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..2_000,
+    ) {
+        // IPv6 has no header checksum, so every strict prefix must be
+        // caught by a length check — never by accident, never a panic.
+        use spector_netsim::packet::FrameErrorKind;
+        let raw = encode_tcp(&p, 1, 2, 0x18, &payload);
+        let cut = cut % raw.len();
+        match decode_frame(&raw[..cut]) {
+            Err(error) => prop_assert!(
+                matches!(
+                    error.kind,
+                    FrameErrorKind::Truncated
+                        | FrameErrorKind::Malformed
+                        | FrameErrorKind::BadChecksum
+                ),
+                "cut {} classified {:?}", cut, error.kind
+            ),
+            Ok(_) => prop_assert!(false, "a strict prefix must not decode (cut {})", cut),
+        }
+    }
+
+    #[test]
+    fn v6_corruption_detected_or_decodes_identically(
+        p in pair6(),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        bit in 0usize..4_000,
+    ) {
+        // Without an IP header checksum the v6 header tolerates flips in
+        // fields the pipeline never reads (MACs, traffic class, flow
+        // label, hop limit). The safety property: any flip that still
+        // decodes leaves the 4-tuple and the whole TCP view intact —
+        // those are covered by the pseudo-header checksum.
+        let raw = encode_tcp(&p, 1, 2, 0x18, &payload);
+        let bit = bit % (raw.len() * 8);
+        let mut corrupted = raw.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(frame) = decode_frame(&corrupted) {
+            prop_assert_eq!(frame.pair, p, "undetected flip moved the 4-tuple");
+            match frame.transport {
+                Transport::Tcp { seq, ack, flags, payload: pl } => {
+                    prop_assert_eq!(seq, 1);
+                    prop_assert_eq!(ack, 2);
+                    prop_assert_eq!(flags, 0x18);
+                    prop_assert_eq!(pl, payload);
+                }
+                other => prop_assert!(false, "expected tcp, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn tls_hello_roundtrips_for_any_sni(sni in "[a-z0-9.-]{1,64}",
+                                        total in 0u64..60_000) {
+        use spector_netsim::shape::{
+            classify_shape, encode_tls_hello, encode_tls_records, parse_sni, FlowShape,
+        };
+        let mut bytes = encode_tls_hello(&sni);
+        prop_assert_eq!(parse_sni(&bytes), Some(sni.as_str()));
+        prop_assert_eq!(classify_shape(&bytes), FlowShape::TlsLike);
+        // Trailing app-data records never disturb the hello (prefix rule).
+        bytes.extend_from_slice(&encode_tls_records(total));
+        prop_assert_eq!(parse_sni(&bytes), Some(sni.as_str()));
+        prop_assert_eq!(classify_shape(&bytes), FlowShape::TlsLike);
+    }
+
+    #[test]
+    fn tls_records_hit_byte_budget_and_walk_cleanly(total in 0u64..200_000) {
+        use spector_netsim::shape::{
+            encode_tls_records, TLS_APPDATA, TLS_RECORD_MAX, TLS_VERSION,
+        };
+        let out = encode_tls_records(total);
+        // Headers count toward the budget; overshoot is < one header.
+        prop_assert!(out.len() as u64 >= total.max(5));
+        prop_assert!((out.len() as u64) < total.max(5) + 5);
+        let mut i = 0usize;
+        while i < out.len() {
+            prop_assert_eq!(out[i], TLS_APPDATA, "record {} has wrong type byte", i);
+            prop_assert_eq!(&out[i + 1..i + 3], &TLS_VERSION[..]);
+            let len = usize::from(u16::from_be_bytes([out[i + 3], out[i + 4]]));
+            prop_assert!(len <= TLS_RECORD_MAX);
+            i += 5 + len;
+        }
+        prop_assert_eq!(i, out.len(), "record walk must land exactly on the end");
+    }
+
+    #[test]
+    fn connect_preamble_roundtrips_for_any_target(host in "[a-z0-9.-]{1,48}",
+                                                  port in any::<u16>()) {
+        use spector_netsim::shape::{
+            classify_shape, encode_connect_preamble, parse_connect, FlowShape,
+        };
+        let raw = encode_connect_preamble(&host, port);
+        prop_assert_eq!(parse_connect(&raw), Some((host.as_str(), port)));
+        prop_assert_eq!(classify_shape(&raw), FlowShape::ConnectProxy);
+    }
+
+    #[test]
+    fn shape_parsers_total_on_arbitrary_bytes(
+        noise in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use spector_netsim::shape::{classify_shape, parse_connect, parse_sni};
+        // Totality: attacker-controlled first payloads never panic, and
+        // classification always lands on a shape.
+        let _ = parse_sni(&noise);
+        let _ = parse_connect(&noise);
+        let _ = classify_shape(&noise);
+    }
+
+    #[test]
+    fn mutated_shape_payloads_never_panic(
+        sni in "[a-z0-9.-]{1,32}",
+        host in "[a-z0-9.-]{1,32}",
+        port in any::<u16>(),
+        bit in 0usize..4_000,
+        cut in 0usize..4_000,
+    ) {
+        use spector_netsim::shape::{
+            classify_shape, encode_connect_preamble, encode_tls_hello, parse_connect,
+            parse_sni,
+        };
+        for original in [encode_tls_hello(&sni), encode_connect_preamble(&host, port)] {
+            let mut flipped = original.clone();
+            let b = bit % (flipped.len() * 8);
+            flipped[b / 8] ^= 1 << (b % 8);
+            let truncated = &original[..cut % (original.len() + 1)];
+            for bytes in [&flipped[..], truncated] {
+                let _ = parse_sni(bytes);
+                let _ = parse_connect(bytes);
+                let _ = classify_shape(bytes);
+            }
         }
     }
 }

@@ -50,6 +50,15 @@ pub trait RuntimeHook: Send {
     /// Called immediately after a TCP socket finishes connecting.
     fn after_socket_connect(&mut self, ctx: &mut HookContext<'_>, socket: SocketId);
 
+    /// Called when a pooled (keep-alive) connection starts a new logical
+    /// request/response stream on an already-connected socket. `ordinal`
+    /// is the zero-based stream index within the connection; the
+    /// connect-time report covers stream 0, so the runtime fires this
+    /// for ordinals 1.. only. Default: ignore (legacy hooks never see
+    /// pooled traffic differently from a plain connection).
+    fn after_stream_start(&mut self, _ctx: &mut HookContext<'_>, _socket: SocketId, _ordinal: u32) {
+    }
+
     /// Called once when the run is over, before the capture is taken —
     /// the hook's last chance to flush out-of-band state (the Socket
     /// Supervisor's sampling ledger rides on this). Pure observers need

@@ -9,10 +9,11 @@
 //! performing network operations through the framework client chains.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, Ipv6Addr};
 
-use spector_dex::model::{DexFile, Dispatcher, Instruction, MethodRef, NetworkOp};
+use spector_dex::model::{DexFile, Dispatcher, Instruction, MethodRef, NetworkOp, WireShape};
 use spector_dex::sig::MethodSig;
+use spector_netsim::shape::{encode_connect_preamble, encode_tls_hello, encode_tls_records};
 use spector_netsim::stack::NetStack;
 
 use crate::framework::{connector_frames, dispatcher_frames};
@@ -254,7 +255,8 @@ impl Runtime {
 
     /// Performs one network operation through the configured client
     /// chain: push framework frames, resolve, connect, fire post-hooks,
-    /// transfer, close.
+    /// transfer, close. The op's [`WireShape`] decides the transport
+    /// realism: address family, framing, tunnelling, connection reuse.
     fn perform_network(&mut self, op: &NetworkOp, stack: &mut CallStack) {
         self.stats.network_ops += 1;
         // The frame that issued the request (top of stack before the
@@ -266,13 +268,33 @@ impl Runtime {
         for frame in frames {
             stack.push(frame);
         }
-        let ip = self
+        let registered = self
             .resolver
             .get(&op.domain)
             .copied()
             .unwrap_or_else(|| fallback_ip(&op.domain));
-        let ip = self.net.resolve(&op.domain, ip);
-        let socket = self.net.tcp_connect(ip, op.port);
+        let socket = match op.shape {
+            // The legacy path: an A lookup on the wire, then a v4
+            // connection — byte-identical to the pre-shape runtime.
+            // Pooled connections establish exactly the same way; the
+            // reuse happens after connect.
+            WireShape::Plain | WireShape::Pooled { .. } => {
+                let ip = self.net.resolve(&op.domain, registered);
+                self.net.tcp_connect(ip, op.port)
+            }
+            // Dual-stack client: AAAA lookup, v6 connection.
+            WireShape::V6 => {
+                let ip6 = self.net.resolve6(&op.domain, remote_ipv6(registered));
+                self.net.tcp_connect(ip6, op.port)
+            }
+            // TLS-like client resolving over an encrypted channel the
+            // capture cannot see (DoH): no DNS on the wire — the only
+            // observable name is the SNI in the ClientHello.
+            WireShape::TlsSni => self.net.tcp_connect(registered, op.port),
+            // Forward proxy: the TCP connection goes to the proxy; the
+            // logical destination is named only in the tunnel preamble.
+            WireShape::ConnectProxy => self.net.tcp_connect(PROXY_IP, PROXY_PORT),
+        };
         // Post-hook: the connection exists and has concrete parameters.
         // Observers fire first, then enforcers vote; a single Block
         // verdict tears the connection down before payload moves.
@@ -299,19 +321,80 @@ impl Runtime {
         if blocked {
             self.stats.blocked_ops += 1;
         } else {
-            match op.connector {
-                spector_dex::model::Connector::DirectSocket => {
-                    // Raw protocol: opaque payload bytes only.
-                    self.net.tcp_transfer(socket, op.send_bytes, op.recv_bytes);
+            match op.shape {
+                WireShape::Plain | WireShape::V6 => {
+                    self.transfer_once(socket, op, owner_frame.as_deref(), op.send_bytes);
                 }
-                _ => {
-                    // HTTP clients put a real request head on the wire;
-                    // the User-Agent is the generic client token, with
-                    // an SDK identifier appended for the fraction of
-                    // libraries that tag their requests (what prior
-                    // work's header-based classification relied on).
-                    let request = build_http_request(op, owner_frame.as_deref());
-                    self.net.tcp_exchange(socket, &request, op.recv_bytes);
+                WireShape::TlsSni => {
+                    // ClientHello (carrying the SNI) plus application-
+                    // data records padding the client payload to the
+                    // op's send budget; the response is a record stream
+                    // of exactly the op's receive budget.
+                    let mut request = encode_tls_hello(&op.domain);
+                    let remaining = op.send_bytes.saturating_sub(request.len() as u64);
+                    if remaining >= 5 {
+                        request.extend_from_slice(&encode_tls_records(remaining));
+                    }
+                    let response = encode_tls_records(op.recv_bytes.max(5));
+                    self.net.tcp_exchange_with(socket, &request, &response);
+                }
+                WireShape::ConnectProxy => {
+                    // Tunnel preamble naming the logical destination,
+                    // then the ordinary request through the tunnel.
+                    let mut request = encode_connect_preamble(&op.domain, op.port);
+                    match op.connector {
+                        spector_dex::model::Connector::DirectSocket => {
+                            let request_len = request.len() as u64;
+                            self.net.tcp_exchange_with(socket, &request, &[]);
+                            self.net.tcp_transfer(
+                                socket,
+                                op.send_bytes.saturating_sub(request_len),
+                                op.recv_bytes,
+                            );
+                        }
+                        _ => {
+                            request.extend_from_slice(&build_http_request(
+                                op,
+                                owner_frame.as_deref(),
+                                op.send_bytes,
+                            ));
+                            self.net.tcp_exchange(socket, &request, op.recv_bytes);
+                        }
+                    }
+                }
+                WireShape::Pooled { streams } => {
+                    // Keep-alive reuse: the logical exchanges share one
+                    // connection. The connect-time hook covers stream 0;
+                    // each later stream gets its own post-hook with the
+                    // issuing thread's stack, so per-stream attribution
+                    // has the same context a fresh connection would.
+                    let n = u64::from(streams.max(1));
+                    for ordinal in 0..streams.max(1) {
+                        if ordinal > 0 {
+                            let mut hooks = std::mem::take(&mut self.hooks);
+                            for hook in &mut hooks {
+                                let mut ctx = HookContext {
+                                    stack,
+                                    net: &mut self.net,
+                                };
+                                hook.after_stream_start(&mut ctx, socket, ordinal);
+                            }
+                            self.hooks = hooks;
+                        }
+                        let extra_send = if ordinal == 0 { op.send_bytes % n } else { 0 };
+                        let extra_recv = if ordinal == 0 { op.recv_bytes % n } else { 0 };
+                        let send = op.send_bytes / n + extra_send;
+                        let recv = op.recv_bytes / n + extra_recv;
+                        match op.connector {
+                            spector_dex::model::Connector::DirectSocket => {
+                                self.net.tcp_transfer(socket, send, recv);
+                            }
+                            _ => {
+                                let request = build_http_request(op, owner_frame.as_deref(), send);
+                                self.net.tcp_exchange(socket, &request, recv);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -320,6 +403,54 @@ impl Runtime {
             stack.pop();
         }
     }
+
+    /// The single-exchange transfer shared by the plain and v6 shapes.
+    fn transfer_once(
+        &mut self,
+        socket: spector_netsim::SocketId,
+        op: &NetworkOp,
+        owner_frame: Option<&str>,
+        send_budget: u64,
+    ) {
+        match op.connector {
+            spector_dex::model::Connector::DirectSocket => {
+                // Raw protocol: opaque payload bytes only.
+                self.net.tcp_transfer(socket, op.send_bytes, op.recv_bytes);
+            }
+            _ => {
+                // HTTP clients put a real request head on the wire;
+                // the User-Agent is the generic client token, with
+                // an SDK identifier appended for the fraction of
+                // libraries that tag their requests (what prior
+                // work's header-based classification relied on).
+                let request = build_http_request(op, owner_frame, send_budget);
+                self.net.tcp_exchange(socket, &request, op.recv_bytes);
+            }
+        }
+    }
+}
+
+/// Fixed forward-proxy endpoint for [`WireShape::ConnectProxy`] flows —
+/// inside the emulator NAT range, like the DNS server at 10.0.2.3.
+const PROXY_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 88);
+/// The proxy's listening port (conventional HTTP-proxy port).
+const PROXY_PORT: u16 = 3128;
+
+/// Deterministic global IPv6 address for a domain's v4 address: the
+/// documentation prefix `2001:db8::/32` with the v4 octets embedded in
+/// the low 32 bits — one stable v4↔v6 correspondence per destination.
+fn remote_ipv6(v4: Ipv4Addr) -> Ipv6Addr {
+    let o = v4.octets();
+    Ipv6Addr::new(
+        0x2001,
+        0xdb8,
+        0,
+        0,
+        0,
+        0,
+        u16::from_be_bytes([o[0], o[1]]),
+        u16::from_be_bytes([o[2], o[3]]),
+    )
 }
 
 /// Fraction (percent) of HTTP requests whose User-Agent carries an SDK
@@ -329,8 +460,10 @@ const UA_TAGGED_PERCENT: u64 = 40;
 
 /// Builds the HTTP request an operation puts on the wire. The head is
 /// deterministic in `(op, owner)`; the body pads the total client
-/// payload up to `op.send_bytes` when the head is smaller.
-fn build_http_request(op: &NetworkOp, owner_frame: Option<&str>) -> Vec<u8> {
+/// payload up to `send_budget` when the head is smaller (`send_budget`
+/// is `op.send_bytes` for single-exchange shapes and the per-stream
+/// share for pooled connections).
+fn build_http_request(op: &NetworkOp, owner_frame: Option<&str>, send_budget: u64) -> Vec<u8> {
     let client = match op.connector {
         spector_dex::model::Connector::AndroidOkHttp => "okhttp/3.12.1",
         spector_dex::model::Connector::ApacheHttp => "Apache-HttpClient/UNAVAILABLE (java 1.4)",
@@ -352,7 +485,7 @@ fn build_http_request(op: &NetworkOp, owner_frame: Option<&str>) -> Vec<u8> {
     };
     let path = format!("/v1/r{}", fnv_mix(&op.domain) % 97);
     let probe = spector_netsim::http::HttpRequest {
-        method: if op.send_bytes > 512 { "POST" } else { "GET" }.to_owned(),
+        method: if send_budget > 512 { "POST" } else { "GET" }.to_owned(),
         path: path.clone(),
         host: op.domain.clone(),
         user_agent: user_agent.clone(),
@@ -364,7 +497,7 @@ fn build_http_request(op: &NetworkOp, owner_frame: Option<&str>) -> Vec<u8> {
         path,
         host: op.domain.clone(),
         user_agent,
-        content_length: op.send_bytes.saturating_sub(head_len + 2),
+        content_length: send_budget.saturating_sub(head_len + 2),
     };
     request.encode()
 }
@@ -428,6 +561,7 @@ mod tests {
                         send_bytes: 300,
                         recv_bytes: 5_000,
                         connector: Connector::AndroidOkHttp,
+                        shape: WireShape::Plain,
                     }),
                     Instruction::Return,
                 ],
@@ -443,6 +577,7 @@ mod tests {
                         send_bytes: 100,
                         recv_bytes: 2_000,
                         connector: Connector::DirectSocket,
+                        shape: WireShape::Plain,
                     }),
                     Instruction::Return,
                 ],

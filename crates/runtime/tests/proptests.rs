@@ -7,6 +7,7 @@ use std::net::Ipv4Addr;
 use proptest::prelude::*;
 use spector_dex::model::{
     CodeItem, Connector, DexFile, Dispatcher, Instruction, MethodDef, MethodRef, NetworkOp,
+    WireShape,
 };
 use spector_dex::sig::MethodSig;
 use spector_netsim::clock::Clock;
@@ -39,6 +40,7 @@ fn instruction(n: usize) -> impl Strategy<Value = Instruction> {
             target: MethodRef::Internal(t),
         }),
         (0u64..1_000, 0u64..4_000).prop_map(|(send, recv)| Instruction::Network(NetworkOp {
+            shape: WireShape::Plain,
             domain: "prop.example".into(),
             port: 443,
             send_bytes: send,

@@ -38,7 +38,9 @@
 use std::collections::BTreeMap;
 
 use libspector::pipeline::DetectStats;
-use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind, RunIntegrity};
+use libspector::{
+    AnalyzedFlow, AppAnalysis, CoverageReport, FlowShape, IpFamily, OriginKind, RunIntegrity,
+};
 use spector_libradar::{DetectTier, LibCategory};
 use spector_sampling::SamplingLedger;
 use spector_vtcat::DomainCategory;
@@ -104,6 +106,13 @@ pub struct SegmentBuilder {
     // Reports: R0–R1.
     report_kind: Vec<u8>,
     report_payload: Vec<u32>,
+    // Socket-realism columns F12–F14, appended as trailing blocks and
+    // only when some flow is non-default, so every legacy (v4-only,
+    // plain, single-stream) segment stays byte-identical to the
+    // pre-shape format.
+    family: Vec<u8>,
+    shape: Vec<u8>,
+    stream: Vec<u8>,
 }
 
 impl SegmentBuilder {
@@ -215,6 +224,20 @@ impl SegmentBuilder {
         self.prev_start = flow.start_micros;
         self.user_agent
             .push(self.pool.intern_opt(flow.http_user_agent.as_deref()));
+        self.family.push(match flow.family {
+            IpFamily::V4 => 0,
+            IpFamily::V6 => 1,
+        });
+        self.shape.push(match flow.shape {
+            FlowShape::Plain => 0,
+            FlowShape::TlsLike => 1,
+            FlowShape::ConnectProxy => 2,
+        });
+        // `ordinal + 1`, so 0 encodes `None` (a whole-connection row).
+        put_varint(
+            &mut self.stream,
+            flow.stream.map(|k| u64::from(k) + 1).unwrap_or(0),
+        );
     }
 
     /// Appends one report record: a `kind` byte plus a JSON payload
@@ -268,6 +291,17 @@ impl SegmentBuilder {
         // R0–R1.
         block_bytes(&mut cols, &self.report_kind);
         block_u32(&mut cols, &self.report_payload);
+        // F12–F14 trail the fixed layout and are present only when some
+        // flow departs from the legacy defaults; an all-default segment
+        // ends at R1 exactly as before.
+        let modern = self.family.iter().any(|&b| b != 0)
+            || self.shape.iter().any(|&b| b != 0)
+            || self.stream.iter().any(|&b| b != 0);
+        if modern {
+            block_bytes(&mut cols, &self.family);
+            block_bytes(&mut cols, &self.shape);
+            block_bytes(&mut cols, &self.stream);
+        }
 
         let (n_analyses, n_flows, n_reports) = self.counts();
         let mut file = Vec::with_capacity(HEADER_LEN + pool.len() + cols.len());
@@ -379,6 +413,13 @@ pub struct FlowRow<'a> {
     pub start_micros: u64,
     /// HTTP `User-Agent`, when parsed.
     pub http_user_agent: Option<&'a str>,
+    /// Address family of the flow's canonical 4-tuple.
+    pub family: IpFamily,
+    /// Visible wire shape (plain / TLS-like / CONNECT proxy).
+    pub shape: FlowShape,
+    /// Stream ordinal for per-stream rows; `None` for whole-connection
+    /// rows.
+    pub stream: Option<u32>,
 }
 
 /// One decoded report record.
@@ -431,6 +472,10 @@ pub struct SegmentView<'a> {
     user_agent: U32Col<'a>,
     report_kind: &'a [u8],
     report_payload: U32Col<'a>,
+    // F12–F14; all empty for a legacy segment (defaults apply).
+    family: &'a [u8],
+    shape: &'a [u8],
+    stream: &'a [u8],
 }
 
 impl<'a> SegmentView<'a> {
@@ -527,6 +572,18 @@ impl<'a> SegmentView<'a> {
 
         let report_kind = fixed_block(&mut cols, n_reports, "R0 kind")?;
         let report_payload = U32Col::new(block(&mut cols, "R1 payload")?, n_reports, "R1")?;
+        // Trailing socket-realism blocks (F12–F14): absent in legacy
+        // segments, in which case every flow decodes with the default
+        // family/shape/stream.
+        let (family, shape, stream): (&[u8], &[u8], &[u8]) = if cols.remaining() != 0 {
+            (
+                fixed_block(&mut cols, n_flows, "F12 family")?,
+                fixed_block(&mut cols, n_flows, "F13 shape")?,
+                block(&mut cols, "F14 stream")?,
+            )
+        } else {
+            (&[], &[], &[])
+        };
         if cols.remaining() != 0 {
             return Err(StoreError::malformed(format!(
                 "{} trailing bytes after the last column block",
@@ -570,6 +627,9 @@ impl<'a> SegmentView<'a> {
             user_agent,
             report_kind,
             report_payload,
+            family,
+            shape,
+            stream,
         };
         view.validate_content()?;
         Ok(view)
@@ -636,6 +696,33 @@ impl<'a> SegmentView<'a> {
                 return Err(StoreError::malformed(format!(
                     "flow {i}: unknown flag bits {:#04x}",
                     self.flags[i]
+                )));
+            }
+            if !self.family.is_empty() {
+                if self.family[i] > 1 {
+                    return Err(StoreError::malformed(format!(
+                        "flow {i}: family discriminant {} out of range",
+                        self.family[i]
+                    )));
+                }
+                if self.shape[i] > 2 {
+                    return Err(StoreError::malformed(format!(
+                        "flow {i}: shape discriminant {} out of range",
+                        self.shape[i]
+                    )));
+                }
+            }
+        }
+        if !self.family.is_empty() {
+            let mut cursor = Cursor::new(self.stream);
+            for _ in 0..self.n_flows {
+                cursor.varint("F14 stream")?;
+            }
+            if cursor.remaining() != 0 {
+                return Err(StoreError::malformed(format!(
+                    "F14 stream: {} trailing bytes after {} varints",
+                    cursor.remaining(),
+                    self.n_flows
                 )));
             }
         }
@@ -749,6 +836,7 @@ impl<'a> SegmentView<'a> {
             recv_payload: Cursor::new(self.recv_payload),
             start_micros: Cursor::new(self.start_micros),
             prev_start: 0,
+            stream: Cursor::new(self.stream),
         }
     }
 
@@ -841,6 +929,9 @@ impl<'a> SegmentView<'a> {
                 recv_payload: flow.recv_payload,
                 start_micros: flow.start_micros,
                 http_user_agent: flow.http_user_agent.map(str::to_owned),
+                family: flow.family,
+                shape: flow.shape,
+                stream: flow.stream,
             });
         }
         out
@@ -859,6 +950,7 @@ pub struct FlowIter<'a, 'v> {
     recv_payload: Cursor<'a>,
     start_micros: Cursor<'a>,
     prev_start: u64,
+    stream: Cursor<'a>,
 }
 
 impl<'a> Iterator for FlowIter<'a, '_> {
@@ -908,6 +1000,21 @@ impl<'a> Iterator for FlowIter<'a, '_> {
                 .pool
                 .get_opt(view.user_agent.get(i), "F11")
                 .expect("validated"),
+            family: match view.family.get(i) {
+                Some(1) => IpFamily::V6,
+                _ => IpFamily::V4,
+            },
+            shape: match view.shape.get(i) {
+                Some(1) => FlowShape::TlsLike,
+                Some(2) => FlowShape::ConnectProxy,
+                _ => FlowShape::Plain,
+            },
+            stream: if view.family.is_empty() {
+                None
+            } else {
+                let raw = self.stream.varint("F14").expect("validated");
+                raw.checked_sub(1).map(|k| k as u32)
+            },
         })
     }
 }
@@ -967,6 +1074,9 @@ mod tests {
                     recv_payload: 49_000 + i as u64 * 907,
                     start_micros: 1_000_000 + i as u64 * 250_000,
                     http_user_agent: (i % 2 == 1).then(|| "okhttp/4.9".to_owned()),
+                    family: Default::default(),
+                    shape: Default::default(),
+                    stream: None,
                 })
                 .collect(),
             unattributed_flows: 2,

@@ -13,7 +13,9 @@
 //!    silent data loss, never as a failed open.
 
 use libspector::pipeline::DetectStats;
-use libspector::{AnalyzedFlow, AppAnalysis, CoverageReport, OriginKind, RunIntegrity};
+use libspector::{
+    AnalyzedFlow, AppAnalysis, CoverageReport, FlowShape, IpFamily, OriginKind, RunIntegrity,
+};
 use proptest::prelude::*;
 use spector_libradar::{DetectTier, LibCategory};
 use spector_sampling::SamplingLedger;
@@ -42,6 +44,24 @@ fn arb_origin() -> impl Strategy<Value = OriginKind> {
     ]
 }
 
+fn arb_family() -> impl Strategy<Value = IpFamily> {
+    prop_oneof![Just(IpFamily::V4), Just(IpFamily::V6)]
+}
+
+fn arb_shape() -> impl Strategy<Value = FlowShape> {
+    prop_oneof![
+        Just(FlowShape::Plain),
+        Just(FlowShape::TlsLike),
+        Just(FlowShape::ConnectProxy),
+    ]
+}
+
+/// Stream ordinals: mostly None (the legacy shape), small ordinals,
+/// and the u32 extremes — the F14 varint must carry all of them.
+fn arb_stream() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), (0u32..16).prop_map(Some), Just(Some(u32::MAX)),]
+}
+
 fn arb_flow() -> impl Strategy<Value = AnalyzedFlow> {
     (
         (
@@ -60,11 +80,13 @@ fn arb_flow() -> impl Strategy<Value = AnalyzedFlow> {
             any::<u64>(),
             proptest::option::of(arb_label()),
         ),
+        (arb_family(), arb_shape(), arb_stream()),
     )
         .prop_map(
             |(
                 (domain, domain_category, origin, lib_category, is_ant, is_common),
                 (sent_bytes, recv_bytes, sent_payload, recv_payload, start_micros, ua),
+                (family, shape, stream),
             )| AnalyzedFlow {
                 domain,
                 domain_category,
@@ -78,6 +100,9 @@ fn arb_flow() -> impl Strategy<Value = AnalyzedFlow> {
                 recv_payload,
                 start_micros,
                 http_user_agent: ua,
+                family,
+                shape,
+                stream,
             },
         )
 }
@@ -215,6 +240,35 @@ proptest! {
         }
     }
 
+    /// Any single corrupted byte in a sealed segment — the modern
+    /// F12–F14 shape columns included — is either rejected at parse or
+    /// provably harmless (decodes to identical records). Never a panic.
+    #[test]
+    fn corrupt_segment_bytes_rejected_or_harmless(
+        analyses in proptest::collection::vec(arb_analysis(), 1..4),
+        at in 0usize..100_000,
+        mask in 1u8..=255,
+    ) {
+        let mut builder = SegmentBuilder::default();
+        for (i, analysis) in analyses.iter().enumerate() {
+            builder.push_analysis(i as u32, analysis);
+        }
+        let bytes = builder.seal(7, 0);
+        let baseline = SegmentView::parse(&bytes).expect("sealed segment parses").materialize();
+        let mut corrupt = bytes.clone();
+        let at = at % corrupt.len();
+        corrupt[at] ^= mask;
+        match SegmentView::parse(&corrupt) {
+            Err(_) => {}
+            Ok(view) => prop_assert_eq!(
+                view.materialize(),
+                baseline,
+                "undetected change at byte {}",
+                at
+            ),
+        }
+    }
+
     #[test]
     fn crash_loses_at_most_the_unsealed_tail_and_counts_it(
         analyses in proptest::collection::vec(arb_analysis(), 1..10),
@@ -262,6 +316,162 @@ proptest! {
         );
         let orphans = reader.integrity().orphaned_segments;
         prop_assert_eq!(orphans, usize::from(leave_tmp), "stray tmp files are counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Deterministic pins for the socket-realism columns, outside the
+/// property loop.
+#[cfg(test)]
+mod shape_columns {
+    use super::*;
+
+    fn flow(family: IpFamily, shape: FlowShape, stream: Option<u32>) -> AnalyzedFlow {
+        AnalyzedFlow {
+            domain: Some("cdn.example".into()),
+            domain_category: DomainCategory::ALL[0],
+            origin: OriginKind::Builtin,
+            lib_category: LibCategory::ALL[0],
+            is_ant: false,
+            is_common: false,
+            sent_bytes: 10,
+            recv_bytes: 20,
+            sent_payload: 5,
+            recv_payload: 15,
+            start_micros: 1,
+            http_user_agent: None,
+            family,
+            shape,
+            stream,
+        }
+    }
+
+    fn analysis(flows: Vec<AnalyzedFlow>) -> AppAnalysis {
+        AppAnalysis {
+            package: "com.app".into(),
+            app_category: "tools".into(),
+            flows,
+            unattributed_flows: 0,
+            reports_without_flow: 0,
+            coverage: CoverageReport {
+                total_methods: 10,
+                executed_methods: 5,
+                external_methods: 2,
+            },
+            dns_packets: 1,
+            report_packets: 1,
+            integrity: RunIntegrity::default(),
+            detect: DetectStats::default(),
+            sampling: SamplingLedger::default(),
+        }
+    }
+
+    fn seal(flows: Vec<AnalyzedFlow>) -> Vec<u8> {
+        let mut builder = SegmentBuilder::default();
+        builder.push_analysis(0, &analysis(flows));
+        builder.seal(1, 0)
+    }
+
+    /// A segment whose flows all carry the legacy defaults seals
+    /// without the F12–F14 trailing blocks — exactly the bytes an
+    /// old writer produced — and decodes back to those defaults.
+    #[test]
+    fn default_flows_omit_shape_columns_and_decode_to_defaults() {
+        let legacy = seal(vec![
+            flow(IpFamily::V4, FlowShape::Plain, None),
+            flow(IpFamily::V4, FlowShape::Plain, None),
+        ]);
+        let view = SegmentView::parse(&legacy).expect("legacy segment parses");
+        for (_, got) in view.materialize() {
+            for f in &got.flows {
+                assert_eq!(f.family, IpFamily::V4);
+                assert_eq!(f.shape, FlowShape::Plain);
+                assert_eq!(f.stream, None);
+            }
+        }
+        // Presence gating: one modern flow switches the trailing
+        // blocks on, so a default-only seal stays byte-for-byte the
+        // legacy layout (strictly shorter than the modern one).
+        let modern = seal(vec![
+            flow(IpFamily::V4, FlowShape::Plain, None),
+            flow(IpFamily::V6, FlowShape::TlsLike, Some(3)),
+        ]);
+        assert!(
+            modern.len() > legacy.len(),
+            "modern columns must only appear when some flow needs them"
+        );
+        let view = SegmentView::parse(&modern).expect("modern segment parses");
+        let rows = view.materialize();
+        assert_eq!(rows[0].1.flows[1].family, IpFamily::V6);
+        assert_eq!(rows[0].1.flows[1].shape, FlowShape::TlsLike);
+        assert_eq!(rows[0].1.flows[1].stream, Some(3));
+    }
+
+    /// A store holding a segment whose modern columns were damaged on
+    /// disk still opens: the bad segment is counted in the rejected
+    /// ledger, the rest of the campaign stays readable, nothing panics.
+    #[test]
+    fn reader_counts_damaged_modern_segments_instead_of_panicking() {
+        let dir =
+            std::env::temp_dir().join(format!("spector-store-shapecol-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = CampaignMeta {
+            seed: 1,
+            apps: 2,
+            monkey_events: 1,
+            kind: CampaignKind::Run,
+        };
+        let options = StoreOptions {
+            seal_every: 1, // one segment per analysis
+            ..StoreOptions::default()
+        };
+        let mut writer = StoreWriter::create(&dir, &meta, options).expect("store opens");
+        writer
+            .append_analysis(
+                0,
+                &analysis(vec![flow(IpFamily::V4, FlowShape::Plain, None)]),
+            )
+            .expect("append");
+        writer
+            .append_analysis(
+                1,
+                &analysis(vec![flow(IpFamily::V6, FlowShape::ConnectProxy, Some(1))]),
+            )
+            .expect("append");
+        writer
+            .finish(&spector_store::CampaignSealRecord {
+                seed: 1,
+                apps: 2,
+                monkey_events: 1,
+                failures: vec![],
+            })
+            .expect("finish");
+
+        // Damage the newest segment (the modern one) in place.
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "spseg"))
+            .collect();
+        segments.sort();
+        // seg 0 = the legacy analysis, seg 1 = the modern one (the
+        // trailing seal-record segment, if any, comes after).
+        let victim = &segments[1];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let at = bytes.len() - 9; // inside the trailing column region
+        bytes[at] ^= 0x41;
+        std::fs::write(victim, &bytes).unwrap();
+
+        let reader = StoreReader::open(&dir).expect("damage never breaks open");
+        assert_eq!(
+            reader.integrity().rejected.len(),
+            1,
+            "the damaged segment is counted, not silent"
+        );
+        let survivors = reader.campaign_analyses(0);
+        assert_eq!(survivors.len(), 1, "the intact segment stays readable");
+        assert_eq!(survivors[0].flows[0].family, IpFamily::V4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

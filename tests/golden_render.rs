@@ -46,6 +46,40 @@ fn report() -> &'static FullReport {
     })
 }
 
+/// A second fixture with the modern socket shapes switched on (IPv6,
+/// pooled streams, TLS-like framing, CONNECT tunnels) — the source of
+/// `tests/golden/shape_mix.txt`. Kept separate so the legacy fixture
+/// above (and every golden it feeds) stays byte-identical.
+fn mixed_report() -> &'static FullReport {
+    static REPORT: OnceLock<FullReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let corpus = Corpus::generate(&CorpusConfig {
+            apps: 8,
+            seed: 9_406,
+            appgen: AppGenConfig {
+                method_scale: 0.006,
+                modern_fraction: 0.6,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let knowledge = Knowledge::from_corpus(&corpus);
+        let mut dispatch = DispatchConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        dispatch.experiment.monkey.events = 120;
+        dispatch.experiment.monkey.seed = 9_406;
+        let analyses = run_corpus(&corpus, &knowledge, &dispatch, None).analyses;
+        assert_eq!(
+            analyses.len(),
+            8,
+            "mixed fixture campaign must not lose apps"
+        );
+        FullReport::build(&analyses)
+    })
+}
+
 fn golden_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
 }
@@ -83,6 +117,63 @@ fn every_section_matches_its_golden_snapshot() {
         mismatches.is_empty(),
         "golden mismatches (regenerate with UPDATE_GOLDEN=1 if intentional):\n  {}",
         mismatches.join("\n  ")
+    );
+}
+
+/// The socket-shape mix section renders only for mixed campaigns, so
+/// it gets its own golden file fed by the mixed fixture. The legacy
+/// fixture must never activate it — that is the byte-identity
+/// guarantee for historical reports.
+#[test]
+fn shape_mix_matches_its_golden_snapshot() {
+    use spector_analysis::render::render_shape_mix;
+
+    assert!(
+        !report().shapes.active,
+        "legacy fixture must not activate the shape section"
+    );
+    assert!(
+        report().render().find("Socket shapes").is_none(),
+        "legacy render must not contain the shape section"
+    );
+    let mixed = mixed_report();
+    assert!(
+        mixed.shapes.active,
+        "mixed fixture must activate the shape section"
+    );
+    assert!(
+        mixed.shapes.v6_flows > 0,
+        "mixed fixture must attribute IPv6 flows"
+    );
+    assert!(
+        mixed.shapes.tls_flows > 0,
+        "mixed fixture must attribute TLS-like flows"
+    );
+    assert!(
+        mixed.shapes.proxy_flows > 0,
+        "mixed fixture must attribute CONNECT flows"
+    );
+    assert!(
+        mixed.shapes.pooled_connections > 0,
+        "mixed fixture must pool connections"
+    );
+    let rendered = render_shape_mix(mixed);
+    assert!(
+        mixed.render().contains(&rendered),
+        "full mixed render must embed the shape section"
+    );
+    let path = golden_dir().join("shape_mix.txt");
+    if update_requested() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("tests/golden/shape_mix.txt (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        golden, rendered,
+        "shape_mix: rendered output differs from golden \
+         (regenerate with UPDATE_GOLDEN=1 if intentional)"
     );
 }
 
@@ -142,6 +233,7 @@ fn golden_directory_holds_exactly_the_known_sections() {
     // The store-backed report golden (tests/store_query.rs) shares the
     // directory.
     expected.push("query_report.txt".to_owned());
+    expected.push("shape_mix.txt".to_owned());
     expected.sort();
     assert_eq!(on_disk, expected, "stale or missing golden files");
 }

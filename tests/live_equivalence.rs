@@ -20,11 +20,20 @@ use spector_netsim::packet::SocketPair;
 use spector_netsim::{Clock, NetStack};
 
 fn campaign(apps: usize, seed: u64) -> (Knowledge, Vec<RawRun>, u16) {
+    campaign_with_fraction(apps, seed, configured_modern_fraction())
+}
+
+fn campaign_with_fraction(
+    apps: usize,
+    seed: u64,
+    modern_fraction: f64,
+) -> (Knowledge, Vec<RawRun>, u16) {
     let mut corpus = Corpus::generate(&CorpusConfig {
         apps,
         seed,
         appgen: AppGenConfig {
             method_scale: 0.006,
+            modern_fraction,
             ..Default::default()
         },
         ..Default::default()
@@ -101,6 +110,18 @@ fn configured_batch(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Protocol-mix override for the CI matrix: `PROTOCOL_MIX=modern`
+/// regenerates the fixture corpus with a 60% share of modern ops
+/// (IPv6, TLS-like framing, CONNECT proxying, pooled connections), so
+/// every equivalence test in this file also runs over the modern wire.
+/// Unset or `legacy` keeps the corpus pure IPv4 plain HTTP.
+fn configured_modern_fraction() -> f64 {
+    match std::env::var("PROTOCOL_MIX").as_deref() {
+        Ok("modern") => 0.6,
+        _ => 0.0,
+    }
+}
+
 fn offline(knowledge: &Knowledge, runs: &[RawRun], port: u16) -> Vec<AppAnalysis> {
     runs.iter()
         .map(|raw| analyze_run(raw, knowledge, port))
@@ -166,6 +187,50 @@ fn assert_equivalent(live: &LiveSummary, analyses: &[AppAnalysis]) {
         live.sampling, offline.sampling,
         "sampling ledgers must merge to identical totals"
     );
+    // The socket-realism counters: family, shape, and pooled-stream
+    // accounting must agree wherever the classification runs.
+    assert_eq!(live.flows_v6, offline.flows_v6);
+    assert_eq!(live.flows_tls, offline.flows_tls);
+    assert_eq!(live.flows_proxied, offline.flows_proxied);
+    assert_eq!(live.pooled_streams, offline.pooled_streams);
+}
+
+/// Modern socket realism: a campaign mixing IPv4, IPv6, TLS-like,
+/// CONNECT-proxied, and pooled multi-stream flows must stream to
+/// byte-identical summaries at 1, 2, and 8 shards — per-library and
+/// per-domain-category volumes, shape counters, and the decode-error
+/// ledgers alike.
+#[test]
+fn protocol_mix_streams_to_identical_volumes_at_any_width() {
+    let (knowledge, runs, port) = campaign_with_fraction(5, 76, 0.6);
+    let analyses = offline(&knowledge, &runs, port);
+    let offline_view = LiveSummary::from_analyses(&analyses);
+    assert!(
+        offline_view.flows_v6 > 0,
+        "mixed corpus must produce IPv6 flows"
+    );
+    assert!(
+        offline_view.flows_tls > 0,
+        "mixed corpus must produce TLS-like flows"
+    );
+    assert!(
+        offline_view.flows_proxied > 0,
+        "mixed corpus must produce CONNECT-proxied flows"
+    );
+    assert!(
+        offline_view.pooled_streams > 0,
+        "mixed corpus must produce pooled multi-stream connections"
+    );
+    let mut at_width: Vec<LiveSummary> = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let (live, engine) = stream(&knowledge, &runs, port, shards);
+        engine.finish();
+        assert_eq!(live.dropped_events, 0);
+        assert_equivalent(&live, &analyses);
+        at_width.push(live);
+    }
+    assert_eq!(at_width[0], at_width[1]);
+    assert_eq!(at_width[0], at_width[2]);
 }
 
 #[test]
@@ -294,6 +359,7 @@ fn duplicates_and_orphans_account_identically() {
     let sock = stack.tcp_connect(ip, 443);
     let pair = stack.socket_pair(sock).unwrap();
     let report = SocketReport {
+        stream: None,
         apk_sha256: Sha256::digest(b"dup-apk"),
         pair,
         timestamp_micros: stack.clock().now_micros(),

@@ -21,12 +21,12 @@ fn corpus() -> Corpus {
     })
 }
 
-fn ip_to_domain(corpus: &Corpus) -> std::collections::HashMap<std::net::Ipv4Addr, String> {
+fn ip_to_domain(corpus: &Corpus) -> std::collections::HashMap<std::net::IpAddr, String> {
     corpus
         .domains
         .domains()
         .iter()
-        .map(|d| (d.ip, d.name.clone()))
+        .map(|d| (std::net::IpAddr::V4(d.ip), d.name.clone()))
         .collect()
 }
 

@@ -261,13 +261,21 @@ fn assert_agreement(outcome: &CampaignOutcome, snapshot: &MetricsSnapshot, label
 }
 
 /// Scripted experiment runs (the live engine's input shape), with the
-/// wire damage of `profile` applied per run.
-fn perturbed_runs(profile: FaultProfile, seed: u64, apps: usize) -> (Knowledge, Vec<RawRun>, u16) {
+/// wire damage of `profile` applied per run and `modern_fraction` of
+/// the corpus traffic generated in the modern socket shapes (IPv6,
+/// pooled streams, TLS-like, CONNECT); 0.0 is the legacy corpus.
+fn perturbed_runs_mixed(
+    profile: FaultProfile,
+    seed: u64,
+    apps: usize,
+    modern_fraction: f64,
+) -> (Knowledge, Vec<RawRun>, u16) {
     let corpus = Corpus::generate(&CorpusConfig {
         apps,
         seed,
         appgen: AppGenConfig {
             method_scale: 0.006,
+            modern_fraction,
             ..Default::default()
         },
         ..Default::default()
@@ -305,7 +313,16 @@ fn perturbed_runs(profile: FaultProfile, seed: u64, apps: usize) -> (Knowledge, 
 /// The identity must hold *merged across shards*, at any width and
 /// batch size, under any chaos profile.
 fn assert_live_ingress_balances(profile: FaultProfile, seed: u64, label: &str) {
-    let (knowledge, runs, port) = perturbed_runs(profile, seed, 4);
+    assert_live_ingress_balances_mixed(profile, seed, label, 0.0);
+}
+
+fn assert_live_ingress_balances_mixed(
+    profile: FaultProfile,
+    seed: u64,
+    label: &str,
+    modern_fraction: f64,
+) {
+    let (knowledge, runs, port) = perturbed_runs_mixed(profile, seed, 4, modern_fraction);
     let knowledge = Arc::new(knowledge);
     let total_frames: u64 = runs.iter().map(|r| r.capture.len() as u64).sum();
     let mut class_counts: Vec<Vec<u64>> = Vec::new();
@@ -345,6 +362,25 @@ fn assert_live_ingress_balances(profile: FaultProfile, seed: u64, label: &str) {
             classes.iter().sum::<u64>(),
             "{label}: merged ingress counters must balance exactly ({shards} shards)"
         );
+        // Address-family partition: every *decoded* event (TCP, DNS,
+        // report) is counted by exactly one family counter. The two
+        // partitions of the same population must agree — merged across
+        // shards, at any width, under any chaos profile.
+        let by_family = [
+            counter("spector_shape_ipv4_total"),
+            counter("spector_shape_ipv6_total"),
+        ];
+        assert_eq!(
+            classes[..3].iter().sum::<u64>(),
+            by_family.iter().sum::<u64>(),
+            "{label}: decoded-event and family partitions must agree ({shards} shards)"
+        );
+        if modern_fraction > 0.0 {
+            assert!(
+                by_family[1] > 0,
+                "{label}: a mixed corpus must put IPv6 frames on the wire"
+            );
+        }
         // The telemetry error counters are the summary ledger, which in
         // turn equals the offline RunIntegrity sums (live_equivalence).
         assert_eq!(classes[3], summary.frames_truncated as u64, "{label}");
@@ -353,7 +389,9 @@ fn assert_live_ingress_balances(profile: FaultProfile, seed: u64, label: &str) {
         assert_eq!(classes[6], summary.reports_truncated as u64, "{label}");
         assert_eq!(classes[7], summary.reports_malformed as u64, "{label}");
         assert_eq!(counter("spector_live_dropped_events_total"), 0, "{label}");
-        class_counts.push(classes.to_vec());
+        let mut classes = classes.to_vec();
+        classes.extend(by_family);
+        class_counts.push(classes);
     }
     // Width and batch geometry never move a frame between classes.
     assert_eq!(class_counts[0], class_counts[1], "{label}: 1 vs 2 shards");
@@ -373,6 +411,21 @@ fn live_ingress_balances_under_light_chaos() {
 #[test]
 fn live_ingress_balances_under_heavy_chaos() {
     assert_live_ingress_balances(FaultProfile::heavy(), 603, "live/heavy");
+}
+
+#[test]
+fn shape_counters_balance_mixed_without_chaos() {
+    assert_live_ingress_balances_mixed(FaultProfile::none(), 611, "shape/none", 0.6);
+}
+
+#[test]
+fn shape_counters_balance_mixed_under_light_chaos() {
+    assert_live_ingress_balances_mixed(FaultProfile::light(), 612, "shape/light", 0.6);
+}
+
+#[test]
+fn shape_counters_balance_mixed_under_heavy_chaos() {
+    assert_live_ingress_balances_mixed(FaultProfile::heavy(), 613, "shape/heavy", 0.6);
 }
 
 #[test]

@@ -312,6 +312,40 @@ impl Deserialize for Ipv4Addr {
     }
 }
 
+impl Serialize for std::net::Ipv6Addr {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv6Addr {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let raw = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("IPv6 address string", value))?;
+        raw.parse()
+            .map_err(|_| DeError::custom(format!("invalid IPv6 address `{raw}`")))
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn serialize_value(&self) -> Value {
+        // `IpAddr::V4` displays identically to `Ipv4Addr`, so v4
+        // addresses keep their exact legacy string form.
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::IpAddr {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let raw = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("IP address string", value))?;
+        raw.parse()
+            .map_err(|_| DeError::custom(format!("invalid IP address `{raw}`")))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_value(&self) -> Value {
         match self {
